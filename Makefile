@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test short race vet bench experiments clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,132 @@
+// Benchmarks regenerating every table and figure of the paper (see
+// DESIGN.md §4 for the experiment index). Each benchmark runs the
+// corresponding harness experiment at a reduced, fixed-seed scale so that
+// `go test -bench=. -benchmem` finishes in minutes; cmd/experiments
+// -paper runs the full-scale versions.
+package kgvote
+
+import (
+	"testing"
+
+	"kgvote/internal/harness"
+	"kgvote/internal/synth"
+)
+
+// benchConfig is the shared reduced-scale configuration.
+func benchConfig() harness.Config {
+	return harness.Config{
+		Seed:             1,
+		Topics:           5,
+		EntitiesPerTopic: 12,
+		Docs:             60,
+		EntitiesPerDoc:   5,
+		TrainQuestions:   30,
+		TestQuestions:    30,
+		K:                10,
+		L:                3,
+		GraphScale:       0.005,
+		Votes:            []int{3, 6},
+		AnswerCounts:     []int{50, 100, 200},
+		Workers:          4,
+		TimingQueries:    2,
+		Lengths:          []int{2, 3, 4},
+	}
+}
+
+func benchTable(b *testing.B, fn func(harness.Config) (harness.Table, error)) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := fn(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates Table III (samples of optimized edge
+// weights after the multi-vote solve).
+func BenchmarkTableIII(b *testing.B) { benchTable(b, harness.TableIII) }
+
+// BenchmarkTableIV regenerates Table IV (R_avg / Ω_avg / P_avg of the
+// original, single-vote, and multi-vote graphs on the test set).
+func BenchmarkTableIV(b *testing.B) { benchTable(b, harness.TableIV) }
+
+// BenchmarkTableV regenerates Table V (H@k for IR, random-walk Q&A, and
+// the three KG variants).
+func BenchmarkTableV(b *testing.B) { benchTable(b, harness.TableV) }
+
+// BenchmarkFigure5 regenerates Fig. 5 (MRR and MAP, whole test set and the
+// non-top-1 subset).
+func BenchmarkFigure5(b *testing.B) { benchTable(b, harness.Figure5) }
+
+// BenchmarkTableVI regenerates Table VI (per-query similarity-evaluation
+// time: random walk vs extended inverse P-distance across |A|).
+func BenchmarkTableVI(b *testing.B) { benchTable(b, harness.TableVI) }
+
+// BenchmarkFigure6 regenerates Fig. 6 (elapsed time and Ω_avg vs number of
+// votes for multi-vote, split-and-merge, distributed split-and-merge, and
+// single-vote) on a scaled Twitter profile.
+func BenchmarkFigure6(b *testing.B) {
+	cfg := benchConfig()
+	profiles := []synth.Profile{synth.Twitter.Scaled(cfg.GraphScale)}
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure6(cfg, profiles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no measurements")
+		}
+	}
+}
+
+// BenchmarkFigure7PD regenerates Fig. 7(a) (percentage difference of
+// cumulative similarity mass across consecutive L).
+func BenchmarkFigure7PD(b *testing.B) {
+	cfg := benchConfig()
+	profiles := []synth.Profile{synth.Digg.Scaled(cfg.GraphScale)}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure7PD(cfg, profiles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Time regenerates Fig. 7(b) (optimization time vs L).
+func BenchmarkFigure7Time(b *testing.B) {
+	cfg := benchConfig()
+	profiles := []synth.Profile{synth.Digg.Scaled(cfg.GraphScale)}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure7Time(cfg, profiles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Fig. 2 (step vs sigmoid).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := harness.Figure2(); len(tab.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblationReducedMultiVote compares the full augmented-Lagrangian
+// multi-vote solve against the reduced deviation-eliminated form.
+func BenchmarkAblationReducedMultiVote(b *testing.B) { benchTable(b, harness.AblationSolverMode) }
+
+// BenchmarkAblationMerge compares the paper's vote-weighted sign/max merge
+// rule against plain averaging.
+func BenchmarkAblationMerge(b *testing.B) { benchTable(b, harness.AblationMergeRule) }
+
+// BenchmarkAblationScorer compares explicit walk enumeration against the
+// truncated power-series sweep.
+func BenchmarkAblationScorer(b *testing.B) { benchTable(b, harness.AblationScorer) }
+
+// BenchmarkAblationNormalize compares post-solve normalization modes.
+func BenchmarkAblationNormalize(b *testing.B) { benchTable(b, harness.AblationNormalize) }

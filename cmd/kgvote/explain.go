@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+)
+
+// cmdExplain decomposes a similarity score on a TSV graph into its
+// contributing walks.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	graphPath := fs.String("graph", "", "graph TSV path (required)")
+	from := fs.Int("from", -1, "source node ID (required)")
+	to := fs.Int("to", -1, "target node ID (required)")
+	l := fs.Int("l", 5, "path-length pruning threshold")
+	top := fs.Int("top", 5, "walks to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *from < 0 || *to < 0 {
+		return fmt.Errorf("explain: -graph, -from, and -to are required")
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := graph.ReadTSV(f)
+	if err != nil {
+		return err
+	}
+	eng, err := core.New(g, core.Options{L: *l})
+	if err != nil {
+		return err
+	}
+	ex, err := eng.Explain(graph.NodeID(*from), graph.NodeID(*to), *top)
+	if err != nil {
+		return err
+	}
+	fmt.Print(ex.Format(g))
+	return nil
+}

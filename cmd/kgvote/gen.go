@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+	"kgvote/internal/synth"
+)
+
+// profileByName resolves a profile flag value.
+func profileByName(name string) (synth.Profile, error) {
+	switch strings.ToLower(name) {
+	case "twitter":
+		return synth.Twitter, nil
+	case "digg":
+		return synth.Digg, nil
+	case "gnutella":
+		return synth.Gnutella, nil
+	case "taobao":
+		return synth.Taobao, nil
+	case "random":
+		return synth.Profile{Name: "Random", Nodes: 5000, Edges: 20000}, nil
+	default:
+		return synth.Profile{}, fmt.Errorf("unknown profile %q (twitter, digg, gnutella, taobao, random)", name)
+	}
+}
+
+func cmdGenGraph(args []string) error {
+	fs := flag.NewFlagSet("gen-graph", flag.ContinueOnError)
+	profile := fs.String("profile", "random", "graph profile")
+	scale := fs.Float64("scale", 1.0, "scale factor in (0,1]")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output TSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := profileByName(*profile)
+	if err != nil {
+		return err
+	}
+	g, err := p.Scaled(*scale).Generate(*seed)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteTSV(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: %d nodes, %d edges\n", p.Name, g.NumNodes(), g.NumEdges())
+	return nil
+}
+
+func cmdGenCorpus(args []string) error {
+	fs := flag.NewFlagSet("gen-corpus", flag.ContinueOnError)
+	topics := fs.Int("topics", 8, "number of topics")
+	entities := fs.Int("entities", 24, "entities per topic")
+	docs := fs.Int("docs", 200, "number of documents")
+	perDoc := fs.Int("per-doc", 6, "entities per document")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	corpus, err := synth.GenerateCorpus(synth.CorpusConfig{
+		Topics: *topics, EntitiesPer: *entities, Docs: *docs, EntitiesPerDoc: *perDoc, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(corpus); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated corpus: %d documents, %d entities\n", len(corpus.Docs), len(corpus.Vocabulary()))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	path := fs.String("graph", "", "graph TSV path")
+	source := fs.Int("source", -1, "profile walk statistics from this node (optional)")
+	maxL := fs.Int("max-l", 8, "walk-statistics length limit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("stats: -graph is required")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := graph.ReadTSV(f)
+	if err != nil {
+		return err
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	dangling := 0
+	var sumW float64
+	g.Edges(func(_, _ graph.NodeID, w float64) { sumW += w })
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.OutDegree(graph.NodeID(i)) == 0 {
+			dangling++
+		}
+	}
+	fmt.Printf("nodes:        %d\n", g.NumNodes())
+	fmt.Printf("edges:        %d\n", g.NumEdges())
+	fmt.Printf("avg degree:   %.2f\n", g.AvgOutDegree())
+	fmt.Printf("dangling:     %d\n", dangling)
+	if g.NumEdges() > 0 {
+		fmt.Printf("mean weight:  %.4f\n", sumW/float64(g.NumEdges()))
+	}
+	if *source >= 0 {
+		stats, err := pathidx.WalkStats(g, graph.NodeID(*source), pathidx.Options{L: *maxL})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nwalk statistics from node %d:\n", *source)
+		fmt.Printf("%3s  %9s  %10s  %12s\n", "L", "frontier", "mass", "contribution")
+		for _, st := range stats {
+			fmt.Printf("%3d  %9d  %10.6f  %12.8f\n", st.Length, st.Frontier, st.Mass, st.Contribution)
+		}
+		l, err := pathidx.SuggestL(g, graph.NodeID(*source), *maxL, 0.05, 0.15)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("suggested L (5%% criterion): %d\n", l)
+	}
+	return nil
+}

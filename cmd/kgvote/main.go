@@ -1,0 +1,71 @@
+// Command kgvote is the CLI front end of the library: it generates
+// synthetic graphs and corpora, inspects graphs, runs an interactive-style
+// demo of the vote-optimize loop, and applies vote logs to a graph.
+//
+// Usage:
+//
+//	kgvote gen-graph -profile twitter -scale 0.01 -seed 1 -out graph.tsv
+//	kgvote gen-corpus -docs 200 -out corpus.json
+//	kgvote stats -graph graph.tsv
+//	kgvote demo [-seed 1]
+//	kgvote optimize -graph graph.tsv -votes votes.json -solver multi -out optimized.tsv
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kgvote:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "gen-graph":
+		return cmdGenGraph(args[1:])
+	case "gen-corpus":
+		return cmdGenCorpus(args[1:])
+	case "stats":
+		return cmdStats(args[1:])
+	case "demo":
+		return cmdDemo(args[1:])
+	case "optimize":
+		return cmdOptimize(args[1:])
+	case "eval":
+		return cmdEval(args[1:])
+	case "gen-votes":
+		return cmdGenVotes(args[1:])
+	case "explain":
+		return cmdExplain(args[1:])
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+		return nil
+	default:
+		usage(os.Stderr)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `kgvote — optimize knowledge graphs through voting-based user feedback
+
+Subcommands:
+  gen-graph   generate a synthetic graph (profiles: twitter, digg, gnutella, taobao, random)
+  gen-corpus  generate a synthetic Q&A corpus as JSON
+  stats       print graph statistics
+  demo        run the end-to-end ask → vote → optimize loop on a synthetic corpus
+  optimize    apply a JSON vote log to a TSV graph and write the optimized graph
+  gen-votes   synthesize a vote workload over a TSV graph
+  eval        measure Q&A accuracy of a corpus, optionally after vote optimization
+  explain     decompose a similarity score into its contributing graph walks
+  help        show this message
+`)
+}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+func TestRunUsageAndErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Errorf("no args should fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Errorf("unknown subcommand should fail")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help failed: %v", err)
+	}
+}
+
+func TestGenGraphAndStats(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.tsv")
+	if err := run([]string{"gen-graph", "-profile", "random", "-scale", "0.02", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadTSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatalf("empty generated graph")
+	}
+	if err := run([]string{"stats", "-graph", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stats"}); err == nil {
+		t.Errorf("stats without -graph should fail")
+	}
+	if err := run([]string{"stats", "-graph", filepath.Join(dir, "missing.tsv")}); err == nil {
+		t.Errorf("missing graph file should fail")
+	}
+	if err := run([]string{"gen-graph", "-profile", "nope"}); err == nil {
+		t.Errorf("unknown profile should fail")
+	}
+}
+
+func TestGenCorpus(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c.json")
+	if err := run([]string{"gen-corpus", "-docs", "20", "-topics", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Entities") {
+		t.Errorf("corpus JSON missing entities")
+	}
+	if err := run([]string{"gen-corpus", "-topics", "-1"}); err == nil {
+		t.Errorf("bad corpus config should fail")
+	}
+}
+
+func TestDemo(t *testing.T) {
+	if err := run([]string{"demo", "-questions", "6", "-seed", "2", "-docs", "40", "-l", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Build a small graph where a vote should flip a ranking.
+	g := graph.New(0)
+	q := g.AddNode("q")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	x := g.AddNode("x")
+	y := g.AddNode("y")
+	g.MustSetEdge(q, a, 0.6)
+	g.MustSetEdge(q, b, 0.4)
+	g.MustSetEdge(a, x, 1)
+	g.MustSetEdge(b, y, 1)
+	gPath := filepath.Join(dir, "g.tsv")
+	gf, err := os.Create(gPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteTSV(gf); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+
+	v, err := vote.FromRanking(q, []graph.NodeID{x, y}, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vPath := filepath.Join(dir, "v.json")
+	vf, err := os.Create(vPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vote.WriteJSON(vf, []vote.Vote{v}); err != nil {
+		t.Fatal(err)
+	}
+	vf.Close()
+
+	outPath := filepath.Join(dir, "opt.tsv")
+	for _, solver := range []string{"multi", "single", "sm"} {
+		if err := run([]string{"optimize", "-graph", gPath, "-votes", vPath, "-solver", solver, "-k", "2", "-l", "3", "-out", outPath}); err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+		of, err := os.Open(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		og, err := graph.ReadTSV(of)
+		of.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if og.NumEdges() != g.NumEdges() {
+			t.Errorf("%s: edge count changed: %d vs %d", solver, og.NumEdges(), g.NumEdges())
+		}
+		// The voted answer's path must have gained relative to the rival's.
+		origRatio := g.Weight(q, b) * g.Weight(b, y) / (g.Weight(q, a) * g.Weight(a, x))
+		newRatio := og.Weight(q, b) * og.Weight(b, y) / (og.Weight(q, a) * og.Weight(a, x))
+		if newRatio <= origRatio {
+			t.Errorf("%s: vote had no effect: ratio %v -> %v", solver, origRatio, newRatio)
+		}
+	}
+
+	// Error paths.
+	if err := run([]string{"optimize"}); err == nil {
+		t.Errorf("missing flags should fail")
+	}
+	if err := run([]string{"optimize", "-graph", gPath, "-votes", vPath, "-solver", "bogus"}); err == nil {
+		t.Errorf("unknown solver should fail")
+	}
+	if err := run([]string{"optimize", "-graph", "missing", "-votes", vPath}); err == nil {
+		t.Errorf("missing graph should fail")
+	}
+	if err := run([]string{"optimize", "-graph", gPath, "-votes", "missing"}); err == nil {
+		t.Errorf("missing votes should fail")
+	}
+}
+
+func TestEvalAndGenVotes(t *testing.T) {
+	dir := t.TempDir()
+	corpusPath := filepath.Join(dir, "c.json")
+	if err := run([]string{"gen-corpus", "-docs", "30", "-topics", "3", "-entities", "8", "-out", corpusPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Plain evaluation.
+	if err := run([]string{"eval", "-corpus", corpusPath, "-k", "5", "-l", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// Evaluation after multi-vote optimization on a corrupted graph.
+	if err := run([]string{"eval", "-corpus", corpusPath, "-k", "5", "-l", "3", "-corrupt", "0.5", "-solver", "multi", "-votes", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"eval"}); err == nil {
+		t.Errorf("eval without corpus should fail")
+	}
+	if err := run([]string{"eval", "-corpus", corpusPath, "-solver", "bogus"}); err == nil {
+		t.Errorf("unknown solver should fail")
+	}
+	if err := run([]string{"eval", "-corpus", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Errorf("missing corpus should fail")
+	}
+
+	// gen-votes over a generated graph, then optimize with the log.
+	gPath := filepath.Join(dir, "g.tsv")
+	if err := run([]string{"gen-graph", "-profile", "random", "-scale", "0.01", "-out", gPath}); err != nil {
+		t.Fatal(err)
+	}
+	augPath := filepath.Join(dir, "aug.tsv")
+	votesPath := filepath.Join(dir, "v.json")
+	if err := run([]string{"gen-votes", "-graph", gPath, "-queries", "6", "-answers", "12", "-k", "4", "-out", votesPath, "-out-graph", augPath}); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "opt.tsv")
+	if err := run([]string{"optimize", "-graph", augPath, "-votes", votesPath, "-solver", "multi", "-k", "4", "-l", "3", "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"gen-votes"}); err == nil {
+		t.Errorf("gen-votes without flags should fail")
+	}
+	if err := run([]string{"gen-votes", "-graph", gPath}); err == nil {
+		t.Errorf("gen-votes without out-graph should fail")
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New(0)
+	g.AddNodes(3)
+	g.MustSetEdge(0, 1, 0.5)
+	g.MustSetEdge(1, 2, 0.8)
+	p := filepath.Join(dir, "g.tsv")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteTSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"explain", "-graph", p, "-from", "0", "-to", "2", "-l", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"explain"}); err == nil {
+		t.Errorf("missing flags should fail")
+	}
+	if err := run([]string{"explain", "-graph", p, "-from", "0", "-to", "99"}); err == nil {
+		t.Errorf("bad target should fail")
+	}
+}
+
+func TestStatsWithWalkProfile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.tsv")
+	if err := run([]string{"gen-graph", "-profile", "random", "-scale", "0.01", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stats", "-graph", out, "-source", "0", "-max-l", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stats", "-graph", out, "-source", "999999"}); err == nil {
+		t.Errorf("bad source should fail")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+// cmdOptimize applies a JSON vote log to a TSV graph with the chosen
+// solver and writes the re-weighted graph.
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	graphPath := fs.String("graph", "", "input graph TSV path")
+	votesPath := fs.String("votes", "", "vote log JSON path")
+	solver := fs.String("solver", "multi", "solver: single, multi, or sm")
+	out := fs.String("out", "", "output TSV path (default stdout)")
+	k := fs.Int("k", 20, "answer-list length")
+	l := fs.Int("l", 5, "path-length pruning threshold")
+	workers := fs.Int("workers", 1, "parallel cluster solves for sm")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *votesPath == "" {
+		return fmt.Errorf("optimize: -graph and -votes are required")
+	}
+
+	gf, err := os.Open(*graphPath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	g, err := graph.ReadTSV(gf)
+	if err != nil {
+		return err
+	}
+	vf, err := os.Open(*votesPath)
+	if err != nil {
+		return err
+	}
+	defer vf.Close()
+	votes, err := vote.ReadJSON(vf)
+	if err != nil {
+		return err
+	}
+
+	eng, err := core.New(g, core.Options{K: *k, L: *l, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	var rep *core.Report
+	switch *solver {
+	case "single":
+		rep, err = eng.SolveSingle(votes)
+	case "multi":
+		rep, err = eng.SolveMulti(votes)
+	case "sm":
+		rep, err = eng.SolveSplitMerge(votes)
+	default:
+		return fmt.Errorf("optimize: unknown solver %q (single, multi, sm)", *solver)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d votes, %d encoded, %d discarded, %d/%d constraints satisfied, %d edges changed, %d clusters\n",
+		*solver, rep.Votes, rep.Encoded, rep.Discarded, rep.Satisfied, rep.Constraints, rep.ChangedEdges, rep.Clusters)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return g.WriteTSV(w)
+}

@@ -1,0 +1,152 @@
+// Command kgvoted serves a Q&A system over HTTP: POST /ask ranks answers,
+// POST /vote records feedback (optimizing the knowledge graph in
+// batches), POST /explain decomposes a score into its graph walks, and
+// GET /stats reports counters. See internal/server for the API shapes.
+//
+// Usage:
+//
+//	kgvoted -addr :8080 -corpus corpus.json -batch 10
+//	kgvoted -addr :8080 -docs 200            # synthetic corpus
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"kgvote/internal/core"
+	"kgvote/internal/qa"
+	"kgvote/internal/server"
+	"kgvote/internal/synth"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		corpusPath = flag.String("corpus", "", "corpus JSON path (default: synthesize)")
+		docs       = flag.Int("docs", 200, "synthetic corpus size when -corpus is not given")
+		batch      = flag.Int("batch", 10, "votes per optimization batch")
+		k          = flag.Int("k", 10, "answer-list length")
+		l          = flag.Int("l", 4, "path-length pruning threshold")
+		seed       = flag.Int64("seed", 1, "random seed for the synthetic corpus")
+		solverName = flag.String("solver", "multi", "batch solver: multi, sm, or single")
+		statePath  = flag.String("state", "", "persist the optimized system here: loaded at boot if present, saved on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+	if err := serve(*addr, *corpusPath, *docs, *batch, *k, *l, *seed, *solverName, *statePath); err != nil {
+		fmt.Fprintln(os.Stderr, "kgvoted:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr, corpusPath string, docs, batch, k, l int, seed int64, solverName, statePath string) error {
+	var solver core.StreamSolver
+	switch solverName {
+	case "multi":
+		solver = core.StreamMulti
+	case "sm":
+		solver = core.StreamSplitMerge
+	case "single":
+		solver = core.StreamSingle
+	default:
+		return fmt.Errorf("unknown solver %q (multi, sm, single)", solverName)
+	}
+	opts := core.Options{K: k, L: l}
+
+	sys, err := loadOrBuild(corpusPath, statePath, docs, seed, opts)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(sys, batch, solver)
+	if err != nil {
+		return err
+	}
+	log.Printf("kgvoted: %d documents, %d entities, %d edges; batch=%d solver=%s; listening on %s",
+		len(sys.Corpus.Docs), sys.Aug.Entities, sys.Aug.NumEdges(), batch, solverName, addr)
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("kgvoted: shutting down")
+	_ = httpSrv.Close()
+	if statePath != "" {
+		if err := saveState(sys, statePath); err != nil {
+			return err
+		}
+		log.Printf("kgvoted: state saved to %s", statePath)
+	}
+	return nil
+}
+
+// loadOrBuild restores a persisted system when statePath exists, otherwise
+// builds a fresh one from the corpus (file or synthetic).
+func loadOrBuild(corpusPath, statePath string, docs int, seed int64, opts core.Options) (*qa.System, error) {
+	if statePath != "" {
+		f, err := os.Open(statePath)
+		switch {
+		case err == nil:
+			defer f.Close()
+			sys, err := qa.Load(f, opts)
+			if err != nil {
+				return nil, fmt.Errorf("loading state %s: %w", statePath, err)
+			}
+			log.Printf("kgvoted: resumed from %s", statePath)
+			return sys, nil
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, err
+		}
+	}
+	var (
+		corpus *qa.Corpus
+		err    error
+	)
+	if corpusPath != "" {
+		f, err := os.Open(corpusPath)
+		if err != nil {
+			return nil, err
+		}
+		corpus, err = qa.ReadCorpus(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		corpus, err = synth.GenerateCorpus(synth.CorpusConfig{Docs: docs, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return qa.Build(corpus, opts)
+}
+
+// saveState writes the system atomically (temp file + rename).
+func saveState(sys *qa.System, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sys.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

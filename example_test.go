@@ -1,0 +1,84 @@
+package kgvote_test
+
+import (
+	"fmt"
+
+	"kgvote"
+)
+
+// Example builds the paper's Fig. 1 scenario: a vote for a lower-ranked
+// answer re-weights the graph so that answer ranks first.
+func Example() {
+	g := kgvote.NewGraph()
+	q := g.AddNode("question")
+	a := g.AddNode("topicA")
+	b := g.AddNode("topicB")
+	x := g.AddNode("answerX")
+	y := g.AddNode("answerY")
+	g.MustSetEdge(q, a, 0.6)
+	g.MustSetEdge(q, b, 0.4)
+	g.MustSetEdge(a, x, 1)
+	g.MustSetEdge(b, y, 1)
+
+	eng, err := kgvote.NewEngine(g, kgvote.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	answers := []kgvote.NodeID{x, y}
+	ranked, _ := eng.Rank(q, answers)
+	fmt.Println("top answer before:", g.Name(ranked[0].Node))
+
+	v, _ := eng.CollectVote(q, answers, y) // the user preferred answerY
+	if _, err := eng.SolveMulti([]kgvote.Vote{v}); err != nil {
+		panic(err)
+	}
+	ranked, _ = eng.Rank(q, answers)
+	fmt.Println("top answer after: ", g.Name(ranked[0].Node))
+	// Output:
+	// top answer before: answerX
+	// top answer after:  answerY
+}
+
+// ExampleBuildQA assembles a Q&A system from a document corpus and asks a
+// free-text question.
+func ExampleBuildQA() {
+	corpus := &kgvote.Corpus{Docs: []kgvote.Document{
+		{ID: 1, Title: "Reset your password", Entities: map[string]int{"password": 2, "reset": 1}},
+		{ID: 2, Title: "Update billing info", Entities: map[string]int{"billing": 2, "card": 1}},
+	}}
+	sys, err := kgvote.BuildQA(corpus, kgvote.Options{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	ents := kgvote.ExtractEntities("how do I reset my password?", sys.Vocabulary())
+	_, ranked, err := sys.Ask(kgvote.Question{ID: 1, Entities: ents})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("best doc:", sys.DocOf(ranked[0]))
+	// Output:
+	// best doc: 1
+}
+
+// ExampleEngine_Explain decomposes a similarity score into its knowledge
+// graph walks.
+func ExampleEngine_Explain() {
+	g := kgvote.NewGraph()
+	q := g.AddNode("q")
+	mid := g.AddNode("mid")
+	ans := g.AddNode("ans")
+	g.MustSetEdge(q, mid, 0.5)
+	g.MustSetEdge(mid, ans, 0.8)
+
+	eng, err := kgvote.NewEngine(g, kgvote.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	ex, err := eng.Explain(q, ans, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d walk(s), top fraction %.0f%%\n", ex.TotalPaths, 100*ex.Paths[0].Fraction)
+	// Output:
+	// 1 walk(s), top fraction 100%
+}

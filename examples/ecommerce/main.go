@@ -1,0 +1,108 @@
+// E-commerce recommendation (Example 1 of the paper): products live in a
+// co-purchase knowledge graph; the shop recommends related products for a
+// query. When customers keep buying a product that is NOT ranked first in
+// the recommendation list, those purchases are implicit negative votes,
+// and the graph is re-weighted so the actually-bought product rises.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"kgvote"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Co-purchase graph: categories of products with co-purchase strengths.
+	g := kgvote.NewGraph()
+	products := []string{
+		"laptop", "laptop-sleeve", "usb-c-hub", "monitor", "hdmi-cable",
+		"mechanical-keyboard", "mouse", "desk-lamp", "webcam", "microphone",
+	}
+	ids := make(map[string]kgvote.NodeID, len(products))
+	for _, p := range products {
+		ids[p] = g.AddNode(p)
+	}
+	copurchase := func(a, b string, w float64) {
+		g.MustSetEdge(ids[a], ids[b], w)
+		g.MustSetEdge(ids[b], ids[a], w)
+	}
+	copurchase("laptop", "laptop-sleeve", 0.5)
+	copurchase("laptop", "usb-c-hub", 0.3)
+	copurchase("laptop", "monitor", 0.2)
+	copurchase("monitor", "hdmi-cable", 0.6)
+	copurchase("monitor", "desk-lamp", 0.1)
+	copurchase("mechanical-keyboard", "mouse", 0.5)
+	copurchase("usb-c-hub", "hdmi-cable", 0.3)
+	copurchase("webcam", "microphone", 0.6)
+	copurchase("laptop", "webcam", 0.15)
+
+	// Recommendation slots are answer nodes: one per promotable product.
+	kg := kgvote.Augment(g)
+	slots := make(map[string]kgvote.NodeID)
+	var answers []kgvote.NodeID
+	for _, p := range []string{"laptop-sleeve", "usb-c-hub", "monitor", "hdmi-cable", "webcam", "microphone"} {
+		slot, err := kg.AttachAnswerUniform("buy:"+p, []kgvote.NodeID{ids[p]})
+		check(err)
+		slots[p] = slot
+		answers = append(answers, slot)
+	}
+
+	// A customer lands on the laptop page: that page is the query.
+	q, err := kg.AttachQuery("viewing:laptop", []kgvote.NodeID{ids["laptop"]}, []float64{1})
+	check(err)
+
+	opts := kgvote.DefaultOptions()
+	opts.K = 6
+	eng, err := kgvote.NewEngine(g, opts)
+	check(err)
+
+	show := func(label string) []kgvote.NodeID {
+		ranked, err := eng.Rank(q, answers)
+		check(err)
+		fmt.Println(label)
+		list := make([]kgvote.NodeID, len(ranked))
+		for i, r := range ranked {
+			list[i] = r.Node
+			fmt.Printf("  %d. %-20s %.6f\n", i+1, g.Name(r.Node), r.Score)
+		}
+		return list
+	}
+	list := show("recommendations on the laptop page:")
+
+	// Simulate a week of purchases: customers on the laptop page mostly buy
+	// the USB-C hub (ranked below the sleeve), occasionally the top slot.
+	var votes []kgvote.Vote
+	for i := 0; i < 12; i++ {
+		bought := slots["usb-c-hub"]
+		if rng.Float64() < 0.25 {
+			bought = list[0] // implicit positive vote
+		}
+		v, err := kgvote.NewVote(q, list, bought)
+		check(err)
+		votes = append(votes, v)
+	}
+	neg := 0
+	for _, v := range votes {
+		if v.Kind == kgvote.Negative {
+			neg++
+		}
+	}
+	fmt.Printf("\nobserved %d purchases: %d implicit negative votes, %d positive\n\n", len(votes), neg, len(votes)-neg)
+
+	rep, err := eng.SolveMulti(votes)
+	check(err)
+	fmt.Printf("multi-vote optimization: %d/%d constraints satisfied, %d edges changed\n\n",
+		rep.Satisfied, rep.Constraints, rep.ChangedEdges)
+
+	show("recommendations after learning from purchases:")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: build the paper's Fig. 1 knowledge graph, ask a question,
+// cast one vote, and watch the ranking flip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kgvote"
+)
+
+func main() {
+	// Fig. 1(a): the customer-support knowledge graph.
+	g := kgvote.NewGraph()
+	stuck := g.AddNode("Stuck")
+	outlook := g.AddNode("Outlook")
+	email := g.AddNode("Email")
+	outbox := g.AddNode("Outbox")
+	send := g.AddNode("SendMessage")
+	g.MustSetEdge(stuck, outbox, 0.8)
+	g.MustSetEdge(outbox, email, 0.3)
+	g.MustSetEdge(outbox, send, 0.5)
+	g.MustSetEdge(email, outbox, 0.4)
+	g.MustSetEdge(email, send, 0.6)
+	g.MustSetEdge(send, outlook, 0.3)
+
+	// Attach the answer documents and the user's question.
+	kg := kgvote.Augment(g)
+	a1, err := kg.AttachAnswerUniform("a1: clear your outbox", []kgvote.NodeID{outbox})
+	check(err)
+	a2, err := kg.AttachAnswerUniform("a2: resend the email", []kgvote.NodeID{send})
+	check(err)
+	a3, err := kg.AttachAnswerUniform("a3: reconfigure Outlook", []kgvote.NodeID{outlook})
+	check(err)
+	q, err := kg.AttachQuery("my email is stuck", []kgvote.NodeID{stuck, outlook, email}, []float64{1, 1, 1})
+	check(err)
+
+	eng, err := kgvote.NewEngine(g, kgvote.DefaultOptions())
+	check(err)
+	answers := []kgvote.NodeID{a1, a2, a3}
+
+	ranked, err := eng.Rank(q, answers)
+	check(err)
+	fmt.Println("before the vote:")
+	for i, r := range ranked {
+		fmt.Printf("  %d. %-26s score %.6f\n", i+1, g.Name(r.Node), r.Score)
+	}
+
+	// The user finds a2 most helpful even though it is not ranked first.
+	v, err := eng.CollectVote(q, answers, a2)
+	check(err)
+	fmt.Printf("\nuser votes %q as best (a %v vote)\n\n", g.Name(a2), v.Kind)
+	rep, err := eng.SolveMulti([]kgvote.Vote{v})
+	check(err)
+	fmt.Printf("optimized: %d constraints, %d satisfied, %d edge weights changed\n\n",
+		rep.Constraints, rep.Satisfied, rep.ChangedEdges)
+
+	ranked, err = eng.Rank(q, answers)
+	check(err)
+	fmt.Println("after the vote:")
+	for i, r := range ranked {
+		fmt.Printf("  %d. %-26s score %.6f\n", i+1, g.Name(r.Node), r.Score)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Web search with click-through feedback (Example 2 of the paper): a
+// search engine ranks pages by similarity over a concept knowledge graph;
+// users' clicks on results are implicit votes. Clicks on lower-ranked
+// results re-weight the graph so future searches rank those pages higher.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kgvote"
+)
+
+type page struct {
+	title    string
+	concepts []string
+}
+
+func main() {
+	// Concept graph distilled from a crawl: nodes are concepts, edges are
+	// co-reference strengths between concepts.
+	g := kgvote.NewGraph()
+	concepts := []string{
+		"golang", "concurrency", "goroutine", "channel", "mutex",
+		"scheduler", "garbage-collection", "performance", "profiling",
+	}
+	ids := make(map[string]kgvote.NodeID)
+	for _, c := range concepts {
+		ids[c] = g.AddNode(c)
+	}
+	link := func(a, b string, w float64) { g.MustSetEdge(ids[a], ids[b], w) }
+	link("golang", "concurrency", 0.4)
+	link("golang", "garbage-collection", 0.2)
+	link("golang", "performance", 0.2)
+	link("concurrency", "goroutine", 0.5)
+	link("concurrency", "channel", 0.3)
+	link("concurrency", "mutex", 0.2)
+	link("goroutine", "scheduler", 0.4)
+	link("goroutine", "channel", 0.3)
+	link("performance", "profiling", 0.6)
+	link("garbage-collection", "performance", 0.3)
+	link("scheduler", "performance", 0.2)
+	link("channel", "goroutine", 0.3)
+	link("mutex", "performance", 0.2)
+
+	pages := []page{
+		{"Go Concurrency Patterns", []string{"concurrency", "goroutine", "channel"}},
+		{"Understanding the Go Scheduler", []string{"scheduler", "goroutine"}},
+		{"Profiling Go Programs", []string{"profiling", "performance"}},
+		{"Mutexes vs Channels", []string{"mutex", "channel", "concurrency"}},
+		{"GC Tuning Guide", []string{"garbage-collection", "performance"}},
+	}
+
+	kg := kgvote.Augment(g)
+	var results []kgvote.NodeID
+	for _, p := range pages {
+		ents := make([]kgvote.NodeID, len(p.concepts))
+		counts := make([]float64, len(p.concepts))
+		for i, c := range p.concepts {
+			ents[i] = ids[c]
+			counts[i] = 1
+		}
+		r, err := kg.AttachAnswer(p.title, ents, counts)
+		check(err)
+		results = append(results, r)
+	}
+
+	// The search query "golang concurrency" becomes a query node.
+	q, err := kg.AttachQuery("golang concurrency",
+		[]kgvote.NodeID{ids["golang"], ids["concurrency"]}, []float64{1, 1})
+	check(err)
+
+	opts := kgvote.DefaultOptions()
+	opts.K = 5
+	eng, err := kgvote.NewEngine(g, opts)
+	check(err)
+
+	serp := func(label string) []kgvote.NodeID {
+		ranked, err := eng.Rank(q, results)
+		check(err)
+		fmt.Println(label)
+		list := make([]kgvote.NodeID, len(ranked))
+		for i, r := range ranked {
+			list[i] = r.Node
+			fmt.Printf("  %d. %-32s %.6f\n", i+1, g.Name(r.Node), r.Score)
+		}
+		fmt.Println()
+		return list
+	}
+	list := serp("search results for \"golang concurrency\":")
+
+	// Click log: most users skip the top result and click "Understanding
+	// the Go Scheduler" — an implicit negative vote each time.
+	clicked := results[1]
+	var votes []kgvote.Vote
+	for i := 0; i < 8; i++ {
+		v, err := kgvote.NewVote(q, list, clicked)
+		check(err)
+		votes = append(votes, v)
+	}
+	fmt.Printf("click log: %d clicks on %q (rank %d)\n\n", len(votes), g.Name(clicked), votes[0].BestRank())
+
+	rep, err := eng.SolveSplitMerge(votes)
+	check(err)
+	fmt.Printf("split-and-merge optimization: %d clusters, %d/%d constraints satisfied, %d edges changed\n\n",
+		rep.Clusters, rep.Satisfied, rep.Constraints, rep.ChangedEdges)
+
+	serp("search results after learning from clicks:")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

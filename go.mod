@@ -1,0 +1,3 @@
+module kgvote
+
+go 1.22

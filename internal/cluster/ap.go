@@ -1,0 +1,256 @@
+// Package cluster implements affinity-propagation clustering (Frey &
+// Dueck, Science 2007), the algorithm the paper's split-and-merge strategy
+// uses to partition the vote set by pairwise similarity. AP picks the
+// number of clusters automatically from the preference values.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Options tunes AffinityPropagation.
+type Options struct {
+	// Damping in [0.5, 1); default 0.7.
+	Damping float64
+	// MaxIter bounds message-passing rounds; default 300.
+	MaxIter int
+	// ConvergeIter is how many consecutive rounds the exemplar set must be
+	// stable to declare convergence; default 20.
+	ConvergeIter int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = 0.7
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 300
+	}
+	if o.ConvergeIter == 0 {
+		o.ConvergeIter = 20
+	}
+	return o
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Exemplars are the data-point indices chosen as cluster centers,
+	// ascending.
+	Exemplars []int
+	// Assignment maps every data point to the index of its exemplar in
+	// Exemplars (not the data-point index).
+	Assignment []int
+	// Iters is the number of message-passing rounds executed.
+	Iters int
+	// Converged reports whether the exemplar set stabilized before
+	// MaxIter.
+	Converged bool
+}
+
+// Clusters groups the data-point indices by cluster, in exemplar order.
+func (r Result) Clusters() [][]int {
+	out := make([][]int, len(r.Exemplars))
+	for i, c := range r.Assignment {
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
+// MedianPreference returns the median of the off-diagonal similarities,
+// the preference value the paper selects ("we select the median of the
+// similarities between votes as the classification criterion").
+func MedianPreference(sim [][]float64) float64 {
+	var vals []float64
+	for i := range sim {
+		for j := range sim[i] {
+			if i != j {
+				vals = append(vals, sim[i][j])
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// AffinityPropagation clusters n data points given their pairwise
+// similarity matrix. preference is written onto the diagonal: higher
+// values yield more clusters; use MedianPreference for the paper's
+// setting. The similarity matrix must be square; it is not modified.
+func AffinityPropagation(sim [][]float64, preference float64, opt Options) (Result, error) {
+	n := len(sim)
+	if n == 0 {
+		return Result{}, fmt.Errorf("cluster: empty similarity matrix")
+	}
+	for i := range sim {
+		if len(sim[i]) != n {
+			return Result{}, fmt.Errorf("cluster: row %d has %d entries, want %d", i, len(sim[i]), n)
+		}
+		for j, v := range sim[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Result{}, fmt.Errorf("cluster: sim[%d][%d] = %v", i, j, v)
+			}
+		}
+	}
+	opt = opt.withDefaults()
+	if opt.Damping < 0.5 || opt.Damping >= 1 {
+		return Result{}, fmt.Errorf("cluster: damping %v outside [0.5, 1)", opt.Damping)
+	}
+	if n == 1 {
+		return Result{Exemplars: []int{0}, Assignment: []int{0}, Converged: true}, nil
+	}
+
+	// Working copy of s with the preference on the diagonal, plus a tiny
+	// deterministic tie-breaking jitter as in the reference implementation
+	// (here: index-based, not random, to stay reproducible).
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = append([]float64(nil), sim[i]...)
+		s[i][i] = preference
+		for j := range s[i] {
+			s[i][j] += 1e-12 * float64(i*n+j%7)
+		}
+	}
+
+	r := make([][]float64, n)
+	a := make([][]float64, n)
+	for i := range r {
+		r[i] = make([]float64, n)
+		a[i] = make([]float64, n)
+	}
+
+	lam := opt.Damping
+	prevExemplars := ""
+	stable := 0
+	res := Result{}
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		res.Iters = iter
+		// Responsibilities.
+		for i := 0; i < n; i++ {
+			// Find the top two values of a(i,k)+s(i,k) over k.
+			max1, max2 := math.Inf(-1), math.Inf(-1)
+			arg1 := -1
+			for k := 0; k < n; k++ {
+				v := a[i][k] + s[i][k]
+				if v > max1 {
+					max2 = max1
+					max1 = v
+					arg1 = k
+				} else if v > max2 {
+					max2 = v
+				}
+			}
+			for k := 0; k < n; k++ {
+				m := max1
+				if k == arg1 {
+					m = max2
+				}
+				r[i][k] = lam*r[i][k] + (1-lam)*(s[i][k]-m)
+			}
+		}
+		// Availabilities.
+		for k := 0; k < n; k++ {
+			var sum float64
+			for i := 0; i < n; i++ {
+				if i != k && r[i][k] > 0 {
+					sum += r[i][k]
+				}
+			}
+			for i := 0; i < n; i++ {
+				var v float64
+				if i == k {
+					v = sum
+				} else {
+					v = r[k][k] + sum
+					if r[i][k] > 0 {
+						v -= r[i][k]
+					}
+					if v > 0 {
+						v = 0
+					}
+				}
+				a[i][k] = lam*a[i][k] + (1-lam)*v
+			}
+		}
+		// Current exemplar set.
+		sig := exemplarSignature(r, a)
+		if sig == prevExemplars && sig != "" {
+			stable++
+			if stable >= opt.ConvergeIter {
+				res.Converged = true
+				break
+			}
+		} else {
+			stable = 0
+			prevExemplars = sig
+		}
+	}
+
+	exemplars := currentExemplars(r, a)
+	if len(exemplars) == 0 {
+		// Degenerate fallback: pick the point with the largest total
+		// similarity as the single exemplar.
+		best, bestSum := 0, math.Inf(-1)
+		for k := 0; k < n; k++ {
+			var sum float64
+			for i := 0; i < n; i++ {
+				sum += s[i][k]
+			}
+			if sum > bestSum {
+				best, bestSum = k, sum
+			}
+		}
+		exemplars = []int{best}
+	}
+
+	// Assign every point to its most similar exemplar.
+	exIndex := make(map[int]int, len(exemplars))
+	for idx, e := range exemplars {
+		exIndex[e] = idx
+	}
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		if idx, ok := exIndex[i]; ok {
+			assign[i] = idx
+			continue
+		}
+		best, bestSim := 0, math.Inf(-1)
+		for idx, e := range exemplars {
+			if s[i][e] > bestSim {
+				best, bestSim = idx, s[i][e]
+			}
+		}
+		assign[i] = best
+	}
+	res.Exemplars = exemplars
+	res.Assignment = assign
+	return res, nil
+}
+
+func currentExemplars(r, a [][]float64) []int {
+	var out []int
+	for k := range r {
+		if r[k][k]+a[k][k] > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func exemplarSignature(r, a [][]float64) string {
+	ex := currentExemplars(r, a)
+	b := make([]byte, 0, len(ex)*3)
+	for _, e := range ex {
+		b = append(b, byte(e), byte(e>>8), ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blockSim builds a similarity matrix with two obvious blocks: points
+// [0,half) are mutually similar (0.9), points [half,n) likewise, and
+// cross-block similarity is low (0.05).
+func blockSim(n, half int) [][]float64 {
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			if i == j {
+				continue
+			}
+			same := (i < half) == (j < half)
+			if same {
+				s[i][j] = 0.9
+			} else {
+				s[i][j] = 0.05
+			}
+		}
+	}
+	return s
+}
+
+func TestTwoBlocks(t *testing.T) {
+	sim := blockSim(10, 5)
+	res, err := AffinityPropagation(sim, MedianPreference(sim), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exemplars) != 2 {
+		t.Fatalf("exemplars = %v, want 2 clusters", res.Exemplars)
+	}
+	// Every point must share a cluster with its block.
+	for i := 1; i < 5; i++ {
+		if res.Assignment[i] != res.Assignment[0] {
+			t.Errorf("point %d not in block 0's cluster", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if res.Assignment[i] != res.Assignment[5] {
+			t.Errorf("point %d not in block 1's cluster", i)
+		}
+	}
+	if res.Assignment[0] == res.Assignment[5] {
+		t.Errorf("blocks merged into one cluster")
+	}
+	if !res.Converged {
+		t.Errorf("should converge on a trivial instance")
+	}
+}
+
+func TestClustersGrouping(t *testing.T) {
+	sim := blockSim(6, 3)
+	res, err := AffinityPropagation(sim, MedianPreference(sim), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := res.Clusters()
+	if len(groups) != len(res.Exemplars) {
+		t.Fatalf("groups = %d, exemplars = %d", len(groups), len(res.Exemplars))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 6 {
+		t.Errorf("grouped %d points, want 6", total)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	res, err := AffinityPropagation([][]float64{{0}}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exemplars) != 1 || res.Assignment[0] != 0 {
+		t.Errorf("single point should be its own exemplar: %+v", res)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := AffinityPropagation(nil, 0, Options{}); err == nil {
+		t.Errorf("empty matrix should fail")
+	}
+	if _, err := AffinityPropagation([][]float64{{0, 1}}, 0, Options{}); err == nil {
+		t.Errorf("non-square matrix should fail")
+	}
+	if _, err := AffinityPropagation([][]float64{{0, math.NaN()}, {0, 0}}, 0, Options{}); err == nil {
+		t.Errorf("NaN similarity should fail")
+	}
+	sim := blockSim(4, 2)
+	if _, err := AffinityPropagation(sim, 0, Options{Damping: 0.2}); err == nil {
+		t.Errorf("low damping should fail")
+	}
+	if _, err := AffinityPropagation(sim, 0, Options{Damping: 1}); err == nil {
+		t.Errorf("damping = 1 should fail")
+	}
+}
+
+func TestMedianPreference(t *testing.T) {
+	sim := [][]float64{
+		{0, 1, 2},
+		{3, 0, 4},
+		{5, 6, 0},
+	}
+	// Off-diagonal values: 1 2 3 4 5 6 → median 3.5.
+	if got := MedianPreference(sim); got != 3.5 {
+		t.Errorf("MedianPreference = %v, want 3.5", got)
+	}
+	odd := [][]float64{
+		{0, 1},
+		{2, 0},
+	}
+	if got := MedianPreference(odd); got != 1.5 {
+		t.Errorf("MedianPreference = %v, want 1.5", got)
+	}
+	if got := MedianPreference([][]float64{{0}}); got != 0 {
+		t.Errorf("degenerate median = %v, want 0", got)
+	}
+}
+
+func TestLowPreferenceFewClusters(t *testing.T) {
+	// A very negative preference forces few (here: one) exemplars even on
+	// a blocky instance.
+	sim := blockSim(8, 4)
+	res, err := AffinityPropagation(sim, -100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exemplars) != 1 {
+		t.Errorf("exemplars = %v, want a single cluster at very low preference", res.Exemplars)
+	}
+}
+
+func TestHighPreferenceManyClusters(t *testing.T) {
+	sim := blockSim(8, 4)
+	res, err := AffinityPropagation(sim, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exemplars) != 8 {
+		t.Errorf("exemplars = %v, want every point its own cluster at high preference", res.Exemplars)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 12
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			sim[i][j], sim[j][i] = v, v
+		}
+	}
+	pref := MedianPreference(sim)
+	a, err := AffinityPropagation(sim, pref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AffinityPropagation(sim, pref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Exemplars) != len(b.Exemplars) {
+		t.Fatalf("nondeterministic exemplar count")
+	}
+	for i := range a.Exemplars {
+		if a.Exemplars[i] != b.Exemplars[i] {
+			t.Errorf("nondeterministic exemplars: %v vs %v", a.Exemplars, b.Exemplars)
+		}
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Errorf("nondeterministic assignment at %d", i)
+		}
+	}
+}
+
+func TestAssignmentsPointToExemplars(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 15
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		for j := range sim[i] {
+			if i != j {
+				sim[i][j] = rng.Float64()
+			}
+		}
+	}
+	res, err := AffinityPropagation(sim, MedianPreference(sim), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exemplars) == 0 {
+		t.Fatalf("no exemplars")
+	}
+	for i, c := range res.Assignment {
+		if c < 0 || c >= len(res.Exemplars) {
+			t.Errorf("point %d assigned to invalid cluster %d", i, c)
+		}
+	}
+	// Each exemplar is assigned to itself.
+	for idx, e := range res.Exemplars {
+		if res.Assignment[e] != idx {
+			t.Errorf("exemplar %d not assigned to its own cluster", e)
+		}
+	}
+}
+
+func BenchmarkAffinityPropagation(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	n := 100
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			sim[i][j], sim[j][i] = v, v
+		}
+	}
+	pref := MedianPreference(sim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AffinityPropagation(sim, pref, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMedoids(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	n := 100
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			sim[i][j], sim[j][i] = v, v
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMedoids(sim, 10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// KMedoids clusters n points given their pairwise similarities into k
+// clusters with a deterministic PAM-style alternation (assign to the most
+// similar medoid, then recenter each cluster on its similarity-maximizing
+// member). It is the fixed-k alternative to affinity propagation for the
+// split strategy: AP chooses k automatically, k-medoids lets the operator
+// pin it.
+func KMedoids(sim [][]float64, k int, maxIter int) (Result, error) {
+	n := len(sim)
+	if n == 0 {
+		return Result{}, fmt.Errorf("cluster: empty similarity matrix")
+	}
+	for i := range sim {
+		if len(sim[i]) != n {
+			return Result{}, fmt.Errorf("cluster: row %d has %d entries, want %d", i, len(sim[i]), n)
+		}
+		for j, v := range sim[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Result{}, fmt.Errorf("cluster: sim[%d][%d] = %v", i, j, v)
+			}
+		}
+	}
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("cluster: k = %d outside [1, %d]", k, n)
+	}
+	if maxIter == 0 {
+		maxIter = 100
+	}
+
+	// Deterministic seeding: the first medoid is the point with the
+	// greatest total similarity; each next medoid is the point least
+	// similar to the chosen set (max-min spread, ties to lowest index).
+	medoids := make([]int, 0, k)
+	best, bestSum := 0, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += sim[i][j]
+			}
+		}
+		if sum > bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	medoids = append(medoids, best)
+	for len(medoids) < k {
+		cand, candScore := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if contains(medoids, i) {
+				continue
+			}
+			closest := math.Inf(-1)
+			for _, m := range medoids {
+				if sim[i][m] > closest {
+					closest = sim[i][m]
+				}
+			}
+			if closest < candScore {
+				cand, candScore = i, closest
+			}
+		}
+		medoids = append(medoids, cand)
+	}
+
+	assign := make([]int, n)
+	res := Result{}
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iters = iter
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			bestC, bestSim := 0, math.Inf(-1)
+			for c, m := range medoids {
+				s := sim[i][m]
+				if i == m {
+					s = math.Inf(1) // a medoid stays its own
+				}
+				if s > bestSim {
+					bestC, bestSim = c, s
+				}
+			}
+			assign[i] = bestC
+		}
+		// Update step: recenter each cluster on the member maximizing
+		// total intra-cluster similarity.
+		changed := false
+		for c := range medoids {
+			var members []int
+			for i, a := range assign {
+				if a == c {
+					members = append(members, i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			bestM, bestScore := medoids[c], math.Inf(-1)
+			for _, cand := range members {
+				var score float64
+				for _, other := range members {
+					if other != cand {
+						score += sim[cand][other]
+					}
+				}
+				if score > bestScore {
+					bestM, bestScore = cand, score
+				}
+			}
+			if bestM != medoids[c] {
+				medoids[c] = bestM
+				changed = true
+			}
+		}
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	// Canonical output: exemplars ascending, assignments re-indexed.
+	order := make([]int, len(medoids))
+	for i := range order {
+		order[i] = i
+	}
+	sortByMedoid(order, medoids)
+	remap := make([]int, len(medoids))
+	sorted := make([]int, len(medoids))
+	for newIdx, oldIdx := range order {
+		remap[oldIdx] = newIdx
+		sorted[newIdx] = medoids[oldIdx]
+	}
+	for i := range assign {
+		assign[i] = remap[assign[i]]
+	}
+	res.Exemplars = sorted
+	res.Assignment = assign
+	return res, nil
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortByMedoid(order, medoids []int) {
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && medoids[order[j]] < medoids[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}

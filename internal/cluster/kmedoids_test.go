@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKMedoidsTwoBlocks(t *testing.T) {
+	sim := blockSim(10, 5)
+	res, err := KMedoids(sim, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exemplars) != 2 {
+		t.Fatalf("exemplars = %v", res.Exemplars)
+	}
+	if !res.Converged {
+		t.Errorf("should converge on a trivial instance")
+	}
+	for i := 1; i < 5; i++ {
+		if res.Assignment[i] != res.Assignment[0] {
+			t.Errorf("point %d split from block 0", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if res.Assignment[i] != res.Assignment[5] {
+			t.Errorf("point %d split from block 1", i)
+		}
+	}
+	if res.Assignment[0] == res.Assignment[5] {
+		t.Errorf("blocks merged")
+	}
+}
+
+func TestKMedoidsKEqualsN(t *testing.T) {
+	sim := blockSim(4, 2)
+	res, err := KMedoids(sim, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exemplars) != 4 {
+		t.Fatalf("exemplars = %v", res.Exemplars)
+	}
+	for i, e := range res.Exemplars {
+		if res.Assignment[e] != i {
+			t.Errorf("exemplar %d not self-assigned", e)
+		}
+	}
+}
+
+func TestKMedoidsSingleCluster(t *testing.T) {
+	sim := blockSim(6, 3)
+	res, err := KMedoids(sim, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Assignment {
+		if a != 0 {
+			t.Errorf("point %d not in the single cluster", i)
+		}
+	}
+}
+
+func TestKMedoidsErrors(t *testing.T) {
+	if _, err := KMedoids(nil, 1, 0); err == nil {
+		t.Errorf("empty matrix should fail")
+	}
+	if _, err := KMedoids([][]float64{{0, 1}}, 1, 0); err == nil {
+		t.Errorf("non-square should fail")
+	}
+	if _, err := KMedoids([][]float64{{math.NaN()}}, 1, 0); err == nil {
+		t.Errorf("NaN should fail")
+	}
+	sim := blockSim(4, 2)
+	if _, err := KMedoids(sim, 0, 0); err == nil {
+		t.Errorf("k = 0 should fail")
+	}
+	if _, err := KMedoids(sim, 9, 0); err == nil {
+		t.Errorf("k > n should fail")
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 14
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			sim[i][j], sim[j][i] = v, v
+		}
+	}
+	a, err := KMedoids(sim, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMedoids(sim, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Exemplars {
+		if a.Exemplars[i] != b.Exemplars[i] {
+			t.Fatalf("nondeterministic exemplars")
+		}
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("nondeterministic assignment")
+		}
+	}
+	// Exemplars ascending.
+	for i := 1; i < len(a.Exemplars); i++ {
+		if a.Exemplars[i] <= a.Exemplars[i-1] {
+			t.Errorf("exemplars not ascending: %v", a.Exemplars)
+		}
+	}
+}

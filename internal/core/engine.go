@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+	"kgvote/internal/vote"
+)
+
+// Engine optimizes a knowledge graph from user votes. It owns the graph it
+// was created with and mutates it in place as votes are applied; use
+// graph.Clone before constructing the engine to preserve the original.
+//
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	g      *graph.Graph
+	opt    Options
+	scorer *pathidx.Scorer
+}
+
+// New returns an engine over g. Zero-valued option fields take the
+// paper's defaults.
+func New(g *graph.Graph, opt Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	sc, err := pathidx.NewScorer(g, opt.pathOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: g, opt: opt, scorer: sc}, nil
+}
+
+// Graph returns the engine's (mutable) graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Options returns the engine's effective options.
+func (e *Engine) Options() Options { return e.opt }
+
+// Similarity evaluates S(vq, va) with the truncated extended inverse
+// P-distance.
+func (e *Engine) Similarity(q, a graph.NodeID) (float64, error) {
+	return e.scorer.Similarity(q, a)
+}
+
+// Rank returns the top-K ranked answer list for a query.
+func (e *Engine) Rank(q graph.NodeID, answers []graph.NodeID) ([]pathidx.Ranked, error) {
+	return e.scorer.Rank(q, answers, e.opt.K)
+}
+
+// RankAll ranks every answer (not just the top K); used by evaluation.
+func (e *Engine) RankAll(q graph.NodeID, answers []graph.NodeID) ([]pathidx.Ranked, error) {
+	return e.scorer.Rank(q, answers, 0)
+}
+
+// RankOf returns the 1-based position of answer among answers for query,
+// under the current graph.
+func (e *Engine) RankOf(q, answer graph.NodeID, answers []graph.NodeID) (int, error) {
+	ranked, err := e.RankAll(q, answers)
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range ranked {
+		if r.Node == answer {
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("core: answer %d not among candidates", answer)
+}
+
+// CollectVote runs a query, ranks the answers, and forms the vote implied
+// by the user's best choice. It is a convenience wrapper used by examples
+// and the CLI.
+func (e *Engine) CollectVote(q graph.NodeID, answers []graph.NodeID, best graph.NodeID) (vote.Vote, error) {
+	ranked, err := e.Rank(q, answers)
+	if err != nil {
+		return vote.Vote{}, err
+	}
+	list := make([]graph.NodeID, len(ranked))
+	for i, r := range ranked {
+		list[i] = r.Node
+	}
+	return vote.FromRanking(q, list, best)
+}
+
+// applyWeights writes solved variable values back into the graph and
+// normalizes the touched source nodes per the configured mode.
+func (e *Engine) applyWeights(changes map[graph.EdgeKey]float64) error {
+	if len(changes) == 0 {
+		return nil
+	}
+	preSums := make(map[graph.NodeID]float64)
+	for k := range changes {
+		if _, ok := preSums[k.From]; !ok {
+			preSums[k.From] = e.g.OutWeightSum(k.From)
+		}
+	}
+	for k, w := range changes {
+		if err := e.g.SetWeight(k.From, k.To, w); err != nil {
+			return fmt.Errorf("core: apply weights: %w", err)
+		}
+	}
+	switch e.opt.Normalize {
+	case NoNormalize:
+	case UnitSum:
+		for n := range preSums {
+			e.g.NormalizeOut(n)
+		}
+	case CapSum:
+		for n, pre := range preSums {
+			// The solve must not grow a node's out-mass beyond what the
+			// graph already granted it: cap at max(1, pre-solve sum).
+			// Graphs built with super-stochastic nodes (e.g. weight-1
+			// answer attachment) keep their shape; reductions always stand.
+			target := pre
+			if target < 1 {
+				target = 1
+			}
+			cur := e.g.OutWeightSum(n)
+			if cur <= target {
+				continue
+			}
+			scale := target / cur
+			for _, edge := range e.g.Out(n) {
+				if err := e.g.SetWeight(n, edge.To, edge.Weight*scale); err != nil {
+					return fmt.Errorf("core: normalize: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}

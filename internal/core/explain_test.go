@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainDecomposesSimilarity(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	x := answers[0]
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := e.Explain(q, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.TotalPaths != 1 || len(ex.Paths) != 1 {
+		t.Fatalf("paths = %d/%d, want 1", len(ex.Paths), ex.TotalPaths)
+	}
+	// The explanation's total must equal the engine's similarity.
+	s, err := e.Similarity(q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ex.Similarity-s) > 1e-12 {
+		t.Errorf("explanation total %v vs similarity %v", ex.Similarity, s)
+	}
+	if math.Abs(ex.Paths[0].Fraction-1) > 1e-12 {
+		t.Errorf("single walk should carry 100%%: %v", ex.Paths[0].Fraction)
+	}
+}
+
+func TestExplainOrderingAndTruncation(t *testing.T) {
+	// Two walks with different weights reach the answer.
+	g, q, _ := twoAnswer(t)
+	a := g.Lookup("a")
+	b := g.Lookup("b")
+	z := g.AddNode("z")
+	g.MustSetEdge(a, z, 0.9)
+	g.MustSetEdge(b, z, 0.1)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := e.Explain(q, z, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.TotalPaths != 2 {
+		t.Fatalf("paths = %d, want 2", ex.TotalPaths)
+	}
+	if ex.Paths[0].Score < ex.Paths[1].Score {
+		t.Errorf("paths not sorted by contribution")
+	}
+	var fracSum float64
+	for _, pc := range ex.Paths {
+		fracSum += pc.Fraction
+	}
+	if math.Abs(fracSum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", fracSum)
+	}
+	// Truncation keeps the top walk only.
+	top1, err := e.Explain(q, z, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top1.Paths) != 1 || top1.TotalPaths != 2 {
+		t.Errorf("truncation wrong: %d/%d", len(top1.Paths), top1.TotalPaths)
+	}
+	// Formatting includes node names and percentages.
+	out := top1.Format(g)
+	for _, want := range []string{"q", "z", "->", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainUnreachable(t *testing.T) {
+	g, q, _ := twoAnswer(t)
+	orphan := g.AddNode("orphan")
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := e.Explain(q, orphan, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Similarity != 0 || ex.TotalPaths != 0 {
+		t.Errorf("unreachable answer should explain to zero: %+v", ex)
+	}
+	// Anonymous nodes format as #id.
+	if !strings.Contains(ex.Format(g), "orphan") {
+		t.Errorf("named node should appear in format")
+	}
+}

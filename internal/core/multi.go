@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"kgvote/internal/sgp"
+	"kgvote/internal/vote"
+)
+
+// SolveMulti is the multi-vote solution of Section V: the judgment
+// algorithm first discards votes that can never be satisfied; the
+// remaining negative AND positive votes are encoded into one SGP with a
+// deviation variable per constraint and the sigmoid objective of Equation
+// (19); one solve adjusts all edge weights at once, letting the solver
+// arbitrate conflicts between votes.
+func (e *Engine) SolveMulti(votes []vote.Vote) (*Report, error) {
+	report := &Report{Votes: len(votes), Clusters: 1}
+	kept, discarded, err := e.filterVotes(votes)
+	if err != nil {
+		return nil, err
+	}
+	report.Discarded = len(discarded)
+	if len(kept) == 0 {
+		return report, nil
+	}
+	p := e.newProgram()
+	for i, v := range kept {
+		n, err := e.encodeVote(p, v, true)
+		if err != nil {
+			return nil, fmt.Errorf("core: multi-vote %d: %w", i, err)
+		}
+		report.Constraints += n
+		report.Encoded++
+	}
+	e.addCapacityConstraints(p)
+	sol, err := p.Solve(sgp.SolveOptions{Mode: e.opt.Mode, AL: e.opt.AL})
+	if err != nil {
+		return nil, err
+	}
+	report.Variables = p.NumVars()
+	// Vote constraints are the soft ones; hard constraints are node
+	// capacity bounds.
+	for _, ok := range sol.SoftSatisfied {
+		if ok {
+			report.Satisfied++
+		}
+	}
+	report.Outer = sol.Outer
+	report.InnerIters = sol.InnerIters
+	report.ChangedEdges = countChanged(p, sol.X)
+	return report, e.applyWeights(extractChanges(p, sol.X))
+}

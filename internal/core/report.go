@@ -1,0 +1,40 @@
+package core
+
+// Report summarizes one optimization run.
+type Report struct {
+	// Votes is the number of votes supplied.
+	Votes int
+	// Encoded is the number of votes that produced constraints.
+	Encoded int
+	// Discarded counts votes dropped by the judgment algorithm (multi-vote
+	// and split-and-merge) or skipped because the best answer is
+	// unreachable / already top-ranked (single-vote).
+	Discarded int
+	// Clusters is the number of affinity-propagation clusters (split-and-
+	// merge only; 1 otherwise).
+	Clusters int
+	// Variables is the total number of SGP variables across all programs.
+	Variables int
+	// Constraints is the total number of SGP constraints.
+	Constraints int
+	// Satisfied is the number of original vote constraints holding at the
+	// solution(s).
+	Satisfied int
+	// ChangedEdges is the number of distinct edges whose weight moved.
+	ChangedEdges int
+	// Outer and InnerIters aggregate solver statistics.
+	Outer, InnerIters int
+}
+
+// merge folds another report's counters into r (used when a run solves
+// several programs: single-vote greedy loop, split-and-merge clusters).
+func (r *Report) merge(o Report) {
+	r.Encoded += o.Encoded
+	r.Discarded += o.Discarded
+	r.Variables += o.Variables
+	r.Constraints += o.Constraints
+	r.Satisfied += o.Satisfied
+	r.ChangedEdges += o.ChangedEdges
+	r.Outer += o.Outer
+	r.InnerIters += o.InnerIters
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kgvote/internal/sgp"
+	"kgvote/internal/vote"
+)
+
+// SolveSingle is the basic single-vote solution (Algorithm 1): it
+// processes the negative votes sequentially in a greedy manner, encoding
+// each as its own SGP with hard constraints, solving it, updating the
+// graph, and normalizing, before moving to the next vote. Positive votes
+// are ignored (Section IV-B: a positive vote's best answer is already
+// first, so there is nothing to optimize).
+func (e *Engine) SolveSingle(votes []vote.Vote) (*Report, error) {
+	report := &Report{Votes: len(votes), Clusters: 1}
+	for i, v := range votes {
+		if v.Kind == vote.Positive {
+			report.Discarded++
+			continue
+		}
+		sub, err := e.solveOneVote(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: single-vote %d: %w", i, err)
+		}
+		report.merge(sub)
+	}
+	return report, nil
+}
+
+// solveOneVote encodes and solves the SGP of a single negative vote
+// against the current graph, then applies the result.
+func (e *Engine) solveOneVote(v vote.Vote) (Report, error) {
+	var rep Report
+	reachable, err := e.bestReachable(v)
+	if err != nil {
+		return rep, err
+	}
+	if !reachable {
+		rep.Discarded = 1
+		return rep, nil
+	}
+	p := e.newProgram()
+	// The single-vote objective is only the weight-change distance of
+	// Equation (12); there are no deviation variables.
+	p.Lambda1 = 1
+	p.Lambda2 = 0
+	n, err := e.encodeVote(p, v, false)
+	if err != nil {
+		return rep, err
+	}
+	e.addCapacityConstraints(p)
+	sol, err := p.Solve(sgp.SolveOptions{Mode: sgp.Full, AL: e.opt.AL})
+	if err != nil {
+		return rep, err
+	}
+	changes := extractChanges(p, sol.X)
+	rep.Encoded = 1
+	rep.Variables = p.NumVars()
+	rep.Constraints = n
+	// The first n hard constraints are the vote's; the rest are node
+	// capacity constraints.
+	for i := 0; i < n && i < len(sol.HardSatisfied); i++ {
+		if sol.HardSatisfied[i] {
+			rep.Satisfied++
+		}
+	}
+	rep.Outer = sol.Outer
+	rep.InnerIters = sol.InnerIters
+	rep.ChangedEdges = countChanged(p, sol.X)
+	return rep, e.applyWeights(changes)
+}
+
+// countChanged counts edge variables that moved away from their initial
+// value by more than a hair.
+func countChanged(p *sgp.Program, x []float64) int {
+	n := 0
+	for i, v := range p.Vars {
+		if v.Kind == sgp.EdgeVar && math.Abs(x[i]-v.Init) > 1e-9 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"kgvote/internal/graph"
+)
+
+// WeightSnapshot captures every edge weight of the engine's graph at one
+// point in time, so a deployment can roll back an optimization batch that
+// turned out to hurt its metrics.
+type WeightSnapshot struct {
+	nodes   int
+	weights map[graph.EdgeKey]float64
+}
+
+// Snapshot records the current edge weights. Nodes and edges added after
+// the snapshot are left untouched by Restore (their weights are not part
+// of the snapshot).
+func (e *Engine) Snapshot() *WeightSnapshot {
+	s := &WeightSnapshot{
+		nodes:   e.g.NumNodes(),
+		weights: make(map[graph.EdgeKey]float64, e.g.NumEdges()),
+	}
+	e.g.Edges(func(from, to graph.NodeID, w float64) {
+		s.weights[graph.EdgeKey{From: from, To: to}] = w
+	})
+	return s
+}
+
+// Restore writes the snapshot's weights back into the graph. It fails if
+// any snapshotted edge no longer exists (edges are never deleted by the
+// engine, so that indicates outside interference).
+func (e *Engine) Restore(s *WeightSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("core: nil snapshot")
+	}
+	for k, w := range s.weights {
+		if err := e.g.SetWeight(k.From, k.To, w); err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+	}
+	return nil
+}
+
+// Diff reports the edges whose current weight differs from the snapshot
+// by more than tol, mapping each to its (old, new) pair.
+func (e *Engine) Diff(s *WeightSnapshot, tol float64) map[graph.EdgeKey][2]float64 {
+	out := make(map[graph.EdgeKey][2]float64)
+	if s == nil {
+		return out
+	}
+	for k, old := range s.weights {
+		now := e.g.Weight(k.From, k.To)
+		d := now - old
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			out[k] = [2]float64{old, now}
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	y := answers[1]
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	v, err := e.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SolveMulti([]vote.Vote{v}); err != nil {
+		t.Fatal(err)
+	}
+	diff := e.Diff(snap, 1e-9)
+	if len(diff) == 0 {
+		t.Fatalf("solve changed nothing")
+	}
+	for k, pair := range diff {
+		if pair[0] == pair[1] {
+			t.Errorf("diff %v reports equal weights", k)
+		}
+	}
+	if r, _ := e.RankOf(q, y, answers); r != 1 {
+		t.Fatalf("premise broken: vote did not flip ranking")
+	}
+	// Roll back: the original ranking returns and the diff empties.
+	if err := e.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := e.RankOf(q, y, answers); r != 2 {
+		t.Errorf("restore did not revert the ranking: rank %d", r)
+	}
+	if len(e.Diff(snap, 1e-12)) != 0 {
+		t.Errorf("diff after restore should be empty")
+	}
+}
+
+func TestSnapshotSurvivesGraphGrowth(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	// Grow the graph after the snapshot: restore must not touch new edges.
+	n := g.AddNodes(1)
+	g.MustSetEdge(q, n, 0.123)
+	if err := e.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(q, n) != 0.123 {
+		t.Errorf("restore clobbered a post-snapshot edge")
+	}
+	_ = answers
+}
+
+func TestRestoreNilAndMissingEdge(t *testing.T) {
+	g, _, _ := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(nil); err == nil {
+		t.Errorf("nil snapshot should fail")
+	}
+	snap := e.Snapshot()
+	// Fabricate a snapshot edge that does not exist in the graph.
+	snap.weights[graph.EdgeKey{From: 0, To: 0}] = 0.5
+	if err := e.Restore(snap); err == nil {
+		t.Errorf("missing edge should fail")
+	}
+	if e.Diff(nil, 0) == nil {
+		t.Errorf("Diff(nil) should return an empty map, not nil")
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"kgvote/internal/cluster"
+	"kgvote/internal/graph"
+	"kgvote/internal/sgp"
+	"kgvote/internal/vote"
+)
+
+// clusterResult is the outcome of one per-cluster SGP solve.
+type clusterResult struct {
+	votes  int
+	deltas map[graph.EdgeKey]float64
+	rep    Report
+}
+
+// SolveSplitMerge is the split-and-merge strategy of Section VI: votes are
+// clustered by the Jaccard similarity of their edge sets with affinity
+// propagation (preference = median similarity); each cluster becomes an
+// independent multi-vote SGP (solved in parallel when Options.Workers >
+// 1); per-edge weight deltas are merged with the paper's vote-weighted
+// sign rule and applied once.
+func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
+	report := &Report{Votes: len(votes)}
+	kept, discarded, err := e.filterVotes(votes)
+	if err != nil {
+		return nil, err
+	}
+	report.Discarded = len(discarded)
+	if len(kept) == 0 {
+		return report, nil
+	}
+
+	clusters, err := e.clusterVotes(kept)
+	if err != nil {
+		return nil, err
+	}
+	report.Clusters = len(clusters)
+
+	results := make([]clusterResult, len(clusters))
+	if e.opt.Workers <= 1 || len(clusters) == 1 {
+		for i, cl := range clusters {
+			res, err := e.solveCluster(cl)
+			if err != nil {
+				return nil, fmt.Errorf("core: cluster %d: %w", i, err)
+			}
+			results[i] = res
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.opt.Workers)
+		errs := make([]error, len(clusters))
+		for i, cl := range clusters {
+			wg.Add(1)
+			go func(i int, cl []vote.Vote) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				res, err := e.solveCluster(cl)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i] = res
+			}(i, cl)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("core: cluster %d: %w", i, err)
+			}
+		}
+	}
+
+	for _, res := range results {
+		report.merge(res.rep)
+	}
+	changes := e.mergeDeltas(results)
+	report.ChangedEdges = len(changes)
+	return report, e.applyWeights(changes)
+}
+
+// clusterVotes computes E(t) per vote, the pairwise Jaccard similarities,
+// and runs affinity propagation; it returns the votes grouped by cluster.
+func (e *Engine) clusterVotes(votes []vote.Vote) ([][]vote.Vote, error) {
+	if len(votes) == 1 {
+		return [][]vote.Vote{votes}, nil
+	}
+	sets := make([]map[graph.EdgeKey]struct{}, len(votes))
+	for i, v := range votes {
+		set, err := vote.EdgeSet(e.g, v, e.opt.pathOptions())
+		if err != nil {
+			return nil, fmt.Errorf("core: edge set of vote %d: %w", i, err)
+		}
+		sets[i] = set
+	}
+	n := len(votes)
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := vote.Similarity(sets[i], sets[j])
+			sim[i][j], sim[j][i] = s, s
+		}
+	}
+	var res cluster.Result
+	var err error
+	switch e.opt.Cluster {
+	case KMedoidsCluster:
+		k := e.opt.ClusterK
+		if k == 0 {
+			k = int(math.Ceil(math.Sqrt(float64(n))))
+		}
+		if k > n {
+			k = n
+		}
+		res, err = cluster.KMedoids(sim, k, 0)
+	default:
+		res, err = cluster.AffinityPropagation(sim, cluster.MedianPreference(sim), cluster.Options{})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering votes: %w", err)
+	}
+	groups := res.Clusters()
+	out := make([][]vote.Vote, 0, len(groups))
+	for _, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		g := make([]vote.Vote, 0, len(idxs))
+		for _, i := range idxs {
+			g = append(g, votes[i])
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// solveCluster runs the multi-vote encoding and solve for one cluster's
+// votes against the engine's current graph, returning weight deltas
+// relative to the current weights. The graph is only read, never written,
+// so cluster solves can run concurrently.
+func (e *Engine) solveCluster(votes []vote.Vote) (clusterResult, error) {
+	res := clusterResult{votes: len(votes), deltas: make(map[graph.EdgeKey]float64)}
+	p := e.newProgram()
+	for i, v := range votes {
+		n, err := e.encodeVote(p, v, true)
+		if err != nil {
+			return res, fmt.Errorf("encoding vote %d: %w", i, err)
+		}
+		res.rep.Constraints += n
+		res.rep.Encoded++
+	}
+	e.addCapacityConstraints(p)
+	sol, err := p.Solve(sgp.SolveOptions{Mode: e.opt.Mode, AL: e.opt.AL})
+	if err != nil {
+		return res, err
+	}
+	res.rep.Variables = p.NumVars()
+	for _, ok := range sol.SoftSatisfied {
+		if ok {
+			res.rep.Satisfied++
+		}
+	}
+	res.rep.Outer = sol.Outer
+	res.rep.InnerIters = sol.InnerIters
+	for i, v := range p.Vars {
+		if v.Kind != sgp.EdgeVar {
+			continue
+		}
+		if d := sol.X[i] - v.Init; d != 0 {
+			res.deltas[v.Edge] = d
+		}
+	}
+	return res, nil
+}
+
+// mergeDeltas implements the merge strategy of Section VI-A: an edge
+// changed in a single cluster takes that change; an edge changed in
+// several clusters takes the maximum change if the vote-weighted sum
+// Σ_C n_C·Δx_C is non-negative, otherwise the minimum.
+func (e *Engine) mergeDeltas(results []clusterResult) map[graph.EdgeKey]float64 {
+	type acc struct {
+		weighted float64 // Σ n_C · Δ_C
+		votes    int     // Σ n_C over clusters that changed the edge
+		min, max float64
+		count    int
+	}
+	accs := make(map[graph.EdgeKey]*acc)
+	for _, res := range results {
+		for k, d := range res.deltas {
+			a, ok := accs[k]
+			if !ok {
+				a = &acc{min: d, max: d}
+				accs[k] = a
+			} else {
+				if d < a.min {
+					a.min = d
+				}
+				if d > a.max {
+					a.max = d
+				}
+			}
+			a.weighted += float64(res.votes) * d
+			a.votes += res.votes
+			a.count++
+		}
+	}
+	changes := make(map[graph.EdgeKey]float64, len(accs))
+	for k, a := range accs {
+		var delta float64
+		switch {
+		case a.count == 1:
+			delta = a.max // the single recorded change (min == max)
+		case e.opt.Merge == AverageDeltas:
+			delta = a.weighted / float64(a.votes)
+		case a.weighted >= 0:
+			delta = a.max
+		default:
+			delta = a.min
+		}
+		w := e.g.Weight(k.From, k.To) + delta
+		if w < sgp.DefaultLowerBound {
+			w = sgp.DefaultLowerBound
+		}
+		if w > sgp.DefaultUpperBound {
+			w = sgp.DefaultUpperBound
+		}
+		changes[k] = w
+	}
+	return changes
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"kgvote/internal/vote"
+)
+
+// StreamSolver selects the batch solver a Stream applies.
+type StreamSolver int
+
+const (
+	// StreamMulti applies SolveMulti per batch.
+	StreamMulti StreamSolver = iota
+	// StreamSplitMerge applies SolveSplitMerge per batch.
+	StreamSplitMerge
+	// StreamSingle applies SolveSingle per batch.
+	StreamSingle
+)
+
+// Stream processes votes online, the interactive deployment mode the
+// paper's framework implies: votes arrive one at a time and the graph is
+// re-optimized whenever a full batch has accumulated. Between flushes the
+// engine keeps serving rankings from the current graph.
+//
+// A Stream is not safe for concurrent use (it shares the engine).
+type Stream struct {
+	e       *Engine
+	batch   int
+	solver  StreamSolver
+	pending []vote.Vote
+	// Flushes counts completed batch solves; TotalVotes counts every vote
+	// accepted (pending included).
+	Flushes    int
+	TotalVotes int
+}
+
+// NewStream returns a stream over the engine that flushes every batchSize
+// votes.
+func (e *Engine) NewStream(batchSize int, solver StreamSolver) (*Stream, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("core: stream batch size %d must be >= 1", batchSize)
+	}
+	switch solver {
+	case StreamMulti, StreamSplitMerge, StreamSingle:
+	default:
+		return nil, fmt.Errorf("core: unknown stream solver %d", solver)
+	}
+	return &Stream{e: e, batch: batchSize, solver: solver}, nil
+}
+
+// Pending returns the number of buffered votes awaiting the next flush.
+func (s *Stream) Pending() int { return len(s.pending) }
+
+// Push adds a vote. When the batch fills, the batch is solved immediately
+// and its report returned; otherwise the report is nil.
+func (s *Stream) Push(v vote.Vote) (*Report, error) {
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("core: stream push: %w", err)
+	}
+	s.pending = append(s.pending, v)
+	s.TotalVotes++
+	if len(s.pending) < s.batch {
+		return nil, nil
+	}
+	return s.Flush()
+}
+
+// Flush solves whatever votes are buffered (a no-op returning nil when the
+// buffer is empty) and clears the buffer.
+func (s *Stream) Flush() (*Report, error) {
+	if len(s.pending) == 0 {
+		return nil, nil
+	}
+	votes := s.pending
+	s.pending = nil
+	var (
+		rep *Report
+		err error
+	)
+	switch s.solver {
+	case StreamMulti:
+		rep, err = s.e.SolveMulti(votes)
+	case StreamSplitMerge:
+		rep, err = s.e.SolveSplitMerge(votes)
+	case StreamSingle:
+		rep, err = s.e.SolveSingle(votes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.Flushes++
+	return rep, nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+func TestStreamBatching(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	y := answers[1]
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.NewStream(2, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Push(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatalf("first push should buffer, got report %+v", rep)
+	}
+	if st.Pending() != 1 || st.TotalVotes != 1 {
+		t.Errorf("pending=%d total=%d", st.Pending(), st.TotalVotes)
+	}
+	// Second vote fills the batch and triggers a solve.
+	rep, err = st.Push(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatalf("batch-filling push should solve")
+	}
+	if st.Pending() != 0 || st.Flushes != 1 {
+		t.Errorf("pending=%d flushes=%d", st.Pending(), st.Flushes)
+	}
+	if r, _ := e.RankOf(q, y, answers); r != 1 {
+		t.Errorf("streamed votes did not optimize: rank %d", r)
+	}
+}
+
+func TestStreamFlushPartial(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	y := answers[1]
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.NewStream(10, StreamSplitMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty flush is a no-op.
+	rep, err := st.Flush()
+	if err != nil || rep != nil {
+		t.Fatalf("empty flush: %v %v", rep, err)
+	}
+	v, err := e.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Push(v); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = st.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Votes != 1 {
+		t.Fatalf("partial flush report: %+v", rep)
+	}
+	if r, _ := e.RankOf(q, y, answers); r != 1 {
+		t.Errorf("flushed vote did not optimize: rank %d", r)
+	}
+}
+
+func TestStreamSingleSolver(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	y := answers[1]
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.NewStream(1, StreamSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Push(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Encoded != 1 {
+		t.Fatalf("batch=1 should solve immediately: %+v", rep)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	g, _, _ := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.NewStream(0, StreamMulti); err == nil {
+		t.Errorf("batch 0 should fail")
+	}
+	if _, err := e.NewStream(1, StreamSolver(9)); err == nil {
+		t.Errorf("unknown solver should fail")
+	}
+	st, err := e.NewStream(1, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := vote.Vote{Kind: vote.Negative, Ranked: []graph.NodeID{1}, Best: 9}
+	if _, err := st.Push(bad); err == nil {
+		t.Errorf("invalid vote should fail")
+	}
+}
+
+// Streaming the same votes in two batches should end up close to the
+// one-shot multi-vote result in effectiveness (both flip the ranking).
+func TestStreamEquivalentEffect(t *testing.T) {
+	build := func() (*Engine, graph.NodeID, []graph.NodeID) {
+		g, q, answers := twoAnswer(t)
+		e, err := New(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, q, answers
+	}
+	e1, q1, a1 := build()
+	v1, err := e1.CollectVote(q1, a1, a1[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.SolveMulti([]vote.Vote{v1, v1}); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := e1.RankOf(q1, a1[1], a1)
+
+	e2, q2, a2 := build()
+	st, err := e2.NewStream(1, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e2.CollectVote(q2, a2, a2[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Push(v2); err != nil {
+		t.Fatal(err)
+	}
+	// The second streamed vote is collected against the UPDATED graph.
+	after, err := e2.Rank(q2, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := make([]graph.NodeID, len(after))
+	for i, r := range after {
+		list[i] = r.Node
+	}
+	v3, err := vote.FromRanking(q2, list, a2[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Push(v3); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := e2.RankOf(q2, a2[1], a2)
+	if r1 != 1 || r2 != 1 {
+		t.Errorf("one-shot rank %d, streamed rank %d; want both 1", r1, r2)
+	}
+}

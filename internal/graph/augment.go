@@ -1,0 +1,184 @@
+package graph
+
+import "fmt"
+
+// Augmented is a knowledge graph combined with query nodes and answer
+// nodes, following Section III-A of the paper. Query and answer nodes are
+// ordinary nodes of the underlying graph but are recorded separately so
+// that similarity evaluation can distinguish them from entity nodes.
+//
+// A query node vq has outgoing edges to the entity nodes that occur in the
+// query, weighted by occurrence frequency:
+//
+//	w(vq, vi) = #(q, vi) / Σ_j #(q, vj)
+//
+// An answer node va has incoming edges from the entity nodes that occur in
+// the answer document, derived the same way (normalized over the entities
+// of the answer).
+type Augmented struct {
+	*Graph
+	// Entities is the number of original entity nodes; nodes with
+	// ID < Entities are entity nodes.
+	Entities int
+	Queries  []NodeID
+	Answers  []NodeID
+
+	isQuery  map[NodeID]bool
+	isAnswer map[NodeID]bool
+}
+
+// Augment wraps a knowledge graph for query/answer attachment. The
+// underlying graph is used directly (not copied); callers that need to
+// preserve the original should pass g.Clone().
+func Augment(g *Graph) *Augmented {
+	return &Augmented{
+		Graph:    g,
+		Entities: g.NumNodes(),
+		isQuery:  make(map[NodeID]bool),
+		isAnswer: make(map[NodeID]bool),
+	}
+}
+
+// RestoreAugmented rebuilds an Augmented view over a graph whose query and
+// answer nodes were attached in a previous session (persistence load
+// path). The node lists must describe nodes already present in g.
+func RestoreAugmented(g *Graph, entities int, queries, answers []NodeID) (*Augmented, error) {
+	if entities < 0 || entities > g.NumNodes() {
+		return nil, fmt.Errorf("graph: RestoreAugmented: entity count %d outside [0, %d]", entities, g.NumNodes())
+	}
+	a := &Augmented{
+		Graph:    g,
+		Entities: entities,
+		isQuery:  make(map[NodeID]bool, len(queries)),
+		isAnswer: make(map[NodeID]bool, len(answers)),
+	}
+	for _, q := range queries {
+		if int(q) < entities || int(q) >= g.NumNodes() {
+			return nil, fmt.Errorf("graph: RestoreAugmented: query node %d out of range", q)
+		}
+		a.Queries = append(a.Queries, q)
+		a.isQuery[q] = true
+	}
+	for _, ans := range answers {
+		if int(ans) < entities || int(ans) >= g.NumNodes() {
+			return nil, fmt.Errorf("graph: RestoreAugmented: answer node %d out of range", ans)
+		}
+		if a.isQuery[ans] {
+			return nil, fmt.Errorf("graph: RestoreAugmented: node %d is both query and answer", ans)
+		}
+		a.Answers = append(a.Answers, ans)
+		a.isAnswer[ans] = true
+	}
+	return a, nil
+}
+
+// IsQuery reports whether id is a query node.
+func (a *Augmented) IsQuery(id NodeID) bool { return a.isQuery[id] }
+
+// IsAnswer reports whether id is an answer node.
+func (a *Augmented) IsAnswer(id NodeID) bool { return a.isAnswer[id] }
+
+// IsEntity reports whether id is an entity node of the original graph.
+func (a *Augmented) IsEntity(id NodeID) bool {
+	return int(id) < a.Entities && id >= 0 && !a.isQuery[id] && !a.isAnswer[id]
+}
+
+// AttachQuery adds a query node linked to the given entity nodes with the
+// given occurrence counts. The counts are normalized into edge weights.
+// At least one entity with a positive count is required.
+func (a *Augmented) AttachQuery(name string, entities []NodeID, counts []float64) (NodeID, error) {
+	id, err := a.attach(name, entities, counts, true)
+	if err != nil {
+		return None, fmt.Errorf("graph: AttachQuery(%q): %w", name, err)
+	}
+	a.Queries = append(a.Queries, id)
+	a.isQuery[id] = true
+	return id, nil
+}
+
+// AttachAnswer adds an answer node with incoming edges from the given
+// entity nodes. For each entity vi the edge (vi, va) gets weight
+// count_i / Σ counts, mirroring the query-side construction.
+func (a *Augmented) AttachAnswer(name string, entities []NodeID, counts []float64) (NodeID, error) {
+	id, err := a.attach(name, entities, counts, false)
+	if err != nil {
+		return None, fmt.Errorf("graph: AttachAnswer(%q): %w", name, err)
+	}
+	a.Answers = append(a.Answers, id)
+	a.isAnswer[id] = true
+	return id, nil
+}
+
+func (a *Augmented) attach(name string, entities []NodeID, counts []float64, outgoing bool) (NodeID, error) {
+	if len(entities) == 0 {
+		return None, fmt.Errorf("no entities")
+	}
+	if len(entities) != len(counts) {
+		return None, fmt.Errorf("%d entities but %d counts", len(entities), len(counts))
+	}
+	var total float64
+	for i, c := range counts {
+		if c < 0 {
+			return None, fmt.Errorf("negative count %v for entity %d", c, entities[i])
+		}
+		total += c
+	}
+	if total <= 0 {
+		return None, fmt.Errorf("all counts are zero")
+	}
+	for _, e := range entities {
+		if int(e) >= a.Entities || e < 0 {
+			return None, fmt.Errorf("node %d is not an entity node", e)
+		}
+	}
+	// Every attachment is a fresh node: silently reusing an existing node
+	// by name would merge two queries/answers into one.
+	if name != "" && a.Lookup(name) != None {
+		return None, fmt.Errorf("node %q already exists", name)
+	}
+	id := a.AddNode(name)
+	for i, e := range entities {
+		if counts[i] == 0 {
+			continue
+		}
+		w := counts[i] / total
+		var err error
+		if outgoing {
+			err = a.SetEdge(id, e, w)
+		} else {
+			err = a.SetEdge(e, id, w)
+		}
+		if err != nil {
+			return None, err
+		}
+	}
+	return id, nil
+}
+
+// AttachAnswerUniform adds an answer node reachable from each listed
+// entity with weight 1 (the construction used in the paper's Fig. 1, where
+// the edge Outlook→a3 has weight 1). Unlike AttachAnswer it does not
+// normalize across entities: each entity→answer edge gets weight 1, which
+// models "this entity's document is this answer".
+func (a *Augmented) AttachAnswerUniform(name string, entities []NodeID) (NodeID, error) {
+	if len(entities) == 0 {
+		return None, fmt.Errorf("graph: AttachAnswerUniform(%q): no entities", name)
+	}
+	for _, e := range entities {
+		if int(e) >= a.Entities || e < 0 {
+			return None, fmt.Errorf("graph: AttachAnswerUniform(%q): node %d is not an entity node", name, e)
+		}
+	}
+	if name != "" && a.Lookup(name) != None {
+		return None, fmt.Errorf("graph: AttachAnswerUniform(%q): node already exists", name)
+	}
+	id := a.AddNode(name)
+	for _, e := range entities {
+		if err := a.SetEdge(e, id, 1); err != nil {
+			return None, err
+		}
+	}
+	a.Answers = append(a.Answers, id)
+	a.isAnswer[id] = true
+	return id, nil
+}

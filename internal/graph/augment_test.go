@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// fig1 builds the knowledge graph of the paper's Fig. 1(a): entities
+// Stuck, Outlook, Email, Outbox, SendMessage, plus the edge weights used
+// in the Section IV-A running example.
+func fig1(t *testing.T) (*Augmented, map[string]NodeID) {
+	t.Helper()
+	g := New(0)
+	names := []string{"Stuck", "Outlook", "Email", "Outbox", "SendMessage"}
+	ids := make(map[string]NodeID, len(names))
+	for _, n := range names {
+		ids[n] = g.AddNode(n)
+	}
+	set := func(a, b string, w float64) { g.MustSetEdge(ids[a], ids[b], w) }
+	set("Outbox", "Email", 0.3)
+	set("Outbox", "SendMessage", 0.5)
+	set("Email", "Outbox", 0.4)
+	set("Email", "SendMessage", 0.6)
+	set("SendMessage", "Outlook", 0.3)
+	return Augment(g), ids
+}
+
+func TestAttachQuery(t *testing.T) {
+	a, ids := fig1(t)
+	q, err := a.AttachQuery("q", []NodeID{ids["Stuck"], ids["Outlook"], ids["Email"]}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsQuery(q) || a.IsAnswer(q) || a.IsEntity(q) {
+		t.Errorf("query node classification wrong")
+	}
+	for _, e := range []string{"Stuck", "Outlook", "Email"} {
+		if w := a.Weight(q, ids[e]); math.Abs(w-1.0/3) > 1e-12 {
+			t.Errorf("w(q,%s) = %v, want 1/3", e, w)
+		}
+	}
+	if len(a.Queries) != 1 || a.Queries[0] != q {
+		t.Errorf("Queries list wrong: %v", a.Queries)
+	}
+}
+
+func TestAttachAnswer(t *testing.T) {
+	a, ids := fig1(t)
+	ans, err := a.AttachAnswer("a1", []NodeID{ids["Email"], ids["Outbox"]}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsAnswer(ans) {
+		t.Errorf("answer node classification wrong")
+	}
+	if w := a.Weight(ids["Email"], ans); math.Abs(w-0.75) > 1e-12 {
+		t.Errorf("w(Email,a1) = %v, want 0.75", w)
+	}
+	if w := a.Weight(ids["Outbox"], ans); math.Abs(w-0.25) > 1e-12 {
+		t.Errorf("w(Outbox,a1) = %v, want 0.25", w)
+	}
+}
+
+func TestAttachAnswerUniform(t *testing.T) {
+	a, ids := fig1(t)
+	ans, err := a.AttachAnswerUniform("a3", []NodeID{ids["Outlook"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := a.Weight(ids["Outlook"], ans); w != 1 {
+		t.Errorf("w(Outlook,a3) = %v, want 1", w)
+	}
+	if len(a.Answers) != 1 {
+		t.Errorf("Answers list wrong")
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	a, ids := fig1(t)
+	if _, err := a.AttachQuery("q", nil, nil); err == nil {
+		t.Errorf("empty entity list should fail")
+	}
+	if _, err := a.AttachQuery("q", []NodeID{ids["Stuck"]}, []float64{1, 2}); err == nil {
+		t.Errorf("length mismatch should fail")
+	}
+	if _, err := a.AttachQuery("q", []NodeID{ids["Stuck"]}, []float64{-1}); err == nil {
+		t.Errorf("negative count should fail")
+	}
+	if _, err := a.AttachQuery("q", []NodeID{ids["Stuck"]}, []float64{0}); err == nil {
+		t.Errorf("zero total should fail")
+	}
+	// Attach one query, then try linking another query to it (non-entity).
+	q, err := a.AttachQuery("q", []NodeID{ids["Stuck"]}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AttachQuery("q2", []NodeID{q}, []float64{1}); err == nil {
+		t.Errorf("linking to non-entity node should fail")
+	}
+	if _, err := a.AttachAnswerUniform("a", nil); err == nil {
+		t.Errorf("uniform answer with no entities should fail")
+	}
+	if _, err := a.AttachAnswerUniform("a", []NodeID{q}); err == nil {
+		t.Errorf("uniform answer to non-entity should fail")
+	}
+}
+
+func TestAttachZeroCountSkipsEdge(t *testing.T) {
+	a, ids := fig1(t)
+	q, err := a.AttachQuery("q", []NodeID{ids["Stuck"], ids["Email"]}, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasEdge(q, ids["Stuck"]) {
+		t.Errorf("zero-count entity should get no edge")
+	}
+	if w := a.Weight(q, ids["Email"]); w != 1 {
+		t.Errorf("w(q,Email) = %v, want 1", w)
+	}
+}
+
+func TestEntityBoundary(t *testing.T) {
+	a, ids := fig1(t)
+	if !a.IsEntity(ids["Stuck"]) {
+		t.Errorf("Stuck should be an entity")
+	}
+	if a.Entities != 5 {
+		t.Errorf("Entities = %d, want 5", a.Entities)
+	}
+	q, _ := a.AttachQuery("q", []NodeID{ids["Stuck"]}, []float64{1})
+	ans, _ := a.AttachAnswerUniform("a", []NodeID{ids["Outlook"]})
+	if a.IsEntity(q) || a.IsEntity(ans) {
+		t.Errorf("query/answer nodes must not be entities")
+	}
+	if a.Entities != 5 {
+		t.Errorf("Entities changed after attach: %d", a.Entities)
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+import "fmt"
+
+// CSR is an immutable compressed-sparse-row snapshot of a Graph, intended
+// for high-throughput read paths (similarity serving) while the mutable
+// Graph continues to take optimization writes elsewhere. A CSR is safe
+// for concurrent use by multiple goroutines.
+type CSR struct {
+	rowPtr  []int32
+	colIdx  []NodeID
+	weights []float64
+}
+
+// Compile snapshots g into CSR form. Edge order within a row follows the
+// graph's insertion order.
+func Compile(g *Graph) *CSR {
+	n := g.NumNodes()
+	c := &CSR{
+		rowPtr:  make([]int32, n+1),
+		colIdx:  make([]NodeID, 0, g.NumEdges()),
+		weights: make([]float64, 0, g.NumEdges()),
+	}
+	for i := 0; i < n; i++ {
+		c.rowPtr[i] = int32(len(c.colIdx))
+		for _, e := range g.Out(NodeID(i)) {
+			c.colIdx = append(c.colIdx, e.To)
+			c.weights = append(c.weights, e.Weight)
+		}
+	}
+	c.rowPtr[n] = int32(len(c.colIdx))
+	return c
+}
+
+// NumNodes returns the number of nodes.
+func (c *CSR) NumNodes() int { return len(c.rowPtr) - 1 }
+
+// NumEdges returns the number of edges.
+func (c *CSR) NumEdges() int { return len(c.colIdx) }
+
+// Row returns the targets and weights of a node's out-edges. The returned
+// slices alias the CSR's storage and must not be modified.
+func (c *CSR) Row(id NodeID) ([]NodeID, []float64) {
+	if int(id) < 0 || int(id) >= c.NumNodes() {
+		return nil, nil
+	}
+	lo, hi := c.rowPtr[id], c.rowPtr[id+1]
+	return c.colIdx[lo:hi], c.weights[lo:hi]
+}
+
+// Weight returns the weight of edge (from, to), or 0.
+func (c *CSR) Weight(from, to NodeID) float64 {
+	cols, ws := c.Row(from)
+	for i, t := range cols {
+		if t == to {
+			return ws[i]
+		}
+	}
+	return 0
+}
+
+// Validate checks structural invariants.
+func (c *CSR) Validate() error {
+	n := c.NumNodes()
+	if n < 0 {
+		return fmt.Errorf("%w: empty row pointer", ErrInvalid)
+	}
+	if len(c.colIdx) != len(c.weights) {
+		return fmt.Errorf("%w: %d columns vs %d weights", ErrInvalid, len(c.colIdx), len(c.weights))
+	}
+	prev := int32(0)
+	for i, p := range c.rowPtr {
+		if p < prev || int(p) > len(c.colIdx) {
+			return fmt.Errorf("%w: row pointer %d out of order at %d", ErrInvalid, p, i)
+		}
+		prev = p
+	}
+	if int(c.rowPtr[n]) != len(c.colIdx) {
+		return fmt.Errorf("%w: final row pointer %d != %d edges", ErrInvalid, c.rowPtr[n], len(c.colIdx))
+	}
+	for _, t := range c.colIdx {
+		if int(t) < 0 || int(t) >= n {
+			return fmt.Errorf("%w: edge target %d out of range", ErrInvalid, t)
+		}
+	}
+	return nil
+}

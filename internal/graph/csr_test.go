@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompileMatchesGraph(t *testing.T) {
+	g := randomGraph(40, 4, rand.New(rand.NewSource(13)))
+	c := Compile(g)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape: %d/%d vs %d/%d", c.NumNodes(), c.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	g.Edges(func(from, to NodeID, w float64) {
+		if cw := c.Weight(from, to); math.Abs(cw-w) > 1e-15 {
+			t.Errorf("edge %d->%d: %v vs %v", from, to, cw, w)
+		}
+	})
+	// Rows preserve per-node edges.
+	for i := 0; i < g.NumNodes(); i++ {
+		cols, ws := c.Row(NodeID(i))
+		out := g.Out(NodeID(i))
+		if len(cols) != len(out) || len(ws) != len(out) {
+			t.Fatalf("row %d length mismatch", i)
+		}
+		for j, e := range out {
+			if cols[j] != e.To || ws[j] != e.Weight {
+				t.Errorf("row %d entry %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCSREmptyAndOutOfRange(t *testing.T) {
+	g := New(0)
+	c := Compile(g)
+	if c.NumNodes() != 0 || c.NumEdges() != 0 {
+		t.Errorf("empty compile wrong: %d/%d", c.NumNodes(), c.NumEdges())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cols, ws := c.Row(5)
+	if cols != nil || ws != nil {
+		t.Errorf("out-of-range row should be nil")
+	}
+	if c.Weight(1, 2) != 0 {
+		t.Errorf("missing edge weight should be 0")
+	}
+}
+
+func TestCSRValidateDetectsCorruption(t *testing.T) {
+	g := New(0)
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.MustSetEdge(a, b, 0.5)
+	c := Compile(g)
+	c.colIdx[0] = 99
+	if err := c.Validate(); err == nil {
+		t.Errorf("bad target not detected")
+	}
+	c = Compile(g)
+	c.rowPtr[1] = 99
+	if err := c.Validate(); err == nil {
+		t.Errorf("bad row pointer not detected")
+	}
+	c = Compile(g)
+	c.weights = c.weights[:0]
+	if err := c.Validate(); err == nil {
+		t.Errorf("weight/column mismatch not detected")
+	}
+}
+
+// Property: Compile is a faithful snapshot — mutating the source graph
+// afterwards never changes the CSR.
+func TestQuickCSRSnapshotIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(15, 3, rng)
+		c := Compile(g)
+		var firstFrom, firstTo NodeID
+		found := false
+		g.Edges(func(from, to NodeID, w float64) {
+			if !found {
+				firstFrom, firstTo = from, to
+				found = true
+			}
+		})
+		if !found {
+			return true
+		}
+		before := c.Weight(firstFrom, firstTo)
+		if err := g.SetWeight(firstFrom, firstTo, 0.123456); err != nil {
+			return false
+		}
+		return c.Weight(firstFrom, firstTo) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGraphOutTraversal(b *testing.B) {
+	g := randomGraph(5000, 8, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < g.NumNodes(); n++ {
+			for _, e := range g.Out(NodeID(n)) {
+				sink += e.Weight
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkCSRRowTraversal(b *testing.B) {
+	g := randomGraph(5000, 8, rand.New(rand.NewSource(1)))
+	c := Compile(g)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < c.NumNodes(); n++ {
+			_, ws := c.Row(NodeID(n))
+			for _, w := range ws {
+				sink += w
+			}
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,319 @@
+// Package graph provides the weighted directed knowledge-graph substrate
+// used by the whole framework: node/edge storage, weight access and
+// mutation, per-node normalization, cloning, and validation.
+//
+// A knowledge graph is G = (V, E, W) where every directed edge (vi, vj)
+// carries a weight w(vi, vj) ∈ (0, 1]. Weights are interpreted as random
+// walk transition probabilities, so the out-weights of a node normally sum
+// to at most 1 (exactly 1 after NormalizeAll).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node inside one Graph. IDs are dense: the first node
+// added gets ID 0, the next 1, and so on.
+type NodeID int32
+
+// None is the invalid node ID returned by lookups that find nothing.
+const None NodeID = -1
+
+// Edge is one outgoing edge of a node.
+type Edge struct {
+	To     NodeID
+	Weight float64
+}
+
+// EdgeKey identifies a directed edge by its endpoints. It is the key type
+// used by edge sets and by the SGP variable mapping.
+type EdgeKey struct {
+	From, To NodeID
+}
+
+func (k EdgeKey) String() string { return fmt.Sprintf("%d->%d", k.From, k.To) }
+
+// pack builds the internal map key for a directed edge.
+func pack(from, to NodeID) uint64 { return uint64(uint32(from))<<32 | uint64(uint32(to)) }
+
+// Graph is a mutable weighted directed graph. The zero value is an empty
+// graph ready to use.
+type Graph struct {
+	names []string
+	index map[string]NodeID
+	out   [][]Edge
+	// pos maps a packed (from, to) pair to the index of the edge inside
+	// out[from], giving O(1) weight lookup and update.
+	pos      map[uint64]int
+	numEdges int
+}
+
+// New returns an empty graph with capacity hints for n nodes.
+func New(n int) *Graph {
+	return &Graph{
+		names: make([]string, 0, n),
+		index: make(map[string]NodeID, n),
+		out:   make([][]Edge, 0, n),
+		pos:   make(map[uint64]int),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// AddNode adds a node with the given name and returns its ID. If a node
+// with that name already exists its ID is returned unchanged. An empty
+// name creates an anonymous node that cannot be looked up by name.
+func (g *Graph) AddNode(name string) NodeID {
+	if name != "" {
+		if id, ok := g.index[name]; ok {
+			return id
+		}
+	}
+	id := NodeID(len(g.out))
+	g.names = append(g.names, name)
+	g.out = append(g.out, nil)
+	if name != "" {
+		if g.index == nil {
+			g.index = make(map[string]NodeID)
+		}
+		g.index[name] = id
+	}
+	return id
+}
+
+// AddNodes adds n anonymous nodes and returns the ID of the first one.
+func (g *Graph) AddNodes(n int) NodeID {
+	first := NodeID(len(g.out))
+	for i := 0; i < n; i++ {
+		g.names = append(g.names, "")
+		g.out = append(g.out, nil)
+	}
+	return first
+}
+
+// Lookup returns the ID of the named node, or None.
+func (g *Graph) Lookup(name string) NodeID {
+	if id, ok := g.index[name]; ok {
+		return id
+	}
+	return None
+}
+
+// Name returns the name of a node (possibly empty for anonymous nodes).
+func (g *Graph) Name(id NodeID) string {
+	if int(id) < 0 || int(id) >= len(g.names) {
+		return ""
+	}
+	return g.names[id]
+}
+
+// valid reports whether id refers to an existing node.
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.out) }
+
+// SetEdge adds the directed edge (from, to) with the given weight, or
+// updates the weight if the edge already exists.
+func (g *Graph) SetEdge(from, to NodeID, w float64) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("graph: SetEdge(%d, %d): node out of range [0, %d)", from, to, len(g.out))
+	}
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		return fmt.Errorf("graph: SetEdge(%d, %d): invalid weight %v", from, to, w)
+	}
+	if g.pos == nil {
+		g.pos = make(map[uint64]int)
+	}
+	key := pack(from, to)
+	if i, ok := g.pos[key]; ok {
+		g.out[from][i].Weight = w
+		return nil
+	}
+	g.pos[key] = len(g.out[from])
+	g.out[from] = append(g.out[from], Edge{To: to, Weight: w})
+	g.numEdges++
+	return nil
+}
+
+// MustSetEdge is SetEdge that panics on error. It is intended for
+// construction code whose inputs are known to be valid.
+func (g *Graph) MustSetEdge(from, to NodeID, w float64) {
+	if err := g.SetEdge(from, to, w); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether the directed edge (from, to) exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	_, ok := g.pos[pack(from, to)]
+	return ok
+}
+
+// Weight returns the weight of the directed edge (from, to), or 0 if the
+// edge does not exist.
+func (g *Graph) Weight(from, to NodeID) float64 {
+	if i, ok := g.pos[pack(from, to)]; ok {
+		return g.out[from][i].Weight
+	}
+	return 0
+}
+
+// SetWeight updates the weight of an existing edge.
+func (g *Graph) SetWeight(from, to NodeID, w float64) error {
+	if _, ok := g.pos[pack(from, to)]; !ok {
+		return fmt.Errorf("graph: SetWeight: edge %d->%d does not exist", from, to)
+	}
+	return g.SetEdge(from, to, w)
+}
+
+// Out returns the outgoing edges of a node. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Out(id NodeID) []Edge {
+	if !g.valid(id) {
+		return nil
+	}
+	return g.out[id]
+}
+
+// OutDegree returns the number of outgoing edges of a node.
+func (g *Graph) OutDegree(id NodeID) int {
+	if !g.valid(id) {
+		return 0
+	}
+	return len(g.out[id])
+}
+
+// OutWeightSum returns the sum of outgoing edge weights of a node.
+func (g *Graph) OutWeightSum(id NodeID) float64 {
+	var s float64
+	for _, e := range g.Out(id) {
+		s += e.Weight
+	}
+	return s
+}
+
+// Edges calls fn for every directed edge. Iteration order is deterministic
+// (by source node ID, then insertion order).
+func (g *Graph) Edges(fn func(from, to NodeID, w float64)) {
+	for from, es := range g.out {
+		for _, e := range es {
+			fn(NodeID(from), e.To, e.Weight)
+		}
+	}
+}
+
+// EdgeKeys returns every directed edge key, sorted by (From, To).
+func (g *Graph) EdgeKeys() []EdgeKey {
+	keys := make([]EdgeKey, 0, g.numEdges)
+	g.Edges(func(from, to NodeID, _ float64) {
+		keys = append(keys, EdgeKey{From: from, To: to})
+	})
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	return keys
+}
+
+// NormalizeOut rescales the outgoing weights of a node so they sum to 1.
+// A node with no outgoing edges, or whose weights sum to 0, is left
+// unchanged.
+func (g *Graph) NormalizeOut(id NodeID) {
+	s := g.OutWeightSum(id)
+	if s <= 0 {
+		return
+	}
+	for i := range g.out[id] {
+		g.out[id][i].Weight /= s
+	}
+}
+
+// NormalizeAll rescales every node's outgoing weights to sum to 1.
+func (g *Graph) NormalizeAll() {
+	for id := range g.out {
+		g.NormalizeOut(NodeID(id))
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		names:    append([]string(nil), g.names...),
+		index:    make(map[string]NodeID, len(g.index)),
+		out:      make([][]Edge, len(g.out)),
+		pos:      make(map[uint64]int, len(g.pos)),
+		numEdges: g.numEdges,
+	}
+	for k, v := range g.index {
+		c.index[k] = v
+	}
+	for i, es := range g.out {
+		c.out[i] = append([]Edge(nil), es...)
+	}
+	for k, v := range g.pos {
+		c.pos[k] = v
+	}
+	return c
+}
+
+// AvgOutDegree returns the average out-degree across all nodes, or 0 for
+// an empty graph.
+func (g *Graph) AvgOutDegree() float64 {
+	if len(g.out) == 0 {
+		return 0
+	}
+	return float64(g.numEdges) / float64(len(g.out))
+}
+
+// ErrInvalid is wrapped by Validate for all structural errors.
+var ErrInvalid = errors.New("graph: invalid")
+
+// Validate checks structural invariants: edge endpoints in range, weights
+// finite and non-negative, and the position index consistent with the
+// adjacency lists.
+func (g *Graph) Validate() error {
+	n := len(g.out)
+	count := 0
+	for from, es := range g.out {
+		for i, e := range es {
+			count++
+			if int(e.To) < 0 || int(e.To) >= n {
+				return fmt.Errorf("%w: edge %d->%d target out of range", ErrInvalid, from, e.To)
+			}
+			if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) || e.Weight < 0 {
+				return fmt.Errorf("%w: edge %d->%d has weight %v", ErrInvalid, from, e.To, e.Weight)
+			}
+			j, ok := g.pos[pack(NodeID(from), e.To)]
+			if !ok || j != i {
+				return fmt.Errorf("%w: position index inconsistent for edge %d->%d", ErrInvalid, from, e.To)
+			}
+		}
+	}
+	if count != g.numEdges {
+		return fmt.Errorf("%w: edge count %d != recorded %d", ErrInvalid, count, g.numEdges)
+	}
+	if len(g.pos) != count {
+		return fmt.Errorf("%w: position index size %d != edge count %d", ErrInvalid, len(g.pos), count)
+	}
+	return nil
+}
+
+// Reverse returns a new graph with every edge direction flipped, keeping
+// weights. Node names are preserved.
+func (g *Graph) Reverse() *Graph {
+	r := New(g.NumNodes())
+	for _, name := range g.names {
+		r.AddNode(name)
+	}
+	g.Edges(func(from, to NodeID, w float64) {
+		r.MustSetEdge(to, from, w)
+	})
+	return r
+}

@@ -1,0 +1,380 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodeDedup(t *testing.T) {
+	g := New(0)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	if a == b {
+		t.Fatalf("distinct names got same ID %d", a)
+	}
+	if got := g.AddNode("a"); got != a {
+		t.Errorf("AddNode(a) again = %d, want %d", got, a)
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2", g.NumNodes())
+	}
+	if g.Lookup("a") != a || g.Lookup("b") != b {
+		t.Errorf("Lookup mismatch")
+	}
+	if g.Lookup("zzz") != None {
+		t.Errorf("Lookup of missing name should be None")
+	}
+	if g.Name(a) != "a" {
+		t.Errorf("Name(a) = %q", g.Name(a))
+	}
+	if g.Name(NodeID(99)) != "" {
+		t.Errorf("Name out of range should be empty")
+	}
+}
+
+func TestAnonymousNodes(t *testing.T) {
+	g := New(0)
+	first := g.AddNodes(3)
+	if first != 0 || g.NumNodes() != 3 {
+		t.Fatalf("AddNodes: first=%d n=%d", first, g.NumNodes())
+	}
+	// Anonymous AddNode calls never dedup.
+	x := g.AddNode("")
+	y := g.AddNode("")
+	if x == y {
+		t.Errorf("anonymous nodes deduped: %d == %d", x, y)
+	}
+}
+
+func TestSetEdgeAndWeight(t *testing.T) {
+	g := New(0)
+	a, b := g.AddNode("a"), g.AddNode("b")
+	if err := g.SetEdge(a, b, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(a, b) || g.HasEdge(b, a) {
+		t.Errorf("HasEdge wrong")
+	}
+	if w := g.Weight(a, b); w != 0.5 {
+		t.Errorf("Weight = %v, want 0.5", w)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	// Update existing edge: count must not grow.
+	if err := g.SetEdge(a, b, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.Weight(a, b) != 0.7 {
+		t.Errorf("update failed: n=%d w=%v", g.NumEdges(), g.Weight(a, b))
+	}
+	if err := g.SetWeight(a, b, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(a, b) != 0.2 {
+		t.Errorf("SetWeight failed")
+	}
+	if err := g.SetWeight(b, a, 0.1); err == nil {
+		t.Errorf("SetWeight on missing edge should fail")
+	}
+}
+
+func TestSetEdgeErrors(t *testing.T) {
+	g := New(0)
+	a := g.AddNode("a")
+	cases := []struct {
+		from, to NodeID
+		w        float64
+	}{
+		{a, NodeID(5), 0.5},
+		{NodeID(5), a, 0.5},
+		{a, a, math.NaN()},
+		{a, a, math.Inf(1)},
+		{a, a, -0.1},
+	}
+	for _, c := range cases {
+		if err := g.SetEdge(c.from, c.to, c.w); err == nil {
+			t.Errorf("SetEdge(%d,%d,%v): want error", c.from, c.to, c.w)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	g := New(0)
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.MustSetEdge(a, b, 2)
+	g.MustSetEdge(a, c, 6)
+	g.NormalizeOut(a)
+	if w := g.Weight(a, b); math.Abs(w-0.25) > 1e-15 {
+		t.Errorf("w(a,b) = %v, want 0.25", w)
+	}
+	if w := g.Weight(a, c); math.Abs(w-0.75) > 1e-15 {
+		t.Errorf("w(a,c) = %v, want 0.75", w)
+	}
+	// Node with no out edges is a no-op.
+	g.NormalizeOut(b)
+	// Zero-sum node is a no-op.
+	g.MustSetEdge(b, a, 0)
+	g.NormalizeOut(b)
+	if g.Weight(b, a) != 0 {
+		t.Errorf("zero-weight normalization changed weight")
+	}
+}
+
+func TestNormalizeAllInvariant(t *testing.T) {
+	g := randomGraph(50, 4, rand.New(rand.NewSource(1)))
+	g.NormalizeAll()
+	for id := 0; id < g.NumNodes(); id++ {
+		if g.OutDegree(NodeID(id)) == 0 {
+			continue
+		}
+		s := g.OutWeightSum(NodeID(id))
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("node %d: out sum %v after NormalizeAll", id, s)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(0)
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.MustSetEdge(a, b, 0.5)
+	c := g.Clone()
+	c.MustSetEdge(b, a, 0.9)
+	if err := c.SetWeight(a, b, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(a, b) != 0.5 {
+		t.Errorf("clone mutation leaked into original: %v", g.Weight(a, b))
+	}
+	if g.HasEdge(b, a) {
+		t.Errorf("clone edge leaked into original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup("a") != a {
+		t.Errorf("clone lost name index")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(0)
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.MustSetEdge(a, b, 0.3)
+	g.MustSetEdge(b, c, 0.7)
+	r := g.Reverse()
+	if r.NumNodes() != 3 || r.NumEdges() != 2 {
+		t.Fatalf("reverse shape: n=%d m=%d", r.NumNodes(), r.NumEdges())
+	}
+	if r.Weight(b, a) != 0.3 || r.Weight(c, b) != 0.7 {
+		t.Errorf("reverse weights wrong: %v %v", r.Weight(b, a), r.Weight(c, b))
+	}
+	if r.Name(a) != "a" {
+		t.Errorf("reverse lost names")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeKeysSorted(t *testing.T) {
+	g := New(0)
+	n := g.AddNodes(4)
+	_ = n
+	g.MustSetEdge(3, 0, 1)
+	g.MustSetEdge(0, 2, 1)
+	g.MustSetEdge(0, 1, 1)
+	keys := g.EdgeKeys()
+	want := []EdgeKey{{0, 1}, {0, 2}, {3, 0}}
+	if len(keys) != len(want) {
+		t.Fatalf("len = %d", len(keys))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("keys[%d] = %v, want %v", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New(0)
+	a, b := g.AddNode("alpha"), g.AddNode("beta")
+	anon := g.AddNodes(1)
+	g.MustSetEdge(a, b, 0.25)
+	g.MustSetEdge(b, anon, 0.75)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if got.Weight(a, b) != 0.25 || got.Weight(b, anon) != 0.75 {
+		t.Errorf("weights lost in round trip")
+	}
+	if got.Lookup("alpha") != a {
+		t.Errorf("names lost in round trip")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Errorf("bad JSON should fail")
+	}
+	// Edge pointing outside node range.
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":["a"],"edges":[{"f":0,"t":7,"w":1}]}`)); err == nil {
+		t.Errorf("out-of-range edge should fail")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	g := randomGraph(30, 3, rand.New(rand.NewSource(7)))
+	var buf bytes.Buffer
+	if err := g.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges: %d vs %d", got.NumEdges(), g.NumEdges())
+	}
+	g.Edges(func(from, to NodeID, w float64) {
+		if gw := got.Weight(from, to); math.Abs(gw-w) > 1e-12 {
+			t.Errorf("edge %d->%d: %v vs %v", from, to, gw, w)
+		}
+	})
+}
+
+func TestReadTSVForms(t *testing.T) {
+	in := "# comment\n\n0 1 0.5\n2\t0\n"
+	g, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.Weight(0, 1) != 0.5 {
+		t.Errorf("explicit weight lost")
+	}
+	if g.Weight(2, 0) != 1 {
+		t.Errorf("default weight should be 1, got %v", g.Weight(2, 0))
+	}
+	for _, bad := range []string{"0\n", "x 1\n", "0 y\n", "0 1 z\n", "-1 2\n"} {
+		if _, err := ReadTSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadTSV(%q): want error", bad)
+		}
+	}
+}
+
+// randomGraph builds a random graph for tests: n nodes, ~deg out-edges per
+// node, uniform random weights, normalized.
+func randomGraph(n, deg int, rng *rand.Rand) *Graph {
+	g := New(n)
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < deg; d++ {
+			j := NodeID(rng.Intn(n))
+			if j == NodeID(i) {
+				continue
+			}
+			g.MustSetEdge(NodeID(i), j, rng.Float64()+0.01)
+		}
+		g.NormalizeOut(NodeID(i))
+	}
+	return g
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := New(0)
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.MustSetEdge(a, b, 0.5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt internals directly.
+	g.out[a][0].Weight = math.NaN()
+	if err := g.Validate(); err == nil {
+		t.Errorf("NaN weight not detected")
+	}
+	g.out[a][0].Weight = 0.5
+	g.numEdges = 99
+	if err := g.Validate(); err == nil {
+		t.Errorf("edge count mismatch not detected")
+	}
+}
+
+// Property: for any sequence of valid SetEdge calls, Validate passes and
+// Weight returns what was last set.
+func TestQuickSetEdgeConsistency(t *testing.T) {
+	f := func(ops []struct {
+		From, To uint8
+		W        float64
+	}) bool {
+		g := New(0)
+		g.AddNodes(16)
+		last := map[EdgeKey]float64{}
+		for _, op := range ops {
+			from, to := NodeID(op.From%16), NodeID(op.To%16)
+			w := math.Abs(op.W)
+			if math.IsInf(w, 0) || math.IsNaN(w) {
+				continue
+			}
+			if err := g.SetEdge(from, to, w); err != nil {
+				return false
+			}
+			last[EdgeKey{from, to}] = w
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		for k, w := range last {
+			if g.Weight(k.From, k.To) != w {
+				return false
+			}
+		}
+		return g.NumEdges() == len(last)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Reverse(Reverse(g)) has identical edges to g.
+func TestQuickReverseInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(20, 3, rng)
+		rr := g.Reverse().Reverse()
+		if rr.NumNodes() != g.NumNodes() || rr.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.Edges(func(from, to NodeID, w float64) {
+			if math.Abs(rr.Weight(from, to)-w) > 1e-15 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

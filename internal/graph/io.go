@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// jsonGraph is the serialized form of a Graph.
+type jsonGraph struct {
+	Nodes []string   `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonEdge struct {
+	From   NodeID  `json:"f"`
+	To     NodeID  `json:"t"`
+	Weight float64 `json:"w"`
+}
+
+// WriteJSON serializes the graph as JSON. Anonymous nodes are written as
+// empty strings; edge order is deterministic.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Nodes: g.names, Edges: make([]jsonEdge, 0, g.numEdges)}
+	if jg.Nodes == nil {
+		jg.Nodes = []string{}
+	}
+	g.Edges(func(from, to NodeID, wt float64) {
+		jg.Edges = append(jg.Edges, jsonEdge{From: from, To: to, Weight: wt})
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(jg)
+}
+
+// ReadJSON deserializes a graph written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	g := New(len(jg.Nodes))
+	for _, name := range jg.Nodes {
+		g.AddNode(name)
+	}
+	for _, e := range jg.Edges {
+		if err := g.SetEdge(e.From, e.To, e.Weight); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// WriteTSV writes the edge list as "from<TAB>to<TAB>weight" lines using
+// node IDs. It is a compact interchange format for large graphs.
+func (g *Graph) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.Edges(func(from, to NodeID, wt float64) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%d\t%d\t%g\n", from, to, wt)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTSV reads an edge list written by WriteTSV. Nodes are created
+// anonymously up to the largest ID seen. Lines starting with '#' and blank
+// lines are skipped. A missing third column defaults to weight 1.
+func ReadTSV(r io.Reader) (*Graph, error) {
+	g := New(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(fields))
+		}
+		from, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q", lineNo, fields[0])
+		}
+		to, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q", lineNo, fields[1])
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
+			}
+		}
+		if from < 0 || to < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node ID", lineNo)
+		}
+		max := from
+		if to > max {
+			max = to
+		}
+		if max >= g.NumNodes() {
+			g.AddNodes(max - g.NumNodes() + 1)
+		}
+		if err := g.SetEdge(NodeID(from), NodeID(to), w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,70 @@
+package graph
+
+import "fmt"
+
+// Neighborhood returns the nodes reachable from start within depth hops
+// (start included), following out-edges. It is the local region a vote's
+// similarity evaluation can touch when paths are pruned at L = depth.
+func (g *Graph) Neighborhood(start NodeID, depth int) ([]NodeID, error) {
+	if !g.valid(start) {
+		return nil, fmt.Errorf("graph: Neighborhood: node %d out of range", start)
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("graph: Neighborhood: negative depth %d", depth)
+	}
+	visited := map[NodeID]bool{start: true}
+	frontier := []NodeID{start}
+	out := []NodeID{start}
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []NodeID
+		for _, n := range frontier {
+			for _, e := range g.Out(n) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					next = append(next, e.To)
+					out = append(out, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// InducedSubgraph builds a new graph over the given nodes, keeping every
+// edge whose endpoints are both in the set. Node names are preserved; the
+// returned mapping translates original IDs to subgraph IDs.
+func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, map[NodeID]NodeID, error) {
+	sub := New(len(nodes))
+	mapping := make(map[NodeID]NodeID, len(nodes))
+	for _, n := range nodes {
+		if !g.valid(n) {
+			return nil, nil, fmt.Errorf("graph: InducedSubgraph: node %d out of range", n)
+		}
+		if _, dup := mapping[n]; dup {
+			return nil, nil, fmt.Errorf("graph: InducedSubgraph: duplicate node %d", n)
+		}
+		// Names must stay unique in the subgraph; anonymous nodes are
+		// added positionally.
+		name := g.Name(n)
+		var id NodeID
+		if name == "" {
+			id = sub.AddNodes(1)
+		} else {
+			id = sub.AddNode(name)
+		}
+		mapping[n] = id
+	}
+	for _, n := range nodes {
+		for _, e := range g.Out(n) {
+			to, ok := mapping[e.To]
+			if !ok {
+				continue
+			}
+			if err := sub.SetEdge(mapping[n], to, e.Weight); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return sub, mapping, nil
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNeighborhood(t *testing.T) {
+	g := New(0)
+	g.AddNodes(5)
+	g.MustSetEdge(0, 1, 1)
+	g.MustSetEdge(1, 2, 1)
+	g.MustSetEdge(2, 3, 1)
+	g.MustSetEdge(3, 0, 1) // cycle back
+
+	n0, err := g.Neighborhood(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n0) != 1 || n0[0] != 0 {
+		t.Errorf("depth 0 = %v", n0)
+	}
+	n2, err := g.Neighborhood(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n2) != 3 { // 0, 1, 2
+		t.Errorf("depth 2 = %v", n2)
+	}
+	nAll, err := g.Neighborhood(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nAll) != 4 { // node 4 is disconnected
+		t.Errorf("deep neighborhood = %v", nAll)
+	}
+	if _, err := g.Neighborhood(99, 1); err == nil {
+		t.Errorf("bad start should fail")
+	}
+	if _, err := g.Neighborhood(0, -1); err == nil {
+		t.Errorf("negative depth should fail")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(0)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNodes(1) // anonymous
+	g.MustSetEdge(a, b, 0.5)
+	g.MustSetEdge(b, c, 0.7)
+	g.MustSetEdge(c, d, 0.9)
+	g.MustSetEdge(d, a, 0.2)
+
+	sub, mapping, err := g.InducedSubgraph([]NodeID{a, b, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", sub.NumNodes())
+	}
+	// Edges within the set survive: a→b and d→a. b→c and c→d are cut.
+	if sub.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", sub.NumEdges())
+	}
+	if w := sub.Weight(mapping[a], mapping[b]); w != 0.5 {
+		t.Errorf("w(a,b) = %v", w)
+	}
+	if w := sub.Weight(mapping[d], mapping[a]); w != 0.2 {
+		t.Errorf("w(d,a) = %v", w)
+	}
+	if sub.Lookup("a") != mapping[a] {
+		t.Errorf("names lost")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if _, _, err := g.InducedSubgraph([]NodeID{99}); err == nil {
+		t.Errorf("bad node should fail")
+	}
+	if _, _, err := g.InducedSubgraph([]NodeID{a, a}); err == nil {
+		t.Errorf("duplicate node should fail")
+	}
+}
+
+func TestInducedSubgraphPreservesWalkStructure(t *testing.T) {
+	g := randomGraph(40, 4, rand.New(rand.NewSource(23)))
+	nodes, err := g.Neighborhood(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, mapping, err := g.InducedSubgraph(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every kept edge matches the original weight.
+	for orig, subID := range mapping {
+		for _, e := range sub.Out(subID) {
+			// Find the original target.
+			var origTo NodeID = None
+			for o, s := range mapping {
+				if s == e.To {
+					origTo = o
+					break
+				}
+			}
+			if origTo == None {
+				t.Fatalf("subgraph edge to unmapped node")
+			}
+			if g.Weight(orig, origTo) != e.Weight {
+				t.Errorf("weight mismatch on %d->%d", orig, origTo)
+			}
+		}
+	}
+}

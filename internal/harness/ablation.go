@@ -1,0 +1,287 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"kgvote/internal/core"
+	"kgvote/internal/metrics"
+	"kgvote/internal/pathidx"
+	"kgvote/internal/qa"
+	"kgvote/internal/sgp"
+	"kgvote/internal/synth"
+)
+
+// AblationSolverMode compares the full augmented-Lagrangian multi-vote
+// solve (deviation variables as real variables, the paper's fmincon-style
+// formulation) against the reduced form that eliminates deviations
+// analytically (DESIGN.md §5).
+func AblationSolverMode(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	host, err := synth.Twitter.Scaled(cfg.GraphScale).Generate(cfg.Seed + 40)
+	if err != nil {
+		return Table{}, err
+	}
+	w, err := synth.GenerateWorkload(host, synth.WorkloadConfig{
+		NQ: 20, NA: 60, Nnodes: min(host.NumNodes(), 2000), K: cfg.K, Seed: cfg.Seed + 41,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	nv := min(len(w.Votes), 8)
+	votes := w.Votes[:nv]
+	t := Table{
+		Title:  "Ablation: multi-vote SGP solving strategy",
+		Header: []string{"Mode", "Elapsed", "Omega_avg", "Satisfied", "Constraints"},
+	}
+	for _, mode := range []struct {
+		name string
+		mode sgp.Mode
+	}{{"Full (aug. Lagrangian)", sgp.Full}, {"Reduced (dev eliminated)", sgp.Reduced}} {
+		g := w.Aug.Graph.Clone()
+		eng, err := core.New(g, core.Options{K: cfg.K, L: cfg.L, Mode: mode.mode})
+		if err != nil {
+			return Table{}, err
+		}
+		before, err := voteOmegaRanks(eng, votes, w.Answers)
+		if err != nil {
+			return Table{}, err
+		}
+		start := time.Now()
+		rep, err := eng.SolveMulti(votes)
+		if err != nil {
+			return Table{}, fmt.Errorf("harness: mode %s: %w", mode.name, err)
+		}
+		elapsed := time.Since(start)
+		after, err := voteOmegaRanks(eng, votes, w.Answers)
+		if err != nil {
+			return Table{}, err
+		}
+		omega, err := metrics.OmegaAvg(before, after)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.name, elapsed.String(), f2(omega),
+			fmt.Sprintf("%d", rep.Satisfied), fmt.Sprintf("%d", rep.Constraints),
+		})
+	}
+	return t, nil
+}
+
+// AblationMergeRule compares the paper's vote-weighted sign/max merge rule
+// against plain (vote-weighted) averaging in split-and-merge.
+func AblationMergeRule(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	host, err := synth.Digg.Scaled(cfg.GraphScale).Generate(cfg.Seed + 42)
+	if err != nil {
+		return Table{}, err
+	}
+	w, err := synth.GenerateWorkload(host, synth.WorkloadConfig{
+		NQ: 24, NA: 60, Nnodes: min(host.NumNodes(), 2000), K: cfg.K, Seed: cfg.Seed + 43,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	nv := min(len(w.Votes), 10)
+	votes := w.Votes[:nv]
+	t := Table{
+		Title:  "Ablation: split-and-merge delta combination rule",
+		Header: []string{"Rule", "Elapsed", "Omega_avg", "Clusters"},
+	}
+	for _, rule := range []struct {
+		name string
+		rule core.MergeRule
+	}{{"Vote-weighted sign/max (paper)", core.VoteWeighted}, {"Vote-weighted average", core.AverageDeltas}} {
+		g := w.Aug.Graph.Clone()
+		eng, err := core.New(g, core.Options{K: cfg.K, L: cfg.L, Mode: cfg.sgpMode(), Merge: rule.rule})
+		if err != nil {
+			return Table{}, err
+		}
+		before, err := voteOmegaRanks(eng, votes, w.Answers)
+		if err != nil {
+			return Table{}, err
+		}
+		start := time.Now()
+		rep, err := eng.SolveSplitMerge(votes)
+		if err != nil {
+			return Table{}, fmt.Errorf("harness: rule %s: %w", rule.name, err)
+		}
+		elapsed := time.Since(start)
+		after, err := voteOmegaRanks(eng, votes, w.Answers)
+		if err != nil {
+			return Table{}, err
+		}
+		omega, err := metrics.OmegaAvg(before, after)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{rule.name, elapsed.String(), f2(omega), fmt.Sprintf("%d", rep.Clusters)})
+	}
+	return t, nil
+}
+
+// AblationScorer compares the two equivalent EIPD evaluation strategies:
+// explicit walk enumeration (needed for constraint encoding) versus the
+// truncated power-series sweep (used for ranking).
+func AblationScorer(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	host, err := synth.Gnutella.Scaled(cfg.GraphScale).Generate(cfg.Seed + 44)
+	if err != nil {
+		return Table{}, err
+	}
+	w, err := synth.GenerateWorkload(host, synth.WorkloadConfig{
+		NQ: 4, NA: 40, Nnodes: min(host.NumNodes(), 2000), K: cfg.K, Seed: cfg.Seed + 45,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	opt := pathidx.Options{L: pathidx.DefaultL}
+	t := Table{
+		Title:  "Ablation: EIPD evaluation strategy (per query, all answers)",
+		Header: []string{"Strategy", "Elapsed/query"},
+	}
+	// Enumeration strategy.
+	start := time.Now()
+	for _, q := range w.Queries {
+		paths, err := pathidx.Enumerate(w.Aug.Graph, q, w.Answers, opt)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, ps := range paths {
+			_ = pathidx.SumPaths(w.Aug.Graph, ps, 0.15)
+		}
+	}
+	enumPer := time.Since(start) / time.Duration(len(w.Queries))
+	t.Rows = append(t.Rows, []string{"Explicit walk enumeration", enumPer.String()})
+
+	scorer, err := pathidx.NewScorer(w.Aug.Graph, opt)
+	if err != nil {
+		return Table{}, err
+	}
+	start = time.Now()
+	for _, q := range w.Queries {
+		if _, err := scorer.Scores(q); err != nil {
+			return Table{}, err
+		}
+	}
+	sweepPer := time.Since(start) / time.Duration(len(w.Queries))
+	t.Rows = append(t.Rows, []string{"Truncated power-series sweep", sweepPer.String()})
+	return t, nil
+}
+
+// AblationNormalize compares the post-solve normalization modes.
+func AblationNormalize(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	f, err := newTaobaoFixture(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Ablation: post-solve normalization mode (multi-vote, test-set ranks)",
+		Header: []string{"Mode", "R_avg", "Omega_avg vs original"},
+	}
+	var baseRanks []int
+	for _, m := range []struct {
+		name string
+		mode core.NormalizeMode
+	}{{"original (no votes)", -1}, {"CapSum (default)", core.CapSum}, {"UnitSum", core.UnitSum}, {"NoNormalize", core.NoNormalize}} {
+		var ranks []int
+		if m.mode < 0 {
+			sys, _, err := f.buildOptimized(originalGraph)
+			if err != nil {
+				return Table{}, err
+			}
+			ranks, err = f.testRanks(sys)
+			if err != nil {
+				return Table{}, err
+			}
+			baseRanks = ranks
+			t.Rows = append(t.Rows, []string{m.name, f2(metrics.MeanRank(ranks)), "-"})
+			continue
+		}
+		sys, err := buildWithNormalize(f, m.mode)
+		if err != nil {
+			return Table{}, err
+		}
+		ranks, err = f.testRanks(sys)
+		if err != nil {
+			return Table{}, err
+		}
+		omega, err := metrics.OmegaAvg(baseRanks, ranks)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{m.name, f2(metrics.MeanRank(ranks)), f2(omega)})
+	}
+	return t, nil
+}
+
+func buildWithNormalize(f *taobaoFixture, mode core.NormalizeMode) (*qa.System, error) {
+	s, err := qa.Build(f.corpus, core.Options{K: f.cfg.K, L: f.cfg.L, Mode: f.cfg.sgpMode(), Normalize: mode})
+	if err != nil {
+		return nil, err
+	}
+	synth.CorruptWeights(s.Aug.Graph, f.cfg.Corruption, f.cfg.Seed+5)
+	recs, err := synth.SimulateVotes(s, f.train, synth.VoterConfig{Seed: f.cfg.Seed + 4})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Engine.SolveMulti(synth.Votes(recs)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AblationCluster compares the split strategy's clustering algorithms:
+// the paper's affinity propagation (adaptive k) versus k-medoids with
+// k = ⌈√votes⌉.
+func AblationCluster(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	host, err := synth.Twitter.Scaled(cfg.GraphScale).Generate(cfg.Seed + 46)
+	if err != nil {
+		return Table{}, err
+	}
+	w, err := synth.GenerateWorkload(host, synth.WorkloadConfig{
+		NQ: 24, NA: 60, Nnodes: min(host.NumNodes(), 2000), K: cfg.K, Seed: cfg.Seed + 47,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	nv := min(len(w.Votes), 10)
+	votes := w.Votes[:nv]
+	t := Table{
+		Title:  "Ablation: split strategy clustering algorithm",
+		Header: []string{"Algorithm", "Elapsed", "Omega_avg", "Clusters"},
+	}
+	for _, algo := range []struct {
+		name string
+		algo core.ClusterAlgo
+	}{{"Affinity propagation (paper)", core.APCluster}, {"K-medoids (k = ceil sqrt n)", core.KMedoidsCluster}} {
+		g := w.Aug.Graph.Clone()
+		eng, err := core.New(g, core.Options{K: cfg.K, L: cfg.L, Mode: cfg.sgpMode(), Cluster: algo.algo})
+		if err != nil {
+			return Table{}, err
+		}
+		before, err := voteOmegaRanks(eng, votes, w.Answers)
+		if err != nil {
+			return Table{}, err
+		}
+		start := time.Now()
+		rep, err := eng.SolveSplitMerge(votes)
+		if err != nil {
+			return Table{}, fmt.Errorf("harness: cluster algo %s: %w", algo.name, err)
+		}
+		elapsed := time.Since(start)
+		after, err := voteOmegaRanks(eng, votes, w.Answers)
+		if err != nil {
+			return Table{}, err
+		}
+		omega, err := metrics.OmegaAvg(before, after)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{algo.name, elapsed.String(), f2(omega), fmt.Sprintf("%d", rep.Clusters)})
+	}
+	return t, nil
+}

@@ -1,0 +1,256 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/metrics"
+	"kgvote/internal/qa"
+)
+
+// TableIII reproduces Table III: samples of optimized edge weights (head
+// entity, tail entity, original weight, optimized weight, diff), showing
+// the largest movements after multi-vote optimization.
+func TableIII(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	f, err := newTaobaoFixture(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	base, err := f.buildCorrupted()
+	if err != nil {
+		return Table{}, err
+	}
+	entities := base.Aug.Entities
+	before := base.Aug.Clone()
+	sys, _, err := f.buildOptimized(multiVote)
+	if err != nil {
+		return Table{}, err
+	}
+	type change struct {
+		from, to graph.NodeID
+		old, new float64
+	}
+	var changes []change
+	before.Edges(func(from, to graph.NodeID, w float64) {
+		// Only report entity-entity edges (the knowledge graph proper).
+		if int(from) >= entities || int(to) >= entities {
+			return
+		}
+		nw := sys.Aug.Weight(from, to)
+		if math.Abs(nw-w) > 1e-6 {
+			changes = append(changes, change{from: from, to: to, old: w, new: nw})
+		}
+	})
+	sort.Slice(changes, func(i, j int) bool {
+		di := math.Abs(changes[i].new - changes[i].old)
+		dj := math.Abs(changes[j].new - changes[j].old)
+		if di != dj {
+			return di > dj
+		}
+		if changes[i].from != changes[j].from {
+			return changes[i].from < changes[j].from
+		}
+		return changes[i].to < changes[j].to
+	})
+	if len(changes) > 8 {
+		changes = changes[:8]
+	}
+	t := Table{
+		Title:  "Table III: samples of optimized edge weights",
+		Header: []string{"Head Entity", "Tail Entity", "Original", "Optimized", "Diff"},
+	}
+	for _, c := range changes {
+		t.Rows = append(t.Rows, []string{
+			sys.Aug.Name(c.from), sys.Aug.Name(c.to),
+			fmt.Sprintf("%.4f", c.old), fmt.Sprintf("%.4f", c.new),
+			fmt.Sprintf("%+.4f", c.new-c.old),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d edges changed in total", countAllChanges(before, sys)))
+	return t, nil
+}
+
+func countAllChanges(before *graph.Graph, sys *qa.System) int {
+	n := 0
+	before.Edges(func(from, to graph.NodeID, w float64) {
+		if math.Abs(sys.Aug.Weight(from, to)-w) > 1e-6 {
+			n++
+		}
+	})
+	return n
+}
+
+// TableIV reproduces Table IV: the average ranking of best answers on the
+// held-out test set (R_avg), the score change (Ω_avg), and the percentage
+// improvement (P_avg) for the original graph, the single-vote solution,
+// and the multi-vote solution.
+func TableIV(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	f, err := newTaobaoFixture(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	ranks := make(map[solverKind][]int)
+	for _, kind := range []solverKind{originalGraph, singleVote, multiVote} {
+		sys, _, err := f.buildOptimized(kind)
+		if err != nil {
+			return Table{}, fmt.Errorf("harness: %v: %w", kind, err)
+		}
+		r, err := f.testRanks(sys)
+		if err != nil {
+			return Table{}, err
+		}
+		ranks[kind] = r
+	}
+	t := Table{
+		Title:  "Table IV: ranking of best answers in test dataset",
+		Header: []string{"Graph", "R_avg", "Omega_avg", "P_avg"},
+	}
+	base := ranks[originalGraph]
+	t.Rows = append(t.Rows, []string{originalGraph.String(), f2(metrics.MeanRank(base)), "-", "-"})
+	for _, kind := range []solverKind{singleVote, multiVote} {
+		omega, err := metrics.OmegaAvg(base, ranks[kind])
+		if err != nil {
+			return Table{}, err
+		}
+		p, err := metrics.PctImprovement(base, ranks[kind])
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"Optimized by " + kind.String(), f2(metrics.MeanRank(ranks[kind])), f2(omega), pct(p),
+		})
+	}
+	return t, nil
+}
+
+// TableV reproduces Table V: H@{1,3,5,10} on the test set for the IR
+// baseline, the random-walk Q&A of [5], the unoptimized KG, and the KG
+// optimized by the single-vote and multi-vote solutions.
+func TableV(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	f, err := newTaobaoFixture(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	ks := []int{1, 3, 5, 10}
+	t := Table{
+		Title:  "Table V: promotion of best answers in top-k list",
+		Header: []string{"Method", "H@1", "H@3", "H@5", "H@10"},
+	}
+	addRow := func(name string, ranks []int) {
+		row := []string{name}
+		for _, k := range ks {
+			row = append(row, f2(metrics.HitsAtK(ranks, k)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	// IR baseline needs no graph.
+	irRanks := make([]int, 0, len(f.test))
+	for _, q := range f.test {
+		irRanks = append(irRanks, qa.IRRankOf(f.corpus, q, q.BestDoc))
+	}
+	addRow("IR", irRanks)
+
+	// Random-walk Q&A of [5] on the unoptimized graph.
+	sys, _, err := f.buildOptimized(originalGraph)
+	if err != nil {
+		return Table{}, err
+	}
+	walkRanks := make([]int, 0, len(f.test))
+	for _, q := range f.test {
+		qn, err := sys.AttachQuestion(q)
+		if err != nil {
+			walkRanks = append(walkRanks, 0)
+			continue
+		}
+		r, err := sys.WalkRankOf(qn, q.BestDoc)
+		if err != nil {
+			return Table{}, err
+		}
+		walkRanks = append(walkRanks, r)
+	}
+	addRow("Q&A of [5] (random walk)", walkRanks)
+
+	for _, kind := range []solverKind{originalGraph, singleVote, multiVote} {
+		s, _, err := f.buildOptimized(kind)
+		if err != nil {
+			return Table{}, err
+		}
+		ranks, err := f.testRanks(s)
+		if err != nil {
+			return Table{}, err
+		}
+		name := "KG without optimization"
+		if kind != originalGraph {
+			name = "KG optimized by " + kind.String()
+		}
+		addRow(name, ranks)
+	}
+	return t, nil
+}
+
+// Figure5 reproduces Fig. 5: MRR and MAP of the original, single-vote,
+// and multi-vote graphs — (a) on the whole test set and (b) on the subset
+// of questions whose best answer was not ranked first originally.
+func Figure5(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	f, err := newTaobaoFixture(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	allRanks := make(map[solverKind][]int)
+	allAPs := make(map[solverKind][]float64)
+	for _, kind := range []solverKind{originalGraph, singleVote, multiVote} {
+		sys, _, err := f.buildOptimized(kind)
+		if err != nil {
+			return Table{}, err
+		}
+		r, err := f.testRanks(sys)
+		if err != nil {
+			return Table{}, err
+		}
+		allRanks[kind] = r
+		aps, err := f.testAPs(sys)
+		if err != nil {
+			return Table{}, err
+		}
+		allAPs[kind] = aps
+	}
+	// Subsets: questions whose ORIGINAL rank is > 1.
+	subsetRanks := func(ranks []int) []int {
+		out := make([]int, 0, len(ranks))
+		for i, orig := range allRanks[originalGraph] {
+			if orig > 1 {
+				out = append(out, ranks[i])
+			}
+		}
+		return out
+	}
+	subsetAPs := func(aps []float64) []float64 {
+		out := make([]float64, 0, len(aps))
+		for i, orig := range allRanks[originalGraph] {
+			if orig > 1 {
+				out = append(out, aps[i])
+			}
+		}
+		return out
+	}
+	t := Table{
+		Title:  "Figure 5: MRR and MAP on the test dataset",
+		Header: []string{"Graph", "MRR(all)", "MAP(all)", "MRR(non-top1)", "MAP(non-top1)"},
+	}
+	for _, kind := range []solverKind{originalGraph, singleVote, multiVote} {
+		r := allRanks[kind]
+		t.Rows = append(t.Rows, []string{
+			kind.String(),
+			f3(metrics.MRR(r)), f3(metrics.MAP(allAPs[kind])),
+			f3(metrics.MRR(subsetRanks(r))), f3(metrics.MAP(subsetAPs(allAPs[kind]))),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,154 @@
+// Package metrics implements the evaluation measures of Section VII:
+// Ω_avg (Definition 3 / Equation (21)), R_avg, P_avg, H@k, MRR, and MAP.
+//
+// Ranks are 1-based throughout; rank 0 means "not found" and is treated as
+// worse than any finite rank (contributing 0 to reciprocal measures).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Omega is the graph score of Definition 3: Σ (rank_t − rank'_t) over
+// votes, where rank is the best answer's position before optimization and
+// rank' after. Positive is better.
+func Omega(before, after []int) (float64, error) {
+	if len(before) != len(after) {
+		return 0, fmt.Errorf("metrics: %d before vs %d after ranks", len(before), len(after))
+	}
+	var s float64
+	for i := range before {
+		s += float64(before[i] - after[i])
+	}
+	return s, nil
+}
+
+// OmegaAvg is Equation (21): Omega divided by the number of votes.
+func OmegaAvg(before, after []int) (float64, error) {
+	if len(before) == 0 {
+		return 0, nil
+	}
+	o, err := Omega(before, after)
+	if err != nil {
+		return 0, err
+	}
+	return o / float64(len(before)), nil
+}
+
+// MeanRank is R_avg: the average 1-based rank of the best answers.
+// Missing answers (rank 0) are excluded; if all are missing it returns 0.
+func MeanRank(ranks []int) float64 {
+	var s float64
+	n := 0
+	for _, r := range ranks {
+		if r > 0 {
+			s += float64(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// PctImprovement is P_avg: the percentage improvement of the average
+// ranking, (R_avg(before) − R_avg(after)) / R_avg(before). This matches
+// the paper's Table IV, where 3.56 → 2.86 is reported as ≈ 18.8%.
+// Queries with a missing rank on either side are skipped pairwise.
+func PctImprovement(before, after []int) (float64, error) {
+	if len(before) != len(after) {
+		return 0, fmt.Errorf("metrics: %d before vs %d after ranks", len(before), len(after))
+	}
+	var sumB, sumA float64
+	n := 0
+	for i := range before {
+		if before[i] <= 0 || after[i] <= 0 {
+			continue
+		}
+		sumB += float64(before[i])
+		sumA += float64(after[i])
+		n++
+	}
+	if n == 0 || sumB == 0 {
+		return 0, nil
+	}
+	return (sumB - sumA) / sumB, nil
+}
+
+// HitsAtK is H@k: the fraction of queries whose best answer ranks no lower
+// than k.
+func HitsAtK(ranks []int, k int) float64 {
+	if len(ranks) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, r := range ranks {
+		if r > 0 && r <= k {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(ranks))
+}
+
+// MRR is the mean reciprocal rank; rank 0 contributes 0.
+func MRR(ranks []int) float64 {
+	if len(ranks) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range ranks {
+		if r > 0 {
+			s += 1 / float64(r)
+		}
+	}
+	return s / float64(len(ranks))
+}
+
+// AveragePrecision computes AP for one query: ranked is the returned list
+// (by whatever IDs the caller uses) and relevant the set of relevant IDs.
+// AP = Σ_k precision@k·rel(k) / |relevant ∩ retrievable|, with the
+// convention AP = 0 when nothing relevant exists.
+func AveragePrecision(ranked []int64, relevant map[int64]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	var sum float64
+	for i, id := range ranked {
+		if relevant[id] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / float64(len(relevant))
+}
+
+// MAP is the mean of per-query average precisions.
+func MAP(aps []float64) float64 {
+	if len(aps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range aps {
+		s += v
+	}
+	return s / float64(len(aps))
+}
+
+// PD is the percentage difference of Equation (22):
+// (sum_j − sum_i) / sum_i, used by the Fig. 7(a) experiment on cumulative
+// similarity mass for consecutive path-length limits.
+func PD(sumI, sumJ float64) float64 {
+	if sumI == 0 {
+		if sumJ == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (sumJ - sumI) / sumI
+}

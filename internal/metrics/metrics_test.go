@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOmega(t *testing.T) {
+	// Paper's example: best answer moves from rank 2 to rank 1 → +1.
+	got, err := Omega([]int{2}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("Omega = %v, want 1", got)
+	}
+	got, err = Omega([]int{2, 5, 1}, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1+3-2 {
+		t.Errorf("Omega = %v, want 2", got)
+	}
+	if _, err := Omega([]int{1}, []int{1, 2}); err == nil {
+		t.Errorf("length mismatch should fail")
+	}
+}
+
+func TestOmegaAvg(t *testing.T) {
+	got, err := OmegaAvg([]int{3, 5}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("OmegaAvg = %v, want 3", got)
+	}
+	got, err = OmegaAvg(nil, nil)
+	if err != nil || got != 0 {
+		t.Errorf("empty OmegaAvg = %v, %v", got, err)
+	}
+	if _, err := OmegaAvg([]int{1}, []int{}); err == nil {
+		t.Errorf("length mismatch should fail")
+	}
+}
+
+func TestMeanRank(t *testing.T) {
+	if got := MeanRank([]int{1, 2, 3}); got != 2 {
+		t.Errorf("MeanRank = %v, want 2", got)
+	}
+	// Missing ranks are excluded.
+	if got := MeanRank([]int{0, 4}); got != 4 {
+		t.Errorf("MeanRank = %v, want 4", got)
+	}
+	if got := MeanRank([]int{0, 0}); got != 0 {
+		t.Errorf("all-missing MeanRank = %v, want 0", got)
+	}
+	if got := MeanRank(nil); got != 0 {
+		t.Errorf("empty MeanRank = %v, want 0", got)
+	}
+}
+
+func TestPctImprovement(t *testing.T) {
+	// R_avg 3 → 2 is a 1/3 improvement.
+	got, err := PctImprovement([]int{4, 2}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0/3) > 1e-15 {
+		t.Errorf("PctImprovement = %v, want 1/3", got)
+	}
+	// The paper's own Table IV numbers: 3.56 → 2.86 ≈ 19.7%.
+	before := []int{3, 4, 4, 3, 4, 3, 4, 4, 3, 4} // R_avg 3.6
+	after := []int{3, 3, 3, 3, 3, 3, 3, 3, 2, 3}  // R_avg 2.9
+	got, err = PctImprovement(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(3.6-2.9)/3.6) > 1e-12 {
+		t.Errorf("PctImprovement = %v", got)
+	}
+	// Degradation is negative.
+	got, err = PctImprovement([]int{2}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -1 {
+		t.Errorf("PctImprovement = %v, want -1", got)
+	}
+	// Missing ranks are skipped pairwise.
+	got, err = PctImprovement([]int{0, 2}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("PctImprovement = %v, want 0.5", got)
+	}
+	got, err = PctImprovement([]int{0}, []int{0})
+	if err != nil || got != 0 {
+		t.Errorf("all-missing = %v, %v", got, err)
+	}
+	if _, err := PctImprovement([]int{1}, []int{1, 2}); err == nil {
+		t.Errorf("length mismatch should fail")
+	}
+}
+
+func TestHitsAtK(t *testing.T) {
+	ranks := []int{1, 3, 7, 0}
+	if got := HitsAtK(ranks, 1); got != 0.25 {
+		t.Errorf("H@1 = %v, want 0.25", got)
+	}
+	if got := HitsAtK(ranks, 3); got != 0.5 {
+		t.Errorf("H@3 = %v, want 0.5", got)
+	}
+	if got := HitsAtK(ranks, 10); got != 0.75 {
+		t.Errorf("H@10 = %v, want 0.75 (missing rank never hits)", got)
+	}
+	if got := HitsAtK(nil, 5); got != 0 {
+		t.Errorf("empty H@k = %v", got)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	if got := MRR([]int{1, 2, 4}); math.Abs(got-(1+0.5+0.25)/3) > 1e-15 {
+		t.Errorf("MRR = %v", got)
+	}
+	if got := MRR([]int{0}); got != 0 {
+		t.Errorf("missing rank MRR = %v, want 0", got)
+	}
+	if got := MRR(nil); got != 0 {
+		t.Errorf("empty MRR = %v, want 0", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	rel := map[int64]bool{10: true, 30: true}
+	// Ranked: 10 (hit, p=1), 20, 30 (hit, p=2/3) → AP = (1 + 2/3)/2.
+	got := AveragePrecision([]int64{10, 20, 30}, rel)
+	if want := (1.0 + 2.0/3.0) / 2; math.Abs(got-want) > 1e-15 {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+	if got := AveragePrecision([]int64{20, 40}, rel); got != 0 {
+		t.Errorf("no hits AP = %v, want 0", got)
+	}
+	if got := AveragePrecision([]int64{10}, nil); got != 0 {
+		t.Errorf("no relevant AP = %v, want 0", got)
+	}
+	// A single relevant item at rank r gives AP = 1/r (matches MRR).
+	single := map[int64]bool{7: true}
+	if got := AveragePrecision([]int64{1, 2, 7}, single); math.Abs(got-1.0/3) > 1e-15 {
+		t.Errorf("single-relevant AP = %v, want 1/3", got)
+	}
+}
+
+func TestMAP(t *testing.T) {
+	if got := MAP([]float64{1, 0.5}); got != 0.75 {
+		t.Errorf("MAP = %v, want 0.75", got)
+	}
+	if got := MAP(nil); got != 0 {
+		t.Errorf("empty MAP = %v, want 0", got)
+	}
+}
+
+func TestPD(t *testing.T) {
+	if got := PD(2, 3); got != 0.5 {
+		t.Errorf("PD = %v, want 0.5", got)
+	}
+	if got := PD(0, 0); got != 0 {
+		t.Errorf("PD(0,0) = %v, want 0", got)
+	}
+	if got := PD(0, 1); !math.IsInf(got, 1) {
+		t.Errorf("PD(0,1) = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,169 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constraint is one smooth inequality constraint g(x) ≤ 0. AddGrad must
+// accumulate scale·∇g(x) into grad (not overwrite).
+type Constraint struct {
+	F       func(x []float64) float64
+	AddGrad func(x []float64, grad []float64, scale float64)
+}
+
+// ALOptions tunes the augmented-Lagrangian outer loop.
+type ALOptions struct {
+	MaxOuter      int     // outer iterations; default 30
+	Mu0           float64 // initial penalty; default 10
+	MuGrowth      float64 // penalty growth when progress stalls; default 4
+	MuMax         float64 // penalty cap; default 1e10
+	ConstraintTol float64 // feasibility tolerance; default 1e-8
+	Inner         PGOptions
+}
+
+func (o ALOptions) withDefaults() ALOptions {
+	if o.MaxOuter == 0 {
+		o.MaxOuter = 30
+	}
+	if o.Mu0 == 0 {
+		o.Mu0 = 10
+	}
+	if o.MuGrowth == 0 {
+		o.MuGrowth = 4
+	}
+	if o.MuMax == 0 {
+		o.MuMax = 1e10
+	}
+	if o.ConstraintTol == 0 {
+		o.ConstraintTol = 1e-8
+	}
+	return o
+}
+
+// ALResult is the outcome of an augmented-Lagrangian solve.
+type ALResult struct {
+	X            []float64
+	F            float64 // objective value (without penalty)
+	MaxViolation float64 // max_i max(0, g_i(x))
+	Feasible     bool
+	Outer        int
+	InnerIters   int
+	InnerEvals   int
+	Multipliers  []float64
+}
+
+// AugmentedLagrangian minimizes obj subject to cons[i](x) ≤ 0 and the box,
+// using the Powell–Hestenes–Rockafellar augmented Lagrangian
+//
+//	L(x; λ, μ) = f(x) + 1/(2μ)·Σ_i [ max(0, λ_i + μ·g_i(x))² − λ_i² ]
+//
+// with the spectral projected-gradient method as the inner solver.
+// Multiplier update: λ_i ← max(0, λ_i + μ·g_i(x)); the penalty μ grows
+// when the maximum violation fails to shrink by at least 4×.
+func AugmentedLagrangian(obj Func, cons []Constraint, box Box, x0 []float64, opt ALOptions) (ALResult, error) {
+	n := len(x0)
+	if err := box.Validate(n); err != nil {
+		return ALResult{}, err
+	}
+	opt = opt.withDefaults()
+	if opt.Mu0 <= 0 || opt.MuGrowth <= 1 {
+		return ALResult{}, fmt.Errorf("optimize: invalid AL penalties mu0=%v growth=%v", opt.Mu0, opt.MuGrowth)
+	}
+
+	lambda := make([]float64, len(cons))
+	mu := opt.Mu0
+	x := append([]float64(nil), x0...)
+	box.Project(x)
+
+	gvals := make([]float64, len(cons))
+	evalCons := func(x []float64) {
+		for i, c := range cons {
+			gvals[i] = c.F(x)
+		}
+	}
+	maxViol := func() float64 {
+		v := 0.0
+		for _, gv := range gvals {
+			if gv > v {
+				v = gv
+			}
+		}
+		return v
+	}
+
+	lag := Func{
+		F: func(x []float64) float64 {
+			v := obj.F(x)
+			for i, c := range cons {
+				t := lambda[i] + mu*c.F(x)
+				if t > 0 {
+					v += (t*t - lambda[i]*lambda[i]) / (2 * mu)
+				} else {
+					v -= lambda[i] * lambda[i] / (2 * mu)
+				}
+			}
+			return v
+		},
+		Grad: func(x []float64, g []float64) {
+			obj.Grad(x, g)
+			for i, c := range cons {
+				t := lambda[i] + mu*c.F(x)
+				if t > 0 {
+					c.AddGrad(x, g, t)
+				}
+			}
+		},
+	}
+
+	res := ALResult{}
+	evalCons(x)
+	prevViol := maxViol()
+	xPrev := append([]float64(nil), x...)
+	for outer := 1; outer <= opt.MaxOuter; outer++ {
+		inner, err := ProjectedGradient(lag, box, x, opt.Inner)
+		if err != nil {
+			return ALResult{}, err
+		}
+		x = inner.X
+		res.Outer = outer
+		res.InnerIters += inner.Iters
+		res.InnerEvals += inner.Evals
+
+		evalCons(x)
+		viol := maxViol()
+		for i := range lambda {
+			lambda[i] = math.Max(0, lambda[i]+mu*gvals[i])
+		}
+		// Converged when feasible AND the iterate has stabilized across
+		// outer iterations (feasibility alone can be reached far from the
+		// constrained optimum).
+		var dx float64
+		for i := range x {
+			if d := math.Abs(x[i] - xPrev[i]); d > dx {
+				dx = d
+			}
+		}
+		copy(xPrev, x)
+		if viol <= opt.ConstraintTol && (dx <= 1e-7 || outer > 1 && prevViol <= opt.ConstraintTol && dx <= 1e-5) {
+			res.Feasible = true
+			res.MaxViolation = viol
+			break
+		}
+		if viol > 0.25*prevViol && mu < opt.MuMax {
+			mu *= opt.MuGrowth
+			if mu > opt.MuMax {
+				mu = opt.MuMax
+			}
+		}
+		prevViol = viol
+		res.MaxViolation = viol
+	}
+	res.X = x
+	res.F = obj.F(x)
+	res.Multipliers = lambda
+	evalCons(x)
+	res.MaxViolation = maxViol()
+	res.Feasible = res.MaxViolation <= opt.ConstraintTol
+	return res, nil
+}

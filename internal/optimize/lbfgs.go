@@ -1,0 +1,195 @@
+package optimize
+
+import "math"
+
+// LBFGSOptions tunes LBFGS.
+type LBFGSOptions struct {
+	MaxIter       int     // default 500
+	Tol           float64 // ∞-norm of the gradient; default 1e-8
+	FTol          float64 // relative objective change; default 1e-12
+	Memory        int     // history pairs; default 8
+	ArmijoC       float64 // default 1e-4
+	Shrink        float64 // default 0.5
+	MaxBacktracks int     // default 50
+}
+
+func (o LBFGSOptions) withDefaults() LBFGSOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 500
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.FTol == 0 {
+		o.FTol = 1e-12
+	}
+	if o.Memory == 0 {
+		o.Memory = 8
+	}
+	if o.ArmijoC == 0 {
+		o.ArmijoC = 1e-4
+	}
+	if o.Shrink == 0 {
+		o.Shrink = 0.5
+	}
+	if o.MaxBacktracks == 0 {
+		o.MaxBacktracks = 50
+	}
+	return o
+}
+
+// LBFGS minimizes an unconstrained smooth function with the limited-memory
+// BFGS method and Armijo backtracking. It is used for the reduced
+// (deviation-eliminated) multi-vote formulation and as a fast inner solver
+// where no box is needed.
+func LBFGS(f Func, x0 []float64, opt LBFGSOptions) Result {
+	opt = opt.withDefaults()
+	n := len(x0)
+	if n == 0 {
+		return Result{Status: Converged}
+	}
+	x := append([]float64(nil), x0...)
+	g := make([]float64, n)
+	fx := f.F(x)
+	f.Grad(x, g)
+	evals := 1
+
+	m := opt.Memory
+	sHist := make([][]float64, 0, m)
+	yHist := make([][]float64, 0, m)
+	rhoHist := make([]float64, 0, m)
+	alpha := make([]float64, m)
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gNew := make([]float64, n)
+	res := Result{Status: MaxIterations}
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		gInf := 0.0
+		for _, v := range g {
+			if a := math.Abs(v); a > gInf {
+				gInf = a
+			}
+		}
+		if gInf <= opt.Tol {
+			res.Status = Converged
+			res.Iters = iter - 1
+			res.GradNorm = gInf
+			break
+		}
+
+		// Two-loop recursion for dir = −H·g.
+		copy(dir, g)
+		for i := len(sHist) - 1; i >= 0; i-- {
+			var sd float64
+			for j := range dir {
+				sd += sHist[i][j] * dir[j]
+			}
+			alpha[i] = rhoHist[i] * sd
+			for j := range dir {
+				dir[j] -= alpha[i] * yHist[i][j]
+			}
+		}
+		if k := len(sHist); k > 0 {
+			var sy, yy float64
+			for j := 0; j < n; j++ {
+				sy += sHist[k-1][j] * yHist[k-1][j]
+				yy += yHist[k-1][j] * yHist[k-1][j]
+			}
+			if yy > 0 {
+				scale := sy / yy
+				for j := range dir {
+					dir[j] *= scale
+				}
+			}
+		}
+		for i := 0; i < len(sHist); i++ {
+			var yd float64
+			for j := range dir {
+				yd += yHist[i][j] * dir[j]
+			}
+			beta := rhoHist[i] * yd
+			for j := range dir {
+				dir[j] += (alpha[i] - beta) * sHist[i][j]
+			}
+		}
+		for j := range dir {
+			dir[j] = -dir[j]
+		}
+
+		// Descent check: fall back to steepest descent if the curvature
+		// history produced an ascent direction.
+		var gd float64
+		for j := range dir {
+			gd += g[j] * dir[j]
+		}
+		if gd >= 0 {
+			for j := range dir {
+				dir[j] = -g[j]
+			}
+			gd = 0
+			for j := range dir {
+				gd += g[j] * dir[j]
+			}
+		}
+
+		// Armijo backtracking.
+		t := 1.0
+		accepted := false
+		var fNew float64
+		for bt := 0; bt <= opt.MaxBacktracks; bt++ {
+			for j := range xNew {
+				xNew[j] = x[j] + t*dir[j]
+			}
+			fNew = f.F(xNew)
+			evals++
+			if fNew <= fx+opt.ArmijoC*t*gd {
+				accepted = true
+				break
+			}
+			t *= opt.Shrink
+		}
+		if !accepted {
+			res.Status = LineSearchFailed
+			res.Iters = iter
+			res.GradNorm = gInf
+			break
+		}
+
+		f.Grad(xNew, gNew)
+		s := make([]float64, n)
+		y := make([]float64, n)
+		var sy float64
+		for j := 0; j < n; j++ {
+			s[j] = xNew[j] - x[j]
+			y[j] = gNew[j] - g[j]
+			sy += s[j] * y[j]
+		}
+		if sy > 1e-16 {
+			if len(sHist) == m {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+		}
+
+		relImprove := math.Abs(fx-fNew) / math.Max(1, math.Abs(fx))
+		copy(x, xNew)
+		copy(g, gNew)
+		fx = fNew
+		res.Iters = iter
+		res.GradNorm = gInf
+		if relImprove < opt.FTol {
+			res.Status = SmallImprovement
+			break
+		}
+	}
+	res.X = x
+	res.F = fx
+	res.Evals = evals
+	return res
+}

@@ -1,0 +1,280 @@
+// Package optimize is a small, dependency-free nonlinear optimization
+// toolkit: a spectral projected-gradient method for box-constrained smooth
+// minimization, a limited-memory BFGS method for unconstrained problems,
+// and an augmented-Lagrangian outer loop for inequality-constrained
+// problems.
+//
+// It exists because the paper solves its signomial geometric programs with
+// MATLAB's fmincon; this package is the hand-rolled substitute. All
+// methods use caller-supplied analytic gradients.
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func is a smooth scalar function with an analytic gradient. Grad must
+// overwrite g (len(g) == len(x)) with ∇f(x).
+type Func struct {
+	F    func(x []float64) float64
+	Grad func(x []float64, g []float64)
+}
+
+// Box holds per-coordinate bounds. A nil Lower/Upper slice means
+// unbounded on that side.
+type Box struct {
+	Lower, Upper []float64
+}
+
+// Project clamps x into the box in place.
+func (b Box) Project(x []float64) {
+	for i := range x {
+		if b.Lower != nil && x[i] < b.Lower[i] {
+			x[i] = b.Lower[i]
+		}
+		if b.Upper != nil && x[i] > b.Upper[i] {
+			x[i] = b.Upper[i]
+		}
+	}
+}
+
+// Validate checks that the box is consistent with dimension n.
+func (b Box) Validate(n int) error {
+	if b.Lower != nil && len(b.Lower) != n {
+		return fmt.Errorf("optimize: lower bound has dim %d, want %d", len(b.Lower), n)
+	}
+	if b.Upper != nil && len(b.Upper) != n {
+		return fmt.Errorf("optimize: upper bound has dim %d, want %d", len(b.Upper), n)
+	}
+	if b.Lower != nil && b.Upper != nil {
+		for i := range b.Lower {
+			if b.Lower[i] > b.Upper[i] {
+				return fmt.Errorf("optimize: empty box at coordinate %d: [%v, %v]", i, b.Lower[i], b.Upper[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Status describes why an optimizer stopped.
+type Status int
+
+const (
+	// Converged means the first-order optimality criterion was met.
+	Converged Status = iota
+	// SmallImprovement means successive objective values stopped changing.
+	SmallImprovement
+	// MaxIterations means the iteration budget ran out.
+	MaxIterations
+	// LineSearchFailed means no acceptable step was found; the best point
+	// so far is returned.
+	LineSearchFailed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Converged:
+		return "converged"
+	case SmallImprovement:
+		return "small-improvement"
+	case MaxIterations:
+		return "max-iterations"
+	case LineSearchFailed:
+		return "line-search-failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a single optimizer run.
+type Result struct {
+	X        []float64
+	F        float64
+	Iters    int
+	Evals    int // objective evaluations (line search included)
+	GradNorm float64
+	Status   Status
+}
+
+// PGOptions tunes ProjectedGradient.
+type PGOptions struct {
+	MaxIter       int     // default 500
+	Tol           float64 // ∞-norm of the projected gradient step; default 1e-8
+	FTol          float64 // relative objective change; default 1e-12
+	ArmijoC       float64 // sufficient-decrease constant; default 1e-4
+	Shrink        float64 // backtracking factor; default 0.5
+	MaxBacktracks int     // default 40
+	StepMin       float64 // BB step clamp; default 1e-12
+	StepMax       float64 // BB step clamp; default 1e6
+	// NonmonotoneWindow is the GLL line-search history length: the Armijo
+	// reference value is the max of the last N objective values, letting
+	// spectral steps temporarily increase f (classic SPG). 1 (default)
+	// is a strictly monotone search.
+	NonmonotoneWindow int
+}
+
+func (o PGOptions) withDefaults() PGOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 500
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.FTol == 0 {
+		o.FTol = 1e-12
+	}
+	if o.ArmijoC == 0 {
+		o.ArmijoC = 1e-4
+	}
+	if o.Shrink == 0 {
+		o.Shrink = 0.5
+	}
+	if o.MaxBacktracks == 0 {
+		o.MaxBacktracks = 40
+	}
+	if o.StepMin == 0 {
+		o.StepMin = 1e-12
+	}
+	if o.StepMax == 0 {
+		o.StepMax = 1e6
+	}
+	if o.NonmonotoneWindow == 0 {
+		o.NonmonotoneWindow = 1
+	}
+	return o
+}
+
+// ProjectedGradient minimizes f over the box using a spectral
+// (Barzilai–Borwein) projected-gradient method with monotone Armijo
+// backtracking along the projection arc.
+func ProjectedGradient(f Func, box Box, x0 []float64, opt PGOptions) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{X: nil, Status: Converged}, nil
+	}
+	if err := box.Validate(n); err != nil {
+		return Result{}, err
+	}
+	opt = opt.withDefaults()
+
+	x := append([]float64(nil), x0...)
+	box.Project(x)
+	g := make([]float64, n)
+	fx := f.F(x)
+	f.Grad(x, g)
+	evals := 1
+
+	// GLL nonmonotone reference: ring buffer of recent objective values.
+	history := make([]float64, 0, opt.NonmonotoneWindow)
+	history = append(history, fx)
+	fref := func() float64 {
+		m := history[0]
+		for _, v := range history[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+
+	xNew := make([]float64, n)
+	gNew := make([]float64, n)
+	step := 1.0
+	res := Result{Status: MaxIterations}
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		// Optimality: the projected gradient step.
+		pgNorm := 0.0
+		for i := range x {
+			xi := x[i] - g[i]
+			if box.Lower != nil && xi < box.Lower[i] {
+				xi = box.Lower[i]
+			}
+			if box.Upper != nil && xi > box.Upper[i] {
+				xi = box.Upper[i]
+			}
+			d := math.Abs(xi - x[i])
+			if d > pgNorm {
+				pgNorm = d
+			}
+		}
+		if pgNorm <= opt.Tol {
+			res.Status = Converged
+			res.Iters = iter - 1
+			res.GradNorm = pgNorm
+			break
+		}
+
+		// Backtracking along the projection arc: x(t) = P(x − t·step·g),
+		// accepting against the (possibly nonmonotone) reference value.
+		ref := fref()
+		t := 1.0
+		accepted := false
+		var fNew float64
+		for bt := 0; bt <= opt.MaxBacktracks; bt++ {
+			for i := range xNew {
+				xNew[i] = x[i] - t*step*g[i]
+			}
+			box.Project(xNew)
+			// Directional decrease along d = xNew − x.
+			var gd float64
+			for i := range xNew {
+				gd += g[i] * (xNew[i] - x[i])
+			}
+			fNew = f.F(xNew)
+			evals++
+			if fNew <= ref+opt.ArmijoC*gd || gd >= 0 && fNew < ref {
+				accepted = true
+				break
+			}
+			t *= opt.Shrink
+		}
+		if !accepted {
+			res.Status = LineSearchFailed
+			res.Iters = iter
+			res.GradNorm = pgNorm
+			break
+		}
+
+		f.Grad(xNew, gNew)
+		// Barzilai–Borwein step for the next iteration.
+		var sy, ss float64
+		for i := range x {
+			s := xNew[i] - x[i]
+			y := gNew[i] - g[i]
+			sy += s * y
+			ss += s * s
+		}
+		if sy > 0 {
+			step = ss / sy
+		} else {
+			step = 1
+		}
+		if step < opt.StepMin {
+			step = opt.StepMin
+		}
+		if step > opt.StepMax {
+			step = opt.StepMax
+		}
+
+		relImprove := math.Abs(fx-fNew) / math.Max(1, math.Abs(fx))
+		copy(x, xNew)
+		copy(g, gNew)
+		fx = fNew
+		if len(history) == opt.NonmonotoneWindow {
+			history = history[1:]
+		}
+		history = append(history, fx)
+		res.Iters = iter
+		res.GradNorm = pgNorm
+		if relImprove < opt.FTol {
+			res.Status = SmallImprovement
+			break
+		}
+	}
+	res.X = x
+	res.F = fx
+	res.Evals = evals
+	return res, nil
+}

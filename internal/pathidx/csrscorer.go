@@ -1,0 +1,134 @@
+package pathidx
+
+import (
+	"fmt"
+	"sort"
+
+	"kgvote/internal/graph"
+)
+
+// CSRScorer is the serving-path twin of Scorer: it computes the same
+// truncated extended inverse P-distances over an immutable graph.CSR
+// snapshot. Because the snapshot never changes, any number of CSRScorers
+// can score concurrently (one scorer per goroutine; each scorer holds its
+// own scratch buffers) while the mutable graph keeps taking optimization
+// writes elsewhere.
+type CSRScorer struct {
+	c   *graph.CSR
+	opt Options
+
+	cur, next   []float64
+	curIdx      []graph.NodeID
+	nextIdx     []graph.NodeID
+	inNext      []bool
+	scores      []float64
+	touched     []graph.NodeID
+	scoreActive []bool
+}
+
+// NewCSRScorer returns a scorer over the snapshot.
+func NewCSRScorer(c *graph.CSR, opt Options) (*CSRScorer, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.NumNodes()
+	return &CSRScorer{
+		c:           c,
+		opt:         opt.withDefaults(),
+		cur:         make([]float64, n),
+		next:        make([]float64, n),
+		inNext:      make([]bool, n),
+		scores:      make([]float64, n),
+		scoreActive: make([]bool, n),
+	}, nil
+}
+
+// Scores computes the truncated EIPD from source to every node. The
+// returned slice is owned by the scorer and valid until the next call.
+func (s *CSRScorer) Scores(source graph.NodeID) ([]float64, error) {
+	if int(source) < 0 || int(source) >= s.c.NumNodes() {
+		return nil, fmt.Errorf("pathidx: source %d out of range [0, %d)", source, s.c.NumNodes())
+	}
+	for _, v := range s.touched {
+		s.scores[v] = 0
+		s.scoreActive[v] = false
+	}
+	s.touched = s.touched[:0]
+	for _, v := range s.curIdx {
+		s.cur[v] = 0
+	}
+	s.curIdx = s.curIdx[:0]
+
+	s.cur[source] = 1
+	s.curIdx = append(s.curIdx, source)
+	c := s.opt.C
+	damp := c
+	for l := 1; l <= s.opt.L; l++ {
+		damp *= 1 - c
+		s.nextIdx = s.nextIdx[:0]
+		for _, from := range s.curIdx {
+			p := s.cur[from]
+			cols, ws := s.c.Row(from)
+			for i, to := range cols {
+				w := ws[i]
+				if w == 0 {
+					continue
+				}
+				if !s.inNext[to] {
+					s.inNext[to] = true
+					s.nextIdx = append(s.nextIdx, to)
+					s.next[to] = 0
+				}
+				s.next[to] += p * w
+			}
+		}
+		for _, v := range s.nextIdx {
+			s.inNext[v] = false
+			if !s.scoreActive[v] {
+				s.scoreActive[v] = true
+				s.touched = append(s.touched, v)
+			}
+			s.scores[v] += damp * s.next[v]
+		}
+		for _, v := range s.curIdx {
+			s.cur[v] = 0
+		}
+		s.cur, s.next = s.next, s.cur
+		s.curIdx, s.nextIdx = s.nextIdx, s.curIdx
+		if len(s.curIdx) == 0 {
+			break
+		}
+	}
+	for _, v := range s.curIdx {
+		s.cur[v] = 0
+	}
+	s.curIdx = s.curIdx[:0]
+	return s.scores, nil
+}
+
+// Rank scores every candidate and returns the top-k list (descending
+// score, ties by node ID). k ≤ 0 returns all candidates.
+func (s *CSRScorer) Rank(source graph.NodeID, candidates []graph.NodeID, k int) ([]Ranked, error) {
+	sc, err := s.Scores(source)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Ranked, 0, len(candidates))
+	for _, cand := range candidates {
+		var v float64
+		if int(cand) >= 0 && int(cand) < len(sc) {
+			v = sc[cand]
+		}
+		out = append(out, Ranked{Node: cand, Score: v})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package pathidx
+
+import (
+	"fmt"
+
+	"kgvote/internal/graph"
+)
+
+// LengthStats summarizes the walk population of one length.
+type LengthStats struct {
+	// Length is the walk length in edges.
+	Length int
+	// Frontier is the number of distinct nodes reachable in exactly
+	// Length steps (with nonzero probability).
+	Frontier int
+	// Mass is the total probability mass Σ_v (W^Length)_{source,v},
+	// i.e. the chance a random walk survives Length steps.
+	Mass float64
+	// Contribution is c·(1−c)^Length · Mass: how much this length adds to
+	// the total extended inverse P-distance.
+	Contribution float64
+}
+
+// WalkStats profiles a source node's walk population per length up to
+// opt.L: how wide each frontier is, how much probability mass survives,
+// and how much each length contributes to the similarity total. This is
+// the quantitative basis for choosing the pruning threshold L (the
+// paper's Fig. 7(a) argument): pick the smallest L whose next length adds
+// a negligible contribution.
+func WalkStats(g *graph.Graph, source graph.NodeID, opt Options) ([]LengthStats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	if int(source) < 0 || int(source) >= n {
+		return nil, fmt.Errorf("pathidx: source %d out of range [0, %d)", source, n)
+	}
+	cur := map[graph.NodeID]float64{source: 1}
+	out := make([]LengthStats, 0, opt.L)
+	damp := opt.C
+	for l := 1; l <= opt.L; l++ {
+		damp *= 1 - opt.C
+		next := make(map[graph.NodeID]float64)
+		for from, p := range cur {
+			for _, e := range g.Out(from) {
+				if e.Weight > 0 {
+					next[e.To] += p * e.Weight
+				}
+			}
+		}
+		var mass float64
+		for _, p := range next {
+			mass += p
+		}
+		out = append(out, LengthStats{
+			Length:       l,
+			Frontier:     len(next),
+			Mass:         mass,
+			Contribution: damp * mass,
+		})
+		if len(next) == 0 {
+			break
+		}
+		cur = next
+	}
+	return out, nil
+}
+
+// SuggestL returns the smallest L whose next length's contribution falls
+// below frac of the cumulative total so far (the Fig. 7(a) criterion),
+// probing lengths up to maxL. It returns maxL when no length qualifies.
+func SuggestL(g *graph.Graph, source graph.NodeID, maxL int, frac float64, c float64) (int, error) {
+	if frac <= 0 || frac >= 1 {
+		return 0, fmt.Errorf("pathidx: frac %v outside (0,1)", frac)
+	}
+	stats, err := WalkStats(g, source, Options{L: maxL, C: c})
+	if err != nil {
+		return 0, err
+	}
+	var cum float64
+	for i, s := range stats {
+		cum += s.Contribution
+		if i+1 < len(stats) && cum > 0 && stats[i+1].Contribution/cum < frac {
+			return s.Length, nil
+		}
+	}
+	return maxL, nil
+}

@@ -1,0 +1,98 @@
+package ppr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kgvote/internal/graph"
+)
+
+// MonteCarlo estimates PPR scores by simulating restart random walks, the
+// classic alternative to linear-system solves for very large graphs. Each
+// walk starts at the source; at every step it terminates with probability
+// c, otherwise moves to an out-neighbor with probability proportional to
+// the edge weight (terminating early if the residual out-mass is spent,
+// which models sub-stochastic rows exactly like the power iteration).
+//
+// The estimator of π_{s,v} is c · (visits to v) / walks, which is
+// unbiased; the standard error decays as 1/√walks.
+type MonteCarlo struct {
+	g   *graph.Graph
+	opt Options
+	rng *rand.Rand
+	// Walks is the number of simulated walks per Scores call.
+	Walks int
+}
+
+// NewMonteCarlo returns an estimator with the given walk budget and seed.
+func NewMonteCarlo(g *graph.Graph, walks int, seed int64, opt Options) (*MonteCarlo, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if walks < 1 {
+		return nil, fmt.Errorf("ppr: MonteCarlo needs >= 1 walk, got %d", walks)
+	}
+	return &MonteCarlo{
+		g:     g,
+		opt:   opt.withDefaults(),
+		rng:   rand.New(rand.NewSource(seed)),
+		Walks: walks,
+	}, nil
+}
+
+// Scores estimates the full PPR vector of source.
+func (m *MonteCarlo) Scores(source graph.NodeID) ([]float64, error) {
+	n := m.g.NumNodes()
+	if int(source) < 0 || int(source) >= n {
+		return nil, fmt.Errorf("ppr: source %d out of range [0, %d)", source, n)
+	}
+	visits := make([]float64, n)
+	c := m.opt.C
+	// Walks are bounded in expectation by 1/c steps; cap the worst case.
+	maxSteps := int(20.0 / c)
+	for w := 0; w < m.Walks; w++ {
+		at := source
+		for step := 0; step < maxSteps; step++ {
+			visits[at]++
+			if m.rng.Float64() < c {
+				break
+			}
+			next, ok := m.step(at)
+			if !ok {
+				break // dangling node or spent out-mass: walk dies
+			}
+			at = next
+		}
+	}
+	scale := c / float64(m.Walks)
+	for i := range visits {
+		visits[i] *= scale
+	}
+	return visits, nil
+}
+
+// step samples the next node from at's out-distribution; the residual
+// probability mass 1 − Σw kills the walk.
+func (m *MonteCarlo) step(at graph.NodeID) (graph.NodeID, bool) {
+	r := m.rng.Float64()
+	var acc float64
+	for _, e := range m.g.Out(at) {
+		acc += e.Weight
+		if r < acc {
+			return e.To, true
+		}
+	}
+	return graph.None, false
+}
+
+// Similarity estimates π_{source, target}.
+func (m *MonteCarlo) Similarity(source, target graph.NodeID) (float64, error) {
+	s, err := m.Scores(source)
+	if err != nil {
+		return 0, err
+	}
+	if int(target) < 0 || int(target) >= len(s) {
+		return 0, fmt.Errorf("ppr: target %d out of range", target)
+	}
+	return s[target], nil
+}

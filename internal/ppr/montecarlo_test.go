@@ -1,0 +1,146 @@
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kgvote/internal/graph"
+)
+
+func TestMonteCarloMatchesPowerIteration(t *testing.T) {
+	g := randomGraph(25, 3, rand.New(rand.NewSource(21)))
+	exact, _, err := PowerIteration(g, 0, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMonteCarlo(g, 200000, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mc.Scores(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if math.Abs(est[i]-exact[i]) > 0.01 {
+			t.Errorf("node %d: MC %v vs exact %v", i, est[i], exact[i])
+		}
+	}
+	// Total estimated mass ≤ 1 + noise.
+	var sum float64
+	for _, v := range est {
+		sum += v
+	}
+	if sum > 1.05 {
+		t.Errorf("MC total mass %v", sum)
+	}
+}
+
+func TestMonteCarloSubStochasticLeak(t *testing.T) {
+	// Node 0 has out-mass 0.5: half the walks die immediately after the
+	// first step decision, so node 1 must get roughly (1−c)·0.5 of a visit.
+	g := graph.New(0)
+	g.AddNodes(2)
+	g.MustSetEdge(0, 1, 0.5)
+	mc, err := NewMonteCarlo(g, 100000, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mc.Scores(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultC * (1 - DefaultC) * 0.5
+	if math.Abs(est[1]-want) > 0.01 {
+		t.Errorf("est[1] = %v, want ≈ %v", est[1], want)
+	}
+}
+
+func TestMonteCarloSimilarityAndErrors(t *testing.T) {
+	g := graph.New(0)
+	g.AddNodes(2)
+	g.MustSetEdge(0, 1, 1)
+	mc, err := NewMonteCarlo(g, 1000, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := mc.Similarity(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Errorf("similarity = %v, want > 0", s)
+	}
+	if _, err := mc.Similarity(0, 99); err == nil {
+		t.Errorf("out-of-range target should fail")
+	}
+	if _, err := mc.Scores(99); err == nil {
+		t.Errorf("out-of-range source should fail")
+	}
+	if _, err := NewMonteCarlo(g, 0, 1, Options{}); err == nil {
+		t.Errorf("zero walks should fail")
+	}
+	if _, err := NewMonteCarlo(g, 10, 1, Options{C: 9}); err == nil {
+		t.Errorf("bad options should fail")
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	g := randomGraph(10, 2, rand.New(rand.NewSource(3)))
+	a, err := NewMonteCarlo(g, 5000, 11, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMonteCarlo(g, 5000, 11, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.Scores(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Scores(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same seed diverged at node %d", i)
+		}
+	}
+}
+
+func BenchmarkGaussSeidel(b *testing.B) {
+	g := randomGraph(2000, 5, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GaussSeidel(g, graph.NodeID(i%2000), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowerIteration(b *testing.B) {
+	g := randomGraph(2000, 5, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PowerIteration(g, graph.NodeID(i%2000), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarlo(b *testing.B) {
+	g := randomGraph(2000, 5, rand.New(rand.NewSource(1)))
+	mc, err := NewMonteCarlo(g, 10000, 1, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Scores(graph.NodeID(i % 2000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kgvote/internal/graph"
+)
+
+func chain(t *testing.T, ws ...float64) *graph.Graph {
+	t.Helper()
+	g := graph.New(len(ws) + 1)
+	g.AddNodes(len(ws) + 1)
+	for i, w := range ws {
+		g.MustSetEdge(graph.NodeID(i), graph.NodeID(i+1), w)
+	}
+	return g
+}
+
+func randomGraph(n, deg int, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < deg; d++ {
+			j := graph.NodeID(rng.Intn(n))
+			if j == graph.NodeID(i) {
+				continue
+			}
+			g.MustSetEdge(graph.NodeID(i), j, rng.Float64()+0.01)
+		}
+		g.NormalizeOut(graph.NodeID(i))
+	}
+	return g
+}
+
+// On a simple chain 0→1→2 with unit weights, the PPR mass at node k is
+// c·(1−c)^k exactly.
+func TestPowerIterationChainExact(t *testing.T) {
+	g := chain(t, 1, 1)
+	pi, _, err := PowerIteration(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultC
+	want := []float64{c, c * (1 - c), c * (1 - c) * (1 - c)}
+	for i, w := range want {
+		if math.Abs(pi[i]-w) > 1e-9 {
+			t.Errorf("pi[%d] = %v, want %v", i, pi[i], w)
+		}
+	}
+}
+
+func TestPowerIterationWeightedChain(t *testing.T) {
+	g := chain(t, 0.5, 0.25)
+	pi, _, err := PowerIteration(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultC
+	if want := c * (1 - c) * 0.5; math.Abs(pi[1]-want) > 1e-9 {
+		t.Errorf("pi[1] = %v, want %v", pi[1], want)
+	}
+	if want := c * (1 - c) * (1 - c) * 0.5 * 0.25; math.Abs(pi[2]-want) > 1e-9 {
+		t.Errorf("pi[2] = %v, want %v", pi[2], want)
+	}
+}
+
+func TestPowerIterationMassBound(t *testing.T) {
+	g := randomGraph(100, 4, rand.New(rand.NewSource(3)))
+	pi, _, err := PowerIteration(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range pi {
+		if v < 0 {
+			t.Fatalf("negative PPR mass %v", v)
+		}
+		sum += v
+	}
+	if sum > 1+1e-9 {
+		t.Errorf("total mass %v > 1", sum)
+	}
+	if sum < DefaultC {
+		t.Errorf("total mass %v below restart mass", sum)
+	}
+}
+
+// Power iteration and Gauss–Seidel must agree: they solve the same linear
+// system with different sweeps.
+func TestSolversAgree(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(60, 5, rand.New(rand.NewSource(seed)))
+		src := graph.NodeID(seed % 60)
+		a, _, err := PowerIteration(g, src, Options{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := GaussSeidel(g, src, Options{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-8 {
+				t.Fatalf("seed %d node %d: power %v vs gauss-seidel %v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := chain(t, 1)
+	if _, _, err := PowerIteration(g, 0, Options{C: 1.5}); err == nil {
+		t.Errorf("c > 1 should fail")
+	}
+	if _, _, err := PowerIteration(g, 0, Options{C: -0.1}); err == nil {
+		t.Errorf("c < 0 should fail")
+	}
+	if _, _, err := PowerIteration(g, 0, Options{Tol: -1}); err == nil {
+		t.Errorf("negative tol should fail")
+	}
+	if _, _, err := PowerIteration(g, 99, Options{}); err == nil {
+		t.Errorf("out-of-range source should fail")
+	}
+	if _, _, err := GaussSeidel(g, 99, Options{}); err == nil {
+		t.Errorf("out-of-range source should fail")
+	}
+	if _, err := NewWalker(g, Options{C: 2}); err == nil {
+		t.Errorf("bad walker options should fail")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.9, 0.2}
+	cands := []graph.NodeID{0, 1, 2, 3, 4}
+	top := TopK(scores, cands, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	// Ties broken by node ID: 1 before 3.
+	if top[0].Node != 1 || top[1].Node != 3 || top[2].Node != 2 {
+		t.Errorf("order = %v", top)
+	}
+	if all := TopK(scores, cands, 0); len(all) != 5 {
+		t.Errorf("k<=0 should return all, got %d", len(all))
+	}
+	// Candidate outside the score vector gets score 0.
+	out := TopK(scores, []graph.NodeID{99}, 1)
+	if out[0].Score != 0 {
+		t.Errorf("out-of-range candidate score = %v", out[0].Score)
+	}
+}
+
+func TestWalkerMatchesDirectSolve(t *testing.T) {
+	g := randomGraph(40, 4, rand.New(rand.NewSource(11)))
+	w, err := NewWalker(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, _, err := GaussSeidel(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []graph.NodeID{1, 5, 17} {
+		s, err := w.Similarity(0, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s-pi[a]) > 1e-9 {
+			t.Errorf("walker sim(0,%d) = %v, want %v", a, s, pi[a])
+		}
+	}
+	if _, err := w.Similarity(0, 9999); err == nil {
+		t.Errorf("out-of-range answer should fail")
+	}
+}
+
+func TestWalkerRank(t *testing.T) {
+	g := randomGraph(40, 4, rand.New(rand.NewSource(12)))
+	w, err := NewWalker(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := []graph.NodeID{3, 9, 21, 33}
+	ranked, err := w.Rank(0, answers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("len = %d", len(ranked))
+	}
+	if ranked[0].Score < ranked[1].Score {
+		t.Errorf("not sorted: %v", ranked)
+	}
+}
+
+// Property: PPR scores scale monotonically with a single edge weight on
+// the path to a target (increasing w(0,1) on the chain cannot decrease
+// pi[1]).
+func TestQuickMonotoneInEdgeWeight(t *testing.T) {
+	f := func(raw float64) bool {
+		w := math.Mod(math.Abs(raw), 0.9) + 0.05
+		g := graph.New(3)
+		g.AddNodes(3)
+		g.MustSetEdge(0, 1, w)
+		g.MustSetEdge(1, 2, 0.5)
+		lo, _, err := PowerIteration(g, 0, Options{})
+		if err != nil {
+			return false
+		}
+		g2 := g.Clone()
+		if err := g2.SetWeight(0, 1, math.Min(w*1.1, 1)); err != nil {
+			return false
+		}
+		hi, _, err := PowerIteration(g2, 0, Options{})
+		if err != nil {
+			return false
+		}
+		return hi[1] >= lo[1]-1e-12 && hi[2] >= lo[2]-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: restart mass at the source is at least c.
+func TestQuickSourceMass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(30, 3, rng)
+		src := graph.NodeID(rng.Intn(30))
+		pi, _, err := PowerIteration(g, src, Options{})
+		if err != nil {
+			return false
+		}
+		return pi[src] >= DefaultC-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package qa
+
+import (
+	"sort"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/ppr"
+)
+
+// IRRank is the information-retrieval baseline of Table V: documents are
+// ranked by the entity coincidence rate between question and document
+// (Jaccard over entity sets), with ties broken by document ID.
+func IRRank(c *Corpus, q Question, k int) []int {
+	type scored struct {
+		id    int
+		score float64
+	}
+	qset := make(map[string]bool, len(q.Entities))
+	for e := range q.Entities {
+		qset[e] = true
+	}
+	out := make([]scored, 0, len(c.Docs))
+	for _, d := range c.Docs {
+		inter, union := 0, len(qset)
+		for e := range d.Entities {
+			if qset[e] {
+				inter++
+			} else {
+				union++
+			}
+		}
+		var s float64
+		if union > 0 {
+			s = float64(inter) / float64(union)
+		}
+		out = append(out, scored{id: d.ID, score: s})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].id < out[j].id
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	ids := make([]int, len(out))
+	for i, s := range out {
+		ids[i] = s.id
+	}
+	return ids
+}
+
+// IRRankOf returns the 1-based IR rank of docID for the question, or 0.
+func IRRankOf(c *Corpus, q Question, docID int) int {
+	for i, id := range IRRank(c, q, 0) {
+		if id == docID {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// WalkRank is the random-walk Q&A baseline of [5] (Table V and Table VI):
+// similarity is the exact PPR score obtained by solving the linear system,
+// evaluated once per answer, so ranking |A| answers costs |A| solves.
+// The query node must already be attached.
+func (s *System) WalkRank(qn graph.NodeID, k int) ([]ppr.Ranked, error) {
+	w, err := ppr.NewWalker(s.Aug.Graph, ppr.Options{C: s.Engine.Options().C})
+	if err != nil {
+		return nil, err
+	}
+	return w.Rank(qn, s.Answers(), k)
+}
+
+// WalkRankOf returns the 1-based random-walk rank of docID for the
+// attached query node.
+func (s *System) WalkRankOf(qn graph.NodeID, docID int) (int, error) {
+	ans, err := s.AnswerOf(docID)
+	if err != nil {
+		return 0, err
+	}
+	ranked, err := s.WalkRank(qn, 0)
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range ranked {
+		if r.Node == ans {
+			return i + 1, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,168 @@
+// Package qa is the question-answering substrate the paper's framework is
+// evaluated on: a document corpus with extracted entities, the
+// co-occurrence knowledge graph built from it (Section III-A), query and
+// answer attachment, and the two baselines of Table V (entity-overlap IR
+// and the random-walk Q&A of [5]).
+package qa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kgvote/internal/graph"
+)
+
+// Document is one answer document (a HELP page in the paper's Taobao
+// corpus) with its extracted entity occurrence counts.
+type Document struct {
+	ID       int
+	Title    string
+	Entities map[string]int // entity → occurrence count, all counts ≥ 1
+}
+
+// Question is one user question with extracted entities and optional
+// ground truth for evaluation.
+type Question struct {
+	ID       int
+	Entities map[string]int
+	// BestDoc is the ground-truth best document ID, or −1 if unknown.
+	BestDoc int
+	// Relevant optionally lists additional relevant document IDs (for
+	// MAP); BestDoc is always implied relevant.
+	Relevant []int
+}
+
+// Corpus is a set of answer documents sharing an entity vocabulary.
+type Corpus struct {
+	Docs []Document
+}
+
+// Validate checks corpus invariants.
+func (c *Corpus) Validate() error {
+	seen := make(map[int]bool, len(c.Docs))
+	for i, d := range c.Docs {
+		if seen[d.ID] {
+			return fmt.Errorf("qa: duplicate document ID %d", d.ID)
+		}
+		seen[d.ID] = true
+		if len(d.Entities) == 0 {
+			return fmt.Errorf("qa: document %d (index %d) has no entities", d.ID, i)
+		}
+		for e, n := range d.Entities {
+			if e == "" || n < 1 {
+				return fmt.Errorf("qa: document %d has bad entity %q count %d", d.ID, e, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Vocabulary returns the sorted set of entities across all documents.
+func (c *Corpus) Vocabulary() []string {
+	set := make(map[string]bool)
+	for _, d := range c.Docs {
+		for e := range d.Entities {
+			set[e] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExtractEntities is the sequence-labelling stand-in used by examples and
+// the CLI: it lowercases, splits on non-letter/digit boundaries, and keeps
+// tokens present in the vocabulary, counting occurrences.
+func ExtractEntities(text string, vocabulary map[string]bool) map[string]int {
+	out := make(map[string]int)
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+	for _, f := range fields {
+		if vocabulary[f] {
+			out[f]++
+		}
+	}
+	return out
+}
+
+// BuildGraph constructs the knowledge graph of Section III-A from the
+// corpus: one node per entity; a directed edge (vi, vj) weighted by the
+// conditional co-occurrence probability
+//
+//	w(vi, vj) = #(vi, vj) / #(vi)
+//
+// where #(vi) is the number of documents containing vi and #(vi, vj) the
+// number of documents containing both.
+func BuildGraph(c *Corpus) (*graph.Graph, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(256)
+	docFreq := make(map[graph.NodeID]int)
+	pairFreq := make(map[graph.EdgeKey]int)
+	for _, d := range c.Docs {
+		// Entity node IDs must not depend on map iteration order: create
+		// nodes in sorted-name order so identical corpora build identical
+		// graphs run to run.
+		names := make([]string, 0, len(d.Entities))
+		for e := range d.Entities {
+			names = append(names, e)
+		}
+		sort.Strings(names)
+		ids := make([]graph.NodeID, 0, len(names))
+		for _, e := range names {
+			ids = append(ids, g.AddNode(e))
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			docFreq[id]++
+		}
+		for _, a := range ids {
+			for _, b := range ids {
+				if a != b {
+					pairFreq[graph.EdgeKey{From: a, To: b}]++
+				}
+			}
+		}
+	}
+	// Deterministic edge insertion order: adjacency-list order decides
+	// walk enumeration order and therefore floating-point summation order
+	// in the solver; map iteration would make builds run-to-run unstable.
+	keys := make([]graph.EdgeKey, 0, len(pairFreq))
+	for k := range pairFreq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	for _, k := range keys {
+		w := float64(pairFreq[k]) / float64(docFreq[k.From])
+		if err := g.SetEdge(k.From, k.To, w); err != nil {
+			return nil, err
+		}
+	}
+	// Conditional co-occurrence probabilities P(vj|vi) sum, over all j, to
+	// the average number of co-occurring entities — often well above 1.
+	// Random-walk semantics (and the PPR equivalence of Theorem 1) need
+	// sub-stochastic rows, so cap each node's out-sum at 1 while keeping
+	// the paper's initialization wherever it is already valid.
+	for id := 0; id < g.NumNodes(); id++ {
+		n := graph.NodeID(id)
+		if s := g.OutWeightSum(n); s > 1 {
+			for _, e := range g.Out(n) {
+				if err := g.SetWeight(n, e.To, e.Weight/s); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

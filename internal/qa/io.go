@@ -1,0 +1,51 @@
+package qa
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCorpus serializes a corpus as indented JSON.
+func WriteCorpus(w io.Writer, c *Corpus) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadCorpus loads a corpus written by WriteCorpus (or any JSON matching
+// the Corpus shape) and validates it.
+func ReadCorpus(r io.Reader) (*Corpus, error) {
+	var c Corpus
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("qa: decode corpus: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// WriteQuestions serializes a question set as indented JSON.
+func WriteQuestions(w io.Writer, qs []Question) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(qs)
+}
+
+// ReadQuestions loads a question set written by WriteQuestions.
+func ReadQuestions(r io.Reader) ([]Question, error) {
+	var qs []Question
+	if err := json.NewDecoder(r).Decode(&qs); err != nil {
+		return nil, fmt.Errorf("qa: decode questions: %w", err)
+	}
+	for i, q := range qs {
+		if len(q.Entities) == 0 {
+			return nil, fmt.Errorf("qa: question %d (index %d) has no entities", q.ID, i)
+		}
+	}
+	return qs, nil
+}

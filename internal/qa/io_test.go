@@ -1,0 +1,80 @@
+package qa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCorpusRoundTrip(t *testing.T) {
+	c := smallCorpus()
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Docs) != len(c.Docs) {
+		t.Fatalf("docs = %d, want %d", len(got.Docs), len(c.Docs))
+	}
+	for i, d := range c.Docs {
+		g := got.Docs[i]
+		if g.ID != d.ID || g.Title != d.Title || len(g.Entities) != len(d.Entities) {
+			t.Errorf("doc %d mismatch: %+v vs %+v", i, g, d)
+		}
+		for e, n := range d.Entities {
+			if g.Entities[e] != n {
+				t.Errorf("doc %d entity %q: %d vs %d", i, e, g.Entities[e], n)
+			}
+		}
+	}
+}
+
+func TestCorpusIOErrors(t *testing.T) {
+	bad := &Corpus{Docs: []Document{{ID: 1}}}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, bad); err == nil {
+		t.Errorf("invalid corpus should not serialize")
+	}
+	if _, err := ReadCorpus(strings.NewReader("{nope")); err == nil {
+		t.Errorf("bad JSON should fail")
+	}
+	if _, err := ReadCorpus(strings.NewReader(`{"Docs":[{"ID":1}]}`)); err == nil {
+		t.Errorf("invalid decoded corpus should fail")
+	}
+}
+
+func TestQuestionsRoundTrip(t *testing.T) {
+	qs := []Question{
+		{ID: 1, Entities: map[string]int{"email": 2}, BestDoc: 3, Relevant: []int{3, 4}},
+		{ID: 2, Entities: map[string]int{"cart": 1}, BestDoc: -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteQuestions(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQuestions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].BestDoc != 3 || got[1].BestDoc != -1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got[0].Entities["email"] != 2 {
+		t.Errorf("entities lost")
+	}
+	if len(got[0].Relevant) != 2 {
+		t.Errorf("relevant list lost")
+	}
+}
+
+func TestReadQuestionsErrors(t *testing.T) {
+	if _, err := ReadQuestions(strings.NewReader("[nope")); err == nil {
+		t.Errorf("bad JSON should fail")
+	}
+	if _, err := ReadQuestions(strings.NewReader(`[{"ID":1}]`)); err == nil {
+		t.Errorf("question without entities should fail")
+	}
+}

@@ -1,0 +1,109 @@
+package qa
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+)
+
+// systemState is the serialized form of a System: the corpus, the full
+// augmented graph (including every optimized weight and every attached
+// query/answer node), and the bookkeeping needed to resume exactly where
+// the previous session stopped.
+type systemState struct {
+	Version   int                  `json:"version"`
+	Corpus    *Corpus              `json:"corpus"`
+	Graph     json.RawMessage      `json:"graph"`
+	Entities  int                  `json:"entities"`
+	Queries   []graph.NodeID       `json:"queries"`
+	Answers   []graph.NodeID       `json:"answers"`
+	DocAnswer map[int]graph.NodeID `json:"doc_answer"`
+	NextQuery int                  `json:"next_query"`
+}
+
+const stateVersion = 1
+
+// Save serializes the system — optimized weights included — so a later
+// Load resumes with the same rankings.
+func (s *System) Save(w io.Writer) error {
+	var gbuf bytes.Buffer
+	if err := s.Aug.WriteJSON(&gbuf); err != nil {
+		return fmt.Errorf("qa: save graph: %w", err)
+	}
+	state := systemState{
+		Version:   stateVersion,
+		Corpus:    s.Corpus,
+		Graph:     json.RawMessage(gbuf.Bytes()),
+		Entities:  s.Aug.Entities,
+		Queries:   s.Aug.Queries,
+		Answers:   s.Aug.Answers,
+		DocAnswer: s.docAnswer,
+		NextQuery: s.nextQuery,
+	}
+	return json.NewEncoder(w).Encode(state)
+}
+
+// Load reconstructs a saved System with a fresh engine using opt.
+func Load(r io.Reader, opt core.Options) (*System, error) {
+	var state systemState
+	if err := json.NewDecoder(r).Decode(&state); err != nil {
+		return nil, fmt.Errorf("qa: load: %w", err)
+	}
+	if state.Version != stateVersion {
+		return nil, fmt.Errorf("qa: load: unsupported state version %d", state.Version)
+	}
+	if state.Corpus == nil {
+		return nil, fmt.Errorf("qa: load: missing corpus")
+	}
+	if err := state.Corpus.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := graph.ReadJSON(bytes.NewReader(state.Graph))
+	if err != nil {
+		return nil, fmt.Errorf("qa: load graph: %w", err)
+	}
+	aug, err := graph.RestoreAugmented(g, state.Entities, state.Queries, state.Answers)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Corpus:    state.Corpus,
+		Aug:       aug,
+		vocab:     make(map[string]bool),
+		entityID:  make(map[string]graph.NodeID),
+		docAnswer: state.DocAnswer,
+		answerDoc: make(map[graph.NodeID]int, len(state.DocAnswer)),
+		docTitle:  make(map[int]string, len(state.Corpus.Docs)),
+		nextQuery: state.NextQuery,
+	}
+	for _, d := range state.Corpus.Docs {
+		s.docTitle[d.ID] = d.Title
+	}
+	for _, e := range state.Corpus.Vocabulary() {
+		id := g.Lookup(e)
+		if id == graph.None {
+			return nil, fmt.Errorf("qa: load: entity %q missing from graph", e)
+		}
+		s.vocab[e] = true
+		s.entityID[e] = id
+	}
+	for doc, ans := range state.DocAnswer {
+		if !aug.IsAnswer(ans) {
+			return nil, fmt.Errorf("qa: load: document %d maps to non-answer node %d", doc, ans)
+		}
+		s.answerDoc[ans] = doc
+	}
+	if len(s.docAnswer) != len(state.Corpus.Docs) {
+		return nil, fmt.Errorf("qa: load: %d answer mappings for %d documents", len(s.docAnswer), len(state.Corpus.Docs))
+	}
+	eng, err := core.New(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.Engine = eng
+	return s, nil
+}

@@ -1,0 +1,98 @@
+package qa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+func TestSaveLoadRoundTripPreservesOptimization(t *testing.T) {
+	sys, err := Build(smallCorpus(), core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask + vote + optimize, so the saved state carries learned weights
+	// and an attached query node.
+	q := Question{ID: 1, Entities: map[string]int{"email": 1}}
+	qn, ranked, err := sys.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.VoteBest(qn, ranked, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind == vote.Positive {
+		t.Skip("premise broken: doc2 already first")
+	}
+	if _, err := sys.Engine.SolveMulti([]vote.Vote{v}); err != nil {
+		t.Fatal(err)
+	}
+	wantRank, err := sys.RankOfDoc(qn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old query node must still rank identically on the loaded system.
+	gotRank, err := loaded.RankOfDoc(qn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRank != wantRank {
+		t.Errorf("rank after load = %d, want %d", gotRank, wantRank)
+	}
+	// Weights match edge for edge.
+	sys.Aug.Edges(func(from, to graph.NodeID, w float64) {
+		if lw := loaded.Aug.Weight(from, to); lw != w {
+			t.Errorf("edge %d->%d: %v vs %v", from, to, lw, w)
+		}
+	})
+	// New questions keep getting fresh query nodes (the counter resumed).
+	qn2, _, err := loaded.Ask(Question{ID: 1, Entities: map[string]int{"email": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qn2 == qn {
+		t.Errorf("query counter did not resume: collided with old node")
+	}
+	if len(loaded.Answers()) != len(sys.Answers()) {
+		t.Errorf("answers lost: %d vs %d", len(loaded.Answers()), len(sys.Answers()))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("{nope"), core.Options{}); err == nil {
+		t.Errorf("bad JSON should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99}`), core.Options{}); err == nil {
+		t.Errorf("unknown version should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1}`), core.Options{}); err == nil {
+		t.Errorf("missing corpus should fail")
+	}
+	// A state whose graph lost an entity node must be rejected.
+	sys, err := Build(smallCorpus(), core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(buf.String(), `"email"`, `"notanentity"`, 1)
+	if _, err := Load(strings.NewReader(corrupted), core.Options{K: 3}); err == nil {
+		t.Errorf("corrupted state should fail to load")
+	}
+}

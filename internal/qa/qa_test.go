@@ -1,0 +1,279 @@
+package qa
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+func smallCorpus() *Corpus {
+	return &Corpus{Docs: []Document{
+		{ID: 1, Title: "stuck email in outbox", Entities: map[string]int{"email": 2, "outbox": 1}},
+		{ID: 2, Title: "configure outlook email", Entities: map[string]int{"email": 1, "outlook": 1}},
+		{ID: 3, Title: "refund from cart", Entities: map[string]int{"cart": 1, "refund": 1}},
+	}}
+}
+
+func TestCorpusValidate(t *testing.T) {
+	if err := smallCorpus().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Corpus{
+		{Docs: []Document{{ID: 1, Entities: map[string]int{"a": 1}}, {ID: 1, Entities: map[string]int{"b": 1}}}},
+		{Docs: []Document{{ID: 1, Entities: nil}}},
+		{Docs: []Document{{ID: 1, Entities: map[string]int{"": 1}}}},
+		{Docs: []Document{{ID: 1, Entities: map[string]int{"a": 0}}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad corpus %d accepted", i)
+		}
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := smallCorpus().Vocabulary()
+	want := []string{"cart", "email", "outbox", "outlook", "refund"}
+	if len(v) != len(want) {
+		t.Fatalf("vocabulary = %v", v)
+	}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("vocabulary[%d] = %q, want %q", i, v[i], want[i])
+		}
+	}
+}
+
+func TestExtractEntities(t *testing.T) {
+	vocab := map[string]bool{"email": true, "outbox": true}
+	got := ExtractEntities("My EMAIL is stuck; email won't leave the Outbox!", vocab)
+	if got["email"] != 2 || got["outbox"] != 1 {
+		t.Errorf("extraction = %v", got)
+	}
+	if len(got) != 2 {
+		t.Errorf("unexpected entities: %v", got)
+	}
+	if n := len(ExtractEntities("nothing known here", vocab)); n != 0 {
+		t.Errorf("extracted %d entities from unknown text", n)
+	}
+}
+
+func TestBuildGraphWeights(t *testing.T) {
+	g, err := BuildGraph(smallCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	email := g.Lookup("email")
+	outbox := g.Lookup("outbox")
+	outlook := g.Lookup("outlook")
+	cart := g.Lookup("cart")
+	refund := g.Lookup("refund")
+	// email appears in 2 docs; co-occurs with outbox in 1 → w = 1/2.
+	if w := g.Weight(email, outbox); math.Abs(w-0.5) > 1e-15 {
+		t.Errorf("w(email,outbox) = %v, want 0.5", w)
+	}
+	// outbox appears in 1 doc; co-occurs with email in 1 → w = 1.
+	if w := g.Weight(outbox, email); w != 1 {
+		t.Errorf("w(outbox,email) = %v, want 1", w)
+	}
+	if w := g.Weight(email, outlook); math.Abs(w-0.5) > 1e-15 {
+		t.Errorf("w(email,outlook) = %v, want 0.5", w)
+	}
+	if w := g.Weight(cart, refund); w != 1 {
+		t.Errorf("w(cart,refund) = %v, want 1", w)
+	}
+	// No cross-topic edges.
+	if g.HasEdge(email, cart) || g.HasEdge(cart, email) {
+		t.Errorf("spurious cross-document edge")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildGraph(&Corpus{Docs: []Document{{ID: 1}}}); err == nil {
+		t.Errorf("invalid corpus should fail")
+	}
+}
+
+func TestSystemAsk(t *testing.T) {
+	s, err := Build(smallCorpus(), core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Answers()) != 3 {
+		t.Fatalf("answers = %d, want 3", len(s.Answers()))
+	}
+	q := Question{ID: 1, Entities: map[string]int{"outbox": 1}, BestDoc: 1}
+	qn, ranked, err := s.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatalf("no ranked answers")
+	}
+	// doc1 contains outbox directly; doc3 is unreachable from outbox.
+	top := s.DocOf(ranked[0])
+	if top != 1 {
+		t.Errorf("top answer = doc %d, want doc 1", top)
+	}
+	r, err := s.RankOfDoc(qn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("rank of doc1 = %d, want 1", r)
+	}
+	if _, err := s.AnswerOf(99); err == nil {
+		t.Errorf("unknown doc should fail")
+	}
+	if s.DocOf(qn) != -1 {
+		t.Errorf("query node has no doc")
+	}
+}
+
+func TestSystemUnknownEntities(t *testing.T) {
+	s, err := Build(smallCorpus(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AttachQuestion(Question{ID: 9, Entities: map[string]int{"zzz": 1}}); err == nil {
+		t.Errorf("question with unknown entities should fail")
+	}
+	// Known + unknown mix keeps the known ones.
+	qn, err := s.AttachQuestion(Question{ID: 10, Entities: map[string]int{"email": 1, "zzz": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := s.Aug.Weight(qn, s.Aug.Lookup("email")); w != 1 {
+		t.Errorf("known entity weight = %v, want 1 (unknown dropped)", w)
+	}
+}
+
+func TestEndToEndVoteImprovesRanking(t *testing.T) {
+	s, err := Build(smallCorpus(), core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query about email: doc1 (email ×2) initially beats doc2. The user
+	// votes doc2 best.
+	q := Question{ID: 1, Entities: map[string]int{"email": 1}}
+	qn, ranked, err := s.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.RankOfDoc(qn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == 1 {
+		t.Skip("doc2 already first; test premise broken")
+	}
+	v, err := s.VoteBest(qn, ranked, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != vote.Negative {
+		t.Fatalf("expected a negative vote, got %v", v.Kind)
+	}
+	if _, err := s.Engine.SolveMulti([]vote.Vote{v}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.RankOfDoc(qn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("rank did not improve: %d → %d", before, after)
+	}
+}
+
+func TestIRRank(t *testing.T) {
+	c := smallCorpus()
+	q := Question{ID: 1, Entities: map[string]int{"cart": 1, "refund": 1}}
+	ids := IRRank(c, q, 2)
+	if len(ids) != 2 || ids[0] != 3 {
+		t.Errorf("IRRank = %v, want doc 3 first", ids)
+	}
+	if r := IRRankOf(c, q, 3); r != 1 {
+		t.Errorf("IRRankOf(doc3) = %d, want 1", r)
+	}
+	if r := IRRankOf(c, q, 99); r != 0 {
+		t.Errorf("IRRankOf(missing) = %d, want 0", r)
+	}
+	// k = 0 returns all.
+	if got := IRRank(c, q, 0); len(got) != 3 {
+		t.Errorf("IRRank all = %v", got)
+	}
+}
+
+func TestWalkRankAgreesOnTopAnswer(t *testing.T) {
+	s, err := Build(smallCorpus(), core.Options{K: 3, L: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Question{ID: 1, Entities: map[string]int{"outbox": 1}}
+	qn, ranked, err := s.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk, err := s.WalkRank(qn, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PPR and truncated EIPD agree on the top answer of this tiny graph.
+	if walk[0].Node != ranked[0] {
+		t.Errorf("walk top %d vs EIPD top %d", walk[0].Node, ranked[0])
+	}
+	r, err := s.WalkRankOf(qn, s.DocOf(ranked[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("WalkRankOf(top) = %d, want 1", r)
+	}
+	if _, err := s.WalkRankOf(qn, 99); err == nil {
+		t.Errorf("unknown doc should fail")
+	}
+}
+
+// Identical corpora must build byte-identical graphs: node IDs, adjacency
+// order, and weights. Solver trajectories (and experiment results) depend
+// on this.
+func TestBuildGraphDeterministic(t *testing.T) {
+	big := &Corpus{}
+	for d := 0; d < 30; d++ {
+		ents := map[string]int{}
+		for e := 0; e < 5; e++ {
+			ents[fmt.Sprintf("e%02d", (d*3+e*7)%40)] = 1 + e%2
+		}
+		big.Docs = append(big.Docs, Document{ID: d, Entities: ents})
+	}
+	a, err := BuildGraph(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildGraph(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs")
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Name(graph.NodeID(i)) != b.Name(graph.NodeID(i)) {
+			t.Fatalf("node %d name differs: %q vs %q", i, a.Name(graph.NodeID(i)), b.Name(graph.NodeID(i)))
+		}
+		ao, bo := a.Out(graph.NodeID(i)), b.Out(graph.NodeID(i))
+		if len(ao) != len(bo) {
+			t.Fatalf("node %d degree differs", i)
+		}
+		for j := range ao {
+			if ao[j] != bo[j] {
+				t.Fatalf("node %d edge %d differs: %+v vs %+v", i, j, ao[j], bo[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package qa
+
+import (
+	"fmt"
+	"sort"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+// System assembles a runnable Q&A system: the corpus, its augmented
+// knowledge graph (answer node per document), and a core.Engine for
+// similarity evaluation and vote-driven optimization.
+type System struct {
+	Corpus *Corpus
+	Aug    *graph.Augmented
+	Engine *core.Engine
+
+	vocab     map[string]bool
+	entityID  map[string]graph.NodeID
+	docAnswer map[int]graph.NodeID
+	answerDoc map[graph.NodeID]int
+	docTitle  map[int]string
+	// nextQuery numbers attached questions so that every attachment gets a
+	// fresh query node, even when callers reuse Question IDs.
+	nextQuery int
+}
+
+// Build constructs the system from a corpus: it builds the co-occurrence
+// graph, attaches one answer node per document (entity-count weighted),
+// and wires up the optimization engine.
+func Build(c *Corpus, opt core.Options) (*System, error) {
+	g, err := BuildGraph(c)
+	if err != nil {
+		return nil, err
+	}
+	aug := graph.Augment(g)
+	s := &System{
+		Corpus:    c,
+		Aug:       aug,
+		vocab:     make(map[string]bool),
+		entityID:  make(map[string]graph.NodeID),
+		docAnswer: make(map[int]graph.NodeID, len(c.Docs)),
+		answerDoc: make(map[graph.NodeID]int, len(c.Docs)),
+		docTitle:  make(map[int]string, len(c.Docs)),
+	}
+	for _, e := range c.Vocabulary() {
+		s.vocab[e] = true
+		s.entityID[e] = g.Lookup(e)
+	}
+	for _, d := range c.Docs {
+		ents, counts := entityVector(s, d.Entities)
+		name := fmt.Sprintf("doc#%d", d.ID)
+		ans, err := aug.AttachAnswer(name, ents, counts)
+		if err != nil {
+			return nil, fmt.Errorf("qa: attaching document %d: %w", d.ID, err)
+		}
+		s.docAnswer[d.ID] = ans
+		s.answerDoc[ans] = d.ID
+		s.docTitle[d.ID] = d.Title
+	}
+	eng, err := core.New(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.Engine = eng
+	return s, nil
+}
+
+// entityVector converts an entity-count map into parallel slices in
+// deterministic (sorted-name) order, dropping unknown entities.
+func entityVector(s *System, ents map[string]int) ([]graph.NodeID, []float64) {
+	names := make([]string, 0, len(ents))
+	for e := range ents {
+		if _, ok := s.entityID[e]; ok {
+			names = append(names, e)
+		}
+	}
+	sort.Strings(names)
+	ids := make([]graph.NodeID, len(names))
+	counts := make([]float64, len(names))
+	for i, e := range names {
+		ids[i] = s.entityID[e]
+		counts[i] = float64(ents[e])
+	}
+	return ids, counts
+}
+
+// Vocabulary returns the entity vocabulary as a set.
+func (s *System) Vocabulary() map[string]bool { return s.vocab }
+
+// Answers returns all answer nodes.
+func (s *System) Answers() []graph.NodeID { return s.Aug.Answers }
+
+// AnswerOf returns the answer node of a document ID.
+func (s *System) AnswerOf(docID int) (graph.NodeID, error) {
+	if a, ok := s.docAnswer[docID]; ok {
+		return a, nil
+	}
+	return graph.None, fmt.Errorf("qa: unknown document %d", docID)
+}
+
+// TitleOf returns a document's title, or "" for unknown IDs.
+func (s *System) TitleOf(docID int) string { return s.docTitle[docID] }
+
+// DocOf returns the document ID of an answer node, or −1.
+func (s *System) DocOf(a graph.NodeID) int {
+	if d, ok := s.answerDoc[a]; ok {
+		return d
+	}
+	return -1
+}
+
+// AttachQuestion links a question's entities to the graph and returns the
+// query node (Section III-A: weights are normalized occurrence counts).
+func (s *System) AttachQuestion(q Question) (graph.NodeID, error) {
+	ents, counts := entityVector(s, q.Entities)
+	if len(ents) == 0 {
+		return graph.None, fmt.Errorf("qa: question %d has no known entities", q.ID)
+	}
+	name := fmt.Sprintf("q#%d/%d", q.ID, s.nextQuery)
+	s.nextQuery++
+	return s.Aug.AttachQuery(name, ents, counts)
+}
+
+// Ask links the question and returns the query node together with the
+// top-K ranked answer nodes.
+func (s *System) Ask(q Question) (graph.NodeID, []graph.NodeID, error) {
+	qn, err := s.AttachQuestion(q)
+	if err != nil {
+		return graph.None, nil, err
+	}
+	ranked, err := s.Engine.Rank(qn, s.Answers())
+	if err != nil {
+		return graph.None, nil, err
+	}
+	out := make([]graph.NodeID, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.Node
+	}
+	return qn, out, nil
+}
+
+// RankOfDoc returns the 1-based rank of a document among all answers for
+// an already-attached query node.
+func (s *System) RankOfDoc(qn graph.NodeID, docID int) (int, error) {
+	ans, err := s.AnswerOf(docID)
+	if err != nil {
+		return 0, err
+	}
+	return s.Engine.RankOf(qn, ans, s.Answers())
+}
+
+// VoteBest forms the vote implied by the user choosing docID as the best
+// answer for the already-asked question (query node qn, ranked list from
+// Ask).
+func (s *System) VoteBest(qn graph.NodeID, ranked []graph.NodeID, docID int) (vote.Vote, error) {
+	ans, err := s.AnswerOf(docID)
+	if err != nil {
+		return vote.Vote{}, err
+	}
+	return vote.FromRanking(qn, ranked, ans)
+}

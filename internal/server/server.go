@@ -1,0 +1,280 @@
+// Package server exposes a Q&A system over a small JSON HTTP API: ask a
+// question, vote on the answers, and let the engine re-optimize the
+// knowledge graph in batches — the paper's interactive loop as a service.
+//
+// The engine is single-writer, so the server serializes all graph access
+// behind one mutex; rankings served between optimizations always reflect
+// the latest flushed batch.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/qa"
+	"kgvote/internal/vote"
+)
+
+// Server wires a qa.System and a vote stream into an http.Handler.
+type Server struct {
+	mu     sync.Mutex
+	sys    *qa.System
+	stream *core.Stream
+
+	votesAccepted int
+}
+
+// New returns a server over the system whose votes flush every batchSize
+// votes (1 = optimize on every vote).
+func New(sys *qa.System, batchSize int, solver core.StreamSolver) (*Server, error) {
+	st, err := sys.Engine.NewStream(batchSize, solver)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{sys: sys, stream: st}, nil
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /ask", s.handleAsk)
+	mux.HandleFunc("POST /vote", s.handleVote)
+	mux.HandleFunc("POST /flush", s.handleFlush)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// StatsBody is the /stats response.
+type StatsBody struct {
+	Entities      int `json:"entities"`
+	Edges         int `json:"edges"`
+	Documents     int `json:"documents"`
+	VotesAccepted int `json:"votes_accepted"`
+	VotesPending  int `json:"votes_pending"`
+	Flushes       int `json:"flushes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsBody{
+		Entities:      s.sys.Aug.Entities,
+		Edges:         s.sys.Aug.NumEdges(),
+		Documents:     len(s.sys.Answers()),
+		VotesAccepted: s.votesAccepted,
+		VotesPending:  s.stream.Pending(),
+		Flushes:       s.stream.Flushes,
+	})
+}
+
+// AskRequest is the /ask request body. Either Text (entity extraction) or
+// Entities may be given.
+type AskRequest struct {
+	Text     string         `json:"text,omitempty"`
+	Entities map[string]int `json:"entities,omitempty"`
+}
+
+// AskResult is one ranked answer.
+type AskResult struct {
+	Doc   int     `json:"doc"`
+	Title string  `json:"title"`
+	Score float64 `json:"score"`
+}
+
+// AskResponse is the /ask response body. Query identifies the attached
+// query node for the follow-up /vote call.
+type AskResponse struct {
+	Query   graph.NodeID `json:"query"`
+	Results []AskResult  `json:"results"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req AskRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ents := req.Entities
+	if len(ents) == 0 && req.Text != "" {
+		ents = qa.ExtractEntities(req.Text, s.sys.Vocabulary())
+	}
+	if len(ents) == 0 {
+		writeErr(w, http.StatusBadRequest, "no entities: provide text with known entities or an entities map")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qn, ranked, err := s.sys.Ask(qa.Question{ID: -1, Entities: ents})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "ask: %v", err)
+		return
+	}
+	resp := AskResponse{Query: qn}
+	for _, a := range ranked {
+		score, err := s.sys.Engine.Similarity(qn, a)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "score: %v", err)
+			return
+		}
+		doc := s.sys.DocOf(a)
+		resp.Results = append(resp.Results, AskResult{Doc: doc, Title: s.sys.TitleOf(doc), Score: score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// VoteRequest is the /vote request body: the query node and ranked list
+// from a prior /ask, plus the document the user found best.
+type VoteRequest struct {
+	Query   graph.NodeID `json:"query"`
+	Ranked  []int        `json:"ranked"` // document IDs in served order
+	BestDoc int          `json:"best_doc"`
+	Weight  float64      `json:"weight,omitempty"`
+}
+
+// VoteResponse reports what happened to the vote.
+type VoteResponse struct {
+	Kind    string       `json:"kind"`
+	Pending int          `json:"pending"`
+	Flushed bool         `json:"flushed"`
+	Report  *core.Report `json:"report,omitempty"`
+}
+
+func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
+	var req VoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ranked := make([]graph.NodeID, 0, len(req.Ranked))
+	for _, doc := range req.Ranked {
+		a, err := s.sys.AnswerOf(doc)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "unknown document %d", doc)
+			return
+		}
+		ranked = append(ranked, a)
+	}
+	best, err := s.sys.AnswerOf(req.BestDoc)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown best document %d", req.BestDoc)
+		return
+	}
+	v, err := vote.FromRanking(req.Query, ranked, best)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "vote: %v", err)
+		return
+	}
+	v.Weight = req.Weight
+	if err := v.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "vote: %v", err)
+		return
+	}
+	rep, err := s.stream.Push(v)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "optimize: %v", err)
+		return
+	}
+	s.votesAccepted++
+	writeJSON(w, http.StatusOK, VoteResponse{
+		Kind:    v.Kind.String(),
+		Pending: s.stream.Pending(),
+		Flushed: rep != nil,
+		Report:  rep,
+	})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.stream.Flush()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "flush: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, VoteResponse{Pending: s.stream.Pending(), Flushed: rep != nil, Report: rep})
+}
+
+// ExplainRequest is the /explain request body.
+type ExplainRequest struct {
+	Query graph.NodeID `json:"query"`
+	Doc   int          `json:"doc"`
+	Top   int          `json:"top,omitempty"`
+}
+
+// ExplainResponse decomposes the similarity into walks rendered as node
+// name sequences.
+type ExplainResponse struct {
+	Similarity float64       `json:"similarity"`
+	TotalPaths int           `json:"total_paths"`
+	Paths      []ExplainPath `json:"paths"`
+}
+
+// ExplainPath is one walk with its contribution.
+type ExplainPath struct {
+	Nodes    []string `json:"nodes"`
+	Score    float64  `json:"score"`
+	Fraction float64  `json:"fraction"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ans, err := s.sys.AnswerOf(req.Doc)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown document %d", req.Doc)
+		return
+	}
+	top := req.Top
+	if top == 0 {
+		top = 5
+	}
+	ex, err := s.sys.Engine.Explain(req.Query, ans, top)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "explain: %v", err)
+		return
+	}
+	resp := ExplainResponse{Similarity: ex.Similarity, TotalPaths: ex.TotalPaths}
+	for _, pc := range ex.Paths {
+		names := make([]string, len(pc.Path.Nodes))
+		for i, n := range pc.Path.Nodes {
+			if name := s.sys.Aug.Name(n); name != "" {
+				names[i] = name
+			} else {
+				names[i] = fmt.Sprintf("#%d", n)
+			}
+		}
+		resp.Paths = append(resp.Paths, ExplainPath{Nodes: names, Score: pc.Score, Fraction: pc.Fraction})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

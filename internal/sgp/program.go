@@ -1,0 +1,255 @@
+// Package sgp models and solves the signomial geometric programs (SGP)
+// that the paper's graph optimization reduces to (Equation (2)).
+//
+// A Program has edge-weight variables with box bounds 0 < xl ≤ x ≤ xu,
+// hard signomial constraints f(x) ≤ 0 (single-vote solution, Equation
+// (11)), and soft constraints f(x) − dx ≤ 0 with one deviation variable
+// each (multi-vote solution, Equation (15)). The objective is the paper's
+// Equation (19):
+//
+//	λ₁·Σ (x_edge − x₀)²  +  λ₂·Σ sigmoid(w·dx)
+//
+// Solving uses the hand-rolled augmented-Lagrangian method from
+// internal/optimize; a reduced mode eliminates the deviation variables
+// analytically (see Solve).
+package sgp
+
+import (
+	"fmt"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/signomial"
+)
+
+// Default bounds and objective parameters.
+const (
+	// DefaultLowerBound keeps edge weights strictly positive, matching the
+	// SGP requirement 0 < xl.
+	DefaultLowerBound = 1e-6
+	// DefaultUpperBound caps edge weights at 1 (they are probabilities).
+	DefaultUpperBound = 1.0
+	// DefaultSigmoidW is the sigmoid steepness of Equation (17); the paper
+	// sets w = 300.
+	DefaultSigmoidW = 300.0
+	// DefaultMargin turns the paper's strict inequalities S_best > S_other
+	// into the closed form. The engine preconditions constraints to
+	// relative scale, so this is a relative separation: the best answer
+	// must beat every other answer by 1%.
+	DefaultMargin = 0.01
+	// DefaultDevBound bounds deviation variables to [−DevBound, DevBound].
+	// Constraints are preconditioned to relative scale by the engine, so
+	// residuals can exceed 1; a generous bound keeps the relaxation
+	// feasible for any residual while the sigmoid saturates long before it.
+	DefaultDevBound = 1e4
+)
+
+// VarKind distinguishes edge-weight variables from deviation variables.
+type VarKind int
+
+const (
+	// EdgeVar is the weight of one graph edge.
+	EdgeVar VarKind = iota
+	// DeviationVar is the slack dx of one soft constraint.
+	DeviationVar
+)
+
+// Variable is one SGP variable.
+type Variable struct {
+	Kind         VarKind
+	Edge         graph.EdgeKey // meaningful for EdgeVar
+	Init         float64
+	Lower, Upper float64
+}
+
+// Program is a full SGP instance under construction.
+type Program struct {
+	Vars []Variable
+	// Hard constraints: sig(x) ≤ 0.
+	Hard []*signomial.Signomial
+	// Soft constraints: Sig(x) − x[Dev] ≤ 0.
+	Soft []SoftConstraint
+
+	Lambda1  float64 // weight-change preference (λ₁)
+	Lambda2  float64 // vote-satisfaction preference (λ₂)
+	SigmoidW float64 // sigmoid steepness (w)
+
+	edgeIdx map[graph.EdgeKey]int
+}
+
+// SoftConstraint couples a signomial with its deviation variable.
+type SoftConstraint struct {
+	Sig *signomial.Signomial
+	Dev int // variable index of the deviation variable
+	// Weight scales this constraint's sigmoid term in the objective
+	// (vote credibility); 1 for ordinary constraints.
+	Weight float64
+}
+
+// NewProgram returns an empty program with the paper's default objective
+// parameters (λ₁ = λ₂ = 0.5, w = 300).
+func NewProgram() *Program {
+	return &Program{
+		Lambda1:  0.5,
+		Lambda2:  0.5,
+		SigmoidW: DefaultSigmoidW,
+		edgeIdx:  make(map[graph.EdgeKey]int),
+	}
+}
+
+// NumVars returns the total variable count.
+func (p *Program) NumVars() int { return len(p.Vars) }
+
+// NumEdgeVars returns the number of edge-weight variables.
+func (p *Program) NumEdgeVars() int {
+	n := 0
+	for _, v := range p.Vars {
+		if v.Kind == EdgeVar {
+			n++
+		}
+	}
+	return n
+}
+
+// NumConstraints returns the total constraint count (hard + soft).
+func (p *Program) NumConstraints() int { return len(p.Hard) + len(p.Soft) }
+
+// EdgeVarIndex returns the variable index for an edge, creating the
+// variable on first use with the given initial value and default bounds.
+func (p *Program) EdgeVarIndex(key graph.EdgeKey, init float64) int {
+	if i, ok := p.edgeIdx[key]; ok {
+		return i
+	}
+	i := len(p.Vars)
+	lo, hi := DefaultLowerBound, DefaultUpperBound
+	if init < lo {
+		init = lo
+	}
+	if init > hi {
+		init = hi
+	}
+	p.Vars = append(p.Vars, Variable{Kind: EdgeVar, Edge: key, Init: init, Lower: lo, Upper: hi})
+	p.edgeIdx[key] = i
+	return i
+}
+
+// LookupEdgeVar returns the variable index of an edge, or -1.
+func (p *Program) LookupEdgeVar(key graph.EdgeKey) int {
+	if i, ok := p.edgeIdx[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// AddDeviationVar appends one deviation variable and returns its index.
+func (p *Program) AddDeviationVar() int {
+	i := len(p.Vars)
+	p.Vars = append(p.Vars, Variable{
+		Kind:  DeviationVar,
+		Init:  0,
+		Lower: -DefaultDevBound,
+		Upper: DefaultDevBound,
+	})
+	return i
+}
+
+// AddHardConstraint adds sig(x) ≤ 0.
+func (p *Program) AddHardConstraint(sig *signomial.Signomial) {
+	p.Hard = append(p.Hard, sig)
+}
+
+// AddSoftConstraint adds sig(x) − dx ≤ 0 with a fresh deviation variable
+// and returns the deviation variable's index. sig must not reference the
+// deviation variable itself; the solver adds the −dx term.
+//
+// The deviation variable is initialized to the constraint's residual at
+// the initial point, so the relaxed constraint starts exactly tight.
+// Starting at dx = 0 instead would let the augmented Lagrangian launch dx
+// deep into the sigmoid's saturated region (where its gradient vanishes)
+// just to restore feasibility, dead-locking the solve.
+func (p *Program) AddSoftConstraint(sig *signomial.Signomial) int {
+	return p.AddWeightedSoftConstraint(sig, 1)
+}
+
+// AddWeightedSoftConstraint is AddSoftConstraint with a credibility weight
+// scaling the constraint's sigmoid objective term.
+func (p *Program) AddWeightedSoftConstraint(sig *signomial.Signomial, weight float64) int {
+	residual := sig.Eval(p.InitialPoint())
+	dev := p.AddDeviationVar()
+	v := &p.Vars[dev]
+	v.Init = residual
+	if v.Init < v.Lower {
+		v.Init = v.Lower
+	}
+	if v.Init > v.Upper {
+		v.Init = v.Upper
+	}
+	p.Soft = append(p.Soft, SoftConstraint{Sig: sig, Dev: dev, Weight: weight})
+	return dev
+}
+
+// InitialPoint returns the vector of variable initial values.
+func (p *Program) InitialPoint() []float64 {
+	x := make([]float64, len(p.Vars))
+	for i, v := range p.Vars {
+		x[i] = v.Init
+	}
+	return x
+}
+
+// Bounds returns the lower and upper bound vectors.
+func (p *Program) Bounds() (lo, hi []float64) {
+	lo = make([]float64, len(p.Vars))
+	hi = make([]float64, len(p.Vars))
+	for i, v := range p.Vars {
+		lo[i], hi[i] = v.Lower, v.Upper
+	}
+	return lo, hi
+}
+
+// Validate checks structural invariants before solving.
+func (p *Program) Validate() error {
+	if p.Lambda1 < 0 || p.Lambda2 < 0 {
+		return fmt.Errorf("sgp: negative objective weights λ1=%v λ2=%v", p.Lambda1, p.Lambda2)
+	}
+	if p.SigmoidW <= 0 {
+		return fmt.Errorf("sgp: sigmoid steepness %v must be positive", p.SigmoidW)
+	}
+	n := len(p.Vars)
+	for i, v := range p.Vars {
+		if v.Lower > v.Upper {
+			return fmt.Errorf("sgp: variable %d has empty box [%v, %v]", i, v.Lower, v.Upper)
+		}
+		if v.Init < v.Lower || v.Init > v.Upper {
+			return fmt.Errorf("sgp: variable %d init %v outside [%v, %v]", i, v.Init, v.Lower, v.Upper)
+		}
+	}
+	check := func(sig *signomial.Signomial, what string, idx int) error {
+		if sig == nil {
+			return fmt.Errorf("sgp: %s constraint %d is nil", what, idx)
+		}
+		if mv := sig.MaxVar(); mv >= n {
+			return fmt.Errorf("sgp: %s constraint %d references variable %d, have %d", what, idx, mv, n)
+		}
+		return nil
+	}
+	for i, sig := range p.Hard {
+		if err := check(sig, "hard", i); err != nil {
+			return err
+		}
+	}
+	for i, sc := range p.Soft {
+		if err := check(sc.Sig, "soft", i); err != nil {
+			return err
+		}
+		if sc.Dev < 0 || sc.Dev >= n {
+			return fmt.Errorf("sgp: soft constraint %d deviation index %d out of range", i, sc.Dev)
+		}
+		if p.Vars[sc.Dev].Kind != DeviationVar {
+			return fmt.Errorf("sgp: soft constraint %d deviation index %d is not a deviation variable", i, sc.Dev)
+		}
+		if sc.Weight < 0 {
+			return fmt.Errorf("sgp: soft constraint %d has negative weight %v", i, sc.Weight)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+package sgp
+
+import (
+	"math"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/optimize"
+	"kgvote/internal/signomial"
+)
+
+func TestSigmoidApproximatesStep(t *testing.T) {
+	// Fig. 2 of the paper: with w = 300 the sigmoid is a close
+	// approximation of the step function away from the origin.
+	for _, x := range []float64{-1, -0.5, -0.1, -0.05, 0.05, 0.1, 0.5, 1} {
+		got := Sigmoid(DefaultSigmoidW, x)
+		want := Step(x)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("Sigmoid(300, %v) = %v, want ≈ %v", x, got, want)
+		}
+	}
+	if s := Sigmoid(DefaultSigmoidW, 0); s != 0.5 {
+		t.Errorf("Sigmoid(300, 0) = %v, want 0.5", s)
+	}
+	// Extreme negative arguments must not overflow.
+	if s := Sigmoid(DefaultSigmoidW, -1e6); s != 0 {
+		t.Errorf("Sigmoid at −1e6 = %v, want 0", s)
+	}
+	if s := Sigmoid(DefaultSigmoidW, 1e6); s != 1 {
+		t.Errorf("Sigmoid at 1e6 = %v, want 1", s)
+	}
+}
+
+func TestSigmoidDeriv(t *testing.T) {
+	const h = 1e-7
+	for _, x := range []float64{-0.01, 0, 0.003, 0.02} {
+		want := (Sigmoid(300, x+h) - Sigmoid(300, x-h)) / (2 * h)
+		got := SigmoidDeriv(300, x)
+		if math.Abs(got-want) > 1e-2*(1+math.Abs(want)) {
+			t.Errorf("SigmoidDeriv(300, %v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestStep(t *testing.T) {
+	if Step(0.1) != 1 || Step(0) != 0 || Step(-3) != 0 {
+		t.Errorf("Step wrong")
+	}
+}
+
+// twoVarProgram builds: variables x0 (init 0.3) and x1 (init 0.5), with the
+// single constraint x1 − x0 ≤ 0 (we want x0 to win).
+func twoVarProgram(t *testing.T, soft bool) *Program {
+	t.Helper()
+	p := NewProgram()
+	i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.3)
+	i1 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 2}, 0.5)
+	sig := signomial.NewConst(1e-9).Add(
+		signomial.Monomial(1, i1),
+		signomial.Monomial(-1, i0),
+	)
+	if soft {
+		p.AddSoftConstraint(sig)
+	} else {
+		p.AddHardConstraint(sig)
+	}
+	return p
+}
+
+func TestSolveHardConstraint(t *testing.T) {
+	p := twoVarProgram(t, false)
+	p.Lambda1 = 1
+	sol, err := p.Solve(SolveOptions{Mode: Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatalf("expected feasible, violation %v", sol.MaxViolation)
+	}
+	// Symmetric quadratic objective with x1 ≤ x0: optimum is x0 = x1 = 0.4.
+	if math.Abs(sol.X[0]-0.4) > 1e-3 || math.Abs(sol.X[1]-0.4) > 1e-3 {
+		t.Errorf("X = %v, want [0.4 0.4]", sol.X[:2])
+	}
+	if sol.Satisfied != 1 || sol.Violated != 0 {
+		t.Errorf("satisfied/violated = %d/%d", sol.Satisfied, sol.Violated)
+	}
+}
+
+func TestSolveSoftConstraint(t *testing.T) {
+	p := twoVarProgram(t, true)
+	sol, err := p.Solve(SolveOptions{Mode: Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatalf("relaxed program should always be feasible, violation %v", sol.MaxViolation)
+	}
+	if sol.Satisfied != 1 {
+		t.Errorf("the single soft constraint should be satisfiable, got %d/%d", sol.Satisfied, sol.Violated)
+	}
+	// The deviation variable should be pushed at or below the residual, and
+	// the residual should be ≤ 0.
+	if res := sol.X[1] - sol.X[0] + 1e-9; res > 1e-6 {
+		t.Errorf("residual = %v, want ≤ 0", res)
+	}
+}
+
+func TestSolveConflictingSoftConstraints(t *testing.T) {
+	// x1 − x0 + m ≤ 0 and x0 − x1 + m ≤ 0 conflict: exactly one can hold.
+	p := NewProgram()
+	i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.4)
+	i1 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 2}, 0.4)
+	m := 1e-4
+	p.AddSoftConstraint(signomial.NewConst(m).Add(signomial.Monomial(1, i1), signomial.Monomial(-1, i0)))
+	p.AddSoftConstraint(signomial.NewConst(m).Add(signomial.Monomial(1, i0), signomial.Monomial(-1, i1)))
+	sol, err := p.Solve(SolveOptions{Mode: Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatalf("relaxed program must stay feasible, violation %v", sol.MaxViolation)
+	}
+	if sol.Satisfied > 1 {
+		t.Errorf("conflicting constraints cannot both hold, satisfied = %d", sol.Satisfied)
+	}
+}
+
+func TestReducedMatchesFull(t *testing.T) {
+	build := func() *Program { return twoVarProgram(t, true) }
+	full, err := build().Solve(SolveOptions{Mode: Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := build().Solve(SolveOptions{Mode: Reduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Satisfied != red.Satisfied {
+		t.Errorf("satisfied: full %d vs reduced %d", full.Satisfied, red.Satisfied)
+	}
+	// Edge variables should land close to each other.
+	for i := 0; i < 2; i++ {
+		if math.Abs(full.X[i]-red.X[i]) > 5e-2 {
+			t.Errorf("X[%d]: full %v vs reduced %v", i, full.X[i], red.X[i])
+		}
+	}
+}
+
+func TestReducedRejectsDeviationInConstraint(t *testing.T) {
+	p := NewProgram()
+	i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.5)
+	dev := p.AddDeviationVar()
+	// Constraint that references the deviation variable directly.
+	p.Soft = append(p.Soft, SoftConstraint{
+		Sig: signomial.NewConst(0).Add(signomial.Monomial(1, i0), signomial.Monomial(1, dev)),
+		Dev: dev,
+	})
+	if _, err := p.Solve(SolveOptions{Mode: Reduced}); err == nil {
+		t.Errorf("reduced mode must reject deviation variables inside constraints")
+	}
+}
+
+func TestEdgeVarIndexDedupAndClamp(t *testing.T) {
+	p := NewProgram()
+	k := graph.EdgeKey{From: 1, To: 2}
+	i := p.EdgeVarIndex(k, 0.5)
+	if j := p.EdgeVarIndex(k, 0.9); j != i {
+		t.Errorf("dedup failed: %d vs %d", i, j)
+	}
+	if p.Vars[i].Init != 0.5 {
+		t.Errorf("second registration overwrote init")
+	}
+	if got := p.LookupEdgeVar(k); got != i {
+		t.Errorf("LookupEdgeVar = %d, want %d", got, i)
+	}
+	if got := p.LookupEdgeVar(graph.EdgeKey{From: 9, To: 9}); got != -1 {
+		t.Errorf("missing edge should return -1")
+	}
+	// Inits outside the box are clamped.
+	lo := p.EdgeVarIndex(graph.EdgeKey{From: 3, To: 4}, 0)
+	if p.Vars[lo].Init != DefaultLowerBound {
+		t.Errorf("zero init should clamp to lower bound, got %v", p.Vars[lo].Init)
+	}
+	hi := p.EdgeVarIndex(graph.EdgeKey{From: 4, To: 5}, 7)
+	if p.Vars[hi].Init != DefaultUpperBound {
+		t.Errorf("large init should clamp to upper bound, got %v", p.Vars[hi].Init)
+	}
+	if p.NumEdgeVars() != 3 || p.NumVars() != 3 {
+		t.Errorf("var counts wrong: %d edge, %d total", p.NumEdgeVars(), p.NumVars())
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	fresh := func() *Program {
+		p := NewProgram()
+		p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.5)
+		return p
+	}
+	p := fresh()
+	p.Lambda1 = -1
+	if err := p.Validate(); err == nil {
+		t.Errorf("negative lambda1 should fail")
+	}
+	p = fresh()
+	p.SigmoidW = 0
+	if err := p.Validate(); err == nil {
+		t.Errorf("zero sigmoid w should fail")
+	}
+	p = fresh()
+	p.Vars[0].Lower = 2
+	if err := p.Validate(); err == nil {
+		t.Errorf("empty variable box should fail")
+	}
+	p = fresh()
+	p.Vars[0].Init = 5
+	if err := p.Validate(); err == nil {
+		t.Errorf("init outside box should fail")
+	}
+	p = fresh()
+	p.AddHardConstraint(nil)
+	if err := p.Validate(); err == nil {
+		t.Errorf("nil constraint should fail")
+	}
+	p = fresh()
+	p.AddHardConstraint(signomial.NewConst(0).Add(signomial.Monomial(1, 42)))
+	if err := p.Validate(); err == nil {
+		t.Errorf("out-of-range variable should fail")
+	}
+	p = fresh()
+	p.Soft = append(p.Soft, SoftConstraint{Sig: signomial.NewConst(0), Dev: 99})
+	if err := p.Validate(); err == nil {
+		t.Errorf("bad deviation index should fail")
+	}
+	p = fresh()
+	p.Soft = append(p.Soft, SoftConstraint{Sig: signomial.NewConst(0), Dev: 0})
+	if err := p.Validate(); err == nil {
+		t.Errorf("non-deviation dev index should fail")
+	}
+	p = fresh()
+	if _, err := p.Solve(SolveOptions{Mode: Mode(42)}); err == nil {
+		t.Errorf("unknown mode should fail")
+	}
+}
+
+func TestObjectiveGradientMatchesFD(t *testing.T) {
+	p := twoVarProgram(t, true)
+	obj := p.objective()
+	x := []float64{0.31, 0.52, -0.003}
+	g := make([]float64, 3)
+	obj.Grad(x, g)
+	const h = 1e-7
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		fd := (obj.F(xp) - obj.F(xm)) / (2 * h)
+		if math.Abs(fd-g[i]) > 1e-3*(1+math.Abs(fd)) {
+			t.Errorf("grad[%d] = %v, fd = %v", i, g[i], fd)
+		}
+	}
+}
+
+func TestSolveWithTighterAL(t *testing.T) {
+	p := twoVarProgram(t, false)
+	sol, err := p.Solve(SolveOptions{Mode: Full, AL: optimize.ALOptions{
+		MaxOuter: 50,
+		Inner:    optimize.PGOptions{MaxIter: 1000},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Errorf("should be feasible")
+	}
+}
+
+func TestWeightedSoftConstraintConflict(t *testing.T) {
+	// Conflicting constraints: x1 − x0 + m ≤ 0 (wants x0 big) with weight
+	// 10 versus x0 − x1 + m ≤ 0 with weight 0.1: the heavy constraint
+	// should be the satisfied one.
+	build := func(heavyFirst bool) *Program {
+		p := NewProgram()
+		i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.4)
+		i1 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 2}, 0.4)
+		m := 1e-3
+		c1 := signomial.NewConst(m).Add(signomial.Monomial(1, i1), signomial.Monomial(-1, i0))
+		c2 := signomial.NewConst(m).Add(signomial.Monomial(1, i0), signomial.Monomial(-1, i1))
+		w1, w2 := 10.0, 0.1
+		if !heavyFirst {
+			w1, w2 = 0.1, 10.0
+		}
+		p.AddWeightedSoftConstraint(c1, w1)
+		p.AddWeightedSoftConstraint(c2, w2)
+		return p
+	}
+	for _, mode := range []Mode{Full, Reduced} {
+		p := build(true)
+		sol, err := p.Solve(SolveOptions{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.X[0] <= sol.X[1] {
+			t.Errorf("mode %v: heavy constraint lost: x0=%v x1=%v", mode, sol.X[0], sol.X[1])
+		}
+		p = build(false)
+		sol, err = p.Solve(SolveOptions{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.X[1] <= sol.X[0] {
+			t.Errorf("mode %v: heavy constraint lost: x0=%v x1=%v", mode, sol.X[0], sol.X[1])
+		}
+	}
+}
+
+func TestNegativeWeightRejected(t *testing.T) {
+	p := NewProgram()
+	i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.5)
+	p.AddWeightedSoftConstraint(signomial.NewConst(0).Add(signomial.Monomial(1, i0)), -1)
+	if err := p.Validate(); err == nil {
+		t.Errorf("negative constraint weight should fail validation")
+	}
+}
+
+func TestDeviationInitializedToResidual(t *testing.T) {
+	p := NewProgram()
+	i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.5)
+	// sig(x0) = x0 − 0.2: residual at init is 0.3.
+	dev := p.AddSoftConstraint(signomial.NewConst(-0.2).Add(signomial.Monomial(1, i0)))
+	if got := p.Vars[dev].Init; got != 0.3 {
+		t.Errorf("deviation init = %v, want 0.3", got)
+	}
+}
+
+func TestReducedModeWithHardConstraints(t *testing.T) {
+	// Mix: a hard constraint x0 ≥ 0.5 (as 0.5 − x0 ≤ 0) plus a soft
+	// constraint preferring x1 above x0. Reduced mode must route the hard
+	// constraint through the augmented Lagrangian while folding the soft
+	// one into the objective.
+	p := NewProgram()
+	i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.3)
+	i1 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 2}, 0.3)
+	p.AddHardConstraint(signomial.NewConst(0.5).Add(signomial.Monomial(-1, i0)))
+	p.AddSoftConstraint(signomial.NewConst(0.01).Add(
+		signomial.Monomial(1, i0), signomial.Monomial(-1, i1)))
+	sol, err := p.Solve(SolveOptions{Mode: Reduced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatalf("hard constraint unsatisfied: violation %v", sol.MaxViolation)
+	}
+	if sol.X[i0] < 0.5-1e-6 {
+		t.Errorf("hard constraint violated: x0 = %v", sol.X[i0])
+	}
+	if sol.X[i1] <= sol.X[i0] {
+		t.Errorf("soft preference lost: x0=%v x1=%v", sol.X[i0], sol.X[i1])
+	}
+	if sol.Satisfied != 2 {
+		t.Errorf("satisfied = %d, want 2", sol.Satisfied)
+	}
+}
+
+func TestSolutionCountsWithViolatedHard(t *testing.T) {
+	// Impossible hard constraint (x0 ≥ 2 with upper bound 1): infeasible,
+	// and the original-constraint count reflects it.
+	p := NewProgram()
+	i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.5)
+	p.AddHardConstraint(signomial.NewConst(2).Add(signomial.Monomial(-1, i0)))
+	sol, err := p.Solve(SolveOptions{Mode: Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Feasible {
+		t.Errorf("impossible constraint reported feasible")
+	}
+	if sol.Satisfied != 0 || sol.Violated != 1 {
+		t.Errorf("satisfied/violated = %d/%d", sol.Satisfied, sol.Violated)
+	}
+}

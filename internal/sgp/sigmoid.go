@@ -1,0 +1,28 @@
+package sgp
+
+import "math"
+
+// Step is the discontinuous indicator of Equation (16): 1 for t > 0,
+// else 0. It counts an unsatisfied constraint.
+func Step(t float64) float64 {
+	if t > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Sigmoid is the smooth surrogate of Equation (17): 1 / (1 + e^{−w·t}).
+// With the paper's w = 300 it closely approximates Step away from 0.
+func Sigmoid(w, t float64) float64 {
+	z := -w * t
+	if z > 700 { // e^z overflows float64 beyond ~709
+		return 0
+	}
+	return 1 / (1 + math.Exp(z))
+}
+
+// SigmoidDeriv is d/dt Sigmoid(w, t) = w·σ·(1−σ).
+func SigmoidDeriv(w, t float64) float64 {
+	s := Sigmoid(w, t)
+	return w * s * (1 - s)
+}

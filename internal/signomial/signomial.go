@@ -1,0 +1,240 @@
+// Package signomial implements the signomial-function algebra that the
+// SGP formulation of the paper is built on. A signomial is a sum of terms
+//
+//	f(x) = Σ_k c_k · x_1^{e_{1k}} · … · x_n^{e_{nk}},   c_k ∈ ℝ, e ∈ ℝ
+//
+// (Equation (3) of the paper). Here the variables are edge weights, the
+// exponents are the edge multiplicities along a walk, and each walk of the
+// extended inverse P-distance contributes one monomial with coefficient
+// c·(1−c)^{|z|}.
+//
+// The package provides exact evaluation and analytic gradients, which is
+// what makes the hand-rolled SGP solver practical: no numeric
+// differentiation is ever needed.
+package signomial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Factor is one variable raised to a power inside a monomial.
+type Factor struct {
+	Var int     // variable index
+	Exp float64 // exponent; > 0 in all uses here, ℝ in general
+}
+
+// Term is one monomial: Coef · Π x[Var]^Exp. Factors are kept sorted by
+// variable index with no duplicates (Monomial and normalize enforce this).
+type Term struct {
+	Coef    float64
+	Factors []Factor
+}
+
+// Monomial builds a term from a coefficient and a sequence of variable
+// indices, merging repeated variables into exponents. It is the natural
+// constructor for a walk: pass the variable index of every edge along the
+// walk, with repetition.
+func Monomial(coef float64, vars ...int) Term {
+	counts := make(map[int]float64, len(vars))
+	for _, v := range vars {
+		counts[v]++
+	}
+	fs := make([]Factor, 0, len(counts))
+	for v, e := range counts {
+		fs = append(fs, Factor{Var: v, Exp: e})
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Var < fs[j].Var })
+	return Term{Coef: coef, Factors: fs}
+}
+
+// Eval evaluates the term at x.
+func (t Term) Eval(x []float64) float64 {
+	v := t.Coef
+	for _, f := range t.Factors {
+		v *= powFast(x[f.Var], f.Exp)
+	}
+	return v
+}
+
+// powFast computes base^exp with a fast path for small integer exponents,
+// which dominate in walk monomials.
+func powFast(base, exp float64) float64 {
+	switch exp {
+	case 1:
+		return base
+	case 2:
+		return base * base
+	case 3:
+		return base * base * base
+	case 4:
+		b2 := base * base
+		return b2 * b2
+	}
+	if e := int(exp); float64(e) == exp && e > 0 && e < 16 {
+		v := 1.0
+		for i := 0; i < e; i++ {
+			v *= base
+		}
+		return v
+	}
+	return math.Pow(base, exp)
+}
+
+// Signomial is a sum of terms with an optional constant. The zero value
+// is the constant 0.
+type Signomial struct {
+	Const float64
+	Terms []Term
+}
+
+// NewConst returns the constant signomial c.
+func NewConst(c float64) *Signomial { return &Signomial{Const: c} }
+
+// Add appends terms (and is chainable).
+func (s *Signomial) Add(terms ...Term) *Signomial {
+	s.Terms = append(s.Terms, terms...)
+	return s
+}
+
+// AddConst adds to the constant part (and is chainable).
+func (s *Signomial) AddConst(c float64) *Signomial {
+	s.Const += c
+	return s
+}
+
+// AddScaled appends every term of o scaled by k, and k·o.Const.
+func (s *Signomial) AddScaled(o *Signomial, k float64) *Signomial {
+	s.Const += k * o.Const
+	for _, t := range o.Terms {
+		nt := Term{Coef: k * t.Coef, Factors: append([]Factor(nil), t.Factors...)}
+		s.Terms = append(s.Terms, nt)
+	}
+	return s
+}
+
+// NumTerms returns the number of non-constant terms.
+func (s *Signomial) NumTerms() int { return len(s.Terms) }
+
+// Eval evaluates the signomial at x.
+func (s *Signomial) Eval(x []float64) float64 {
+	v := s.Const
+	for i := range s.Terms {
+		v += s.Terms[i].Eval(x)
+	}
+	return v
+}
+
+// AddGrad accumulates scale·∇s(x) into g. g must have length ≥ the
+// largest variable index used.
+func (s *Signomial) AddGrad(x []float64, g []float64, scale float64) {
+	for i := range s.Terms {
+		t := &s.Terms[i]
+		// ∂/∂x_j of c·Πx_i^{e_i} = e_j · (term value) / x_j for x_j ≠ 0.
+		// Compute the full product once, then divide out each factor; fall
+		// back to an explicit product when a factor's base is 0.
+		full := t.Coef
+		zeroAt := -1
+		for k, f := range t.Factors {
+			b := x[f.Var]
+			if b == 0 {
+				if zeroAt >= 0 {
+					// Two zero bases: every partial derivative is 0.
+					zeroAt = -2
+					break
+				}
+				zeroAt = k
+				continue
+			}
+			full *= powFast(b, f.Exp)
+		}
+		switch {
+		case zeroAt == -2:
+			continue
+		case zeroAt >= 0:
+			// Only the zero-base factor has a (possibly) nonzero partial:
+			// d/dx_j x_j^e at 0 is 0 for e > 1 and 1 for e == 1.
+			f := t.Factors[zeroAt]
+			if f.Exp == 1 {
+				g[f.Var] += scale * full
+			}
+			continue
+		default:
+			for _, f := range t.Factors {
+				g[f.Var] += scale * f.Exp * full / x[f.Var]
+			}
+		}
+	}
+}
+
+// Grad returns ∇s(x) as a fresh slice of length n.
+func (s *Signomial) Grad(x []float64, n int) []float64 {
+	g := make([]float64, n)
+	s.AddGrad(x, g, 1)
+	return g
+}
+
+// MaxVar returns the largest variable index referenced, or -1 for a
+// constant signomial.
+func (s *Signomial) MaxVar() int {
+	max := -1
+	for _, t := range s.Terms {
+		for _, f := range t.Factors {
+			if f.Var > max {
+				max = f.Var
+			}
+		}
+	}
+	return max
+}
+
+// Normalize merges terms with identical factor sets, drops zero-coefficient
+// terms, and returns the receiver. It reduces evaluation cost when many
+// walks share an edge-multiset.
+func (s *Signomial) Normalize() *Signomial {
+	type key string
+	merged := make(map[key]int)
+	out := s.Terms[:0]
+	var b strings.Builder
+	for _, t := range s.Terms {
+		b.Reset()
+		for _, f := range t.Factors {
+			fmt.Fprintf(&b, "%d^%g,", f.Var, f.Exp)
+		}
+		k := key(b.String())
+		if i, ok := merged[k]; ok {
+			out[i].Coef += t.Coef
+			continue
+		}
+		merged[k] = len(out)
+		out = append(out, t)
+	}
+	// Drop terms that cancelled to zero.
+	final := out[:0]
+	for _, t := range out {
+		if t.Coef != 0 {
+			final = append(final, t)
+		}
+	}
+	s.Terms = final
+	return s
+}
+
+// String renders the signomial for debugging.
+func (s *Signomial) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%g", s.Const)
+	for _, t := range s.Terms {
+		fmt.Fprintf(&b, " + %g", t.Coef)
+		for _, f := range t.Factors {
+			if f.Exp == 1 {
+				fmt.Fprintf(&b, "·x%d", f.Var)
+			} else {
+				fmt.Fprintf(&b, "·x%d^%g", f.Var, f.Exp)
+			}
+		}
+	}
+	return b.String()
+}

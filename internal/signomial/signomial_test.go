@@ -1,0 +1,241 @@
+package signomial
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonomialMergesRepeats(t *testing.T) {
+	m := Monomial(2.0, 3, 1, 3, 3)
+	if len(m.Factors) != 2 {
+		t.Fatalf("factors = %v", m.Factors)
+	}
+	if m.Factors[0].Var != 1 || m.Factors[0].Exp != 1 {
+		t.Errorf("factor 0 = %+v", m.Factors[0])
+	}
+	if m.Factors[1].Var != 3 || m.Factors[1].Exp != 3 {
+		t.Errorf("factor 1 = %+v", m.Factors[1])
+	}
+	x := []float64{0, 0.5, 0, 2}
+	if got, want := m.Eval(x), 2.0*0.5*8; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+}
+
+func TestConstantMonomial(t *testing.T) {
+	m := Monomial(7.5)
+	if m.Eval(nil) != 7.5 {
+		t.Errorf("constant monomial Eval = %v", m.Eval(nil))
+	}
+}
+
+func TestPowFast(t *testing.T) {
+	for _, c := range []struct{ b, e float64 }{
+		{0.7, 1}, {0.7, 2}, {0.7, 3}, {0.7, 4}, {0.7, 5}, {0.7, 11},
+		{0.7, 0.5}, {0.7, 17}, {2, 2.5}, {3, 0},
+	} {
+		if got, want := powFast(c.b, c.e), math.Pow(c.b, c.e); math.Abs(got-want) > 1e-12*math.Abs(want)+1e-15 {
+			t.Errorf("powFast(%v,%v) = %v, want %v", c.b, c.e, got, want)
+		}
+	}
+}
+
+func TestSignomialEval(t *testing.T) {
+	// f = 3 + 2·x0·x1 − x1².
+	s := NewConst(3).Add(Monomial(2, 0, 1), Monomial(-1, 1, 1))
+	x := []float64{2, 5}
+	if got, want := s.Eval(x), 3+2*2*5-25.0; got != want {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+	if s.NumTerms() != 2 {
+		t.Errorf("NumTerms = %d", s.NumTerms())
+	}
+	if s.MaxVar() != 1 {
+		t.Errorf("MaxVar = %d", s.MaxVar())
+	}
+	if NewConst(1).MaxVar() != -1 {
+		t.Errorf("constant MaxVar should be -1")
+	}
+}
+
+func TestGradAnalytic(t *testing.T) {
+	// f = 2·x0·x1 − x1²: ∂f/∂x0 = 2x1, ∂f/∂x1 = 2x0 − 2x1.
+	s := NewConst(0).Add(Monomial(2, 0, 1), Monomial(-1, 1, 1))
+	x := []float64{2, 5}
+	g := s.Grad(x, 2)
+	if math.Abs(g[0]-10) > 1e-14 || math.Abs(g[1]-(4-10)) > 1e-14 {
+		t.Errorf("grad = %v, want [10 -6]", g)
+	}
+}
+
+func TestGradAtZeroBase(t *testing.T) {
+	// f = x0·x1: at x0=0 the partials are [x1, 0].
+	s := NewConst(0).Add(Monomial(1, 0, 1))
+	g := s.Grad([]float64{0, 3}, 2)
+	if g[0] != 3 || g[1] != 0 {
+		t.Errorf("grad = %v, want [3 0]", g)
+	}
+	// f = x0²·x1: at x0=0 both partials are 0.
+	s2 := NewConst(0).Add(Monomial(1, 0, 0, 1))
+	g2 := s2.Grad([]float64{0, 3}, 2)
+	if g2[0] != 0 || g2[1] != 0 {
+		t.Errorf("grad = %v, want [0 0]", g2)
+	}
+	// Two zero bases: all partials 0.
+	s3 := NewConst(0).Add(Monomial(1, 0, 1))
+	g3 := s3.Grad([]float64{0, 0}, 2)
+	if g3[0] != 0 || g3[1] != 0 {
+		t.Errorf("grad = %v, want [0 0]", g3)
+	}
+}
+
+// Property: the analytic gradient matches central finite differences on
+// random signomials with positive inputs.
+func TestQuickGradMatchesFiniteDifference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		s := NewConst(rng.NormFloat64())
+		for k := 0; k < 6; k++ {
+			nvars := 1 + rng.Intn(4)
+			vars := make([]int, nvars)
+			for i := range vars {
+				vars[i] = rng.Intn(n)
+			}
+			s.Add(Monomial(rng.NormFloat64(), vars...))
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 0.1 + rng.Float64()
+		}
+		g := s.Grad(x, n)
+		const h = 1e-6
+		for i := 0; i < n; i++ {
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[i] += h
+			xm[i] -= h
+			fd := (s.Eval(xp) - s.Eval(xm)) / (2 * h)
+			if math.Abs(fd-g[i]) > 1e-4*(1+math.Abs(fd)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := NewConst(1).Add(Monomial(2, 0))
+	b := NewConst(3).Add(Monomial(4, 1))
+	a.AddScaled(b, 0.5)
+	x := []float64{10, 100}
+	if got, want := a.Eval(x), 1+2*10+0.5*(3+4*100); got != want {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+	// Mutating a must not affect b's factor slices.
+	a.Terms[1].Factors[0].Var = 0
+	if b.Terms[0].Factors[0].Var != 1 {
+		t.Errorf("AddScaled aliased factor storage")
+	}
+}
+
+func TestNormalizeMergesAndDrops(t *testing.T) {
+	s := NewConst(0).Add(
+		Monomial(1, 0, 1),
+		Monomial(2, 1, 0), // same factor multiset as above
+		Monomial(3, 2),
+		Monomial(-3, 2), // cancels with the previous term
+	)
+	s.Normalize()
+	if s.NumTerms() != 1 {
+		t.Fatalf("NumTerms after Normalize = %d, want 1", s.NumTerms())
+	}
+	if s.Terms[0].Coef != 3 {
+		t.Errorf("merged coef = %v, want 3", s.Terms[0].Coef)
+	}
+}
+
+func TestNormalizePreservesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewConst(rng.NormFloat64())
+	for k := 0; k < 20; k++ {
+		vars := make([]int, 1+rng.Intn(3))
+		for i := range vars {
+			vars[i] = rng.Intn(3)
+		}
+		s.Add(Monomial(rng.NormFloat64(), vars...))
+	}
+	x := []float64{0.3, 0.7, 1.9}
+	before := s.Eval(x)
+	s.Normalize()
+	after := s.Eval(x)
+	if math.Abs(before-after) > 1e-12 {
+		t.Errorf("Normalize changed value: %v vs %v", before, after)
+	}
+}
+
+func TestAddConstChainable(t *testing.T) {
+	s := NewConst(1).AddConst(2).Add(Monomial(1, 0))
+	if got := s.Eval([]float64{5}); got != 8 {
+		t.Errorf("Eval = %v, want 8", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := NewConst(1).Add(Monomial(2, 0), Monomial(3, 1, 1))
+	str := s.String()
+	for _, want := range []string{"1", "2·x0", "3·x1^2"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewConst(0)
+	for k := 0; k < 500; k++ {
+		vars := make([]int, 1+rng.Intn(5))
+		for i := range vars {
+			vars[i] = rng.Intn(64)
+		}
+		s.Add(Monomial(rng.NormFloat64(), vars...))
+	}
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = 0.1 + rng.Float64()
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Eval(x)
+	}
+	_ = sink
+}
+
+func BenchmarkAddGrad(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewConst(0)
+	for k := 0; k < 500; k++ {
+		vars := make([]int, 1+rng.Intn(5))
+		for i := range vars {
+			vars[i] = rng.Intn(64)
+		}
+		s.Add(Monomial(rng.NormFloat64(), vars...))
+	}
+	x := make([]float64, 64)
+	g := make([]float64, 64)
+	for i := range x {
+		x[i] = 0.1 + rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddGrad(x, g, 1)
+	}
+}

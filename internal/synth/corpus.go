@@ -1,0 +1,192 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kgvote/internal/qa"
+)
+
+// CorpusConfig shapes the synthetic Taobao-style customer-service corpus.
+// Documents are grouped into topics (e.g. "refund", "cart", "delivery");
+// each document draws most entities from its topic and a few from the
+// global pool, giving the co-occurrence graph the clustered structure the
+// split strategy relies on ("the entities of athletes will be distributed
+// in the sub-graph which represents Sports").
+type CorpusConfig struct {
+	Topics          int     // default 8
+	EntitiesPer     int     // entities per topic; default 24
+	Docs            int     // default 200
+	EntitiesPerDoc  int     // default 6
+	CrossTopicNoise float64 // probability an entity comes from another topic; default 0.1
+	Seed            int64
+}
+
+func (c CorpusConfig) withDefaults() CorpusConfig {
+	if c.Topics == 0 {
+		c.Topics = 8
+	}
+	if c.EntitiesPer == 0 {
+		c.EntitiesPer = 24
+	}
+	if c.Docs == 0 {
+		c.Docs = 200
+	}
+	if c.EntitiesPerDoc == 0 {
+		c.EntitiesPerDoc = 6
+	}
+	if c.CrossTopicNoise == 0 {
+		c.CrossTopicNoise = 0.1
+	}
+	return c
+}
+
+// GenerateCorpus builds the synthetic corpus.
+func GenerateCorpus(cfg CorpusConfig) (*qa.Corpus, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topics < 1 || cfg.EntitiesPer < 2 || cfg.Docs < 1 || cfg.EntitiesPerDoc < 1 {
+		return nil, fmt.Errorf("synth: bad corpus config %+v", cfg)
+	}
+	if cfg.EntitiesPerDoc > cfg.Topics*cfg.EntitiesPer {
+		return nil, fmt.Errorf("synth: EntitiesPerDoc %d exceeds vocabulary", cfg.EntitiesPerDoc)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	entity := func(topic, i int) string { return fmt.Sprintf("t%02de%02d", topic, i) }
+	corpus := &qa.Corpus{}
+	for d := 0; d < cfg.Docs; d++ {
+		topic := d % cfg.Topics
+		ents := make(map[string]int, cfg.EntitiesPerDoc)
+		for len(ents) < cfg.EntitiesPerDoc {
+			t := topic
+			if rng.Float64() < cfg.CrossTopicNoise {
+				t = rng.Intn(cfg.Topics)
+			}
+			e := entity(t, rng.Intn(cfg.EntitiesPer))
+			ents[e]++
+		}
+		corpus.Docs = append(corpus.Docs, qa.Document{
+			ID:       d,
+			Title:    fmt.Sprintf("topic %d document %d", topic, d),
+			Entities: ents,
+		})
+	}
+	return corpus, corpus.Validate()
+}
+
+// QuestionConfig shapes synthetic questions.
+type QuestionConfig struct {
+	N           int     // number of questions; default 100
+	EntitiesPer int     // entities per question; default 3
+	Noise       float64 // probability an entity is drawn off-document; default 0.15
+	Seed        int64
+	// HotDocs/HotProb skew questions toward a "popular" document subset:
+	// with probability HotProb the question's source document is drawn
+	// from HotDocs documents chosen by a seeded shuffle with HotSeed.
+	// Real user questions concentrate on popular topics, which is what
+	// makes vote feedback transfer to future questions. 0 disables.
+	HotDocs int
+	HotProb float64
+	HotSeed int64
+}
+
+func (c QuestionConfig) withDefaults() QuestionConfig {
+	if c.N == 0 {
+		c.N = 100
+	}
+	if c.EntitiesPer == 0 {
+		c.EntitiesPer = 3
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.15
+	}
+	return c
+}
+
+// GenerateQuestions samples questions with known ground truth: each
+// question is seeded from one document (its BestDoc) by sampling entities
+// from that document, with occasional off-document noise entities.
+func GenerateQuestions(c *qa.Corpus, cfg QuestionConfig) ([]qa.Question, error) {
+	cfg = cfg.withDefaults()
+	if len(c.Docs) == 0 {
+		return nil, fmt.Errorf("synth: empty corpus")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Index: entity → documents containing it, for sampling "related"
+	// noise entities (users phrase questions with semantically adjacent
+	// vocabulary, which entity-overlap IR cannot bridge but the knowledge
+	// graph can).
+	entDocs := make(map[string][]int)
+	for di, d := range c.Docs {
+		for e := range d.Entities {
+			entDocs[e] = append(entDocs[e], di)
+		}
+	}
+	sortedEntities := func(d qa.Document) []string {
+		out := make([]string, 0, len(d.Entities))
+		for e := range d.Entities {
+			out = append(out, e)
+		}
+		// Map iteration order is random; sort for determinism.
+		sort.Strings(out)
+		return out
+	}
+	// The hot subset is derived from HotSeed alone, so separate train and
+	// test generations share it.
+	var hot []int
+	if cfg.HotDocs > 0 && cfg.HotProb > 0 {
+		perm := rand.New(rand.NewSource(cfg.HotSeed)).Perm(len(c.Docs))
+		n := cfg.HotDocs
+		if n > len(perm) {
+			n = len(perm)
+		}
+		hot = perm[:n]
+	}
+	out := make([]qa.Question, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		doc := c.Docs[rng.Intn(len(c.Docs))]
+		if hot != nil && rng.Float64() < cfg.HotProb {
+			doc = c.Docs[hot[rng.Intn(len(hot))]]
+		}
+		docEnts := sortedEntities(doc)
+		ents := make(map[string]int, cfg.EntitiesPer)
+		for len(ents) < cfg.EntitiesPer {
+			var e string
+			if rng.Float64() < cfg.Noise {
+				// Noise: an entity from a document related to the true
+				// best one (sharing at least one entity).
+				seed := docEnts[rng.Intn(len(docEnts))]
+				related := entDocs[seed]
+				other := c.Docs[related[rng.Intn(len(related))]]
+				otherEnts := sortedEntities(other)
+				e = otherEnts[rng.Intn(len(otherEnts))]
+			} else {
+				e = docEnts[rng.Intn(len(docEnts))]
+			}
+			ents[e]++
+		}
+		q := qa.Question{ID: i, Entities: ents, BestDoc: doc.ID}
+		// Multi-relevance judgments: documents sharing at least two
+		// distinct entities with the ground-truth best one are graded
+		// relevant too (capped), giving MAP independent signal from MRR.
+		for di, other := range c.Docs {
+			if other.ID == doc.ID {
+				continue
+			}
+			shared := 0
+			for e := range other.Entities {
+				if _, ok := doc.Entities[e]; ok {
+					shared++
+				}
+			}
+			if shared >= 2 {
+				q.Relevant = append(q.Relevant, c.Docs[di].ID)
+				if len(q.Relevant) >= 5 {
+					break
+				}
+			}
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"kgvote/internal/graph"
+)
+
+func TestCorruptWeightsChangesAndCaps(t *testing.T) {
+	g, err := RandomGraph(60, 240, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := g.Clone()
+	CorruptWeights(g, 0.8, 7)
+	changed := 0
+	orig.Edges(func(from, to graph.NodeID, w float64) {
+		nw := g.Weight(from, to)
+		if math.Abs(nw-w) > 1e-12 {
+			changed++
+		}
+		if nw <= 0 || nw > 1 {
+			t.Errorf("edge %d->%d corrupted out of (0,1]: %v", from, to, nw)
+		}
+	})
+	if changed < orig.NumEdges()/2 {
+		t.Errorf("only %d/%d edges changed", changed, orig.NumEdges())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if s := g.OutWeightSum(graph.NodeID(i)); s > 1+1e-9 {
+			t.Errorf("node %d out-sum %v exceeds 1 after corruption", i, s)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptWeightsDeterministic(t *testing.T) {
+	a, err := RandomGraph(30, 90, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	CorruptWeights(a, 0.5, 11)
+	CorruptWeights(b, 0.5, 11)
+	a.Edges(func(from, to graph.NodeID, w float64) {
+		if b.Weight(from, to) != w {
+			t.Fatalf("corruption not deterministic at %d->%d", from, to)
+		}
+	})
+}
+
+func TestCorruptWeightsZeroSigmaNoOp(t *testing.T) {
+	g, err := RandomGraph(20, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := g.Clone()
+	CorruptWeights(g, 0, 1)
+	orig.Edges(func(from, to graph.NodeID, w float64) {
+		if g.Weight(from, to) != w {
+			t.Fatalf("sigma=0 changed weights")
+		}
+	})
+}

@@ -1,0 +1,146 @@
+// Package synth generates the synthetic datasets of Section VII: random
+// and power-law graphs matched to the paper's KONECT profiles (Twitter,
+// Digg, Gnutella), vote workloads over them, and a topic-structured QA
+// corpus with a simulated voter that substitutes for the paper's Taobao
+// user study (see DESIGN.md §2 for the substitution rationale).
+//
+// All generators are deterministic for a given seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kgvote/internal/graph"
+)
+
+// Profile describes a target graph shape. The three named profiles match
+// the node/edge counts of the paper's datasets (Table II).
+type Profile struct {
+	Name     string
+	Nodes    int
+	Edges    int
+	PowerLaw bool // preferential attachment (social graphs) vs uniform
+}
+
+// The paper's graph datasets (Table II).
+var (
+	Twitter  = Profile{Name: "Twitter", Nodes: 23370, Edges: 33101, PowerLaw: true}
+	Digg     = Profile{Name: "Digg", Nodes: 30398, Edges: 87627, PowerLaw: true}
+	Gnutella = Profile{Name: "Gnutella", Nodes: 62586, Edges: 147892, PowerLaw: false}
+	Taobao   = Profile{Name: "Taobao", Nodes: 1663, Edges: 17591, PowerLaw: true}
+)
+
+// Scaled returns a proportionally smaller profile (factor in (0, 1]),
+// used to keep benchmarks fast while preserving shape.
+func (p Profile) Scaled(factor float64) Profile {
+	if factor <= 0 || factor > 1 {
+		return p
+	}
+	s := p
+	s.Name = fmt.Sprintf("%s/%.3g", p.Name, factor)
+	s.Nodes = max(4, int(float64(p.Nodes)*factor))
+	s.Edges = max(4, int(float64(p.Edges)*factor))
+	return s
+}
+
+// Generate builds a graph with approximately the profile's node and edge
+// counts. Weights are per-node normalized transition probabilities.
+func (p Profile) Generate(seed int64) (*graph.Graph, error) {
+	if p.Nodes < 2 {
+		return nil, fmt.Errorf("synth: profile %q needs >= 2 nodes", p.Name)
+	}
+	if p.Edges < 1 {
+		return nil, fmt.Errorf("synth: profile %q needs >= 1 edge", p.Name)
+	}
+	if p.PowerLaw {
+		return PowerLawGraph(p.Nodes, p.Edges, seed)
+	}
+	return RandomGraph(p.Nodes, p.Edges, seed)
+}
+
+// RandomGraph builds a uniform random directed graph with n nodes and
+// (close to) m distinct edges, no self-loops, weights normalized per node.
+func RandomGraph(n, m int, seed int64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("synth: RandomGraph needs >= 2 nodes, got %d", n)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("synth: RandomGraph needs >= 1 edge, got %d", m)
+	}
+	maxEdges := n * (n - 1)
+	if m > maxEdges {
+		return nil, fmt.Errorf("synth: %d edges exceed maximum %d for %d nodes", m, maxEdges, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	g.AddNodes(n)
+	added := 0
+	for attempts := 0; added < m && attempts < 50*m; attempts++ {
+		from := graph.NodeID(rng.Intn(n))
+		to := graph.NodeID(rng.Intn(n))
+		if from == to || g.HasEdge(from, to) {
+			continue
+		}
+		g.MustSetEdge(from, to, 0.1+0.9*rng.Float64())
+		added++
+	}
+	g.NormalizeAll()
+	return g, nil
+}
+
+// PowerLawGraph builds a directed preferential-attachment graph: nodes
+// arrive one at a time and send edges to targets sampled proportionally to
+// in-degree+1, yielding the heavy-tailed degree distribution of social
+// graphs. The total edge count is matched to m.
+func PowerLawGraph(n, m int, seed int64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("synth: PowerLawGraph needs >= 2 nodes, got %d", n)
+	}
+	if m < n-1 {
+		// Ensure at least one out-edge per arriving node on average.
+		m = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	g.AddNodes(n)
+	// targets is a repeated-node list for preferential sampling.
+	targets := make([]graph.NodeID, 0, 2*m)
+	targets = append(targets, 0)
+	perNode := float64(m) / float64(n-1)
+	carry := 0.0
+	added := 0
+	for v := 1; v < n; v++ {
+		carry += perNode
+		k := int(carry)
+		carry -= float64(k)
+		if k < 1 {
+			k = 1
+		}
+		for e := 0; e < k && added < m; e++ {
+			var to graph.NodeID
+			for tries := 0; tries < 20; tries++ {
+				to = targets[rng.Intn(len(targets))]
+				if to != graph.NodeID(v) && !g.HasEdge(graph.NodeID(v), to) {
+					break
+				}
+				to = graph.None
+			}
+			if to == graph.None {
+				continue
+			}
+			g.MustSetEdge(graph.NodeID(v), to, 0.1+0.9*rng.Float64())
+			targets = append(targets, to, graph.NodeID(v))
+			added++
+		}
+	}
+	g.NormalizeAll()
+	return g, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,354 @@
+package synth
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/qa"
+	"kgvote/internal/vote"
+)
+
+func TestRandomGraphShape(t *testing.T) {
+	g, err := RandomGraph(200, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 800 {
+		t.Errorf("edges = %d, want 800", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Normalized: every node with out-edges sums to 1.
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.OutDegree(graph.NodeID(i)) == 0 {
+			continue
+		}
+		if s := g.OutWeightSum(graph.NodeID(i)); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("node %d out sum %v", i, s)
+		}
+	}
+}
+
+func TestRandomGraphErrors(t *testing.T) {
+	if _, err := RandomGraph(1, 5, 0); err == nil {
+		t.Errorf("too few nodes should fail")
+	}
+	if _, err := RandomGraph(5, 0, 0); err == nil {
+		t.Errorf("zero edges should fail")
+	}
+	if _, err := RandomGraph(3, 100, 0); err == nil {
+		t.Errorf("impossible edge count should fail")
+	}
+}
+
+func TestRandomGraphDeterminism(t *testing.T) {
+	a, err := RandomGraph(50, 150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomGraph(50, 150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ")
+	}
+	a.Edges(func(f, to graph.NodeID, w float64) {
+		if b.Weight(f, to) != w {
+			t.Errorf("edge %d->%d differs", f, to)
+		}
+	})
+}
+
+func TestPowerLawGraphSkew(t *testing.T) {
+	g, err := PowerLawGraph(500, 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 1000 {
+		t.Errorf("edges = %d, want close to 1500", g.NumEdges())
+	}
+	// In-degree distribution should be skewed: the max in-degree node far
+	// exceeds the average.
+	indeg := make([]int, g.NumNodes())
+	g.Edges(func(_, to graph.NodeID, _ float64) { indeg[to]++ })
+	maxIn := 0
+	for _, d := range indeg {
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(maxIn) < 5*avg {
+		t.Errorf("max in-degree %d not skewed vs avg %.2f", maxIn, avg)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for _, p := range []Profile{Twitter, Digg, Gnutella, Taobao} {
+		s := p.Scaled(0.01)
+		g, err := s.Generate(1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if g.NumNodes() != s.Nodes {
+			t.Errorf("%s: nodes = %d, want %d", p.Name, g.NumNodes(), s.Nodes)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	// Bad scale factors leave the profile unchanged.
+	if Twitter.Scaled(0).Nodes != Twitter.Nodes || Twitter.Scaled(2).Nodes != Twitter.Nodes {
+		t.Errorf("invalid scale factors should be ignored")
+	}
+	if _, err := (Profile{Name: "bad", Nodes: 1, Edges: 1}).Generate(0); err == nil {
+		t.Errorf("degenerate profile should fail")
+	}
+	if _, err := (Profile{Name: "bad", Nodes: 5, Edges: 0}).Generate(0); err == nil {
+		t.Errorf("edgeless profile should fail")
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	g, err := RandomGraph(300, 1200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := WorkloadConfig{NQ: 20, NA: 60, Nnodes: 150, K: 10, AveN: 4, Seed: 5}
+	w, err := GenerateWorkload(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 20 || len(w.Answers) != 60 {
+		t.Fatalf("queries/answers = %d/%d", len(w.Queries), len(w.Answers))
+	}
+	if len(w.Votes) == 0 {
+		t.Fatalf("no votes generated")
+	}
+	negCount := 0
+	for _, v := range w.Votes {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("invalid vote: %v", err)
+		}
+		if len(v.Ranked) > cfg.K {
+			t.Errorf("ranked list longer than K")
+		}
+		if v.Kind == vote.Negative {
+			negCount++
+			if r := v.BestRank(); r < 2 {
+				t.Errorf("negative vote with rank %d", r)
+			}
+		}
+	}
+	if negCount == 0 || negCount == len(w.Votes) {
+		t.Errorf("want a mix of kinds, got %d/%d negative", negCount, len(w.Votes))
+	}
+	if err := w.Aug.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateWorkloadSmallHost(t *testing.T) {
+	tiny := graph.New(0)
+	tiny.AddNodes(1)
+	if _, err := GenerateWorkload(tiny, WorkloadConfig{}); err == nil {
+		t.Errorf("tiny host should fail")
+	}
+}
+
+func TestGenerateCorpusAndQuestions(t *testing.T) {
+	c, err := GenerateCorpus(CorpusConfig{Topics: 4, EntitiesPer: 10, Docs: 40, EntitiesPerDoc: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Docs) != 40 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vocab := c.Vocabulary()
+	if len(vocab) == 0 || len(vocab) > 40 {
+		t.Errorf("vocabulary size = %d", len(vocab))
+	}
+	qs, err := GenerateQuestions(c, QuestionConfig{N: 25, EntitiesPer: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 25 {
+		t.Fatalf("questions = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.BestDoc < 0 || q.BestDoc >= 40 {
+			t.Errorf("question %d has bad BestDoc %d", q.ID, q.BestDoc)
+		}
+		if len(q.Entities) == 0 {
+			t.Errorf("question %d has no entities", q.ID)
+		}
+	}
+	// Determinism.
+	qs2, err := GenerateQuestions(c, QuestionConfig{N: 25, EntitiesPer: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if qs[i].BestDoc != qs2[i].BestDoc {
+			t.Errorf("question generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateCorpusErrors(t *testing.T) {
+	if _, err := GenerateCorpus(CorpusConfig{Topics: -1}); err == nil {
+		t.Errorf("bad config should fail")
+	}
+	if _, err := GenerateCorpus(CorpusConfig{Topics: 1, EntitiesPer: 2, Docs: 1, EntitiesPerDoc: 50}); err == nil {
+		t.Errorf("oversized docs should fail")
+	}
+	if _, err := GenerateQuestions(&qa.Corpus{}, QuestionConfig{}); err == nil {
+		t.Errorf("empty corpus should fail")
+	}
+}
+
+func TestSimulateVotes(t *testing.T) {
+	c, err := GenerateCorpus(CorpusConfig{Topics: 4, EntitiesPer: 10, Docs: 40, EntitiesPerDoc: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := qa.Build(c, core.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := GenerateQuestions(c, QuestionConfig{N: 30, EntitiesPer: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := SimulateVotes(s, qs, VoterConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("no votes simulated")
+	}
+	for _, r := range recs {
+		if err := r.Vote.Validate(); err != nil {
+			t.Fatalf("invalid simulated vote: %v", err)
+		}
+		if r.TrueRank < 1 {
+			t.Errorf("record missing true rank")
+		}
+	}
+	neg, pos := SplitByKind(recs)
+	if len(neg)+len(pos) != len(recs) {
+		t.Errorf("split lost records")
+	}
+	vs := Votes(recs)
+	if len(vs) != len(recs) {
+		t.Errorf("Votes lost records")
+	}
+	// Error-free votes always pick the true best document's answer.
+	for _, r := range recs {
+		best, err := s.AnswerOf(r.Question.BestDoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Vote.Best != best {
+			t.Errorf("error-free vote picked wrong answer")
+		}
+	}
+}
+
+func TestSimulateVotesWithErrors(t *testing.T) {
+	c, err := GenerateCorpus(CorpusConfig{Topics: 4, EntitiesPer: 10, Docs: 40, EntitiesPerDoc: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := qa.Build(c, core.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := GenerateQuestions(c, QuestionConfig{N: 30, EntitiesPer: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := SimulateVotes(s, qs, VoterConfig{ErrorRate: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for _, r := range recs {
+		best, err := s.AnswerOf(r.Question.BestDoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Vote.Best != best {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Errorf("ErrorRate=1 should produce wrong votes")
+	}
+}
+
+func TestGenerateQuestionsHotSkew(t *testing.T) {
+	c, err := GenerateCorpus(CorpusConfig{Topics: 4, EntitiesPer: 10, Docs: 80, EntitiesPerDoc: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuestionConfig{N: 200, EntitiesPer: 3, Seed: 5, HotDocs: 10, HotProb: 0.8, HotSeed: 99}
+	qs, err := GenerateQuestions(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, q := range qs {
+		counts[q.BestDoc]++
+	}
+	// The top-10 most-asked docs should absorb well over half the
+	// questions under an 80% hot probability.
+	tops := make([]int, 0, len(counts))
+	for _, n := range counts {
+		tops = append(tops, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(tops)))
+	sum := 0
+	for i := 0; i < 10 && i < len(tops); i++ {
+		sum += tops[i]
+	}
+	if sum < 120 {
+		t.Errorf("hot skew too weak: top-10 docs got %d/200 questions", sum)
+	}
+	// The hot subset is shared across generations with different seeds.
+	cfg2 := cfg
+	cfg2.Seed = 77
+	qs2, err := GenerateQuestions(c, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotSet := map[int]bool{}
+	for _, q := range qs {
+		if counts[q.BestDoc] > 5 {
+			hotSet[q.BestDoc] = true
+		}
+	}
+	shared := 0
+	for _, q := range qs2 {
+		if hotSet[q.BestDoc] {
+			shared++
+		}
+	}
+	if shared < 80 {
+		t.Errorf("hot subset not shared across seeds: %d/200 overlap", shared)
+	}
+}

@@ -1,0 +1,105 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/qa"
+	"kgvote/internal/vote"
+)
+
+// VoterConfig shapes the simulated user study that substitutes for the
+// paper's five human volunteers.
+type VoterConfig struct {
+	// ErrorRate is the probability a vote picks a random wrong answer
+	// instead of the ground-truth best one (models human error; the
+	// judgment algorithm is meant to absorb these). Default 0.
+	ErrorRate float64
+	Seed      int64
+}
+
+// VoteRecord pairs a collected vote with its evaluation context.
+type VoteRecord struct {
+	Question qa.Question
+	Query    graph.NodeID
+	Vote     vote.Vote
+	// TrueRank is the ground-truth best document's rank when the vote was
+	// collected (1-based; 0 if outside the full ranking).
+	TrueRank int
+}
+
+// SimulateVotes runs every question through the system and collects the
+// vote a ground-truth-aware user would cast: positive when the true best
+// document is ranked first, negative otherwise (when it still appears in
+// the top-K list). Questions whose true best answer misses the top-K
+// produce no vote, mirroring users who cannot find their answer at all.
+func SimulateVotes(s *qa.System, questions []qa.Question, cfg VoterConfig) ([]VoteRecord, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []VoteRecord
+	for _, q := range questions {
+		if q.BestDoc < 0 {
+			continue
+		}
+		qn, ranked, err := s.Ask(q)
+		if err != nil {
+			return nil, fmt.Errorf("synth: asking question %d: %w", q.ID, err)
+		}
+		best, err := s.AnswerOf(q.BestDoc)
+		if err != nil {
+			return nil, err
+		}
+		pos := 0
+		for i, a := range ranked {
+			if a == best {
+				pos = i + 1
+				break
+			}
+		}
+		if pos == 0 || len(ranked) < 2 {
+			continue // true answer not in top-K: the user walks away
+		}
+		chosen := best
+		if cfg.ErrorRate > 0 && rng.Float64() < cfg.ErrorRate {
+			// An erroneous vote: pick some other answer from the list.
+			for {
+				c := ranked[rng.Intn(len(ranked))]
+				if c != best || len(ranked) == 1 {
+					chosen = c
+					break
+				}
+			}
+		}
+		v, err := vote.FromRanking(qn, ranked, chosen)
+		if err != nil {
+			return nil, err
+		}
+		trueRank, err := s.Engine.RankOf(qn, best, s.Answers())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, VoteRecord{Question: q, Query: qn, Vote: v, TrueRank: trueRank})
+	}
+	return out, nil
+}
+
+// Votes extracts the plain votes from a record set.
+func Votes(records []VoteRecord) []vote.Vote {
+	out := make([]vote.Vote, len(records))
+	for i, r := range records {
+		out[i] = r.Vote
+	}
+	return out
+}
+
+// SplitByKind partitions records into negative and positive.
+func SplitByKind(records []VoteRecord) (neg, pos []VoteRecord) {
+	for _, r := range records {
+		if r.Vote.Kind == vote.Negative {
+			neg = append(neg, r)
+		} else {
+			pos = append(pos, r)
+		}
+	}
+	return neg, pos
+}

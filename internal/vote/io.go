@@ -1,0 +1,51 @@
+package vote
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"kgvote/internal/graph"
+)
+
+// jsonVote is the serialized form of a Vote. Kind is derived from the
+// best answer's position on load, so the format cannot go out of sync.
+type jsonVote struct {
+	Query  graph.NodeID   `json:"query"`
+	Ranked []graph.NodeID `json:"ranked"`
+	Best   graph.NodeID   `json:"best"`
+	Weight float64        `json:"weight,omitempty"`
+}
+
+// WriteJSON writes a vote log as a JSON array.
+func WriteJSON(w io.Writer, votes []Vote) error {
+	out := make([]jsonVote, len(votes))
+	for i, v := range votes {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("vote %d: %w", i, err)
+		}
+		out[i] = jsonVote{Query: v.Query, Ranked: v.Ranked, Best: v.Best, Weight: v.Weight}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// ReadJSON reads a vote log written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Vote, error) {
+	var in []jsonVote
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("vote: decode: %w", err)
+	}
+	out := make([]Vote, 0, len(in))
+	for i, jv := range in {
+		v, err := FromRanking(jv.Query, jv.Ranked, jv.Best)
+		if err != nil {
+			return nil, fmt.Errorf("vote %d: %w", i, err)
+		}
+		v.Weight = jv.Weight
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("vote %d: %w", i, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

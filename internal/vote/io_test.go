@@ -1,0 +1,80 @@
+package vote
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kgvote/internal/graph"
+)
+
+func TestVoteJSONRoundTrip(t *testing.T) {
+	votes := []Vote{
+		{Kind: Negative, Query: 1, Ranked: []graph.NodeID{10, 11, 12}, Best: 12},
+		{Kind: Positive, Query: 2, Ranked: []graph.NodeID{20, 21}, Best: 20},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, votes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range votes {
+		if got[i].Kind != votes[i].Kind || got[i].Query != votes[i].Query || got[i].Best != votes[i].Best {
+			t.Errorf("vote %d mismatch: %+v vs %+v", i, got[i], votes[i])
+		}
+		if len(got[i].Ranked) != len(votes[i].Ranked) {
+			t.Errorf("vote %d ranked list lost", i)
+		}
+	}
+}
+
+func TestWriteJSONRejectsInvalid(t *testing.T) {
+	bad := []Vote{{Kind: Negative, Ranked: []graph.NodeID{1}, Best: 9}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, bad); err == nil {
+		t.Errorf("invalid vote should not serialize")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("[nope")); err == nil {
+		t.Errorf("bad JSON should fail")
+	}
+	// Best not in list: FromRanking rejects it.
+	if _, err := ReadJSON(strings.NewReader(`[{"query":1,"ranked":[2,3],"best":9}]`)); err == nil {
+		t.Errorf("inconsistent vote should fail")
+	}
+	// Kind is derived, not trusted from the wire.
+	got, err := ReadJSON(strings.NewReader(`[{"query":1,"ranked":[2,3],"best":3}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Kind != Negative {
+		t.Errorf("kind should be derived as negative, got %v", got[0].Kind)
+	}
+}
+
+func TestVoteJSONCarriesWeight(t *testing.T) {
+	votes := []Vote{{Kind: Negative, Query: 1, Ranked: []graph.NodeID{10, 11}, Best: 11, Weight: 2.5}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, votes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Weight != 2.5 {
+		t.Errorf("weight lost in round trip: %v", got[0].Weight)
+	}
+	// Negative weights are rejected on load.
+	if _, err := ReadJSON(strings.NewReader(`[{"query":1,"ranked":[2,3],"best":3,"weight":-1}]`)); err == nil {
+		t.Errorf("negative weight should fail")
+	}
+}

@@ -1,0 +1,95 @@
+package vote
+
+import (
+	"fmt"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+)
+
+// DefaultExtremeConst is the weight assigned to shared edges in the
+// judgment algorithm's extreme condition. The paper only requires a
+// constant strictly between 0 and 1.
+const DefaultExtremeConst = 0.5
+
+// Judge implements the judgment algorithm of Section V: it decides whether
+// a negative vote can possibly be satisfied by re-weighting the graph.
+//
+// Let rank be the position of the voted best answer a* and let the rival
+// be the answer ranked immediately above it. Under the extreme condition
+//
+//   - edges in Set(a*) ∩ Set(rival) get weight extremeConst ∈ (0, 1),
+//   - edges in Set(a*) − Set(rival) get weight 1,
+//   - edges in Set(rival) − Set(a*) get weight 0,
+//
+// S(q, a*) is maximized while S(q, rival) is minimized. If even then
+// S(q, a*) ≤ S(q, rival), no re-weighting can promote a*, and the vote is
+// discarded (the user's choice is deemed erroneous).
+//
+// Positive votes are trivially optimizable and return true.
+func Judge(g *graph.Graph, v Vote, extremeConst float64, opt pathidx.Options) (bool, error) {
+	if err := v.Validate(); err != nil {
+		return false, err
+	}
+	if v.Kind == Positive {
+		return true, nil
+	}
+	if extremeConst <= 0 || extremeConst >= 1 {
+		return false, fmt.Errorf("vote: extreme constant %v outside (0,1)", extremeConst)
+	}
+	rank := v.BestRank()
+	rival := v.Ranked[rank-2] // the answer one position above the best
+
+	paths, err := pathidx.Enumerate(g, v.Query, []graph.NodeID{v.Best, rival}, opt)
+	if err != nil {
+		return false, err
+	}
+	bestPaths, rivalPaths := paths[v.Best], paths[rival]
+	if len(bestPaths) == 0 {
+		// No walk reaches the voted answer at all: unoptimizable.
+		return false, nil
+	}
+	bestSet := pathidx.EdgeSet(bestPaths)
+	rivalSet := pathidx.EdgeSet(rivalPaths)
+
+	weight := func(e graph.EdgeKey) float64 {
+		_, inBest := bestSet[e]
+		_, inRival := rivalSet[e]
+		switch {
+		case inBest && inRival:
+			return extremeConst
+		case inBest:
+			return 1
+		default: // inRival only; walks never use edges outside their set
+			return 0
+		}
+	}
+	opt = fillDefaults(opt)
+	c := opt.C
+	sum := func(ps []pathidx.Path) float64 {
+		var s float64
+		for _, p := range ps {
+			damp := c
+			prob := 1.0
+			for _, e := range p.Edges() {
+				prob *= weight(e)
+				damp *= 1 - c
+			}
+			s += prob * damp
+		}
+		return s
+	}
+	return sum(bestPaths) > sum(rivalPaths), nil
+}
+
+// fillDefaults mirrors pathidx's internal defaulting for the restart
+// probability, which Judge needs for its own path sums.
+func fillDefaults(opt pathidx.Options) pathidx.Options {
+	if opt.C == 0 {
+		opt.C = 0.15
+	}
+	if opt.L == 0 {
+		opt.L = pathidx.DefaultL
+	}
+	return opt
+}

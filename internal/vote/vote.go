@@ -1,0 +1,151 @@
+// Package vote defines the user-feedback model of the paper (Definition
+// 2): positive and negative votes over ranked answer lists, the edge sets
+// a vote touches, the Jaccard vote similarity of Equation (20), and the
+// judgment algorithm of Section V that filters votes which can never be
+// satisfied by re-weighting the graph.
+package vote
+
+import (
+	"fmt"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+)
+
+// Kind distinguishes positive from negative votes.
+type Kind int
+
+const (
+	// Negative marks a vote whose best answer is not ranked first.
+	Negative Kind = iota
+	// Positive confirms the top-ranked answer as the best one.
+	Positive
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Negative:
+		return "negative"
+	case Positive:
+		return "positive"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Vote is one unit of user feedback on a ranked answer list.
+type Vote struct {
+	Kind   Kind
+	Query  graph.NodeID
+	Ranked []graph.NodeID // the top-k list returned to the user, best-first
+	Best   graph.NodeID   // the answer the user voted best
+	// Weight is the vote's credibility (Section V motivates conflict
+	// handling with "low credible" votes): it scales the vote's share of
+	// the satisfaction objective. Zero means 1 (full credibility).
+	Weight float64
+}
+
+// EffectiveWeight returns Weight with the zero-value default applied.
+func (v Vote) EffectiveWeight() float64 {
+	if v.Weight == 0 {
+		return 1
+	}
+	return v.Weight
+}
+
+// FromRanking builds a vote from a ranked list and the user's choice,
+// deriving the kind: choosing the top answer is a positive vote, anything
+// else a negative vote.
+func FromRanking(query graph.NodeID, ranked []graph.NodeID, best graph.NodeID) (Vote, error) {
+	v := Vote{Query: query, Ranked: ranked, Best: best}
+	r := v.BestRank()
+	if r == 0 {
+		return Vote{}, fmt.Errorf("vote: best answer %d not in the ranked list", best)
+	}
+	if r == 1 {
+		v.Kind = Positive
+	} else {
+		v.Kind = Negative
+	}
+	return v, nil
+}
+
+// BestRank returns the 1-based position of Best inside Ranked, or 0 if
+// Best does not appear.
+func (v Vote) BestRank() int {
+	for i, a := range v.Ranked {
+		if a == v.Best {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Validate checks internal consistency.
+func (v Vote) Validate() error {
+	if len(v.Ranked) == 0 {
+		return fmt.Errorf("vote: empty ranked list")
+	}
+	r := v.BestRank()
+	if r == 0 {
+		return fmt.Errorf("vote: best answer %d not in ranked list", v.Best)
+	}
+	if v.Kind == Positive && r != 1 {
+		return fmt.Errorf("vote: positive vote but best ranks %d", r)
+	}
+	if v.Kind == Negative && r == 1 {
+		return fmt.Errorf("vote: negative vote but best ranks first")
+	}
+	if v.Weight < 0 {
+		return fmt.Errorf("vote: negative weight %v", v.Weight)
+	}
+	seen := make(map[graph.NodeID]bool, len(v.Ranked))
+	for _, a := range v.Ranked {
+		if seen[a] {
+			return fmt.Errorf("vote: duplicate answer %d in ranked list", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// EdgeSet returns E(t): the set of edges on any walk of length ≤ opt.L
+// from the vote's query to any answer in its ranked list (Section VI-A).
+func EdgeSet(g *graph.Graph, v Vote, opt pathidx.Options) (map[graph.EdgeKey]struct{}, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	paths, err := pathidx.Enumerate(g, v.Query, v.Ranked, opt)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[graph.EdgeKey]struct{})
+	for _, ps := range paths {
+		for _, p := range ps {
+			for _, e := range p.Edges() {
+				set[e] = struct{}{}
+			}
+		}
+	}
+	return set, nil
+}
+
+// Similarity is the Jaccard similarity of Equation (20):
+// |E(ti) ∩ E(tj)| / |E(ti) ∪ E(tj)|. Two empty sets have similarity 0.
+func Similarity(a, b map[graph.EdgeKey]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	small, big := a, b
+	if len(small) > len(big) {
+		small, big = big, small
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := big[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,227 @@
+package vote
+
+import (
+	"math"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+)
+
+func TestFromRanking(t *testing.T) {
+	ranked := []graph.NodeID{10, 11, 12}
+	v, err := FromRanking(1, ranked, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != Negative || v.BestRank() != 2 {
+		t.Errorf("kind=%v rank=%d, want negative rank 2", v.Kind, v.BestRank())
+	}
+	v, err = FromRanking(1, ranked, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != Positive || v.BestRank() != 1 {
+		t.Errorf("kind=%v rank=%d, want positive rank 1", v.Kind, v.BestRank())
+	}
+	if _, err := FromRanking(1, ranked, 99); err == nil {
+		t.Errorf("best outside list should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Negative.String() != "negative" || Positive.String() != "positive" {
+		t.Errorf("kind strings wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Errorf("unknown kind string wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Vote{Kind: Negative, Query: 0, Ranked: []graph.NodeID{1, 2}, Best: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid vote rejected: %v", err)
+	}
+	cases := []Vote{
+		{Kind: Negative, Ranked: nil, Best: 1},                                  // empty list
+		{Kind: Negative, Ranked: []graph.NodeID{1, 2}, Best: 9},                 // best missing
+		{Kind: Positive, Ranked: []graph.NodeID{1, 2}, Best: 2},                 // positive but rank 2
+		{Kind: Negative, Ranked: []graph.NodeID{1, 2}, Best: 1},                 // negative but rank 1
+		{Kind: Negative, Ranked: []graph.NodeID{1, 2, 2}, Best: 2},              // duplicate
+		{Kind: Positive, Ranked: []graph.NodeID{1, 1}, Best: 1},                 // duplicate
+		{Kind: Negative, Ranked: []graph.NodeID{3, 1, 1}, Best: 1, Query: 0},    // duplicate
+		{Kind: Positive, Ranked: []graph.NodeID{5}, Best: 6},                    // best missing
+		{Kind: Negative, Ranked: []graph.NodeID{}, Best: 0},                     // empty
+		{Kind: Negative, Query: 1, Ranked: []graph.NodeID{7, 8, 9, 7}, Best: 8}, // duplicate
+	}
+	for i, v := range cases {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d: invalid vote accepted: %+v", i, v)
+		}
+	}
+}
+
+// diamond builds: q→a (0.5), q→b (0.5), a→x (1), b→y (1); answers x, y.
+func diamond(t *testing.T) (*graph.Graph, graph.NodeID, graph.NodeID, graph.NodeID) {
+	t.Helper()
+	g := graph.New(0)
+	q := g.AddNode("q")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	x := g.AddNode("x")
+	y := g.AddNode("y")
+	g.MustSetEdge(q, a, 0.5)
+	g.MustSetEdge(q, b, 0.5)
+	g.MustSetEdge(a, x, 1)
+	g.MustSetEdge(b, y, 1)
+	return g, q, x, y
+}
+
+func TestEdgeSet(t *testing.T) {
+	g, q, x, y := diamond(t)
+	v := Vote{Kind: Negative, Query: q, Ranked: []graph.NodeID{x, y}, Best: y}
+	set, err := EdgeSet(g, v, pathidx.Options{L: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Fatalf("edge set size = %d, want 4", len(set))
+	}
+	for _, k := range []graph.EdgeKey{
+		{From: q, To: 1}, {From: q, To: 2}, {From: 1, To: x}, {From: 2, To: y},
+	} {
+		if _, ok := set[k]; !ok {
+			t.Errorf("missing edge %v", k)
+		}
+	}
+	bad := Vote{Kind: Negative, Ranked: nil}
+	if _, err := EdgeSet(g, bad, pathidx.Options{}); err == nil {
+		t.Errorf("invalid vote should fail")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	e := func(f, to graph.NodeID) graph.EdgeKey { return graph.EdgeKey{From: f, To: to} }
+	a := map[graph.EdgeKey]struct{}{e(0, 1): {}, e(1, 2): {}}
+	b := map[graph.EdgeKey]struct{}{e(0, 1): {}, e(2, 3): {}}
+	if got := Similarity(a, b); math.Abs(got-1.0/3) > 1e-15 {
+		t.Errorf("Similarity = %v, want 1/3", got)
+	}
+	if got := Similarity(a, a); got != 1 {
+		t.Errorf("self similarity = %v, want 1", got)
+	}
+	disjoint := map[graph.EdgeKey]struct{}{e(7, 8): {}}
+	if got := Similarity(a, disjoint); got != 0 {
+		t.Errorf("disjoint similarity = %v, want 0", got)
+	}
+	if got := Similarity(nil, nil); got != 0 {
+		t.Errorf("empty similarity = %v, want 0", got)
+	}
+	// Symmetry.
+	if Similarity(a, b) != Similarity(b, a) {
+		t.Errorf("similarity not symmetric")
+	}
+}
+
+func TestJudgePositiveAlwaysTrue(t *testing.T) {
+	g, q, x, y := diamond(t)
+	v := Vote{Kind: Positive, Query: q, Ranked: []graph.NodeID{x, y}, Best: x}
+	ok, err := Judge(g, v, DefaultExtremeConst, pathidx.Options{L: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("positive vote judged unoptimizable")
+	}
+}
+
+func TestJudgeOptimizableDisjointPaths(t *testing.T) {
+	// x and y are reached over disjoint paths: boosting y's path to 1 and
+	// x's to 0 makes y win, so the vote is optimizable.
+	g, q, x, y := diamond(t)
+	v := Vote{Kind: Negative, Query: q, Ranked: []graph.NodeID{x, y}, Best: y}
+	ok, err := Judge(g, v, DefaultExtremeConst, pathidx.Options{L: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("disjoint-path vote judged unoptimizable")
+	}
+}
+
+func TestJudgeUnoptimizableDownstream(t *testing.T) {
+	// q→a→b: b is strictly downstream of a, so b can never out-score a
+	// (every walk to b extends a walk to a and loses a (1−c) factor).
+	g := graph.New(0)
+	q := g.AddNode("q")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.MustSetEdge(q, a, 0.9)
+	g.MustSetEdge(a, b, 0.9)
+	v := Vote{Kind: Negative, Query: q, Ranked: []graph.NodeID{a, b}, Best: b}
+	ok, err := Judge(g, v, DefaultExtremeConst, pathidx.Options{L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("strictly-downstream vote judged optimizable")
+	}
+}
+
+func TestJudgeUnreachableBest(t *testing.T) {
+	g := graph.New(0)
+	q := g.AddNode("q")
+	a := g.AddNode("a")
+	b := g.AddNode("b") // no incoming edges: unreachable
+	g.MustSetEdge(q, a, 1)
+	v := Vote{Kind: Negative, Query: q, Ranked: []graph.NodeID{a, b}, Best: b}
+	ok, err := Judge(g, v, DefaultExtremeConst, pathidx.Options{L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("unreachable best judged optimizable")
+	}
+}
+
+func TestJudgeValidation(t *testing.T) {
+	g, q, x, y := diamond(t)
+	v := Vote{Kind: Negative, Query: q, Ranked: []graph.NodeID{x, y}, Best: y}
+	if _, err := Judge(g, v, 0, pathidx.Options{}); err == nil {
+		t.Errorf("extremeConst = 0 should fail")
+	}
+	if _, err := Judge(g, v, 1, pathidx.Options{}); err == nil {
+		t.Errorf("extremeConst = 1 should fail")
+	}
+	bad := Vote{Kind: Negative, Ranked: nil}
+	if _, err := Judge(g, bad, 0.5, pathidx.Options{}); err == nil {
+		t.Errorf("invalid vote should fail")
+	}
+}
+
+// Judge must compare against the answer ranked immediately above the best
+// one, not the global top answer.
+func TestJudgeUsesImmediateRival(t *testing.T) {
+	// Answers: top (rank1), mid (rank2), best (rank3). best shares all its
+	// edges with top (so it could never beat top), but is disjoint from
+	// mid. Judging vs mid ⇒ optimizable.
+	g := graph.New(0)
+	q := g.AddNode("q")
+	h := g.AddNode("hub")
+	top := g.AddNode("top")
+	mid := g.AddNode("mid")
+	g.MustSetEdge(q, h, 0.9)
+	g.MustSetEdge(h, top, 0.8)
+	best := g.AddNode("best")
+	g.MustSetEdge(top, best, 0.5) // best downstream of top
+	g.MustSetEdge(q, mid, 0.05)   // mid on its own path
+	v := Vote{Kind: Negative, Query: q, Ranked: []graph.NodeID{top, mid, best}, Best: best}
+	ok, err := Judge(g, v, DefaultExtremeConst, pathidx.Options{L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("vote should be optimizable against its immediate rival")
+	}
+}

@@ -1,0 +1,151 @@
+package kgvote
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the package doc
+// describes: build a graph, rank, vote, optimize, re-rank.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := NewGraph()
+	q := g.AddNode("q")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	x := g.AddNode("x")
+	y := g.AddNode("y")
+	g.MustSetEdge(q, a, 0.6)
+	g.MustSetEdge(q, b, 0.4)
+	g.MustSetEdge(a, x, 1)
+	g.MustSetEdge(b, y, 1)
+
+	eng, err := NewEngine(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := []NodeID{x, y}
+	ranked, err := eng.Rank(q, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Node != x {
+		t.Fatalf("expected x first, got %v", ranked)
+	}
+	v, err := eng.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != Negative {
+		t.Fatalf("expected negative vote")
+	}
+	rep, err := eng.SolveMulti([]Vote{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Encoded != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	after, err := eng.Rank(q, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].Node != y {
+		t.Errorf("vote did not flip the ranking: %v", after)
+	}
+}
+
+func TestFacadeQA(t *testing.T) {
+	c := &Corpus{Docs: []Document{
+		{ID: 1, Entities: map[string]int{"email": 2, "outbox": 1}},
+		{ID: 2, Entities: map[string]int{"email": 1, "outlook": 1}},
+	}}
+	sys, err := BuildQA(c, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := ExtractEntities("my EMAIL is stuck in the outbox", sys.Vocabulary())
+	if ents["email"] != 1 || ents["outbox"] != 1 {
+		t.Fatalf("extraction = %v", ents)
+	}
+	qn, ranked, err := sys.Ask(Question{ID: 1, Entities: ents})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qn == None || len(ranked) == 0 {
+		t.Fatalf("ask failed: %v %v", qn, ranked)
+	}
+	if sys.DocOf(ranked[0]) != 1 {
+		t.Errorf("doc1 should rank first for an outbox question")
+	}
+}
+
+func TestFacadeVoteConstructor(t *testing.T) {
+	v, err := NewVote(1, []NodeID{10, 11}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != Negative || v.BestRank() != 2 {
+		t.Errorf("vote = %+v", v)
+	}
+	if _, err := NewVote(1, []NodeID{10}, 99); err == nil {
+		t.Errorf("invalid vote should fail")
+	}
+}
+
+func TestFacadeAugment(t *testing.T) {
+	g := NewGraphWithCapacity(8)
+	e1 := g.AddNode("e1")
+	aug := Augment(g)
+	ans, err := aug.AttachAnswerUniform("a", []NodeID{e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aug.IsAnswer(ans) {
+		t.Errorf("answer classification lost through facade")
+	}
+	if DefaultOptions().K != 20 {
+		t.Errorf("default K = %d", DefaultOptions().K)
+	}
+}
+
+func TestFacadeStreamAndSnapshot(t *testing.T) {
+	g := NewGraph()
+	q := g.AddNode("q")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	x := g.AddNode("x")
+	y := g.AddNode("y")
+	g.MustSetEdge(q, a, 0.6)
+	g.MustSetEdge(q, b, 0.4)
+	g.MustSetEdge(a, x, 1)
+	g.MustSetEdge(b, y, 1)
+	eng, err := NewEngine(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	st, err := eng.NewStream(1, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := []NodeID{x, y}
+	v, err := eng.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Push(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatalf("batch=1 should flush immediately")
+	}
+	if len(eng.Diff(snap, 1e-9)) == 0 {
+		t.Errorf("stream flush changed nothing")
+	}
+	if err := eng.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Diff(snap, 1e-9)) != 0 {
+		t.Errorf("restore incomplete")
+	}
+}
