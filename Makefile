@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet bench experiments clean
+.PHONY: all build test short race vet bench bench-serve experiments clean
 
 all: vet test
 
@@ -21,6 +21,12 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Serving-path benchmark: legacy serialized ask vs lock-free snapshot
+# ranking. Writes qps, p50/p99 latency, and allocs/op to BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/benchserve -out BENCH_serve.json
+	$(GO) test -run xxx -bench 'BenchmarkAsk|BenchmarkSnapshotScoring' -benchmem .
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -6,9 +6,14 @@
 package kgvote
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"kgvote/internal/core"
 	"kgvote/internal/harness"
+	"kgvote/internal/pathidx"
+	"kgvote/internal/qa"
 	"kgvote/internal/synth"
 )
 
@@ -130,3 +135,85 @@ func BenchmarkAblationScorer(b *testing.B) { benchTable(b, harness.AblationScore
 
 // BenchmarkAblationNormalize compares post-solve normalization modes.
 func BenchmarkAblationNormalize(b *testing.B) { benchTable(b, harness.AblationNormalize) }
+
+// --- Serving-path benchmarks (DESIGN.md §"Serving architecture") ---
+
+// benchServeSystem builds a fixed synthetic corpus plus question stream
+// for the ask benchmarks. The rank cache is disabled so sequential and
+// parallel compare sweep against sweep, not sweep against cache hit.
+func benchServeSystem(b *testing.B) (*qa.System, []qa.Question) {
+	b.Helper()
+	corpus, err := synth.GenerateCorpus(synth.CorpusConfig{Docs: 120, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	questions, err := synth.GenerateQuestions(corpus, synth.QuestionConfig{N: 256, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := qa.Build(corpus, core.Options{K: 10, L: 4, RankCacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, questions
+}
+
+// BenchmarkAskSequential is the legacy serving path: every ask attaches a
+// query node to the shared graph and ranks under the writer mutex, the
+// way the pre-snapshot server serialized all requests.
+func BenchmarkAskSequential(b *testing.B) {
+	sys, questions := benchServeSystem(b)
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		_, _, err := sys.Ask(questions[i%len(questions)])
+		mu.Unlock()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAskParallel is the snapshot serving path: virtual seed vectors
+// ranked against the published CSR from concurrent goroutines, no lock
+// and no graph mutation.
+func BenchmarkAskParallel(b *testing.B) {
+	sys, questions := benchServeSystem(b)
+	var idx atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(idx.Add(1)) - 1
+			if _, _, err := sys.RankSnapshot(questions[i%len(questions)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotScoring isolates the steady-state scoring loop — a
+// pooled scorer ranking a pre-seeded question into a reused buffer. The
+// design target is 0 allocs/op.
+func BenchmarkSnapshotScoring(b *testing.B) {
+	sys, questions := benchServeSystem(b)
+	ids, ws, _, err := sys.Seed(questions[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := sys.Engine.Serving()
+	sc := snap.Pool().Get()
+	defer snap.Pool().Put(sc)
+	answers := sys.Answers()
+	buf := make([]pathidx.Ranked, 0, len(answers))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = sc.RankSeededInto(buf[:0], ids, ws, answers, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

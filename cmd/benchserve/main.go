@@ -1,0 +1,56 @@
+// Command benchserve measures the serving path: the legacy serialized
+// ask (attach a query node, rank under the writer mutex) against the
+// lock-free snapshot path (virtual seed vector against the published
+// CSR, pooled scorers, parallel workers). Results go to stdout and to a
+// JSON file consumed by `make bench-serve`.
+//
+// Usage:
+//
+//	benchserve [-docs n] [-queries n] [-workers n] [-seed n] [-out file]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"kgvote/internal/harness"
+)
+
+func main() {
+	var (
+		docs    = flag.Int("docs", 200, "corpus documents")
+		queries = flag.Int("queries", 300, "questions per measured pass")
+		workers = flag.Int("workers", 0, "snapshot-path goroutines (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "BENCH_serve.json", "JSON output file (empty = skip)")
+	)
+	flag.Parse()
+	if err := realMain(*docs, *queries, *workers, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(docs, queries, workers int, seed int64, out string) error {
+	res, err := harness.ServeBench(harness.ServeConfig{
+		Docs: docs, Queries: queries, Workers: workers, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if out == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

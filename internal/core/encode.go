@@ -27,7 +27,8 @@ func (e *Engine) similaritySignomial(p *sgp.Program, query graph.NodeID, paths [
 	for _, walk := range paths {
 		coef := c
 		vars := make([]int, 0, walk.Len())
-		for _, edge := range walk.Edges() {
+		for i := 0; i < walk.Len(); i++ {
+			edge := walk.Edge(i)
 			coef *= 1 - c
 			if edge.From == query {
 				coef *= e.g.Weight(edge.From, edge.To)

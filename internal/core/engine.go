@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"kgvote/internal/graph"
 	"kgvote/internal/pathidx"
@@ -12,11 +13,20 @@ import (
 // was created with and mutates it in place as votes are applied; use
 // graph.Clone before constructing the engine to preserve the original.
 //
-// An Engine is not safe for concurrent use.
+// An Engine is not safe for concurrent use by multiple writers, but it
+// publishes an immutable, epoch-stamped GraphSnapshot (see Serving) that
+// any number of goroutines may read concurrently while the single writer
+// keeps optimizing: the snapshot is republished after every batch of
+// weight changes.
 type Engine struct {
 	g      *graph.Graph
 	opt    Options
 	scorer *pathidx.Scorer
+
+	// epoch counts snapshot publications; it is written only by the
+	// engine's single writer and read through the published snapshot.
+	epoch   uint64
+	serving atomic.Pointer[GraphSnapshot]
 }
 
 // New returns an engine over g. Zero-valued option fields take the
@@ -33,7 +43,11 @@ func New(g *graph.Graph, opt Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{g: g, opt: opt, scorer: sc}, nil
+	e := &Engine{g: g, opt: opt, scorer: sc}
+	if err := e.publish(); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // Graph returns the engine's (mutable) graph.
@@ -88,11 +102,13 @@ func (e *Engine) CollectVote(q graph.NodeID, answers []graph.NodeID, best graph.
 	return vote.FromRanking(q, list, best)
 }
 
-// applyWeights writes solved variable values back into the graph and
-// normalizes the touched source nodes per the configured mode.
+// applyWeights writes solved variable values back into the graph,
+// normalizes the touched source nodes per the configured mode, and
+// republishes the serving snapshot — every optimization batch ends here,
+// so the published epoch advances monotonically with each solve.
 func (e *Engine) applyWeights(changes map[graph.EdgeKey]float64) error {
 	if len(changes) == 0 {
-		return nil
+		return e.publish()
 	}
 	preSums := make(map[graph.NodeID]float64)
 	for k := range changes {
@@ -133,5 +149,5 @@ func (e *Engine) applyWeights(changes map[graph.EdgeKey]float64) error {
 			}
 		}
 	}
-	return nil
+	return e.publish()
 }

@@ -91,6 +91,9 @@ type Options struct {
 	Cluster ClusterAlgo
 	// ClusterK fixes the cluster count for KMedoidsCluster (0 = ⌈√votes⌉).
 	ClusterK int
+	// RankCacheSize bounds the per-snapshot query-rank LRU cache on the
+	// serving path (0 = DefaultRankCacheSize, negative = cache disabled).
+	RankCacheSize int
 	// AL tunes the augmented-Lagrangian solver.
 	AL optimize.ALOptions
 }
@@ -190,4 +193,15 @@ func (o Options) Validate() error {
 // pathOptions projects the engine options onto pathidx.Options.
 func (o Options) pathOptions() pathidx.Options {
 	return pathidx.Options{L: o.L, C: o.C, MaxPaths: o.MaxPaths}
+}
+
+// rankCacheSize resolves the effective serving-cache capacity.
+func (o Options) rankCacheSize() int {
+	switch {
+	case o.RankCacheSize < 0:
+		return 0
+	case o.RankCacheSize == 0:
+		return DefaultRankCacheSize
+	}
+	return o.RankCacheSize
 }

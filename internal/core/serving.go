@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/lru"
+	"kgvote/internal/pathidx"
+)
+
+// DefaultRankCacheSize is the default capacity of the per-snapshot
+// query-rank cache (Options.RankCacheSize = 0).
+const DefaultRankCacheSize = 1024
+
+// GraphSnapshot is one immutable, epoch-stamped generation of the
+// engine's graph compiled for lock-free serving: a CSR of the weights, a
+// scorer pool for concurrent ranking, and a bounded query-rank cache.
+//
+// The engine republishes a fresh snapshot (next epoch) after every
+// optimization batch mutates weights; the cache is dropped wholesale with
+// the old snapshot, so cached rankings can never outlive the weights they
+// were computed from. A snapshot is safe for concurrent use by any number
+// of goroutines.
+//
+// Query nodes attached to the mutable graph after the snapshot was
+// compiled are intentionally absent: query nodes have no in-edges, so no
+// walk between entities and answers can pass through one, and questions
+// are scored against the snapshot as virtual sources (seed vectors)
+// instead — see RankSeeded.
+type GraphSnapshot struct {
+	csr   *graph.CSR
+	pool  *pathidx.ScorerPool
+	cache *lru.Cache[string, []pathidx.Ranked]
+	opt   Options
+}
+
+// Epoch returns the snapshot's generation counter. Epochs start at 1 and
+// advance monotonically with every publication.
+func (s *GraphSnapshot) Epoch() uint64 { return s.csr.Epoch() }
+
+// CSR returns the compiled graph.
+func (s *GraphSnapshot) CSR() *graph.CSR { return s.csr }
+
+// Pool returns the snapshot's scorer pool for callers that manage their
+// own scorer checkout (zero-allocation loops).
+func (s *GraphSnapshot) Pool() *pathidx.ScorerPool { return s.pool }
+
+// NumNodes returns the snapshot's node count.
+func (s *GraphSnapshot) NumNodes() int { return s.csr.NumNodes() }
+
+// NumEdges returns the snapshot's edge count.
+func (s *GraphSnapshot) NumEdges() int { return s.csr.NumEdges() }
+
+// RankSeeded ranks candidates for a virtual query node whose out-edges
+// are (ids[i], ws[i]), equivalent to attaching the query and ranking from
+// it but without mutating the graph. A non-empty cacheKey consults the
+// snapshot's rank cache first, so repeated questions skip the sparse
+// sweeps entirely; the returned slice may then be shared with other
+// readers and must be treated as immutable. k ≤ 0 ranks all candidates.
+func (s *GraphSnapshot) RankSeeded(cacheKey string, ids []graph.NodeID, ws []float64, candidates []graph.NodeID, k int) ([]pathidx.Ranked, error) {
+	if cacheKey != "" {
+		if r, ok := s.cache.Get(cacheKey); ok {
+			return r, nil
+		}
+	}
+	sc := s.pool.Get()
+	ranked, err := sc.RankSeeded(ids, ws, candidates, k)
+	s.pool.Put(sc)
+	if err != nil {
+		return nil, err
+	}
+	if cacheKey != "" {
+		s.cache.Add(cacheKey, ranked)
+	}
+	return ranked, nil
+}
+
+// SimilaritySeeded evaluates S(vq, target) for a virtual query node.
+func (s *GraphSnapshot) SimilaritySeeded(ids []graph.NodeID, ws []float64, target graph.NodeID) (float64, error) {
+	if int(target) < 0 || int(target) >= s.csr.NumNodes() {
+		return 0, fmt.Errorf("core: target %d out of range", target)
+	}
+	sc := s.pool.Get()
+	defer s.pool.Put(sc)
+	scores, err := sc.ScoresSeeded(ids, ws)
+	if err != nil {
+		return 0, err
+	}
+	return scores[target], nil
+}
+
+// ExplainSeeded decomposes the virtual-query similarity S(vq, target)
+// into its constituent walks by enumeration over the snapshot, the
+// lock-free twin of Engine.Explain. Returned paths start with graph.None
+// standing in for the virtual query node. topN ≤ 0 returns all walks.
+func (s *GraphSnapshot) ExplainSeeded(ids []graph.NodeID, ws []float64, target graph.NodeID, topN int) (*Explanation, error) {
+	n := s.csr.NumNodes()
+	if int(target) < 0 || int(target) >= n {
+		return nil, fmt.Errorf("core: explain target %d out of range", target)
+	}
+	if len(ids) != len(ws) {
+		return nil, fmt.Errorf("core: %d seed ids but %d weights", len(ids), len(ws))
+	}
+	c, L, maxPaths := s.opt.C, s.opt.L, s.opt.MaxPaths
+	ex := &Explanation{Query: graph.None, Answer: target}
+	stack := make([]graph.NodeID, 1, L+1)
+	stack[0] = graph.None
+	var dfs func(at graph.NodeID, depth int, prob float64) error
+	dfs = func(at graph.NodeID, depth int, prob float64) error {
+		if at == target {
+			ex.TotalPaths++
+			if ex.TotalPaths > maxPaths {
+				return fmt.Errorf("%w (%d)", pathidx.ErrTooManyPaths, maxPaths)
+			}
+			damp := c
+			for l := 0; l < depth; l++ {
+				damp *= 1 - c
+			}
+			score := prob * damp
+			ex.Similarity += score
+			ex.Paths = append(ex.Paths, PathContribution{
+				Path:  pathidx.Path{Nodes: append([]graph.NodeID(nil), stack...)},
+				Score: score,
+			})
+		}
+		if depth == L {
+			return nil
+		}
+		cols, wts := s.csr.Row(at)
+		for i, to := range cols {
+			if wts[i] == 0 {
+				continue
+			}
+			stack = append(stack, to)
+			if err := dfs(to, depth+1, prob*wts[i]); err != nil {
+				return err
+			}
+			stack = stack[:len(stack)-1]
+		}
+		return nil
+	}
+	for i, e := range ids {
+		if ws[i] == 0 {
+			continue
+		}
+		if int(e) < 0 || int(e) >= n {
+			return nil, fmt.Errorf("core: seed %d out of range", e)
+		}
+		stack = append(stack[:1], e)
+		if err := dfs(e, 1, ws[i]); err != nil {
+			return nil, err
+		}
+	}
+	if ex.Similarity > 0 {
+		for i := range ex.Paths {
+			ex.Paths[i].Fraction = ex.Paths[i].Score / ex.Similarity
+		}
+	}
+	sort.SliceStable(ex.Paths, func(i, j int) bool {
+		return ex.Paths[i].Score > ex.Paths[j].Score
+	})
+	if topN > 0 && len(ex.Paths) > topN {
+		ex.Paths = ex.Paths[:topN]
+	}
+	return ex, nil
+}
+
+// publish compiles the current graph into a fresh snapshot at the next
+// epoch and swaps it into the serving pointer. Only graph-mutating paths
+// call it (engine construction, post-solve weight application, restore),
+// all of which run under the engine's single-writer discipline.
+func (e *Engine) publish() error {
+	e.epoch++
+	csr := graph.CompileAt(e.g, e.epoch)
+	pool, err := pathidx.NewScorerPool(csr, e.opt.pathOptions())
+	if err != nil {
+		return fmt.Errorf("core: publish snapshot: %w", err)
+	}
+	e.serving.Store(&GraphSnapshot{
+		csr:   csr,
+		pool:  pool,
+		cache: lru.New[string, []pathidx.Ranked](e.opt.rankCacheSize()),
+		opt:   e.opt,
+	})
+	return nil
+}
+
+// Serving returns the currently published snapshot. The pointer is
+// swapped atomically on republication; readers may keep using a loaded
+// snapshot for as long as they like (it is immutable) but should reload
+// per request to observe fresh epochs.
+func (e *Engine) Serving() *GraphSnapshot { return e.serving.Load() }

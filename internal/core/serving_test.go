@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+// servingFixture builds an engine over the twoAnswer graph. The "query"
+// node q is part of the host graph here, which lets tests compare the
+// attached-query path with the virtual-seed path: seeds mirror q's
+// out-edges.
+func servingFixture(t testing.TB) (*Engine, graph.NodeID, []graph.NodeID, []graph.NodeID, []float64) {
+	t.Helper()
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{K: 5, L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []graph.NodeID
+	var ws []float64
+	for _, out := range g.Out(q) {
+		ids = append(ids, out.To)
+		ws = append(ws, out.Weight)
+	}
+	return e, q, answers, ids, ws
+}
+
+func TestServingPublishedAtConstruction(t *testing.T) {
+	e, _, _, _, _ := servingFixture(t)
+	snap := e.Serving()
+	if snap == nil {
+		t.Fatal("no snapshot published at construction")
+	}
+	if snap.Epoch() != 1 {
+		t.Errorf("initial epoch = %d, want 1", snap.Epoch())
+	}
+	if snap.NumNodes() != e.Graph().NumNodes() || snap.NumEdges() != e.Graph().NumEdges() {
+		t.Errorf("snapshot shape %d/%d vs graph %d/%d",
+			snap.NumNodes(), snap.NumEdges(), e.Graph().NumNodes(), e.Graph().NumEdges())
+	}
+}
+
+func TestRankSeededMatchesEngineRank(t *testing.T) {
+	e, q, answers, ids, ws := servingFixture(t)
+	want, err := e.RankAll(q, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Serving().RankSeeded("", ids, ws, answers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d ranked, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Node != want[i].Node {
+			t.Errorf("rank %d: snapshot %d, engine %d", i, got[i].Node, want[i].Node)
+		}
+		if d := got[i].Score - want[i].Score; d > 1e-12 || d < -1e-12 {
+			t.Errorf("rank %d: score %.15f vs %.15f", i, got[i].Score, want[i].Score)
+		}
+	}
+}
+
+func TestRankSeededCache(t *testing.T) {
+	e, _, answers, ids, ws := servingFixture(t)
+	snap := e.Serving()
+	first, err := snap.RankSeeded("key", ids, ws, answers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := snap.RankSeeded("key", ids, ws, answers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &second[0] {
+		t.Error("cache miss on identical key: sweeps were repeated")
+	}
+	// Distinct key recomputes.
+	third, err := snap.RankSeeded("other", ids, ws, answers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] == &third[0] {
+		t.Error("different keys shared a cache entry")
+	}
+}
+
+func TestRankSeededCacheDisabled(t *testing.T) {
+	g, q, _ := twoAnswer(t)
+	_ = q
+	e, err := New(g, Options{K: 5, L: 4, RankCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Serving()
+	ids := []graph.NodeID{1}
+	ws := []float64{1}
+	answers := []graph.NodeID{3, 4}
+	first, err := snap.RankSeeded("key", ids, ws, answers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := snap.RankSeeded("key", ids, ws, answers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] == &second[0] {
+		t.Error("disabled cache returned a shared slice")
+	}
+}
+
+// TestEpochAdvancesOnSolve verifies that every optimization batch
+// republishes the snapshot at the next epoch and that the new snapshot
+// reflects the new weights while the old one keeps the old weights.
+func TestEpochAdvancesOnSolve(t *testing.T) {
+	e, q, answers, ids, ws := servingFixture(t)
+	old := e.Serving()
+	v, err := vote.FromRanking(q, answers, answers[1]) // prefer the loser
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SolveSingle([]vote.Vote{v}); err != nil {
+		t.Fatal(err)
+	}
+	cur := e.Serving()
+	if cur.Epoch() <= old.Epoch() {
+		t.Fatalf("epoch did not advance: %d -> %d", old.Epoch(), cur.Epoch())
+	}
+	oldRank, err := old.RankSeeded("", ids, ws, answers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRank, err := cur.RankSeeded("", ids, ws, answers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldRank[0].Node != answers[0] {
+		t.Errorf("old snapshot mutated: top answer %d", oldRank[0].Node)
+	}
+	if newRank[0].Node != answers[1] {
+		t.Errorf("vote did not take effect in new snapshot: top answer %d", newRank[0].Node)
+	}
+
+	// Restore also republishes.
+	before := e.epoch
+	if err := e.Restore(e.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if e.Serving().Epoch() != before+1 {
+		t.Errorf("restore did not republish: epoch %d, want %d", e.Serving().Epoch(), before+1)
+	}
+}
+
+func TestExplainSeededMatchesExplain(t *testing.T) {
+	e, q, answers, ids, ws := servingFixture(t)
+	want, err := e.Explain(q, answers[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Serving().ExplainSeeded(ids, ws, answers[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalPaths != want.TotalPaths {
+		t.Errorf("total paths %d vs %d", got.TotalPaths, want.TotalPaths)
+	}
+	if d := got.Similarity - want.Similarity; d > 1e-12 || d < -1e-12 {
+		t.Errorf("similarity %.15f vs %.15f", got.Similarity, want.Similarity)
+	}
+	if len(got.Paths) != len(want.Paths) {
+		t.Fatalf("path count %d vs %d", len(got.Paths), len(want.Paths))
+	}
+	for i := range got.Paths {
+		if d := got.Paths[i].Score - want.Paths[i].Score; d > 1e-12 || d < -1e-12 {
+			t.Errorf("path %d score %.15f vs %.15f", i, got.Paths[i].Score, want.Paths[i].Score)
+		}
+		gp, wp := got.Paths[i].Path.Nodes, want.Paths[i].Path.Nodes
+		if len(gp) != len(wp) {
+			t.Fatalf("path %d length %d vs %d", i, len(gp), len(wp))
+		}
+		if gp[0] != graph.None {
+			t.Errorf("seeded path %d does not start with the virtual query: %v", i, gp)
+		}
+		for j := 1; j < len(gp); j++ {
+			if gp[j] != wp[j] {
+				t.Errorf("path %d node %d: %d vs %d", i, j, gp[j], wp[j])
+			}
+		}
+	}
+
+	if _, err := e.Serving().ExplainSeeded(ids, ws, graph.NodeID(99), 0); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}

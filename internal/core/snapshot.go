@@ -28,9 +28,10 @@ func (e *Engine) Snapshot() *WeightSnapshot {
 	return s
 }
 
-// Restore writes the snapshot's weights back into the graph. It fails if
-// any snapshotted edge no longer exists (edges are never deleted by the
-// engine, so that indicates outside interference).
+// Restore writes the snapshot's weights back into the graph and
+// republishes the serving snapshot. It fails if any snapshotted edge no
+// longer exists (edges are never deleted by the engine, so that indicates
+// outside interference).
 func (e *Engine) Restore(s *WeightSnapshot) error {
 	if s == nil {
 		return fmt.Errorf("core: nil snapshot")
@@ -40,7 +41,7 @@ func (e *Engine) Restore(s *WeightSnapshot) error {
 			return fmt.Errorf("core: restore: %w", err)
 		}
 	}
-	return nil
+	return e.publish()
 }
 
 // Diff reports the edges whose current weight differs from the snapshot

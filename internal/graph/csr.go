@@ -6,10 +6,16 @@ import "fmt"
 // for high-throughput read paths (similarity serving) while the mutable
 // Graph continues to take optimization writes elsewhere. A CSR is safe
 // for concurrent use by multiple goroutines.
+//
+// A CSR carries the epoch it was compiled at: the serving path publishes a
+// fresh snapshot after every optimization batch and readers use the epoch
+// to observe graph generations without touching the mutable graph.
 type CSR struct {
 	rowPtr  []int32
 	colIdx  []NodeID
 	weights []float64
+	names   []string
+	epoch   uint64
 }
 
 // Compile snapshots g into CSR form. Edge order within a row follows the
@@ -20,6 +26,7 @@ func Compile(g *Graph) *CSR {
 		rowPtr:  make([]int32, n+1),
 		colIdx:  make([]NodeID, 0, g.NumEdges()),
 		weights: make([]float64, 0, g.NumEdges()),
+		names:   append([]string(nil), g.names...),
 	}
 	for i := 0; i < n; i++ {
 		c.rowPtr[i] = int32(len(c.colIdx))
@@ -30,6 +37,26 @@ func Compile(g *Graph) *CSR {
 	}
 	c.rowPtr[n] = int32(len(c.colIdx))
 	return c
+}
+
+// CompileAt snapshots g into CSR form stamped with the given epoch.
+func CompileAt(g *Graph, epoch uint64) *CSR {
+	c := Compile(g)
+	c.epoch = epoch
+	return c
+}
+
+// Epoch returns the snapshot's generation counter (0 for snapshots built
+// with plain Compile).
+func (c *CSR) Epoch() uint64 { return c.epoch }
+
+// Name returns the name of a node captured at compile time, or "" for
+// anonymous or out-of-range IDs.
+func (c *CSR) Name(id NodeID) string {
+	if int(id) < 0 || int(id) >= len(c.names) {
+		return ""
+	}
+	return c.names[id]
 }
 
 // NumNodes returns the number of nodes.

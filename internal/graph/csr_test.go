@@ -133,3 +133,31 @@ func BenchmarkCSRRowTraversal(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestCompileAtEpochAndNames(t *testing.T) {
+	g := New(4)
+	a := g.AddNode("alpha")
+	b := g.AddNode("beta")
+	if err := g.SetEdge(a, b, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	c := CompileAt(g, 7)
+	if c.Epoch() != 7 {
+		t.Errorf("epoch = %d, want 7", c.Epoch())
+	}
+	if Compile(g).Epoch() != 0 {
+		t.Error("plain Compile should leave epoch 0")
+	}
+	if c.Name(a) != "alpha" || c.Name(b) != "beta" {
+		t.Errorf("names = %q, %q", c.Name(a), c.Name(b))
+	}
+	if c.Name(None) != "" || c.Name(NodeID(99)) != "" {
+		t.Error("out-of-range name not empty")
+	}
+	// Names are a compile-time copy: later graph growth must not show
+	// through the snapshot (lock-free readers depend on this).
+	g.AddNode("gamma")
+	if c.NumNodes() != 2 || c.Name(NodeID(2)) != "" {
+		t.Error("snapshot saw post-compile growth")
+	}
+}

@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+	"kgvote/internal/qa"
+	"kgvote/internal/synth"
+)
+
+// ServeConfig sizes the serving benchmark (DESIGN.md §"Serving
+// architecture"): a synthetic corpus is built once, then the same
+// question stream is ranked through the legacy mutex path (attach query
+// node, rank under the writer lock) and through the lock-free snapshot
+// path (virtual seed vector against the published CSR).
+type ServeConfig struct {
+	Docs    int   // corpus documents; default 200
+	Queries int   // questions per measured pass; default 300
+	Workers int   // snapshot-path goroutines; default GOMAXPROCS
+	Seed    int64 // default 1
+	K       int   // top-K; default 10
+	L       int   // walk-length bound; default 4
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Docs == 0 {
+		c.Docs = 200
+	}
+	if c.Queries == 0 {
+		c.Queries = 300
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.L == 0 {
+		c.L = 4
+	}
+	return c
+}
+
+// ServeResult is the JSON-serializable outcome of ServeBench
+// (BENCH_serve.json).
+type ServeResult struct {
+	Docs    int    `json:"docs"`
+	Queries int    `json:"queries"`
+	Workers int    `json:"workers"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Epoch   uint64 `json:"epoch"`
+
+	SequentialQPS float64 `json:"sequential_qps"`
+	ParallelQPS   float64 `json:"parallel_qps"`
+	Speedup       float64 `json:"speedup"`
+
+	// Per-query latency of the snapshot path and the legacy path, in
+	// microseconds.
+	P50Micros           float64 `json:"p50_us"`
+	P99Micros           float64 `json:"p99_us"`
+	SequentialP50Micros float64 `json:"sequential_p50_us"`
+	SequentialP99Micros float64 `json:"sequential_p99_us"`
+
+	// Steady-state heap allocations per ranked query on the snapshot
+	// scoring loop (pool scorer + RankSeededInto); the design target is 0.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// String renders a one-screen summary.
+func (r ServeResult) String() string {
+	return fmt.Sprintf(
+		"serve bench: %d docs (%d nodes / %d edges), %d queries, epoch %d\n"+
+			"  sequential (mutex + attach): %8.1f qps   p50 %8.1fµs  p99 %8.1fµs\n"+
+			"  snapshot   (%2d workers):     %8.1f qps   p50 %8.1fµs  p99 %8.1fµs\n"+
+			"  speedup %.2fx, scoring loop %.1f allocs/op",
+		r.Docs, r.Nodes, r.Edges, r.Queries, r.Epoch,
+		r.SequentialQPS, r.SequentialP50Micros, r.SequentialP99Micros,
+		r.Workers, r.ParallelQPS, r.P50Micros, r.P99Micros,
+		r.Speedup, r.AllocsPerOp)
+}
+
+// ServeBench measures the legacy serialized ask path against the
+// lock-free snapshot path on the same corpus and question stream.
+//
+// Two systems are built from identical corpora so the sequential pass's
+// query-node attachments cannot slow the snapshot pass (or vice versa),
+// and the snapshot system's rank cache is disabled so the comparison is
+// sweep against sweep, not sweep against cache hit.
+func ServeBench(cfg ServeConfig) (ServeResult, error) {
+	cfg = cfg.withDefaults()
+	corpus, err := synth.GenerateCorpus(synth.CorpusConfig{Docs: cfg.Docs, Seed: cfg.Seed})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	questions, err := synth.GenerateQuestions(corpus, synth.QuestionConfig{N: cfg.Queries, Seed: cfg.Seed + 1})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	opt := core.Options{K: cfg.K, L: cfg.L}
+
+	// Legacy path: every ask attaches a query node and ranks under the
+	// writer mutex — the pre-snapshot server serialized exactly like this.
+	seqSys, err := qa.Build(corpus, opt)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	var mu sync.Mutex
+	seqLat := make([]time.Duration, len(questions))
+	seqStart := time.Now()
+	for i, q := range questions {
+		t0 := time.Now()
+		mu.Lock()
+		_, _, err := seqSys.Ask(q)
+		mu.Unlock()
+		if err != nil {
+			return ServeResult{}, fmt.Errorf("sequential ask %d: %w", i, err)
+		}
+		seqLat[i] = time.Since(t0)
+	}
+	seqElapsed := time.Since(seqStart)
+
+	// Snapshot path: virtual seed vectors against the published CSR, no
+	// lock, no attachment, pooled scorers. Cache disabled (see above).
+	parOpt := opt
+	parOpt.RankCacheSize = -1
+	parSys, err := qa.Build(corpus, parOpt)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	parLat := make([]time.Duration, len(questions))
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		parErr atomic.Pointer[error]
+	)
+	parStart := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(questions) {
+					return
+				}
+				t0 := time.Now()
+				if _, _, err := parSys.RankSnapshot(questions[i]); err != nil {
+					e := fmt.Errorf("snapshot ask %d: %w", i, err)
+					parErr.Store(&e)
+					return
+				}
+				parLat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	parElapsed := time.Since(parStart)
+	if ep := parErr.Load(); ep != nil {
+		return ServeResult{}, *ep
+	}
+
+	// Steady-state allocation count of the scoring loop itself.
+	allocs, err := scoringAllocsPerOp(parSys, questions)
+	if err != nil {
+		return ServeResult{}, err
+	}
+
+	snap := parSys.Engine.Serving()
+	res := ServeResult{
+		Docs:    cfg.Docs,
+		Queries: len(questions),
+		Workers: cfg.Workers,
+		Nodes:   snap.NumNodes(),
+		Edges:   snap.NumEdges(),
+		Epoch:   snap.Epoch(),
+
+		SequentialQPS: float64(len(questions)) / seqElapsed.Seconds(),
+		ParallelQPS:   float64(len(questions)) / parElapsed.Seconds(),
+
+		P50Micros:           micros(percentile(parLat, 0.50)),
+		P99Micros:           micros(percentile(parLat, 0.99)),
+		SequentialP50Micros: micros(percentile(seqLat, 0.50)),
+		SequentialP99Micros: micros(percentile(seqLat, 0.99)),
+
+		AllocsPerOp: allocs,
+	}
+	if res.SequentialQPS > 0 {
+		res.Speedup = res.ParallelQPS / res.SequentialQPS
+	}
+	return res, nil
+}
+
+// scoringAllocsPerOp measures heap allocations per ranked query on the
+// warm path: a pooled scorer, pre-seeded questions, and a reused result
+// buffer, exactly what GraphSnapshot.RankSeeded does per request minus
+// the per-request slice handed to the caller.
+func scoringAllocsPerOp(sys *qa.System, questions []qa.Question) (float64, error) {
+	type seeded struct {
+		ids []graph.NodeID
+		ws  []float64
+	}
+	n := len(questions)
+	if n > 50 {
+		n = 50
+	}
+	seeds := make([]seeded, 0, n)
+	for _, q := range questions[:n] {
+		ids, ws, _, err := sys.Seed(q)
+		if err != nil {
+			return 0, err
+		}
+		seeds = append(seeds, seeded{ids, ws})
+	}
+	snap := sys.Engine.Serving()
+	sc := snap.Pool().Get()
+	defer snap.Pool().Put(sc)
+	answers := sys.Answers()
+	k := sys.Engine.Options().K
+	buf := make([]pathidx.Ranked, 0, len(answers))
+
+	var rankErr error
+	run := func() {
+		for _, s := range seeds {
+			var err error
+			buf, err = sc.RankSeededInto(buf[:0], s.ids, s.ws, answers, k)
+			if err != nil && rankErr == nil {
+				rankErr = err
+			}
+		}
+	}
+	// Same protocol as testing.AllocsPerRun: warm once, then measure
+	// mallocs across repeated runs on a single P.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	run()
+	const rounds = 10
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		run()
+	}
+	runtime.ReadMemStats(&after)
+	if rankErr != nil {
+		return 0, rankErr
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(rounds*len(seeds)), nil
+}
+
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(lat))
+	copy(s, lat)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

@@ -1,0 +1,80 @@
+// Package lru provides a small mutex-guarded bounded LRU map. The serving
+// path uses it twice: as the per-snapshot query-rank cache (wholesale
+// dropped on epoch swap) and as the server's pending-query table.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU map safe for concurrent use. A capacity below 1
+// disables the cache: Get always misses and Add is a no-op.
+type Cache[K comparable, V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// New returns a cache holding at most capacity entries.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	c := &Cache[K, V]{cap: capacity}
+	if capacity >= 1 {
+		c.ll = list.New()
+		c.m = make(map[K]*list.Element, capacity)
+	}
+	return c
+}
+
+// Get returns the value under k, marking it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	var zero V
+	if c == nil || c.cap < 1 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry[K, V]).v, true
+}
+
+// Add inserts or refreshes k→v, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache[K, V]) Add(k K, v V) {
+	if c == nil || c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*entry[K, V]).v = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*entry[K, V]).k)
+	}
+	c.m[k] = c.ll.PushFront(&entry[K, V]{k: k, v: v})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	if c == nil || c.cap < 1 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,72 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEviction(t *testing.T) {
+	c := New[int, string](2)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	if _, ok := c.Get(1); !ok { // 1 becomes most recent
+		t.Fatal("missing 1")
+	}
+	c.Add(3, "c") // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Errorf("1 = %q, %v", v, ok)
+	}
+	if v, ok := c.Get(3); !ok || v != "c" {
+		t.Errorf("3 = %q, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+	c.Add(3, "c2") // refresh in place
+	if v, _ := c.Get(3); v != "c2" {
+		t.Errorf("refresh lost: %q", v)
+	}
+}
+
+func TestDisabledAndNil(t *testing.T) {
+	c := New[int, int](0)
+	c.Add(1, 1)
+	if _, ok := c.Get(1); ok {
+		t.Error("disabled cache stored a value")
+	}
+	if c.Len() != 0 {
+		t.Error("disabled cache has length")
+	}
+	var nilCache *Cache[int, int]
+	if _, ok := nilCache.Get(1); ok {
+		t.Error("nil cache hit")
+	}
+	nilCache.Add(1, 1)
+	if nilCache.Len() != 0 {
+		t.Error("nil cache has length")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[string, int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%100)
+				c.Add(k, i)
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("len %d exceeds capacity", c.Len())
+	}
+}

@@ -2,7 +2,6 @@ package pathidx
 
 import (
 	"fmt"
-	"sort"
 
 	"kgvote/internal/graph"
 )
@@ -43,12 +42,11 @@ func NewCSRScorer(c *graph.CSR, opt Options) (*CSRScorer, error) {
 	}, nil
 }
 
-// Scores computes the truncated EIPD from source to every node. The
-// returned slice is owned by the scorer and valid until the next call.
-func (s *CSRScorer) Scores(source graph.NodeID) ([]float64, error) {
-	if int(source) < 0 || int(source) >= s.c.NumNodes() {
-		return nil, fmt.Errorf("pathidx: source %d out of range [0, %d)", source, s.c.NumNodes())
-	}
+// CSR returns the snapshot the scorer is bound to.
+func (s *CSRScorer) CSR() *graph.CSR { return s.c }
+
+// reset clears the sparse state left by the previous call.
+func (s *CSRScorer) reset() {
 	for _, v := range s.touched {
 		s.scores[v] = 0
 		s.scoreActive[v] = false
@@ -58,12 +56,17 @@ func (s *CSRScorer) Scores(source graph.NodeID) ([]float64, error) {
 		s.cur[v] = 0
 	}
 	s.curIdx = s.curIdx[:0]
+}
 
-	s.cur[source] = 1
-	s.curIdx = append(s.curIdx, source)
+// run performs the sparse sweeps for walk lengths fromLevel..L given the
+// frontier already staged in cur/curIdx, and returns the score vector.
+func (s *CSRScorer) run(fromLevel int) []float64 {
 	c := s.opt.C
 	damp := c
-	for l := 1; l <= s.opt.L; l++ {
+	for l := 1; l < fromLevel; l++ {
+		damp *= 1 - c
+	}
+	for l := fromLevel; l <= s.opt.L; l++ {
 		damp *= 1 - c
 		s.nextIdx = s.nextIdx[:0]
 		for _, from := range s.curIdx {
@@ -103,7 +106,67 @@ func (s *CSRScorer) Scores(source graph.NodeID) ([]float64, error) {
 		s.cur[v] = 0
 	}
 	s.curIdx = s.curIdx[:0]
-	return s.scores, nil
+	return s.scores
+}
+
+// Scores computes the truncated EIPD from source to every node. The
+// returned slice is owned by the scorer and valid until the next call.
+func (s *CSRScorer) Scores(source graph.NodeID) ([]float64, error) {
+	if int(source) < 0 || int(source) >= s.c.NumNodes() {
+		return nil, fmt.Errorf("pathidx: source %d out of range [0, %d)", source, s.c.NumNodes())
+	}
+	s.reset()
+	s.cur[source] = 1
+	s.curIdx = append(s.curIdx, source)
+	return s.run(1), nil
+}
+
+// ScoresSeeded computes the truncated EIPD from a virtual source node
+// whose out-edges are (ids[i], weights[i]). This is exactly the score a
+// freshly attached query node would get — query nodes have no in-edges,
+// so no walk re-enters them — which lets the serving path rank questions
+// against an immutable snapshot without ever mutating the shared graph.
+// The returned slice is owned by the scorer and valid until the next call.
+func (s *CSRScorer) ScoresSeeded(ids []graph.NodeID, weights []float64) ([]float64, error) {
+	if len(ids) != len(weights) {
+		return nil, fmt.Errorf("pathidx: %d seed ids but %d weights", len(ids), len(weights))
+	}
+	n := s.c.NumNodes()
+	var live int
+	for i, v := range ids {
+		if weights[i] == 0 {
+			continue
+		}
+		if int(v) < 0 || int(v) >= n {
+			return nil, fmt.Errorf("pathidx: seed %d out of range [0, %d)", v, n)
+		}
+		live++
+	}
+	if live == 0 {
+		return nil, fmt.Errorf("pathidx: empty seed")
+	}
+	s.reset()
+	for i, v := range ids {
+		if weights[i] == 0 {
+			continue
+		}
+		if s.cur[v] == 0 {
+			s.curIdx = append(s.curIdx, v)
+		}
+		s.cur[v] += weights[i]
+	}
+	// Level 1: the virtual hop itself lands on the seed nodes, so they
+	// collect c(1−c)·w before the remaining sweeps propagate outward.
+	c := s.opt.C
+	damp := c * (1 - c)
+	for _, v := range s.curIdx {
+		if !s.scoreActive[v] {
+			s.scoreActive[v] = true
+			s.touched = append(s.touched, v)
+		}
+		s.scores[v] += damp * s.cur[v]
+	}
+	return s.run(2), nil
 }
 
 // Rank scores every candidate and returns the top-k list (descending
@@ -113,22 +176,42 @@ func (s *CSRScorer) Rank(source graph.NodeID, candidates []graph.NodeID, k int) 
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Ranked, 0, len(candidates))
+	return rankScores(make([]Ranked, 0, len(candidates)), sc, candidates, k), nil
+}
+
+// RankSeeded ranks candidates for a virtual source node (see ScoresSeeded).
+func (s *CSRScorer) RankSeeded(ids []graph.NodeID, weights []float64, candidates []graph.NodeID, k int) ([]Ranked, error) {
+	sc, err := s.ScoresSeeded(ids, weights)
+	if err != nil {
+		return nil, err
+	}
+	return rankScores(make([]Ranked, 0, len(candidates)), sc, candidates, k), nil
+}
+
+// RankSeededInto is RankSeeded appending into a caller-owned buffer
+// (typically dst[:0] of a retained slice), so the steady-state scoring
+// loop performs zero allocations once buffers are warm.
+func (s *CSRScorer) RankSeededInto(dst []Ranked, ids []graph.NodeID, weights []float64, candidates []graph.NodeID, k int) ([]Ranked, error) {
+	sc, err := s.ScoresSeeded(ids, weights)
+	if err != nil {
+		return nil, err
+	}
+	return rankScores(dst, sc, candidates, k), nil
+}
+
+// rankScores appends one Ranked per candidate to dst, sorts (descending
+// score, ties by node ID) and truncates to k (k ≤ 0 keeps all).
+func rankScores(dst []Ranked, sc []float64, candidates []graph.NodeID, k int) []Ranked {
 	for _, cand := range candidates {
 		var v float64
 		if int(cand) >= 0 && int(cand) < len(sc) {
 			v = sc[cand]
 		}
-		out = append(out, Ranked{Node: cand, Score: v})
+		dst = append(dst, Ranked{Node: cand, Score: v})
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Node < out[j].Node
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
+	sortRanked(dst)
+	if k > 0 && len(dst) > k {
+		dst = dst[:k]
 	}
-	return out, nil
+	return dst
 }

@@ -46,11 +46,23 @@ func (p Path) Edges() []graph.EdgeKey {
 	if len(p.Nodes) < 2 {
 		return nil
 	}
-	out := make([]graph.EdgeKey, 0, len(p.Nodes)-1)
+	return p.AppendEdges(make([]graph.EdgeKey, 0, len(p.Nodes)-1))
+}
+
+// Edge returns the i-th directed edge of the walk without allocating.
+// Valid for 0 ≤ i < Len().
+func (p Path) Edge(i int) graph.EdgeKey {
+	return graph.EdgeKey{From: p.Nodes[i], To: p.Nodes[i+1]}
+}
+
+// AppendEdges appends the walk's edges to dst and returns the extended
+// slice — the allocation-free variant of Edges for hot loops that reuse a
+// caller-owned buffer.
+func (p Path) AppendEdges(dst []graph.EdgeKey) []graph.EdgeKey {
 	for i := 0; i+1 < len(p.Nodes); i++ {
-		out = append(out, graph.EdgeKey{From: p.Nodes[i], To: p.Nodes[i+1]})
+		dst = append(dst, graph.EdgeKey{From: p.Nodes[i], To: p.Nodes[i+1]})
 	}
-	return out
+	return dst
 }
 
 // Prob returns P[z]: the product of the edge weights along the walk in g.
@@ -185,10 +197,17 @@ func SumPaths(g *graph.Graph, paths []Path, c float64) float64 {
 // VI-A (vote similarity).
 func EdgeSet(paths []Path) map[graph.EdgeKey]struct{} {
 	set := make(map[graph.EdgeKey]struct{})
+	AddEdgeSet(set, paths)
+	return set
+}
+
+// AddEdgeSet inserts the distinct edges of the walks into set — the
+// allocation-free variant of EdgeSet for callers that accumulate over
+// many walk lists (no per-walk edge slice is materialized).
+func AddEdgeSet(set map[graph.EdgeKey]struct{}, paths []Path) {
 	for _, p := range paths {
-		for _, e := range p.Edges() {
-			set[e] = struct{}{}
+		for i := 0; i+1 < len(p.Nodes); i++ {
+			set[p.Edge(i)] = struct{}{}
 		}
 	}
-	return set
 }

@@ -2,7 +2,7 @@ package pathidx
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"kgvote/internal/graph"
 )
@@ -186,11 +186,21 @@ func (s *Scorer) Rank(source graph.NodeID, candidates []graph.NodeID, k int) ([]
 	return out, nil
 }
 
+// sortRanked orders descending by score, ties by node ID. It uses the
+// generic stable sort so the serving path's hot loop stays allocation-free
+// (sort.SliceStable's reflection-based swapper allocates).
 func sortRanked(rs []Ranked) {
-	sort.SliceStable(rs, func(i, j int) bool {
-		if rs[i].Score != rs[j].Score {
-			return rs[i].Score > rs[j].Score
+	slices.SortStableFunc(rs, func(a, b Ranked) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.Node < b.Node:
+			return -1
+		case a.Node > b.Node:
+			return 1
 		}
-		return rs[i].Node < rs[j].Node
+		return 0
 	})
 }

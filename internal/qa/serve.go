@@ -1,0 +1,127 @@
+package qa
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+)
+
+// This file is the system's lock-free serving path: questions are ranked
+// against the engine's published GraphSnapshot as virtual query nodes
+// (seed vectors) instead of being attached to the shared mutable graph.
+// Any number of goroutines may call Seed, RankSnapshot, and AskBatch
+// concurrently with a single writer voting and flushing — Build-time maps
+// (vocabulary, entity IDs, document tables, answer list) are never
+// mutated afterwards, and the graph itself is only read through the
+// immutable snapshot.
+
+// RankedDoc is one answer of a snapshot ranking resolved to its document.
+type RankedDoc struct {
+	Doc   int
+	Title string
+	Score float64
+}
+
+// Seed converts a question into the virtual-query seed vector that
+// AttachQuestion would have produced as edge weights: entities in sorted
+// name order, counts normalized to sum to 1. The returned key is a
+// canonical cache key for the question (identical questions map to
+// identical keys, so the snapshot rank cache can skip rescoring).
+func (s *System) Seed(q Question) (ids []graph.NodeID, ws []float64, key string, err error) {
+	ids, counts := entityVector(s, q.Entities)
+	if len(ids) == 0 {
+		return nil, nil, "", fmt.Errorf("qa: question %d has no known entities", q.ID)
+	}
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	if total <= 0 {
+		return nil, nil, "", fmt.Errorf("qa: question %d has all-zero entity counts", q.ID)
+	}
+	var b strings.Builder
+	for i := range counts {
+		counts[i] /= total
+		b.WriteString(strconv.Itoa(int(ids[i])))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(counts[i], 'g', -1, 64))
+		b.WriteByte(';')
+	}
+	return ids, counts, b.String(), nil
+}
+
+// RankSnapshot ranks every answer for the question against the engine's
+// current serving snapshot, without attaching a query node or otherwise
+// mutating the graph. It returns the snapshot used (for its epoch) and
+// the top-K ranked answers; the slice may be shared with the snapshot's
+// rank cache and must be treated as immutable.
+func (s *System) RankSnapshot(q Question) (*core.GraphSnapshot, []pathidx.Ranked, error) {
+	ids, ws, key, err := s.Seed(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap := s.Engine.Serving()
+	ranked, err := snap.RankSeeded(key, ids, ws, s.Answers(), s.Engine.Options().K)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, ranked, nil
+}
+
+// AskBatch ranks a batch of questions concurrently, fanning the queries
+// across the snapshot's scorer pool with the given number of workers
+// (≤ 0 = GOMAXPROCS). Results are positional: out[i] is the top-K ranked
+// document list of qs[i]. The first question error aborts the batch.
+func (s *System) AskBatch(qs []Question, workers int) ([][]RankedDoc, error) {
+	out := make([][]RankedDoc, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				_, ranked, err := s.RankSnapshot(qs[i])
+				if err != nil {
+					errOnce.Do(func() { firstEr = fmt.Errorf("qa: batch question %d: %w", i, err) })
+					return
+				}
+				docs := make([]RankedDoc, len(ranked))
+				for j, r := range ranked {
+					d := s.DocOf(r.Node)
+					docs[j] = RankedDoc{Doc: d, Title: s.TitleOf(d), Score: r.Score}
+				}
+				out[i] = docs
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
+}

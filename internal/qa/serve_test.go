@@ -1,0 +1,110 @@
+package qa
+
+import (
+	"testing"
+
+	"kgvote/internal/core"
+)
+
+func serveTestSystem(t *testing.T) *System {
+	t.Helper()
+	corpus := &Corpus{Docs: []Document{
+		{ID: 0, Title: "Email stuck in outbox", Entities: map[string]int{"email": 2, "outbox": 2, "send": 1}},
+		{ID: 1, Title: "Configure Outlook account", Entities: map[string]int{"outlook": 2, "account": 2, "email": 1}},
+		{ID: 2, Title: "Message delivery delays", Entities: map[string]int{"message": 2, "send": 2, "delay": 1}},
+		{ID: 3, Title: "Spam filter settings", Entities: map[string]int{"spam": 2, "filter": 2, "email": 1}},
+	}}
+	sys, err := Build(corpus, core.Options{K: 4, L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRankSnapshotMatchesAsk(t *testing.T) {
+	sys := serveTestSystem(t)
+	questions := []Question{
+		{ID: 0, Entities: map[string]int{"email": 2, "send": 1}},
+		{ID: 1, Entities: map[string]int{"outlook": 1}},
+		{ID: 2, Entities: map[string]int{"message": 1, "delay": 2}},
+	}
+	// Snapshot rankings first: they must not mutate the graph.
+	nodesBefore := sys.Aug.NumNodes()
+	var snapDocs [][]int
+	for _, q := range questions {
+		_, ranked, err := sys.RankSnapshot(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs := make([]int, len(ranked))
+		for i, r := range ranked {
+			docs[i] = sys.DocOf(r.Node)
+		}
+		snapDocs = append(snapDocs, docs)
+	}
+	if sys.Aug.NumNodes() != nodesBefore {
+		t.Fatalf("RankSnapshot mutated the graph: %d -> %d nodes", nodesBefore, sys.Aug.NumNodes())
+	}
+	// The attached path must agree document for document.
+	for i, q := range questions {
+		_, ranked, err := sys.Ask(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranked) != len(snapDocs[i]) {
+			t.Fatalf("question %d: %d vs %d results", i, len(ranked), len(snapDocs[i]))
+		}
+		for j, a := range ranked {
+			if sys.DocOf(a) != snapDocs[i][j] {
+				t.Errorf("question %d rank %d: snapshot doc %d, attached doc %d",
+					i, j, snapDocs[i][j], sys.DocOf(a))
+			}
+		}
+	}
+}
+
+func TestAskBatch(t *testing.T) {
+	sys := serveTestSystem(t)
+	questions := []Question{
+		{ID: 0, Entities: map[string]int{"email": 2, "send": 1}},
+		{ID: 1, Entities: map[string]int{"outlook": 1}},
+		{ID: 2, Entities: map[string]int{"message": 1, "delay": 2}},
+		{ID: 3, Entities: map[string]int{"spam": 1, "filter": 1}},
+		{ID: 4, Entities: map[string]int{"email": 1}},
+		{ID: 5, Entities: map[string]int{"send": 3, "outbox": 1}},
+	}
+	batch, err := sys.AskBatch(questions, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(questions) {
+		t.Fatalf("batch returned %d results for %d questions", len(batch), len(questions))
+	}
+	for i, q := range questions {
+		_, ranked, err := sys.RankSnapshot(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(ranked) {
+			t.Fatalf("question %d: batch %d vs direct %d", i, len(batch[i]), len(ranked))
+		}
+		for j, r := range ranked {
+			if batch[i][j].Doc != sys.DocOf(r.Node) {
+				t.Errorf("question %d rank %d: batch doc %d, direct doc %d",
+					i, j, batch[i][j].Doc, sys.DocOf(r.Node))
+			}
+			if batch[i][j].Title != sys.TitleOf(batch[i][j].Doc) {
+				t.Errorf("question %d rank %d: title mismatch", i, j)
+			}
+		}
+	}
+
+	// Errors propagate.
+	if _, err := sys.AskBatch([]Question{{ID: 9, Entities: map[string]int{"nope": 1}}}, 2); err == nil {
+		t.Error("unknown-entity question did not fail the batch")
+	}
+	// Empty batch is fine.
+	if out, err := sys.AskBatch(nil, 3); err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+}

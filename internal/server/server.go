@@ -2,9 +2,20 @@
 // question, vote on the answers, and let the engine re-optimize the
 // knowledge graph in batches — the paper's interactive loop as a service.
 //
-// The engine is single-writer, so the server serializes all graph access
-// behind one mutex; rankings served between optimizations always reflect
-// the latest flushed batch.
+// The serving path is single-writer/many-reader. Reads (/ask, /explain,
+// /stats) never take the server mutex: they rank against the engine's
+// epoch-stamped immutable graph snapshot (core.GraphSnapshot), so any
+// number of questions are answered concurrently and keep being answered
+// from the previous epoch while an optimization batch is in flight.
+// Writes (/vote, /flush) serialize behind one mutex; when a batch solve
+// finishes, the engine publishes the next snapshot epoch atomically and
+// subsequent reads pick it up.
+//
+// /ask no longer attaches a query node to the shared graph. It scores the
+// question as a virtual source against the snapshot and returns a
+// negative opaque query handle; the query node is materialized lazily —
+// under the writer mutex — only if a /vote references the handle. Ask-only
+// traffic therefore leaves the graph untouched.
 package server
 
 import (
@@ -12,20 +23,43 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"kgvote/internal/core"
 	"kgvote/internal/graph"
+	"kgvote/internal/lru"
 	"kgvote/internal/qa"
 	"kgvote/internal/vote"
 )
 
+// pendingQueryCap bounds the table of asked-but-not-yet-voted query
+// handles; the oldest handles expire first.
+const pendingQueryCap = 1 << 16
+
+// pendingQuery is a served question awaiting a possible vote. node stays
+// graph.None until a vote materializes the query node; both fields are
+// guarded by the server's writer mutex after insertion.
+type pendingQuery struct {
+	q    qa.Question
+	node graph.NodeID
+}
+
 // Server wires a qa.System and a vote stream into an http.Handler.
 type Server struct {
+	// mu is the single-writer lock: it guards the mutable graph (query
+	// attachment, batch solves) and the vote stream. Read handlers never
+	// acquire it.
 	mu     sync.Mutex
 	sys    *qa.System
 	stream *core.Stream
 
-	votesAccepted int
+	pending    *lru.Cache[graph.NodeID, *pendingQuery]
+	nextHandle atomic.Int32 // decrements; first handle is -2 (None is -1)
+
+	// Lock-free mirrors of the stream counters for /stats.
+	votesAccepted atomic.Int64
+	votesPending  atomic.Int64
+	flushes       atomic.Int64
 }
 
 // New returns a server over the system whose votes flush every batchSize
@@ -35,7 +69,13 @@ func New(sys *qa.System, batchSize int, solver core.StreamSolver) (*Server, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Server{sys: sys, stream: st}, nil
+	s := &Server{
+		sys:     sys,
+		stream:  st,
+		pending: lru.New[graph.NodeID, *pendingQuery](pendingQueryCap),
+	}
+	s.nextHandle.Store(int32(graph.None))
+	return s, nil
 }
 
 // Handler returns the route mux.
@@ -70,24 +110,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // StatsBody is the /stats response.
 type StatsBody struct {
-	Entities      int `json:"entities"`
-	Edges         int `json:"edges"`
-	Documents     int `json:"documents"`
-	VotesAccepted int `json:"votes_accepted"`
-	VotesPending  int `json:"votes_pending"`
-	Flushes       int `json:"flushes"`
+	Entities      int    `json:"entities"`
+	Edges         int    `json:"edges"`
+	Documents     int    `json:"documents"`
+	VotesAccepted int    `json:"votes_accepted"`
+	VotesPending  int    `json:"votes_pending"`
+	Flushes       int    `json:"flushes"`
+	Epoch         uint64 `json:"epoch"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	snap := s.sys.Engine.Serving()
 	writeJSON(w, http.StatusOK, StatsBody{
 		Entities:      s.sys.Aug.Entities,
-		Edges:         s.sys.Aug.NumEdges(),
+		Edges:         snap.NumEdges(),
 		Documents:     len(s.sys.Answers()),
-		VotesAccepted: s.votesAccepted,
-		VotesPending:  s.stream.Pending(),
-		Flushes:       s.stream.Flushes,
+		VotesAccepted: int(s.votesAccepted.Load()),
+		VotesPending:  int(s.votesPending.Load()),
+		Flushes:       int(s.flushes.Load()),
+		Epoch:         snap.Epoch(),
 	})
 }
 
@@ -105,10 +146,13 @@ type AskResult struct {
 	Score float64 `json:"score"`
 }
 
-// AskResponse is the /ask response body. Query identifies the attached
-// query node for the follow-up /vote call.
+// AskResponse is the /ask response body. Query is an opaque handle
+// identifying the served question for the follow-up /vote or /explain
+// call; Epoch identifies the graph snapshot the ranking was computed
+// from.
 type AskResponse struct {
 	Query   graph.NodeID `json:"query"`
+	Epoch   uint64       `json:"epoch"`
 	Results []AskResult  `json:"results"`
 }
 
@@ -126,27 +170,47 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "no entities: provide text with known entities or an entities map")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	qn, ranked, err := s.sys.Ask(qa.Question{ID: -1, Entities: ents})
+	q := qa.Question{ID: -1, Entities: ents}
+	snap, ranked, err := s.sys.RankSnapshot(q)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "ask: %v", err)
 		return
 	}
-	resp := AskResponse{Query: qn}
+	handle := graph.NodeID(s.nextHandle.Add(-1))
+	s.pending.Add(handle, &pendingQuery{q: q, node: graph.None})
+	resp := AskResponse{Query: handle, Epoch: snap.Epoch()}
 	for _, a := range ranked {
-		score, err := s.sys.Engine.Similarity(qn, a)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "score: %v", err)
-			return
-		}
-		doc := s.sys.DocOf(a)
-		resp.Results = append(resp.Results, AskResult{Doc: doc, Title: s.sys.TitleOf(doc), Score: score})
+		doc := s.sys.DocOf(a.Node)
+		resp.Results = append(resp.Results, AskResult{Doc: doc, Title: s.sys.TitleOf(doc), Score: a.Score})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// VoteRequest is the /vote request body: the query node and ranked list
+// queryNode resolves a client query reference to a graph node,
+// materializing the query node of a pending handle on first use. The
+// caller must hold s.mu.
+func (s *Server) queryNode(ref graph.NodeID) (graph.NodeID, error) {
+	if ref >= 0 {
+		if !s.sys.Aug.IsQuery(ref) {
+			return graph.None, fmt.Errorf("node %d is not a query node", ref)
+		}
+		return ref, nil
+	}
+	pq, ok := s.pending.Get(ref)
+	if !ok {
+		return graph.None, fmt.Errorf("unknown or expired query handle %d", ref)
+	}
+	if pq.node == graph.None {
+		qn, err := s.sys.AttachQuestion(pq.q)
+		if err != nil {
+			return graph.None, err
+		}
+		pq.node = qn
+	}
+	return pq.node, nil
+}
+
+// VoteRequest is the /vote request body: the query handle and ranked list
 // from a prior /ask, plus the document the user found best.
 type VoteRequest struct {
 	Query   graph.NodeID `json:"query"`
@@ -169,8 +233,6 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ranked := make([]graph.NodeID, 0, len(req.Ranked))
 	for _, doc := range req.Ranked {
 		a, err := s.sys.AnswerOf(doc)
@@ -185,7 +247,14 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "unknown best document %d", req.BestDoc)
 		return
 	}
-	v, err := vote.FromRanking(req.Query, ranked, best)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qn, err := s.queryNode(req.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "vote: %v", err)
+		return
+	}
+	v, err := vote.FromRanking(qn, ranked, best)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "vote: %v", err)
 		return
@@ -200,7 +269,9 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "optimize: %v", err)
 		return
 	}
-	s.votesAccepted++
+	s.votesAccepted.Add(1)
+	s.votesPending.Store(int64(s.stream.Pending()))
+	s.flushes.Store(int64(s.stream.Flushes))
 	writeJSON(w, http.StatusOK, VoteResponse{
 		Kind:    v.Kind.String(),
 		Pending: s.stream.Pending(),
@@ -217,6 +288,8 @@ func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "flush: %v", err)
 		return
 	}
+	s.votesPending.Store(int64(s.stream.Pending()))
+	s.flushes.Store(int64(s.stream.Flushes))
 	writeJSON(w, http.StatusOK, VoteResponse{Pending: s.stream.Pending(), Flushed: rep != nil, Report: rep})
 }
 
@@ -248,8 +321,6 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ans, err := s.sys.AnswerOf(req.Doc)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "unknown document %d", req.Doc)
@@ -259,22 +330,63 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if top == 0 {
 		top = 5
 	}
+	if req.Query < 0 {
+		// A query handle from /ask: explain lock-free against the snapshot,
+		// enumerating the virtual query's walks over the immutable CSR.
+		pq, ok := s.pending.Get(req.Query)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "unknown or expired query handle %d", req.Query)
+			return
+		}
+		ids, ws, _, err := s.sys.Seed(pq.q)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "explain: %v", err)
+			return
+		}
+		snap := s.sys.Engine.Serving()
+		ex, err := snap.ExplainSeeded(ids, ws, ans, top)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "explain: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, renderExplanation(ex, func(n graph.NodeID) string {
+			if n == graph.None {
+				return "q"
+			}
+			return snap.CSR().Name(n)
+		}))
+		return
+	}
+	// A materialized query node: walk the mutable graph under the writer
+	// lock (legacy path, used for persisted/attached queries).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.sys.Aug.IsQuery(req.Query) {
+		writeErr(w, http.StatusBadRequest, "node %d is not a query node", req.Query)
+		return
+	}
 	ex, err := s.sys.Engine.Explain(req.Query, ans, top)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "explain: %v", err)
 		return
 	}
+	writeJSON(w, http.StatusOK, renderExplanation(ex, s.sys.Aug.Name))
+}
+
+// renderExplanation converts an Explanation into the response shape,
+// resolving node IDs through name.
+func renderExplanation(ex *core.Explanation, name func(graph.NodeID) string) ExplainResponse {
 	resp := ExplainResponse{Similarity: ex.Similarity, TotalPaths: ex.TotalPaths}
 	for _, pc := range ex.Paths {
 		names := make([]string, len(pc.Path.Nodes))
 		for i, n := range pc.Path.Nodes {
-			if name := s.sys.Aug.Name(n); name != "" {
-				names[i] = name
+			if nm := name(n); nm != "" {
+				names[i] = nm
 			} else {
 				names[i] = fmt.Sprintf("#%d", n)
 			}
 		}
 		resp.Paths = append(resp.Paths, ExplainPath{Nodes: names, Score: pc.Score, Fraction: pc.Fraction})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }

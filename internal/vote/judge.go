@@ -71,8 +71,8 @@ func Judge(g *graph.Graph, v Vote, extremeConst float64, opt pathidx.Options) (b
 		for _, p := range ps {
 			damp := c
 			prob := 1.0
-			for _, e := range p.Edges() {
-				prob *= weight(e)
+			for i := 0; i < p.Len(); i++ {
+				prob *= weight(p.Edge(i))
 				damp *= 1 - c
 			}
 			s += prob * damp

@@ -121,11 +121,7 @@ func EdgeSet(g *graph.Graph, v Vote, opt pathidx.Options) (map[graph.EdgeKey]str
 	}
 	set := make(map[graph.EdgeKey]struct{})
 	for _, ps := range paths {
-		for _, p := range ps {
-			for _, e := range p.Edges() {
-				set[e] = struct{}{}
-			}
-		}
+		pathidx.AddEdgeSet(set, ps)
 	}
 	return set, nil
 }
