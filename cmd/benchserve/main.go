@@ -1,19 +1,23 @@
 // Command benchserve measures the serving path: the legacy serialized
 // ask (attach a query node, rank under the writer mutex) against the
 // lock-free snapshot path (virtual seed vector against the published
-// CSR, pooled scorers, parallel workers). Results go to stdout and to a
-// JSON file consumed by `make bench-serve`.
+// CSR, pooled scorers, parallel workers), plus the durable write path
+// under each WAL fsync policy. Results go to stdout and are appended as a
+// timestamped run to a JSON history file consumed by `make bench-serve`,
+// so regressions are visible across runs.
 //
 // Usage:
 //
-//	benchserve [-docs n] [-queries n] [-workers n] [-seed n] [-out file]
+//	benchserve [-docs n] [-queries n] [-workers n] [-seed n] [-out file] [-wal=false]
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"kgvote/internal/harness"
 )
@@ -24,16 +28,31 @@ func main() {
 		queries = flag.Int("queries", 300, "questions per measured pass")
 		workers = flag.Int("workers", 0, "snapshot-path goroutines (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "BENCH_serve.json", "JSON output file (empty = skip)")
+		out     = flag.String("out", "BENCH_serve.json", "JSON history file to append to (empty = skip)")
+		withWal = flag.Bool("wal", true, "also measure the durable vote path per fsync policy")
+		votes   = flag.Int("votes", 150, "ask+vote rounds per WAL pass")
 	)
 	flag.Parse()
-	if err := realMain(*docs, *queries, *workers, *seed, *out); err != nil {
+	if err := realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal); err != nil {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(docs, queries, workers int, seed int64, out string) error {
+// benchRun is one timestamped benchmark execution in the history file.
+type benchRun struct {
+	Time  string              `json:"time"`
+	Serve harness.ServeResult `json:"serve"`
+	Wal   *harness.WalResult  `json:"wal,omitempty"`
+}
+
+// benchHistory is the on-disk shape of BENCH_serve.json: every run ever
+// appended, oldest first.
+type benchHistory struct {
+	Runs []benchRun `json:"runs"`
+}
+
+func realMain(docs, queries, workers, votes int, seed int64, out string, withWal bool) error {
 	res, err := harness.ServeBench(harness.ServeConfig{
 		Docs: docs, Queries: queries, Workers: workers, Seed: seed,
 	})
@@ -41,16 +60,62 @@ func realMain(docs, queries, workers int, seed int64, out string) error {
 		return err
 	}
 	fmt.Println(res)
+	run := benchRun{Time: time.Now().UTC().Format(time.RFC3339), Serve: res}
+	if withWal {
+		wres, err := harness.WalBench(harness.WalBenchConfig{Docs: docs / 2, Votes: votes, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(wres)
+		run.Wal = &wres
+	}
 	if out == "" {
 		return nil
 	}
-	b, err := json.MarshalIndent(res, "", "  ")
+	hist, err := loadHistory(out)
+	if err != nil {
+		return err
+	}
+	hist.Runs = append(hist.Runs, run)
+	b, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("appended run %d to %s\n", len(hist.Runs), out)
 	return nil
+}
+
+// loadHistory reads the existing history file. A file written before the
+// history format — a single bare ServeResult object — is converted into a
+// one-run history so no measurements are lost.
+func loadHistory(path string) (benchHistory, error) {
+	var hist benchHistory
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return hist, nil
+	}
+	if err != nil {
+		return hist, err
+	}
+	var probe struct {
+		Runs *json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return hist, fmt.Errorf("unreadable history %s: %w", path, err)
+	}
+	if probe.Runs == nil {
+		var legacy harness.ServeResult
+		if err := json.Unmarshal(b, &legacy); err != nil {
+			return hist, fmt.Errorf("unreadable legacy result %s: %w", path, err)
+		}
+		hist.Runs = append(hist.Runs, benchRun{Serve: legacy})
+		return hist, nil
+	}
+	if err := json.Unmarshal(b, &hist); err != nil {
+		return hist, fmt.Errorf("unreadable history %s: %w", path, err)
+	}
+	return hist, nil
 }

@@ -3,10 +3,17 @@
 // batches), POST /explain decomposes a score into its graph walks, and
 // GET /stats reports counters. See internal/server for the API shapes.
 //
+// With -data-dir the daemon is durable: every accepted vote is written to
+// a write-ahead log before it is applied, full-state checkpoints are taken
+// periodically and on shutdown, and a restart after a crash — including
+// SIGKILL — reconstructs the exact pre-crash state (rankings, counters,
+// and votes still pending in the current batch). See DESIGN.md §9.
+//
 // Usage:
 //
 //	kgvoted -addr :8080 -corpus corpus.json -batch 10
 //	kgvoted -addr :8080 -docs 200            # synthetic corpus
+//	kgvoted -addr :8080 -data-dir /var/lib/kgvote -fsync always
 package main
 
 import (
@@ -19,35 +26,57 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"kgvote/internal/core"
+	"kgvote/internal/durable"
 	"kgvote/internal/qa"
 	"kgvote/internal/server"
 	"kgvote/internal/synth"
+	"kgvote/internal/wal"
 )
 
+type config struct {
+	addr       string
+	corpusPath string
+	docs       int
+	batch      int
+	k, l       int
+	seed       int64
+	solverName string
+	statePath  string
+
+	dataDir         string
+	fsync           string
+	syncEvery       time.Duration
+	checkpointEvery int
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		corpusPath = flag.String("corpus", "", "corpus JSON path (default: synthesize)")
-		docs       = flag.Int("docs", 200, "synthetic corpus size when -corpus is not given")
-		batch      = flag.Int("batch", 10, "votes per optimization batch")
-		k          = flag.Int("k", 10, "answer-list length")
-		l          = flag.Int("l", 4, "path-length pruning threshold")
-		seed       = flag.Int64("seed", 1, "random seed for the synthetic corpus")
-		solverName = flag.String("solver", "multi", "batch solver: multi, sm, or single")
-		statePath  = flag.String("state", "", "persist the optimized system here: loaded at boot if present, saved on SIGINT/SIGTERM")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.corpusPath, "corpus", "", "corpus JSON path (default: synthesize)")
+	flag.IntVar(&cfg.docs, "docs", 200, "synthetic corpus size when -corpus is not given")
+	flag.IntVar(&cfg.batch, "batch", 10, "votes per optimization batch")
+	flag.IntVar(&cfg.k, "k", 10, "answer-list length")
+	flag.IntVar(&cfg.l, "l", 4, "path-length pruning threshold")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for the synthetic corpus")
+	flag.StringVar(&cfg.solverName, "solver", "multi", "batch solver: multi, sm, or single")
+	flag.StringVar(&cfg.statePath, "state", "", "persist the optimized system here: loaded at boot if present, saved on SIGINT/SIGTERM (no WAL; see -data-dir)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory: WAL + checkpoints + crash recovery")
+	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
+	flag.DurationVar(&cfg.syncEvery, "sync-every", 50*time.Millisecond, "fsync staleness bound under -fsync interval")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 16, "checkpoint after every N optimization flushes (0 disables periodic checkpoints)")
 	flag.Parse()
-	if err := serve(*addr, *corpusPath, *docs, *batch, *k, *l, *seed, *solverName, *statePath); err != nil {
+	if err := serve(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kgvoted:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr, corpusPath string, docs, batch, k, l int, seed int64, solverName, statePath string) error {
+func serve(cfg config) error {
 	var solver core.StreamSolver
-	switch solverName {
+	switch cfg.solverName {
 	case "multi":
 		solver = core.StreamMulti
 	case "sm":
@@ -55,22 +84,69 @@ func serve(addr, corpusPath string, docs, batch, k, l int, seed int64, solverNam
 	case "single":
 		solver = core.StreamSingle
 	default:
-		return fmt.Errorf("unknown solver %q (multi, sm, single)", solverName)
+		return fmt.Errorf("unknown solver %q (multi, sm, single)", cfg.solverName)
 	}
-	opts := core.Options{K: k, L: l}
+	opts := core.Options{K: cfg.k, L: cfg.l}
+	if cfg.dataDir != "" && cfg.statePath != "" {
+		return errors.New("-data-dir and -state are mutually exclusive; the data directory owns persistence")
+	}
 
-	sys, err := loadOrBuild(corpusPath, statePath, docs, seed, opts)
-	if err != nil {
-		return err
+	var (
+		mgr *durable.Manager
+		rec *durable.Recovered
+		sys *qa.System
+		err error
+	)
+	if cfg.dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		mgr, err = durable.Open(durable.Options{
+			Dir:       cfg.dataDir,
+			Fsync:     policy,
+			SyncEvery: cfg.syncEvery,
+			Engine:    opts,
+		})
+		if err != nil {
+			return err
+		}
+		defer mgr.Close()
+		rec, err = mgr.Recover()
+		if err != nil {
+			return err
+		}
 	}
-	srv, err := server.New(sys, batch, solver)
+	if rec != nil {
+		sys = rec.Sys
+		log.Printf("kgvoted: recovered from %s: checkpoint at wal seq %d, %d records replayed, %d pending votes",
+			cfg.dataDir, rec.CheckpointSeq, rec.Records, len(rec.Pending))
+	} else {
+		sys, err = loadOrBuild(cfg.corpusPath, cfg.statePath, cfg.docs, cfg.seed, opts)
+		if err != nil {
+			return err
+		}
+		if mgr != nil {
+			if err := mgr.Bootstrap(sys); err != nil {
+				return err
+			}
+			log.Printf("kgvoted: initialized data directory %s", cfg.dataDir)
+		}
+	}
+	srv, err := server.NewWithOptions(sys, server.Options{
+		BatchSize:       cfg.batch,
+		Solver:          solver,
+		Durable:         mgr,
+		Recovered:       rec,
+		CheckpointEvery: cfg.checkpointEvery,
+	})
 	if err != nil {
 		return err
 	}
 	log.Printf("kgvoted: %d documents, %d entities, %d edges; batch=%d solver=%s; listening on %s",
-		len(sys.Corpus.Docs), sys.Aug.Entities, sys.Aug.NumEdges(), batch, solverName, addr)
+		len(sys.Corpus.Docs), sys.Aug.Entities, sys.Aug.NumEdges(), cfg.batch, cfg.solverName, cfg.addr)
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -82,11 +158,17 @@ func serve(addr, corpusPath string, docs, batch, k, l int, seed int64, solverNam
 	}
 	log.Printf("kgvoted: shutting down")
 	_ = httpSrv.Close()
-	if statePath != "" {
-		if err := saveState(sys, statePath); err != nil {
+	if mgr != nil {
+		if err := srv.Checkpoint(); err != nil {
+			return fmt.Errorf("shutdown checkpoint: %w", err)
+		}
+		log.Printf("kgvoted: checkpointed to %s", cfg.dataDir)
+	}
+	if cfg.statePath != "" {
+		if err := saveState(sys, cfg.statePath); err != nil {
 			return err
 		}
-		log.Printf("kgvoted: state saved to %s", statePath)
+		log.Printf("kgvoted: state saved to %s", cfg.statePath)
 	}
 	return nil
 }

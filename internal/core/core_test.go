@@ -527,8 +527,12 @@ func TestApplyWeightsEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.applyWeights(nil); err != nil {
+	applied, err := e.applyWeights(nil)
+	if err != nil {
 		t.Errorf("empty changes should be a no-op: %v", err)
+	}
+	if len(applied) != 0 {
+		t.Errorf("empty changes reported %d applied weights", len(applied))
 	}
 }
 

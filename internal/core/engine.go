@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"kgvote/internal/graph"
@@ -105,10 +106,12 @@ func (e *Engine) CollectVote(q graph.NodeID, answers []graph.NodeID, best graph.
 // applyWeights writes solved variable values back into the graph,
 // normalizes the touched source nodes per the configured mode, and
 // republishes the serving snapshot — every optimization batch ends here,
-// so the published epoch advances monotonically with each solve.
-func (e *Engine) applyWeights(changes map[graph.EdgeKey]float64) error {
+// so the published epoch advances monotonically with each solve. It
+// returns the final post-normalization weight of every touched edge (see
+// Report.Applied) so callers can persist the solve's effect.
+func (e *Engine) applyWeights(changes map[graph.EdgeKey]float64) ([]WeightChange, error) {
 	if len(changes) == 0 {
-		return e.publish()
+		return nil, e.publish()
 	}
 	preSums := make(map[graph.NodeID]float64)
 	for k := range changes {
@@ -118,7 +121,7 @@ func (e *Engine) applyWeights(changes map[graph.EdgeKey]float64) error {
 	}
 	for k, w := range changes {
 		if err := e.g.SetWeight(k.From, k.To, w); err != nil {
-			return fmt.Errorf("core: apply weights: %w", err)
+			return nil, fmt.Errorf("core: apply weights: %w", err)
 		}
 	}
 	switch e.opt.Normalize {
@@ -144,9 +147,59 @@ func (e *Engine) applyWeights(changes map[graph.EdgeKey]float64) error {
 			scale := target / cur
 			for _, edge := range e.g.Out(n) {
 				if err := e.g.SetWeight(n, edge.To, edge.Weight*scale); err != nil {
-					return fmt.Errorf("core: normalize: %w", err)
+					return nil, fmt.Errorf("core: normalize: %w", err)
 				}
 			}
+		}
+	}
+	return e.appliedWeights(changes, preSums), e.publish()
+}
+
+// appliedWeights collects the final weights of every edge a solve could
+// have modified: under NoNormalize exactly the solved edges, otherwise
+// every out-edge of each normalized source node (normalization rescales
+// siblings of solved edges too). Order is deterministic.
+func (e *Engine) appliedWeights(changes map[graph.EdgeKey]float64, preSums map[graph.NodeID]float64) []WeightChange {
+	if e.opt.Normalize == NoNormalize {
+		out := make([]WeightChange, 0, len(changes))
+		for k := range changes {
+			out = append(out, WeightChange{From: k.From, To: k.To, Weight: e.g.Weight(k.From, k.To)})
+		}
+		sortWeightChanges(out)
+		return out
+	}
+	nodes := make([]graph.NodeID, 0, len(preSums))
+	for n := range preSums {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var out []WeightChange
+	for _, n := range nodes {
+		for _, edge := range e.g.Out(n) {
+			out = append(out, WeightChange{From: n, To: edge.To, Weight: edge.Weight})
+		}
+	}
+	return out
+}
+
+func sortWeightChanges(ws []WeightChange) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].From != ws[j].From {
+			return ws[i].From < ws[j].From
+		}
+		return ws[i].To < ws[j].To
+	})
+}
+
+// ApplyWeightSet writes a list of absolute edge weights into the graph —
+// no solving, no normalization — and republishes the serving snapshot.
+// It is the crash-recovery fast path: replaying the WeightChange lists a
+// stream logged per flush reproduces the post-flush graph exactly,
+// because each list already carries final post-normalization values.
+func (e *Engine) ApplyWeightSet(ws []WeightChange) error {
+	for _, wc := range ws {
+		if err := e.g.SetWeight(wc.From, wc.To, wc.Weight); err != nil {
+			return fmt.Errorf("core: apply weight set: %w", err)
 		}
 	}
 	return e.publish()

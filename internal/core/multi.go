@@ -48,5 +48,7 @@ func (e *Engine) SolveMulti(votes []vote.Vote) (*Report, error) {
 	report.Outer = sol.Outer
 	report.InnerIters = sol.InnerIters
 	report.ChangedEdges = countChanged(p, sol.X)
-	return report, e.applyWeights(extractChanges(p, sol.X))
+	applied, err := e.applyWeights(extractChanges(p, sol.X))
+	report.Applied = applied
+	return report, err
 }

@@ -1,5 +1,15 @@
 package core
 
+import "kgvote/internal/graph"
+
+// WeightChange records one edge's final weight after a solve has been
+// applied and normalized — an absolute value, not a delta, so replaying
+// the sequence of WeightChange lists reproduces the graph bit-for-bit.
+type WeightChange struct {
+	From, To graph.NodeID
+	Weight   float64
+}
+
 // Report summarizes one optimization run.
 type Report struct {
 	// Votes is the number of votes supplied.
@@ -24,6 +34,12 @@ type Report struct {
 	ChangedEdges int
 	// Outer and InnerIters aggregate solver statistics.
 	Outer, InnerIters int
+	// Applied lists the final post-normalization weight of every edge the
+	// run touched, in application order (later entries for the same edge
+	// supersede earlier ones). The durability layer logs it so crash
+	// recovery can reapply a flush without re-solving; it is omitted from
+	// JSON responses.
+	Applied []WeightChange `json:"-"`
 }
 
 // merge folds another report's counters into r (used when a run solves
@@ -37,4 +53,5 @@ func (r *Report) merge(o Report) {
 	r.ChangedEdges += o.ChangedEdges
 	r.Outer += o.Outer
 	r.InnerIters += o.InnerIters
+	r.Applied = append(r.Applied, o.Applied...)
 }

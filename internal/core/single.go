@@ -70,7 +70,9 @@ func (e *Engine) solveOneVote(v vote.Vote) (Report, error) {
 	rep.Outer = sol.Outer
 	rep.InnerIters = sol.InnerIters
 	rep.ChangedEdges = countChanged(p, sol.X)
-	return rep, e.applyWeights(changes)
+	applied, err := e.applyWeights(changes)
+	rep.Applied = applied
+	return rep, err
 }
 
 // countChanged counts edge variables that moved away from their initial

@@ -81,7 +81,9 @@ func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
 	}
 	changes := e.mergeDeltas(results)
 	report.ChangedEdges = len(changes)
-	return report, e.applyWeights(changes)
+	applied, err := e.applyWeights(changes)
+	report.Applied = applied
+	return report, err
 }
 
 // clusterVotes computes E(t) per vote, the pairwise Jaccard similarities,

@@ -52,6 +52,32 @@ func (e *Engine) NewStream(batchSize int, solver StreamSolver) (*Stream, error) 
 // Pending returns the number of buffered votes awaiting the next flush.
 func (s *Stream) Pending() int { return len(s.pending) }
 
+// PendingVotes returns a copy of the buffered votes (checkpointing reads
+// it to know what the WAL tail must preserve).
+func (s *Stream) PendingVotes() []vote.Vote {
+	return append([]vote.Vote(nil), s.pending...)
+}
+
+// Restore primes a fresh stream with recovered state: votes that were
+// accepted but not yet flushed before a crash, plus the lifetime
+// counters. It does not trigger a solve even if the buffer is at or over
+// the batch size — the recovery manager decides whether to flush after
+// replay — and must be called before the first Push.
+func (s *Stream) Restore(pending []vote.Vote, totalVotes, flushes int) error {
+	if s.TotalVotes != 0 || s.Flushes != 0 || len(s.pending) != 0 {
+		return fmt.Errorf("core: stream restore: stream already used (%d votes, %d flushes)", s.TotalVotes, s.Flushes)
+	}
+	for i, v := range pending {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("core: stream restore: vote %d: %w", i, err)
+		}
+	}
+	s.pending = append(s.pending, pending...)
+	s.TotalVotes = totalVotes
+	s.Flushes = flushes
+	return nil
+}
+
 // Push adds a vote. When the batch fills, the batch is solved immediately
 // and its report returned; otherwise the report is nil.
 func (s *Stream) Push(v vote.Vote) (*Report, error) {

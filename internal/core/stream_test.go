@@ -183,3 +183,88 @@ func TestStreamEquivalentEffect(t *testing.T) {
 		t.Errorf("one-shot rank %d, streamed rank %d; want both 1", r1, r2)
 	}
 }
+
+// TestAppliedWeightsReplayIdentical pins the durability contract: applying
+// a flush's Report.Applied to a pristine clone via ApplyWeightSet must
+// reproduce the optimized graph bit-for-bit, without re-solving.
+func TestAppliedWeightsReplayIdentical(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	replica := g.Clone()
+	y := answers[1]
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.SolveMulti([]vote.Vote{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Applied) == 0 {
+		t.Fatal("solve reported no applied weights")
+	}
+
+	re, err := New(replica, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.ApplyWeightSet(rep.Applied); err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(from, to graph.NodeID, w float64) {
+		if got := replica.Weight(from, to); got != w {
+			t.Errorf("edge %d->%d: replica %v, original %v", from, to, got, w)
+		}
+	})
+	if replica.NumEdges() != g.NumEdges() {
+		t.Errorf("edge count: replica %d, original %d", replica.NumEdges(), g.NumEdges())
+	}
+	if re.Serving().Epoch() < 2 {
+		t.Errorf("ApplyWeightSet did not republish the snapshot")
+	}
+}
+
+func TestStreamRestore(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.NewStream(3, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, answers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Restore([]vote.Vote{v, v}, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pending() != 2 || st.TotalVotes != 5 || st.Flushes != 1 {
+		t.Fatalf("restored pending=%d total=%d flushes=%d", st.Pending(), st.TotalVotes, st.Flushes)
+	}
+	if got := st.PendingVotes(); len(got) != 2 {
+		t.Fatalf("PendingVotes = %d", len(got))
+	}
+	// Restore refuses a used stream.
+	if err := st.Restore(nil, 0, 0); err == nil {
+		t.Error("second restore should fail")
+	}
+	// The next push completes the batch of three and solves.
+	rep, err := st.Push(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || st.Pending() != 0 || st.Flushes != 2 {
+		t.Errorf("push after restore: rep=%v pending=%d flushes=%d", rep, st.Pending(), st.Flushes)
+	}
+	// Restored invalid votes are rejected.
+	st2, _ := e.NewStream(3, StreamMulti)
+	if err := st2.Restore([]vote.Vote{{}}, 1, 0); err == nil {
+		t.Error("invalid restored vote should fail")
+	}
+}

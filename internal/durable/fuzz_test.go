@@ -1,0 +1,49 @@
+package durable
+
+import (
+	"reflect"
+	"testing"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/qa"
+	"kgvote/internal/vote"
+)
+
+// FuzzDecodeRecords drives every payload decoder over arbitrary bytes.
+// Decoders must never panic, and anything they accept must re-encode to
+// the same bytes (round-trip stability).
+func FuzzDecodeRecords(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeVote(vote.Vote{Kind: vote.Negative, Query: 3, Ranked: []graph.NodeID{1, 2}, Best: 2, Weight: 0.5}))
+	f.Add(EncodeAttach(Attach{Node: 7, Question: qa.Question{ID: 4, Entities: map[string]int{"email": 2, "send": 1}}}))
+	f.Add(EncodeWeights([]core.WeightChange{{From: 0, To: 1, Weight: 0.25}, {From: 1, To: 2, Weight: 1}}))
+	f.Add(EncodeCheckpoint(123456))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // huge uvarint counts
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, err := DecodeVote(data); err == nil {
+			if got := EncodeVote(v); !reflect.DeepEqual(got, data) {
+				t.Errorf("vote round trip changed bytes: %x -> %x", data, got)
+			}
+		}
+		if a, err := DecodeAttach(data); err == nil {
+			// Attach encoding is canonical (sorted entities), so decoded
+			// payloads must re-encode identically.
+			if got := EncodeAttach(a); !reflect.DeepEqual(got, data) {
+				t.Errorf("attach round trip changed bytes: %x -> %x", data, got)
+			}
+		}
+		if ws, err := DecodeWeights(data); err == nil {
+			if got := EncodeWeights(ws); !reflect.DeepEqual(got, data) {
+				t.Errorf("weights round trip changed bytes: %x -> %x", data, got)
+			}
+		}
+		if seq, err := DecodeCheckpoint(data); err == nil {
+			if got := EncodeCheckpoint(seq); !reflect.DeepEqual(got, data) {
+				t.Errorf("checkpoint round trip changed bytes: %x -> %x", data, got)
+			}
+		}
+	})
+}

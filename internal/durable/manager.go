@@ -1,0 +1,507 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgvote/internal/core"
+	"kgvote/internal/qa"
+	"kgvote/internal/vote"
+	"kgvote/internal/wal"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the durability root: WAL segments live in Dir/wal, checkpoint
+	// files in Dir itself.
+	Dir string
+	// Fsync is the WAL commit policy.
+	Fsync wal.SyncPolicy
+	// SyncEvery is the fsync staleness bound under wal.SyncInterval.
+	SyncEvery time.Duration
+	// SegmentBytes is the WAL segment rotation threshold.
+	SegmentBytes int64
+	// Retain is how many checkpoints to keep (0 = 2). Older checkpoints
+	// and the WAL segments they cover are deleted after each new one.
+	Retain int
+	// Engine is passed to qa.Load when recovering a checkpoint.
+	Engine core.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Retain <= 0 {
+		o.Retain = 2
+	}
+	return o
+}
+
+// Recovered is the reconstructed pre-crash state.
+type Recovered struct {
+	// Sys is the system loaded from the newest valid checkpoint with the
+	// WAL tail replayed into it.
+	Sys *qa.System
+	// Pending are the votes that were accepted but not yet flushed when
+	// the process died; the caller restores them into its core.Stream.
+	Pending []vote.Vote
+	// TotalVotes and Flushes are the stream counters to restore.
+	TotalVotes int
+	Flushes    int
+	// Records is the number of WAL records replayed.
+	Records int
+	// CheckpointSeq is the WAL sequence the loaded checkpoint covered.
+	CheckpointSeq uint64
+}
+
+// Stats is the durability section of /stats.
+type Stats struct {
+	Wal               wal.Stats `json:"wal"`
+	Checkpoints       int64     `json:"checkpoints"` // taken by this process
+	LastCheckpointSeq uint64    `json:"last_checkpoint_seq"`
+	ReplayedRecords   int       `json:"replayed_records"` // at last recovery
+	FsyncPolicy       string    `json:"fsync_policy"`
+	Failed            bool      `json:"failed"`
+}
+
+// checkpointMeta is the sidecar written next to each checkpoint state
+// file. WalSeq is the replay barrier: every record with seq >= WalSeq must
+// be replayed on top of the state file. Votes and Flushes are the stream
+// counters as of the barrier (pending votes excluded — replay re-counts
+// them).
+type checkpointMeta struct {
+	WalSeq  uint64 `json:"wal_seq"`
+	Votes   int    `json:"votes"`
+	Flushes int    `json:"flushes"`
+}
+
+// Manager owns a data directory: a segmented WAL plus rolling full-state
+// checkpoints, and the recovery protocol that stitches them back into a
+// running system (DESIGN.md §9).
+//
+// The write path is single-writer, matching the server: LogAttach/LogVote
+// before the corresponding engine mutation, LogFlush after a completed
+// solve, Commit before acknowledging the client.
+type Manager struct {
+	opt Options
+	log *wal.Log
+
+	mu sync.Mutex
+	// pendingCount/firstPendingSeq mirror the stream's un-flushed votes so
+	// Checkpoint can place the replay barrier at the first WAL record a
+	// future recovery still needs.
+	pendingCount    int
+	firstPendingSeq uint64
+	lastCkptSeq     uint64
+	replayed        int
+
+	checkpoints atomic.Int64
+	failed      atomic.Bool
+}
+
+// Open opens (creating if needed) the durability directory. Call Recover
+// next; if it returns nil state, build a fresh system and Bootstrap it.
+func Open(opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("durable: empty data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	log, err := wal.Open(wal.Options{
+		Dir:          filepath.Join(opts.Dir, "wal"),
+		SegmentBytes: opts.SegmentBytes,
+		Sync:         opts.Fsync,
+		SyncEvery:    opts.SyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{opt: opts, log: log}, nil
+}
+
+func (m *Manager) statePath(seq uint64) string {
+	return filepath.Join(m.opt.Dir, fmt.Sprintf("checkpoint-%020d.json", seq))
+}
+
+func (m *Manager) metaPath(seq uint64) string {
+	return filepath.Join(m.opt.Dir, fmt.Sprintf("checkpoint-%020d.meta.json", seq))
+}
+
+// listCheckpoints returns the barrier sequences of on-disk checkpoints,
+// newest first. Only state files are listed; a checkpoint missing its
+// meta sidecar is treated as incomplete at load time.
+func (m *Manager) listCheckpoints() ([]uint64, error) {
+	matches, err := filepath.Glob(filepath.Join(m.opt.Dir, "checkpoint-*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	var seqs []uint64
+	for _, p := range matches {
+		base := filepath.Base(p)
+		var seq uint64
+		if _, err := fmt.Sscanf(base, "checkpoint-%020d.json", &seq); err != nil {
+			continue // meta sidecars and foreign files
+		}
+		if base != fmt.Sprintf("checkpoint-%020d.json", seq) {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	return seqs, nil
+}
+
+// Recover loads the newest valid checkpoint and replays the WAL tail
+// through the system, reproducing the exact pre-crash graph, counters,
+// and pending-vote buffer. It returns (nil, nil) for a fresh directory.
+// A corrupt newest checkpoint falls back to the previous one (the WAL
+// tail is retained far enough back by Checkpoint's pruning).
+func (m *Manager) Recover() (*Recovered, error) {
+	seqs, err := m.listCheckpoints()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		if m.log.NextSeq() != 1 {
+			return nil, errors.New("durable: WAL has records but no checkpoint exists; data directory is damaged")
+		}
+		return nil, nil
+	}
+	var firstErr error
+	for _, seq := range seqs {
+		rec, err := m.recoverFrom(seq)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("durable: checkpoint %d: %w", seq, err)
+			}
+			continue
+		}
+		m.mu.Lock()
+		m.lastCkptSeq = seq
+		m.replayed = rec.Records
+		m.mu.Unlock()
+		return rec, nil
+	}
+	return nil, fmt.Errorf("durable: no loadable checkpoint: %w", firstErr)
+}
+
+func (m *Manager) recoverFrom(seq uint64) (*Recovered, error) {
+	metaBytes, err := os.ReadFile(m.metaPath(seq))
+	if err != nil {
+		return nil, fmt.Errorf("meta: %w", err)
+	}
+	var meta checkpointMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, fmt.Errorf("meta: %w", err)
+	}
+	if meta.WalSeq != seq {
+		return nil, fmt.Errorf("meta names wal seq %d, file names %d", meta.WalSeq, seq)
+	}
+	f, err := os.Open(m.statePath(seq))
+	if err != nil {
+		return nil, err
+	}
+	sys, err := qa.Load(f, m.opt.Engine)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Recovered{Sys: sys, TotalVotes: meta.Votes, Flushes: meta.Flushes, CheckpointSeq: seq}
+	var pendingSeqs []uint64
+	err = m.log.Replay(seq, func(recSeq uint64, typ byte, payload []byte) error {
+		rec.Records++
+		switch typ {
+		case RecAttach:
+			a, err := DecodeAttach(payload)
+			if err != nil {
+				return fmt.Errorf("seq %d: %w", recSeq, err)
+			}
+			// Attachments at or past the barrier may already be inside the
+			// checkpoint graph (the barrier sits at the first pending vote,
+			// which can postdate its query's attachment): re-attaching
+			// those would duplicate the node, so they are verified instead.
+			if int(a.Node) < sys.Aug.NumNodes() {
+				if !sys.Aug.IsQuery(a.Node) {
+					return fmt.Errorf("seq %d: attach record names node %d which is not a query node", recSeq, a.Node)
+				}
+				return nil
+			}
+			qn, err := sys.AttachQuestion(a.Question)
+			if err != nil {
+				return fmt.Errorf("seq %d: replay attach: %w", recSeq, err)
+			}
+			if qn != a.Node {
+				return fmt.Errorf("seq %d: replayed attachment landed on node %d, log says %d", recSeq, qn, a.Node)
+			}
+			return nil
+		case RecVote:
+			v, err := DecodeVote(payload)
+			if err != nil {
+				return fmt.Errorf("seq %d: %w", recSeq, err)
+			}
+			if err := v.Validate(); err != nil {
+				return fmt.Errorf("seq %d: replayed vote invalid: %w", recSeq, err)
+			}
+			rec.Pending = append(rec.Pending, v)
+			pendingSeqs = append(pendingSeqs, recSeq)
+			rec.TotalVotes++
+			return nil
+		case RecWeights:
+			ws, err := DecodeWeights(payload)
+			if err != nil {
+				return fmt.Errorf("seq %d: %w", recSeq, err)
+			}
+			// Weight records carry absolute values, so re-applying one that
+			// the checkpoint already covers is harmless.
+			if err := sys.Engine.ApplyWeightSet(ws); err != nil {
+				return fmt.Errorf("seq %d: %w", recSeq, err)
+			}
+			rec.Pending = rec.Pending[:0]
+			pendingSeqs = pendingSeqs[:0]
+			rec.Flushes++
+			return nil
+		case RecCheckpoint:
+			if _, err := DecodeCheckpoint(payload); err != nil {
+				return fmt.Errorf("seq %d: %w", recSeq, err)
+			}
+			return nil
+		default:
+			return fmt.Errorf("seq %d: unknown record type %d", recSeq, typ)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.pendingCount = len(rec.Pending)
+	if len(pendingSeqs) > 0 {
+		m.firstPendingSeq = pendingSeqs[0]
+	}
+	m.mu.Unlock()
+	return rec, nil
+}
+
+// Bootstrap writes the initial checkpoint for a freshly built system, so
+// the invariant "every WAL record is covered by some checkpoint's replay
+// window" holds from the first vote.
+func (m *Manager) Bootstrap(sys *qa.System) error {
+	return m.Checkpoint(sys, 0, 0)
+}
+
+// errFailed reports writes attempted after a durability failure.
+var errFailed = errors.New("durable: log is failed; restart the daemon to recover")
+
+// LogAttach appends a query-attachment record. Call it at materialization
+// time, before any vote referencing the node is logged.
+func (m *Manager) LogAttach(a Attach) error {
+	return m.append(RecAttach, EncodeAttach(a), false)
+}
+
+// LogVote appends an accepted vote, before it enters the stream.
+func (m *Manager) LogVote(v vote.Vote) error {
+	return m.append(RecVote, EncodeVote(v), true)
+}
+
+// LogFlush appends a completed flush's applied weight set (empty sets
+// included: the record is the batch boundary that resets pending votes).
+func (m *Manager) LogFlush(applied []core.WeightChange) error {
+	if err := m.append(RecWeights, EncodeWeights(applied), false); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.pendingCount = 0
+	m.firstPendingSeq = 0
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Manager) append(typ byte, payload []byte, isVote bool) error {
+	if m.failed.Load() {
+		return errFailed
+	}
+	seq, err := m.log.Append(typ, payload)
+	if err != nil {
+		m.failed.Store(true)
+		return err
+	}
+	if isVote {
+		m.mu.Lock()
+		if m.pendingCount == 0 {
+			m.firstPendingSeq = seq
+		}
+		m.pendingCount++
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// Fail poisons the manager: every subsequent write is rejected until the
+// process restarts and recovers from disk. Callers use it when in-memory
+// state and the log are known to have diverged (e.g. a mutation failed
+// after its record was already appended), so that recovery — which trusts
+// the log — becomes the only way forward.
+func (m *Manager) Fail() {
+	m.failed.Store(true)
+}
+
+// Commit makes all appended records durable per the fsync policy. Call it
+// once per request, before acknowledging the client.
+func (m *Manager) Commit() error {
+	if m.failed.Load() {
+		return errFailed
+	}
+	if err := m.log.Commit(); err != nil {
+		m.failed.Store(true)
+		return err
+	}
+	return nil
+}
+
+// Checkpoint atomically persists the full system state, then prunes
+// checkpoints beyond the retention count and WAL segments older than the
+// oldest retained barrier. totalVotes and flushes are the stream counters
+// at call time; the barrier lands at the first still-pending vote record
+// so those votes replay from the WAL on recovery.
+func (m *Manager) Checkpoint(sys *qa.System, totalVotes, flushes int) error {
+	if m.failed.Load() {
+		return errFailed
+	}
+	m.mu.Lock()
+	barrier := m.log.NextSeq()
+	votesAtBarrier := totalVotes - m.pendingCount
+	if m.pendingCount > 0 && m.firstPendingSeq > 0 {
+		barrier = m.firstPendingSeq
+	}
+	m.mu.Unlock()
+	if votesAtBarrier < 0 {
+		votesAtBarrier = 0
+	}
+
+	// Everything below the barrier must be durable before the checkpoint
+	// may supersede it.
+	if err := m.log.Sync(); err != nil {
+		m.failed.Store(true)
+		return err
+	}
+	if err := writeFileAtomic(m.statePath(barrier), func(f *os.File) error {
+		return sys.Save(f)
+	}); err != nil {
+		return fmt.Errorf("durable: checkpoint state: %w", err)
+	}
+	meta := checkpointMeta{WalSeq: barrier, Votes: votesAtBarrier, Flushes: flushes}
+	if err := writeFileAtomic(m.metaPath(barrier), func(f *os.File) error {
+		b, err := json.Marshal(meta)
+		if err != nil {
+			return err
+		}
+		_, err = f.Write(append(b, '\n'))
+		return err
+	}); err != nil {
+		return fmt.Errorf("durable: checkpoint meta: %w", err)
+	}
+	syncDir(m.opt.Dir)
+
+	if _, err := m.log.Append(RecCheckpoint, EncodeCheckpoint(barrier)); err != nil {
+		m.failed.Store(true)
+		return err
+	}
+	if err := m.log.Sync(); err != nil {
+		m.failed.Store(true)
+		return err
+	}
+
+	m.mu.Lock()
+	m.lastCkptSeq = barrier
+	m.mu.Unlock()
+	m.checkpoints.Add(1)
+	return m.prune()
+}
+
+// prune deletes checkpoints beyond Retain and WAL segments wholly below
+// the oldest retained barrier.
+func (m *Manager) prune() error {
+	seqs, err := m.listCheckpoints()
+	if err != nil {
+		return err
+	}
+	if len(seqs) == 0 {
+		return nil
+	}
+	keep := seqs
+	if len(keep) > m.opt.Retain {
+		keep = seqs[:m.opt.Retain]
+		for _, seq := range seqs[m.opt.Retain:] {
+			if err := os.Remove(m.statePath(seq)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("durable: prune: %w", err)
+			}
+			if err := os.Remove(m.metaPath(seq)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("durable: prune: %w", err)
+			}
+		}
+	}
+	oldest := keep[len(keep)-1]
+	return m.log.TruncateBefore(oldest)
+}
+
+// Stats snapshots durability counters for /stats.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	last, replayed := m.lastCkptSeq, m.replayed
+	m.mu.Unlock()
+	return Stats{
+		Wal:               m.log.Stats(),
+		Checkpoints:       m.checkpoints.Load(),
+		LastCheckpointSeq: last,
+		ReplayedRecords:   replayed,
+		FsyncPolicy:       m.opt.Fsync.String(),
+		Failed:            m.failed.Load(),
+	}
+}
+
+// Close flushes and closes the WAL. It does not checkpoint; callers
+// wanting checkpoint-on-shutdown do that first.
+func (m *Manager) Close() error {
+	return m.log.Close()
+}
+
+// writeFileAtomic writes via temp file + fsync + rename so a crash never
+// leaves a half-written checkpoint under the final name.
+func writeFileAtomic(path string, write func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// syncDir best-effort fsyncs a directory so renames inside it survive a
+// machine crash.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}

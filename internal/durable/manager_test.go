@@ -1,0 +1,417 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/qa"
+	"kgvote/internal/vote"
+	"kgvote/internal/wal"
+)
+
+var engineOpts = core.Options{K: 3, L: 4}
+
+func testCorpus() *qa.Corpus {
+	return &qa.Corpus{Docs: []qa.Document{
+		{ID: 0, Title: "Email stuck in outbox", Entities: map[string]int{"email": 2, "outbox": 2, "send": 1}},
+		{ID: 1, Title: "Configure Outlook account", Entities: map[string]int{"outlook": 2, "account": 2, "email": 1}},
+		{ID: 2, Title: "Message delivery delays", Entities: map[string]int{"message": 2, "send": 2, "delay": 1}},
+	}}
+}
+
+func buildSys(t *testing.T) *qa.System {
+	t.Helper()
+	sys, err := qa.Build(testCorpus(), engineOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// harness couples a system, a stream, and a manager the way the server
+// does: log attach at materialization, log vote before push, log flush
+// after a solve, commit per request.
+type harness struct {
+	t      *testing.T
+	sys    *qa.System
+	stream *core.Stream
+	mgr    *Manager
+}
+
+func newHarness(t *testing.T, dir string, batch int) *harness {
+	t.Helper()
+	mgr, err := Open(Options{Dir: dir, Fsync: wal.SyncAlways, Engine: engineOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := mgr.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sys *qa.System
+	if rec == nil {
+		sys = buildSys(t)
+		if err := mgr.Bootstrap(sys); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		sys = rec.Sys
+	}
+	st, err := sys.Engine.NewStream(batch, core.StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		if err := st.Restore(rec.Pending, rec.TotalVotes, rec.Flushes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &harness{t: t, sys: sys, stream: st, mgr: mgr}
+}
+
+// voteOn asks question q, logs + pushes a vote for bestDoc, exactly like
+// the server's /ask + /vote pair.
+func (h *harness) voteOn(q qa.Question, bestDoc int) {
+	h.t.Helper()
+	qn, err := h.sys.AttachQuestion(q)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if err := h.mgr.LogAttach(Attach{Node: qn, Question: q}); err != nil {
+		h.t.Fatal(err)
+	}
+	ranked, err := h.sys.Engine.Rank(qn, h.sys.Answers())
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	list := make([]graph.NodeID, len(ranked))
+	for i, r := range ranked {
+		list[i] = r.Node
+	}
+	best, err := h.sys.AnswerOf(bestDoc)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	v, err := vote.FromRanking(qn, list, best)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if err := h.mgr.LogVote(v); err != nil {
+		h.t.Fatal(err)
+	}
+	rep, err := h.stream.Push(v)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if rep != nil {
+		if err := h.mgr.LogFlush(rep.Applied); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	if err := h.mgr.Commit(); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// rankings returns the doc-ID ranking plus scores for a fixed query set.
+func rankings(t *testing.T, sys *qa.System) []string {
+	t.Helper()
+	queries := []qa.Question{
+		{ID: 100, Entities: map[string]int{"email": 1, "send": 1}},
+		{ID: 101, Entities: map[string]int{"outlook": 1, "account": 1}},
+		{ID: 102, Entities: map[string]int{"message": 1, "delay": 1}},
+	}
+	var out []string
+	for _, q := range queries {
+		_, ranked, err := sys.RankSnapshot(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range ranked {
+			out = append(out, fmt.Sprintf("%d:%d:%x", q.ID, sys.DocOf(r.Node), r.Score))
+		}
+	}
+	return out
+}
+
+func TestRecoverFreshDirIsNil(t *testing.T) {
+	mgr, err := Open(Options{Dir: t.TempDir(), Engine: engineOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	rec, err := mgr.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+}
+
+// TestCrashRecoveryByteIdentical is the core durability guarantee: kill
+// the process without any graceful shutdown (simulated by abandoning the
+// manager), recover in a new one, and get byte-identical rankings plus
+// identical stream counters.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 2)
+	// 5 votes at batch 2: two flushes plus one pending vote at crash time.
+	for i := 0; i < 5; i++ {
+		h.voteOn(qa.Question{ID: i, Entities: map[string]int{"email": 1, "outlook": 1}}, 1)
+	}
+	if h.stream.Flushes != 2 || h.stream.Pending() != 1 {
+		t.Fatalf("pre-crash: flushes=%d pending=%d", h.stream.Flushes, h.stream.Pending())
+	}
+	want := rankings(t, h.sys)
+	wantNodes := h.sys.Aug.NumNodes()
+	// No Close, no checkpoint: the process just dies.
+
+	h2 := newHarness(t, dir, 2)
+	if got := rankings(t, h2.sys); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-recovery rankings differ:\n got %v\nwant %v", got, want)
+	}
+	if h2.sys.Aug.NumNodes() != wantNodes {
+		t.Errorf("node count: recovered %d, pre-crash %d", h2.sys.Aug.NumNodes(), wantNodes)
+	}
+	if h2.stream.TotalVotes != 5 || h2.stream.Flushes != 2 || h2.stream.Pending() != 1 {
+		t.Errorf("recovered counters: total=%d flushes=%d pending=%d",
+			h2.stream.TotalVotes, h2.stream.Flushes, h2.stream.Pending())
+	}
+	// The recovered system keeps working: one more vote completes the batch.
+	h2.voteOn(qa.Question{ID: 9, Entities: map[string]int{"send": 1}}, 0)
+	if h2.stream.Flushes != 3 || h2.stream.Pending() != 0 {
+		t.Errorf("post-recovery flush: flushes=%d pending=%d", h2.stream.Flushes, h2.stream.Pending())
+	}
+}
+
+func TestCheckpointTruncatesWALAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	mgrOpts := Options{Dir: dir, Fsync: wal.SyncAlways, Engine: engineOpts, SegmentBytes: 512, Retain: 1}
+	mgr, err := Open(mgrOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := buildSys(t)
+	if err := mgr.Bootstrap(sys); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := sys.Engine.NewStream(2, core.StreamMulti)
+	h := &harness{t: t, sys: sys, stream: st, mgr: mgr}
+	for i := 0; i < 4; i++ {
+		h.voteOn(qa.Question{ID: i, Entities: map[string]int{"email": 1, "message": 1}}, 2)
+	}
+	preSegs := mgr.Stats().Wal.Segments
+	if err := mgr.Checkpoint(sys, st.TotalVotes, st.Flushes); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Stats().Wal.Segments; got >= preSegs {
+		t.Errorf("checkpoint did not truncate WAL: %d -> %d segments", preSegs, got)
+	}
+	want := rankings(t, sys)
+	// Crash after checkpoint.
+	h2 := newHarness(t, dir, 2)
+	if got := rankings(t, h2.sys); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rankings after checkpoint recovery differ")
+	}
+	if h2.stream.TotalVotes != 4 || h2.stream.Flushes != 2 {
+		t.Errorf("counters: total=%d flushes=%d", h2.stream.TotalVotes, h2.stream.Flushes)
+	}
+	// Only Retain=1 checkpoint (state+meta) remains.
+	states, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.json"))
+	if len(states) != 2 { // state + meta
+		t.Errorf("retained checkpoint files: %v", states)
+	}
+}
+
+// TestCheckpointWithPendingVotesKeepsThem places the barrier before the
+// pending votes' records so they survive recovery even though WAL
+// segments were pruned.
+func TestCheckpointWithPendingVotesKeepsThem(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 10) // large batch: nothing flushes
+	for i := 0; i < 3; i++ {
+		h.voteOn(qa.Question{ID: i, Entities: map[string]int{"email": 1}}, 1)
+	}
+	if err := h.mgr.Checkpoint(h.sys, h.stream.TotalVotes, h.stream.Flushes); err != nil {
+		t.Fatal(err)
+	}
+	h2 := newHarness(t, dir, 10)
+	if h2.stream.Pending() != 3 || h2.stream.TotalVotes != 3 {
+		t.Fatalf("pending votes lost across checkpoint: pending=%d total=%d",
+			h2.stream.Pending(), h2.stream.TotalVotes)
+	}
+}
+
+// TestTornTailRecovery half-writes the final WAL record and proves
+// recovery truncates it and lands on the state as of the previous record.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 10)
+	h.voteOn(qa.Question{ID: 0, Entities: map[string]int{"email": 1}}, 1)
+	h.voteOn(qa.Question{ID: 1, Entities: map[string]int{"outlook": 1}}, 1)
+	h.mgr.Close()
+
+	// Artificially tear the last record in half.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	b, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, b[:len(b)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := newHarness(t, dir, 10)
+	// The torn record was the second vote: recovery keeps vote 0 and the
+	// second question's attachment (logged whole), drops the half vote.
+	if h2.stream.Pending() != 1 || h2.stream.TotalVotes != 1 {
+		t.Fatalf("after torn tail: pending=%d total=%d, want 1/1",
+			h2.stream.Pending(), h2.stream.TotalVotes)
+	}
+	if got := h2.mgr.Stats().Wal.TornTruncated; got != 1 {
+		t.Errorf("TornTruncated = %d", got)
+	}
+	// Still writable after repair.
+	h2.voteOn(qa.Question{ID: 2, Entities: map[string]int{"send": 1}}, 0)
+	if h2.stream.Pending() != 2 {
+		t.Errorf("pending after repair = %d", h2.stream.Pending())
+	}
+}
+
+// TestCorruptNewestCheckpointFallsBack damages the latest checkpoint and
+// expects recovery from the previous one plus a longer WAL replay.
+func TestCorruptNewestCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 2)
+	for i := 0; i < 2; i++ {
+		h.voteOn(qa.Question{ID: i, Entities: map[string]int{"email": 1, "delay": 1}}, 2)
+	}
+	if err := h.mgr.Checkpoint(h.sys, h.stream.TotalVotes, h.stream.Flushes); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 4; i++ {
+		h.voteOn(qa.Question{ID: i, Entities: map[string]int{"email": 1, "delay": 1}}, 2)
+	}
+	if err := h.mgr.Checkpoint(h.sys, h.stream.TotalVotes, h.stream.Flushes); err != nil {
+		t.Fatal(err)
+	}
+	want := rankings(t, h.sys)
+
+	seqs, err := h.mgr.listCheckpoints()
+	if err != nil || len(seqs) < 2 {
+		t.Fatalf("checkpoints: %v %v", seqs, err)
+	}
+	if err := os.WriteFile(h.mgr.statePath(seqs[0]), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := newHarness(t, dir, 2)
+	if got := rankings(t, h2.sys); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback recovery rankings differ")
+	}
+	if h2.stream.TotalVotes != 4 || h2.stream.Flushes != 2 {
+		t.Errorf("fallback counters: total=%d flushes=%d", h2.stream.TotalVotes, h2.stream.Flushes)
+	}
+}
+
+func TestWALWithoutCheckpointIsDamaged(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 2)
+	h.voteOn(qa.Question{ID: 0, Entities: map[string]int{"email": 1}}, 1)
+	h.mgr.Close()
+	for _, p := range []string{"checkpoint-*.json"} {
+		matches, _ := filepath.Glob(filepath.Join(dir, p))
+		for _, f := range matches {
+			os.Remove(f)
+		}
+	}
+	mgr, err := Open(Options{Dir: dir, Engine: engineOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if _, err := mgr.Recover(); err == nil {
+		t.Fatal("WAL without checkpoint should be reported as damaged")
+	}
+}
+
+func TestFailedManagerRejectsWrites(t *testing.T) {
+	mgr, err := Open(Options{Dir: t.TempDir(), Engine: engineOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.failed.Store(true)
+	if err := mgr.LogVote(vote.Vote{}); err == nil {
+		t.Error("failed manager accepted LogVote")
+	}
+	if err := mgr.Commit(); err == nil {
+		t.Error("failed manager accepted Commit")
+	}
+	if !mgr.Stats().Failed {
+		t.Error("Stats.Failed not set")
+	}
+}
+
+func TestRecordRoundTrips(t *testing.T) {
+	v := vote.Vote{Kind: vote.Negative, Query: 12, Ranked: []graph.NodeID{5, 9, 7}, Best: 9, Weight: 0.25}
+	got, err := DecodeVote(EncodeVote(v))
+	if err != nil || !reflect.DeepEqual(got, v) {
+		t.Errorf("vote round trip: %+v, %v", got, err)
+	}
+
+	a := Attach{Node: 42, Question: qa.Question{ID: -1, Entities: map[string]int{"email": 2, "outbox": 1}}}
+	gotA, err := DecodeAttach(EncodeAttach(a))
+	if err != nil || gotA.Node != a.Node || gotA.Question.ID != a.Question.ID ||
+		!reflect.DeepEqual(gotA.Question.Entities, a.Question.Entities) {
+		t.Errorf("attach round trip: %+v, %v", gotA, err)
+	}
+
+	ws := []core.WeightChange{{From: 1, To: 2, Weight: 0.123456789}, {From: 3, To: 4, Weight: 1}}
+	gotW, err := DecodeWeights(EncodeWeights(ws))
+	if err != nil || !reflect.DeepEqual(gotW, ws) {
+		t.Errorf("weights round trip: %+v, %v", gotW, err)
+	}
+	if gotE, err := DecodeWeights(EncodeWeights(nil)); err != nil || len(gotE) != 0 {
+		t.Errorf("empty weights round trip: %v, %v", gotE, err)
+	}
+
+	seq, err := DecodeCheckpoint(EncodeCheckpoint(777))
+	if err != nil || seq != 777 {
+		t.Errorf("checkpoint round trip: %d, %v", seq, err)
+	}
+}
+
+func TestDecodersRejectTruncation(t *testing.T) {
+	v := EncodeVote(vote.Vote{Kind: vote.Positive, Query: 1, Ranked: []graph.NodeID{2}, Best: 2})
+	for i := 0; i < len(v); i++ {
+		if _, err := DecodeVote(v[:i]); err == nil {
+			t.Fatalf("DecodeVote accepted %d-byte prefix", i)
+		}
+	}
+	a := EncodeAttach(Attach{Node: 3, Question: qa.Question{Entities: map[string]int{"x": 1}}})
+	for i := 0; i < len(a); i++ {
+		if _, err := DecodeAttach(a[:i]); err == nil {
+			t.Fatalf("DecodeAttach accepted %d-byte prefix", i)
+		}
+	}
+	w := EncodeWeights([]core.WeightChange{{From: 1, To: 2, Weight: 3}})
+	for i := 0; i < len(w); i++ {
+		if _, err := DecodeWeights(w[:i]); err == nil {
+			t.Fatalf("DecodeWeights accepted %d-byte prefix", i)
+		}
+	}
+	// Trailing garbage is also rejected.
+	if _, err := DecodeVote(append(v, 0)); err == nil {
+		t.Error("DecodeVote accepted trailing bytes")
+	}
+}

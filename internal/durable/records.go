@@ -1,0 +1,314 @@
+// Package durable is the serving daemon's durability layer: it logs every
+// accepted vote (and the query-node attachment it may imply) to a
+// write-ahead log before the vote enters the optimization stream, logs the
+// applied weight set of every completed flush, checkpoints the full system
+// state periodically, and on startup reconstructs the exact pre-crash
+// state by loading the latest checkpoint and replaying the WAL tail. See
+// DESIGN.md §9 for the protocol.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/qa"
+	"kgvote/internal/vote"
+)
+
+// WAL record types. The type byte travels in the wal frame, outside the
+// payload, so each codec here handles payload bytes only.
+const (
+	// RecVote is one accepted vote, logged before it enters core.Stream.
+	RecVote byte = 1
+	// RecAttach is a query-node materialization: the question whose
+	// entities were linked into the graph, logged before any vote that
+	// references the node.
+	RecAttach byte = 2
+	// RecWeights is the applied weight set of one completed flush — final
+	// absolute weights, so replay needs no solver. A flush that changed
+	// nothing still logs an empty RecWeights: it is the batch boundary
+	// that clears pending votes and advances the flush counter.
+	RecWeights byte = 3
+	// RecCheckpoint marks a completed checkpoint and names its WAL
+	// position; purely informational (the checkpoint file name is
+	// authoritative) but useful for log archaeology.
+	RecCheckpoint byte = 4
+)
+
+// ErrBadRecord wraps every payload decoding failure. Decoders are fuzzed:
+// they must return it — never panic — on arbitrary bytes.
+var ErrBadRecord = errors.New("durable: malformed record")
+
+// maxDecodeElems bounds decoded element counts so a corrupt length prefix
+// cannot demand an absurd allocation before the data runs out.
+const maxDecodeElems = 1 << 22
+
+// buf is a bounds-checked little-endian reader over a record payload.
+type buf struct {
+	b []byte
+}
+
+func (r *buf) u8() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, ErrBadRecord
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *buf) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, ErrBadRecord
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *buf) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, ErrBadRecord
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *buf) node() (graph.NodeID, error) {
+	v, err := r.u32()
+	return graph.NodeID(int32(v)), err
+}
+
+func (r *buf) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+// count decodes a uvarint element count and sanity-bounds it against both
+// the global cap and the bytes actually remaining (each element costs at
+// least minElemSize bytes). Non-minimal varint encodings are rejected so
+// that every accepted payload has exactly one byte representation.
+func (r *buf) count(minElemSize int) (int, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 || v > maxDecodeElems {
+		return 0, ErrBadRecord
+	}
+	if n > 1 && r.b[n-1] == 0 {
+		return 0, ErrBadRecord // non-canonical: trailing zero continuation
+	}
+	r.b = r.b[n:]
+	if minElemSize > 0 && v > uint64(len(r.b)/minElemSize) {
+		return 0, ErrBadRecord
+	}
+	return int(v), nil
+}
+
+func (r *buf) str() (string, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return "", err
+	}
+	if len(r.b) < n {
+		return "", ErrBadRecord
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+func (r *buf) done() error {
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(r.b))
+	}
+	return nil
+}
+
+// out is the matching append-only encoder.
+type out struct {
+	b []byte
+}
+
+func (w *out) u8(v byte)           { w.b = append(w.b, v) }
+func (w *out) u32(v uint32)        { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *out) u64(v uint64)        { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *out) node(v graph.NodeID) { w.u32(uint32(int32(v))) }
+func (w *out) f64(v float64)       { w.u64(math.Float64bits(v)) }
+func (w *out) count(v int)         { w.b = binary.AppendUvarint(w.b, uint64(v)) }
+func (w *out) str(s string)        { w.count(len(s)); w.b = append(w.b, s...) }
+
+// EncodeVote serializes a vote payload:
+//
+//	kind u8 | query i32 | best i32 | weight f64 | nRanked uvarint | ranked i32...
+func EncodeVote(v vote.Vote) []byte {
+	var w out
+	w.u8(byte(v.Kind))
+	w.node(v.Query)
+	w.node(v.Best)
+	w.f64(v.Weight)
+	w.count(len(v.Ranked))
+	for _, a := range v.Ranked {
+		w.node(a)
+	}
+	return w.b
+}
+
+// DecodeVote parses an EncodeVote payload. The returned vote is
+// structurally decoded but not semantically validated; callers replaying
+// it run vote.Validate.
+func DecodeVote(p []byte) (vote.Vote, error) {
+	r := buf{p}
+	var v vote.Vote
+	k, err := r.u8()
+	if err != nil {
+		return v, err
+	}
+	v.Kind = vote.Kind(k)
+	if v.Query, err = r.node(); err != nil {
+		return v, err
+	}
+	if v.Best, err = r.node(); err != nil {
+		return v, err
+	}
+	if v.Weight, err = r.f64(); err != nil {
+		return v, err
+	}
+	n, err := r.count(4)
+	if err != nil {
+		return v, err
+	}
+	v.Ranked = make([]graph.NodeID, n)
+	for i := range v.Ranked {
+		if v.Ranked[i], err = r.node(); err != nil {
+			return v, err
+		}
+	}
+	return v, r.done()
+}
+
+// Attach describes one query-node materialization: the question that was
+// attached and the node ID the attachment produced (replay re-attaches
+// and verifies it lands on the same ID).
+type Attach struct {
+	Node     graph.NodeID
+	Question qa.Question
+}
+
+// EncodeAttach serializes an attach payload:
+//
+//	node i32 | qid i64 | nEntities uvarint | (name str, count i64)...
+//
+// Entities are written in sorted-name order so the encoding is
+// deterministic; attachment itself sorts too, so order never matters.
+func EncodeAttach(a Attach) []byte {
+	var w out
+	w.node(a.Node)
+	w.u64(uint64(int64(a.Question.ID)))
+	names := make([]string, 0, len(a.Question.Entities))
+	for name := range a.Question.Entities {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.count(len(names))
+	for _, name := range names {
+		w.str(name)
+		w.u64(uint64(int64(a.Question.Entities[name])))
+	}
+	return w.b
+}
+
+// DecodeAttach parses an EncodeAttach payload.
+func DecodeAttach(p []byte) (Attach, error) {
+	r := buf{p}
+	var a Attach
+	var err error
+	if a.Node, err = r.node(); err != nil {
+		return a, err
+	}
+	qid, err := r.u64()
+	if err != nil {
+		return a, err
+	}
+	a.Question.ID = int(int64(qid))
+	n, err := r.count(2) // at least a 1-byte name length + 1 byte... counts are 8
+	if err != nil {
+		return a, err
+	}
+	a.Question.Entities = make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		name, err := r.str()
+		if err != nil {
+			return a, err
+		}
+		c, err := r.u64()
+		if err != nil {
+			return a, err
+		}
+		if _, dup := a.Question.Entities[name]; dup {
+			return a, fmt.Errorf("%w: duplicate entity %q", ErrBadRecord, name)
+		}
+		a.Question.Entities[name] = int(int64(c))
+	}
+	return a, r.done()
+}
+
+// EncodeWeights serializes a flush's applied weight set:
+//
+//	nEdges uvarint | (from i32, to i32, weight f64)...
+//
+// Weights travel as Float64bits, so replay is bit-exact.
+func EncodeWeights(ws []core.WeightChange) []byte {
+	var w out
+	w.count(len(ws))
+	for _, wc := range ws {
+		w.node(wc.From)
+		w.node(wc.To)
+		w.f64(wc.Weight)
+	}
+	return w.b
+}
+
+// DecodeWeights parses an EncodeWeights payload.
+func DecodeWeights(p []byte) ([]core.WeightChange, error) {
+	r := buf{p}
+	n, err := r.count(16)
+	if err != nil {
+		return nil, err
+	}
+	ws := make([]core.WeightChange, n)
+	for i := range ws {
+		if ws[i].From, err = r.node(); err != nil {
+			return nil, err
+		}
+		if ws[i].To, err = r.node(); err != nil {
+			return nil, err
+		}
+		if ws[i].Weight, err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return ws, r.done()
+}
+
+// EncodeCheckpoint serializes a checkpoint marker: the WAL sequence the
+// checkpoint covers up to (replay resumes from it).
+func EncodeCheckpoint(seq uint64) []byte {
+	var w out
+	w.u64(seq)
+	return w.b
+}
+
+// DecodeCheckpoint parses an EncodeCheckpoint payload.
+func DecodeCheckpoint(p []byte) (uint64, error) {
+	r := buf{p}
+	seq, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return seq, r.done()
+}

@@ -56,6 +56,9 @@ func RestoreAugmented(g *Graph, entities int, queries, answers []NodeID) (*Augme
 		if int(q) < entities || int(q) >= g.NumNodes() {
 			return nil, fmt.Errorf("graph: RestoreAugmented: query node %d out of range", q)
 		}
+		if a.isQuery[q] {
+			return nil, fmt.Errorf("graph: RestoreAugmented: duplicate query node %d", q)
+		}
 		a.Queries = append(a.Queries, q)
 		a.isQuery[q] = true
 	}
@@ -65,6 +68,9 @@ func RestoreAugmented(g *Graph, entities int, queries, answers []NodeID) (*Augme
 		}
 		if a.isQuery[ans] {
 			return nil, fmt.Errorf("graph: RestoreAugmented: node %d is both query and answer", ans)
+		}
+		if a.isAnswer[ans] {
+			return nil, fmt.Errorf("graph: RestoreAugmented: duplicate answer node %d", ans)
 		}
 		a.Answers = append(a.Answers, ans)
 		a.isAnswer[ans] = true

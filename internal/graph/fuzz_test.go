@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON feeds arbitrary bytes to the JSON graph reader. It must
+// never panic, and any graph it accepts must serialize and re-read to the
+// same shape.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"nodes":["a","b"],"edges":[{"f":0,"t":1,"w":0.5}]}`))
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`{"nodes":["x"],"edges":[{"f":0,"t":9,"w":1}]}`))     // dangling edge
+	f.Add([]byte(`{"nodes":["x"],"edges":[{"f":0,"t":0,"w":-1}]}`))    // negative weight
+	f.Add([]byte(`{"nodes":["x"],"edges":[{"f":-5,"t":0,"w":1}]}`))    // negative node
+	f.Add([]byte(`{"nodes":["a","a"],"edges":[]}`))                    // duplicate names
+	f.Add([]byte(`{"nodes":["x"],"edges":[{"f":0,"t":0,"w":1e309}]}`)) // overflow weight
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("serialized graph failed to re-read: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzReadTSV feeds arbitrary text to the TSV edge-list reader: no
+// panics, no unbounded allocations, and accepted graphs re-read cleanly.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("0\t1\t0.5\n1\t2\n# comment\n\n")
+	f.Add("0 1 nan")
+	f.Add("0 1 -3")
+	f.Add("2000000000 1 1") // must be rejected by the node cap, not OOM
+	f.Add("a b c")
+	f.Add("0\t0\t1e308\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadTSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.WriteTSV(&buf); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized graph failed to re-read: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count: %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}

@@ -70,6 +70,11 @@ func (g *Graph) WriteTSV(w io.Writer) error {
 	return bw.Flush()
 }
 
+// maxReadNodes bounds how many nodes ReadTSV will materialize: node IDs
+// are taken from the input, so without a cap a one-line hostile file
+// naming node 2000000000 would demand gigabytes before anything fails.
+const maxReadNodes = 1 << 26
+
 // ReadTSV reads an edge list written by WriteTSV. Nodes are created
 // anonymously up to the largest ID seen. Lines starting with '#' and blank
 // lines are skipped. A missing third column defaults to weight 1.
@@ -109,6 +114,9 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 		max := from
 		if to > max {
 			max = to
+		}
+		if max >= maxReadNodes {
+			return nil, fmt.Errorf("graph: line %d: node ID %d exceeds the %d-node reader limit", lineNo, max, maxReadNodes)
 		}
 		if max >= g.NumNodes() {
 			g.AddNodes(max - g.NumNodes() + 1)

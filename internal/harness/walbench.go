@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kgvote/internal/core"
+	"kgvote/internal/durable"
+	"kgvote/internal/qa"
+	"kgvote/internal/synth"
+	"kgvote/internal/wal"
+)
+
+// WalBenchConfig sizes the durability benchmark: the same synthetic
+// ask+vote stream is driven through the serving write path once without a
+// WAL (baseline) and once per fsync policy, so the quoted overhead is the
+// durability layer and nothing else.
+type WalBenchConfig struct {
+	Docs  int   // corpus documents; default 120
+	Votes int   // ask+vote rounds per pass; default 150
+	Batch int   // votes per optimization batch; default 10
+	Seed  int64 // default 1
+	K     int   // top-K; default 10
+	L     int   // walk-length bound; default 4
+}
+
+func (c WalBenchConfig) withDefaults() WalBenchConfig {
+	if c.Docs == 0 {
+		c.Docs = 120
+	}
+	if c.Votes == 0 {
+		c.Votes = 150
+	}
+	if c.Batch == 0 {
+		c.Batch = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.L == 0 {
+		c.L = 4
+	}
+	return c
+}
+
+// WalPolicyResult is one pass of the vote loop under one fsync policy.
+type WalPolicyResult struct {
+	Policy      string  `json:"policy"` // "none" = durability disabled
+	VotesPerSec float64 `json:"votes_per_sec"`
+	// Overhead is baseline time / this policy's time for the same stream
+	// (1.0 = free, 2.0 = votes take twice as long).
+	Overhead float64 `json:"overhead"`
+	Syncs    int64   `json:"syncs"`
+	WalBytes int64   `json:"wal_bytes"`
+}
+
+// WalResult is the JSON-serializable outcome of WalBench.
+type WalResult struct {
+	Docs     int               `json:"docs"`
+	Votes    int               `json:"votes"`
+	Batch    int               `json:"batch"`
+	Policies []WalPolicyResult `json:"policies"`
+}
+
+// String renders a one-screen summary.
+func (r WalResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "wal bench: %d docs, %d votes, batch %d\n", r.Docs, r.Votes, r.Batch)
+	for _, p := range r.Policies {
+		fmt.Fprintf(&sb, "  %-8s %10.1f votes/s   %5.2fx overhead   %5d syncs   %7d wal bytes\n",
+			p.Policy, p.VotesPerSec, p.Overhead, p.Syncs, p.WalBytes)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// WalBench measures the write-path cost of each WAL fsync policy against a
+// durability-free baseline on an identical vote stream.
+func WalBench(cfg WalBenchConfig) (WalResult, error) {
+	cfg = cfg.withDefaults()
+	corpus, err := synth.GenerateCorpus(synth.CorpusConfig{Docs: cfg.Docs, Seed: cfg.Seed})
+	if err != nil {
+		return WalResult{}, err
+	}
+	questions, err := synth.GenerateQuestions(corpus, synth.QuestionConfig{N: cfg.Votes, Seed: cfg.Seed + 1})
+	if err != nil {
+		return WalResult{}, err
+	}
+	res := WalResult{Docs: cfg.Docs, Votes: cfg.Votes, Batch: cfg.Batch}
+
+	passes := []struct {
+		name    string
+		durable bool
+		policy  wal.SyncPolicy
+	}{
+		{"none", false, wal.SyncNever},
+		{"never", true, wal.SyncNever},
+		{"interval", true, wal.SyncInterval},
+		{"always", true, wal.SyncAlways},
+	}
+	var baseline time.Duration
+	for _, pass := range passes {
+		elapsed, syncs, bytes, err := walBenchPass(corpus, questions, cfg, pass.durable, pass.policy)
+		if err != nil {
+			return WalResult{}, fmt.Errorf("pass %s: %w", pass.name, err)
+		}
+		if !pass.durable {
+			baseline = elapsed
+		}
+		pr := WalPolicyResult{
+			Policy:      pass.name,
+			VotesPerSec: float64(cfg.Votes) / elapsed.Seconds(),
+			Syncs:       syncs,
+			WalBytes:    bytes,
+		}
+		if baseline > 0 {
+			pr.Overhead = elapsed.Seconds() / baseline.Seconds()
+		}
+		res.Policies = append(res.Policies, pr)
+	}
+	return res, nil
+}
+
+// walBenchPass builds a fresh system over the shared corpus and drives the
+// full serving write path — attach, log, push, flush log, commit — for
+// every question, exactly as the server's /vote handler does.
+func walBenchPass(corpus *qa.Corpus, questions []qa.Question, cfg WalBenchConfig, useWal bool, policy wal.SyncPolicy) (time.Duration, int64, int64, error) {
+	opt := core.Options{K: cfg.K, L: cfg.L}
+	sys, err := qa.Build(corpus, opt)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	stream, err := sys.Engine.NewStream(cfg.Batch, core.StreamMulti)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var mgr *durable.Manager
+	if useWal {
+		dir, err := os.MkdirTemp("", "kgvote-walbench-*")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		mgr, err = durable.Open(durable.Options{Dir: dir, Fsync: policy, Engine: opt})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer mgr.Close()
+		if err := mgr.Bootstrap(sys); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	start := time.Now()
+	for i, q := range questions {
+		qn, ranked, err := sys.Ask(q)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("ask %d: %w", i, err)
+		}
+		if mgr != nil {
+			if err := mgr.LogAttach(durable.Attach{Node: qn, Question: q}); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		best := sys.DocOf(ranked[i%len(ranked)])
+		v, err := sys.VoteBest(qn, ranked, best)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("vote %d: %w", i, err)
+		}
+		if mgr != nil {
+			if err := mgr.LogVote(v); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		rep, err := stream.Push(v)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("push %d: %w", i, err)
+		}
+		if mgr != nil {
+			if rep != nil {
+				if err := mgr.LogFlush(rep.Applied); err != nil {
+					return 0, 0, 0, err
+				}
+			}
+			if err := mgr.Commit(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if mgr != nil {
+		st := mgr.Stats()
+		return elapsed, st.Wal.Syncs, st.Wal.Bytes, nil
+	}
+	return elapsed, 0, 0, nil
+}

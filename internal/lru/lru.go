@@ -11,10 +11,11 @@ import (
 // Cache is a bounded LRU map safe for concurrent use. A capacity below 1
 // disables the cache: Get always misses and Add is a no-op.
 type Cache[K comparable, V any] struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[K]*list.Element
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	m         map[K]*list.Element
+	evictions int64
 }
 
 type entry[K comparable, V any] struct {
@@ -65,8 +66,22 @@ func (c *Cache[K, V]) Add(k K, v V) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*entry[K, V]).k)
+		c.evictions++
 	}
 	c.m[k] = c.ll.PushFront(&entry[K, V]{k: k, v: v})
+}
+
+// Evictions returns how many entries have been evicted to make room for
+// new ones (capacity pressure, not explicit replacement). The server
+// surfaces it for the pending-query table, where an eviction means a
+// still-outstanding query handle silently became un-votable.
+func (c *Cache[K, V]) Evictions() int64 {
+	if c == nil || c.cap < 1 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Len returns the number of cached entries.

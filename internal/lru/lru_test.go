@@ -70,3 +70,33 @@ func TestConcurrent(t *testing.T) {
 		t.Errorf("len %d exceeds capacity", c.Len())
 	}
 }
+
+func TestEvictions(t *testing.T) {
+	c := New[int, int](2)
+	if c.Evictions() != 0 {
+		t.Fatalf("fresh cache evictions = %d", c.Evictions())
+	}
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(1, 10) // refresh, not an eviction
+	if c.Evictions() != 0 {
+		t.Fatalf("evictions after refresh = %d, want 0", c.Evictions())
+	}
+	c.Add(3, 3) // evicts 2 (1 was refreshed more recently)
+	c.Add(4, 4) // evicts 1
+	if c.Evictions() != 2 {
+		t.Fatalf("evictions = %d, want 2", c.Evictions())
+	}
+	if _, ok := c.Get(2); ok {
+		t.Error("evicted key 2 still present")
+	}
+	var nilCache *Cache[int, int]
+	if nilCache.Evictions() != 0 {
+		t.Error("nil cache reports evictions")
+	}
+	disabled := New[int, int](0)
+	disabled.Add(1, 1)
+	if disabled.Evictions() != 0 {
+		t.Error("disabled cache reports evictions")
+	}
+}

@@ -91,9 +91,18 @@ func Load(r io.Reader, opt core.Options) (*System, error) {
 		s.vocab[e] = true
 		s.entityID[e] = id
 	}
+	if state.NextQuery < 0 {
+		return nil, fmt.Errorf("qa: load: negative next_query %d", state.NextQuery)
+	}
 	for doc, ans := range state.DocAnswer {
+		if _, ok := s.docTitle[doc]; !ok {
+			return nil, fmt.Errorf("qa: load: answer mapping for unknown document %d", doc)
+		}
 		if !aug.IsAnswer(ans) {
 			return nil, fmt.Errorf("qa: load: document %d maps to non-answer node %d", doc, ans)
+		}
+		if other, dup := s.answerDoc[ans]; dup {
+			return nil, fmt.Errorf("qa: load: documents %d and %d both map to answer node %d", other, doc, ans)
 		}
 		s.answerDoc[ans] = doc
 	}

@@ -2,6 +2,7 @@ package qa
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -94,5 +95,117 @@ func TestLoadErrors(t *testing.T) {
 	corrupted := strings.Replace(buf.String(), `"email"`, `"notanentity"`, 1)
 	if _, err := Load(strings.NewReader(corrupted), core.Options{K: 3}); err == nil {
 		t.Errorf("corrupted state should fail to load")
+	}
+}
+
+// TestLoadHostileStates mutates a valid saved state field by field and
+// requires Load to reject every variant with an error — never a panic and
+// never a silently inconsistent system.
+func TestLoadHostileStates(t *testing.T) {
+	sys, err := Build(smallCorpus(), core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach a query so the queries list is non-empty.
+	if _, _, err := sys.Ask(Question{ID: 1, Entities: map[string]int{"email": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+
+	mutate := func(t *testing.T, f func(state map[string]any)) []byte {
+		t.Helper()
+		var state map[string]any
+		if err := json.Unmarshal(base, &state); err != nil {
+			t.Fatal(err)
+		}
+		f(state)
+		b, err := json.Marshal(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	numNodes := sys.Aug.NumNodes()
+
+	cases := []struct {
+		name string
+		f    func(state map[string]any)
+	}{
+		{"query node out of bounds", func(s map[string]any) {
+			s["queries"] = []int{numNodes + 7}
+		}},
+		{"query node below entities", func(s map[string]any) {
+			s["queries"] = []int{0}
+		}},
+		{"duplicate query node", func(s map[string]any) {
+			q := s["queries"].([]any)[0]
+			s["queries"] = []any{q, q}
+		}},
+		{"duplicate answer node", func(s map[string]any) {
+			a := s["answers"].([]any)[0]
+			s["answers"] = []any{a, a}
+		}},
+		{"answer also a query", func(s map[string]any) {
+			s["answers"] = append(s["answers"].([]any), s["queries"].([]any)[0])
+		}},
+		{"entities exceed node count", func(s map[string]any) {
+			s["entities"] = numNodes + 1
+		}},
+		{"negative entities", func(s map[string]any) {
+			s["entities"] = -1
+		}},
+		{"doc mapped to query node", func(s map[string]any) {
+			da := s["doc_answer"].(map[string]any)
+			for k := range da {
+				da[k] = s["queries"].([]any)[0]
+				break
+			}
+		}},
+		{"two docs share an answer node", func(s map[string]any) {
+			da := s["doc_answer"].(map[string]any)
+			var first any
+			for _, v := range da {
+				first = v
+				break
+			}
+			for k := range da {
+				da[k] = first
+			}
+		}},
+		{"answer mapping for unknown doc", func(s map[string]any) {
+			da := s["doc_answer"].(map[string]any)
+			var first any
+			for _, v := range da {
+				first = v
+				break
+			}
+			da["9999"] = first
+		}},
+		{"missing doc mapping", func(s map[string]any) {
+			da := s["doc_answer"].(map[string]any)
+			for k := range da {
+				delete(da, k)
+				break
+			}
+		}},
+		{"negative next_query", func(s map[string]any) {
+			s["next_query"] = -3
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := mutate(t, tc.f)
+			if _, err := Load(bytes.NewReader(b), core.Options{K: 3}); err == nil {
+				t.Errorf("hostile state (%s) loaded without error", tc.name)
+			}
+		})
+	}
+	// The unmutated state still loads, proving the harness itself is sound.
+	if _, err := Load(bytes.NewReader(base), core.Options{K: 3}); err != nil {
+		t.Fatalf("baseline state failed to load: %v", err)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"kgvote/internal/core"
+	"kgvote/internal/durable"
 	"kgvote/internal/graph"
 	"kgvote/internal/lru"
 	"kgvote/internal/qa"
@@ -44,14 +45,43 @@ type pendingQuery struct {
 	node graph.NodeID
 }
 
+// Options configures a Server beyond the system itself.
+type Options struct {
+	// BatchSize is the number of votes per optimization batch (1 =
+	// optimize on every vote).
+	BatchSize int
+	// Solver selects the per-batch solving mode.
+	Solver core.StreamSolver
+	// Durable, when non-nil, is the durability layer: accepted votes are
+	// logged to its WAL before entering the stream, flushes log their
+	// applied weight sets, and checkpoints run through it. The manager
+	// must already be Recovered or Bootstrapped for the same system.
+	Durable *durable.Manager
+	// Recovered carries crash-recovered stream state to restore (pending
+	// votes and counters); nil for a fresh boot.
+	Recovered *durable.Recovered
+	// CheckpointEvery checkpoints after every N completed flushes
+	// (0 = never automatically; POST /checkpoint and shutdown still work).
+	CheckpointEvery int
+	// PendingCap bounds the asked-but-not-voted handle table
+	// (0 = the 2^16 default; used by tests to force evictions).
+	PendingCap int
+}
+
 // Server wires a qa.System and a vote stream into an http.Handler.
 type Server struct {
 	// mu is the single-writer lock: it guards the mutable graph (query
-	// attachment, batch solves) and the vote stream. Read handlers never
-	// acquire it.
+	// attachment, batch solves), the vote stream, and the durability log.
+	// Read handlers never acquire it.
 	mu     sync.Mutex
 	sys    *qa.System
 	stream *core.Stream
+	dur    *durable.Manager
+
+	// checkpointEvery/flushesSinceCkpt drive automatic checkpoints; both
+	// are touched under mu only.
+	checkpointEvery  int
+	flushesSinceCkpt int
 
 	pending    *lru.Cache[graph.NodeID, *pendingQuery]
 	nextHandle atomic.Int32 // decrements; first handle is -2 (None is -1)
@@ -65,16 +95,36 @@ type Server struct {
 // New returns a server over the system whose votes flush every batchSize
 // votes (1 = optimize on every vote).
 func New(sys *qa.System, batchSize int, solver core.StreamSolver) (*Server, error) {
-	st, err := sys.Engine.NewStream(batchSize, solver)
+	return NewWithOptions(sys, Options{BatchSize: batchSize, Solver: solver})
+}
+
+// NewWithOptions returns a server over the system, optionally wired to a
+// durability manager and primed with crash-recovered stream state.
+func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
+	st, err := sys.Engine.NewStream(o.BatchSize, o.Solver)
 	if err != nil {
 		return nil, err
 	}
+	if o.Recovered != nil {
+		if err := st.Restore(o.Recovered.Pending, o.Recovered.TotalVotes, o.Recovered.Flushes); err != nil {
+			return nil, err
+		}
+	}
+	cap := o.PendingCap
+	if cap == 0 {
+		cap = pendingQueryCap
+	}
 	s := &Server{
-		sys:     sys,
-		stream:  st,
-		pending: lru.New[graph.NodeID, *pendingQuery](pendingQueryCap),
+		sys:             sys,
+		stream:          st,
+		dur:             o.Durable,
+		checkpointEvery: o.CheckpointEvery,
+		pending:         lru.New[graph.NodeID, *pendingQuery](cap),
 	}
 	s.nextHandle.Store(int32(graph.None))
+	s.votesAccepted.Store(int64(st.TotalVotes))
+	s.votesPending.Store(int64(st.Pending()))
+	s.flushes.Store(int64(st.Flushes))
 	return s, nil
 }
 
@@ -86,6 +136,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ask", s.handleAsk)
 	mux.HandleFunc("POST /vote", s.handleVote)
 	mux.HandleFunc("POST /flush", s.handleFlush)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	return mux
 }
@@ -108,28 +159,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// StatsBody is the /stats response.
+// StatsBody is the /stats response. Durability is present only when the
+// daemon runs with a data directory.
 type StatsBody struct {
-	Entities      int    `json:"entities"`
-	Edges         int    `json:"edges"`
-	Documents     int    `json:"documents"`
-	VotesAccepted int    `json:"votes_accepted"`
-	VotesPending  int    `json:"votes_pending"`
-	Flushes       int    `json:"flushes"`
-	Epoch         uint64 `json:"epoch"`
+	Entities       int            `json:"entities"`
+	Edges          int            `json:"edges"`
+	Documents      int            `json:"documents"`
+	VotesAccepted  int            `json:"votes_accepted"`
+	VotesPending   int            `json:"votes_pending"`
+	Flushes        int            `json:"flushes"`
+	Epoch          uint64         `json:"epoch"`
+	PendingEvicted int64          `json:"pending_evicted"`
+	Durability     *durable.Stats `json:"durability,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.sys.Engine.Serving()
-	writeJSON(w, http.StatusOK, StatsBody{
-		Entities:      s.sys.Aug.Entities,
-		Edges:         snap.NumEdges(),
-		Documents:     len(s.sys.Answers()),
-		VotesAccepted: int(s.votesAccepted.Load()),
-		VotesPending:  int(s.votesPending.Load()),
-		Flushes:       int(s.flushes.Load()),
-		Epoch:         snap.Epoch(),
-	})
+	body := StatsBody{
+		Entities:       s.sys.Aug.Entities,
+		Edges:          snap.NumEdges(),
+		Documents:      len(s.sys.Answers()),
+		VotesAccepted:  int(s.votesAccepted.Load()),
+		VotesPending:   int(s.votesPending.Load()),
+		Flushes:        int(s.flushes.Load()),
+		Epoch:          snap.Epoch(),
+		PendingEvicted: s.pending.Evictions(),
+	}
+	if s.dur != nil {
+		ds := s.dur.Stats()
+		body.Durability = &ds
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // AskRequest is the /ask request body. Either Text (entity extraction) or
@@ -206,6 +266,15 @@ func (s *Server) queryNode(ref graph.NodeID) (graph.NodeID, error) {
 			return graph.None, err
 		}
 		pq.node = qn
+		// Log the attachment the moment it happens so every later vote
+		// record references a node the WAL can reproduce. A log failure
+		// poisons the manager (the in-memory graph now has a node the log
+		// does not), so subsequent votes are rejected until restart.
+		if s.dur != nil {
+			if err := s.dur.LogAttach(durable.Attach{Node: qn, Question: pq.q}); err != nil {
+				return graph.None, err
+			}
+		}
 	}
 	return pq.node, nil
 }
@@ -264,19 +333,96 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "vote: %v", err)
 		return
 	}
+	// WAL-first: the vote is logged before it enters the stream, so a crash
+	// after this point replays it.
+	if s.dur != nil {
+		if err := s.dur.LogVote(v); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
+			return
+		}
+	}
 	rep, err := s.stream.Push(v)
 	if err != nil {
+		if s.dur != nil {
+			// The vote is in the log but not in the stream: memory and disk
+			// disagree. Poison the log so recovery — which replays the vote —
+			// is the only path forward.
+			s.dur.Fail()
+			writeErr(w, http.StatusInternalServerError, "optimize failed after the vote was logged; durability halted, restart to recover: %v", err)
+			return
+		}
 		writeErr(w, http.StatusUnprocessableEntity, "optimize: %v", err)
 		return
+	}
+	if s.dur != nil {
+		if rep != nil {
+			if err := s.dur.LogFlush(rep.Applied); err != nil {
+				writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
+				return
+			}
+		}
+		if err := s.dur.Commit(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
+			return
+		}
 	}
 	s.votesAccepted.Add(1)
 	s.votesPending.Store(int64(s.stream.Pending()))
 	s.flushes.Store(int64(s.stream.Flushes))
+	if rep != nil {
+		if err := s.afterFlushLocked(); err != nil {
+			writeErr(w, http.StatusInternalServerError, "vote applied but checkpoint failed: %v", err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, VoteResponse{
 		Kind:    v.Kind.String(),
 		Pending: s.stream.Pending(),
 		Flushed: rep != nil,
 		Report:  rep,
+	})
+}
+
+// afterFlushLocked runs the periodic checkpoint policy after a completed
+// flush. The caller must hold s.mu.
+func (s *Server) afterFlushLocked() error {
+	if s.dur == nil || s.checkpointEvery <= 0 {
+		return nil
+	}
+	s.flushesSinceCkpt++
+	if s.flushesSinceCkpt < s.checkpointEvery {
+		return nil
+	}
+	s.flushesSinceCkpt = 0
+	return s.dur.Checkpoint(s.sys, s.stream.TotalVotes, s.stream.Flushes)
+}
+
+// Checkpoint persists a full-state checkpoint now, independent of the
+// periodic policy. It backs POST /checkpoint and graceful shutdown.
+func (s *Server) Checkpoint() error {
+	if s.dur == nil {
+		return fmt.Errorf("no durability layer configured")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushesSinceCkpt = 0
+	return s.dur.Checkpoint(s.sys, s.stream.TotalVotes, s.stream.Flushes)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.dur == nil {
+		writeErr(w, http.StatusNotImplemented, "checkpoint: daemon is running without a data directory")
+		return
+	}
+	if err := s.Checkpoint(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	ds := s.dur.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpoints":  ds.Checkpoints,
+		"wal_seq":      ds.LastCheckpointSeq,
+		"wal_segments": ds.Wal.Segments,
 	})
 }
 
@@ -288,8 +434,24 @@ func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "flush: %v", err)
 		return
 	}
+	if s.dur != nil && rep != nil {
+		if err := s.dur.LogFlush(rep.Applied); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
+			return
+		}
+		if err := s.dur.Commit(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
+			return
+		}
+	}
 	s.votesPending.Store(int64(s.stream.Pending()))
 	s.flushes.Store(int64(s.stream.Flushes))
+	if rep != nil {
+		if err := s.afterFlushLocked(); err != nil {
+			writeErr(w, http.StatusInternalServerError, "flush applied but checkpoint failed: %v", err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, VoteResponse{Pending: s.stream.Pending(), Flushed: rep != nil, Report: rep})
 }
 

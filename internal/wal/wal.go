@@ -1,0 +1,526 @@
+// Package wal implements the segmented append-only write-ahead log
+// underneath the serving daemon's durability layer (DESIGN.md §9). Each
+// record is framed as
+//
+//	[payload length: uint32 LE] [CRC32C: uint32 LE] [type: 1 byte] [payload]
+//
+// where the checksum (Castagnoli polynomial) covers the type byte and the
+// payload. Records are numbered by a monotonically increasing sequence
+// starting at 1 and are grouped into segment files named
+// "<first-seq, 20 digits>.wal"; a segment is rotated once it crosses the
+// configured size threshold, so obsolete history can be reclaimed by
+// deleting whole files (TruncateBefore).
+//
+// Crash safety: a crash can leave a partially written record at the tail
+// of the newest segment. Open detects any framing violation there — short
+// header, short payload, checksum mismatch, absurd length — and truncates
+// the file back to the last whole record instead of failing recovery. The
+// same violation in an older (rotated, fsynced) segment is real
+// corruption and is reported as an error.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when appended records are fsynced to disk.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs on every Commit — no acknowledged write is ever
+	// lost, at the cost of one fsync per commit.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval flushes on every Commit but fsyncs at most once per
+	// configured interval; a crash loses at most the last interval.
+	SyncInterval
+	// SyncNever flushes to the OS on Commit and never fsyncs; a process
+	// crash loses nothing, a machine crash may lose anything unflushed by
+	// the kernel.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (always, interval, never)", s)
+}
+
+const (
+	headerSize = 9 // uint32 length + uint32 crc + 1 type byte
+	// MaxRecordSize bounds a single record's payload; a decoded length
+	// beyond it is treated as corruption, never as an allocation request.
+	MaxRecordSize = 16 << 20
+
+	// DefaultSegmentBytes is the rotation threshold when Options leaves it
+	// zero.
+	DefaultSegmentBytes = 8 << 20
+
+	segSuffix = ".wal"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the segment directory; created if missing.
+	Dir string
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+	// Sync selects the fsync policy applied by Commit.
+	Sync SyncPolicy
+	// SyncEvery is the maximum fsync staleness under SyncInterval
+	// (0 = 100ms).
+	SyncEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Stats is a point-in-time summary of the log, surfaced by /stats.
+type Stats struct {
+	Segments      int    `json:"segments"`
+	Records       uint64 `json:"records"` // total appended over the log's lifetime
+	Bytes         int64  `json:"bytes"`   // live bytes across current segments
+	Syncs         int64  `json:"syncs"`
+	TornTruncated int64  `json:"torn_truncated"` // partial tail records dropped at open
+}
+
+// segment is one on-disk file of consecutive records.
+type segment struct {
+	firstSeq uint64
+	path     string
+	size     int64
+}
+
+// Log is a segmented write-ahead log. All methods are safe for concurrent
+// use, though the intended caller is the server's single writer.
+type Log struct {
+	opt Options
+
+	mu       sync.Mutex
+	segments []segment // sorted by firstSeq; last one is active
+	f        *os.File  // active segment
+	w        *bufio.Writer
+	size     int64  // active segment size including buffered bytes
+	nextSeq  uint64 // sequence the next Append will get
+	lastSync time.Time
+	syncs    int64
+	torn     int64
+	closed   bool
+}
+
+// Open opens (creating if necessary) the log in opts.Dir, scanning
+// existing segments, repairing a torn tail, and positioning for append.
+func Open(opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("wal: empty directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{opt: opts, nextSeq: 1}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func segPath(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", firstSeq, segSuffix))
+}
+
+// scan lists segment files, validates every record, truncates a torn tail
+// on the last segment, and computes nextSeq.
+func (l *Log) scan() error {
+	entries, err := os.ReadDir(l.opt.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != segSuffix {
+			continue
+		}
+		var first uint64
+		if _, err := fmt.Sscanf(name, "%020d"+segSuffix, &first); err != nil {
+			return fmt.Errorf("wal: unrecognized segment file %q", name)
+		}
+		segs = append(segs, segment{firstSeq: first, path: filepath.Join(l.opt.Dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	counts := make([]uint64, len(segs))
+	for i, s := range segs {
+		last := i == len(segs)-1
+		n, validSize, err := countRecords(s.path)
+		if err != nil {
+			if !last {
+				return fmt.Errorf("wal: segment %s: %w", filepath.Base(s.path), err)
+			}
+			// Torn tail on the newest segment: drop the partial record.
+			if terr := os.Truncate(s.path, validSize); terr != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(s.path), terr)
+			}
+			l.torn++
+		}
+		segs[i].size = validSize
+		counts[i] = uint64(n)
+		if last {
+			l.nextSeq = s.firstSeq + uint64(n)
+		}
+	}
+	// Continuity: each segment must start where the previous ended, so a
+	// missing middle segment is detected rather than silently skipped
+	// during replay.
+	for i := 1; i < len(segs); i++ {
+		if want := segs[i-1].firstSeq + counts[i-1]; segs[i].firstSeq != want {
+			return fmt.Errorf("wal: gap between segments: %s ends at seq %d but %s starts at %d",
+				filepath.Base(segs[i-1].path), want-1, filepath.Base(segs[i].path), segs[i].firstSeq)
+		}
+	}
+	l.segments = segs
+	return nil
+}
+
+// openActive opens the newest segment for append, creating the first
+// segment of an empty log.
+func (l *Log) openActive() error {
+	if len(l.segments) == 0 {
+		l.segments = append(l.segments, segment{firstSeq: l.nextSeq, path: segPath(l.opt.Dir, l.nextSeq)})
+	}
+	active := &l.segments[len(l.segments)-1]
+	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.size = st.Size()
+	active.size = st.Size()
+	return nil
+}
+
+// Append frames and buffers one record, returning its sequence number.
+// Durability is governed by Commit/Sync, not Append.
+func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordSize {
+		return 0, fmt.Errorf("wal: record payload %d bytes exceeds max %d", len(payload), MaxRecordSize)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log is closed")
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, []byte{typ})
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	hdr[8] = typ
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	l.size += int64(headerSize + len(payload))
+	l.segments[len(l.segments)-1].size = l.size
+	if l.size >= l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// rotateLocked seals the active segment (flush + fsync + close) and opens
+// a fresh one starting at nextSeq. Sealed segments are immutable, which is
+// what lets scan treat their corruption as fatal.
+func (l *Log) rotateLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	l.syncs++
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	l.segments = append(l.segments, segment{firstSeq: l.nextSeq, path: segPath(l.opt.Dir, l.nextSeq)})
+	return l.openActive()
+}
+
+// Commit makes everything appended so far durable according to the
+// configured policy. Servers call it once per request, after the last
+// Append of the commit unit, before acknowledging the client.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: commit: %w", err)
+	}
+	switch l.opt.Sync {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opt.SyncEvery {
+			return l.syncLocked()
+		}
+	case SyncNever:
+	}
+	return nil
+}
+
+// Sync forces a flush + fsync regardless of policy (checkpoints use it).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.syncs++
+	l.lastSync = time.Now()
+	return nil
+}
+
+// NextSeq returns the sequence number the next Append will be assigned.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Replay streams every durable record with sequence >= from, in order,
+// to fn. It reads from disk, so callers should Sync first if they need
+// buffered appends included; recovery replays before any append, where
+// this cannot arise.
+func (l *Log) Replay(from uint64, fn func(seq uint64, typ byte, payload []byte) error) error {
+	l.mu.Lock()
+	if !l.closed {
+		if err := l.w.Flush(); err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+	}
+	segs := make([]segment, len(l.segments))
+	copy(segs, l.segments)
+	l.mu.Unlock()
+
+	for _, s := range segs {
+		if err := replaySegment(s, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(s segment, from uint64, fn func(uint64, byte, []byte) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // truncated concurrently
+		}
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(io.LimitReader(f, s.size), 1<<16)
+	seq := s.firstSeq
+	for {
+		typ, payload, err := ReadRecord(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("wal: replay %s seq %d: %w", filepath.Base(s.path), seq, err)
+		}
+		if seq >= from {
+			if err := fn(seq, typ, payload); err != nil {
+				return err
+			}
+		}
+		seq++
+	}
+}
+
+// TruncateBefore deletes every sealed segment whose records all have
+// sequence < seq. The segment containing seq (and the active segment) are
+// kept, so the log always remains replayable from seq.
+func (l *Log) TruncateBefore(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.segments[:0]
+	for i, s := range l.segments {
+		// A segment is deletable when the next segment starts at or below
+		// seq (so every record here is < seq) and it is not the active one.
+		if i+1 < len(l.segments) && l.segments[i+1].firstSeq <= seq {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segments = append([]segment(nil), kept...)
+	return nil
+}
+
+// Stats snapshots the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var bytes int64
+	for _, s := range l.segments {
+		bytes += s.size
+	}
+	return Stats{
+		Segments:      len(l.segments),
+		Records:       l.nextSeq - 1,
+		Bytes:         bytes,
+		Syncs:         l.syncs,
+		TornTruncated: l.torn,
+	}
+}
+
+// Close flushes, fsyncs, and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return l.f.Close()
+}
+
+// ReadRecord decodes one framed record from r. It returns io.EOF at a
+// clean record boundary and ErrPartialRecord (wrapped) for any framing
+// violation — short header, short payload, oversized length, or checksum
+// mismatch. It never panics on arbitrary input.
+func ReadRecord(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrPartialRecord, err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrPartialRecord, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxRecordSize {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds max %d", ErrPartialRecord, n, MaxRecordSize)
+	}
+	crcWant := binary.LittleEndian.Uint32(hdr[4:8])
+	typ = hdr[8]
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: payload: %v", ErrPartialRecord, err)
+	}
+	crc := crc32.Update(0, castagnoli, []byte{typ})
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != crcWant {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch (want %08x, got %08x)", ErrPartialRecord, crcWant, crc)
+	}
+	return typ, payload, nil
+}
+
+// ErrPartialRecord marks a framing violation: a record that is torn,
+// truncated, or corrupted.
+var ErrPartialRecord = errors.New("wal: partial or corrupt record")
+
+// countRecords validates a segment file record by record, returning the
+// record count and the byte offset of the end of the last whole record.
+// A framing violation is returned as an error with validSize still set,
+// so the caller can truncate a torn tail.
+func countRecords(path string) (n int, validSize int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		typ, payload, rerr := ReadRecord(r)
+		_ = typ
+		if rerr == io.EOF {
+			return n, validSize, nil
+		}
+		if rerr != nil {
+			return n, validSize, rerr
+		}
+		n++
+		validSize += int64(headerSize + len(payload))
+	}
+}

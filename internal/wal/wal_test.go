@@ -1,0 +1,330 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collect replays the whole log into (seq, typ, payload) tuples.
+func collect(t *testing.T, l *Log, from uint64) (seqs []uint64, typs []byte, payloads [][]byte) {
+	t.Helper()
+	err := l.Replay(from, func(seq uint64, typ byte, payload []byte) error {
+		seqs = append(seqs, seq)
+		typs = append(typs, typ)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		seq, err := l.Append(byte(i%5), []byte(fmt.Sprintf("payload-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, typs, payloads := collect(t, l, 1)
+	if len(seqs) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(seqs))
+	}
+	for i := range seqs {
+		if seqs[i] != uint64(i+1) || typs[i] != byte(i%5) || string(payloads[i]) != fmt.Sprintf("payload-%03d", i) {
+			t.Fatalf("record %d mismatch: seq=%d typ=%d payload=%q", i, seqs[i], typs[i], payloads[i])
+		}
+	}
+	// Replay from the middle.
+	seqs, _, _ = collect(t, l, 51)
+	if len(seqs) != 50 || seqs[0] != 51 {
+		t.Fatalf("partial replay: %d records from %d", len(seqs), seqs[0])
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify persistence.
+	l2, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.NextSeq(); got != 101 {
+		t.Fatalf("reopened NextSeq = %d, want 101", got)
+	}
+	seqs, _, _ = collect(t, l2, 1)
+	if len(seqs) != 100 {
+		t.Fatalf("reopened replay: %d records", len(seqs))
+	}
+}
+
+func TestSegmentRotationAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append(1, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("segments = %d, want >= 3 after rotation", st.Segments)
+	}
+	seqs, _, _ := collect(t, l, 1)
+	if len(seqs) != 40 {
+		t.Fatalf("replay across segments: %d records", len(seqs))
+	}
+
+	// Truncating before seq 20 must keep everything >= 20 replayable.
+	if err := l.TruncateBefore(20); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _, _ = collect(t, l, 20)
+	if len(seqs) != 21 || seqs[0] != 20 || seqs[len(seqs)-1] != 40 {
+		t.Fatalf("post-truncate replay: got %d records [%d..%d]", len(seqs), seqs[0], seqs[len(seqs)-1])
+	}
+	if got := l.Stats().Segments; got >= st.Segments {
+		t.Fatalf("truncate deleted nothing: %d segments", got)
+	}
+	l.Close()
+
+	// Reopen after truncation: replay still works, nextSeq preserved.
+	l2, err := Open(Options{Dir: dir, Sync: SyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.NextSeq(); got != 41 {
+		t.Fatalf("NextSeq = %d, want 41", got)
+	}
+}
+
+// tailSegment returns the path of the newest segment file.
+func tailSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	return matches[len(matches)-1]
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(7, []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-write: chop the last record in half.
+	path := tailSegment(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.Stats().TornTruncated; got != 1 {
+		t.Errorf("TornTruncated = %d, want 1", got)
+	}
+	seqs, _, payloads := collect(t, l2, 1)
+	if len(seqs) != 9 {
+		t.Fatalf("replay after torn tail: %d records, want 9", len(seqs))
+	}
+	if string(payloads[8]) != "rec-8" {
+		t.Errorf("last surviving record = %q", payloads[8])
+	}
+	// The next append must reuse the torn record's sequence number.
+	seq, err := l2.Append(7, []byte("rec-9b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 10 {
+		t.Errorf("append after truncation got seq %d, want 10", seq)
+	}
+}
+
+func TestCorruptSealedSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncNever, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("y"), 64)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(1, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs at least two segments")
+	}
+	l.Close()
+
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	b, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff // flip a bit inside a sealed segment
+	if err := os.WriteFile(matches[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Sync: SyncNever, SegmentBytes: 128}); err == nil {
+		t.Fatal("corrupt sealed segment must fail open, not be truncated")
+	}
+}
+
+func TestChecksumCatchesBitFlipInTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(3, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(3, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	path := tailSegment(t, dir)
+	b, _ := os.ReadFile(path)
+	b[len(b)-2] ^= 0x01 // corrupt the final record's payload
+	os.WriteFile(path, b, 0o644)
+
+	l2, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l2.Close()
+	seqs, _, payloads := collect(t, l2, 1)
+	if len(seqs) != 1 || string(payloads[0]) != "hello world" {
+		t.Fatalf("corrupted tail record not dropped: %d records", len(seqs))
+	}
+}
+
+func TestSyncPolicyParsing(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"always", SyncAlways, true},
+		{"interval", SyncInterval, true},
+		{"never", SyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if SyncAlways.String() != "always" || SyncInterval.String() != "interval" || SyncNever.String() != "never" {
+		t.Error("SyncPolicy.String mismatch")
+	}
+}
+
+func TestCommitSyncCounters(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(1, []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Stats().Syncs; got != 3 {
+		t.Errorf("SyncAlways: %d syncs after 3 commits, want 3", got)
+	}
+
+	l2, err := Open(Options{Dir: t.TempDir(), Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for i := 0; i < 3; i++ {
+		l2.Append(1, []byte("a"))
+		l2.Commit()
+	}
+	if got := l2.Stats().Syncs; got != 0 {
+		t.Errorf("SyncNever: %d syncs, want 0", got)
+	}
+}
+
+func TestOpenEmptyDirAndAppendAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NextSeq(); got != 1 {
+		t.Fatalf("empty log NextSeq = %d", got)
+	}
+	l.Close()
+	l2, err := Open(Options{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	seq, err := l2.Append(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("first append seq = %d", seq)
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(1, make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversized payload must be rejected")
+	}
+}
