@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet bench bench-serve experiments clean
+.PHONY: all build test short race race-telemetry vet bench bench-serve metrics-smoke experiments clean
 
 all: vet test
 
@@ -16,6 +16,11 @@ short:
 race:
 	$(GO) test -race -short ./...
 
+# Race-check the instrumentation hot paths at full depth: counters and
+# histograms hammered concurrently with scrapes, instrumented handlers.
+race-telemetry:
+	$(GO) test -race ./internal/telemetry/... ./internal/server/...
+
 vet:
 	$(GO) vet ./...
 
@@ -27,6 +32,11 @@ bench:
 bench-serve:
 	$(GO) run ./cmd/benchserve -out BENCH_serve.json
 	$(GO) test -run xxx -bench 'BenchmarkAsk|BenchmarkSnapshotScoring' -benchmem .
+
+# Boot the real daemon, drive traffic, and validate GET /metrics against
+# the strict exposition checker (internal/telemetry/parse.go).
+metrics-smoke:
+	$(GO) test -v -run 'TestMetricsEndToEnd' ./cmd/kgvoted/
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -31,9 +31,10 @@ func main() {
 		out     = flag.String("out", "BENCH_serve.json", "JSON history file to append to (empty = skip)")
 		withWal = flag.Bool("wal", true, "also measure the durable vote path per fsync policy")
 		votes   = flag.Int("votes", 150, "ask+vote rounds per WAL pass")
+		withTel = flag.Bool("telemetry", true, "also measure the Ask-path overhead of a live metrics registry")
 	)
 	flag.Parse()
-	if err := realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal); err != nil {
+	if err := realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal, *withTel); err != nil {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
 		os.Exit(1)
 	}
@@ -41,9 +42,10 @@ func main() {
 
 // benchRun is one timestamped benchmark execution in the history file.
 type benchRun struct {
-	Time  string              `json:"time"`
-	Serve harness.ServeResult `json:"serve"`
-	Wal   *harness.WalResult  `json:"wal,omitempty"`
+	Time      string                   `json:"time"`
+	Serve     harness.ServeResult      `json:"serve"`
+	Wal       *harness.WalResult       `json:"wal,omitempty"`
+	Telemetry *harness.TelemetryResult `json:"telemetry,omitempty"`
 }
 
 // benchHistory is the on-disk shape of BENCH_serve.json: every run ever
@@ -52,7 +54,7 @@ type benchHistory struct {
 	Runs []benchRun `json:"runs"`
 }
 
-func realMain(docs, queries, workers, votes int, seed int64, out string, withWal bool) error {
+func realMain(docs, queries, workers, votes int, seed int64, out string, withWal, withTel bool) error {
 	res, err := harness.ServeBench(harness.ServeConfig{
 		Docs: docs, Queries: queries, Workers: workers, Seed: seed,
 	})
@@ -68,6 +70,16 @@ func realMain(docs, queries, workers, votes int, seed int64, out string, withWal
 		}
 		fmt.Println(wres)
 		run.Wal = &wres
+	}
+	if withTel {
+		tres, err := harness.TelemetryBench(harness.TelemetryConfig{
+			Docs: docs, Queries: queries, Workers: workers, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(tres)
+		run.Telemetry = &tres
 	}
 	if out == "" {
 		return nil

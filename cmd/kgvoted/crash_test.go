@@ -198,11 +198,30 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	if got := rankingSignature(t, base2); got != sig {
 		t.Fatalf("post-recovery ranking differs:\n pre  %s\n post %s", sig, got)
 	}
-	// The recovered daemon keeps accepting votes.
+	// Telemetry must come back sane: the scrape passes the exposition
+	// checker, the recovery gauge reports the replayed WAL tail, and the
+	// counter mirrors carry the recovered totals rather than zeros.
+	exp := scrapeMetrics(t, base2)
+	if v := mustValue(t, exp, "kgvote_durable_replayed_records", nil); v == 0 {
+		t.Fatalf("kgvote_durable_replayed_records = %g, want > 0 after crash recovery", v)
+	}
+	if v := mustValue(t, exp, "kgvote_server_votes_accepted_total", nil); v != 5 {
+		t.Fatalf("recovered votes_accepted metric = %g, want 5", v)
+	}
+	if v := mustValue(t, exp, "kgvote_server_flushes_total", nil); v != 2 {
+		t.Fatalf("recovered flushes metric = %g, want 2", v)
+	}
+	if v := mustValue(t, exp, "kgvote_core_epoch", nil); v == 0 {
+		t.Fatalf("kgvote_core_epoch = %g, want > 0 after recovery rebuilt the snapshot", v)
+	}
+	// The recovered daemon keeps accepting votes, and the metric follows.
 	driveVote(t, base2, 1)
 	final := getStatsBody(t, base2)
 	if final.VotesAccepted != 6 {
 		t.Fatalf("vote after recovery not counted: %+v", final)
+	}
+	if v := mustValue(t, scrapeMetrics(t, base2), "kgvote_server_votes_accepted_total", nil); v != 6 {
+		t.Fatalf("votes_accepted metric after post-recovery vote = %g, want 6", v)
 	}
 }
 

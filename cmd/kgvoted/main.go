@@ -33,6 +33,7 @@ import (
 	"kgvote/internal/qa"
 	"kgvote/internal/server"
 	"kgvote/internal/synth"
+	"kgvote/internal/telemetry"
 	"kgvote/internal/wal"
 )
 
@@ -50,6 +51,9 @@ type config struct {
 	fsync           string
 	syncEvery       time.Duration
 	checkpointEvery int
+
+	metrics bool
+	slowMS  int
 }
 
 func main() {
@@ -67,6 +71,8 @@ func main() {
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
 	flag.DurationVar(&cfg.syncEvery, "sync-every", 50*time.Millisecond, "fsync staleness bound under -fsync interval")
 	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 16, "checkpoint after every N optimization flushes (0 disables periodic checkpoints)")
+	flag.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus metrics at GET /metrics and profiling at /debug/pprof/")
+	flag.IntVar(&cfg.slowMS, "slow-ms", 1000, "log requests slower than this many milliseconds, with their stage trace (0 disables)")
 	flag.Parse()
 	if err := serve(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kgvoted:", err)
@@ -91,6 +97,11 @@ func serve(cfg config) error {
 		return errors.New("-data-dir and -state are mutually exclusive; the data directory owns persistence")
 	}
 
+	var reg *telemetry.Registry
+	if cfg.metrics {
+		reg = telemetry.NewRegistry()
+	}
+
 	var (
 		mgr *durable.Manager
 		rec *durable.Recovered
@@ -107,6 +118,7 @@ func serve(cfg config) error {
 			Fsync:     policy,
 			SyncEvery: cfg.syncEvery,
 			Engine:    opts,
+			Metrics:   durable.NewMetrics(reg),
 		})
 		if err != nil {
 			return err
@@ -139,6 +151,9 @@ func serve(cfg config) error {
 		Durable:         mgr,
 		Recovered:       rec,
 		CheckpointEvery: cfg.checkpointEvery,
+		Telemetry:       reg,
+		SlowThreshold:   time.Duration(cfg.slowMS) * time.Millisecond,
+		Pprof:           cfg.metrics,
 	})
 	if err != nil {
 		return err

@@ -28,6 +28,10 @@ type Engine struct {
 	// engine's single writer and read through the published snapshot.
 	epoch   uint64
 	serving atomic.Pointer[GraphSnapshot]
+
+	// metrics, when non-nil, receives solve instrumentation (nil-safe;
+	// see SetMetrics).
+	metrics *Metrics
 }
 
 // New returns an engine over g. Zero-valued option fields take the

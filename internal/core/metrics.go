@@ -1,0 +1,81 @@
+package core
+
+import "kgvote/internal/telemetry"
+
+// Metrics is the engine's optimization-path instrumentation: the hot
+// stages the paper makes expensive — per-batch SGP solves and
+// split-and-merge clustering — surfaced as registry series. All fields
+// and methods are nil-safe, so an engine without metrics pays nothing.
+type Metrics struct {
+	// FlushSeconds times complete batch solves (judgment filter + encode
+	// + SGP + weight application + snapshot republication).
+	FlushSeconds *telemetry.Histogram
+	// Flushes counts completed batch solves.
+	Flushes *telemetry.Counter
+	// VotesEncoded / VotesDiscarded split each batch by the judgment
+	// algorithm's verdict (Section V).
+	VotesEncoded   *telemetry.Counter
+	VotesDiscarded *telemetry.Counter
+	// OuterIters / InnerIters accumulate SGP solver iterations.
+	OuterIters *telemetry.Counter
+	InnerIters *telemetry.Counter
+	// ClusterSize records the vote count of each split-and-merge
+	// affinity-propagation cluster.
+	ClusterSize *telemetry.Histogram
+}
+
+// NewMetrics registers the engine series in reg (nil reg = nil
+// metrics, all observations dropped).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		FlushSeconds: reg.Histogram("kgvote_core_flush_seconds",
+			"Duration of one optimization batch solve (filter, encode, SGP, apply).", nil, nil),
+		Flushes: reg.Counter("kgvote_core_flushes_total",
+			"Completed optimization batch solves.", nil),
+		VotesEncoded: reg.Counter("kgvote_core_votes_encoded_total",
+			"Votes that produced SGP constraints.", nil),
+		VotesDiscarded: reg.Counter("kgvote_core_votes_discarded_total",
+			"Votes dropped by the judgment algorithm.", nil),
+		OuterIters: reg.Counter("kgvote_core_sgp_outer_iterations_total",
+			"SGP solver outer iterations.", nil),
+		InnerIters: reg.Counter("kgvote_core_sgp_inner_iterations_total",
+			"SGP solver inner iterations.", nil),
+		ClusterSize: reg.Histogram("kgvote_core_cluster_size_votes",
+			"Votes per split-and-merge affinity-propagation cluster.", nil, telemetry.CountBuckets),
+	}
+}
+
+// SetMetrics wires the engine's (and its streams') instrumentation;
+// call it once after construction, before serving. nil disables.
+func (e *Engine) SetMetrics(m *Metrics) { e.metrics = m }
+
+// startFlush begins timing a batch solve.
+func (m *Metrics) startFlush() func() {
+	if m == nil {
+		return func() {}
+	}
+	return m.FlushSeconds.Start()
+}
+
+// observeReport folds one solve report into the counters.
+func (m *Metrics) observeReport(rep *Report) {
+	if m == nil || rep == nil {
+		return
+	}
+	m.Flushes.Inc()
+	m.VotesEncoded.Add(int64(rep.Encoded))
+	m.VotesDiscarded.Add(int64(rep.Discarded))
+	m.OuterIters.Add(int64(rep.Outer))
+	m.InnerIters.Add(int64(rep.InnerIters))
+}
+
+// observeCluster records one split-and-merge cluster's vote count.
+func (m *Metrics) observeCluster(size int) {
+	if m == nil {
+		return
+	}
+	m.ClusterSize.Observe(float64(size))
+}

@@ -59,22 +59,35 @@ func (s *GraphSnapshot) NumEdges() int { return s.csr.NumEdges() }
 // sweeps entirely; the returned slice may then be shared with other
 // readers and must be treated as immutable. k ≤ 0 ranks all candidates.
 func (s *GraphSnapshot) RankSeeded(cacheKey string, ids []graph.NodeID, ws []float64, candidates []graph.NodeID, k int) ([]pathidx.Ranked, error) {
+	ranked, _, err := s.RankSeededCached(cacheKey, ids, ws, candidates, k)
+	return ranked, err
+}
+
+// RankSeededCached is RankSeeded plus a cache-hit report, so callers
+// (telemetry, /ask?trace=1) can distinguish a cached ranking from a
+// fresh sparse sweep.
+func (s *GraphSnapshot) RankSeededCached(cacheKey string, ids []graph.NodeID, ws []float64, candidates []graph.NodeID, k int) ([]pathidx.Ranked, bool, error) {
 	if cacheKey != "" {
 		if r, ok := s.cache.Get(cacheKey); ok {
-			return r, nil
+			return r, true, nil
 		}
 	}
 	sc := s.pool.Get()
 	ranked, err := sc.RankSeeded(ids, ws, candidates, k)
 	s.pool.Put(sc)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if cacheKey != "" {
 		s.cache.Add(cacheKey, ranked)
 	}
-	return ranked, nil
+	return ranked, false, nil
 }
+
+// CacheStats snapshots the rank cache's counters. Each snapshot carries
+// its own cache, so the numbers reset at every epoch swap — by design:
+// they describe the serving cache, not the process lifetime.
+func (s *GraphSnapshot) CacheStats() lru.Stats { return s.cache.Stats() }
 
 // SimilaritySeeded evaluates S(vq, target) for a virtual query node.
 func (s *GraphSnapshot) SimilaritySeeded(ids []graph.NodeID, ws []float64, target graph.NodeID) (float64, error) {

@@ -40,6 +40,9 @@ func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
 		return nil, err
 	}
 	report.Clusters = len(clusters)
+	for _, cl := range clusters {
+		e.metrics.observeCluster(len(cl))
+	}
 
 	results := make([]clusterResult, len(clusters))
 	if e.opt.Workers <= 1 || len(clusters) == 1 {

@@ -100,6 +100,7 @@ func (s *Stream) Flush() (*Report, error) {
 	}
 	votes := s.pending
 	s.pending = nil
+	stop := s.e.metrics.startFlush()
 	var (
 		rep *Report
 		err error
@@ -112,9 +113,11 @@ func (s *Stream) Flush() (*Report, error) {
 	case StreamSingle:
 		rep, err = s.e.SolveSingle(votes)
 	}
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	s.e.metrics.observeReport(rep)
 	s.Flushes++
 	return rep, nil
 }

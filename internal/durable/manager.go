@@ -13,9 +13,45 @@ import (
 
 	"kgvote/internal/core"
 	"kgvote/internal/qa"
+	"kgvote/internal/telemetry"
 	"kgvote/internal/vote"
 	"kgvote/internal/wal"
 )
+
+// Metrics instruments the durability layer. All fields are nil-safe.
+type Metrics struct {
+	// CheckpointSeconds times full-state checkpoints (state + meta
+	// write, barrier fsyncs, pruning).
+	CheckpointSeconds *telemetry.Histogram
+	// Checkpoints counts completed checkpoints.
+	Checkpoints *telemetry.Counter
+	// Commits counts successful WAL commit units.
+	Commits *telemetry.Counter
+	// ReplayedRecords is the WAL record count replayed by the last
+	// recovery (0 on a boot that replayed nothing).
+	ReplayedRecords *telemetry.Gauge
+	// Wal carries the write-ahead log's own series.
+	Wal *wal.Metrics
+}
+
+// NewMetrics registers the durability series (WAL included) in reg
+// (nil reg = nil metrics).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		CheckpointSeconds: reg.Histogram("kgvote_durable_checkpoint_seconds",
+			"Duration of full-state checkpoints.", nil, nil),
+		Checkpoints: reg.Counter("kgvote_durable_checkpoints_total",
+			"Completed full-state checkpoints.", nil),
+		Commits: reg.Counter("kgvote_durable_commits_total",
+			"WAL commit units made durable.", nil),
+		ReplayedRecords: reg.Gauge("kgvote_durable_replayed_records",
+			"WAL records replayed by the most recent recovery.", nil),
+		Wal: wal.NewMetrics(reg),
+	}
+}
 
 // Options configures a Manager.
 type Options struct {
@@ -33,6 +69,9 @@ type Options struct {
 	Retain int
 	// Engine is passed to qa.Load when recovering a checkpoint.
 	Engine core.Options
+	// Metrics, when non-nil, receives durability (and WAL)
+	// instrumentation.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -114,11 +153,16 @@ func Open(opts Options) (*Manager, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
+	var walMetrics *wal.Metrics
+	if opts.Metrics != nil {
+		walMetrics = opts.Metrics.Wal
+	}
 	log, err := wal.Open(wal.Options{
 		Dir:          filepath.Join(opts.Dir, "wal"),
 		SegmentBytes: opts.SegmentBytes,
 		Sync:         opts.Fsync,
 		SyncEvery:    opts.SyncEvery,
+		Metrics:      walMetrics,
 	})
 	if err != nil {
 		return nil, err
@@ -187,6 +231,9 @@ func (m *Manager) Recover() (*Recovered, error) {
 		m.lastCkptSeq = seq
 		m.replayed = rec.Records
 		m.mu.Unlock()
+		if mm := m.opt.Metrics; mm != nil {
+			mm.ReplayedRecords.Set(int64(rec.Records))
+		}
 		return rec, nil
 	}
 	return nil, fmt.Errorf("durable: no loadable checkpoint: %w", firstErr)
@@ -362,6 +409,9 @@ func (m *Manager) Commit() error {
 		m.failed.Store(true)
 		return err
 	}
+	if mm := m.opt.Metrics; mm != nil {
+		mm.Commits.Inc()
+	}
 	return nil
 }
 
@@ -373,6 +423,9 @@ func (m *Manager) Commit() error {
 func (m *Manager) Checkpoint(sys *qa.System, totalVotes, flushes int) error {
 	if m.failed.Load() {
 		return errFailed
+	}
+	if mm := m.opt.Metrics; mm != nil {
+		defer mm.CheckpointSeconds.Start()()
 	}
 	m.mu.Lock()
 	barrier := m.log.NextSeq()
@@ -422,6 +475,9 @@ func (m *Manager) Checkpoint(sys *qa.System, totalVotes, flushes int) error {
 	m.lastCkptSeq = barrier
 	m.mu.Unlock()
 	m.checkpoints.Add(1)
+	if mm := m.opt.Metrics; mm != nil {
+		mm.Checkpoints.Inc()
+	}
 	return m.prune()
 }
 

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgvote/internal/core"
+	"kgvote/internal/qa"
+	"kgvote/internal/synth"
+	"kgvote/internal/telemetry"
+)
+
+// TelemetryConfig sizes the instrumentation-overhead benchmark: the same
+// question stream is ranked through the snapshot path twice — once on a
+// bare system, once with a full telemetry registry wired — and the QPS
+// difference is the cost of the counters, histograms, and nil checks on
+// the hot path.
+type TelemetryConfig struct {
+	Docs    int   // corpus documents; default 200
+	Queries int   // questions per measured pass; default 300
+	Workers int   // goroutines; default GOMAXPROCS
+	Seed    int64 // default 1
+	K       int   // top-K; default 10
+	L       int   // walk-length bound; default 4
+}
+
+func (c TelemetryConfig) withDefaults() TelemetryConfig {
+	if c.Docs == 0 {
+		c.Docs = 200
+	}
+	if c.Queries == 0 {
+		c.Queries = 300
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.L == 0 {
+		c.L = 4
+	}
+	return c
+}
+
+// TelemetryResult is the JSON-serializable outcome of TelemetryBench.
+type TelemetryResult struct {
+	Docs    int `json:"docs"`
+	Queries int `json:"queries"`
+	Workers int `json:"workers"`
+
+	PlainQPS        float64 `json:"plain_qps"`
+	InstrumentedQPS float64 `json:"instrumented_qps"`
+	// OverheadPct is how much slower the instrumented pass ran, in
+	// percent of plain throughput (negative = noise made it faster).
+	OverheadPct float64 `json:"overhead_pct"`
+	// Observations actually recorded by the instrumented pass, as a
+	// sanity check that the metrics were live during the measurement.
+	Observations uint64 `json:"observations"`
+}
+
+// String renders a one-screen summary.
+func (r TelemetryResult) String() string {
+	return fmt.Sprintf(
+		"telemetry bench: %d docs, %d queries, %d workers\n"+
+			"  plain:        %8.1f qps\n"+
+			"  instrumented: %8.1f qps (%d observations)\n"+
+			"  overhead %.2f%%",
+		r.Docs, r.Queries, r.Workers,
+		r.PlainQPS, r.InstrumentedQPS, r.Observations, r.OverheadPct)
+}
+
+// TelemetryBench measures the Ask-path cost of a live registry. Both
+// passes run the identical lock-free snapshot ranking with the rank
+// cache disabled (so every query pays the full sweep and the metric
+// observations are a fixed fraction of real work, not of a cache hit).
+// The plain pass ranks through a system with no metrics wired; the
+// instrumented pass wires qa.NewMetrics over a real registry, which is
+// exactly what the daemon does under -metrics.
+func TelemetryBench(cfg TelemetryConfig) (TelemetryResult, error) {
+	cfg = cfg.withDefaults()
+	corpus, err := synth.GenerateCorpus(synth.CorpusConfig{Docs: cfg.Docs, Seed: cfg.Seed})
+	if err != nil {
+		return TelemetryResult{}, err
+	}
+	questions, err := synth.GenerateQuestions(corpus, synth.QuestionConfig{N: cfg.Queries, Seed: cfg.Seed + 1})
+	if err != nil {
+		return TelemetryResult{}, err
+	}
+	opt := core.Options{K: cfg.K, L: cfg.L, RankCacheSize: -1}
+
+	run := func(sys *qa.System) (float64, error) {
+		var (
+			next   atomic.Int64
+			wg     sync.WaitGroup
+			runErr atomic.Pointer[error]
+		)
+		start := time.Now()
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(questions) {
+						return
+					}
+					if _, _, err := sys.RankSnapshot(questions[i]); err != nil {
+						e := fmt.Errorf("ask %d: %w", i, err)
+						runErr.Store(&e)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if ep := runErr.Load(); ep != nil {
+			return 0, *ep
+		}
+		return float64(len(questions)) / elapsed.Seconds(), nil
+	}
+
+	// Separate systems so one pass cannot warm the other's internals;
+	// interleave a warmup of each so neither pays first-touch costs.
+	plainSys, err := qa.Build(corpus, opt)
+	if err != nil {
+		return TelemetryResult{}, err
+	}
+	instSys, err := qa.Build(corpus, opt)
+	if err != nil {
+		return TelemetryResult{}, err
+	}
+	reg := telemetry.NewRegistry()
+	metrics := qa.NewMetrics(reg)
+	instSys.SetMetrics(metrics)
+
+	if _, err := run(plainSys); err != nil { // warmup
+		return TelemetryResult{}, err
+	}
+	if _, err := run(instSys); err != nil { // warmup
+		return TelemetryResult{}, err
+	}
+	plainQPS, err := run(plainSys)
+	if err != nil {
+		return TelemetryResult{}, err
+	}
+	instQPS, err := run(instSys)
+	if err != nil {
+		return TelemetryResult{}, err
+	}
+
+	res := TelemetryResult{
+		Docs:            cfg.Docs,
+		Queries:         len(questions),
+		Workers:         cfg.Workers,
+		PlainQPS:        plainQPS,
+		InstrumentedQPS: instQPS,
+		Observations:    metrics.AskSeconds.Count(),
+	}
+	if plainQPS > 0 {
+		res.OverheadPct = (plainQPS - instQPS) / plainQPS * 100
+	}
+	return res, nil
+}

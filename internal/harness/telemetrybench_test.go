@@ -1,0 +1,24 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTelemetryBenchSmoke(t *testing.T) {
+	res, err := TelemetryBench(TelemetryConfig{Docs: 30, Queries: 40, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlainQPS <= 0 || res.InstrumentedQPS <= 0 {
+		t.Fatalf("non-positive throughput: %+v", res)
+	}
+	// Both passes over the instrumented system (warmup + measured) must
+	// have hit the live metrics.
+	if want := uint64(2 * res.Queries); res.Observations != want {
+		t.Fatalf("observations = %d, want %d", res.Observations, want)
+	}
+	if !strings.Contains(res.String(), "overhead") {
+		t.Fatalf("summary = %q", res.String())
+	}
+}

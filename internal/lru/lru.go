@@ -10,12 +10,27 @@ import (
 
 // Cache is a bounded LRU map safe for concurrent use. A capacity below 1
 // disables the cache: Get always misses and Add is a no-op.
+//
+// Each cache carries its own hit/miss/eviction counters (see Stats), so
+// independent instances — the per-snapshot rank caches, the server's
+// pending-query table — report independent numbers to the telemetry
+// registry instead of sharing process-wide totals.
 type Cache[K comparable, V any] struct {
 	mu        sync.Mutex
 	cap       int
 	ll        *list.List // front = most recently used
 	m         map[K]*list.Element
+	hits      int64
+	misses    int64
 	evictions int64
+}
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Len       int
 }
 
 type entry[K comparable, V any] struct {
@@ -43,8 +58,10 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[k]
 	if !ok {
+		c.misses++
 		return zero, false
 	}
+	c.hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*entry[K, V]).v, true
 }
@@ -92,4 +109,15 @@ func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Stats snapshots this cache's counters. A disabled or nil cache
+// reports zeros.
+func (c *Cache[K, V]) Stats() Stats {
+	if c == nil || c.cap < 1 {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.ll.Len()}
 }

@@ -71,6 +71,38 @@ func TestConcurrent(t *testing.T) {
 	}
 }
 
+func TestStats(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 1)
+	c.Get(1) // hit
+	c.Get(9) // miss
+	c.Get(1) // hit
+	c.Add(2, 2)
+	c.Add(3, 3) // evicts
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 1 || st.Len != 2 {
+		t.Fatalf("stats = %+v, want hits=2 misses=1 evictions=1 len=2", st)
+	}
+	// Two caches count independently.
+	other := New[int, int](2)
+	other.Get(1)
+	if got := other.Stats(); got.Misses != 1 || got.Hits != 0 {
+		t.Fatalf("second cache stats = %+v", got)
+	}
+	if st2 := c.Stats(); st2.Misses != 1 {
+		t.Fatalf("first cache polluted by second: %+v", st2)
+	}
+	var nilCache *Cache[int, int]
+	if got := nilCache.Stats(); got != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", got)
+	}
+	disabled := New[int, int](0)
+	disabled.Get(1)
+	if got := disabled.Stats(); got != (Stats{}) {
+		t.Errorf("disabled cache stats = %+v", got)
+	}
+}
+
 func TestEvictions(t *testing.T) {
 	c := New[int, int](2)
 	if c.Evictions() != 0 {

@@ -11,7 +11,44 @@ import (
 	"kgvote/internal/core"
 	"kgvote/internal/graph"
 	"kgvote/internal/pathidx"
+	"kgvote/internal/telemetry"
 )
+
+// Metrics instruments the lock-free serving path. All fields are
+// nil-safe: a system without metrics observes nothing.
+type Metrics struct {
+	// AskSeconds times one question end to end (seed + rank).
+	AskSeconds *telemetry.Histogram
+	// BatchSeconds times whole AskBatch calls.
+	BatchSeconds *telemetry.Histogram
+	// CacheHits / CacheMisses count rank-cache outcomes across
+	// snapshots (process-lifetime totals; per-snapshot numbers live on
+	// the snapshot's own cache, see core.GraphSnapshot.CacheStats).
+	CacheHits   *telemetry.Counter
+	CacheMisses *telemetry.Counter
+}
+
+// NewMetrics registers the qa serving series in reg (nil reg = nil
+// metrics).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		AskSeconds: reg.Histogram("kgvote_qa_ask_seconds",
+			"End-to-end latency of ranking one question against the serving snapshot.", nil, nil),
+		BatchSeconds: reg.Histogram("kgvote_qa_askbatch_seconds",
+			"Latency of whole AskBatch calls.", nil, nil),
+		CacheHits: reg.Counter("kgvote_qa_rank_cache_hits_total",
+			"Questions answered from the snapshot rank cache.", nil),
+		CacheMisses: reg.Counter("kgvote_qa_rank_cache_misses_total",
+			"Questions that required a fresh sparse sweep.", nil),
+	}
+}
+
+// SetMetrics wires serving-path instrumentation; call once before
+// serving. nil disables.
+func (s *System) SetMetrics(m *Metrics) { s.metrics = m }
 
 // This file is the system's lock-free serving path: questions are ranked
 // against the engine's published GraphSnapshot as virtual query nodes
@@ -63,16 +100,43 @@ func (s *System) Seed(q Question) (ids []graph.NodeID, ws []float64, key string,
 // the top-K ranked answers; the slice may be shared with the snapshot's
 // rank cache and must be treated as immutable.
 func (s *System) RankSnapshot(q Question) (*core.GraphSnapshot, []pathidx.Ranked, error) {
+	snap, ranked, _, err := s.RankSnapshotTraced(q, nil)
+	return snap, ranked, err
+}
+
+// RankSnapshotTraced is RankSnapshot with per-stage span recording and
+// a cache-hit report: the seed and rank stages land on tr (nil = no
+// tracing), and serving metrics — ask latency, cache hit/miss — are
+// observed when SetMetrics has wired them. This is the server's
+// /ask path.
+func (s *System) RankSnapshotTraced(q Question, tr *telemetry.Trace) (snap *core.GraphSnapshot, ranked []pathidx.Ranked, cacheHit bool, err error) {
+	m := s.metrics
+	var stopAsk func()
+	if m != nil {
+		stopAsk = m.AskSeconds.Start()
+	}
+	stopSeed := tr.Stage("seed")
 	ids, ws, key, err := s.Seed(q)
+	stopSeed()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
-	snap := s.Engine.Serving()
-	ranked, err := snap.RankSeeded(key, ids, ws, s.Answers(), s.Engine.Options().K)
+	snap = s.Engine.Serving()
+	stopRank := tr.Stage("rank")
+	ranked, cacheHit, err = snap.RankSeededCached(key, ids, ws, s.Answers(), s.Engine.Options().K)
+	stopRank()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
-	return snap, ranked, nil
+	if m != nil {
+		if cacheHit {
+			m.CacheHits.Inc()
+		} else {
+			m.CacheMisses.Inc()
+		}
+		stopAsk()
+	}
+	return snap, ranked, cacheHit, nil
 }
 
 // AskBatch ranks a batch of questions concurrently, fanning the queries
@@ -83,6 +147,9 @@ func (s *System) AskBatch(qs []Question, workers int) ([][]RankedDoc, error) {
 	out := make([][]RankedDoc, len(qs))
 	if len(qs) == 0 {
 		return out, nil
+	}
+	if m := s.metrics; m != nil {
+		defer m.BatchSeconds.Start()()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -25,6 +25,10 @@ type System struct {
 	// nextQuery numbers attached questions so that every attachment gets a
 	// fresh query node, even when callers reuse Question IDs.
 	nextQuery int
+
+	// metrics, when non-nil, instruments the serving path (see
+	// SetMetrics in serve.go). Set once before serving; read lock-free.
+	metrics *Metrics
 }
 
 // Build constructs the system from a corpus: it builds the co-occurrence

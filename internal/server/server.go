@@ -22,14 +22,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kgvote/internal/core"
 	"kgvote/internal/durable"
 	"kgvote/internal/graph"
 	"kgvote/internal/lru"
 	"kgvote/internal/qa"
+	"kgvote/internal/telemetry"
 	"kgvote/internal/vote"
 )
 
@@ -66,6 +69,17 @@ type Options struct {
 	// PendingCap bounds the asked-but-not-voted handle table
 	// (0 = the 2^16 default; used by tests to force evictions).
 	PendingCap int
+	// Telemetry, when non-nil, instruments every layer the server
+	// touches — HTTP routes, the qa serving path, the engine's solves —
+	// and is served at GET /metrics in the Prometheus text format.
+	// Construct the durable.Manager with the same registry (see
+	// durable.NewMetrics) for WAL and checkpoint series.
+	Telemetry *telemetry.Registry
+	// SlowThreshold logs any request slower than this, with its stage
+	// trace (0 = disabled).
+	SlowThreshold time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
 }
 
 // Server wires a qa.System and a vote stream into an http.Handler.
@@ -90,6 +104,13 @@ type Server struct {
 	votesAccepted atomic.Int64
 	votesPending  atomic.Int64
 	flushes       atomic.Int64
+
+	// Observability (nil when Options.Telemetry is nil; every use is
+	// nil-safe).
+	tel     *telemetry.Registry
+	metrics *serverMetrics
+	slow    time.Duration
+	pprof   bool
 }
 
 // New returns a server over the system whose votes flush every batchSize
@@ -120,6 +141,11 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 		dur:             o.Durable,
 		checkpointEvery: o.CheckpointEvery,
 		pending:         lru.New[graph.NodeID, *pendingQuery](cap),
+		slow:            o.SlowThreshold,
+		pprof:           o.Pprof,
+	}
+	if o.Telemetry != nil {
+		s.wireTelemetry(o.Telemetry)
 	}
 	s.nextHandle.Store(int32(graph.None))
 	s.votesAccepted.Store(int64(st.TotalVotes))
@@ -128,16 +154,28 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the route mux.
+// Handler returns the route mux. Every API route runs inside the
+// telemetry middleware (request ID, trace, latency, in-flight); the
+// scrape and profiling endpoints are mounted uninstrumented.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /ask", s.handleAsk)
-	mux.HandleFunc("POST /vote", s.handleVote)
-	mux.HandleFunc("POST /flush", s.handleFlush)
-	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("POST /ask", s.instrument("/ask", s.handleAsk))
+	mux.HandleFunc("POST /vote", s.instrument("/vote", s.handleVote))
+	mux.HandleFunc("POST /flush", s.instrument("/flush", s.handleFlush))
+	mux.HandleFunc("POST /checkpoint", s.instrument("/checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("POST /explain", s.instrument("/explain", s.handleExplain))
+	if s.tel != nil {
+		mux.Handle("GET /metrics", s.tel.Handler())
+	}
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -209,11 +247,22 @@ type AskResult struct {
 // AskResponse is the /ask response body. Query is an opaque handle
 // identifying the served question for the follow-up /vote or /explain
 // call; Epoch identifies the graph snapshot the ranking was computed
-// from.
+// from. Trace is present only when the request asked for it
+// (?trace=1).
 type AskResponse struct {
 	Query   graph.NodeID `json:"query"`
 	Epoch   uint64       `json:"epoch"`
 	Results []AskResult  `json:"results"`
+	Trace   *TraceBody   `json:"trace,omitempty"`
+}
+
+// TraceBody is the inline per-stage timing report of one /ask?trace=1
+// request.
+type TraceBody struct {
+	RequestID   string            `json:"request_id"`
+	CacheHit    bool              `json:"cache_hit"`
+	Stages      []telemetry.Stage `json:"stages"`
+	TotalMicros float64           `json:"total_us"`
 }
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
@@ -230,18 +279,29 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "no entities: provide text with known entities or an entities map")
 		return
 	}
+	tr := telemetry.FromContext(r.Context())
 	q := qa.Question{ID: -1, Entities: ents}
-	snap, ranked, err := s.sys.RankSnapshot(q)
+	snap, ranked, cacheHit, err := s.sys.RankSnapshotTraced(q, tr)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "ask: %v", err)
 		return
 	}
+	stopResolve := tr.Stage("resolve")
 	handle := graph.NodeID(s.nextHandle.Add(-1))
 	s.pending.Add(handle, &pendingQuery{q: q, node: graph.None})
 	resp := AskResponse{Query: handle, Epoch: snap.Epoch()}
 	for _, a := range ranked {
 		doc := s.sys.DocOf(a.Node)
 		resp.Results = append(resp.Results, AskResult{Doc: doc, Title: s.sys.TitleOf(doc), Score: a.Score})
+	}
+	stopResolve()
+	if r.URL.Query().Get("trace") == "1" && tr != nil {
+		resp.Trace = &TraceBody{
+			RequestID:   tr.ID(),
+			CacheHit:    cacheHit,
+			Stages:      tr.Stages(),
+			TotalMicros: float64(tr.Elapsed().Microseconds()),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format: one # HELP and # TYPE line per family
+// (registration order), then one sample line per series (label-sorted).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler returns the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w *bufio.Writer) {
+	f.mu.Lock()
+	entries := append([]familyEntry(nil), f.entries...)
+	f.mu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].labels < entries[j].labels })
+
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(string(f.kind))
+	w.WriteByte('\n')
+
+	for _, e := range entries {
+		switch m := e.metric.(type) {
+		case *Counter:
+			writeSample(w, f.name, e.labels, float64(m.Value()))
+		case *Gauge:
+			writeSample(w, f.name, e.labels, float64(m.Value()))
+		case funcMetric:
+			writeSample(w, f.name, e.labels, m.fn())
+		case *Histogram:
+			writeHistogram(w, f.name, e.labels, m)
+		}
+	}
+}
+
+func writeSample(w *bufio.Writer, name, labels string, v float64) {
+	w.WriteString(name)
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum and
+// _count. The le label is appended to any constant labels the series
+// carries.
+func writeHistogram(w *bufio.Writer, name, labels string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeBucket(w, name, labels, formatValue(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeBucket(w, name, labels, "+Inf", cum)
+	writeSample(w, name+"_sum", labels, h.Sum())
+	writeSample(w, name+"_count", labels, float64(h.Count()))
+}
+
+func writeBucket(w *bufio.Writer, name, labels, le string, cum uint64) {
+	w.WriteString(name)
+	w.WriteString("_bucket")
+	if labels == "" {
+		w.WriteString(`{le="`)
+	} else {
+		w.WriteString(labels[:len(labels)-1]) // strip trailing '}'
+		w.WriteString(`,le="`)
+	}
+	w.WriteString(le)
+	w.WriteString(`"} `)
+	w.WriteString(strconv.FormatUint(cum, 10))
+	w.WriteByte('\n')
+}
+
+// formatValue renders a sample value: shortest round-trip decimal,
+// with the exposition spellings of the non-finite values.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline per the exposition format
+// (double quotes are legal inside HELP text).
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

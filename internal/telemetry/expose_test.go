@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExposition is the table-driven format check: each case builds a
+// registry and asserts the exact rendered scrape, so any formatting
+// drift (escaping, float spelling, bucket cumulation, ordering) fails
+// with a readable diff.
+func TestExposition(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(reg *Registry)
+		want  string
+	}{
+		{
+			name: "counter with help and type",
+			build: func(reg *Registry) {
+				reg.Counter("kgvote_test_ops_total", "Operations performed.", nil).Add(3)
+			},
+			want: "# HELP kgvote_test_ops_total Operations performed.\n" +
+				"# TYPE kgvote_test_ops_total counter\n" +
+				"kgvote_test_ops_total 3\n",
+		},
+		{
+			name: "no help line when help is empty",
+			build: func(reg *Registry) {
+				reg.Gauge("kgvote_test_depth", "", nil).Set(2)
+			},
+			want: "# TYPE kgvote_test_depth gauge\n" +
+				"kgvote_test_depth 2\n",
+		},
+		{
+			name: "label values escape backslash quote and newline",
+			build: func(reg *Registry) {
+				reg.Counter("kgvote_test_total", "", Labels{"path": "a\\b\"c\nd"}).Inc()
+			},
+			want: "# TYPE kgvote_test_total counter\n" +
+				"kgvote_test_total{path=\"a\\\\b\\\"c\\nd\"} 1\n",
+		},
+		{
+			name: "help escapes backslash and newline",
+			build: func(reg *Registry) {
+				reg.Gauge("kgvote_test_depth", "line\\one\nline two", nil).Set(1)
+			},
+			want: "# HELP kgvote_test_depth line\\\\one\\nline two\n" +
+				"# TYPE kgvote_test_depth gauge\n" +
+				"kgvote_test_depth 1\n",
+		},
+		{
+			name: "labels render sorted by key",
+			build: func(reg *Registry) {
+				reg.Counter("kgvote_test_total", "", Labels{"zone": "b", "app": "kg"}).Inc()
+			},
+			want: "# TYPE kgvote_test_total counter\n" +
+				"kgvote_test_total{app=\"kg\",zone=\"b\"} 1\n",
+		},
+		{
+			name: "series within a family sort by label signature",
+			build: func(reg *Registry) {
+				reg.Counter("kgvote_test_total", "", Labels{"route": "/vote"}).Add(2)
+				reg.Counter("kgvote_test_total", "", Labels{"route": "/ask"}).Add(5)
+			},
+			want: "# TYPE kgvote_test_total counter\n" +
+				"kgvote_test_total{route=\"/ask\"} 5\n" +
+				"kgvote_test_total{route=\"/vote\"} 2\n",
+		},
+		{
+			name: "families emit in registration order",
+			build: func(reg *Registry) {
+				reg.Counter("kgvote_b_total", "", nil).Inc()
+				reg.Gauge("kgvote_a_depth", "", nil).Set(1)
+			},
+			want: "# TYPE kgvote_b_total counter\n" +
+				"kgvote_b_total 1\n" +
+				"# TYPE kgvote_a_depth gauge\n" +
+				"kgvote_a_depth 1\n",
+		},
+		{
+			name: "float formatting uses shortest round-trip form",
+			build: func(reg *Registry) {
+				reg.GaugeFunc("kgvote_test_tiny", "", nil, func() float64 { return 0.000025 })
+				reg.GaugeFunc("kgvote_test_half", "", nil, func() float64 { return 1234.5 })
+			},
+			want: "# TYPE kgvote_test_tiny gauge\n" +
+				"kgvote_test_tiny 2.5e-05\n" +
+				"# TYPE kgvote_test_half gauge\n" +
+				"kgvote_test_half 1234.5\n",
+		},
+		{
+			name: "histogram renders cumulative buckets sum and count",
+			build: func(reg *Registry) {
+				h := reg.Histogram("kgvote_test_seconds", "Latency.", nil, []float64{1, 2})
+				h.Observe(0.5)
+				h.Observe(1.5)
+				h.Observe(3)
+			},
+			want: "# HELP kgvote_test_seconds Latency.\n" +
+				"# TYPE kgvote_test_seconds histogram\n" +
+				"kgvote_test_seconds_bucket{le=\"1\"} 1\n" +
+				"kgvote_test_seconds_bucket{le=\"2\"} 2\n" +
+				"kgvote_test_seconds_bucket{le=\"+Inf\"} 3\n" +
+				"kgvote_test_seconds_sum 5\n" +
+				"kgvote_test_seconds_count 3\n",
+		},
+		{
+			name: "histogram appends le to constant labels",
+			build: func(reg *Registry) {
+				h := reg.Histogram("kgvote_test_seconds", "", Labels{"route": "/ask"}, []float64{0.5})
+				h.Observe(0.1)
+			},
+			want: "# TYPE kgvote_test_seconds histogram\n" +
+				"kgvote_test_seconds_bucket{route=\"/ask\",le=\"0.5\"} 1\n" +
+				"kgvote_test_seconds_bucket{route=\"/ask\",le=\"+Inf\"} 1\n" +
+				"kgvote_test_seconds_sum{route=\"/ask\"} 0.1\n" +
+				"kgvote_test_seconds_count{route=\"/ask\"} 1\n",
+		},
+		{
+			name: "empty histogram still emits its full shape",
+			build: func(reg *Registry) {
+				reg.Histogram("kgvote_test_seconds", "", nil, []float64{1})
+			},
+			want: "# TYPE kgvote_test_seconds histogram\n" +
+				"kgvote_test_seconds_bucket{le=\"1\"} 0\n" +
+				"kgvote_test_seconds_bucket{le=\"+Inf\"} 0\n" +
+				"kgvote_test_seconds_sum 0\n" +
+				"kgvote_test_seconds_count 0\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			tc.build(reg)
+			var sb strings.Builder
+			if err := reg.WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.String() != tc.want {
+				t.Fatalf("exposition mismatch\ngot:\n%s\nwant:\n%s", sb.String(), tc.want)
+			}
+			// Everything this package emits must satisfy its own checker.
+			if _, err := CheckExposition(strings.NewReader(sb.String())); err != nil {
+				t.Fatalf("emitted exposition fails own checker: %v", err)
+			}
+		})
+	}
+}
+
+func TestHandlerServesContentType(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("kgvote_test_total", "T.", nil).Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "kgvote_test_total 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}

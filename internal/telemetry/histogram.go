@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency bucket layout in seconds: 25µs to
+// 10s, roughly 1-2.5-5 per decade — wide enough to cover a cache-hit
+// /ask (tens of microseconds) and a split-and-merge flush (seconds) in
+// one schema.
+var DefBuckets = []float64{
+	0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// CountBuckets is a bucket layout for small cardinalities (cluster
+// sizes, solver iterations, replayed records).
+var CountBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256, 512, 1024}
+
+// SizeBuckets is a bucket layout for byte sizes (WAL records), 64B-16MB.
+var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
+
+// Histogram is a fixed-bucket histogram: per-bucket atomic counters, an
+// atomic running sum, and a total count. Observations are lock-free;
+// concurrent scrapes see each component atomically (the exposition
+// format does not require a consistent multi-component snapshot).
+type Histogram struct {
+	now    func() time.Time
+	bounds []float64       // inclusive upper bounds, strictly increasing
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64, now func() time.Time) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Histogram{
+		now:    now,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// NewHistogram returns an unregistered histogram (nil bounds =
+// DefBuckets, nil now = time.Now); tests and ad-hoc measurement use it
+// directly.
+func NewHistogram(bounds []float64, now func() time.Time) *Histogram {
+	return newHistogram(bounds, now)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Start begins timing on the histogram's clock and returns a stop
+// function that observes the elapsed seconds. Safe on a nil histogram
+// (returns a no-op stop).
+func (h *Histogram) Start() func() {
+	if h == nil {
+		return func() {}
+	}
+	t0 := h.now()
+	return func() { h.Observe(h.now().Sub(t0).Seconds()) }
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// BucketCount returns the (non-cumulative) count of bucket i, where
+// i == len(bounds) addresses the +Inf bucket.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if h == nil || i < 0 || i >= len(h.counts) {
+		return 0
+	}
+	return h.counts[i].Load()
+}
+
+// Bounds returns the finite upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// inside the bucket containing the target rank — the standard
+// fixed-bucket estimate, exact in tests that align observations with
+// bucket bounds. Values in the +Inf bucket clamp to the largest finite
+// bound. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: no finite upper bound to interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			return lower + (upper-lower)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// atomicFloat is a float64 accumulated with CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}

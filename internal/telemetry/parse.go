@@ -1,0 +1,349 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the test harness's minimal exposition-format checker: a
+// strict parser for the subset of the Prometheus text format this
+// package emits. The e2e tests and `make metrics-smoke` scrape a live
+// daemon and run the output through ParseExposition, so a formatting
+// regression fails loudly instead of silently breaking scrapers.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	Types   map[string]string // family name → counter/gauge/histogram/...
+	Help    map[string]string
+	Samples []Sample
+}
+
+// Series returns the number of distinct (name, labels) series.
+func (e *Exposition) Series() int {
+	seen := make(map[string]bool, len(e.Samples))
+	for _, s := range e.Samples {
+		seen[s.Name+renderLabels(s.Labels)] = true
+	}
+	return len(seen)
+}
+
+// Value returns the sample value for an exact name + label match.
+func (e *Exposition) Value(name string, labels map[string]string) (float64, bool) {
+	want := renderLabels(labels)
+	for _, s := range e.Samples {
+		if s.Name == name && renderLabels(s.Labels) == want {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Families returns the distinct family names that have at least one
+// sample, where histogram component suffixes (_bucket, _sum, _count)
+// collapse into their base name when a TYPE line declares it.
+func (e *Exposition) Families() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range e.Samples {
+		name := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && e.Types[base] == "histogram" {
+				name = base
+				break
+			}
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// ParseExposition parses (and thereby validates) a text-format scrape.
+// Any line that is not a well-formed comment or sample is an error.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string), Help: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := exp.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+func (e *Exposition) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE line names invalid metric %q", name)
+		}
+		if !validTypes[typ] {
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if prev, ok := e.Types[name]; ok && prev != typ {
+			return fmt.Errorf("metric %q re-typed from %s to %s", name, prev, typ)
+		}
+		e.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("HELP line names invalid metric %q", name)
+		}
+		if len(fields) == 4 {
+			e.Help[name] = fields[3]
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value (and optional timestamp) after %q", s.Name)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0] == '{',
+// returning the index just past the closing brace.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) {
+			return 0, nil, fmt.Errorf("label name without value")
+		}
+		name := s[i:j]
+		if !validLabelName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		if j+1 >= len(s) || s[j+1] != '"' {
+			return 0, nil, fmt.Errorf("label %q value is not quoted", name)
+		}
+		val, next, err := parseQuoted(s, j+1)
+		if err != nil {
+			return 0, nil, fmt.Errorf("label %q: %w", name, err)
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val
+		i = next
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseQuoted decodes a double-quoted label value with \\, \", and \n
+// escapes, starting at the opening quote.
+func parseQuoted(s string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(s) {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value")
+}
+
+// CheckExposition parses a scrape and applies the structural invariants
+// the e2e tests rely on: every sample's family (when typed) matches a
+// declared TYPE, histogram buckets are cumulative in le order, and each
+// histogram's _count equals its +Inf bucket. It returns the number of
+// distinct series.
+func CheckExposition(r io.Reader) (int, error) {
+	exp, err := ParseExposition(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := exp.CheckHistograms(); err != nil {
+		return 0, err
+	}
+	return exp.Series(), nil
+}
+
+// CheckHistograms validates bucket monotonicity, +Inf/_count agreement,
+// and count-vs-sum consistency for every histogram family.
+func (e *Exposition) CheckHistograms() error {
+	type hist struct {
+		buckets map[string][]Sample // label-sig (sans le) → bucket samples
+		sum     map[string]float64
+		count   map[string]float64
+	}
+	hists := make(map[string]*hist)
+	get := func(name string) *hist {
+		h := hists[name]
+		if h == nil {
+			h = &hist{buckets: map[string][]Sample{}, sum: map[string]float64{}, count: map[string]float64{}}
+			hists[name] = h
+		}
+		return h
+	}
+	sigSansLe := func(labels map[string]string) string {
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		return renderLabels(rest)
+	}
+	for _, s := range e.Samples {
+		if base := strings.TrimSuffix(s.Name, "_bucket"); base != s.Name && e.Types[base] == "histogram" {
+			get(base).buckets[sigSansLe(s.Labels)] = append(get(base).buckets[sigSansLe(s.Labels)], s)
+		} else if base := strings.TrimSuffix(s.Name, "_sum"); base != s.Name && e.Types[base] == "histogram" {
+			get(base).sum[renderLabels(s.Labels)] = s.Value
+		} else if base := strings.TrimSuffix(s.Name, "_count"); base != s.Name && e.Types[base] == "histogram" {
+			get(base).count[renderLabels(s.Labels)] = s.Value
+		}
+	}
+	for name, h := range hists {
+		for sig, buckets := range h.buckets {
+			var prev float64
+			var inf float64
+			sawInf := false
+			// Buckets arrive in emission order, which is le-ascending.
+			for _, b := range buckets {
+				le := b.Labels["le"]
+				if le == "" {
+					return fmt.Errorf("histogram %s: bucket without le label", name)
+				}
+				if b.Value < prev {
+					return fmt.Errorf("histogram %s%s: bucket le=%s count %g below previous %g", name, sig, le, b.Value, prev)
+				}
+				prev = b.Value
+				if le == "+Inf" {
+					inf, sawInf = b.Value, true
+				}
+			}
+			if !sawInf {
+				return fmt.Errorf("histogram %s%s: no +Inf bucket", name, sig)
+			}
+			if c, ok := h.count[sig]; ok && c != inf {
+				return fmt.Errorf("histogram %s%s: _count %g != +Inf bucket %g", name, sig, c, inf)
+			}
+			if sum, ok := h.sum[sig]; ok && inf == 0 && sum != 0 {
+				return fmt.Errorf("histogram %s%s: zero observations but sum %g", name, sig, sum)
+			}
+		}
+	}
+	return nil
+}

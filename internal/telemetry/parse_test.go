@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip feeds a real registry's scrape back through the
+// parser and checks the values survive.
+func TestParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("kgvote_rt_total", "Round trips.", Labels{"route": "/ask"}).Add(7)
+	reg.Gauge("kgvote_rt_depth", "", nil).Set(-3)
+	h := reg.Histogram("kgvote_rt_seconds", "", nil, []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if exp.Types["kgvote_rt_total"] != "counter" || exp.Types["kgvote_rt_seconds"] != "histogram" {
+		t.Fatalf("types = %v", exp.Types)
+	}
+	if exp.Help["kgvote_rt_total"] != "Round trips." {
+		t.Fatalf("help = %v", exp.Help)
+	}
+	if v, ok := exp.Value("kgvote_rt_total", map[string]string{"route": "/ask"}); !ok || v != 7 {
+		t.Fatalf("counter value = %g ok=%v", v, ok)
+	}
+	if v, ok := exp.Value("kgvote_rt_depth", nil); !ok || v != -3 {
+		t.Fatalf("gauge value = %g ok=%v", v, ok)
+	}
+	if v, ok := exp.Value("kgvote_rt_seconds_bucket", map[string]string{"le": "2"}); !ok || v != 2 {
+		t.Fatalf("cumulative bucket le=2 = %g ok=%v", v, ok)
+	}
+	if v, ok := exp.Value("kgvote_rt_seconds_count", nil); !ok || v != 2 {
+		t.Fatalf("count = %g ok=%v", v, ok)
+	}
+	// 3 series for counter+gauge, histogram = 3 buckets + sum + count.
+	if got := exp.Series(); got != 7 {
+		t.Fatalf("series = %d, want 7", got)
+	}
+	fams := exp.Families()
+	if len(fams) != 3 {
+		t.Fatalf("families = %v, want 3 (histogram components collapsed)", fams)
+	}
+	if err := exp.CheckHistograms(); err != nil {
+		t.Fatalf("histogram invariants: %v", err)
+	}
+}
+
+// TestParseEscapedLabels checks the escape decoding matches the
+// writer's encoding exactly.
+func TestParseEscapedLabels(t *testing.T) {
+	reg := NewRegistry()
+	raw := "a\\b\"c\nd"
+	reg.Counter("kgvote_esc_total", "", Labels{"path": raw}).Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, ok := exp.Value("kgvote_esc_total", map[string]string{"path": raw}); !ok || v != 1 {
+		t.Fatalf("escaped label did not round-trip: %+v", exp.Samples)
+	}
+}
+
+// TestParseRejects is the negative table: every malformed input must be
+// an error, not a silent skip.
+func TestParseRejects(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"malformed TYPE", "# TYPE kgvote_x\n"},
+		{"unknown type", "# TYPE kgvote_x flavor\n"},
+		{"invalid name in TYPE", "# TYPE 9bad counter\n"},
+		{"retyped family", "# TYPE kgvote_x counter\n# TYPE kgvote_x gauge\n"},
+		{"invalid sample name", "9bad 1\n"},
+		{"missing value", "kgvote_x\n"},
+		{"garbage value", "kgvote_x one\n"},
+		{"trailing junk", "kgvote_x 1 2 3\n"},
+		{"bad timestamp", "kgvote_x 1 later\n"},
+		{"unterminated labels", "kgvote_x{a=\"b\" 1\n"},
+		{"unquoted label value", "kgvote_x{a=b} 1\n"},
+		{"invalid label name", "kgvote_x{9a=\"b\"} 1\n"},
+		{"duplicate label", "kgvote_x{a=\"1\",a=\"2\"} 1\n"},
+		{"unknown escape", "kgvote_x{a=\"\\t\"} 1\n"},
+		{"dangling escape", "kgvote_x{a=\"b\\\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseExposition(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("input %q parsed without error", tc.in)
+			}
+		})
+	}
+}
+
+// TestCheckHistogramInvariants hand-writes broken histogram scrapes the
+// parser accepts but the checker must reject.
+func TestCheckHistogramInvariants(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{
+			"non-monotonic buckets",
+			"# TYPE kgvote_h histogram\n" +
+				"kgvote_h_bucket{le=\"1\"} 5\n" +
+				"kgvote_h_bucket{le=\"2\"} 3\n" +
+				"kgvote_h_bucket{le=\"+Inf\"} 6\n" +
+				"kgvote_h_sum 1\nkgvote_h_count 6\n",
+		},
+		{
+			"count disagrees with +Inf bucket",
+			"# TYPE kgvote_h histogram\n" +
+				"kgvote_h_bucket{le=\"1\"} 1\n" +
+				"kgvote_h_bucket{le=\"+Inf\"} 2\n" +
+				"kgvote_h_sum 1\nkgvote_h_count 3\n",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE kgvote_h histogram\n" +
+				"kgvote_h_bucket{le=\"1\"} 1\n" +
+				"kgvote_h_sum 1\nkgvote_h_count 1\n",
+		},
+		{
+			"zero observations with nonzero sum",
+			"# TYPE kgvote_h histogram\n" +
+				"kgvote_h_bucket{le=\"1\"} 0\n" +
+				"kgvote_h_bucket{le=\"+Inf\"} 0\n" +
+				"kgvote_h_sum 4\nkgvote_h_count 0\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := CheckExposition(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("checker accepted broken scrape:\n%s", tc.in)
+			}
+		})
+	}
+	// And a well-formed one passes with the right series count.
+	ok := "# TYPE kgvote_h histogram\n" +
+		"kgvote_h_bucket{le=\"1\"} 1\n" +
+		"kgvote_h_bucket{le=\"+Inf\"} 2\n" +
+		"kgvote_h_sum 3\nkgvote_h_count 2\n"
+	n, err := CheckExposition(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid scrape rejected: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("series = %d, want 4", n)
+	}
+}

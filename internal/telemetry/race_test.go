@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammerAndScrape drives counters, gauges, and histograms
+// from many goroutines while a scraper renders the registry, then
+// asserts no increment was lost and the final scrape satisfies every
+// structural invariant. Run under -race (the CI telemetry job does)
+// this also proves the hot path has no data races.
+func TestConcurrentHammerAndScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("kgvote_race_ops_total", "Ops.", nil)
+	g := reg.Gauge("kgvote_race_inflight", "In flight.", nil)
+	h := reg.Histogram("kgvote_race_seconds", "Latency.", nil, []float64{0.25, 0.5, 1})
+	perRoute := []*Counter{
+		reg.Counter("kgvote_race_route_total", "", Labels{"route": "/ask"}),
+		reg.Counter("kgvote_race_route_total", "", Labels{"route": "/vote"}),
+	}
+
+	const workers = 8
+	const iters = 5000
+
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			// Mid-hammer scrapes must stay parseable. (CheckHistograms is
+			// deliberately not applied here: _count is loaded after the
+			// buckets, so a concurrent observation can legitimately make
+			// _count exceed the +Inf bucket within one scrape.)
+			if _, err := ParseExposition(&buf); err != nil {
+				t.Errorf("mid-hammer scrape unparseable: %v", err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) * 0.25) // 0, 0.25, 0.5, 0.75
+				perRoute[w%2].Inc()
+				g.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	const total = workers * iters
+	if got := c.Value(); got != total {
+		t.Fatalf("counter lost increments: %d != %d", got, total)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge should settle at 0, got %d", got)
+	}
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram lost observations: %d != %d", got, total)
+	}
+	// Each worker observes 0, 0.25, 0.5, 0.75 in rotation: per cycle of 4
+	// the sum is 1.5, and each value count splits evenly across buckets.
+	if want := float64(total) / 4 * 1.5; h.Sum() != want {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), want)
+	}
+	if b0 := h.BucketCount(0); b0 != total/2 { // 0 and 0.25 both ≤ 0.25
+		t.Fatalf("bucket 0 = %d, want %d", b0, total/2)
+	}
+	if got := perRoute[0].Value() + perRoute[1].Value(); got != total {
+		t.Fatalf("route counters lost increments: %d != %d", got, total)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("final scrape fails invariants: %v", err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package telemetry is the daemon's dependency-free instrumentation
+// layer (DESIGN.md §10): atomic counters, gauges, and fixed-bucket
+// latency histograms collected in a named Registry and exposed in the
+// Prometheus text exposition format, plus a per-request span recorder
+// (Trace) for inline stage timings.
+//
+// Metric names follow the schema kgvote_<subsystem>_<name>_<unit>:
+// counters end in _total, histograms and gauges end in their unit
+// (_seconds, _bytes, _votes, ...). Every metric type is safe for
+// concurrent use, and every method is a no-op on a nil receiver so
+// instrumented code paths cost nothing when telemetry is disabled — a
+// nil *Registry hands out nil metrics, so callers never branch.
+//
+// The clock is injectable (NewRegistryWithClock) so tests can assert
+// exact bucket counts and span durations without sleeping.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels is an immutable-by-convention set of constant label pairs
+// attached to one metric at registration time. Series cardinality is
+// fixed up front: there is no dynamic label API, which keeps the hot
+// path free of map lookups.
+type Labels map[string]string
+
+// Kind discriminates metric families in the exposition output.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Registry is a named collection of metrics. Registration is
+// get-or-create: asking twice for the same name+labels returns the same
+// metric, so independently wired subsystems can share one registry
+// without coordination. Registration takes a lock; the returned handles
+// are lock-free.
+type Registry struct {
+	now func() time.Time
+
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// family groups every metric sharing one name (differing only in
+// labels), matching the exposition format's one-HELP/TYPE-per-name rule.
+type family struct {
+	name string
+	help string
+	kind Kind
+
+	mu      sync.Mutex
+	entries []familyEntry
+	byKey   map[string]int
+}
+
+type familyEntry struct {
+	labels string // pre-rendered {k="v",...} or ""
+	metric any    // *Counter, *Gauge, funcMetric, *Histogram
+}
+
+// funcMetric is a scrape-time metric: its value is read by calling fn.
+type funcMetric struct{ fn func() float64 }
+
+// NewRegistry returns an empty registry on the real clock.
+func NewRegistry() *Registry {
+	return NewRegistryWithClock(time.Now)
+}
+
+// NewRegistryWithClock returns a registry whose histograms and traces
+// read time from now — tests inject a fake clock here.
+func NewRegistryWithClock(now func() time.Time) *Registry {
+	if now == nil {
+		now = time.Now
+	}
+	return &Registry{now: now, byName: make(map[string]*family)}
+}
+
+// Now reads the registry clock (time.Now unless injected).
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Now()
+	}
+	return r.now()
+}
+
+// NewTrace returns a Trace on the registry clock. It works on a nil
+// registry (real clock), so handlers can trace without telemetry wired.
+func (r *Registry) NewTrace(id string) *Trace {
+	if r == nil {
+		return NewTrace(id, nil)
+	}
+	return NewTrace(id, r.now)
+}
+
+// getFamily finds or creates the family for name, enforcing that a name
+// is never reused with a different kind. Invalid names and kind
+// conflicts panic: both are programming errors in registration code,
+// not runtime conditions.
+func (r *Registry) getFamily(name, help string, kind Kind) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, byKey: make(map[string]int)}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// getOrCreate returns the family's metric under the rendered label set,
+// creating it with mk on first registration.
+func (f *family) getOrCreate(labels Labels, mk func() any) any {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i, ok := f.byKey[key]; ok {
+		return f.entries[i].metric
+	}
+	m := mk()
+	f.byKey[key] = len(f.entries)
+	f.entries = append(f.entries, familyEntry{labels: key, metric: m})
+	return m
+}
+
+// Counter registers (or returns) a monotonically increasing counter.
+// A nil registry returns a nil counter whose methods are no-ops.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, KindCounter)
+	return f.getOrCreate(labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or returns) a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, KindGauge)
+	return f.getOrCreate(labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is read by fn at scrape time;
+// use it to surface existing counters (stats structs, cache sizes)
+// without double bookkeeping. Re-registering the same name+labels
+// replaces the function, so a fresh snapshot can take over a series.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.funcSeries(name, help, KindGauge, labels, fn)
+}
+
+// CounterFunc is GaugeFunc with counter semantics: fn must be
+// monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.funcSeries(name, help, KindCounter, labels, fn)
+}
+
+func (r *Registry) funcSeries(name, help string, kind Kind, labels Labels, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	f := r.getFamily(name, help, kind)
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i, ok := f.byKey[key]; ok {
+		f.entries[i].metric = funcMetric{fn: fn}
+		return
+	}
+	f.byKey[key] = len(f.entries)
+	f.entries = append(f.entries, familyEntry{labels: key, metric: funcMetric{fn: fn}})
+}
+
+// Histogram registers (or returns) a fixed-bucket histogram. bounds are
+// the inclusive upper bucket bounds in increasing order (a +Inf bucket
+// is implicit); nil bounds take DefBuckets.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, KindHistogram)
+	return f.getOrCreate(labels, func() any { return newHistogram(bounds, r.now) }).(*Histogram)
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative n is ignored: counters only
+// go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (in-flight requests, queue
+// depths).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// validMetricName enforces the exposition-format name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName enforces [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels renders a label set as {k="v",...} with keys sorted, or
+// "" for an empty set. The rendered form doubles as the dedup key.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !validLabelName(k) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := make([]byte, 0, 32)
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, k...)
+		b = append(b, '=', '"')
+		b = appendEscapedLabelValue(b, labels[k])
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// appendEscapedLabelValue escapes backslash, double quote, and newline
+// per the exposition format.
+func appendEscapedLabelValue(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, v[i])
+		}
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable test clock: tests advance it explicitly,
+// so histogram and trace durations are exact instead of sleep-derived.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestCounter(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("kgvote_test_ops_total", "Ops.", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up: ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("kgvote_test_depth", "Depth.", nil)
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilRegistryAndNilMetricsAreNoOps(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("kgvote_x_total", "", nil)
+	g := reg.Gauge("kgvote_x", "", nil)
+	h := reg.Histogram("kgvote_x_seconds", "", nil, nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil metrics, got %v %v %v", c, g, h)
+	}
+	// Every method must be callable without panicking.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	h.Start()()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	if h.Quantile(0.5) != 0 || h.Bounds() != nil || h.BucketCount(0) != 0 {
+		t.Fatal("nil histogram reads must be zero")
+	}
+	reg.GaugeFunc("kgvote_x_fn", "", nil, func() float64 { return 1 })
+	if err := reg.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	tr := reg.NewTrace("id-1")
+	if tr == nil || tr.ID() != "id-1" {
+		t.Fatal("nil registry must still mint real traces")
+	}
+}
+
+func TestGetOrCreateReturnsSameMetric(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("kgvote_test_total", "", Labels{"route": "/ask"})
+	b := reg.Counter("kgvote_test_total", "", Labels{"route": "/ask"})
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := reg.Counter("kgvote_test_total", "", Labels{"route": "/vote"})
+	if a == c {
+		t.Fatal("different labels must return distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Fatalf("shared/distinct confusion: b=%d c=%d", b.Value(), c.Value())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("kgvote_test_total", "", nil)
+	mustPanic("kind conflict", func() { reg.Gauge("kgvote_test_total", "", nil) })
+	mustPanic("invalid metric name", func() { reg.Counter("9starts_with_digit", "", nil) })
+	mustPanic("invalid metric name chars", func() { reg.Counter("has space", "", nil) })
+	mustPanic("invalid label name", func() {
+		reg.Counter("kgvote_ok_total", "", Labels{"bad-label": "x"})
+	})
+	mustPanic("non-increasing bounds", func() {
+		reg.Histogram("kgvote_h_seconds", "", nil, []float64{1, 1})
+	})
+}
+
+func TestFuncSeriesReplaceOnReregister(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("kgvote_test_live", "", nil, func() float64 { return 1 })
+	reg.GaugeFunc("kgvote_test_live", "", nil, func() float64 { return 2 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "kgvote_test_live 2\n") {
+		t.Fatalf("re-registered GaugeFunc must win the series:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "kgvote_test_live 1") {
+		t.Fatalf("stale GaugeFunc still emitted:\n%s", sb.String())
+	}
+}
+
+func TestHistogramExactBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("kgvote_test_seconds", "", nil, []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 9} {
+		h.Observe(v)
+	}
+	// Upper bounds are inclusive: 1 lands in the le=1 bucket, 4 in le=4.
+	want := []uint64{2, 2, 2, 1} // (≤1)=0.5,1  (≤2)=1.5,2  (≤4)=3,4  (+Inf)=9
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if sum := h.Sum(); sum != 21 {
+		t.Fatalf("sum = %g, want 21", sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4}, nil)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5) // bucket le=1
+		h.Observe(1.5) // bucket le=2
+	}
+	cases := []struct{ q, want float64 }{
+		{0.5, 1},    // rank 4: end of first bucket
+		{0.25, 0.5}, // rank 2: halfway through first bucket
+		{0.75, 1.5}, // rank 6: halfway through second bucket
+		{1, 2},      // rank 8: end of second bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// +Inf bucket clamps to the largest finite bound.
+	h2 := NewHistogram([]float64{1, 2, 4}, nil)
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 4 {
+		t.Fatalf("+Inf quantile = %g, want clamp to 4", got)
+	}
+}
+
+func TestHistogramTimerOnFakeClock(t *testing.T) {
+	clk := newFakeClock()
+	reg := NewRegistryWithClock(clk.now)
+	h := reg.Histogram("kgvote_test_seconds", "", nil, []float64{0.1, 0.5, 1})
+	stop := h.Start()
+	clk.advance(250 * time.Millisecond)
+	stop()
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() != 0.25 {
+		t.Fatalf("sum = %g, want exactly 0.25 (fake clock)", h.Sum())
+	}
+	if h.BucketCount(1) != 1 { // 0.25 ∈ (0.1, 0.5]
+		t.Fatalf("0.25 must land in the le=0.5 bucket, got %v %v %v",
+			h.BucketCount(0), h.BucketCount(1), h.BucketCount(2))
+	}
+}
+
+func TestTraceStagesOnFakeClock(t *testing.T) {
+	clk := newFakeClock()
+	reg := NewRegistryWithClock(clk.now)
+	tr := reg.NewTrace("req-42")
+	stop := tr.Stage("seed")
+	clk.advance(100 * time.Microsecond)
+	stop()
+	stop = tr.Stage("rank")
+	clk.advance(2 * time.Millisecond)
+	stop()
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %v, want 2", stages)
+	}
+	if stages[0].Name != "seed" || stages[0].Micros != 100 {
+		t.Fatalf("seed stage = %+v, want 100µs", stages[0])
+	}
+	if stages[1].Name != "rank" || stages[1].Micros != 2000 {
+		t.Fatalf("rank stage = %+v, want 2000µs", stages[1])
+	}
+	if got := tr.Elapsed(); got != 2100*time.Microsecond {
+		t.Fatalf("elapsed = %s, want 2.1ms", got)
+	}
+	s := tr.String()
+	if !strings.HasPrefix(s, "req-42 ") || !strings.Contains(s, "seed=100.0µs") {
+		t.Fatalf("trace string = %q", s)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Stage("x")()
+	tr.Observe("y", time.Second)
+	if tr.ID() != "" || tr.Stages() != nil || tr.Elapsed() != 0 || tr.String() != "" {
+		t.Fatal("nil trace must read as empty")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil trace")
+	}
+	tr := NewTrace("ctx-1", nil)
+	ctx := WithTrace(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %v, want the attached trace", got)
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace records the stage timings of one request: the server mints (or
+// accepts via X-Request-ID) an ID, threads the Trace through the
+// request context, and handlers bracket their stages with Stage. The
+// recorded spans come back inline on /ask?trace=1 and in slow-request
+// log lines.
+//
+// A nil *Trace is valid everywhere and records nothing, so the serving
+// path stays branch-free when tracing is off.
+type Trace struct {
+	id    string
+	now   func() time.Time
+	start time.Time
+
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// Stage is one completed span of a trace, with its duration in
+// microseconds (the natural unit of the serving path).
+type Stage struct {
+	Name   string  `json:"name"`
+	Micros float64 `json:"us"`
+}
+
+// NewTrace starts a trace on the given clock (nil = time.Now).
+func NewTrace(id string, now func() time.Time) *Trace {
+	if now == nil {
+		now = time.Now
+	}
+	return &Trace{id: id, now: now, start: now()}
+}
+
+// ID returns the request ID the trace was started with.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Stage begins a named span and returns the function that ends it.
+func (t *Trace) Stage(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := t.now()
+	return func() { t.Observe(name, t.now().Sub(t0)) }
+}
+
+// Observe records a completed span directly.
+func (t *Trace) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, Stage{Name: name, Micros: float64(d.Nanoseconds()) / 1e3})
+	t.mu.Unlock()
+}
+
+// Stages returns the recorded spans in completion order.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+// Elapsed is the time since the trace started.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.now().Sub(t.start)
+}
+
+// String renders the trace for log lines: "id stage=12.3µs ...".
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	s := t.id
+	for _, st := range t.Stages() {
+		s += fmt.Sprintf(" %s=%.1fµs", st.Name, st.Micros)
+	}
+	return s
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// reqSeq numbers minted request IDs within this process.
+var reqSeq atomic.Uint64
+
+// reqPrefix makes IDs from different processes distinguishable without
+// coordination; it is fixed at init.
+var reqPrefix = fmt.Sprintf("%x-%x", os.Getpid(), time.Now().UnixNano()&0xffffff)
+
+// NewRequestID mints a process-unique request ID for requests that did
+// not carry an X-Request-ID header.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+}

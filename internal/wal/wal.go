@@ -31,7 +31,40 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"kgvote/internal/telemetry"
 )
+
+// Metrics instruments the log's write path. All fields are nil-safe;
+// a log without metrics observes nothing.
+type Metrics struct {
+	// AppendSeconds times record framing + buffering (rotation
+	// included when it triggers).
+	AppendSeconds *telemetry.Histogram
+	// FsyncSeconds times each fsync of the active segment.
+	FsyncSeconds *telemetry.Histogram
+	// AppendBytes counts framed bytes written (header + payload).
+	AppendBytes *telemetry.Counter
+	// Records counts appended records.
+	Records *telemetry.Counter
+}
+
+// NewMetrics registers the WAL series in reg (nil reg = nil metrics).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		AppendSeconds: reg.Histogram("kgvote_wal_append_seconds",
+			"Latency of framing and buffering one WAL record.", nil, nil),
+		FsyncSeconds: reg.Histogram("kgvote_wal_fsync_seconds",
+			"Latency of fsyncing the active WAL segment.", nil, nil),
+		AppendBytes: reg.Counter("kgvote_wal_append_bytes_total",
+			"Framed bytes appended to the WAL (header + payload).", nil),
+		Records: reg.Counter("kgvote_wal_records_total",
+			"Records appended to the WAL.", nil),
+	}
+}
 
 // SyncPolicy controls when appended records are fsynced to disk.
 type SyncPolicy int
@@ -102,6 +135,8 @@ type Options struct {
 	// SyncEvery is the maximum fsync staleness under SyncInterval
 	// (0 = 100ms).
 	SyncEvery time.Duration
+	// Metrics, when non-nil, receives append/fsync instrumentation.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -253,6 +288,9 @@ func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
 	if len(payload) > MaxRecordSize {
 		return 0, fmt.Errorf("wal: record payload %d bytes exceeds max %d", len(payload), MaxRecordSize)
 	}
+	if m := l.opt.Metrics; m != nil {
+		defer m.AppendSeconds.Start()()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -272,6 +310,10 @@ func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
 	}
 	seq := l.nextSeq
 	l.nextSeq++
+	if m := l.opt.Metrics; m != nil {
+		m.Records.Inc()
+		m.AppendBytes.Add(int64(headerSize + len(payload)))
+	}
 	l.size += int64(headerSize + len(payload))
 	l.segments[len(l.segments)-1].size = l.size
 	if l.size >= l.opt.SegmentBytes {
@@ -338,7 +380,15 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
-	if err := l.f.Sync(); err != nil {
+	var stop func()
+	if m := l.opt.Metrics; m != nil {
+		stop = m.FsyncSeconds.Start()
+	}
+	err := l.f.Sync()
+	if stop != nil {
+		stop()
+	}
+	if err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.syncs++
