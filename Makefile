@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-telemetry vet bench bench-serve metrics-smoke experiments clean
+.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush metrics-smoke experiments clean
 
 all: vet test
 
@@ -32,6 +32,12 @@ bench:
 bench-serve:
 	$(GO) run ./cmd/benchserve -out BENCH_serve.json
 	$(GO) test -run xxx -bench 'BenchmarkAsk|BenchmarkSnapshotScoring' -benchmem .
+
+# Flush-path benchmark: one 64-vote split-and-merge flush through the
+# legacy path (no enumeration cache, one worker) vs the cached parallel
+# pipeline. Appends a timestamped run to BENCH_flush.json.
+bench-flush:
+	$(GO) run ./cmd/benchserve -flush -flushout BENCH_flush.json
 
 # Boot the real daemon, drive traffic, and validate GET /metrics against
 # the strict exposition checker (internal/telemetry/parse.go).

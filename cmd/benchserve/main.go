@@ -32,12 +32,73 @@ func main() {
 		withWal = flag.Bool("wal", true, "also measure the durable vote path per fsync policy")
 		votes   = flag.Int("votes", 150, "ask+vote rounds per WAL pass")
 		withTel = flag.Bool("telemetry", true, "also measure the Ask-path overhead of a live metrics registry")
+
+		flushMode  = flag.Bool("flush", false, "run the flush-path benchmark instead of the serve benchmarks")
+		flushOut   = flag.String("flushout", "BENCH_flush.json", "flush-mode JSON history file to append to (empty = skip)")
+		flushVotes = flag.Int("flush-votes", 64, "flush-mode batch size")
+		flushDocs  = flag.Int("flush-docs", 120, "flush-mode corpus documents")
+		rounds     = flag.Int("rounds", 3, "flush-mode timed repetitions per pass (min kept)")
 	)
 	flag.Parse()
-	if err := realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal, *withTel); err != nil {
+	var err error
+	if *flushMode {
+		err = flushMain(*flushDocs, *flushVotes, *workers, *rounds, *seed, *flushOut)
+	} else {
+		err = realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal, *withTel)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
 		os.Exit(1)
 	}
+}
+
+// flushRun is one timestamped flush-benchmark execution in
+// BENCH_flush.json (same {"runs":[...]} schema as BENCH_serve.json).
+type flushRun struct {
+	Time  string              `json:"time"`
+	Flush harness.FlushResult `json:"flush"`
+}
+
+type flushHistory struct {
+	Runs []flushRun `json:"runs"`
+}
+
+// flushMain runs the flush-path benchmark and appends the result to the
+// flush history file.
+func flushMain(docs, votes, workers, rounds int, seed int64, out string) error {
+	res, err := harness.FlushBench(harness.FlushConfig{
+		Docs: docs, Votes: votes, Workers: workers, Rounds: rounds, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if out == "" {
+		return nil
+	}
+	var hist flushHistory
+	b, err := os.ReadFile(out)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return err
+	default:
+		if err := json.Unmarshal(b, &hist); err != nil {
+			return fmt.Errorf("unreadable history %s: %w", out, err)
+		}
+	}
+	hist.Runs = append(hist.Runs, flushRun{
+		Time: time.Now().UTC().Format(time.RFC3339), Flush: res,
+	})
+	nb, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(nb, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended run %d to %s\n", len(hist.Runs), out)
+	return nil
 }
 
 // benchRun is one timestamped benchmark execution in the history file.

@@ -21,12 +21,12 @@ import (
 // teaching the knowledge graph anything — exactly the failure the paper's
 // Fig. 1 avoids, where the q→entity weights stay 0.33 while the entity
 // edges change.
-func (e *Engine) similaritySignomial(p *sgp.Program, query graph.NodeID, paths []pathidx.Path) *signomial.Signomial {
+func (e *Engine) similaritySignomial(p *sgp.Program, query graph.NodeID, paths []pathidx.Path, b *signomial.Builder) *signomial.Signomial {
 	sig := signomial.NewConst(0)
 	c := e.opt.C
 	for _, walk := range paths {
 		coef := c
-		vars := make([]int, 0, walk.Len())
+		b.StartMonomial()
 		for i := 0; i < walk.Len(); i++ {
 			edge := walk.Edge(i)
 			coef *= 1 - c
@@ -34,9 +34,9 @@ func (e *Engine) similaritySignomial(p *sgp.Program, query graph.NodeID, paths [
 				coef *= e.g.Weight(edge.From, edge.To)
 				continue
 			}
-			vars = append(vars, p.EdgeVarIndex(edge, e.g.Weight(edge.From, edge.To)))
+			b.Var(p.EdgeVarIndex(edge, e.g.Weight(edge.From, edge.To)))
 		}
-		sig.Add(signomial.Monomial(coef, vars...))
+		sig.Add(b.Finish(coef))
 	}
 	return sig.Normalize()
 }
@@ -49,23 +49,22 @@ func (e *Engine) similaritySignomial(p *sgp.Program, query graph.NodeID, paths [
 // as a hard constraint (Equation (11), single-vote) or a soft constraint
 // with a deviation variable (Equation (15), multi-vote). It returns the
 // number of constraints added.
-func (e *Engine) encodeVote(p *sgp.Program, v vote.Vote, soft bool) (int, error) {
+func (e *Engine) encodeVote(p *sgp.Program, v vote.Vote, soft bool, fc *flushEnum, b *signomial.Builder) (int, error) {
 	if err := v.Validate(); err != nil {
 		return 0, err
 	}
-	paths, err := pathidx.Enumerate(e.g, v.Query, v.Ranked, e.opt.pathOptions())
+	paths, err := fc.paths(e, v.Query, v.Ranked)
 	if err != nil {
 		return 0, err
 	}
-	bestSig := e.similaritySignomial(p, v.Query, paths[v.Best])
+	bestSig := e.similaritySignomial(p, v.Query, paths[v.Best], b)
 	// Precondition: divide the vote's constraints by S(q, a*) at the
 	// initial point, so residuals are relative similarity gaps of order 1
 	// rather than raw scores of order 1e-2. This leaves the feasible set
 	// unchanged but puts the sigmoid objective (w = 300) into its intended
 	// regime: comfortably-satisfied constraints saturate to 0 instead of
 	// leaking gradient that would distort the graph.
-	x0 := p.InitialPoint()
-	scale := bestSig.Eval(x0)
+	scale := p.EvalAtInit(bestSig)
 	if scale < 1e-12 {
 		scale = 1e-12
 	}
@@ -74,7 +73,7 @@ func (e *Engine) encodeVote(p *sgp.Program, v vote.Vote, soft bool) (int, error)
 		if a == v.Best {
 			continue
 		}
-		sig := e.similaritySignomial(p, v.Query, paths[a])
+		sig := e.similaritySignomial(p, v.Query, paths[a], b)
 		sig.AddScaled(bestSig, -1)
 		sig.Normalize()
 		// The margin is added after preconditioning, making it a relative
@@ -140,14 +139,27 @@ func (e *Engine) addCapacityConstraints(p *sgp.Program) {
 	}
 }
 
-// newProgram returns an sgp.Program configured from the engine options.
+// newProgram returns an sgp.Program configured from the engine options,
+// reusing a pooled workspace (variable slices, edge index, constraint
+// slices) from an earlier solve when one is available — per-cluster
+// solves run back to back every flush and would otherwise rebuild these
+// from scratch each time.
 func (e *Engine) newProgram() *sgp.Program {
-	p := sgp.NewProgram()
+	p, _ := e.progPool.Get().(*sgp.Program)
+	if p == nil {
+		p = sgp.NewProgram()
+	} else {
+		p.Reset()
+	}
 	p.Lambda1 = e.opt.Lambda1
 	p.Lambda2 = e.opt.Lambda2
 	p.SigmoidW = e.opt.SigmoidW
 	return p
 }
+
+// putProgram returns a program's workspace to the pool. The caller must
+// not retain references into the program afterwards.
+func (e *Engine) putProgram(p *sgp.Program) { e.progPool.Put(p) }
 
 // extractChanges reads the solved edge-variable values out of a solution.
 func extractChanges(p *sgp.Program, x []float64) map[graph.EdgeKey]float64 {
@@ -163,28 +175,54 @@ func extractChanges(p *sgp.Program, x []float64) map[graph.EdgeKey]float64 {
 // bestReachable reports whether any walk of length ≤ L reaches the vote's
 // best answer. Votes whose best answer is unreachable cannot be encoded
 // meaningfully (their similarity signomial is identically zero).
-func (e *Engine) bestReachable(v vote.Vote) (bool, error) {
-	paths, err := pathidx.Enumerate(e.g, v.Query, []graph.NodeID{v.Best}, e.opt.pathOptions())
+func (e *Engine) bestReachable(v vote.Vote, fc *flushEnum) (bool, error) {
+	paths, err := fc.paths(e, v.Query, []graph.NodeID{v.Best})
 	if err != nil {
 		return false, err
 	}
 	return len(paths[v.Best]) > 0, nil
 }
 
-// judge applies the Section V judgment algorithm to one vote.
-func (e *Engine) judge(v vote.Vote) (bool, error) {
-	return vote.Judge(e.g, v, e.opt.ExtremeConst, e.opt.pathOptions())
+// judge applies the Section V judgment algorithm to one vote, reusing the
+// flush's cached walk sets when available.
+func (e *Engine) judge(v vote.Vote, fc *flushEnum) (bool, error) {
+	if fc == nil {
+		return vote.Judge(e.g, v, e.opt.ExtremeConst, e.opt.pathOptions())
+	}
+	if err := v.Validate(); err != nil {
+		return false, err
+	}
+	if v.Kind == vote.Positive {
+		return true, nil
+	}
+	rank := v.BestRank()
+	rival := v.Ranked[rank-2]
+	paths, err := fc.paths(e, v.Query, []graph.NodeID{v.Best, rival})
+	if err != nil {
+		return false, err
+	}
+	return vote.JudgeWithPaths(v, e.opt.ExtremeConst, e.opt.pathOptions(), paths)
 }
 
 // filterVotes partitions votes into encodable and discarded per the
-// judgment algorithm. Positive votes always pass.
-func (e *Engine) filterVotes(votes []vote.Vote) (kept, discarded []vote.Vote, err error) {
-	for i, v := range votes {
-		ok, err := e.judge(v)
+// judgment algorithm, fanning the per-vote judgments out over
+// Options.Workers. Positive votes always pass. The partition preserves
+// input order regardless of worker scheduling.
+func (e *Engine) filterVotes(votes []vote.Vote, fc *flushEnum) (kept, discarded []vote.Vote, err error) {
+	oks := make([]bool, len(votes))
+	err = runIndexed(e.opt.Workers, len(votes), func(i int) error {
+		ok, err := e.judge(votes[i], fc)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: judging vote %d: %w", i, err)
+			return fmt.Errorf("core: judging vote %d: %w", i, err)
 		}
-		if ok {
+		oks[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, v := range votes {
+		if oks[i] {
 			kept = append(kept, v)
 		} else {
 			discarded = append(discarded, v)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"kgvote/internal/graph"
@@ -32,6 +33,10 @@ type Engine struct {
 	// metrics, when non-nil, receives solve instrumentation (nil-safe;
 	// see SetMetrics).
 	metrics *Metrics
+
+	// progPool recycles sgp.Program workspaces across solves (the
+	// split-and-merge path builds one program per cluster per flush).
+	progPool sync.Pool
 }
 
 // New returns an engine over g. Zero-valued option fields take the

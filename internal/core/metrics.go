@@ -22,6 +22,17 @@ type Metrics struct {
 	// ClusterSize records the vote count of each split-and-merge
 	// affinity-propagation cluster.
 	ClusterSize *telemetry.Histogram
+	// EnumCacheHits / EnumCacheMisses count per-flush walk-enumeration
+	// cache outcomes; misses equal the Enumerate DFS runs actually paid.
+	EnumCacheHits   *telemetry.Counter
+	EnumCacheMisses *telemetry.Counter
+	// StageEnum through StageMerge time the flush pipeline's stages
+	// (kgvote_core_flush_stage_seconds{stage=...}).
+	StageEnum    *telemetry.Histogram
+	StageJudge   *telemetry.Histogram
+	StageCluster *telemetry.Histogram
+	StageSolve   *telemetry.Histogram
+	StageMerge   *telemetry.Histogram
 }
 
 // NewMetrics registers the engine series in reg (nil reg = nil
@@ -45,7 +56,23 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"SGP solver inner iterations.", nil),
 		ClusterSize: reg.Histogram("kgvote_core_cluster_size_votes",
 			"Votes per split-and-merge affinity-propagation cluster.", nil, telemetry.CountBuckets),
+		EnumCacheHits: reg.Counter("kgvote_enum_cache_hits_total",
+			"Walk-enumeration cache lookups served without re-running the DFS.", nil),
+		EnumCacheMisses: reg.Counter("kgvote_enum_cache_misses_total",
+			"Walk-enumeration cache lookups that ran the Enumerate DFS.", nil),
+		StageEnum:    stageHistogram(reg, "enumerate"),
+		StageJudge:   stageHistogram(reg, "judge"),
+		StageCluster: stageHistogram(reg, "cluster"),
+		StageSolve:   stageHistogram(reg, "solve"),
+		StageMerge:   stageHistogram(reg, "merge"),
 	}
+}
+
+// stageHistogram registers one flush-pipeline stage latency series.
+func stageHistogram(reg *telemetry.Registry, stage string) *telemetry.Histogram {
+	return reg.Histogram("kgvote_core_flush_stage_seconds",
+		"Wall-clock duration of one flush pipeline stage.",
+		telemetry.Labels{"stage": stage}, nil)
 }
 
 // SetMetrics wires the engine's (and its streams') instrumentation;
@@ -78,4 +105,19 @@ func (m *Metrics) observeCluster(size int) {
 		return
 	}
 	m.ClusterSize.Observe(float64(size))
+}
+
+// observeFlushStages publishes a flush report's stage durations and
+// enumeration-cache counters.
+func (m *Metrics) observeFlushStages(rep *Report) {
+	if m == nil || rep == nil {
+		return
+	}
+	m.EnumCacheHits.Add(int64(rep.EnumCacheHits))
+	m.EnumCacheMisses.Add(int64(rep.EnumCacheMisses))
+	m.StageEnum.Observe(rep.EnumSeconds)
+	m.StageJudge.Observe(rep.JudgeSeconds)
+	m.StageCluster.Observe(rep.ClusterSeconds)
+	m.StageSolve.Observe(rep.SolveSeconds)
+	m.StageMerge.Observe(rep.MergeSeconds)
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"kgvote/internal/sgp"
+	"kgvote/internal/signomial"
 	"kgvote/internal/vote"
 )
 
@@ -13,19 +15,37 @@ import (
 // deviation variable per constraint and the sigmoid objective of Equation
 // (19); one solve adjusts all edge weights at once, letting the solver
 // arbitrate conflicts between votes.
+//
+// The flush pipeline enumerates each query's walk sets exactly once (a
+// shared per-flush cache feeds judgment and encoding) and fans the
+// judgment filter out over Options.Workers.
 func (e *Engine) SolveMulti(votes []vote.Vote) (*Report, error) {
 	report := &Report{Votes: len(votes), Clusters: 1}
-	kept, discarded, err := e.filterVotes(votes)
+
+	tEnum := time.Now()
+	fc, err := e.newFlushEnum(votes)
 	if err != nil {
 		return nil, err
 	}
+	report.EnumSeconds = time.Since(tEnum).Seconds()
+
+	tJudge := time.Now()
+	kept, discarded, err := e.filterVotes(votes, fc)
+	if err != nil {
+		return nil, err
+	}
+	report.JudgeSeconds = time.Since(tJudge).Seconds()
 	report.Discarded = len(discarded)
 	if len(kept) == 0 {
+		e.finishFlush(report, fc)
 		return report, nil
 	}
+
+	tSolve := time.Now()
 	p := e.newProgram()
+	b := &signomial.Builder{}
 	for i, v := range kept {
-		n, err := e.encodeVote(p, v, true)
+		n, err := e.encodeVote(p, v, true, fc, b)
 		if err != nil {
 			return nil, fmt.Errorf("core: multi-vote %d: %w", i, err)
 		}
@@ -48,7 +68,21 @@ func (e *Engine) SolveMulti(votes []vote.Vote) (*Report, error) {
 	report.Outer = sol.Outer
 	report.InnerIters = sol.InnerIters
 	report.ChangedEdges = countChanged(p, sol.X)
-	applied, err := e.applyWeights(extractChanges(p, sol.X))
+	changes := extractChanges(p, sol.X)
+	e.putProgram(p)
+	report.SolveSeconds = time.Since(tSolve).Seconds()
+
+	tMerge := time.Now()
+	applied, err := e.applyWeights(changes)
 	report.Applied = applied
+	report.MergeSeconds = time.Since(tMerge).Seconds()
+	e.finishFlush(report, fc)
 	return report, err
+}
+
+// finishFlush folds the flush's enumeration-cache counters into the
+// report and publishes the pipeline's stage telemetry.
+func (e *Engine) finishFlush(report *Report, fc *flushEnum) {
+	report.EnumCacheHits, report.EnumCacheMisses = fc.stats()
+	e.metrics.observeFlushStages(report)
 }

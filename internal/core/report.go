@@ -34,6 +34,19 @@ type Report struct {
 	ChangedEdges int
 	// Outer and InnerIters aggregate solver statistics.
 	Outer, InnerIters int
+	// EnumSeconds through MergeSeconds are the wall-clock durations of the
+	// flush pipeline's stages: walk enumeration (cache prewarm), judgment
+	// filtering, vote clustering (split-and-merge only), SGP solving, and
+	// delta merge + weight application.
+	EnumSeconds    float64
+	JudgeSeconds   float64
+	ClusterSeconds float64
+	SolveSeconds   float64
+	MergeSeconds   float64
+	// EnumCacheHits and EnumCacheMisses count the flush's enumeration-
+	// cache outcomes; misses equal the Enumerate invocations actually run.
+	EnumCacheHits   uint64
+	EnumCacheMisses uint64
 	// Applied lists the final post-normalization weight of every edge the
 	// run touched, in application order (later entries for the same edge
 	// supersede earlier ones). The durability layer logs it so crash
@@ -53,5 +66,12 @@ func (r *Report) merge(o Report) {
 	r.ChangedEdges += o.ChangedEdges
 	r.Outer += o.Outer
 	r.InnerIters += o.InnerIters
+	r.EnumSeconds += o.EnumSeconds
+	r.JudgeSeconds += o.JudgeSeconds
+	r.ClusterSeconds += o.ClusterSeconds
+	r.SolveSeconds += o.SolveSeconds
+	r.MergeSeconds += o.MergeSeconds
+	r.EnumCacheHits += o.EnumCacheHits
+	r.EnumCacheMisses += o.EnumCacheMisses
 	r.Applied = append(r.Applied, o.Applied...)
 }

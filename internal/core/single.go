@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"kgvote/internal/sgp"
+	"kgvote/internal/signomial"
 	"kgvote/internal/vote"
 )
 
@@ -27,14 +29,24 @@ func (e *Engine) SolveSingle(votes []vote.Vote) (*Report, error) {
 		}
 		report.merge(sub)
 	}
+	e.metrics.observeFlushStages(report)
 	return report, nil
 }
 
 // solveOneVote encodes and solves the SGP of a single negative vote
-// against the current graph, then applies the result.
-func (e *Engine) solveOneVote(v vote.Vote) (Report, error) {
-	var rep Report
-	reachable, err := e.bestReachable(v)
+// against the current graph, then applies the result. The vote's walks
+// are enumerated once: a per-vote cache (the graph changes between the
+// greedy loop's votes, so no wider scope is sound) is shared by the
+// reachability probe and the encoder.
+func (e *Engine) solveOneVote(v vote.Vote) (rep Report, err error) {
+	tEnum := time.Now()
+	fc, err := e.newFlushEnum([]vote.Vote{v})
+	if err != nil {
+		return rep, err
+	}
+	rep.EnumSeconds = time.Since(tEnum).Seconds()
+	defer func() { rep.EnumCacheHits, rep.EnumCacheMisses = fc.stats() }()
+	reachable, err := e.bestReachable(v, fc)
 	if err != nil {
 		return rep, err
 	}
@@ -47,15 +59,17 @@ func (e *Engine) solveOneVote(v vote.Vote) (Report, error) {
 	// Equation (12); there are no deviation variables.
 	p.Lambda1 = 1
 	p.Lambda2 = 0
-	n, err := e.encodeVote(p, v, false)
+	n, err := e.encodeVote(p, v, false, fc, &signomial.Builder{})
 	if err != nil {
 		return rep, err
 	}
 	e.addCapacityConstraints(p)
+	tSolve := time.Now()
 	sol, err := p.Solve(sgp.SolveOptions{Mode: sgp.Full, AL: e.opt.AL})
 	if err != nil {
 		return rep, err
 	}
+	rep.SolveSeconds = time.Since(tSolve).Seconds()
 	changes := extractChanges(p, sol.X)
 	rep.Encoded = 1
 	rep.Variables = p.NumVars()
@@ -70,6 +84,7 @@ func (e *Engine) solveOneVote(v vote.Vote) (Report, error) {
 	rep.Outer = sol.Outer
 	rep.InnerIters = sol.InnerIters
 	rep.ChangedEdges = countChanged(p, sol.X)
+	e.putProgram(p)
 	applied, err := e.applyWeights(changes)
 	rep.Applied = applied
 	return rep, err

@@ -3,11 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
+	"time"
 
 	"kgvote/internal/cluster"
 	"kgvote/internal/graph"
 	"kgvote/internal/sgp"
+	"kgvote/internal/signomial"
 	"kgvote/internal/vote"
 )
 
@@ -21,64 +22,67 @@ type clusterResult struct {
 // SolveSplitMerge is the split-and-merge strategy of Section VI: votes are
 // clustered by the Jaccard similarity of their edge sets with affinity
 // propagation (preference = median similarity); each cluster becomes an
-// independent multi-vote SGP (solved in parallel when Options.Workers >
-// 1); per-edge weight deltas are merged with the paper's vote-weighted
-// sign rule and applied once.
+// independent multi-vote SGP; per-edge weight deltas are merged with the
+// paper's vote-weighted sign rule and applied once.
+//
+// The whole pre-solve pipeline is parallel when Options.Workers > 1:
+// walk enumeration (once per query, shared cache), judgment filtering,
+// per-vote edge sets, the O(n²) Jaccard similarity matrix, and the
+// per-cluster solves all fan out over a bounded worker pool. Results are
+// collected into index-addressed slots, so the merged outcome is
+// byte-identical to a Workers=1 run.
 func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
 	report := &Report{Votes: len(votes)}
-	kept, discarded, err := e.filterVotes(votes)
+
+	tEnum := time.Now()
+	fc, err := e.newFlushEnum(votes)
 	if err != nil {
 		return nil, err
 	}
+	report.EnumSeconds = time.Since(tEnum).Seconds()
+
+	tJudge := time.Now()
+	kept, discarded, err := e.filterVotes(votes, fc)
+	if err != nil {
+		return nil, err
+	}
+	report.JudgeSeconds = time.Since(tJudge).Seconds()
 	report.Discarded = len(discarded)
 	if len(kept) == 0 {
+		e.finishFlush(report, fc)
 		return report, nil
 	}
 
-	clusters, err := e.clusterVotes(kept)
+	tCluster := time.Now()
+	clusters, err := e.clusterVotes(kept, fc)
 	if err != nil {
 		return nil, err
 	}
+	report.ClusterSeconds = time.Since(tCluster).Seconds()
 	report.Clusters = len(clusters)
 	for _, cl := range clusters {
 		e.metrics.observeCluster(len(cl))
 	}
 
+	// Per-cluster solves: min(Workers, clusters) goroutines pulling
+	// cluster indices from a shared channel (no goroutine-per-cluster
+	// spawn storm, no semaphore).
+	tSolve := time.Now()
 	results := make([]clusterResult, len(clusters))
-	if e.opt.Workers <= 1 || len(clusters) == 1 {
-		for i, cl := range clusters {
-			res, err := e.solveCluster(cl)
-			if err != nil {
-				return nil, fmt.Errorf("core: cluster %d: %w", i, err)
-			}
-			results[i] = res
+	err = runIndexed(e.opt.Workers, len(clusters), func(i int) error {
+		res, err := e.solveCluster(clusters[i], fc)
+		if err != nil {
+			return fmt.Errorf("core: cluster %d: %w", i, err)
 		}
-	} else {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, e.opt.Workers)
-		errs := make([]error, len(clusters))
-		for i, cl := range clusters {
-			wg.Add(1)
-			go func(i int, cl []vote.Vote) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				res, err := e.solveCluster(cl)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				results[i] = res
-			}(i, cl)
-		}
-		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("core: cluster %d: %w", i, err)
-			}
-		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	report.SolveSeconds = time.Since(tSolve).Seconds()
 
+	tMerge := time.Now()
 	for _, res := range results {
 		report.merge(res.rep)
 	}
@@ -86,36 +90,46 @@ func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
 	report.ChangedEdges = len(changes)
 	applied, err := e.applyWeights(changes)
 	report.Applied = applied
+	report.MergeSeconds = time.Since(tMerge).Seconds()
+	e.finishFlush(report, fc)
 	return report, err
 }
 
 // clusterVotes computes E(t) per vote, the pairwise Jaccard similarities,
 // and runs affinity propagation; it returns the votes grouped by cluster.
-func (e *Engine) clusterVotes(votes []vote.Vote) ([][]vote.Vote, error) {
+// Edge-set computation and similarity rows are embarrassingly parallel
+// and fan out over Options.Workers; every worker writes disjoint
+// index-addressed slots, so the similarity matrix — and therefore the
+// clustering — is identical to a sequential run.
+func (e *Engine) clusterVotes(votes []vote.Vote, fc *flushEnum) ([][]vote.Vote, error) {
 	if len(votes) == 1 {
 		return [][]vote.Vote{votes}, nil
 	}
 	sets := make([]map[graph.EdgeKey]struct{}, len(votes))
-	for i, v := range votes {
-		set, err := vote.EdgeSet(e.g, v, e.opt.pathOptions())
+	err := runIndexed(e.opt.Workers, len(votes), func(i int) error {
+		set, err := e.voteEdgeSet(votes[i], fc)
 		if err != nil {
-			return nil, fmt.Errorf("core: edge set of vote %d: %w", i, err)
+			return fmt.Errorf("core: edge set of vote %d: %w", i, err)
 		}
 		sets[i] = set
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	n := len(votes)
 	sim := make([][]float64, n)
 	for i := range sim {
 		sim[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	_ = runIndexed(e.opt.Workers, n, func(i int) error {
 		for j := i + 1; j < n; j++ {
 			s := vote.Similarity(sets[i], sets[j])
 			sim[i][j], sim[j][i] = s, s
 		}
-	}
+		return nil
+	})
 	var res cluster.Result
-	var err error
 	switch e.opt.Cluster {
 	case KMedoidsCluster:
 		k := e.opt.ClusterK
@@ -147,15 +161,32 @@ func (e *Engine) clusterVotes(votes []vote.Vote) ([][]vote.Vote, error) {
 	return out, nil
 }
 
+// voteEdgeSet computes E(t) for one vote, served from the flush's walk
+// cache when available.
+func (e *Engine) voteEdgeSet(v vote.Vote, fc *flushEnum) (map[graph.EdgeKey]struct{}, error) {
+	if fc == nil {
+		return vote.EdgeSet(e.g, v, e.opt.pathOptions())
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	paths, err := fc.paths(e, v.Query, v.Ranked)
+	if err != nil {
+		return nil, err
+	}
+	return vote.EdgeSetFromPaths(v, paths), nil
+}
+
 // solveCluster runs the multi-vote encoding and solve for one cluster's
 // votes against the engine's current graph, returning weight deltas
 // relative to the current weights. The graph is only read, never written,
 // so cluster solves can run concurrently.
-func (e *Engine) solveCluster(votes []vote.Vote) (clusterResult, error) {
+func (e *Engine) solveCluster(votes []vote.Vote, fc *flushEnum) (clusterResult, error) {
 	res := clusterResult{votes: len(votes), deltas: make(map[graph.EdgeKey]float64)}
 	p := e.newProgram()
+	b := &signomial.Builder{}
 	for i, v := range votes {
-		n, err := e.encodeVote(p, v, true)
+		n, err := e.encodeVote(p, v, true, fc, b)
 		if err != nil {
 			return res, fmt.Errorf("encoding vote %d: %w", i, err)
 		}
@@ -183,13 +214,16 @@ func (e *Engine) solveCluster(votes []vote.Vote) (clusterResult, error) {
 			res.deltas[v.Edge] = d
 		}
 	}
+	e.putProgram(p)
 	return res, nil
 }
 
 // mergeDeltas implements the merge strategy of Section VI-A: an edge
 // changed in a single cluster takes that change; an edge changed in
 // several clusters takes the maximum change if the vote-weighted sum
-// Σ_C n_C·Δx_C is non-negative, otherwise the minimum.
+// Σ_C n_C·Δx_C is non-negative, otherwise the minimum. Results are
+// folded in cluster order, keeping the accumulated float sums — and so
+// the merged weights — deterministic under parallel solves.
 func (e *Engine) mergeDeltas(results []clusterResult) map[graph.EdgeKey]float64 {
 	type acc struct {
 		weighted float64 // Σ n_C · Δ_C

@@ -1,0 +1,37 @@
+package harness
+
+import "testing"
+
+func TestFlushBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flush bench is slow")
+	}
+	res, err := FlushBench(FlushConfig{Docs: 40, Votes: 8, Workers: 2, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Votes != 8 || res.Workers != 2 {
+		t.Errorf("config echo wrong: %+v", res)
+	}
+	if res.Encoded == 0 {
+		t.Errorf("no votes encoded; the benchmark measured an empty flush")
+	}
+	if res.BaselineMillis <= 0 || res.SequentialMillis <= 0 || res.ParallelMillis <= 0 {
+		t.Errorf("missing timings: %+v", res)
+	}
+	if res.Speedup <= 0 {
+		t.Errorf("speedup = %v", res.Speedup)
+	}
+	if res.CacheMisses == 0 {
+		t.Errorf("parallel pass never touched the enumeration cache")
+	}
+	if !res.MatchesSequential {
+		t.Errorf("parallel flush diverged from the sequential flush")
+	}
+	if res.BaselinePresolveMillis <= 0 || res.ParallelPresolveMillis <= 0 {
+		t.Errorf("pre-solve stages not timed: %+v", res)
+	}
+	if res.String() == "" {
+		t.Errorf("empty summary")
+	}
+}

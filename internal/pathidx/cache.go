@@ -1,0 +1,121 @@
+package pathidx
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kgvote/internal/graph"
+)
+
+// enumerateCalls counts every Enumerate invocation process-wide. It backs
+// the flush pipeline's "enumerate once per (query, path-options)" contract:
+// tests snapshot it around a flush and assert the delta equals the number
+// of distinct query nodes.
+var enumerateCalls atomic.Uint64
+
+// EnumerateCalls returns the process-wide number of Enumerate invocations.
+func EnumerateCalls() uint64 { return enumerateCalls.Load() }
+
+// EnumCache memoizes Enumerate results for one graph state. The flush
+// pipeline creates one per optimization batch: judgment, edge-set
+// computation, and SGP encoding all need the same walk sets per query
+// node, and without the cache each stage re-runs the DFS (up to three
+// enumerations per vote). The cache is safe for concurrent use by the
+// parallel pipeline stages.
+//
+// Entries are keyed by source node and remember the target set they were
+// enumerated with: a request whose targets are a subset of a cached
+// entry's is a hit (walk sets per target are independent of the other
+// targets requested), a wider request re-enumerates with the union. The
+// pipeline prewarms each query with the union of every vote's ranked
+// list, so steady-state flushes enumerate exactly once per query.
+//
+// The cache must only be used while the graph's weights are unchanged:
+// Enumerate prunes zero-weight edges, so any weight write invalidates
+// every entry. The engine therefore scopes a cache to a single flush
+// (weights are applied only after all solves complete).
+type EnumCache struct {
+	g   *graph.Graph
+	opt Options
+
+	mu      sync.Mutex
+	entries map[graph.NodeID]*enumEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type enumEntry struct {
+	mu      sync.Mutex
+	targets map[graph.NodeID]bool
+	paths   map[graph.NodeID][]Path
+}
+
+// NewEnumCache returns an empty cache over g with the given enumeration
+// options.
+func NewEnumCache(g *graph.Graph, opt Options) (*EnumCache, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &EnumCache{g: g, opt: opt, entries: make(map[graph.NodeID]*enumEntry)}, nil
+}
+
+// Paths returns Enumerate(g, source, targets, opt), served from the cache
+// when a previous enumeration for source already covers every requested
+// target. The returned map may contain additional targets from earlier
+// requests and is shared between callers: treat it as read-only.
+func (c *EnumCache) Paths(source graph.NodeID, targets []graph.NodeID) (map[graph.NodeID][]Path, error) {
+	c.mu.Lock()
+	e, ok := c.entries[source]
+	if !ok {
+		e = &enumEntry{}
+		c.entries[source] = e
+	}
+	c.mu.Unlock()
+
+	// The per-entry lock serializes enumeration for one source, so
+	// concurrent first requests do the DFS once (singleflight).
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.paths != nil {
+		covered := true
+		for _, t := range targets {
+			if !e.targets[t] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			c.hits.Add(1)
+			return e.paths, nil
+		}
+	}
+	// Miss (or a wider target set than cached): enumerate with the union
+	// so the entry keeps covering every earlier request.
+	union := make([]graph.NodeID, 0, len(e.targets)+len(targets))
+	seen := make(map[graph.NodeID]bool, len(e.targets)+len(targets))
+	for t := range e.targets {
+		union = append(union, t)
+		seen[t] = true
+	}
+	for _, t := range targets {
+		if !seen[t] {
+			union = append(union, t)
+			seen[t] = true
+		}
+	}
+	paths, err := Enumerate(c.g, source, union, c.opt)
+	if err != nil {
+		return nil, err
+	}
+	c.misses.Add(1)
+	e.targets = seen
+	e.paths = paths
+	return paths, nil
+}
+
+// Hits returns the number of requests served from the cache.
+func (c *EnumCache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the number of requests that ran Enumerate.
+func (c *EnumCache) Misses() uint64 { return c.misses.Load() }

@@ -1,0 +1,141 @@
+package pathidx
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"kgvote/internal/graph"
+)
+
+// cacheGraph builds q→a→x, q→b→y, a→y: two answers with a shared
+// intermediate so x and y have distinct walk sets.
+func cacheGraph(t *testing.T) (*graph.Graph, graph.NodeID, graph.NodeID, graph.NodeID) {
+	t.Helper()
+	g := graph.New(0)
+	q := g.AddNode("q")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	x := g.AddNode("x")
+	y := g.AddNode("y")
+	g.MustSetEdge(q, a, 0.6)
+	g.MustSetEdge(q, b, 0.4)
+	g.MustSetEdge(a, x, 0.8)
+	g.MustSetEdge(a, y, 0.2)
+	g.MustSetEdge(b, y, 1)
+	return g, q, x, y
+}
+
+func TestEnumCacheValidatesOptions(t *testing.T) {
+	g, _, _, _ := cacheGraph(t)
+	if _, err := NewEnumCache(g, Options{L: 3, C: 2}); err == nil {
+		t.Errorf("invalid options should be rejected")
+	}
+}
+
+func TestEnumCacheSubsetHitAndWidening(t *testing.T) {
+	g, q, x, y := cacheGraph(t)
+	opt := Options{L: 4, C: 0.15}
+	c, err := NewEnumCache(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := EnumerateCalls()
+
+	full, err := c.Paths(q, []graph.NodeID{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 0 || m != 1 {
+		t.Fatalf("first request: hits=%d misses=%d, want 0/1", h, m)
+	}
+	// A subset of the cached targets is a hit and returns the shared map.
+	sub, err := c.Paths(q, []graph.NodeID{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 1 {
+		t.Fatalf("subset request: hits=%d misses=%d, want 1/1", h, m)
+	}
+	if !reflect.DeepEqual(sub[x], full[x]) {
+		t.Errorf("subset request returned different walks for x")
+	}
+	// Cached walks are identical to a direct enumeration.
+	direct, err := Enumerate(g, q, []graph.NodeID{x, y}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, direct) {
+		t.Errorf("cached walks differ from direct Enumerate")
+	}
+	// A wider target set re-enumerates with the union and keeps covering
+	// the earlier targets.
+	wide, err := c.Paths(q, []graph.NodeID{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 2 {
+		t.Fatalf("widening request: hits=%d misses=%d, want 1/2", h, m)
+	}
+	if !reflect.DeepEqual(wide[x], direct[x]) || !reflect.DeepEqual(wide[y], direct[y]) {
+		t.Errorf("widened entry lost earlier targets' walks")
+	}
+	if _, err := c.Paths(q, []graph.NodeID{x, y, q}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 2 || m != 2 {
+		t.Fatalf("covered union request: hits=%d misses=%d, want 2/2", h, m)
+	}
+	// Initial fill + widening, plus this test's own direct comparison call.
+	if got := EnumerateCalls() - before; got != 3 {
+		t.Errorf("Enumerate ran %d times, want 3", got)
+	}
+}
+
+func TestEnumCacheConcurrentSingleflight(t *testing.T) {
+	g, q, x, y := cacheGraph(t)
+	c, err := NewEnumCache(g, Options{L: 4, C: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := EnumerateCalls()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = c.Paths(q, []graph.NodeID{x, y})
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := c.Misses(); m != 1 {
+		t.Errorf("concurrent identical requests caused %d misses, want 1", m)
+	}
+	if h := c.Hits(); h != workers-1 {
+		t.Errorf("hits = %d, want %d", h, workers-1)
+	}
+	if got := EnumerateCalls() - before; got != 1 {
+		t.Errorf("Enumerate ran %d times under concurrency, want 1", got)
+	}
+}
+
+func TestEnumCachePropagatesEnumerateError(t *testing.T) {
+	g, q, x, y := cacheGraph(t)
+	c, err := NewEnumCache(g, Options{L: 4, C: 0.15, MaxPaths: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Paths(q, []graph.NodeID{x, y}); err == nil {
+		t.Fatalf("MaxPaths overflow should propagate")
+	}
+	if m := c.Misses(); m != 0 {
+		t.Errorf("failed enumeration counted as a miss")
+	}
+}

@@ -120,6 +120,7 @@ func (o Options) Validate() error {
 // target of at most opt.L edges. Walks may revisit nodes (and targets):
 // an intermediate visit to a target both records a walk and continues.
 func Enumerate(g *graph.Graph, source graph.NodeID, targets []graph.NodeID, opt Options) (map[graph.NodeID][]Path, error) {
+	enumerateCalls.Add(1)
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}

@@ -99,6 +99,28 @@ func NewProgram() *Program {
 // NumVars returns the total variable count.
 func (p *Program) NumVars() int { return len(p.Vars) }
 
+// Reset empties the program for reuse, keeping the variable slice,
+// constraint slices, and edge-index map capacity. The engine pools
+// programs across per-cluster solves so each flush stops reallocating
+// the same workspaces.
+func (p *Program) Reset() {
+	p.Vars = p.Vars[:0]
+	p.Hard = p.Hard[:0]
+	p.Soft = p.Soft[:0]
+	p.Lambda1 = 0.5
+	p.Lambda2 = 0.5
+	p.SigmoidW = DefaultSigmoidW
+	clear(p.edgeIdx)
+}
+
+// EvalAtInit evaluates a signomial at the program's per-variable initial
+// values without materializing the initial-point vector — the encoder
+// preconditions one constraint per (vote, answer) pair and used to
+// allocate a fresh vector for each.
+func (p *Program) EvalAtInit(sig *signomial.Signomial) float64 {
+	return sig.EvalAt(func(i int) float64 { return p.Vars[i].Init })
+}
+
 // NumEdgeVars returns the number of edge-weight variables.
 func (p *Program) NumEdgeVars() int {
 	n := 0
@@ -173,7 +195,7 @@ func (p *Program) AddSoftConstraint(sig *signomial.Signomial) int {
 // AddWeightedSoftConstraint is AddSoftConstraint with a credibility weight
 // scaling the constraint's sigmoid objective term.
 func (p *Program) AddWeightedSoftConstraint(sig *signomial.Signomial, weight float64) int {
-	residual := sig.Eval(p.InitialPoint())
+	residual := p.EvalAtInit(sig)
 	dev := p.AddDeviationVar()
 	v := &p.Vars[dev]
 	v.Init = residual

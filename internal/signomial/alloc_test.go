@@ -1,0 +1,81 @@
+//go:build !race
+
+package signomial
+
+// Allocation guards for the hot numeric kernels. Excluded under the
+// race detector, which instruments allocations and breaks the counts.
+
+import "testing"
+
+func benchSignomial() (*Signomial, []float64) {
+	s := NewConst(0.5)
+	for i := 0; i < 32; i++ {
+		s.Add(Monomial(0.1*float64(i+1), i%7, (i+1)%7, (i+2)%7))
+	}
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = 0.5 + 0.05*float64(i)
+	}
+	return s, x
+}
+
+func TestEvalZeroAllocs(t *testing.T) {
+	s, x := benchSignomial()
+	if n := testing.AllocsPerRun(200, func() { s.Eval(x) }); n != 0 {
+		t.Errorf("Eval allocates %v per run, want 0", n)
+	}
+}
+
+func TestEvalAtZeroAllocs(t *testing.T) {
+	s, x := benchSignomial()
+	at := func(i int) float64 { return x[i] }
+	if n := testing.AllocsPerRun(200, func() { s.EvalAt(at) }); n != 0 {
+		t.Errorf("EvalAt allocates %v per run, want 0", n)
+	}
+}
+
+func TestAddGradZeroAllocs(t *testing.T) {
+	s, x := benchSignomial()
+	g := make([]float64, len(x))
+	if n := testing.AllocsPerRun(200, func() { s.AddGrad(x, g, 1) }); n != 0 {
+		t.Errorf("AddGrad allocates %v per run, want 0", n)
+	}
+}
+
+func TestAddScaledZeroAllocsSteadyState(t *testing.T) {
+	s, _ := benchSignomial()
+	dst := NewConst(0)
+	// Preallocate the term slice; steady-state AddScaled then only writes
+	// term headers (the factor slices are aliased, never copied).
+	dst.Terms = make([]Term, 0, 300*s.NumTerms())
+	if n := testing.AllocsPerRun(200, func() {
+		dst.Terms = dst.Terms[:0]
+		dst.AddScaled(s, 0.5)
+	}); n != 0 {
+		t.Errorf("AddScaled allocates %v per run with capacity available, want 0", n)
+	}
+}
+
+// Builder amortizes factor storage: after the arena has grown to the
+// working-set size, building a monomial allocates nothing.
+func TestBuilderAmortizedAllocs(t *testing.T) {
+	var b Builder
+	build := func() {
+		b.StartMonomial()
+		b.Var(3)
+		b.Var(1)
+		b.Var(3)
+		b.Finish(2.5)
+	}
+	n := testing.AllocsPerRun(1000, build)
+	if n > 0.1 {
+		t.Errorf("Builder allocates %v per monomial, want amortized ~0", n)
+	}
+	b.StartMonomial()
+	b.Var(2)
+	b.Var(2)
+	term := b.Finish(4)
+	if len(term.Factors) != 1 || term.Factors[0] != (Factor{Var: 2, Exp: 2}) {
+		t.Errorf("Builder term = %+v", term)
+	}
+}

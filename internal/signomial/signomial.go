@@ -16,7 +16,6 @@ package signomial
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
@@ -27,7 +26,9 @@ type Factor struct {
 }
 
 // Term is one monomial: Coef · Π x[Var]^Exp. Factors are kept sorted by
-// variable index with no duplicates (Monomial and normalize enforce this).
+// variable index with no duplicates (Monomial and Normalize enforce
+// this), and are immutable once a term is built: AddScaled and Normalize
+// alias factor slices between terms instead of copying them.
 type Term struct {
 	Coef    float64
 	Factors []Factor
@@ -38,15 +39,59 @@ type Term struct {
 // constructor for a walk: pass the variable index of every edge along the
 // walk, with repetition.
 func Monomial(coef float64, vars ...int) Term {
-	counts := make(map[int]float64, len(vars))
-	for _, v := range vars {
-		counts[v]++
+	return Term{Coef: coef, Factors: appendFactors(nil, vars)}
+}
+
+// appendFactors appends the sorted, multiplicity-merged factors of vars
+// to dst. vars is scratch and may be reordered in place; walk monomials
+// have a handful of variables, so an insertion sort beats any map- or
+// sort.Slice-based grouping and allocates nothing.
+func appendFactors(dst []Factor, vars []int) []Factor {
+	for i := 1; i < len(vars); i++ {
+		v := vars[i]
+		j := i - 1
+		for j >= 0 && vars[j] > v {
+			vars[j+1] = vars[j]
+			j--
+		}
+		vars[j+1] = v
 	}
-	fs := make([]Factor, 0, len(counts))
-	for v, e := range counts {
-		fs = append(fs, Factor{Var: v, Exp: e})
+	for i := 0; i < len(vars); {
+		j := i + 1
+		for j < len(vars) && vars[j] == vars[i] {
+			j++
+		}
+		dst = append(dst, Factor{Var: vars[i], Exp: float64(j - i)})
+		i = j
 	}
-	sort.Slice(fs, func(i, j int) bool { return fs[i].Var < fs[j].Var })
+	return dst
+}
+
+// Builder constructs terms for hot encoding loops. Factor storage comes
+// from an internal arena, amortizing what would otherwise be one slice
+// allocation per walk monomial; the per-monomial variable scratch is
+// reused across terms. A Builder is not safe for concurrent use — the
+// parallel flush pipeline gives each cluster solve its own.
+type Builder struct {
+	arena []Factor
+	vars  []int
+}
+
+// StartMonomial begins a new monomial, discarding any unfinished one.
+func (b *Builder) StartMonomial() { b.vars = b.vars[:0] }
+
+// Var appends one variable occurrence to the current monomial.
+func (b *Builder) Var(i int) { b.vars = append(b.vars, i) }
+
+// Finish completes the current monomial with the given coefficient. The
+// returned term's factors live in the builder's arena but are immutable,
+// so terms stay valid for the life of the signomials they join.
+func (b *Builder) Finish(coef float64) Term {
+	start := len(b.arena)
+	b.arena = appendFactors(b.arena, b.vars)
+	// Cap the slice at its length so a later arena append can never
+	// write into (and a Finish never shares) this term's factors.
+	fs := b.arena[start:len(b.arena):len(b.arena)]
 	return Term{Coef: coef, Factors: fs}
 }
 
@@ -105,12 +150,13 @@ func (s *Signomial) AddConst(c float64) *Signomial {
 	return s
 }
 
-// AddScaled appends every term of o scaled by k, and k·o.Const.
+// AddScaled appends every term of o scaled by k, and k·o.Const. The new
+// terms alias o's factor slices (factors are immutable once built), so
+// the operation allocates nothing beyond the term headers.
 func (s *Signomial) AddScaled(o *Signomial, k float64) *Signomial {
 	s.Const += k * o.Const
 	for _, t := range o.Terms {
-		nt := Term{Coef: k * t.Coef, Factors: append([]Factor(nil), t.Factors...)}
-		s.Terms = append(s.Terms, nt)
+		s.Terms = append(s.Terms, Term{Coef: k * t.Coef, Factors: t.Factors})
 	}
 	return s
 }
@@ -123,6 +169,22 @@ func (s *Signomial) Eval(x []float64) float64 {
 	v := s.Const
 	for i := range s.Terms {
 		v += s.Terms[i].Eval(x)
+	}
+	return v
+}
+
+// EvalAt evaluates the signomial reading variable i's value from at(i) —
+// the indirection lets callers evaluate at points they never materialize
+// as a vector (e.g. a program's per-variable initial values).
+func (s *Signomial) EvalAt(at func(int) float64) float64 {
+	v := s.Const
+	for i := range s.Terms {
+		t := &s.Terms[i]
+		tv := t.Coef
+		for _, f := range t.Factors {
+			tv *= powFast(at(f.Var), f.Exp)
+		}
+		v += tv
 	}
 	return v
 }
@@ -192,23 +254,30 @@ func (s *Signomial) MaxVar() int {
 
 // Normalize merges terms with identical factor sets, drops zero-coefficient
 // terms, and returns the receiver. It reduces evaluation cost when many
-// walks share an edge-multiset.
+// walks share an edge-multiset. First-seen term order is preserved, so
+// evaluation order — and thus float rounding — is deterministic.
+//
+// Terms are bucketed by an FNV-1a hash of their factor lists (with exact
+// factor comparison inside a bucket) instead of a rendered string key:
+// the encoder normalizes one signomial per (vote, answer) pair with one
+// term per walk, and per-term string formatting dominated that path.
 func (s *Signomial) Normalize() *Signomial {
-	type key string
-	merged := make(map[key]int)
+	merged := make(map[uint64][]int, len(s.Terms))
 	out := s.Terms[:0]
-	var b strings.Builder
 	for _, t := range s.Terms {
-		b.Reset()
-		for _, f := range t.Factors {
-			fmt.Fprintf(&b, "%d^%g,", f.Var, f.Exp)
+		h := factorHash(t.Factors)
+		found := -1
+		for _, i := range merged[h] {
+			if factorsEqual(out[i].Factors, t.Factors) {
+				found = i
+				break
+			}
 		}
-		k := key(b.String())
-		if i, ok := merged[k]; ok {
-			out[i].Coef += t.Coef
+		if found >= 0 {
+			out[found].Coef += t.Coef
 			continue
 		}
-		merged[k] = len(out)
+		merged[h] = append(merged[h], len(out))
 		out = append(out, t)
 	}
 	// Drop terms that cancelled to zero.
@@ -220,6 +289,41 @@ func (s *Signomial) Normalize() *Signomial {
 	}
 	s.Terms = final
 	return s
+}
+
+// factorHash is FNV-1a over the factor list's variable indices and
+// exponent bit patterns.
+func factorHash(fs []Factor) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, f := range fs {
+		mix(uint64(f.Var))
+		mix(math.Float64bits(f.Exp))
+	}
+	return h
+}
+
+// factorsEqual reports exact equality of two sorted factor lists.
+func factorsEqual(a, b []Factor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders the signomial for debugging.

@@ -138,10 +138,14 @@ func TestAddScaled(t *testing.T) {
 	if got, want := a.Eval(x), 1+2*10+0.5*(3+4*100); got != want {
 		t.Errorf("Eval = %v, want %v", got, want)
 	}
-	// Mutating a must not affect b's factor slices.
-	a.Terms[1].Factors[0].Var = 0
-	if b.Terms[0].Factors[0].Var != 1 {
-		t.Errorf("AddScaled aliased factor storage")
+	// Factors are immutable once built, so AddScaled may alias o's factor
+	// slices — but the coefficients must stay independent.
+	a.Terms[1].Coef = 99
+	if b.Terms[0].Coef != 4 {
+		t.Errorf("AddScaled shared coefficient storage: b coef = %v, want 4", b.Terms[0].Coef)
+	}
+	if b.Terms[0].Factors[0].Var != 1 || b.Terms[0].Factors[0].Exp != 1 {
+		t.Errorf("AddScaled corrupted b's factors: %+v", b.Terms[0].Factors[0])
 	}
 }
 

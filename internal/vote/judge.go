@@ -34,16 +34,33 @@ func Judge(g *graph.Graph, v Vote, extremeConst float64, opt pathidx.Options) (b
 	if v.Kind == Positive {
 		return true, nil
 	}
+	rank := v.BestRank()
+	rival := v.Ranked[rank-2] // the answer one position above the best
+	paths, err := pathidx.Enumerate(g, v.Query, []graph.NodeID{v.Best, rival}, opt)
+	if err != nil {
+		return false, err
+	}
+	return JudgeWithPaths(v, extremeConst, opt, paths)
+}
+
+// JudgeWithPaths is Judge over pre-enumerated walks: paths must hold, for
+// the vote's best answer and its rival (the answer ranked immediately
+// above it), every walk of length ≤ opt.L from the vote's query — exactly
+// what Enumerate returns for any target set containing both. The flush
+// pipeline calls it with a shared per-flush enumeration cache so judging
+// never re-runs the DFS.
+func JudgeWithPaths(v Vote, extremeConst float64, opt pathidx.Options, paths map[graph.NodeID][]pathidx.Path) (bool, error) {
+	if err := v.Validate(); err != nil {
+		return false, err
+	}
+	if v.Kind == Positive {
+		return true, nil
+	}
 	if extremeConst <= 0 || extremeConst >= 1 {
 		return false, fmt.Errorf("vote: extreme constant %v outside (0,1)", extremeConst)
 	}
 	rank := v.BestRank()
 	rival := v.Ranked[rank-2] // the answer one position above the best
-
-	paths, err := pathidx.Enumerate(g, v.Query, []graph.NodeID{v.Best, rival}, opt)
-	if err != nil {
-		return false, err
-	}
 	bestPaths, rivalPaths := paths[v.Best], paths[rival]
 	if len(bestPaths) == 0 {
 		// No walk reaches the voted answer at all: unoptimizable.

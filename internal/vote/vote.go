@@ -119,11 +119,19 @@ func EdgeSet(g *graph.Graph, v Vote, opt pathidx.Options) (map[graph.EdgeKey]str
 	if err != nil {
 		return nil, err
 	}
+	return EdgeSetFromPaths(v, paths), nil
+}
+
+// EdgeSetFromPaths computes E(t) from pre-enumerated walks: paths must
+// cover every answer in the vote's ranked list (it may cover more — only
+// the ranked answers' walks are read, so a cache entry enumerated with a
+// wider target set yields the same edge set as a direct enumeration).
+func EdgeSetFromPaths(v Vote, paths map[graph.NodeID][]pathidx.Path) map[graph.EdgeKey]struct{} {
 	set := make(map[graph.EdgeKey]struct{})
-	for _, ps := range paths {
-		pathidx.AddEdgeSet(set, ps)
+	for _, a := range v.Ranked {
+		pathidx.AddEdgeSet(set, paths[a])
 	}
-	return set, nil
+	return set
 }
 
 // Similarity is the Jaccard similarity of Equation (20):
