@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush metrics-smoke experiments clean
+.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush metrics-smoke overload-smoke drain-smoke experiments clean
 
 all: vet test
 
@@ -43,6 +43,18 @@ bench-flush:
 # the strict exposition checker (internal/telemetry/parse.go).
 metrics-smoke:
 	$(GO) test -v -run 'TestMetricsEndToEnd' ./cmd/kgvoted/
+
+# Overload smoke (DESIGN.md §12): flood /v1/vote far past the admission
+# queue's capacity and verify the contract — exactly capacity admitted,
+# everything else shed with 429 + Retry-After, /v1/ask responsive
+# throughout, live heap bounded. Exits non-zero on any violation.
+overload-smoke:
+	$(GO) run ./cmd/benchserve -overload -overload-out BENCH_overload.json
+
+# Graceful-drain smoke: SIGTERM the real daemon with votes queued and
+# mid-flight, restart it, and require every admitted vote to survive.
+drain-smoke:
+	$(GO) test -v -run 'TestDrain' ./cmd/kgvoted/
 
 experiments:
 	$(GO) run ./cmd/experiments

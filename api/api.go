@@ -1,0 +1,138 @@
+// Package api defines the wire contract of the kgvote HTTP service: the
+// request and response bodies of every /v1 endpoint, the uniform error
+// envelope, and the machine-readable error codes. It is the single source
+// of truth shared by the server (internal/server), the load generator
+// (cmd/benchserve), the thin HTTP client (api/client), and the examples.
+//
+// Versioning: all routes are mounted under the /v1 prefix. The
+// unprefixed legacy paths (/ask, /vote, ...) are deprecated aliases that
+// serve the same bodies and emit a Deprecation header; see API.md.
+package api
+
+import (
+	"kgvote/internal/core"
+	"kgvote/internal/durable"
+	"kgvote/internal/graph"
+	"kgvote/internal/telemetry"
+)
+
+// QueryHandle identifies a served question for a follow-up /vote or
+// /explain call. Handles from /ask are negative and opaque; non-negative
+// values name materialized query nodes (persisted systems only).
+type QueryHandle = graph.NodeID
+
+// HealthBody is the GET /v1/healthz response.
+type HealthBody struct {
+	Status string `json:"status"`
+}
+
+// StatsBody is the GET /v1/stats response. Durability is present only
+// when the daemon runs with a data directory; Admission only when the
+// server runs with admission control.
+type StatsBody struct {
+	Entities       int             `json:"entities"`
+	Edges          int             `json:"edges"`
+	Documents      int             `json:"documents"`
+	VotesAccepted  int             `json:"votes_accepted"`
+	VotesPending   int             `json:"votes_pending"`
+	Flushes        int             `json:"flushes"`
+	Epoch          uint64          `json:"epoch"`
+	PendingEvicted int64           `json:"pending_evicted"`
+	Draining       bool            `json:"draining,omitempty"`
+	Admission      *AdmissionStats `json:"admission,omitempty"`
+	Durability     *durable.Stats  `json:"durability,omitempty"`
+}
+
+// AdmissionStats reports the admission controller's counters.
+type AdmissionStats struct {
+	QueueCapacity int   `json:"queue_capacity"`
+	Admitted      int64 `json:"admitted"`
+	Shed          int64 `json:"shed"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedRate      int64 `json:"shed_rate_limited"`
+	ShedFlush     int64 `json:"shed_flush_backpressure"`
+	Clients       int   `json:"clients"`
+}
+
+// AskRequest is the POST /v1/ask request body. Either Text (entity
+// extraction) or Entities may be given.
+type AskRequest struct {
+	Text     string         `json:"text,omitempty"`
+	Entities map[string]int `json:"entities,omitempty"`
+}
+
+// AskResult is one ranked answer.
+type AskResult struct {
+	Doc   int     `json:"doc"`
+	Title string  `json:"title"`
+	Score float64 `json:"score"`
+}
+
+// AskResponse is the POST /v1/ask response body. Query is an opaque
+// handle identifying the served question for the follow-up /vote or
+// /explain call; Epoch identifies the graph snapshot the ranking was
+// computed from. Trace is present only when the request asked for it
+// (?trace=1).
+type AskResponse struct {
+	Query   QueryHandle `json:"query"`
+	Epoch   uint64      `json:"epoch"`
+	Results []AskResult `json:"results"`
+	Trace   *TraceBody  `json:"trace,omitempty"`
+}
+
+// TraceBody is the inline per-stage timing report of one /v1/ask?trace=1
+// request.
+type TraceBody struct {
+	RequestID   string            `json:"request_id"`
+	CacheHit    bool              `json:"cache_hit"`
+	Stages      []telemetry.Stage `json:"stages"`
+	TotalMicros float64           `json:"total_us"`
+}
+
+// VoteRequest is the POST /v1/vote request body: the query handle and
+// ranked list from a prior /ask, plus the document the user found best.
+type VoteRequest struct {
+	Query   QueryHandle `json:"query"`
+	Ranked  []int       `json:"ranked"` // document IDs in served order
+	BestDoc int         `json:"best_doc"`
+	Weight  float64     `json:"weight,omitempty"`
+}
+
+// VoteResponse reports what happened to the vote. In asynchronous-flush
+// mode Flushed is always false: the background scheduler runs the solve
+// after the response is written.
+type VoteResponse struct {
+	Kind    string       `json:"kind,omitempty"`
+	Pending int          `json:"pending"`
+	Flushed bool         `json:"flushed"`
+	Report  *core.Report `json:"report,omitempty"`
+}
+
+// ExplainRequest is the POST /v1/explain request body.
+type ExplainRequest struct {
+	Query QueryHandle `json:"query"`
+	Doc   int         `json:"doc"`
+	Top   int         `json:"top,omitempty"`
+}
+
+// ExplainResponse decomposes the similarity into walks rendered as node
+// name sequences.
+type ExplainResponse struct {
+	Similarity float64       `json:"similarity"`
+	TotalPaths int           `json:"total_paths"`
+	Paths      []ExplainPath `json:"paths"`
+}
+
+// ExplainPath is one walk with its contribution.
+type ExplainPath struct {
+	Nodes    []string `json:"nodes"`
+	Score    float64  `json:"score"`
+	Fraction float64  `json:"fraction"`
+}
+
+// CheckpointResponse is the POST /v1/checkpoint response body.
+type CheckpointResponse struct {
+	Checkpoints int    `json:"checkpoints"`
+	WalSeq      uint64 `json:"wal_seq"`
+	WalSegments int    `json:"wal_segments"`
+}

@@ -1,0 +1,189 @@
+// Package client is a thin HTTP client for the kgvote /v1 API. It speaks
+// the DTOs of package api, decodes the uniform error envelope into
+// *api.Error (so callers can branch on the machine-readable code and the
+// Retry-After hint), and propagates the caller's context deadline to the
+// server on every call.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"kgvote/api"
+)
+
+// Client talks to one kgvote server.
+type Client struct {
+	base string
+	hc   *http.Client
+	id   string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithClientID sets the X-Client-ID header sent with every request; the
+// server's admission controller uses it as the fairness key (falling back
+// to the remote address when absent).
+func WithClientID(id string) Option {
+	return func(c *Client) { c.id = id }
+}
+
+// New returns a client for the server at base (e.g. "http://host:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one request against a /v1 path and decodes the response into
+// out (nil = discard). Non-2xx responses are returned as *api.Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode %s: %w", path, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.id != "" {
+		req.Header.Set("X-Client-ID", c.id)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// decodeError turns an error response into *api.Error, synthesizing an
+// envelope when the body is not one (proxies, panics).
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env api.ErrorBody
+	if err := json.Unmarshal(b, &env); err == nil && env.Error.Code != "" {
+		e := env.Error
+		e.HTTPStatus = resp.StatusCode
+		return &e
+	}
+	return &api.Error{
+		Code:       api.CodeInternal,
+		Message:    fmt.Sprintf("non-envelope error response: %s", strings.TrimSpace(string(b))),
+		HTTPStatus: resp.StatusCode,
+	}
+}
+
+// Health checks GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var h api.HealthBody
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*api.StatsBody, error) {
+	var s api.StatsBody
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Ask ranks a question.
+func (c *Client) Ask(ctx context.Context, req api.AskRequest) (*api.AskResponse, error) {
+	var resp api.AskResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/ask", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Vote submits feedback on a served ranking.
+func (c *Client) Vote(ctx context.Context, req api.VoteRequest) (*api.VoteResponse, error) {
+	var resp api.VoteResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/vote", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// VoteRetry submits a vote, retrying sheds (429/503 with a temporary
+// code) after the server's Retry-After hint until ctx expires. It is the
+// canonical loop a well-behaved client runs against an overloaded server.
+func (c *Client) VoteRetry(ctx context.Context, req api.VoteRequest) (*api.VoteResponse, error) {
+	for {
+		resp, err := c.Vote(ctx, req)
+		apiErr, ok := err.(*api.Error)
+		if err == nil || !ok || !apiErr.Temporary() {
+			return resp, err
+		}
+		wait := apiErr.RetryAfter()
+		if wait <= 0 {
+			wait = 100 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return nil, err // the last shed, more useful than ctx.Err alone
+		case <-time.After(wait):
+		}
+	}
+}
+
+// Explain decomposes a ranked score into its graph walks.
+func (c *Client) Explain(ctx context.Context, req api.ExplainRequest) (*api.ExplainResponse, error) {
+	var resp api.ExplainResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/explain", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Flush forces an optimization flush of the pending votes.
+func (c *Client) Flush(ctx context.Context) (*api.VoteResponse, error) {
+	var resp api.VoteResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/flush", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Checkpoint persists a full-state checkpoint now.
+func (c *Client) Checkpoint(ctx context.Context) (*api.CheckpointResponse, error) {
+	var resp api.CheckpointResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/checkpoint", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

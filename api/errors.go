@@ -1,0 +1,80 @@
+package api
+
+import (
+	"fmt"
+	"time"
+)
+
+// Machine-readable error codes carried by the envelope. Clients branch on
+// Code, not on Message.
+const (
+	// CodeBadRequest: malformed body or invalid parameters (400).
+	CodeBadRequest = "bad_request"
+	// CodeUnprocessable: well-formed request the engine cannot serve
+	// (unknown entities, optimization failure; 422).
+	CodeUnprocessable = "unprocessable"
+	// CodeQueueFull: the admission queue is at capacity (429).
+	CodeQueueFull = "queue_full"
+	// CodeRateLimited: the per-client token bucket is empty (429).
+	CodeRateLimited = "rate_limited"
+	// CodeFlushBackpressure: an optimization flush is in flight and the
+	// queue is past the watermark (429).
+	CodeFlushBackpressure = "flush_backpressure"
+	// CodeDraining: the server is shutting down and no longer admits
+	// writes (503).
+	CodeDraining = "draining"
+	// CodeTimeout: the request's context expired before the writer lock
+	// or a durability append could be acquired (503).
+	CodeTimeout = "timeout"
+	// CodeUnavailable: the durability layer rejected the operation (503).
+	CodeUnavailable = "unavailable"
+	// CodeNotImplemented: the endpoint needs a configuration the daemon
+	// is running without (501).
+	CodeNotImplemented = "not_implemented"
+	// CodeInternal: invariant violation; restart may be required (500).
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the uniform error envelope every handler returns:
+//
+//	{"error":{"code":"queue_full","message":"...","retry_after_ms":250}}
+type ErrorBody struct {
+	Error Error `json:"error"`
+}
+
+// Error is the envelope payload. It doubles as the error value returned
+// by api/client, so callers can errors.As it and branch on Code.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS hints when a shed request is worth retrying; 0 means
+	// no hint. The same hint is mirrored in the Retry-After header
+	// (rounded up to whole seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// HTTPStatus is the response status the envelope traveled with. It is
+	// filled by api/client and not serialized.
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.HTTPStatus != 0 {
+		return fmt.Sprintf("api: %s (%d): %s", e.Code, e.HTTPStatus, e.Message)
+	}
+	return fmt.Sprintf("api: %s: %s", e.Code, e.Message)
+}
+
+// RetryAfter returns the retry hint as a duration (0 = none).
+func (e *Error) RetryAfter() time.Duration {
+	return time.Duration(e.RetryAfterMS) * time.Millisecond
+}
+
+// Temporary reports whether retrying the identical request later can
+// succeed without any change by the caller.
+func (e *Error) Temporary() bool {
+	switch e.Code {
+	case CodeQueueFull, CodeRateLimited, CodeFlushBackpressure, CodeDraining, CodeTimeout, CodeUnavailable:
+		return true
+	}
+	return false
+}

@@ -6,9 +6,17 @@
 // timestamped run to a JSON history file consumed by `make bench-serve`,
 // so regressions are visible across runs.
 //
+// Two alternative modes replace the serve benchmarks when selected:
+// -flush runs the flush-path benchmark, and -overload runs the overload
+// smoke (flood /v1/vote far past the admission queue's capacity, verify
+// exact shedding with 429 + Retry-After, responsive reads, and bounded
+// memory; exits non-zero when the contract is violated).
+//
 // Usage:
 //
 //	benchserve [-docs n] [-queries n] [-workers n] [-seed n] [-out file] [-wal=false]
+//	benchserve -flush [-flush-votes n] [-flush-docs n] [-rounds n]
+//	benchserve -overload [-overload-cap n] [-overload-flood n]
 package main
 
 import (
@@ -38,18 +46,75 @@ func main() {
 		flushVotes = flag.Int("flush-votes", 64, "flush-mode batch size")
 		flushDocs  = flag.Int("flush-docs", 120, "flush-mode corpus documents")
 		rounds     = flag.Int("rounds", 3, "flush-mode timed repetitions per pass (min kept)")
+
+		overloadMode  = flag.Bool("overload", false, "run the overload smoke instead: flood /v1/vote past capacity and verify the shedding contract (exit 1 on violation)")
+		overloadCap   = flag.Int("overload-cap", 8, "overload-mode admission queue capacity")
+		overloadFlood = flag.Int("overload-flood", 0, "overload-mode total vote attempts (0 = 25× capacity)")
+		overloadOut   = flag.String("overload-out", "BENCH_overload.json", "overload-mode JSON history file to append to (empty = skip)")
 	)
 	flag.Parse()
 	var err error
-	if *flushMode {
+	switch {
+	case *overloadMode:
+		err = overloadMain(*docs, *overloadCap, *overloadFlood, *workers, *seed, *overloadOut)
+	case *flushMode:
 		err = flushMain(*flushDocs, *flushVotes, *workers, *rounds, *seed, *flushOut)
-	} else {
+	default:
 		err = realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal, *withTel)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
 		os.Exit(1)
 	}
+}
+
+// overloadRun is one timestamped overload-smoke execution in
+// BENCH_overload.json (same {"runs":[...]} schema as the other files).
+type overloadRun struct {
+	Time     string                 `json:"time"`
+	Overload harness.OverloadResult `json:"overload"`
+}
+
+type overloadHistory struct {
+	Runs []overloadRun `json:"runs"`
+}
+
+// overloadMain floods the server past capacity, appends the measured run
+// to the history file, and fails the process when the run violated the
+// overload contract — this is the CI smoke's teeth.
+func overloadMain(docs, capacity, flood, workers int, seed int64, out string) error {
+	res, err := harness.OverloadBench(harness.OverloadConfig{
+		Docs: docs, Capacity: capacity, Flood: flood, Workers: workers, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if out != "" {
+		var hist overloadHistory
+		b, rerr := os.ReadFile(out)
+		switch {
+		case errors.Is(rerr, os.ErrNotExist):
+		case rerr != nil:
+			return rerr
+		default:
+			if err := json.Unmarshal(b, &hist); err != nil {
+				return fmt.Errorf("unreadable history %s: %w", out, err)
+			}
+		}
+		hist.Runs = append(hist.Runs, overloadRun{
+			Time: time.Now().UTC().Format(time.RFC3339), Overload: res,
+		})
+		nb, err := json.MarshalIndent(hist, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(nb, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("appended run %d to %s\n", len(hist.Runs), out)
+	}
+	return res.Err()
 }
 
 // flushRun is one timestamped flush-benchmark execution in

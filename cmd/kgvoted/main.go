@@ -1,7 +1,8 @@
-// Command kgvoted serves a Q&A system over HTTP: POST /ask ranks answers,
-// POST /vote records feedback (optimizing the knowledge graph in
-// batches), POST /explain decomposes a score into its graph walks, and
-// GET /stats reports counters. See internal/server for the API shapes.
+// Command kgvoted serves a Q&A system over HTTP: POST /v1/ask ranks
+// answers, POST /v1/vote records feedback (optimizing the knowledge
+// graph in batches), POST /v1/explain decomposes a score into its graph
+// walks, and GET /v1/stats reports counters. Unversioned paths still
+// work as deprecated aliases. See API.md for the wire contract.
 //
 // With -data-dir the daemon is durable: every accepted vote is written to
 // a write-ahead log before it is applied, full-state checkpoints are taken
@@ -9,11 +10,20 @@
 // SIGKILL — reconstructs the exact pre-crash state (rankings, counters,
 // and votes still pending in the current batch). See DESIGN.md §9.
 //
+// The write path is overload-protected (DESIGN.md §12): -queue-cap
+// bounds the pending-vote queue, -vote-rate/-vote-burst rate-limit each
+// client, and excess load is shed with 429 + Retry-After. SIGINT/SIGTERM
+// triggers a graceful drain: admission stops (writes answer
+// 503/draining, reads keep serving), in-flight requests finish, queued
+// votes are flushed, and — when durable — a final checkpoint lands
+// before exit, so no admitted vote is ever lost.
+//
 // Usage:
 //
 //	kgvoted -addr :8080 -corpus corpus.json -batch 10
 //	kgvoted -addr :8080 -docs 200            # synthetic corpus
 //	kgvoted -addr :8080 -data-dir /var/lib/kgvote -fsync always
+//	kgvoted -addr :8080 -queue-cap 1024 -vote-rate 50 -async-flush
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"kgvote/internal/admit"
 	"kgvote/internal/core"
 	"kgvote/internal/durable"
 	"kgvote/internal/qa"
@@ -52,6 +63,13 @@ type config struct {
 	syncEvery       time.Duration
 	checkpointEvery int
 
+	queueCap     int
+	voteRate     float64
+	voteBurst    float64
+	asyncFlush   bool
+	flushTimeout time.Duration
+	drainTimeout time.Duration
+
 	metrics bool
 	slowMS  int
 }
@@ -71,6 +89,12 @@ func main() {
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
 	flag.DurationVar(&cfg.syncEvery, "sync-every", 50*time.Millisecond, "fsync staleness bound under -fsync interval")
 	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 16, "checkpoint after every N optimization flushes (0 disables periodic checkpoints)")
+	flag.IntVar(&cfg.queueCap, "queue-cap", 4096, "pending-vote queue bound; excess /v1/vote load is shed with 429 (0 disables admission control)")
+	flag.Float64Var(&cfg.voteRate, "vote-rate", 0, "per-client votes/sec admitted in steady state (0 disables per-client rate limiting)")
+	flag.Float64Var(&cfg.voteBurst, "vote-burst", 0, "per-client vote burst size (0 = max(1, -vote-rate))")
+	flag.BoolVar(&cfg.asyncFlush, "async-flush", false, "solve batches on a background scheduler instead of inline on the filling vote")
+	flag.DurationVar(&cfg.flushTimeout, "flush-timeout", 10*time.Second, "deadline per background flush solve; on expiry the best-so-far weights apply (0 = unbounded)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown budget: in-flight requests, the final flush, and the shutdown checkpoint must finish within this")
 	flag.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus metrics at GET /metrics and profiling at /debug/pprof/")
 	flag.IntVar(&cfg.slowMS, "slow-ms", 1000, "log requests slower than this many milliseconds, with their stage trace (0 disables)")
 	flag.Parse()
@@ -151,9 +175,16 @@ func serve(cfg config) error {
 		Durable:         mgr,
 		Recovered:       rec,
 		CheckpointEvery: cfg.checkpointEvery,
-		Telemetry:       reg,
-		SlowThreshold:   time.Duration(cfg.slowMS) * time.Millisecond,
-		Pprof:           cfg.metrics,
+		Admission: admit.Config{
+			Capacity:       cfg.queueCap,
+			PerClientRate:  cfg.voteRate,
+			PerClientBurst: cfg.voteBurst,
+		},
+		AsyncFlush:    cfg.asyncFlush,
+		FlushTimeout:  cfg.flushTimeout,
+		Telemetry:     reg,
+		SlowThreshold: time.Duration(cfg.slowMS) * time.Millisecond,
+		Pprof:         cfg.metrics,
 	})
 	if err != nil {
 		return err
@@ -171,13 +202,28 @@ func serve(cfg config) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("kgvoted: shutting down")
-	_ = httpSrv.Close()
+	// Graceful drain (DESIGN.md §12): stop admitting writes first so
+	// in-flight requests and the listener shutdown race nothing, then let
+	// the HTTP server finish what it already accepted, then flush the
+	// queued remainder and checkpoint. Reads keep serving throughout the
+	// listener's grace period.
+	log.Printf("kgvoted: draining (writes rejected, %s budget)", cfg.drainTimeout)
+	srv.BeginDrain()
+	dctx := context.Background()
+	if cfg.drainTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(dctx, cfg.drainTimeout)
+		defer cancel()
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("kgvoted: listener shutdown: %v (closing)", err)
+		_ = httpSrv.Close()
+	}
+	if err := srv.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
 	if mgr != nil {
-		if err := srv.Checkpoint(); err != nil {
-			return fmt.Errorf("shutdown checkpoint: %w", err)
-		}
-		log.Printf("kgvoted: checkpointed to %s", cfg.dataDir)
+		log.Printf("kgvoted: drained and checkpointed to %s", cfg.dataDir)
 	}
 	if cfg.statePath != "" {
 		if err := saveState(sys, cfg.statePath); err != nil {

@@ -1,0 +1,118 @@
+// Talking to the kgvote HTTP service through the public api/client
+// package: ask → vote with typed request/response bodies, branching on
+// the uniform error envelope when the server sheds load, retrying with
+// the Retry-After hint, and watching a graceful drain reject writes
+// while reads keep serving. See API.md for the wire contract.
+//
+// The server runs in-process on an httptest listener so the example is
+// self-contained; point client.New at a real kgvoted address in
+// production.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"kgvote"
+	"kgvote/api"
+	"kgvote/api/client"
+	"kgvote/internal/admit"
+	"kgvote/internal/core"
+	"kgvote/internal/server"
+)
+
+func main() {
+	corpus := &kgvote.Corpus{Docs: []kgvote.Document{
+		{ID: 0, Title: "Track your parcel", Entities: map[string]int{"parcel": 2, "tracking": 2, "delivery": 1}},
+		{ID: 1, Title: "Late delivery compensation", Entities: map[string]int{"delivery": 2, "late": 2, "refund": 1}},
+		{ID: 2, Title: "Request a refund", Entities: map[string]int{"refund": 2, "payment": 2, "order": 1}},
+		{ID: 3, Title: "Cancel an order", Entities: map[string]int{"order": 2, "cancel": 2, "payment": 1}},
+	}}
+	opts := kgvote.DefaultOptions()
+	opts.K = 4
+	sys, err := kgvote.BuildQA(corpus, opts)
+	check(err)
+
+	// A deliberately tiny admission queue (capacity 2) with a large batch,
+	// so the third vote is shed and the overload path is easy to see.
+	srv, err := server.NewWithOptions(sys, server.Options{
+		BatchSize: 100,
+		Solver:    core.StreamMulti,
+		Admission: admit.Config{Capacity: 2},
+	})
+	check(err)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	cl := client.New(ts.URL, client.WithClientID("example-client"))
+
+	// Ask: typed request in, typed ranking out, plus the opaque query
+	// handle the follow-up vote needs.
+	ask, err := cl.Ask(ctx, api.AskRequest{Entities: map[string]int{"delivery": 2, "refund": 1}})
+	check(err)
+	fmt.Println("ranked answers:")
+	for i, r := range ask.Results {
+		fmt.Printf("  %d. %-28s %.4f\n", i+1, r.Title, r.Score)
+	}
+
+	// Vote: the user actually wanted "Request a refund".
+	ranked := make([]int, len(ask.Results))
+	best := ask.Results[0].Doc
+	for i, r := range ask.Results {
+		ranked[i] = r.Doc
+		if r.Title == "Request a refund" {
+			best = r.Doc
+		}
+	}
+	vr, err := cl.Vote(ctx, api.VoteRequest{Query: ask.Query, Ranked: ranked, BestDoc: best})
+	check(err)
+	fmt.Printf("vote accepted: pending=%d flushed=%v\n", vr.Pending, vr.Flushed)
+
+	// Flood past capacity: the envelope's machine-readable code says
+	// exactly why each vote was refused, and Retry-After says when to
+	// come back. errors.As is the branching idiom.
+	for i := 0; i < 3; i++ {
+		a2, err := cl.Ask(ctx, api.AskRequest{Entities: map[string]int{"parcel": 1, "order": 1}})
+		check(err)
+		_, err = cl.Vote(ctx, api.VoteRequest{Query: a2.Query, Ranked: ranked, BestDoc: ranked[0]})
+		var apiErr *api.Error
+		switch {
+		case err == nil:
+			fmt.Printf("vote %d admitted\n", i+2)
+		case errors.As(err, &apiErr):
+			fmt.Printf("vote %d shed: code=%s retry_after=%s temporary=%v\n",
+				i+2, apiErr.Code, apiErr.RetryAfter(), apiErr.Temporary())
+		default:
+			check(err)
+		}
+	}
+
+	st, err := cl.Stats(ctx)
+	check(err)
+	fmt.Printf("admission: capacity=%d admitted=%d shed=%d\n",
+		st.Admission.QueueCapacity, st.Admission.Admitted, st.Admission.Shed)
+
+	// Graceful drain: writes are refused with code "draining", reads keep
+	// serving from the snapshot until the process exits.
+	srv.BeginDrain()
+	_, err = cl.Vote(ctx, api.VoteRequest{Query: ask.Query, Ranked: ranked, BestDoc: best})
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		fmt.Printf("during drain, vote: code=%s\n", apiErr.Code)
+	}
+	if _, err := cl.Ask(ctx, api.AskRequest{Entities: map[string]int{"refund": 1}}); err == nil {
+		fmt.Println("during drain, ask: still serving")
+	}
+	check(srv.Drain(ctx))
+	fmt.Println("drained: every admitted vote solved")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

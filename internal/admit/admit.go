@@ -1,0 +1,213 @@
+// Package admit is the ingestion-protection layer of the serving stack
+// (DESIGN.md §12): a bounded, fairness-aware admission controller for the
+// write path. It answers one question — "may this client enqueue one more
+// vote right now?" — using three signals:
+//
+//   - queue depth: the pending-vote queue is bounded at Capacity; at or
+//     above it every vote is shed (queue_full).
+//   - flush watermark: while an optimization flush is in flight, votes
+//     are shed earlier, at Watermark (flush_backpressure), exploiting the
+//     paper's cheap-read/expensive-write asymmetry — reads keep serving
+//     from the immutable snapshot, writes back off while the SGP solve
+//     runs.
+//   - per-client token buckets: each client (X-Client-ID header or remote
+//     host) refills at PerClientRate votes/sec up to PerClientBurst, so
+//     one flooding client exhausts its own bucket instead of the shared
+//     queue (rate_limited).
+//
+// Every shed carries a Retry-After hint. The controller is advisory and
+// lock-cheap: the server re-checks the queue bound under its writer gate,
+// so Capacity is exact even under concurrent admission.
+package admit
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"kgvote/internal/lru"
+)
+
+// Shed reasons, also used as error-envelope codes by the server.
+const (
+	ReasonQueueFull = "queue_full"
+	ReasonRate      = "rate_limited"
+	ReasonFlush     = "flush_backpressure"
+)
+
+// Config sizes a Controller.
+type Config struct {
+	// Capacity bounds the pending-vote queue; admission at depth >=
+	// Capacity is shed. Must be >= 1.
+	Capacity int
+	// Watermark sheds admissions at depth >= Watermark while a flush is
+	// in flight (0 = Capacity, i.e. no early shedding).
+	Watermark int
+	// PerClientRate is the steady-state votes/sec each client may submit
+	// (0 = per-client limiting disabled).
+	PerClientRate float64
+	// PerClientBurst is the bucket size (0 = max(1, PerClientRate)).
+	PerClientBurst float64
+	// MaxClients bounds the bucket table; least-recently-seen clients are
+	// evicted (their bucket restarts full). Default 4096.
+	MaxClients int
+	// RetryAfter is the base hint attached to queue_full and
+	// flush_backpressure sheds. Default 1s.
+	RetryAfter time.Duration
+	// Now is the clock (nil = time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Watermark <= 0 || c.Watermark > c.Capacity {
+		c.Watermark = c.Capacity
+	}
+	if c.PerClientBurst <= 0 {
+		c.PerClientBurst = math.Max(1, c.PerClientRate)
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 4096
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Decision is the outcome of one admission check.
+type Decision struct {
+	OK bool
+	// Reason is the shed reason (one of the Reason constants) when !OK.
+	Reason string
+	// RetryAfter is the hint for the client's next attempt when !OK.
+	RetryAfter time.Duration
+}
+
+// Stats is a snapshot of the controller's counters.
+type Stats struct {
+	Capacity      int
+	Admitted      int64
+	Shed          int64
+	ShedQueueFull int64
+	ShedRate      int64
+	ShedFlush     int64
+	Clients       int
+}
+
+// bucket is one client's token bucket; guarded by the controller mutex.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Controller implements the admission policy. All methods are safe for
+// concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu      sync.Mutex
+	buckets *lru.Cache[string, *bucket]
+
+	admitted      int64
+	shedQueueFull int64
+	shedRate      int64
+	shedFlush     int64
+}
+
+// New returns a controller; Capacity must be >= 1.
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:     cfg,
+		buckets: lru.New[string, *bucket](cfg.MaxClients),
+	}
+}
+
+// Capacity returns the configured queue bound.
+func (c *Controller) Capacity() int { return c.cfg.Capacity }
+
+// Admit decides whether client may enqueue one vote given the current
+// queue depth and whether a flush is in flight. An OK decision consumes
+// one token from the client's bucket.
+func (c *Controller) Admit(client string, depth int, flushing bool) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if depth >= c.cfg.Capacity {
+		c.shedQueueFull++
+		return Decision{Reason: ReasonQueueFull, RetryAfter: c.cfg.RetryAfter}
+	}
+	if flushing && depth >= c.cfg.Watermark {
+		c.shedFlush++
+		return Decision{Reason: ReasonFlush, RetryAfter: c.cfg.RetryAfter}
+	}
+	if c.cfg.PerClientRate > 0 {
+		if wait, ok := c.takeToken(client); !ok {
+			c.shedRate++
+			return Decision{Reason: ReasonRate, RetryAfter: wait}
+		}
+	}
+	c.admitted++
+	return Decision{OK: true}
+}
+
+// Cancel rolls back a prior OK decision whose vote never entered the
+// queue for a reason that is not load shedding (the request deadline
+// expired at the writer gate, the body failed late validation). It
+// adjusts the admitted count without recording a shed.
+func (c *Controller) Cancel() {
+	c.mu.Lock()
+	c.admitted--
+	c.mu.Unlock()
+}
+
+// Reject records that the server's authoritative re-check (under the
+// writer gate) shed a pre-admitted vote; it returns the queue_full
+// decision the handler should surface.
+func (c *Controller) Reject() Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.admitted--
+	c.shedQueueFull++
+	return Decision{Reason: ReasonQueueFull, RetryAfter: c.cfg.RetryAfter}
+}
+
+// takeToken consumes one token from client's bucket, lazily creating and
+// refilling it. Caller holds c.mu. On failure it returns how long until a
+// token is available.
+func (c *Controller) takeToken(client string) (wait time.Duration, ok bool) {
+	now := c.cfg.Now()
+	b, found := c.buckets.Get(client)
+	if !found {
+		b = &bucket{tokens: c.cfg.PerClientBurst, last: now}
+		c.buckets.Add(client, b)
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(c.cfg.PerClientBurst, b.tokens+dt*c.cfg.PerClientRate)
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / c.cfg.PerClientRate
+	return time.Duration(math.Ceil(need*1e3)) * time.Millisecond, false
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Capacity:      c.cfg.Capacity,
+		Admitted:      c.admitted,
+		Shed:          c.shedQueueFull + c.shedRate + c.shedFlush,
+		ShedQueueFull: c.shedQueueFull,
+		ShedRate:      c.shedRate,
+		ShedFlush:     c.shedFlush,
+		Clients:       c.buckets.Len(),
+	}
+}

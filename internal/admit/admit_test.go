@@ -1,0 +1,159 @@
+package admit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic bucket tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func TestQueueCapacityShedding(t *testing.T) {
+	c := New(Config{Capacity: 4})
+	for depth := 0; depth < 4; depth++ {
+		if d := c.Admit("a", depth, false); !d.OK {
+			t.Fatalf("depth %d below capacity shed: %+v", depth, d)
+		}
+	}
+	d := c.Admit("a", 4, false)
+	if d.OK || d.Reason != ReasonQueueFull {
+		t.Fatalf("at-capacity admit = %+v, want queue_full shed", d)
+	}
+	if d.RetryAfter <= 0 {
+		t.Fatalf("queue_full shed has no Retry-After hint: %+v", d)
+	}
+	st := c.Stats()
+	if st.Admitted != 4 || st.ShedQueueFull != 1 || st.Shed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFlushWatermarkShedding(t *testing.T) {
+	c := New(Config{Capacity: 10, Watermark: 3})
+	// Without a flush in flight the watermark is inert.
+	if d := c.Admit("a", 5, false); !d.OK {
+		t.Fatalf("no-flush admit above watermark shed: %+v", d)
+	}
+	// With a flush in flight, depth >= watermark sheds early.
+	d := c.Admit("a", 3, true)
+	if d.OK || d.Reason != ReasonFlush {
+		t.Fatalf("flushing at watermark = %+v, want flush_backpressure", d)
+	}
+	if d := c.Admit("a", 2, true); !d.OK {
+		t.Fatalf("flushing below watermark shed: %+v", d)
+	}
+	if st := c.Stats(); st.ShedFlush != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New(Config{Capacity: 1000, PerClientRate: 2, PerClientBurst: 3, Now: clk.now})
+	// Burst of 3 admits, then rate-limited.
+	for i := 0; i < 3; i++ {
+		if d := c.Admit("a", 0, false); !d.OK {
+			t.Fatalf("burst admit %d shed: %+v", i, d)
+		}
+	}
+	d := c.Admit("a", 0, false)
+	if d.OK || d.Reason != ReasonRate {
+		t.Fatalf("post-burst admit = %+v, want rate_limited", d)
+	}
+	// The hint must cover the refill time of one token (1/rate = 500ms).
+	if d.RetryAfter < 400*time.Millisecond || d.RetryAfter > 600*time.Millisecond {
+		t.Fatalf("retry hint = %v, want ~500ms", d.RetryAfter)
+	}
+	// After the hinted wait one token is back.
+	clk.advance(d.RetryAfter)
+	if d := c.Admit("a", 0, false); !d.OK {
+		t.Fatalf("post-refill admit shed: %+v", d)
+	}
+	// Refill is capped at the burst.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if d := c.Admit("a", 0, false); !d.OK {
+			t.Fatalf("capped-burst admit %d shed: %+v", i, d)
+		}
+	}
+	if d := c.Admit("a", 0, false); d.OK {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}
+
+func TestFairnessAcrossClients(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New(Config{Capacity: 1000, PerClientRate: 1, PerClientBurst: 2, Now: clk.now})
+	// Client A floods until its bucket is dry.
+	for i := 0; ; i++ {
+		if d := c.Admit("a", 0, false); !d.OK {
+			break
+		}
+		if i > 10 {
+			t.Fatal("client a never rate-limited")
+		}
+	}
+	// Client B is untouched by A's flood.
+	if d := c.Admit("b", 0, false); !d.OK {
+		t.Fatalf("client b shed after client a flood: %+v", d)
+	}
+}
+
+func TestBucketTableBounded(t *testing.T) {
+	c := New(Config{Capacity: 10, PerClientRate: 1, MaxClients: 8})
+	for i := 0; i < 100; i++ {
+		c.Admit(fmt.Sprintf("client-%d", i), 0, false)
+	}
+	if st := c.Stats(); st.Clients > 8 {
+		t.Fatalf("bucket table grew to %d, cap 8", st.Clients)
+	}
+}
+
+func TestRejectRollsBack(t *testing.T) {
+	c := New(Config{Capacity: 4})
+	if d := c.Admit("a", 0, false); !d.OK {
+		t.Fatal("admit shed")
+	}
+	d := c.Reject()
+	if d.OK || d.Reason != ReasonQueueFull || d.RetryAfter <= 0 {
+		t.Fatalf("reject decision = %+v", d)
+	}
+	st := c.Stats()
+	if st.Admitted != 0 || st.ShedQueueFull != 1 {
+		t.Fatalf("stats after reject = %+v", st)
+	}
+}
+
+func TestConcurrentAdmitRace(t *testing.T) {
+	c := New(Config{Capacity: 1 << 20, PerClientRate: 1e9, PerClientBurst: 1e9})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c%d", w%3)
+			for i := 0; i < 500; i++ {
+				c.Admit(id, i%64, i%2 == 0)
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

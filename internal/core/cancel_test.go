@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+// countCtx is a context whose Err() flips to DeadlineExceeded after a
+// fixed number of polls, making "cancelled mid-solve" deterministic
+// without timers. Done() returns a non-nil (never closed) channel so
+// stopFunc installs the polling hook.
+type countCtx struct {
+	context.Context
+	done  chan struct{}
+	after int64
+	calls atomic.Int64
+}
+
+func newCountCtx(after int64) *countCtx {
+	return &countCtx{Context: context.Background(), done: make(chan struct{}), after: after}
+}
+
+func (c *countCtx) Done() <-chan struct{} { return c.done }
+
+func (c *countCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func graphWeights(g *graph.Graph) map[[2]graph.NodeID]float64 {
+	m := make(map[[2]graph.NodeID]float64)
+	g.Edges(func(f, to graph.NodeID, w float64) {
+		m[[2]graph.NodeID{f, to}] = w
+	})
+	return m
+}
+
+func TestSolveMultiCtxPreSolveCancelled(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := graphWeights(g)
+	v, err := e.CollectVote(q, answers, answers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.SolveMultiCtx(cancelledCtx(), []vote.Vote{v})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	after := graphWeights(g)
+	for k, w := range before {
+		if after[k] != w {
+			t.Fatalf("edge %v changed (%v -> %v) despite pre-solve cancellation", k, w, after[k])
+		}
+	}
+}
+
+func TestSolveMultiCtxMidSolvePartial(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, answers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survive the two pre-solve ctxErr checks, then trip on an early
+	// Stop poll inside the solver.
+	rep, err := e.SolveMultiCtx(newCountCtx(3), []vote.Vote{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial {
+		t.Fatalf("report not marked Partial: %+v", rep)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid after partial solve: %v", err)
+	}
+}
+
+func TestSolveSplitMergeCtxPreSolveCancelled(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := graphWeights(g)
+	v, err := e.CollectVote(q, answers, answers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.SolveSplitMergeCtx(cancelledCtx(), []vote.Vote{v})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	after := graphWeights(g)
+	for k, w := range before {
+		if after[k] != w {
+			t.Fatalf("edge %v changed (%v -> %v) despite pre-solve cancellation", k, w, after[k])
+		}
+	}
+}
+
+func TestSolveSingleCtxPartial(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, answers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First loop check passes, then the sub-solve's Stop poll fires:
+	// the vote's solve stops at its best-so-far iterate and is applied.
+	rep, err := e.SolveSingleCtx(newCountCtx(1), []vote.Vote{v, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial {
+		t.Fatalf("report not marked Partial: %+v", rep)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid after partial solve: %v", err)
+	}
+}
+
+func TestFlushCtxRestoresVotesOnCancel(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewStream(10, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, answers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.PushQueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = s.FlushCtx(cancelledCtx())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("pending = %d after cancelled flush, want 3 (votes restored)", s.Pending())
+	}
+	if s.Flushes != 0 {
+		t.Fatalf("flushes = %d, want 0", s.Flushes)
+	}
+	// A later uncancelled flush consumes the restored votes.
+	rep, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Votes != 3 {
+		t.Fatalf("retry flush report = %+v, want 3 votes", rep)
+	}
+	if s.Pending() != 0 || s.Flushes != 1 {
+		t.Fatalf("pending=%d flushes=%d after retry, want 0/1", s.Pending(), s.Flushes)
+	}
+}
+
+func TestPushQueueNeverFlushes(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewStream(2, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, answers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.PushQueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Pending() != 5 || s.Flushes != 0 {
+		t.Fatalf("pending=%d flushes=%d, want 5/0 (PushQueue must never solve)", s.Pending(), s.Flushes)
+	}
+	if !s.NeedsFlush() {
+		t.Fatal("NeedsFlush() = false with 5 pending and batch 2")
+	}
+}

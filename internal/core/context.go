@@ -1,0 +1,22 @@
+package core
+
+import "context"
+
+// stopFunc converts a context into the SGP solver's polling hook. A
+// context that can never be cancelled yields nil, keeping the solver's
+// hot loops branch-free in the common case.
+func stopFunc(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+// ctxErr wraps a pre-solve cancellation so callers (Stream.FlushCtx) can
+// distinguish "nothing was applied, retry later" from solver failures.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

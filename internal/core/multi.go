@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,6 +21,14 @@ import (
 // shared per-flush cache feeds judgment and encoding) and fans the
 // judgment filter out over Options.Workers.
 func (e *Engine) SolveMulti(votes []vote.Vote) (*Report, error) {
+	return e.SolveMultiCtx(context.Background(), votes)
+}
+
+// SolveMultiCtx is SolveMulti with deadline propagation: a context
+// cancelled before the SGP solve starts aborts with the context error
+// (nothing applied); cancelled mid-solve it stops the solver's iterations
+// and applies the best-so-far weight set, marking the report Partial.
+func (e *Engine) SolveMultiCtx(ctx context.Context, votes []vote.Vote) (*Report, error) {
 	report := &Report{Votes: len(votes), Clusters: 1}
 
 	tEnum := time.Now()
@@ -28,6 +37,9 @@ func (e *Engine) SolveMulti(votes []vote.Vote) (*Report, error) {
 		return nil, err
 	}
 	report.EnumSeconds = time.Since(tEnum).Seconds()
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: multi-vote flush cancelled before judgment: %w", err)
+	}
 
 	tJudge := time.Now()
 	kept, discarded, err := e.filterVotes(votes, fc)
@@ -39,6 +51,9 @@ func (e *Engine) SolveMulti(votes []vote.Vote) (*Report, error) {
 	if len(kept) == 0 {
 		e.finishFlush(report, fc)
 		return report, nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: multi-vote flush cancelled before solve: %w", err)
 	}
 
 	tSolve := time.Now()
@@ -53,10 +68,11 @@ func (e *Engine) SolveMulti(votes []vote.Vote) (*Report, error) {
 		report.Encoded++
 	}
 	e.addCapacityConstraints(p)
-	sol, err := p.Solve(sgp.SolveOptions{Mode: e.opt.Mode, AL: e.opt.AL})
+	sol, err := p.Solve(sgp.SolveOptions{Mode: e.opt.Mode, AL: e.opt.AL, Stop: stopFunc(ctx)})
 	if err != nil {
 		return nil, err
 	}
+	report.Partial = sol.Stopped
 	report.Variables = p.NumVars()
 	// Vote constraints are the soft ones; hard constraints are node
 	// capacity bounds.

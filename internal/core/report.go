@@ -47,6 +47,10 @@ type Report struct {
 	// cache outcomes; misses equal the Enumerate invocations actually run.
 	EnumCacheHits   uint64
 	EnumCacheMisses uint64
+	// Partial reports that the flush's deadline expired mid-solve: the
+	// applied weight set is the solver's best-so-far iterate, not a
+	// converged optimum (graceful degradation, DESIGN.md §12).
+	Partial bool
 	// Applied lists the final post-normalization weight of every edge the
 	// run touched, in application order (later entries for the same edge
 	// supersede earlier ones). The durability layer logs it so crash
@@ -73,5 +77,6 @@ func (r *Report) merge(o Report) {
 	r.MergeSeconds += o.MergeSeconds
 	r.EnumCacheHits += o.EnumCacheHits
 	r.EnumCacheMisses += o.EnumCacheMisses
+	r.Partial = r.Partial || o.Partial
 	r.Applied = append(r.Applied, o.Applied...)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -17,13 +18,27 @@ import (
 // are ignored (Section IV-B: a positive vote's best answer is already
 // first, so there is nothing to optimize).
 func (e *Engine) SolveSingle(votes []vote.Vote) (*Report, error) {
+	return e.SolveSingleCtx(context.Background(), votes)
+}
+
+// SolveSingleCtx is SolveSingle with deadline propagation. Each greedy
+// sub-solve applies its result before the next starts, so cancellation
+// between votes returns the report accumulated so far (marked Partial)
+// without error — those weights are already live. Cancellation mid-solve
+// stops the running sub-solve at its best-so-far iterate, applies it, and
+// likewise returns Partial.
+func (e *Engine) SolveSingleCtx(ctx context.Context, votes []vote.Vote) (*Report, error) {
 	report := &Report{Votes: len(votes), Clusters: 1}
 	for i, v := range votes {
+		if ctxErr(ctx) != nil {
+			report.Partial = true
+			break
+		}
 		if v.Kind == vote.Positive {
 			report.Discarded++
 			continue
 		}
-		sub, err := e.solveOneVote(v)
+		sub, err := e.solveOneVote(ctx, v)
 		if err != nil {
 			return nil, fmt.Errorf("core: single-vote %d: %w", i, err)
 		}
@@ -38,7 +53,7 @@ func (e *Engine) SolveSingle(votes []vote.Vote) (*Report, error) {
 // are enumerated once: a per-vote cache (the graph changes between the
 // greedy loop's votes, so no wider scope is sound) is shared by the
 // reachability probe and the encoder.
-func (e *Engine) solveOneVote(v vote.Vote) (rep Report, err error) {
+func (e *Engine) solveOneVote(ctx context.Context, v vote.Vote) (rep Report, err error) {
 	tEnum := time.Now()
 	fc, err := e.newFlushEnum([]vote.Vote{v})
 	if err != nil {
@@ -65,10 +80,11 @@ func (e *Engine) solveOneVote(v vote.Vote) (rep Report, err error) {
 	}
 	e.addCapacityConstraints(p)
 	tSolve := time.Now()
-	sol, err := p.Solve(sgp.SolveOptions{Mode: sgp.Full, AL: e.opt.AL})
+	sol, err := p.Solve(sgp.SolveOptions{Mode: sgp.Full, AL: e.opt.AL, Stop: stopFunc(ctx)})
 	if err != nil {
 		return rep, err
 	}
+	rep.Partial = sol.Stopped
 	rep.SolveSeconds = time.Since(tSolve).Seconds()
 	changes := extractChanges(p, sol.X)
 	rep.Encoded = 1

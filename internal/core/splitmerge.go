@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -32,6 +33,16 @@ type clusterResult struct {
 // collected into index-addressed slots, so the merged outcome is
 // byte-identical to a Workers=1 run.
 func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
+	return e.SolveSplitMergeCtx(context.Background(), votes)
+}
+
+// SolveSplitMergeCtx is SolveSplitMerge with deadline propagation: a
+// context cancelled before the per-cluster solves start aborts with the
+// context error (nothing applied); cancelled during the solve stage each
+// in-flight cluster returns its best-so-far iterate and not-yet-started
+// clusters contribute their initial weights (zero deltas), so the merge
+// still applies a coherent weight set, marked Partial.
+func (e *Engine) SolveSplitMergeCtx(ctx context.Context, votes []vote.Vote) (*Report, error) {
 	report := &Report{Votes: len(votes)}
 
 	tEnum := time.Now()
@@ -40,6 +51,9 @@ func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
 		return nil, err
 	}
 	report.EnumSeconds = time.Since(tEnum).Seconds()
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: split-merge flush cancelled before judgment: %w", err)
+	}
 
 	tJudge := time.Now()
 	kept, discarded, err := e.filterVotes(votes, fc)
@@ -63,6 +77,9 @@ func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
 	for _, cl := range clusters {
 		e.metrics.observeCluster(len(cl))
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: split-merge flush cancelled before solve: %w", err)
+	}
 
 	// Per-cluster solves: min(Workers, clusters) goroutines pulling
 	// cluster indices from a shared channel (no goroutine-per-cluster
@@ -70,7 +87,7 @@ func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
 	tSolve := time.Now()
 	results := make([]clusterResult, len(clusters))
 	err = runIndexed(e.opt.Workers, len(clusters), func(i int) error {
-		res, err := e.solveCluster(clusters[i], fc)
+		res, err := e.solveCluster(ctx, clusters[i], fc)
 		if err != nil {
 			return fmt.Errorf("core: cluster %d: %w", i, err)
 		}
@@ -181,7 +198,7 @@ func (e *Engine) voteEdgeSet(v vote.Vote, fc *flushEnum) (map[graph.EdgeKey]stru
 // votes against the engine's current graph, returning weight deltas
 // relative to the current weights. The graph is only read, never written,
 // so cluster solves can run concurrently.
-func (e *Engine) solveCluster(votes []vote.Vote, fc *flushEnum) (clusterResult, error) {
+func (e *Engine) solveCluster(ctx context.Context, votes []vote.Vote, fc *flushEnum) (clusterResult, error) {
 	res := clusterResult{votes: len(votes), deltas: make(map[graph.EdgeKey]float64)}
 	p := e.newProgram()
 	b := &signomial.Builder{}
@@ -194,10 +211,11 @@ func (e *Engine) solveCluster(votes []vote.Vote, fc *flushEnum) (clusterResult, 
 		res.rep.Encoded++
 	}
 	e.addCapacityConstraints(p)
-	sol, err := p.Solve(sgp.SolveOptions{Mode: e.opt.Mode, AL: e.opt.AL})
+	sol, err := p.Solve(sgp.SolveOptions{Mode: e.opt.Mode, AL: e.opt.AL, Stop: stopFunc(ctx)})
 	if err != nil {
 		return res, err
 	}
+	res.rep.Partial = sol.Stopped
 	res.rep.Variables = p.NumVars()
 	for _, ok := range sol.SoftSatisfied {
 		if ok {

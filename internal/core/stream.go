@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"kgvote/internal/vote"
@@ -81,20 +83,49 @@ func (s *Stream) Restore(pending []vote.Vote, totalVotes, flushes int) error {
 // Push adds a vote. When the batch fills, the batch is solved immediately
 // and its report returned; otherwise the report is nil.
 func (s *Stream) Push(v vote.Vote) (*Report, error) {
-	if err := v.Validate(); err != nil {
-		return nil, fmt.Errorf("core: stream push: %w", err)
+	return s.PushCtx(context.Background(), v)
+}
+
+// PushCtx is Push with deadline propagation into the inline flush it may
+// trigger (see FlushCtx for the cancellation contract).
+func (s *Stream) PushCtx(ctx context.Context, v vote.Vote) (*Report, error) {
+	if err := s.PushQueue(v); err != nil {
+		return nil, err
 	}
-	s.pending = append(s.pending, v)
-	s.TotalVotes++
 	if len(s.pending) < s.batch {
 		return nil, nil
 	}
-	return s.Flush()
+	return s.FlushCtx(ctx)
 }
+
+// PushQueue buffers a vote without ever triggering a flush, even when the
+// batch threshold is reached. Servers running a background flusher use it
+// so the vote-accept path never blocks on a solve; pair with NeedsFlush to
+// decide when to wake the flusher.
+func (s *Stream) PushQueue(v vote.Vote) error {
+	if err := v.Validate(); err != nil {
+		return fmt.Errorf("core: stream push: %w", err)
+	}
+	s.pending = append(s.pending, v)
+	s.TotalVotes++
+	return nil
+}
+
+// NeedsFlush reports whether the buffer has reached the batch threshold.
+func (s *Stream) NeedsFlush() bool { return len(s.pending) >= s.batch }
 
 // Flush solves whatever votes are buffered (a no-op returning nil when the
 // buffer is empty) and clears the buffer.
 func (s *Stream) Flush() (*Report, error) {
+	return s.FlushCtx(context.Background())
+}
+
+// FlushCtx is Flush with deadline propagation. A context cancelled before
+// the solve applies anything returns the context error with the votes
+// restored to the buffer (retry later loses nothing); cancellation
+// mid-solve applies the solver's best-so-far weights and returns a report
+// marked Partial — those votes are consumed.
+func (s *Stream) FlushCtx(ctx context.Context) (*Report, error) {
 	if len(s.pending) == 0 {
 		return nil, nil
 	}
@@ -107,14 +138,19 @@ func (s *Stream) Flush() (*Report, error) {
 	)
 	switch s.solver {
 	case StreamMulti:
-		rep, err = s.e.SolveMulti(votes)
+		rep, err = s.e.SolveMultiCtx(ctx, votes)
 	case StreamSplitMerge:
-		rep, err = s.e.SolveSplitMerge(votes)
+		rep, err = s.e.SolveSplitMergeCtx(ctx, votes)
 	case StreamSingle:
-		rep, err = s.e.SolveSingle(votes)
+		rep, err = s.e.SolveSingleCtx(ctx, votes)
 	}
 	stop()
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Pre-solve cancellation: nothing was applied, so the votes
+			// go back in arrival order ahead of anything pushed since.
+			s.pending = append(votes, s.pending...)
+		}
 		return nil, err
 	}
 	s.e.metrics.observeReport(rep)

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -355,6 +356,31 @@ func (m *Manager) LogAttach(a Attach) error {
 // LogVote appends an accepted vote, before it enters the stream.
 func (m *Manager) LogVote(v vote.Vote) error {
 	return m.append(RecVote, EncodeVote(v), true)
+}
+
+// LogVoteCtx is LogVote with a final cancellation point: a context already
+// cancelled on entry returns its error before anything is appended, so an
+// expired request deadline never mutates durable state. Once the record is
+// in the log the vote is committed to — later stages of the request must
+// not abandon it (the server's vote path stops honoring the context here).
+func (m *Manager) LogVoteCtx(ctx context.Context, v vote.Vote) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("durable: vote not logged: %w", err)
+		}
+	}
+	return m.LogVote(v)
+}
+
+// LogAttachCtx is LogAttach with the same pre-append cancellation point as
+// LogVoteCtx.
+func (m *Manager) LogAttachCtx(ctx context.Context, a Attach) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("durable: attach not logged: %w", err)
+		}
+	}
+	return m.LogAttach(a)
 }
 
 // LogFlush appends a completed flush's applied weight set (empty sets

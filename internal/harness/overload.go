@@ -1,0 +1,274 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgvote/api"
+	"kgvote/api/client"
+	"kgvote/internal/admit"
+	"kgvote/internal/core"
+	"kgvote/internal/qa"
+	"kgvote/internal/server"
+	"kgvote/internal/synth"
+)
+
+// OverloadConfig sizes the overload benchmark (DESIGN.md §12): a server
+// with a small admission queue is flooded far past capacity by
+// concurrent writers while reader goroutines keep asking, and the run
+// verifies the overload-safety contract instead of just timing it.
+type OverloadConfig struct {
+	Docs     int   // corpus documents; default 60
+	Capacity int   // admission queue bound; default 8
+	Workers  int   // concurrent flooding clients; default 16
+	Flood    int   // total vote attempts across all workers; default 25×Capacity
+	Asks     int   // /v1/ask probes issued during the flood; default 200
+	Seed     int64 // default 1
+}
+
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if c.Docs == 0 {
+		c.Docs = 60
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Flood == 0 {
+		c.Flood = 25 * c.Capacity
+	}
+	if c.Asks == 0 {
+		c.Asks = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// OverloadResult is the JSON-serializable outcome of OverloadBench
+// (BENCH_overload.json). Violations lists every broken contract clause;
+// an empty list is a passing run.
+type OverloadResult struct {
+	Docs     int `json:"docs"`
+	Capacity int `json:"capacity"`
+	Workers  int `json:"workers"`
+	Flood    int `json:"flood"`
+
+	Admitted          int64 `json:"admitted"`
+	Shed              int64 `json:"shed"`
+	ShedNoRetryAfter  int64 `json:"shed_without_retry_after"`
+	UnexpectedStatus  int64 `json:"unexpected_status"`
+	QueueDepthAfter   int   `json:"queue_depth_after"`
+	ControllerShed    int64 `json:"controller_shed"`
+	ControllerClients int   `json:"controller_clients"`
+
+	Asks         int     `json:"asks"`
+	AskP50Micros float64 `json:"ask_p50_us"`
+	AskP99Micros float64 `json:"ask_p99_us"`
+
+	// HeapGrowthBytes is live-heap growth across the flood after a final
+	// GC: a bounded queue must not accumulate shed work.
+	HeapGrowthBytes int64 `json:"heap_growth_bytes"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// String renders a one-screen summary.
+func (r OverloadResult) String() string {
+	verdict := "PASS"
+	if len(r.Violations) > 0 {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	s := fmt.Sprintf(
+		"overload bench: %d docs, capacity %d, %d workers × flood %d — %s\n"+
+			"  admitted %d (exactly capacity: %v)   shed %d (429 + Retry-After)   unexpected %d\n"+
+			"  asks during flood: %d   p50 %.1fµs   p99 %.1fµs\n"+
+			"  live-heap growth %.1f MiB",
+		r.Docs, r.Capacity, r.Workers, r.Flood, verdict,
+		r.Admitted, r.Admitted == int64(r.Capacity), r.Shed, r.UnexpectedStatus,
+		r.Asks, r.AskP50Micros, r.AskP99Micros,
+		float64(r.HeapGrowthBytes)/(1<<20))
+	for _, v := range r.Violations {
+		s += "\n  VIOLATION: " + v
+	}
+	return s
+}
+
+// Err returns a non-nil error when the run broke the overload contract.
+func (r OverloadResult) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("overload contract: %d violations: %v", len(r.Violations), r.Violations)
+}
+
+// OverloadBench floods a capacity-K server with far more than K votes
+// from concurrent clients (batch size > capacity, so no flush frees
+// slots mid-flood) and checks the contract end to end through the public
+// api/client:
+//
+//   - exactly K votes are admitted (200); every other attempt is shed
+//     with 429 and a Retry-After hint — no request hangs, errors
+//     surprisingly, or vanishes;
+//   - /v1/ask keeps serving from the snapshot throughout the flood;
+//   - the live heap does not grow with the shed load (bounded queue).
+func OverloadBench(cfg OverloadConfig) (OverloadResult, error) {
+	cfg = cfg.withDefaults()
+	corpus, err := synth.GenerateCorpus(synth.CorpusConfig{Docs: cfg.Docs, Seed: cfg.Seed})
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	questions, err := synth.GenerateQuestions(corpus, synth.QuestionConfig{N: cfg.Workers, Seed: cfg.Seed + 1})
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	sys, err := qa.Build(corpus, core.Options{K: 10, L: 4})
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	srv, err := server.NewWithOptions(sys, server.Options{
+		BatchSize: cfg.Flood + cfg.Capacity, // never flushes: admission owns the bound
+		Solver:    core.StreamMulti,
+		Admission: admit.Config{Capacity: cfg.Capacity},
+	})
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res := OverloadResult{Docs: cfg.Docs, Capacity: cfg.Capacity, Workers: cfg.Workers, Flood: cfg.Flood}
+	ctx := context.Background()
+
+	// Each worker asks once up front (outside the measured flood) so its
+	// vote bodies carry a valid handle and ranked list.
+	type prepared struct{ req api.VoteRequest }
+	prep := make([]prepared, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		cl := client.New(ts.URL)
+		q := questions[w%len(questions)]
+		ask, err := cl.Ask(ctx, api.AskRequest{Entities: q.Entities})
+		if err != nil {
+			return res, fmt.Errorf("prefly ask %d: %w", w, err)
+		}
+		if len(ask.Results) == 0 {
+			return res, fmt.Errorf("prefly ask %d returned no results", w)
+		}
+		ranked := make([]int, len(ask.Results))
+		for i, r := range ask.Results {
+			ranked[i] = r.Doc
+		}
+		prep[w] = prepared{req: api.VoteRequest{Query: ask.Query, Ranked: ranked, BestDoc: ranked[0]}}
+	}
+
+	runtime.GC()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
+	var (
+		admitted, shed, shedNoRA, unexpected atomic.Int64
+		wg                                   sync.WaitGroup
+	)
+	per := cfg.Flood / cfg.Workers
+	res.Flood = per * cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.New(ts.URL)
+			for i := 0; i < per; i++ {
+				_, err := cl.Vote(ctx, prep[w].req)
+				if err == nil {
+					admitted.Add(1)
+					continue
+				}
+				var apiErr *api.Error
+				if errors.As(err, &apiErr) && apiErr.HTTPStatus == 429 {
+					shed.Add(1)
+					if apiErr.RetryAfter() <= 0 {
+						shedNoRA.Add(1)
+					}
+					continue
+				}
+				unexpected.Add(1)
+			}
+		}(w)
+	}
+
+	// Reader probes run against the same server while the flood is on;
+	// their latency shows the snapshot path staying responsive.
+	askLat := make([]time.Duration, cfg.Asks)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cl := client.New(ts.URL)
+		for i := 0; i < cfg.Asks; i++ {
+			q := questions[i%len(questions)]
+			t0 := time.Now()
+			if _, err := cl.Ask(ctx, api.AskRequest{Entities: q.Entities}); err != nil {
+				unexpected.Add(1)
+			}
+			askLat[i] = time.Since(t0)
+		}
+	}()
+	wg.Wait()
+
+	runtime.GC()
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	res.Admitted = admitted.Load()
+	res.Shed = shed.Load()
+	res.ShedNoRetryAfter = shedNoRA.Load()
+	res.UnexpectedStatus = unexpected.Load()
+	res.Asks = cfg.Asks
+	res.AskP50Micros = micros(percentile(askLat, 0.50))
+	res.AskP99Micros = micros(percentile(askLat, 0.99))
+	res.HeapGrowthBytes = int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc)
+
+	st, err := client.New(ts.URL).Stats(ctx)
+	if err != nil {
+		return res, fmt.Errorf("stats: %w", err)
+	}
+	res.QueueDepthAfter = st.VotesPending
+	if st.Admission != nil {
+		res.ControllerShed = st.Admission.Shed
+		res.ControllerClients = st.Admission.Clients
+	}
+
+	violation := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if res.Admitted != int64(cfg.Capacity) {
+		violation("admitted = %d, want exactly capacity %d", res.Admitted, cfg.Capacity)
+	}
+	if want := int64(res.Flood) - res.Admitted; res.Shed != want {
+		violation("shed = %d, want %d (flood %d − admitted %d)", res.Shed, want, res.Flood, res.Admitted)
+	}
+	if res.ShedNoRetryAfter != 0 {
+		violation("%d shed responses lacked a Retry-After hint", res.ShedNoRetryAfter)
+	}
+	if res.UnexpectedStatus != 0 {
+		violation("%d requests failed with a status other than 200/429", res.UnexpectedStatus)
+	}
+	if res.QueueDepthAfter != cfg.Capacity {
+		violation("queue depth after flood = %d, want %d", res.QueueDepthAfter, cfg.Capacity)
+	}
+	// The shed load must not accumulate: allow a generous fixed slack for
+	// the admitted batch, HTTP buffers, and allocator noise, but nothing
+	// proportional to the flood.
+	const heapSlack = 64 << 20
+	if res.HeapGrowthBytes > heapSlack {
+		violation("live heap grew %d bytes during the flood (bound %d)", res.HeapGrowthBytes, int64(heapSlack))
+	}
+	return res, nil
+}

@@ -20,6 +20,10 @@ type ALOptions struct {
 	MuMax         float64 // penalty cap; default 1e10
 	ConstraintTol float64 // feasibility tolerance; default 1e-8
 	Inner         PGOptions
+	// Stop is polled between (and, via Inner, inside) outer iterations;
+	// when it returns true the solve stops and returns the best iterate so
+	// far with Stopped set (nil = run to convergence).
+	Stop func() bool
 }
 
 func (o ALOptions) withDefaults() ALOptions {
@@ -51,6 +55,9 @@ type ALResult struct {
 	InnerIters   int
 	InnerEvals   int
 	Multipliers  []float64
+	// Stopped reports that the Stop hook cut the solve short; X is the
+	// best-so-far iterate, not a converged point.
+	Stopped bool
 }
 
 // AugmentedLagrangian minimizes obj subject to cons[i](x) ≤ 0 and the box,
@@ -116,12 +123,18 @@ func AugmentedLagrangian(obj Func, cons []Constraint, box Box, x0 []float64, opt
 		},
 	}
 
+	innerOpt := opt.Inner
+	innerOpt.Stop = opt.Stop
 	res := ALResult{}
 	evalCons(x)
 	prevViol := maxViol()
 	xPrev := append([]float64(nil), x...)
 	for outer := 1; outer <= opt.MaxOuter; outer++ {
-		inner, err := ProjectedGradient(lag, box, x, opt.Inner)
+		if opt.Stop != nil && opt.Stop() {
+			res.Stopped = true
+			break
+		}
+		inner, err := ProjectedGradient(lag, box, x, innerOpt)
 		if err != nil {
 			return ALResult{}, err
 		}
@@ -129,6 +142,10 @@ func AugmentedLagrangian(obj Func, cons []Constraint, box Box, x0 []float64, opt
 		res.Outer = outer
 		res.InnerIters += inner.Iters
 		res.InnerEvals += inner.Evals
+		if inner.Status == Stopped {
+			res.Stopped = true
+			break
+		}
 
 		evalCons(x)
 		viol := maxViol()

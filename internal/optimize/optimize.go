@@ -70,6 +70,9 @@ const (
 	// LineSearchFailed means no acceptable step was found; the best point
 	// so far is returned.
 	LineSearchFailed
+	// Stopped means the caller's Stop hook fired (deadline or
+	// cancellation); the best point so far is returned.
+	Stopped
 )
 
 func (s Status) String() string {
@@ -82,6 +85,8 @@ func (s Status) String() string {
 		return "max-iterations"
 	case LineSearchFailed:
 		return "line-search-failed"
+	case Stopped:
+		return "stopped"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -112,6 +117,11 @@ type PGOptions struct {
 	// spectral steps temporarily increase f (classic SPG). 1 (default)
 	// is a strictly monotone search.
 	NonmonotoneWindow int
+	// Stop is polled once per iteration; when it returns true the solver
+	// stops and returns the best point found so far with Status Stopped.
+	// Deadline propagation threads context cancellation through here
+	// (nil = never stop early).
+	Stop func() bool
 }
 
 func (o PGOptions) withDefaults() PGOptions {
@@ -184,6 +194,11 @@ func ProjectedGradient(f Func, box Box, x0 []float64, opt PGOptions) (Result, er
 	res := Result{Status: MaxIterations}
 
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if opt.Stop != nil && opt.Stop() {
+			res.Status = Stopped
+			res.Iters = iter - 1
+			break
+		}
 		// Optimality: the projected gradient step.
 		pgNorm := 0.0
 		for i := range x {

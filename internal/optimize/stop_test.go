@@ -1,0 +1,85 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProjectedGradientStopImmediate(t *testing.T) {
+	f := quadratic([]float64{3, -2})
+	res, err := ProjectedGradient(f, Box{}, []float64{0, 0}, PGOptions{
+		Stop: func() bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Stopped {
+		t.Fatalf("status = %v, want Stopped", res.Status)
+	}
+	// No iterations ran: the best-so-far iterate is the start point.
+	if res.X[0] != 0 || res.X[1] != 0 {
+		t.Errorf("X = %v, want start point [0 0]", res.X)
+	}
+}
+
+func TestProjectedGradientStopAfterBudget(t *testing.T) {
+	f := quadratic([]float64{3, -2})
+	polls := 0
+	res, err := ProjectedGradient(f, Box{}, []float64{0, 0}, PGOptions{
+		Stop: func() bool { polls++; return polls > 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Stopped {
+		t.Fatalf("status = %v, want Stopped", res.Status)
+	}
+	// A handful of descent steps on a convex quadratic must improve on the
+	// start point: best-so-far, not garbage.
+	if f.F(res.X) >= f.F([]float64{0, 0}) {
+		t.Errorf("stopped iterate %v did not improve on the start", res.X)
+	}
+}
+
+func TestAugmentedLagrangianStopPropagates(t *testing.T) {
+	obj := quadratic([]float64{0})
+	cons := []Constraint{{
+		F: func(x []float64) float64 { return 1 - x[0] },
+		AddGrad: func(x []float64, g []float64, s float64) {
+			g[0] += s * -1
+		},
+	}}
+	polls := 0
+	res, err := AugmentedLagrangian(obj, cons, Box{}, []float64{5}, ALOptions{
+		Stop: func() bool { polls++; return polls > 3 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("result not marked Stopped")
+	}
+	if len(res.X) != 1 || math.IsNaN(res.X[0]) {
+		t.Errorf("stopped X = %v, want a finite iterate", res.X)
+	}
+}
+
+func TestAugmentedLagrangianNilStopConverges(t *testing.T) {
+	obj := quadratic([]float64{0})
+	cons := []Constraint{{
+		F: func(x []float64) float64 { return 1 - x[0] },
+		AddGrad: func(x []float64, g []float64, s float64) {
+			g[0] += s * -1
+		},
+	}}
+	res, err := AugmentedLagrangian(obj, cons, Box{}, []float64{5}, ALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped {
+		t.Fatal("nil Stop must never mark the result Stopped")
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 {
+		t.Errorf("X = %v, want 1", res.X)
+	}
+}

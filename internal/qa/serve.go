@@ -1,6 +1,7 @@
 package qa
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -110,6 +111,14 @@ func (s *System) RankSnapshot(q Question) (*core.GraphSnapshot, []pathidx.Ranked
 // observed when SetMetrics has wired them. This is the server's
 // /ask path.
 func (s *System) RankSnapshotTraced(q Question, tr *telemetry.Trace) (snap *core.GraphSnapshot, ranked []pathidx.Ranked, cacheHit bool, err error) {
+	return s.RankSnapshotTracedCtx(context.Background(), q, tr)
+}
+
+// RankSnapshotTracedCtx is RankSnapshotTraced with deadline awareness: a
+// context that expired before the rank stage (the expensive walk
+// enumeration) aborts with the context error instead of burning snapshot
+// scorer time on a request nobody is waiting for.
+func (s *System) RankSnapshotTracedCtx(ctx context.Context, q Question, tr *telemetry.Trace) (snap *core.GraphSnapshot, ranked []pathidx.Ranked, cacheHit bool, err error) {
 	m := s.metrics
 	var stopAsk func()
 	if m != nil {
@@ -120,6 +129,11 @@ func (s *System) RankSnapshotTraced(q Question, tr *telemetry.Trace) (snap *core
 	stopSeed()
 	if err != nil {
 		return nil, nil, false, err
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, false, fmt.Errorf("qa: rank aborted: %w", cerr)
+		}
 	}
 	snap = s.Engine.Serving()
 	stopRank := tr.Stage("rank")

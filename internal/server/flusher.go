@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff bounds for failed background flushes.
+const (
+	flushBackoffMin = 50 * time.Millisecond
+	flushBackoffMax = 5 * time.Second
+)
+
+// flusher is the background flush scheduler of AsyncFlush mode. The vote
+// path wakes it when the batch threshold is crossed; it solves under the
+// writer gate, bounded by Options.FlushTimeout, and retries failures with
+// jittered exponential backoff so a struggling solver is not hammered in
+// lockstep by every waiting client.
+type flusher struct {
+	s *Server
+
+	wakeCh chan struct{} // 1-slot: coalesces wake-ups
+	doneCh chan struct{} // closed by stop
+	exited chan struct{} // closed when run returns
+	once   sync.Once
+	rngMu  sync.Mutex
+	rng    *rand.Rand
+}
+
+func newFlusher(s *Server) *flusher {
+	f := &flusher{
+		s:      s,
+		wakeCh: make(chan struct{}, 1),
+		doneCh: make(chan struct{}),
+		exited: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	go f.run()
+	return f
+}
+
+// wake nudges the scheduler; extra wake-ups while one is pending coalesce.
+func (f *flusher) wake() {
+	select {
+	case f.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// stop shuts the scheduler down and waits for any in-flight flush to
+// finish (it holds the writer gate, so the caller's next Lock serializes
+// behind it anyway; waiting keeps shutdown deterministic).
+func (f *flusher) stop() {
+	f.once.Do(func() { close(f.doneCh) })
+	<-f.exited
+}
+
+// jitter spreads a backoff delay uniformly over [d/2, d), decorrelating
+// retry storms.
+func (f *flusher) jitter(d time.Duration) time.Duration {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	half := d / 2
+	return half + time.Duration(f.rng.Int63n(int64(half)))
+}
+
+func (f *flusher) run() {
+	defer close(f.exited)
+	var backoff time.Duration
+	for {
+		if backoff > 0 {
+			t := time.NewTimer(f.jitter(backoff))
+			select {
+			case <-f.doneCh:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		} else {
+			select {
+			case <-f.doneCh:
+				return
+			case <-f.wakeCh:
+			}
+		}
+		if f.attempt() {
+			backoff = 0
+		} else if backoff == 0 {
+			backoff = flushBackoffMin
+		} else if backoff *= 2; backoff > flushBackoffMax {
+			backoff = flushBackoffMax
+		}
+	}
+}
+
+// attempt runs one flush round under the writer gate, reporting whether
+// the scheduler may go back to sleep (true) or should back off and retry
+// (false). A timeout that fires mid-solve still succeeds — the solver
+// applies its best-so-far weights (Report.Partial); only a flush that
+// applied nothing is retried.
+func (f *flusher) attempt() bool {
+	s := f.s
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if s.flushTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.flushTimeout)
+	}
+	defer cancel()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.stream.NeedsFlush() {
+		return true // a competing flush got there first
+	}
+	rep, ferr := s.flushLocked(ctx)
+	if ferr != nil {
+		log.Printf("server: background flush failed (%s): %s", ferr.Code, ferr.Message)
+		return false
+	}
+	if s.dur != nil && rep != nil {
+		if err := s.dur.Commit(); err != nil {
+			log.Printf("server: background flush commit failed: %v", err)
+			return false
+		}
+	}
+	// More votes may have crossed the threshold while solving; loop
+	// immediately instead of waiting for the next wake.
+	if s.stream.NeedsFlush() {
+		f.wake()
+	}
+	return true
+}

@@ -1,0 +1,35 @@
+package server
+
+import "context"
+
+// writerGate is the single-writer lock as a one-slot channel: unlike a
+// sync.Mutex, acquisition can race a request deadline, so a write request
+// whose context expires while an optimization flush holds the gate turns
+// into a 503/timeout instead of queueing forever.
+type writerGate struct{ ch chan struct{} }
+
+func newWriterGate() writerGate { return writerGate{ch: make(chan struct{}, 1)} }
+
+// Lock acquires the gate unconditionally (shutdown paths and tests).
+func (g writerGate) Lock() { g.ch <- struct{}{} }
+
+// Unlock releases the gate.
+func (g writerGate) Unlock() { <-g.ch }
+
+// LockCtx acquires the gate unless ctx expires first. The uncontended
+// fast path never consults the context, so an already-expired context
+// still wins an idle gate race-free less often than it times out — the
+// caller re-checks what it must under the gate anyway.
+func (g writerGate) LockCtx(ctx context.Context) error {
+	select {
+	case g.ch <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case g.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,32 +1,50 @@
-// Package server exposes a Q&A system over a small JSON HTTP API: ask a
-// question, vote on the answers, and let the engine re-optimize the
+// Package server exposes a Q&A system over a versioned JSON HTTP API: ask
+// a question, vote on the answers, and let the engine re-optimize the
 // knowledge graph in batches — the paper's interactive loop as a service.
+// Request and response bodies live in the public api package; every route
+// is mounted under /v1 with the unprefixed legacy paths kept as deprecated
+// aliases (Deprecation header, same bodies).
 //
-// The serving path is single-writer/many-reader. Reads (/ask, /explain,
-// /stats) never take the server mutex: they rank against the engine's
-// epoch-stamped immutable graph snapshot (core.GraphSnapshot), so any
-// number of questions are answered concurrently and keep being answered
-// from the previous epoch while an optimization batch is in flight.
-// Writes (/vote, /flush) serialize behind one mutex; when a batch solve
-// finishes, the engine publishes the next snapshot epoch atomically and
-// subsequent reads pick it up.
+// The serving path is single-writer/many-reader. Reads (/v1/ask,
+// /v1/explain, /v1/stats) never take the writer gate: they rank against
+// the engine's epoch-stamped immutable graph snapshot
+// (core.GraphSnapshot), so any number of questions are answered
+// concurrently and keep being answered from the previous epoch while an
+// optimization batch is in flight. Writes (/v1/vote, /v1/flush) serialize
+// behind one writer gate — a one-slot channel rather than a mutex, so a
+// write whose deadline expires while a solve holds the gate degrades into
+// a 503/timeout instead of queueing forever.
 //
-// /ask no longer attaches a query node to the shared graph. It scores the
-// question as a virtual source against the snapshot and returns a
-// negative opaque query handle; the query node is materialized lazily —
-// under the writer mutex — only if a /vote references the handle. Ask-only
-// traffic therefore leaves the graph untouched.
+// Overload protection (DESIGN.md §12): when Options.Admission sets a
+// capacity, /v1/vote runs every request through the admission controller —
+// bounded pending queue, flush watermark, per-client token buckets — and
+// sheds excess load as 429 envelopes with Retry-After hints. The check is
+// advisory (lock-free counters) plus an authoritative re-check under the
+// gate, so the queue bound is exact. BeginDrain/Drain implement graceful
+// shutdown: admission stops, reads continue, queued votes are solved, and
+// a final checkpoint lands before exit.
+//
+// /v1/ask does not attach a query node to the shared graph. It scores the
+// question as a virtual source against the snapshot and returns a negative
+// opaque query handle; the query node is materialized lazily — under the
+// writer gate — only if a /v1/vote references the handle. Ask-only traffic
+// therefore leaves the graph untouched.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
-	"sync"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"kgvote/api"
+	"kgvote/internal/admit"
 	"kgvote/internal/core"
 	"kgvote/internal/durable"
 	"kgvote/internal/graph"
@@ -36,13 +54,28 @@ import (
 	"kgvote/internal/vote"
 )
 
+// The wire DTOs are defined once in the api package; these aliases keep
+// the server's internal code (and its tests) on the short names.
+type (
+	StatsBody       = api.StatsBody
+	AskRequest      = api.AskRequest
+	AskResult       = api.AskResult
+	AskResponse     = api.AskResponse
+	TraceBody       = api.TraceBody
+	VoteRequest     = api.VoteRequest
+	VoteResponse    = api.VoteResponse
+	ExplainRequest  = api.ExplainRequest
+	ExplainResponse = api.ExplainResponse
+	ExplainPath     = api.ExplainPath
+)
+
 // pendingQueryCap bounds the table of asked-but-not-yet-voted query
 // handles; the oldest handles expire first.
 const pendingQueryCap = 1 << 16
 
 // pendingQuery is a served question awaiting a possible vote. node stays
 // graph.None until a vote materializes the query node; both fields are
-// guarded by the server's writer mutex after insertion.
+// guarded by the server's writer gate after insertion.
 type pendingQuery struct {
 	q    qa.Question
 	node graph.NodeID
@@ -64,11 +97,27 @@ type Options struct {
 	// votes and counters); nil for a fresh boot.
 	Recovered *durable.Recovered
 	// CheckpointEvery checkpoints after every N completed flushes
-	// (0 = never automatically; POST /checkpoint and shutdown still work).
+	// (0 = never automatically; POST /v1/checkpoint and shutdown still
+	// work).
 	CheckpointEvery int
 	// PendingCap bounds the asked-but-not-voted handle table
 	// (0 = the 2^16 default; used by tests to force evictions).
 	PendingCap int
+	// Admission, when Capacity > 0, bounds the pending-vote queue and
+	// sheds excess /v1/vote load (429 + Retry-After). Zero Capacity
+	// disables admission control entirely.
+	Admission admit.Config
+	// AsyncFlush moves batch solves off the vote path onto a background
+	// scheduler: /v1/vote enqueues and returns immediately, and
+	// VoteResponse.Flushed stays false. Off by default — votes flush
+	// inline when the batch fills, which is what the response's
+	// Flushed/Report fields and the crash-recovery tests assume.
+	AsyncFlush bool
+	// FlushTimeout bounds each flush solve (background flushes always;
+	// inline flushes only through the request's own deadline). When it
+	// fires mid-solve the solver stops at its best-so-far iterate and the
+	// report is marked Partial. 0 = no bound.
+	FlushTimeout time.Duration
 	// Telemetry, when non-nil, instruments every layer the server
 	// touches — HTTP routes, the qa serving path, the engine's solves —
 	// and is served at GET /metrics in the Prometheus text format.
@@ -84,13 +133,24 @@ type Options struct {
 
 // Server wires a qa.System and a vote stream into an http.Handler.
 type Server struct {
-	// mu is the single-writer lock: it guards the mutable graph (query
+	// mu is the single-writer gate: it guards the mutable graph (query
 	// attachment, batch solves), the vote stream, and the durability log.
 	// Read handlers never acquire it.
-	mu     sync.Mutex
+	mu     writerGate
 	sys    *qa.System
 	stream *core.Stream
 	dur    *durable.Manager
+
+	// Admission control (nil = unbounded legacy behavior) and the flags
+	// its fast path reads without the gate.
+	admit    *admit.Controller
+	flushing atomic.Bool
+	draining atomic.Bool
+
+	// Background flush scheduling (nil unless Options.AsyncFlush).
+	flusher      *flusher
+	asyncFlush   bool
+	flushTimeout time.Duration
 
 	// checkpointEvery/flushesSinceCkpt drive automatic checkpoints; both
 	// are touched under mu only.
@@ -100,7 +160,8 @@ type Server struct {
 	pending    *lru.Cache[graph.NodeID, *pendingQuery]
 	nextHandle atomic.Int32 // decrements; first handle is -2 (None is -1)
 
-	// Lock-free mirrors of the stream counters for /stats.
+	// Lock-free mirrors of the stream counters for /stats and the
+	// admission fast path.
 	votesAccepted atomic.Int64
 	votesPending  atomic.Int64
 	flushes       atomic.Int64
@@ -136,13 +197,19 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 		cap = pendingQueryCap
 	}
 	s := &Server{
+		mu:              newWriterGate(),
 		sys:             sys,
 		stream:          st,
 		dur:             o.Durable,
 		checkpointEvery: o.CheckpointEvery,
 		pending:         lru.New[graph.NodeID, *pendingQuery](cap),
+		asyncFlush:      o.AsyncFlush,
+		flushTimeout:    o.FlushTimeout,
 		slow:            o.SlowThreshold,
 		pprof:           o.Pprof,
+	}
+	if o.Admission.Capacity > 0 {
+		s.admit = admit.New(o.Admission)
 	}
 	if o.Telemetry != nil {
 		s.wireTelemetry(o.Telemetry)
@@ -151,21 +218,36 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 	s.votesAccepted.Store(int64(st.TotalVotes))
 	s.votesPending.Store(int64(st.Pending()))
 	s.flushes.Store(int64(st.Flushes))
+	if o.AsyncFlush {
+		s.flusher = newFlusher(s)
+	}
 	return s, nil
 }
 
-// Handler returns the route mux. Every API route runs inside the
-// telemetry middleware (request ID, trace, latency, in-flight); the
-// scrape and profiling endpoints are mounted uninstrumented.
+// Handler returns the route mux: every route under /v1 plus the
+// unprefixed legacy aliases, which serve identical bodies but add a
+// Deprecation header and a successor-version Link. Both registrations
+// share one instrumented handler, so telemetry keeps its unversioned
+// route labels. The scrape and profiling endpoints are mounted
+// uninstrumented.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
-	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
-	mux.HandleFunc("POST /ask", s.instrument("/ask", s.handleAsk))
-	mux.HandleFunc("POST /vote", s.instrument("/vote", s.handleVote))
-	mux.HandleFunc("POST /flush", s.instrument("/flush", s.handleFlush))
-	mux.HandleFunc("POST /checkpoint", s.instrument("/checkpoint", s.handleCheckpoint))
-	mux.HandleFunc("POST /explain", s.instrument("/explain", s.handleExplain))
+	for _, rt := range []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "/healthz", s.handleHealth},
+		{"GET", "/stats", s.handleStats},
+		{"POST", "/ask", s.handleAsk},
+		{"POST", "/vote", s.handleVote},
+		{"POST", "/flush", s.handleFlush},
+		{"POST", "/checkpoint", s.handleCheckpoint},
+		{"POST", "/explain", s.handleExplain},
+	} {
+		h := s.instrument(rt.path, rt.h)
+		mux.HandleFunc(rt.method+" /v1"+rt.path, h)
+		mux.HandleFunc(rt.method+" "+rt.path, deprecated("/v1"+rt.path, h))
+	}
 	if s.tel != nil {
 		mux.Handle("GET /metrics", s.tel.Handler())
 	}
@@ -179,36 +261,82 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// deprecated marks a legacy unprefixed route: same handler, plus the
+// headers that point clients at the /v1 successor (draft-ietf-httpapi-
+// deprecation-header style).
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	link := fmt.Sprintf("<%s>; rel=\"successor-version\"", successor)
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", link)
+		h(w, r)
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-type errorBody struct {
-	Error string `json:"error"`
+// apiErr builds an envelope error carrying its HTTP status.
+func apiErr(status int, code, format string, args ...any) *api.Error {
+	return &api.Error{Code: code, Message: fmt.Sprintf(format, args...), HTTPStatus: status}
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// writeAPIErr writes the uniform error envelope; a retry hint is mirrored
+// into the Retry-After header (rounded up to whole seconds).
+func writeAPIErr(w http.ResponseWriter, e *api.Error) {
+	if e.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((e.RetryAfterMS+999)/1000, 10))
+	}
+	status := e.HTTPStatus
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, api.ErrorBody{Error: *e})
+}
+
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeAPIErr(w, apiErr(status, code, format, args...))
+}
+
+// writeShed surfaces an admission decision as a 429 envelope whose code
+// is the shed reason.
+func writeShed(w http.ResponseWriter, d admit.Decision) {
+	writeAPIErr(w, &api.Error{
+		Code:         d.Reason,
+		Message:      "vote shed: " + d.Reason,
+		RetryAfterMS: d.RetryAfter.Milliseconds(),
+		HTTPStatus:   http.StatusTooManyRequests,
+	})
+}
+
+// isCtxErr reports a context cancellation or deadline expiry, however
+// deeply wrapped.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// clientID is the admission fairness key: the X-Client-ID header when the
+// client supplies one, else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-// StatsBody is the /stats response. Durability is present only when the
-// daemon runs with a data directory.
-type StatsBody struct {
-	Entities       int            `json:"entities"`
-	Edges          int            `json:"edges"`
-	Documents      int            `json:"documents"`
-	VotesAccepted  int            `json:"votes_accepted"`
-	VotesPending   int            `json:"votes_pending"`
-	Flushes        int            `json:"flushes"`
-	Epoch          uint64         `json:"epoch"`
-	PendingEvicted int64          `json:"pending_evicted"`
-	Durability     *durable.Stats `json:"durability,omitempty"`
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, api.HealthBody{Status: status})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -222,6 +350,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Flushes:        int(s.flushes.Load()),
 		Epoch:          snap.Epoch(),
 		PendingEvicted: s.pending.Evictions(),
+		Draining:       s.draining.Load(),
+	}
+	if s.admit != nil {
+		st := s.admit.Stats()
+		body.Admission = &api.AdmissionStats{
+			QueueCapacity: st.Capacity,
+			Admitted:      st.Admitted,
+			Shed:          st.Shed,
+			ShedQueueFull: st.ShedQueueFull,
+			ShedRate:      st.ShedRate,
+			ShedFlush:     st.ShedFlush,
+			Clients:       st.Clients,
+		}
 	}
 	if s.dur != nil {
 		ds := s.dur.Stats()
@@ -230,45 +371,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-// AskRequest is the /ask request body. Either Text (entity extraction) or
-// Entities may be given.
-type AskRequest struct {
-	Text     string         `json:"text,omitempty"`
-	Entities map[string]int `json:"entities,omitempty"`
-}
-
-// AskResult is one ranked answer.
-type AskResult struct {
-	Doc   int     `json:"doc"`
-	Title string  `json:"title"`
-	Score float64 `json:"score"`
-}
-
-// AskResponse is the /ask response body. Query is an opaque handle
-// identifying the served question for the follow-up /vote or /explain
-// call; Epoch identifies the graph snapshot the ranking was computed
-// from. Trace is present only when the request asked for it
-// (?trace=1).
-type AskResponse struct {
-	Query   graph.NodeID `json:"query"`
-	Epoch   uint64       `json:"epoch"`
-	Results []AskResult  `json:"results"`
-	Trace   *TraceBody   `json:"trace,omitempty"`
-}
-
-// TraceBody is the inline per-stage timing report of one /ask?trace=1
-// request.
-type TraceBody struct {
-	RequestID   string            `json:"request_id"`
-	CacheHit    bool              `json:"cache_hit"`
-	Stages      []telemetry.Stage `json:"stages"`
-	TotalMicros float64           `json:"total_us"`
-}
-
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var req AskRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	ents := req.Entities
@@ -276,14 +382,18 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		ents = qa.ExtractEntities(req.Text, s.sys.Vocabulary())
 	}
 	if len(ents) == 0 {
-		writeErr(w, http.StatusBadRequest, "no entities: provide text with known entities or an entities map")
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "no entities: provide text with known entities or an entities map")
 		return
 	}
 	tr := telemetry.FromContext(r.Context())
 	q := qa.Question{ID: -1, Entities: ents}
-	snap, ranked, cacheHit, err := s.sys.RankSnapshotTraced(q, tr)
+	snap, ranked, cacheHit, err := s.sys.RankSnapshotTracedCtx(r.Context(), q, tr)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "ask: %v", err)
+		if isCtxErr(err) {
+			writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "ask: %v", err)
+			return
+		}
+		writeErr(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, "ask: %v", err)
 		return
 	}
 	stopResolve := tr.Stage("resolve")
@@ -308,22 +418,29 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 
 // queryNode resolves a client query reference to a graph node,
 // materializing the query node of a pending handle on first use. The
-// caller must hold s.mu.
-func (s *Server) queryNode(ref graph.NodeID) (graph.NodeID, error) {
+// caller must hold the writer gate. The context is consulted only before
+// materialization: once the node is attached (and WAL-logged) the
+// operation is committed to.
+func (s *Server) queryNode(ctx context.Context, ref graph.NodeID) (graph.NodeID, *api.Error) {
 	if ref >= 0 {
 		if !s.sys.Aug.IsQuery(ref) {
-			return graph.None, fmt.Errorf("node %d is not a query node", ref)
+			return graph.None, apiErr(http.StatusBadRequest, api.CodeBadRequest, "node %d is not a query node", ref)
 		}
 		return ref, nil
 	}
 	pq, ok := s.pending.Get(ref)
 	if !ok {
-		return graph.None, fmt.Errorf("unknown or expired query handle %d", ref)
+		return graph.None, apiErr(http.StatusBadRequest, api.CodeBadRequest, "unknown or expired query handle %d", ref)
 	}
 	if pq.node == graph.None {
+		// Last exit before mutating the graph: a dead request must not
+		// attach a node whose WAL record would then be skipped.
+		if err := ctx.Err(); err != nil {
+			return graph.None, apiErr(http.StatusServiceUnavailable, api.CodeTimeout, "vote: %v", err)
+		}
 		qn, err := s.sys.AttachQuestion(pq.q)
 		if err != nil {
-			return graph.None, err
+			return graph.None, apiErr(http.StatusUnprocessableEntity, api.CodeUnprocessable, "vote: %v", err)
 		}
 		pq.node = qn
 		// Log the attachment the moment it happens so every later vote
@@ -332,106 +449,142 @@ func (s *Server) queryNode(ref graph.NodeID) (graph.NodeID, error) {
 		// does not), so subsequent votes are rejected until restart.
 		if s.dur != nil {
 			if err := s.dur.LogAttach(durable.Attach{Node: qn, Question: pq.q}); err != nil {
-				return graph.None, err
+				return graph.None, apiErr(http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)
 			}
 		}
 	}
 	return pq.node, nil
 }
 
-// VoteRequest is the /vote request body: the query handle and ranked list
-// from a prior /ask, plus the document the user found best.
-type VoteRequest struct {
-	Query   graph.NodeID `json:"query"`
-	Ranked  []int        `json:"ranked"` // document IDs in served order
-	BestDoc int          `json:"best_doc"`
-	Weight  float64      `json:"weight,omitempty"`
-}
-
-// VoteResponse reports what happened to the vote.
-type VoteResponse struct {
-	Kind    string       `json:"kind"`
-	Pending int          `json:"pending"`
-	Flushed bool         `json:"flushed"`
-	Report  *core.Report `json:"report,omitempty"`
-}
-
 func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; votes are no longer admitted")
+		return
+	}
 	var req VoteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	ranked := make([]graph.NodeID, 0, len(req.Ranked))
 	for _, doc := range req.Ranked {
 		a, err := s.sys.AnswerOf(doc)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "unknown document %d", doc)
+			writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "unknown document %d", doc)
 			return
 		}
 		ranked = append(ranked, a)
 	}
 	best, err := s.sys.AnswerOf(req.BestDoc)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "unknown best document %d", req.BestDoc)
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "unknown best document %d", req.BestDoc)
 		return
 	}
-	s.mu.Lock()
+	// Advisory fast path: shed before touching the writer gate, so a
+	// flood is repelled at the cost of two atomic loads, not a lock
+	// acquisition behind an in-flight solve.
+	if s.admit != nil {
+		d := s.admit.Admit(clientID(r), int(s.votesPending.Load()), s.flushing.Load())
+		if !d.OK {
+			writeShed(w, d)
+			return
+		}
+	}
+	if err := s.mu.LockCtx(r.Context()); err != nil {
+		if s.admit != nil {
+			s.admit.Cancel()
+		}
+		writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "vote: %v", err)
+		return
+	}
 	defer s.mu.Unlock()
-	qn, err := s.queryNode(req.Query)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "vote: %v", err)
+	// Authoritative re-check under the gate: the advisory depth may have
+	// raced with other admissions, but the queue bound is exact.
+	if s.admit != nil && s.stream.Pending() >= s.admit.Capacity() {
+		writeShed(w, s.admit.Reject())
+		return
+	}
+	if s.draining.Load() { // drain began while this request waited at the gate
+		if s.admit != nil {
+			s.admit.Cancel()
+		}
+		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; votes are no longer admitted")
+		return
+	}
+	qn, aerr := s.queryNode(r.Context(), req.Query)
+	if aerr != nil {
+		if s.admit != nil {
+			s.admit.Cancel()
+		}
+		writeAPIErr(w, aerr)
 		return
 	}
 	v, err := vote.FromRanking(qn, ranked, best)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "vote: %v", err)
+		if s.admit != nil {
+			s.admit.Cancel()
+		}
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "vote: %v", err)
 		return
 	}
 	v.Weight = req.Weight
 	if err := v.Validate(); err != nil {
-		writeErr(w, http.StatusBadRequest, "vote: %v", err)
+		if s.admit != nil {
+			s.admit.Cancel()
+		}
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "vote: %v", err)
 		return
 	}
-	// WAL-first: the vote is logged before it enters the stream, so a crash
-	// after this point replays it.
+	// WAL-first: the vote is logged before it enters the stream, so a
+	// crash after this point replays it. The context is checked one last
+	// time inside LogVoteCtx; past it, the vote is committed to and the
+	// remaining stages run regardless of the client's deadline.
 	if s.dur != nil {
-		if err := s.dur.LogVote(v); err != nil {
-			writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
-			return
-		}
-	}
-	rep, err := s.stream.Push(v)
-	if err != nil {
-		if s.dur != nil {
-			// The vote is in the log but not in the stream: memory and disk
-			// disagree. Poison the log so recovery — which replays the vote —
-			// is the only path forward.
-			s.dur.Fail()
-			writeErr(w, http.StatusInternalServerError, "optimize failed after the vote was logged; durability halted, restart to recover: %v", err)
-			return
-		}
-		writeErr(w, http.StatusUnprocessableEntity, "optimize: %v", err)
-		return
-	}
-	if s.dur != nil {
-		if rep != nil {
-			if err := s.dur.LogFlush(rep.Applied); err != nil {
-				writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
+		if err := s.dur.LogVoteCtx(r.Context(), v); err != nil {
+			if s.admit != nil {
+				s.admit.Cancel()
+			}
+			if isCtxErr(err) {
+				writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "vote: %v", err)
 				return
 			}
-		}
-		if err := s.dur.Commit(); err != nil {
-			writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
+			writeErr(w, http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)
 			return
 		}
+	}
+	if err := s.stream.PushQueue(v); err != nil {
+		// The vote validated above, so this cannot be a client error; if
+		// it is in the WAL, memory and disk now disagree.
+		if s.dur != nil {
+			s.dur.Fail()
+			writeErr(w, http.StatusInternalServerError, api.CodeInternal,
+				"enqueue failed after the vote was logged; durability halted, restart to recover: %v", err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal, "enqueue: %v", err)
+		return
 	}
 	s.votesAccepted.Add(1)
 	s.votesPending.Store(int64(s.stream.Pending()))
-	s.flushes.Store(int64(s.stream.Flushes))
-	if rep != nil {
-		if err := s.afterFlushLocked(); err != nil {
-			writeErr(w, http.StatusInternalServerError, "vote applied but checkpoint failed: %v", err)
+	var rep *core.Report
+	if s.stream.NeedsFlush() {
+		if s.asyncFlush {
+			s.flusher.wake()
+		} else {
+			var ferr *api.Error
+			rep, ferr = s.flushLocked(r.Context())
+			if ferr != nil && ferr.Code != api.CodeTimeout {
+				writeAPIErr(w, ferr)
+				return
+			}
+			// A timeout here means the solve never started and the batch
+			// was restored to the queue: the vote itself is accepted, and
+			// the flush will run on the next trigger.
+		}
+	}
+	if s.dur != nil {
+		if err := s.dur.Commit(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)
 			return
 		}
 	}
@@ -443,8 +596,46 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// flushLocked runs one flush with durability logging and the periodic
+// checkpoint policy; the caller holds the writer gate and commits the WAL
+// afterwards. The flushing flag it raises is what the admission watermark
+// reads. Cancellation before the solve applied anything restores the
+// votes to the queue and reports a timeout; a solver failure after the
+// WAL logged the batch's votes poisons durability (recovery replays
+// them).
+func (s *Server) flushLocked(ctx context.Context) (*core.Report, *api.Error) {
+	s.flushing.Store(true)
+	rep, err := s.stream.FlushCtx(ctx)
+	s.flushing.Store(false)
+	s.votesPending.Store(int64(s.stream.Pending()))
+	s.flushes.Store(int64(s.stream.Flushes))
+	if err != nil {
+		if isCtxErr(err) {
+			return nil, apiErr(http.StatusServiceUnavailable, api.CodeTimeout, "flush: %v", err)
+		}
+		if s.dur != nil {
+			s.dur.Fail()
+			return nil, apiErr(http.StatusInternalServerError, api.CodeInternal,
+				"optimize failed after its votes were logged; durability halted, restart to recover: %v", err)
+		}
+		return nil, apiErr(http.StatusUnprocessableEntity, api.CodeUnprocessable, "optimize: %v", err)
+	}
+	if rep == nil {
+		return nil, nil
+	}
+	if s.dur != nil {
+		if err := s.dur.LogFlush(rep.Applied); err != nil {
+			return rep, apiErr(http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)
+		}
+	}
+	if err := s.afterFlushLocked(); err != nil {
+		return rep, apiErr(http.StatusInternalServerError, api.CodeInternal, "flush applied but checkpoint failed: %v", err)
+	}
+	return rep, nil
+}
+
 // afterFlushLocked runs the periodic checkpoint policy after a completed
-// flush. The caller must hold s.mu.
+// flush. The caller must hold the writer gate.
 func (s *Server) afterFlushLocked() error {
 	if s.dur == nil || s.checkpointEvery <= 0 {
 		return nil
@@ -458,7 +649,7 @@ func (s *Server) afterFlushLocked() error {
 }
 
 // Checkpoint persists a full-state checkpoint now, independent of the
-// periodic policy. It backs POST /checkpoint and graceful shutdown.
+// periodic policy. It backs POST /v1/checkpoint and graceful shutdown.
 func (s *Server) Checkpoint() error {
 	if s.dur == nil {
 		return fmt.Errorf("no durability layer configured")
@@ -469,83 +660,109 @@ func (s *Server) Checkpoint() error {
 	return s.dur.Checkpoint(s.sys, s.stream.TotalVotes, s.stream.Flushes)
 }
 
-func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
-	if s.dur == nil {
-		writeErr(w, http.StatusNotImplemented, "checkpoint: daemon is running without a data directory")
+// BeginDrain irreversibly stops admitting writes: /v1/vote, /v1/flush,
+// and /v1/checkpoint answer 503/draining envelopes from this moment on,
+// while reads keep serving from the snapshot. It is safe to call from a
+// signal handler before shutting the HTTP listener down.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain completes graceful shutdown after BeginDrain (which it also calls
+// for stragglers): the background flusher stops, every queued vote is
+// solved, and — when durability is configured — the WAL commits and a
+// final checkpoint lands. If ctx expires mid-solve the flush applies its
+// best-so-far weights; if it expires before the solve starts the queued
+// votes remain in the WAL, so the next boot recovers them. Either way no
+// admitted vote is lost.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	if s.flusher != nil {
+		s.flusher.stop()
+	}
+	if err := s.mu.LockCtx(ctx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	defer s.mu.Unlock()
+	if s.stream.Pending() > 0 {
+		if _, ferr := s.flushLocked(ctx); ferr != nil && ferr.Code != api.CodeTimeout {
+			return fmt.Errorf("server: drain flush: %s", ferr.Message)
+		}
+	}
+	if s.dur != nil {
+		if err := s.dur.Commit(); err != nil {
+			return fmt.Errorf("server: drain commit: %w", err)
+		}
+		s.flushesSinceCkpt = 0
+		if err := s.dur.Checkpoint(s.sys, s.stream.TotalVotes, s.stream.Flushes); err != nil {
+			return fmt.Errorf("server: drain checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; shutdown takes its own checkpoint")
 		return
 	}
-	if err := s.Checkpoint(); err != nil {
-		writeErr(w, http.StatusInternalServerError, "checkpoint: %v", err)
+	if s.dur == nil {
+		writeErr(w, http.StatusNotImplemented, api.CodeNotImplemented, "checkpoint: daemon is running without a data directory")
+		return
+	}
+	if err := s.mu.LockCtx(r.Context()); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "checkpoint: %v", err)
+		return
+	}
+	s.flushesSinceCkpt = 0
+	err := s.dur.Checkpoint(s.sys, s.stream.TotalVotes, s.stream.Flushes)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal, "checkpoint: %v", err)
 		return
 	}
 	ds := s.dur.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"checkpoints":  ds.Checkpoints,
-		"wal_seq":      ds.LastCheckpointSeq,
-		"wal_segments": ds.Wal.Segments,
+	writeJSON(w, http.StatusOK, api.CheckpointResponse{
+		Checkpoints: int(ds.Checkpoints),
+		WalSeq:      ds.LastCheckpointSeq,
+		WalSegments: ds.Wal.Segments,
 	})
 }
 
-func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; shutdown flushes the queue itself")
+		return
+	}
+	if err := s.mu.LockCtx(r.Context()); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "flush: %v", err)
+		return
+	}
 	defer s.mu.Unlock()
-	rep, err := s.stream.Flush()
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "flush: %v", err)
+	rep, ferr := s.flushLocked(r.Context())
+	if ferr != nil {
+		writeAPIErr(w, ferr)
 		return
 	}
 	if s.dur != nil && rep != nil {
-		if err := s.dur.LogFlush(rep.Applied); err != nil {
-			writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
-			return
-		}
 		if err := s.dur.Commit(); err != nil {
-			writeErr(w, http.StatusServiceUnavailable, "durability: %v", err)
-			return
-		}
-	}
-	s.votesPending.Store(int64(s.stream.Pending()))
-	s.flushes.Store(int64(s.stream.Flushes))
-	if rep != nil {
-		if err := s.afterFlushLocked(); err != nil {
-			writeErr(w, http.StatusInternalServerError, "flush applied but checkpoint failed: %v", err)
+			writeErr(w, http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)
 			return
 		}
 	}
 	writeJSON(w, http.StatusOK, VoteResponse{Pending: s.stream.Pending(), Flushed: rep != nil, Report: rep})
 }
 
-// ExplainRequest is the /explain request body.
-type ExplainRequest struct {
-	Query graph.NodeID `json:"query"`
-	Doc   int          `json:"doc"`
-	Top   int          `json:"top,omitempty"`
-}
-
-// ExplainResponse decomposes the similarity into walks rendered as node
-// name sequences.
-type ExplainResponse struct {
-	Similarity float64       `json:"similarity"`
-	TotalPaths int           `json:"total_paths"`
-	Paths      []ExplainPath `json:"paths"`
-}
-
-// ExplainPath is one walk with its contribution.
-type ExplainPath struct {
-	Nodes    []string `json:"nodes"`
-	Score    float64  `json:"score"`
-	Fraction float64  `json:"fraction"`
-}
-
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req ExplainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	ans, err := s.sys.AnswerOf(req.Doc)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "unknown document %d", req.Doc)
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "unknown document %d", req.Doc)
 		return
 	}
 	top := req.Top
@@ -557,18 +774,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		// enumerating the virtual query's walks over the immutable CSR.
 		pq, ok := s.pending.Get(req.Query)
 		if !ok {
-			writeErr(w, http.StatusBadRequest, "unknown or expired query handle %d", req.Query)
+			writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "unknown or expired query handle %d", req.Query)
 			return
 		}
 		ids, ws, _, err := s.sys.Seed(pq.q)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "explain: %v", err)
+			writeErr(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, "explain: %v", err)
 			return
 		}
 		snap := s.sys.Engine.Serving()
 		ex, err := snap.ExplainSeeded(ids, ws, ans, top)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "explain: %v", err)
+			writeErr(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, "explain: %v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, renderExplanation(ex, func(n graph.NodeID) string {
@@ -580,16 +797,19 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// A materialized query node: walk the mutable graph under the writer
-	// lock (legacy path, used for persisted/attached queries).
-	s.mu.Lock()
+	// gate (legacy path, used for persisted/attached queries).
+	if err := s.mu.LockCtx(r.Context()); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "explain: %v", err)
+		return
+	}
 	defer s.mu.Unlock()
 	if !s.sys.Aug.IsQuery(req.Query) {
-		writeErr(w, http.StatusBadRequest, "node %d is not a query node", req.Query)
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "node %d is not a query node", req.Query)
 		return
 	}
 	ex, err := s.sys.Engine.Explain(req.Query, ans, top)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "explain: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, "explain: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, renderExplanation(ex, s.sys.Aug.Name))

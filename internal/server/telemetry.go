@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"kgvote/internal/admit"
 	"kgvote/internal/core"
 	"kgvote/internal/qa"
 	"kgvote/internal/telemetry"
@@ -99,6 +100,34 @@ func (s *Server) registerCollectors(reg *telemetry.Registry) {
 	reg.CounterFunc("kgvote_server_pending_evicted_total",
 		"Pending query handles evicted under capacity pressure.", nil,
 		func() float64 { return float64(s.pending.Evictions()) })
+	reg.GaugeFunc("kgvote_server_draining",
+		"1 while the server is draining (writes rejected), else 0.", nil,
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	if s.admit != nil {
+		shed := func(read func(admit.Stats) int64) func() float64 {
+			return func() float64 { return float64(read(s.admit.Stats())) }
+		}
+		reg.CounterFunc("kgvote_server_votes_shed_total",
+			"Votes shed by admission control, by reason.",
+			telemetry.Labels{"reason": admit.ReasonQueueFull},
+			shed(func(st admit.Stats) int64 { return st.ShedQueueFull }))
+		reg.CounterFunc("kgvote_server_votes_shed_total",
+			"Votes shed by admission control, by reason.",
+			telemetry.Labels{"reason": admit.ReasonRate},
+			shed(func(st admit.Stats) int64 { return st.ShedRate }))
+		reg.CounterFunc("kgvote_server_votes_shed_total",
+			"Votes shed by admission control, by reason.",
+			telemetry.Labels{"reason": admit.ReasonFlush},
+			shed(func(st admit.Stats) int64 { return st.ShedFlush }))
+		reg.GaugeFunc("kgvote_server_admission_clients",
+			"Clients tracked by the admission controller's bucket table.", nil,
+			shed(func(st admit.Stats) int64 { return int64(st.Clients) }))
+	}
 }
 
 // wireTelemetry builds the HTTP metrics and instruments the system and

@@ -27,6 +27,12 @@ const (
 type SolveOptions struct {
 	Mode Mode
 	AL   optimize.ALOptions
+	// Stop is polled throughout the solve (continuation stages, outer
+	// augmented-Lagrangian iterations, inner projected-gradient steps);
+	// when it fires the solve returns the best-so-far point with
+	// Solution.Stopped set instead of an error, so a cancelled flush can
+	// still apply a usable weight set (nil = run to convergence).
+	Stop func() bool
 }
 
 // Solution is the outcome of a solve.
@@ -53,6 +59,9 @@ type Solution struct {
 	MaxViolation float64
 	// Outer/InnerIters are solver statistics.
 	Outer, InnerIters int
+	// Stopped reports that the caller's Stop hook cut the solve short; X
+	// is the best point reached when it fired, not a converged optimum.
+	Stopped bool
 }
 
 // devWeights maps each deviation-variable index to its constraint's
@@ -169,10 +178,16 @@ func (p *Program) solveFull(opt SolveOptions) (*Solution, error) {
 	}
 	targetW := p.SigmoidW
 	defer func() { p.SigmoidW = targetW }()
+	alOpt := opt.AL
+	alOpt.Stop = opt.Stop
 	sol := &Solution{}
 	for _, w := range schedule {
+		if opt.Stop != nil && opt.Stop() {
+			sol.Stopped = true
+			break
+		}
 		p.SigmoidW = w // objective closures read p.SigmoidW
-		res, err := optimize.AugmentedLagrangian(obj, cons, box, x, opt.AL)
+		res, err := optimize.AugmentedLagrangian(obj, cons, box, x, alOpt)
 		if err != nil {
 			return nil, err
 		}
@@ -181,6 +196,10 @@ func (p *Program) solveFull(opt SolveOptions) (*Solution, error) {
 		sol.MaxViolation = res.MaxViolation
 		sol.Outer += res.Outer
 		sol.InnerIters += res.InnerIters
+		if res.Stopped {
+			sol.Stopped = true
+			break
+		}
 	}
 	p.SigmoidW = targetW
 	assessed := p.assess(x)
@@ -188,6 +207,7 @@ func (p *Program) solveFull(opt SolveOptions) (*Solution, error) {
 	assessed.MaxViolation = sol.MaxViolation
 	assessed.Outer = sol.Outer
 	assessed.InnerIters = sol.InnerIters
+	assessed.Stopped = sol.Stopped
 	return assessed, nil
 }
 
@@ -302,17 +322,28 @@ func (p *Program) solveReduced(opt SolveOptions) (*Solution, error) {
 	xRed := x0
 	var outer, innerIters int
 	feasible := true
+	stopped := false
 	maxViol := 0.0
 	box := optimize.Box{Lower: lo, Upper: hi}
 	if len(hardRed) == 0 {
+		pgOpt := opt.AL.Inner
+		pgOpt.Stop = opt.Stop
 		for _, stage := range schedule {
+			if opt.Stop != nil && opt.Stop() {
+				stopped = true
+				break
+			}
 			w = stage
-			res, err := optimize.ProjectedGradient(obj, box, xRed, opt.AL.Inner)
+			res, err := optimize.ProjectedGradient(obj, box, xRed, pgOpt)
 			if err != nil {
 				return nil, err
 			}
 			xRed = res.X
 			innerIters += res.Iters
+			if res.Status == optimize.Stopped {
+				stopped = true
+				break
+			}
 		}
 		outer = len(schedule)
 	} else {
@@ -321,9 +352,15 @@ func (p *Program) solveReduced(opt SolveOptions) (*Solution, error) {
 			sig := sig
 			cons[i] = optimize.Constraint{F: sig.Eval, AddGrad: sig.AddGrad}
 		}
+		alOpt := opt.AL
+		alOpt.Stop = opt.Stop
 		for _, stage := range schedule {
+			if opt.Stop != nil && opt.Stop() {
+				stopped = true
+				break
+			}
 			w = stage
-			res, err := optimize.AugmentedLagrangian(obj, cons, box, xRed, opt.AL)
+			res, err := optimize.AugmentedLagrangian(obj, cons, box, xRed, alOpt)
 			if err != nil {
 				return nil, err
 			}
@@ -332,6 +369,10 @@ func (p *Program) solveReduced(opt SolveOptions) (*Solution, error) {
 			innerIters += res.InnerIters
 			feasible = res.Feasible
 			maxViol = res.MaxViolation
+			if res.Stopped {
+				stopped = true
+				break
+			}
 		}
 	}
 
@@ -349,6 +390,7 @@ func (p *Program) solveReduced(opt SolveOptions) (*Solution, error) {
 	sol.MaxViolation = maxViol
 	sol.Outer = outer
 	sol.InnerIters = innerIters
+	sol.Stopped = stopped
 	return sol, nil
 }
 
