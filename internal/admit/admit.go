@@ -153,25 +153,42 @@ func (c *Controller) Admit(client string, depth int, flushing bool) Decision {
 	return Decision{OK: true}
 }
 
-// Cancel rolls back a prior OK decision whose vote never entered the
-// queue for a reason that is not load shedding (the request deadline
+// Cancel rolls back client's prior OK decision whose vote never entered
+// the queue for a reason that is not load shedding (the request deadline
 // expired at the writer gate, the body failed late validation). It
-// adjusts the admitted count without recording a shed.
-func (c *Controller) Cancel() {
+// adjusts the admitted count without recording a shed and refunds the
+// token the advisory Admit consumed, so the client's compliant retry is
+// not double-charged.
+func (c *Controller) Cancel(client string) {
 	c.mu.Lock()
 	c.admitted--
+	c.refundToken(client)
 	c.mu.Unlock()
 }
 
 // Reject records that the server's authoritative re-check (under the
-// writer gate) shed a pre-admitted vote; it returns the queue_full
+// writer gate) shed client's pre-admitted vote; it refunds the advisory
+// Admit's token (the vote never enqueued) and returns the queue_full
 // decision the handler should surface.
-func (c *Controller) Reject() Decision {
+func (c *Controller) Reject(client string) Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.admitted--
 	c.shedQueueFull++
+	c.refundToken(client)
 	return Decision{Reason: ReasonQueueFull, RetryAfter: c.cfg.RetryAfter}
+}
+
+// refundToken credits one token back to client's bucket, capped at the
+// burst size. Caller holds c.mu. A client whose bucket was evicted needs
+// no refund — a fresh bucket restarts full.
+func (c *Controller) refundToken(client string) {
+	if c.cfg.PerClientRate <= 0 {
+		return
+	}
+	if b, found := c.buckets.Get(client); found {
+		b.tokens = math.Min(c.cfg.PerClientBurst, b.tokens+1)
+	}
 }
 
 // takeToken consumes one token from client's bucket, lazily creating and

@@ -131,13 +131,42 @@ func TestRejectRollsBack(t *testing.T) {
 	if d := c.Admit("a", 0, false); !d.OK {
 		t.Fatal("admit shed")
 	}
-	d := c.Reject()
+	d := c.Reject("a")
 	if d.OK || d.Reason != ReasonQueueFull || d.RetryAfter <= 0 {
 		t.Fatalf("reject decision = %+v", d)
 	}
 	st := c.Stats()
 	if st.Admitted != 0 || st.ShedQueueFull != 1 {
 		t.Fatalf("stats after reject = %+v", st)
+	}
+}
+
+// TestCancelRefundsToken proves a vote that never enqueued does not
+// charge the client's rate bucket: with burst 1, Admit+Cancel repeated
+// forever never rate-limits, and a Reject at the authoritative gate
+// leaves the bucket full for the compliant retry.
+func TestCancelRefundsToken(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New(Config{Capacity: 4, PerClientRate: 0.001, PerClientBurst: 1, Now: clk.now})
+	for i := 0; i < 5; i++ {
+		d := c.Admit("a", 0, false)
+		if !d.OK {
+			t.Fatalf("attempt %d shed as %s despite refunds", i, d.Reason)
+		}
+		c.Cancel("a")
+	}
+	if d := c.Admit("a", 4, false); d.Reason != ReasonQueueFull {
+		t.Fatalf("full-queue admit = %+v, want queue_full", d)
+	}
+	if d := c.Admit("a", 0, false); !d.OK {
+		t.Fatalf("admit after queue-full sheds = %+v", d)
+	}
+	if d := c.Reject("a"); d.Reason != ReasonQueueFull {
+		t.Fatalf("reject = %+v", d)
+	}
+	// The rejected vote's token was refunded: the retry passes the bucket.
+	if d := c.Admit("a", 0, false); !d.OK {
+		t.Fatalf("compliant retry after Reject shed as %s (token not refunded)", d.Reason)
 	}
 }
 

@@ -142,6 +142,80 @@ func TestSolveSingleCtxPartial(t *testing.T) {
 	}
 }
 
+func TestSolveSingleCtxPreSolveCancelled(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := graphWeights(g)
+	v, err := e.CollectVote(q, answers, answers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.SolveSingleCtx(cancelledCtx(), []vote.Vote{v, v})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	after := graphWeights(g)
+	for k, w := range before {
+		if after[k] != w {
+			t.Fatalf("edge %v changed (%v -> %v) despite pre-solve cancellation", k, w, after[k])
+		}
+	}
+}
+
+// TestFlushCtxRequeuesSingleSolverRemainder is the no-admitted-vote-lost
+// contract for -solver single: a deadline that expires after the first
+// greedy sub-solve consumes only that vote; the unprocessed tail goes
+// back to the buffer and a later flush drains it.
+func TestFlushCtxRequeuesSingleSolverRemainder(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewStream(3, StreamSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, answers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.PushQueue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first loop check passes; the context cancels during (or right
+	// after) vote 1's processing, so the loop stops before vote 2.
+	rep, err := s.FlushCtx(newCountCtx(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial || rep.Consumed != 1 {
+		t.Fatalf("report Partial=%v Consumed=%d, want true/1: %+v", rep.Partial, rep.Consumed, rep)
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d after mid-batch cancellation, want 2 (remainder requeued)", s.Pending())
+	}
+	if s.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", s.Flushes)
+	}
+	// A later uncancelled flush consumes the requeued remainder.
+	rep2, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2 == nil || rep2.Votes != 2 || rep2.Consumed != 2 {
+		t.Fatalf("retry flush report = %+v, want 2 votes all consumed", rep2)
+	}
+	if s.Pending() != 0 || s.Flushes != 2 {
+		t.Fatalf("pending=%d flushes=%d after retry, want 0/2", s.Pending(), s.Flushes)
+	}
+}
+
 func TestFlushCtxRestoresVotesOnCancel(t *testing.T) {
 	g, q, answers := twoAnswer(t)
 	e, err := New(g, Options{})

@@ -29,7 +29,9 @@ func (e *Engine) SolveMulti(votes []vote.Vote) (*Report, error) {
 // (nothing applied); cancelled mid-solve it stops the solver's iterations
 // and applies the best-so-far weight set, marking the report Partial.
 func (e *Engine) SolveMultiCtx(ctx context.Context, votes []vote.Vote) (*Report, error) {
-	report := &Report{Votes: len(votes), Clusters: 1}
+	// One program covers the whole batch, so any returned report consumed
+	// every vote (a mid-solve stop still applies best-so-far for all).
+	report := &Report{Votes: len(votes), Clusters: 1, Consumed: len(votes)}
 
 	tEnum := time.Now()
 	fc, err := e.newFlushEnum(votes)

@@ -51,6 +51,14 @@ type Report struct {
 	// applied weight set is the solver's best-so-far iterate, not a
 	// converged optimum (graceful degradation, DESIGN.md §12).
 	Partial bool
+	// Consumed is the number of leading input votes the solver fully
+	// processed (applied or legitimately discarded). The batch solvers
+	// always consume the whole input — a mid-solve cancellation still
+	// applies best-so-far weights for every vote — but the single-vote
+	// greedy loop can be cancelled between sub-solves, leaving
+	// Consumed < Votes; Stream.FlushCtx requeues the unprocessed
+	// remainder so no admitted vote is silently dropped.
+	Consumed int `json:"-"`
 	// Applied lists the final post-normalization weight of every edge the
 	// run touched, in application order (later entries for the same edge
 	// supersede earlier ones). The durability layer logs it so crash

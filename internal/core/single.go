@@ -22,20 +22,29 @@ func (e *Engine) SolveSingle(votes []vote.Vote) (*Report, error) {
 }
 
 // SolveSingleCtx is SolveSingle with deadline propagation. Each greedy
-// sub-solve applies its result before the next starts, so cancellation
-// between votes returns the report accumulated so far (marked Partial)
-// without error — those weights are already live. Cancellation mid-solve
-// stops the running sub-solve at its best-so-far iterate, applies it, and
-// likewise returns Partial.
+// sub-solve applies its result before the next starts, so the
+// cancellation contract is per-vote: a context cancelled before the
+// first vote was processed aborts with the context error (nothing
+// applied, callers retry the whole batch); cancelled between votes it
+// returns the report accumulated so far, marked Partial with Consumed
+// set to the processed prefix — the unprocessed remainder was neither
+// applied nor discarded, so callers (Stream.FlushCtx) requeue it.
+// Cancellation mid-solve stops the running sub-solve at its best-so-far
+// iterate and applies it; that vote counts as consumed.
 func (e *Engine) SolveSingleCtx(ctx context.Context, votes []vote.Vote) (*Report, error) {
 	report := &Report{Votes: len(votes), Clusters: 1}
+	consumed := 0
 	for i, v := range votes {
-		if ctxErr(ctx) != nil {
+		if err := ctxErr(ctx); err != nil {
+			if consumed == 0 {
+				return nil, fmt.Errorf("core: single-vote flush cancelled before solve: %w", err)
+			}
 			report.Partial = true
 			break
 		}
 		if v.Kind == vote.Positive {
 			report.Discarded++
+			consumed++
 			continue
 		}
 		sub, err := e.solveOneVote(ctx, v)
@@ -43,7 +52,9 @@ func (e *Engine) SolveSingleCtx(ctx context.Context, votes []vote.Vote) (*Report
 			return nil, fmt.Errorf("core: single-vote %d: %w", i, err)
 		}
 		report.merge(sub)
+		consumed++
 	}
+	report.Consumed = consumed
 	e.metrics.observeFlushStages(report)
 	return report, nil
 }

@@ -43,7 +43,9 @@ func (e *Engine) SolveSplitMerge(votes []vote.Vote) (*Report, error) {
 // clusters contribute their initial weights (zero deltas), so the merge
 // still applies a coherent weight set, marked Partial.
 func (e *Engine) SolveSplitMergeCtx(ctx context.Context, votes []vote.Vote) (*Report, error) {
-	report := &Report{Votes: len(votes)}
+	// The per-cluster solves either all contribute (possibly best-so-far)
+	// or the whole flush errors, so any returned report consumed every vote.
+	report := &Report{Votes: len(votes), Consumed: len(votes)}
 
 	tEnum := time.Now()
 	fc, err := e.newFlushEnum(votes)

@@ -124,7 +124,10 @@ func (s *Stream) Flush() (*Report, error) {
 // the solve applies anything returns the context error with the votes
 // restored to the buffer (retry later loses nothing); cancellation
 // mid-solve applies the solver's best-so-far weights and returns a report
-// marked Partial — those votes are consumed.
+// marked Partial. A partial single-vote flush may have processed only a
+// prefix of the batch (Report.Consumed < Votes); the unprocessed
+// remainder is requeued at the head of the buffer, so only votes whose
+// weights are actually live are ever consumed.
 func (s *Stream) FlushCtx(ctx context.Context) (*Report, error) {
 	if len(s.pending) == 0 {
 		return nil, nil
@@ -152,6 +155,14 @@ func (s *Stream) FlushCtx(ctx context.Context) (*Report, error) {
 			s.pending = append(votes, s.pending...)
 		}
 		return nil, err
+	}
+	if rep.Consumed > 0 && rep.Consumed < len(votes) {
+		// Mid-batch cancellation (single-vote solver): the tail was never
+		// applied; requeue it ahead of anything pushed since. The full
+		// slice expression forces append to copy instead of clobbering
+		// votes' backing array.
+		rest := votes[rep.Consumed:len(votes):len(votes)]
+		s.pending = append(rest, s.pending...)
 	}
 	s.e.metrics.observeReport(rep)
 	s.Flushes++

@@ -264,6 +264,7 @@ func (m *Manager) recoverFrom(seq uint64) (*Recovered, error) {
 
 	rec := &Recovered{Sys: sys, TotalVotes: meta.Votes, Flushes: meta.Flushes, CheckpointSeq: seq}
 	var pendingSeqs []uint64
+	sawFlush := false
 	err = m.log.Replay(seq, func(recSeq uint64, typ byte, payload []byte) error {
 		rec.Records++
 		switch typ {
@@ -315,6 +316,27 @@ func (m *Manager) recoverFrom(seq uint64) (*Recovered, error) {
 			rec.Pending = rec.Pending[:0]
 			pendingSeqs = pendingSeqs[:0]
 			rec.Flushes++
+			sawFlush = true
+			return nil
+		case RecRequeue:
+			v, err := DecodeVote(payload)
+			if err != nil {
+				return fmt.Errorf("seq %d: %w", recSeq, err)
+			}
+			if err := v.Validate(); err != nil {
+				return fmt.Errorf("seq %d: requeued vote invalid: %w", recSeq, err)
+			}
+			rec.Pending = append(rec.Pending, v)
+			pendingSeqs = append(pendingSeqs, recSeq)
+			// Requeue runs directly follow their flush boundary. If this
+			// replay saw that RecWeights it also saw — and counted — the
+			// vote's original record (checkpoint barriers never split a
+			// batch: they sit at or before the batch's first pending record,
+			// or at the requeue run that follows it). Only a replay starting
+			// inside the requeue run itself still needs to count the vote.
+			if !sawFlush {
+				rec.TotalVotes++
+			}
 			return nil
 		case RecCheckpoint:
 			if _, err := DecodeCheckpoint(payload); err != nil {
@@ -394,6 +416,16 @@ func (m *Manager) LogFlush(applied []core.WeightChange) error {
 	m.firstPendingSeq = 0
 	m.mu.Unlock()
 	return nil
+}
+
+// LogRequeue appends a vote that a cancelled flush returned to the
+// pending queue unprocessed. The preceding LogFlush erased the vote's
+// original record from the replay window, so without this record a crash
+// before the next flush would lose it. Call it immediately after
+// LogFlush, under the same writer gate, once per requeued vote — replay
+// relies on requeue runs directly following their flush boundary.
+func (m *Manager) LogRequeue(v vote.Vote) error {
+	return m.append(RecRequeue, EncodeVote(v), true)
 }
 
 func (m *Manager) append(typ byte, payload []byte, isVote bool) error {

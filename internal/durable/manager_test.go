@@ -248,6 +248,57 @@ func TestCheckpointWithPendingVotesKeepsThem(t *testing.T) {
 	}
 }
 
+// TestRequeueRecordsSurviveReplay simulates a cancelled single-vote flush
+// the way the server logs one: the RecWeights boundary lands, then the
+// unprocessed tail is re-logged as RecRequeue records. Replay must keep
+// those votes pending without double-counting TotalVotes — both when the
+// replay window spans the whole sequence and when a checkpoint places the
+// barrier inside the requeue run itself.
+func TestRequeueRecordsSurviveReplay(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 10) // large batch: nothing auto-flushes
+	for i := 0; i < 3; i++ {
+		h.voteOn(qa.Question{ID: i, Entities: map[string]int{"email": 1}}, 1)
+	}
+	// The flush consumed only the first vote before cancellation; the
+	// other two are requeued behind the batch boundary.
+	pending := h.stream.PendingVotes()
+	if err := h.mgr.LogFlush(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range pending[1:] {
+		if err := h.mgr.LogRequeue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.mgr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash with the barrier before the original vote records: replay sees
+	// vote, flush, and requeue records and must count each vote once.
+	h2 := newHarness(t, dir, 10)
+	if h2.stream.Pending() != 2 || h2.stream.TotalVotes != 3 || h2.stream.Flushes != 1 {
+		t.Fatalf("recovered pending=%d total=%d flushes=%d, want 2/3/1",
+			h2.stream.Pending(), h2.stream.TotalVotes, h2.stream.Flushes)
+	}
+
+	// Checkpoint with the requeued votes pending: the barrier lands at the
+	// first RecRequeue, so a second recovery replays only the requeue run
+	// and must count those votes exactly once.
+	if err := h2.mgr.Checkpoint(h2.sys, h2.stream.TotalVotes, h2.stream.Flushes); err != nil {
+		t.Fatal(err)
+	}
+	h3 := newHarness(t, dir, 10)
+	if h3.stream.Pending() != 2 || h3.stream.TotalVotes != 3 || h3.stream.Flushes != 1 {
+		t.Fatalf("post-checkpoint recovery pending=%d total=%d flushes=%d, want 2/3/1",
+			h3.stream.Pending(), h3.stream.TotalVotes, h3.stream.Flushes)
+	}
+	if !reflect.DeepEqual(h3.stream.PendingVotes(), pending[1:]) {
+		t.Fatalf("recovered pending votes differ:\n got %+v\nwant %+v", h3.stream.PendingVotes(), pending[1:])
+	}
+}
+
 // TestTornTailRecovery half-writes the final WAL record and proves
 // recovery truncates it and lands on the state as of the previous record.
 func TestTornTailRecovery(t *testing.T) {

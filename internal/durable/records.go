@@ -38,6 +38,15 @@ const (
 	// position; purely informational (the checkpoint file name is
 	// authoritative) but useful for log archaeology.
 	RecCheckpoint byte = 4
+	// RecRequeue is a vote a cancelled flush returned to the pending
+	// queue unprocessed (vote payload, same codec as RecVote). The
+	// RecWeights boundary of the cancelled flush already cleared the
+	// vote's original record from the replay window, so the requeue run
+	// — written immediately after that RecWeights, under the same writer
+	// gate — re-establishes it. Replay counts a requeued vote toward
+	// TotalVotes only when it did not also see the vote's earlier record
+	// (i.e. when no RecWeights preceded it in the replayed tail).
+	RecRequeue byte = 5
 )
 
 // ErrBadRecord wraps every payload decoding failure. Decoders are fuzzed:

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"kgvote/internal/core"
 	"kgvote/internal/durable"
@@ -144,6 +145,61 @@ func TestDurableCrashRecovery(t *testing.T) {
 	vr := askAndVote(t, ts2.URL, 2)
 	if !vr.Flushed {
 		t.Fatalf("6th vote should complete the recovered batch, got %+v", vr)
+	}
+}
+
+// TestAsyncFlushDrainsRecoveredBacklog boots an AsyncFlush server whose
+// recovered pending queue is already at the batch threshold: the flusher
+// must solve it without waiting for a new vote to arrive.
+func TestAsyncFlushDrainsRecoveredBacklog(t *testing.T) {
+	dir := t.TempDir()
+	engine := core.Options{K: 3, L: 4}
+	mgr, err := durable.Open(durable.Options{Dir: dir, Fsync: wal.SyncAlways, Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := buildTestSystem(t)
+	if err := mgr.Bootstrap(sys); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithOptions(sys, Options{BatchSize: 3, Solver: core.StreamMulti, Durable: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	// Two votes at batch 3: both stay pending. Crash.
+	for i := 0; i < 2; i++ {
+		askAndVote(t, ts.URL, i%3)
+	}
+	ts.Close()
+
+	mgr2, err := durable.Open(durable.Options{Dir: dir, Fsync: wal.SyncAlways, Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	rec, err := mgr2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reopen at batch 2: the recovered backlog alone crosses the threshold.
+	srv2, err := NewWithOptions(rec.Sys, Options{
+		BatchSize: 2, Solver: core.StreamMulti,
+		Durable: mgr2, Recovered: rec, AsyncFlush: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.flusher.stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv2.flushes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never drained the recovered backlog without a new vote")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv2.votesPending.Load(); got != 0 {
+		t.Errorf("pending = %d after boot flush, want 0", got)
 	}
 }
 

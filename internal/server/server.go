@@ -220,6 +220,12 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 	s.flushes.Store(int64(st.Flushes))
 	if o.AsyncFlush {
 		s.flusher = newFlusher(s)
+		if st.NeedsFlush() {
+			// A recovered pending queue can already be at the batch
+			// threshold; without a nudge the flusher would sleep until the
+			// next incoming vote, delaying an already-due flush.
+			s.flusher.wake()
+		}
 	}
 	return s, nil
 }
@@ -483,8 +489,9 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	// Advisory fast path: shed before touching the writer gate, so a
 	// flood is repelled at the cost of two atomic loads, not a lock
 	// acquisition behind an in-flight solve.
+	client := clientID(r)
 	if s.admit != nil {
-		d := s.admit.Admit(clientID(r), int(s.votesPending.Load()), s.flushing.Load())
+		d := s.admit.Admit(client, int(s.votesPending.Load()), s.flushing.Load())
 		if !d.OK {
 			writeShed(w, d)
 			return
@@ -492,7 +499,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.mu.LockCtx(r.Context()); err != nil {
 		if s.admit != nil {
-			s.admit.Cancel()
+			s.admit.Cancel(client)
 		}
 		writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "vote: %v", err)
 		return
@@ -501,12 +508,12 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	// Authoritative re-check under the gate: the advisory depth may have
 	// raced with other admissions, but the queue bound is exact.
 	if s.admit != nil && s.stream.Pending() >= s.admit.Capacity() {
-		writeShed(w, s.admit.Reject())
+		writeShed(w, s.admit.Reject(client))
 		return
 	}
 	if s.draining.Load() { // drain began while this request waited at the gate
 		if s.admit != nil {
-			s.admit.Cancel()
+			s.admit.Cancel(client)
 		}
 		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; votes are no longer admitted")
 		return
@@ -514,7 +521,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	qn, aerr := s.queryNode(r.Context(), req.Query)
 	if aerr != nil {
 		if s.admit != nil {
-			s.admit.Cancel()
+			s.admit.Cancel(client)
 		}
 		writeAPIErr(w, aerr)
 		return
@@ -522,7 +529,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	v, err := vote.FromRanking(qn, ranked, best)
 	if err != nil {
 		if s.admit != nil {
-			s.admit.Cancel()
+			s.admit.Cancel(client)
 		}
 		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "vote: %v", err)
 		return
@@ -530,7 +537,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	v.Weight = req.Weight
 	if err := v.Validate(); err != nil {
 		if s.admit != nil {
-			s.admit.Cancel()
+			s.admit.Cancel(client)
 		}
 		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "vote: %v", err)
 		return
@@ -542,7 +549,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	if s.dur != nil {
 		if err := s.dur.LogVoteCtx(r.Context(), v); err != nil {
 			if s.admit != nil {
-				s.admit.Cancel()
+				s.admit.Cancel(client)
 			}
 			if isCtxErr(err) {
 				writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "vote: %v", err)
@@ -627,6 +634,18 @@ func (s *Server) flushLocked(ctx context.Context) (*core.Report, *api.Error) {
 		if err := s.dur.LogFlush(rep.Applied); err != nil {
 			return rep, apiErr(http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)
 		}
+		if rep.Consumed < rep.Votes {
+			// A cancelled single-vote flush requeued its unprocessed tail
+			// (the only votes pending right now — the writer gate is held).
+			// The flush record above is the WAL's batch boundary and erased
+			// them from the replay window, so re-log them behind it or a
+			// crash before the next flush would lose admitted votes.
+			for _, v := range s.stream.PendingVotes() {
+				if err := s.dur.LogRequeue(v); err != nil {
+					return rep, apiErr(http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)
+				}
+			}
+		}
 	}
 	if err := s.afterFlushLocked(); err != nil {
 		return rep, apiErr(http.StatusInternalServerError, api.CodeInternal, "flush applied but checkpoint failed: %v", err)
@@ -656,8 +675,11 @@ func (s *Server) Checkpoint() error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.flushesSinceCkpt = 0
-	return s.dur.Checkpoint(s.sys, s.stream.TotalVotes, s.stream.Flushes)
+	err := s.dur.Checkpoint(s.sys, s.stream.TotalVotes, s.stream.Flushes)
+	if err == nil {
+		s.flushesSinceCkpt = 0
+	}
+	return err
 }
 
 // BeginDrain irreversibly stops admitting writes: /v1/vote, /v1/flush,
@@ -694,10 +716,10 @@ func (s *Server) Drain(ctx context.Context) error {
 		if err := s.dur.Commit(); err != nil {
 			return fmt.Errorf("server: drain commit: %w", err)
 		}
-		s.flushesSinceCkpt = 0
 		if err := s.dur.Checkpoint(s.sys, s.stream.TotalVotes, s.stream.Flushes); err != nil {
 			return fmt.Errorf("server: drain checkpoint: %w", err)
 		}
+		s.flushesSinceCkpt = 0
 	}
 	return nil
 }
@@ -715,8 +737,12 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "checkpoint: %v", err)
 		return
 	}
-	s.flushesSinceCkpt = 0
 	err := s.dur.Checkpoint(s.sys, s.stream.TotalVotes, s.stream.Flushes)
+	if err == nil {
+		// Only a successful checkpoint restarts the periodic clock; a
+		// failed one must not stretch the automatic interval.
+		s.flushesSinceCkpt = 0
+	}
 	s.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, api.CodeInternal, "checkpoint: %v", err)
