@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush metrics-smoke overload-smoke drain-smoke experiments clean
+.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush bench-farm farm-smoke metrics-smoke overload-smoke drain-smoke experiments clean
 
 all: vet test
 
@@ -38,6 +38,20 @@ bench-serve:
 # pipeline. Appends a timestamped run to BENCH_flush.json.
 bench-flush:
 	$(GO) run ./cmd/benchserve -flush -flushout BENCH_flush.json
+
+# Farm benchmark (DESIGN.md §13): the flush benchmark plus a pass that
+# dispatches the per-cluster solves to 4 spawned worker processes,
+# asserts bitwise-identical weights, and SIGKILLs one worker mid-flush.
+# Appends the farm numbers alongside the flush run in BENCH_flush.json.
+bench-farm:
+	$(GO) run ./cmd/benchserve -flush -farm-workers 4 -flushout BENCH_flush.json
+
+# Solve-farm smoke: unit + golden determinism tests (in-process workers),
+# then the end-to-end test against real kgsolved processes, including
+# SIGKILL of a worker between flushes.
+farm-smoke:
+	$(GO) test ./internal/solvefarm/
+	$(GO) test -v -run 'TestFarmEndToEnd' ./cmd/kgsolved/
 
 # Boot the real daemon, drive traffic, and validate GET /metrics against
 # the strict exposition checker (internal/telemetry/parse.go).

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+
+	"kgvote/internal/harness"
+	"kgvote/internal/solvefarm"
+	"kgvote/internal/telemetry"
+)
+
+// This file is the flush benchmark's farm extension: with -farm-workers N
+// the benchmark re-execs itself N times in the hidden -farm-worker mode
+// (so `go run ./cmd/benchserve` works without a separately built
+// kgsolved), dispatches the same flush to the spawned workers, asserts
+// bitwise-identical weights, and SIGKILLs one worker mid-flush to
+// exercise the retry/fallback path.
+
+// farmWorkerMain is the hidden re-exec mode: serve solve jobs until the
+// parent kills us.
+func farmWorkerMain(addr string) error {
+	w := &solvefarm.Worker{Reg: telemetry.NewRegistry()}
+	return http.ListenAndServe(addr, w.Handler())
+}
+
+// farmProc is one spawned worker process.
+type farmProc struct {
+	addr string
+	cmd  *exec.Cmd
+}
+
+// spawnFarm starts n worker processes on free ports and waits for their
+// /healthz. The caller must call stopFarm.
+func spawnFarm(n int) ([]*farmProc, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	var procs []*farmProc
+	for i := 0; i < n; i++ {
+		addr, err := freeAddr()
+		if err != nil {
+			stopFarm(procs)
+			return nil, err
+		}
+		cmd := exec.Command(exe, "-farm-worker", "-farm-worker-addr", addr)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stopFarm(procs)
+			return nil, err
+		}
+		procs = append(procs, &farmProc{addr: addr, cmd: cmd})
+	}
+	client := &http.Client{Timeout: time.Second}
+	for _, p := range procs {
+		if err := waitHealthy(client, p.addr, 10*time.Second); err != nil {
+			stopFarm(procs)
+			return nil, fmt.Errorf("worker %s: %w", p.addr, err)
+		}
+	}
+	return procs, nil
+}
+
+func stopFarm(procs []*farmProc) {
+	for _, p := range procs {
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+		}
+	}
+	for _, p := range procs {
+		_ = p.cmd.Wait()
+	}
+}
+
+func waitHealthy(client *http.Client, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("no healthy answer within %s", timeout)
+}
+
+// freeAddr reserves an ephemeral port and releases it for the worker.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// farmBench spawns the worker fleet and runs the farm benchmark against
+// it, killing the last worker mid-flush for the fault pass.
+func farmBench(docs, votes, farmWorkers, dispatch, rounds int, seed int64) (harness.FarmResult, error) {
+	// Dispatching a remote solve parks in network wait, not on a local
+	// core, so the dispatch concurrency must track the fleet size — not
+	// GOMAXPROCS — or a small writer host serializes the whole farm.
+	if dispatch < 2*farmWorkers {
+		dispatch = 2 * farmWorkers
+	}
+	procs, err := spawnFarm(farmWorkers)
+	if err != nil {
+		return harness.FarmResult{}, err
+	}
+	defer stopFarm(procs)
+	addrs := make([]string, len(procs))
+	for i, p := range procs {
+		addrs[i] = p.addr
+	}
+	disp, err := solvefarm.New(solvefarm.Options{Workers: addrs})
+	if err != nil {
+		return harness.FarmResult{}, err
+	}
+	defer disp.Close()
+	victim := procs[len(procs)-1]
+	return harness.FarmBench(harness.FarmConfig{
+		Docs: docs, Votes: votes, Workers: dispatch, Rounds: rounds, Seed: seed,
+		// Two clusters per worker keeps the fleet saturated even when
+		// cluster solve times are uneven.
+		Clusters: 2 * farmWorkers,
+		Addrs:    addrs,
+		Solver:   disp,
+		KillWorker: func() error {
+			return victim.cmd.Process.Kill()
+		},
+		KillAddr: victim.addr,
+	})
+}

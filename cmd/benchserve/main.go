@@ -47,6 +47,10 @@ func main() {
 		flushDocs  = flag.Int("flush-docs", 120, "flush-mode corpus documents")
 		rounds     = flag.Int("rounds", 3, "flush-mode timed repetitions per pass (min kept)")
 
+		farmWorkers    = flag.Int("farm-workers", 0, "flush mode: also dispatch the flush to this many spawned solve-worker processes, assert bit-identical weights, and kill one mid-flush (0 disables)")
+		farmWorker     = flag.Bool("farm-worker", false, "internal: run as a solve worker (spawned by -farm-workers)")
+		farmWorkerAddr = flag.String("farm-worker-addr", "", "internal: -farm-worker listen address")
+
 		overloadMode  = flag.Bool("overload", false, "run the overload smoke instead: flood /v1/vote past capacity and verify the shedding contract (exit 1 on violation)")
 		overloadCap   = flag.Int("overload-cap", 8, "overload-mode admission queue capacity")
 		overloadFlood = flag.Int("overload-flood", 0, "overload-mode total vote attempts (0 = 25× capacity)")
@@ -55,10 +59,12 @@ func main() {
 	flag.Parse()
 	var err error
 	switch {
+	case *farmWorker:
+		err = farmWorkerMain(*farmWorkerAddr)
 	case *overloadMode:
 		err = overloadMain(*docs, *overloadCap, *overloadFlood, *workers, *seed, *overloadOut)
 	case *flushMode:
-		err = flushMain(*flushDocs, *flushVotes, *workers, *rounds, *seed, *flushOut)
+		err = flushMain(*flushDocs, *flushVotes, *workers, *farmWorkers, *rounds, *seed, *flushOut)
 	default:
 		err = realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal, *withTel)
 	}
@@ -122,15 +128,17 @@ func overloadMain(docs, capacity, flood, workers int, seed int64, out string) er
 type flushRun struct {
 	Time  string              `json:"time"`
 	Flush harness.FlushResult `json:"flush"`
+	Farm  *harness.FarmResult `json:"farm,omitempty"`
 }
 
 type flushHistory struct {
 	Runs []flushRun `json:"runs"`
 }
 
-// flushMain runs the flush-path benchmark and appends the result to the
-// flush history file.
-func flushMain(docs, votes, workers, rounds int, seed int64, out string) error {
+// flushMain runs the flush-path benchmark — plus the multi-process farm
+// pass when -farm-workers is set — and appends the result to the flush
+// history file.
+func flushMain(docs, votes, workers, farmWorkers, rounds int, seed int64, out string) error {
 	res, err := harness.FlushBench(harness.FlushConfig{
 		Docs: docs, Votes: votes, Workers: workers, Rounds: rounds, Seed: seed,
 	})
@@ -138,6 +146,15 @@ func flushMain(docs, votes, workers, rounds int, seed int64, out string) error {
 		return err
 	}
 	fmt.Println(res)
+	var farm *harness.FarmResult
+	if farmWorkers > 0 {
+		fres, err := farmBench(docs, votes, farmWorkers, workers, rounds, seed)
+		if err != nil {
+			return fmt.Errorf("farm pass: %w", err)
+		}
+		fmt.Println(fres)
+		farm = &fres
+	}
 	if out == "" {
 		return nil
 	}
@@ -153,7 +170,7 @@ func flushMain(docs, votes, workers, rounds int, seed int64, out string) error {
 		}
 	}
 	hist.Runs = append(hist.Runs, flushRun{
-		Time: time.Now().UTC().Format(time.RFC3339), Flush: res,
+		Time: time.Now().UTC().Format(time.RFC3339), Flush: res, Farm: farm,
 	})
 	nb, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {

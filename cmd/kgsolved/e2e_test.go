@@ -1,0 +1,192 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/solvefarm"
+	"kgvote/internal/vote"
+)
+
+// buildWorker compiles the kgsolved binary once into a temp dir.
+func buildWorker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "kgsolved")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startWorker launches one kgsolved process and waits for /healthz.
+func startWorker(t *testing.T, bin, addr string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("worker on %s never became healthy", addr)
+	return nil
+}
+
+// flushWeights runs one four-region split-and-merge flush, optionally
+// through cs, and returns the final edge weights.
+func flushWeights(t *testing.T, cs core.ClusterSolver) map[graph.EdgeKey]float64 {
+	t.Helper()
+	g := graph.New(0)
+	type region struct{ q, x, y graph.NodeID }
+	regions := make([]region, 4)
+	for i := range regions {
+		q := g.AddNodes(5)
+		a, b, x, y := q+1, q+2, q+3, q+4
+		g.MustSetEdge(q, a, 0.6)
+		g.MustSetEdge(q, b, 0.4)
+		g.MustSetEdge(a, x, 1)
+		g.MustSetEdge(b, y, 1)
+		regions[i] = region{q: q, x: x, y: y}
+	}
+	// KMedoids with K=4 keeps the four disjoint regions in four separate
+	// clusters (affinity propagation would merge the all-zero-similarity
+	// votes into one), so the flush issues four farm jobs.
+	e, err := core.New(g, core.Options{Workers: 2, Cluster: core.KMedoidsCluster, ClusterK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != nil {
+		e.SetClusterSolver(cs)
+	}
+	votes := make([]vote.Vote, 0, len(regions))
+	for _, r := range regions {
+		v, err := e.CollectVote(r.q, []graph.NodeID{r.x, r.y}, r.y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		votes = append(votes, v)
+	}
+	if _, err := e.SolveSplitMerge(votes); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[graph.EdgeKey]float64)
+	g.Edges(func(from, to graph.NodeID, w float64) {
+		out[graph.EdgeKey{From: from, To: to}] = w
+	})
+	return out
+}
+
+func assertSameWeights(t *testing.T, got, want map[graph.EdgeKey]float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: edge counts differ: %d vs %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		if gw := got[k]; gw != w {
+			t.Fatalf("%s: edge %v: %x != %x (not bitwise identical)", label, k, gw, w)
+		}
+	}
+}
+
+// TestFarmEndToEnd drives real kgsolved processes: a farm-dispatched
+// flush must be byte-identical to the in-process flush, the workers must
+// actually receive jobs, and SIGKILLing one worker must not change the
+// outcome of subsequent flushes.
+func TestFarmEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	bin := buildWorker(t)
+	addr1, addr2 := freeAddr(t), freeAddr(t)
+	w1 := startWorker(t, bin, addr1)
+	startWorker(t, bin, addr2)
+
+	d, err := solvefarm.New(solvefarm.Options{
+		Workers:      []string{addr1, addr2},
+		RetryBackoff: time.Millisecond,
+		HealthEvery:  time.Hour, // keep the killed worker down for the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	local := flushWeights(t, nil)
+	remote := flushWeights(t, d)
+	assertSameWeights(t, remote, local, "farm flush")
+	if jobs := workerJobs(t, addr1) + workerJobs(t, addr2); jobs < 4 {
+		t.Errorf("workers solved %d jobs, want >= 4 (one per cluster)", jobs)
+	}
+
+	// SIGKILL the first worker — the dispatcher's least-loaded tie-break
+	// targets it first, so the next flush is guaranteed to hit the corpse,
+	// mark it down, and retry onto the survivor, still matching bit-for-bit.
+	if err := w1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = w1.Process.Wait()
+	afterKill := flushWeights(t, d)
+	assertSameWeights(t, afterKill, local, "flush after SIGKILL")
+	if n := d.HealthyWorkers(); n != 1 {
+		t.Errorf("healthy workers = %d, want 1", n)
+	}
+}
+
+// workerJobs scrapes one worker's jobs counter.
+func workerJobs(t *testing.T, addr string) int {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "kgvote_farm_worker_jobs_total") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				var n int
+				if _, err := fmt.Sscanf(fields[1], "%d", &n); err == nil {
+					return n
+				}
+			}
+		}
+	}
+	return 0
+}

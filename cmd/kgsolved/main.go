@@ -1,0 +1,75 @@
+// Command kgsolved is a stateless SGP solve worker for the distributed
+// split-and-merge farm (DESIGN.md §13). A kgvoted writer configured with
+// -solvers ships each flush cluster's serialized program here as a
+// CRC32C-checked binary job over POST /solve; the worker solves it and
+// returns the converged solution. Workers hold no graph and no state
+// between jobs, so any number can be added, killed, or restarted at will —
+// the dispatcher's retry, hedging, and local fallback keep flushes
+// correct through all of it.
+//
+// Usage:
+//
+//	kgsolved -addr :9090
+//	kgsolved -addr :9090 -max-jobs 4 -metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"kgvote/internal/solvefarm"
+	"kgvote/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9090", "listen address")
+		maxJobs = flag.Int("max-jobs", 0, "concurrent solves (0 = GOMAXPROCS)")
+		metrics = flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
+	)
+	flag.Parse()
+	if err := serve(*addr, *maxJobs, *metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "kgsolved:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr string, maxJobs int, metrics bool) error {
+	w := &solvefarm.Worker{MaxJobs: maxJobs}
+	if metrics {
+		w.Reg = telemetry.NewRegistry()
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: w.Handler()}
+	n := maxJobs
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("kgsolved: solve worker listening on %s (max %d concurrent jobs)", addr, n)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, let in-flight solves reply. A
+	// dispatcher retries anything that doesn't make it.
+	log.Printf("kgsolved: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		return httpSrv.Close()
+	}
+	return nil
+}

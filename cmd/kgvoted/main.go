@@ -35,6 +35,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +45,7 @@ import (
 	"kgvote/internal/durable"
 	"kgvote/internal/qa"
 	"kgvote/internal/server"
+	"kgvote/internal/solvefarm"
 	"kgvote/internal/synth"
 	"kgvote/internal/telemetry"
 	"kgvote/internal/wal"
@@ -57,6 +60,8 @@ type config struct {
 	seed       int64
 	solverName string
 	statePath  string
+	workers    int
+	solvers    string
 
 	dataDir         string
 	fsync           string
@@ -84,6 +89,8 @@ func main() {
 	flag.IntVar(&cfg.l, "l", 4, "path-length pruning threshold")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed for the synthetic corpus")
 	flag.StringVar(&cfg.solverName, "solver", "multi", "batch solver: multi, sm, or single")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "flush-pipeline concurrency: enumeration, judgment, clustering, and per-cluster solves fan out over this many goroutines")
+	flag.StringVar(&cfg.solvers, "solvers", "", "comma-separated kgsolved addresses (host:port,...): dispatch split-and-merge cluster solves to the farm, with retry, hedged stragglers, and in-process fallback")
 	flag.StringVar(&cfg.statePath, "state", "", "persist the optimized system here: loaded at boot if present, saved on SIGINT/SIGTERM (no WAL; see -data-dir)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory: WAL + checkpoints + crash recovery")
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
@@ -116,7 +123,7 @@ func serve(cfg config) error {
 	default:
 		return fmt.Errorf("unknown solver %q (multi, sm, single)", cfg.solverName)
 	}
-	opts := core.Options{K: cfg.k, L: cfg.l}
+	opts := core.Options{K: cfg.k, L: cfg.l, Workers: cfg.workers}
 	if cfg.dataDir != "" && cfg.statePath != "" {
 		return errors.New("-data-dir and -state are mutually exclusive; the data directory owns persistence")
 	}
@@ -168,6 +175,16 @@ func serve(cfg config) error {
 			}
 			log.Printf("kgvoted: initialized data directory %s", cfg.dataDir)
 		}
+	}
+	if cfg.solvers != "" {
+		addrs := splitAddrs(cfg.solvers)
+		disp, err := solvefarm.New(solvefarm.Options{Workers: addrs, Reg: reg})
+		if err != nil {
+			return err
+		}
+		defer disp.Close()
+		sys.Engine.SetClusterSolver(disp)
+		log.Printf("kgvoted: dispatching cluster solves to %d workers (%s)", len(addrs), strings.Join(addrs, ", "))
 	}
 	srv, err := server.NewWithOptions(sys, server.Options{
 		BatchSize:       cfg.batch,
@@ -232,6 +249,17 @@ func serve(cfg config) error {
 		log.Printf("kgvoted: state saved to %s", cfg.statePath)
 	}
 	return nil
+}
+
+// splitAddrs parses the -solvers list, tolerating spaces and empty items.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // loadOrBuild restores a persisted system when statePath exists, otherwise

@@ -34,6 +34,11 @@ type Engine struct {
 	// see SetMetrics).
 	metrics *Metrics
 
+	// clusterSolver, when non-nil, replaces the in-process solve of each
+	// split-and-merge cluster program (see SetClusterSolver); the solve
+	// farm's dispatcher plugs in here.
+	clusterSolver ClusterSolver
+
 	// progPool recycles sgp.Program workspaces across solves (the
 	// split-and-merge path builds one program per cluster per flush).
 	progPool sync.Pool

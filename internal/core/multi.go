@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"kgvote/internal/sgp"
 	"kgvote/internal/signomial"
 	"kgvote/internal/vote"
 )
@@ -70,7 +69,10 @@ func (e *Engine) SolveMultiCtx(ctx context.Context, votes []vote.Vote) (*Report,
 		report.Encoded++
 	}
 	e.addCapacityConstraints(p)
-	sol, err := p.Solve(sgp.SolveOptions{Mode: e.opt.Mode, AL: e.opt.AL, Stop: stopFunc(ctx)})
+	// The whole-batch program goes through the cluster solver like any
+	// split-and-merge cluster: an injected farm dispatcher ships it to a
+	// worker (freeing the writer's cores), the default solves in process.
+	sol, err := e.solver().SolveProgram(ctx, p, e.solveParams())
 	if err != nil {
 		return nil, err
 	}

@@ -91,7 +91,10 @@ func (e *Engine) solveOneVote(ctx context.Context, v vote.Vote) (rep Report, err
 	}
 	e.addCapacityConstraints(p)
 	tSolve := time.Now()
-	sol, err := p.Solve(sgp.SolveOptions{Mode: sgp.Full, AL: e.opt.AL, Stop: stopFunc(ctx)})
+	// Routed through the cluster solver so an injected farm dispatcher
+	// offloads single-vote solves too (the Lambda overrides ride along in
+	// the serialized program; the mode override rides in the params).
+	sol, err := e.solver().SolveProgram(ctx, p, sgp.Params{Mode: sgp.Full, AL: e.opt.AL})
 	if err != nil {
 		return rep, err
 	}

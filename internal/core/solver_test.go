@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/sgp"
+	"kgvote/internal/vote"
+)
+
+// codecRoundTripSolver solves each cluster program after pushing it
+// through the farm's program codec and its solution back through the
+// solution codec — the exact transformation a remote worker applies,
+// minus the network. A flush through it must be byte-identical to the
+// in-process flush; this is the serialization half of the solve farm's
+// determinism contract, provable without sockets.
+type codecRoundTripSolver struct{ t *testing.T }
+
+func (s codecRoundTripSolver) SolveProgram(ctx context.Context, p *sgp.Program, params sgp.Params) (*sgp.Solution, error) {
+	enc := sgp.EncodeProgram(nil, p, params)
+	dec, decParams, err := sgp.DecodeProgram(enc)
+	if err != nil {
+		s.t.Fatalf("program codec: %v", err)
+	}
+	sol, err := dec.Solve(sgp.SolveOptions{Mode: decParams.Mode, AL: decParams.AL, Stop: stopFunc(ctx)})
+	if err != nil {
+		return nil, err
+	}
+	back, err := sgp.DecodeSolution(sgp.EncodeSolution(nil, sol))
+	if err != nil {
+		s.t.Fatalf("solution codec: %v", err)
+	}
+	return back, nil
+}
+
+// fourRegionVotes builds the four independent query regions of
+// TestSolveSplitMergeTwoRegions and one negative vote per region.
+func fourRegionVotes(t *testing.T) (*graph.Graph, func(*Engine) []vote.Vote) {
+	t.Helper()
+	g := graph.New(0)
+	type region struct {
+		q       graph.NodeID
+		answers []graph.NodeID
+		best    graph.NodeID
+	}
+	regions := make([]region, 4)
+	for i := range regions {
+		q := g.AddNodes(5)
+		a, b, x, y := q+1, q+2, q+3, q+4
+		g.MustSetEdge(q, a, 0.6)
+		g.MustSetEdge(q, b, 0.4)
+		g.MustSetEdge(a, x, 1)
+		g.MustSetEdge(b, y, 1)
+		regions[i] = region{q: q, answers: []graph.NodeID{x, y}, best: y}
+	}
+	collect := func(e *Engine) []vote.Vote {
+		votes := make([]vote.Vote, 0, len(regions))
+		for _, r := range regions {
+			v, err := e.CollectVote(r.q, r.answers, r.best)
+			if err != nil {
+				t.Fatal(err)
+			}
+			votes = append(votes, v)
+		}
+		return votes
+	}
+	return g, collect
+}
+
+func flushWeights(t *testing.T, g *graph.Graph, collect func(*Engine) []vote.Vote, cs ClusterSolver) map[graph.EdgeKey]float64 {
+	t.Helper()
+	e, err := New(g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != nil {
+		e.SetClusterSolver(cs)
+	}
+	if _, err := e.SolveSplitMerge(collect(e)); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[graph.EdgeKey]float64)
+	g.Edges(func(from, to graph.NodeID, w float64) {
+		out[graph.EdgeKey{From: from, To: to}] = w
+	})
+	return out
+}
+
+// TestCodecRoundTripSolverMatchesLocal pins the golden determinism
+// property: a flush whose every cluster solve round-trips through the
+// farm codec produces bitwise-identical final weights.
+func TestCodecRoundTripSolverMatchesLocal(t *testing.T) {
+	g, collect := fourRegionVotes(t)
+	local := flushWeights(t, g.Clone(), collect, nil)
+	remote := flushWeights(t, g.Clone(), collect, codecRoundTripSolver{t})
+	if len(local) != len(remote) {
+		t.Fatalf("edge counts differ: %d vs %d", len(local), len(remote))
+	}
+	for k, w := range local {
+		if rw := remote[k]; rw != w {
+			t.Fatalf("edge %v: %x != %x (not bitwise identical)", k, rw, w)
+		}
+	}
+}
+
+// mergeEngine builds a minimal engine for exercising mergeDeltas
+// directly; the graph carries one known edge weight.
+func mergeEngine(t *testing.T, merge MergeRule) (*Engine, graph.EdgeKey) {
+	t.Helper()
+	g, _, _ := twoAnswer(t)
+	e, err := New(g, Options{Merge: merge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, graph.EdgeKey{From: 0, To: 1} // q→a, weight 0.6
+}
+
+func mergeOne(e *Engine, results []clusterResult, k graph.EdgeKey) (float64, bool) {
+	changes := e.mergeDeltas(results)
+	w, ok := changes[k]
+	return w, ok
+}
+
+func TestMergeDeltasSingleClusterUsesRecordedDelta(t *testing.T) {
+	for _, d := range []float64{-0.2, 0.15} {
+		e, k := mergeEngine(t, VoteWeighted)
+		w, ok := mergeOne(e, []clusterResult{
+			{votes: 3, deltas: map[graph.EdgeKey]float64{k: d}},
+		}, k)
+		if !ok {
+			t.Fatalf("delta %v: edge missing from merge", d)
+		}
+		if want := 0.6 + d; w != want {
+			t.Errorf("delta %v: weight = %v, want %v", d, w, want)
+		}
+	}
+}
+
+func TestMergeDeltasVoteWeightedSign(t *testing.T) {
+	// Non-negative weighted sum picks the max delta…
+	e, k := mergeEngine(t, VoteWeighted)
+	w, _ := mergeOne(e, []clusterResult{
+		{votes: 3, deltas: map[graph.EdgeKey]float64{k: 0.1}},
+		{votes: 1, deltas: map[graph.EdgeKey]float64{k: -0.05}},
+	}, k)
+	if want := 0.6 + 0.1; w != want {
+		t.Errorf("non-negative sum: weight = %v, want %v", w, want)
+	}
+	// …a negative weighted sum picks the min.
+	e, k = mergeEngine(t, VoteWeighted)
+	w, _ = mergeOne(e, []clusterResult{
+		{votes: 3, deltas: map[graph.EdgeKey]float64{k: -0.1}},
+		{votes: 1, deltas: map[graph.EdgeKey]float64{k: 0.05}},
+	}, k)
+	if want := 0.6 - 0.1; w != want {
+		t.Errorf("negative sum: weight = %v, want %v", w, want)
+	}
+}
+
+func TestMergeDeltasAverage(t *testing.T) {
+	e, k := mergeEngine(t, AverageDeltas)
+	w, _ := mergeOne(e, []clusterResult{
+		{votes: 3, deltas: map[graph.EdgeKey]float64{k: 0.1}},
+		{votes: 1, deltas: map[graph.EdgeKey]float64{k: -0.05}},
+	}, k)
+	if want := 0.6 + (3*0.1-1*0.05)/4; math.Abs(w-want) > 1e-15 {
+		t.Errorf("average: weight = %v, want %v", w, want)
+	}
+}
+
+func TestMergeDeltasClampsToBounds(t *testing.T) {
+	// A merged point outside the solver's box must be pinned back inside,
+	// under both rules and on both sides.
+	e, k := mergeEngine(t, VoteWeighted)
+	w, _ := mergeOne(e, []clusterResult{
+		{votes: 1, deltas: map[graph.EdgeKey]float64{k: 2.0}},
+	}, k)
+	if w != sgp.DefaultUpperBound {
+		t.Errorf("upper clamp: weight = %v, want %v", w, sgp.DefaultUpperBound)
+	}
+	e, k = mergeEngine(t, AverageDeltas)
+	w, _ = mergeOne(e, []clusterResult{
+		{votes: 1, deltas: map[graph.EdgeKey]float64{k: -2.0}},
+		{votes: 1, deltas: map[graph.EdgeKey]float64{k: -0.59}},
+	}, k)
+	if w != sgp.DefaultLowerBound {
+		t.Errorf("lower clamp: weight = %v, want %v", w, sgp.DefaultLowerBound)
+	}
+}
+
+func TestMergeDeltasUntouchedEdgesAbsent(t *testing.T) {
+	e, k := mergeEngine(t, VoteWeighted)
+	changes := e.mergeDeltas([]clusterResult{
+		{votes: 1, deltas: map[graph.EdgeKey]float64{k: 0.1}},
+	})
+	if len(changes) != 1 {
+		t.Fatalf("changes = %v, want only %v", changes, k)
+	}
+}

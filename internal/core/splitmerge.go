@@ -213,7 +213,7 @@ func (e *Engine) solveCluster(ctx context.Context, votes []vote.Vote, fc *flushE
 		res.rep.Encoded++
 	}
 	e.addCapacityConstraints(p)
-	sol, err := p.Solve(sgp.SolveOptions{Mode: e.opt.Mode, AL: e.opt.AL, Stop: stopFunc(ctx)})
+	sol, err := e.solver().SolveProgram(ctx, p, e.solveParams())
 	if err != nil {
 		return res, err
 	}
@@ -248,6 +248,7 @@ func (e *Engine) mergeDeltas(results []clusterResult) map[graph.EdgeKey]float64 
 	type acc struct {
 		weighted float64 // Σ n_C · Δ_C
 		votes    int     // Σ n_C over clusters that changed the edge
+		single   float64 // the one recorded delta while count == 1
 		min, max float64
 		count    int
 	}
@@ -256,7 +257,7 @@ func (e *Engine) mergeDeltas(results []clusterResult) map[graph.EdgeKey]float64 
 		for k, d := range res.deltas {
 			a, ok := accs[k]
 			if !ok {
-				a = &acc{min: d, max: d}
+				a = &acc{single: d, min: d, max: d}
 				accs[k] = a
 			} else {
 				if d < a.min {
@@ -276,7 +277,7 @@ func (e *Engine) mergeDeltas(results []clusterResult) map[graph.EdgeKey]float64 
 		var delta float64
 		switch {
 		case a.count == 1:
-			delta = a.max // the single recorded change (min == max)
+			delta = a.single
 		case e.opt.Merge == AverageDeltas:
 			delta = a.weighted / float64(a.votes)
 		case a.weighted >= 0:
@@ -284,14 +285,23 @@ func (e *Engine) mergeDeltas(results []clusterResult) map[graph.EdgeKey]float64 
 		default:
 			delta = a.min
 		}
-		w := e.g.Weight(k.From, k.To) + delta
-		if w < sgp.DefaultLowerBound {
-			w = sgp.DefaultLowerBound
-		}
-		if w > sgp.DefaultUpperBound {
-			w = sgp.DefaultUpperBound
-		}
-		changes[k] = w
+		// Every branch funnels through the same bound clamp: the picked
+		// delta keeps the weight inside the solver's box under VoteWeighted
+		// (each recorded delta came from a bounded solve against the same
+		// pre-flush weight), but the AverageDeltas combination is a new
+		// point that float rounding can push past a bound.
+		changes[k] = clampWeight(e.g.Weight(k.From, k.To) + delta)
 	}
 	return changes
+}
+
+// clampWeight pins a merged weight back into the SGP's default box.
+func clampWeight(w float64) float64 {
+	if w < sgp.DefaultLowerBound {
+		return sgp.DefaultLowerBound
+	}
+	if w > sgp.DefaultUpperBound {
+		return sgp.DefaultUpperBound
+	}
+	return w
 }

@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/qa"
+	"kgvote/internal/synth"
+	"kgvote/internal/vote"
+)
+
+// FarmConfig sizes the solve-farm benchmark (DESIGN.md §13): the same
+// synthetic vote batch is flushed once with the in-process solver and
+// once dispatched to already-running kgsolved workers, and the final
+// weights are compared bit-for-bit. An optional third pass SIGKILLs one
+// worker mid-flush and checks the flush still completes — identically —
+// via retry and fallback.
+type FarmConfig struct {
+	Docs    int   // corpus documents; default 120
+	Votes   int   // votes in the measured batch; default 64
+	Workers int   // flush-pipeline (dispatch) concurrency; default GOMAXPROCS
+	Rounds  int   // timed repetitions per pass (min is kept); default 3
+	Seed    int64 // default 1
+	K       int   // top-K; default 10
+	L       int   // walk-length bound; default 4
+
+	// Clusters pins the vote clustering to KMedoids with this many
+	// clusters (0 = the paper's affinity propagation). The farm can only
+	// parallelize across clusters, so the benchmark pins enough of them to
+	// keep every worker busy; both passes use the same clustering, which
+	// keeps the bitwise weight comparison valid.
+	Clusters int
+
+	// Addrs lists running kgsolved workers. The caller owns their
+	// lifecycle — the harness only dispatches to them.
+	Addrs []string
+	// Solver dispatches cluster jobs to Addrs; typically a
+	// *solvefarm.Dispatcher (the harness takes the interface to avoid
+	// depending on the farm package).
+	Solver core.ClusterSolver
+
+	// KillWorker, when non-nil, enables the fault pass: once KillAddr's
+	// /metrics shows it accepted a job of the in-flight flush, KillWorker
+	// is invoked (typically a SIGKILL of that process).
+	KillWorker func() error
+	KillAddr   string
+}
+
+func (c FarmConfig) withDefaults() FarmConfig {
+	if c.Docs == 0 {
+		c.Docs = 120
+	}
+	if c.Votes == 0 {
+		c.Votes = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.L == 0 {
+		c.L = 4
+	}
+	return c
+}
+
+// FarmResult is the JSON-serializable outcome of FarmBench; it rides in
+// BENCH_flush.json next to the single-process flush numbers.
+type FarmResult struct {
+	Docs        int `json:"docs"`
+	Votes       int `json:"votes"`
+	FarmWorkers int `json:"farm_workers"` // worker processes
+	Workers     int `json:"workers"`      // dispatch concurrency
+	Clusters    int `json:"clusters"`
+
+	// Wall-clock per flush (minimum over rounds) and the solve stage
+	// alone, in milliseconds. Local is the in-process single-worker flush
+	// the farm is judged against.
+	LocalMillis      float64 `json:"local_ms"`
+	FarmMillis       float64 `json:"farm_ms"`
+	LocalSolveMillis float64 `json:"local_solve_ms"`
+	FarmSolveMillis  float64 `json:"farm_solve_ms"`
+
+	// SolveSpeedup is the headline number: the solve stage is the part
+	// the farm distributes, and the pre-solve pipeline stays on the
+	// writer either way. Speedup is end-to-end for context.
+	Speedup      float64 `json:"speedup"`
+	SolveSpeedup float64 `json:"solve_speedup"`
+
+	// MatchesLocal is the determinism contract: farm-solved final weights
+	// bitwise identical to the in-process flush.
+	MatchesLocal bool `json:"matches_local"`
+
+	// Fault pass (zero-valued when FarmConfig.KillWorker is nil): one
+	// worker SIGKILLed mid-flush, flush must still complete and match.
+	KillRan      bool    `json:"kill_ran,omitempty"`
+	KillMillis   float64 `json:"kill_ms,omitempty"`
+	KillMatches  bool    `json:"kill_matches,omitempty"`
+	KillSurvived bool    `json:"kill_survived,omitempty"`
+}
+
+// String renders a one-screen summary.
+func (r FarmResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "farm bench: %d docs, %d votes, %d clusters, %d worker processes\n",
+		r.Docs, r.Votes, r.Clusters, r.FarmWorkers)
+	fmt.Fprintf(&sb, "  local (in-process, 1 worker):   %9.1f ms  (solve %9.1f ms)\n",
+		r.LocalMillis, r.LocalSolveMillis)
+	fmt.Fprintf(&sb, "  farm  (%d workers, %d dispatch): %9.1f ms  (solve %9.1f ms)\n",
+		r.FarmWorkers, r.Workers, r.FarmMillis, r.FarmSolveMillis)
+	fmt.Fprintf(&sb, "  solve speedup %.2fx (%.2fx end-to-end), matches local: %v",
+		r.SolveSpeedup, r.Speedup, r.MatchesLocal)
+	if r.KillRan {
+		fmt.Fprintf(&sb, "\n  worker killed mid-flush: survived=%v matches=%v (%.1f ms)",
+			r.KillSurvived, r.KillMatches, r.KillMillis)
+	}
+	return sb.String()
+}
+
+// farmPass runs cfg.Rounds single-flush solves over fresh systems, with
+// solver (nil = in-process) plugged into each engine and preFlush armed
+// before each timed solve. It returns the minimum flush time, the report
+// of the fastest round, and the final weights of the last round.
+func farmPass(corpus *qa.Corpus, questions []qa.Question, cfg FarmConfig, opt core.Options, solver core.ClusterSolver, preFlush func()) (time.Duration, *core.Report, map[graph.EdgeKey]float64, error) {
+	best := time.Duration(0)
+	var rep *core.Report
+	var weights map[graph.EdgeKey]float64
+	for round := 0; round < cfg.Rounds; round++ {
+		sys, err := qa.Build(corpus, opt)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if solver != nil {
+			sys.Engine.SetClusterSolver(solver)
+		}
+		votes := make([]vote.Vote, 0, len(questions))
+		for i, q := range questions {
+			qn, ranked, err := sys.Ask(q)
+			if err != nil {
+				return 0, nil, nil, fmt.Errorf("ask %d: %w", i, err)
+			}
+			pick := 1 + i%(len(ranked)-1)
+			v, err := sys.VoteBest(qn, ranked, sys.DocOf(ranked[pick]))
+			if err != nil {
+				return 0, nil, nil, fmt.Errorf("vote %d: %w", i, err)
+			}
+			votes = append(votes, v)
+		}
+		if preFlush != nil {
+			preFlush()
+		}
+		start := time.Now()
+		r, err := sys.Engine.SolveSplitMerge(votes)
+		elapsed := time.Since(start)
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("flush: %w", err)
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+			rep = r
+		}
+		weights = make(map[graph.EdgeKey]float64)
+		sys.Aug.Graph.Edges(func(from, to graph.NodeID, w float64) {
+			weights[graph.EdgeKey{From: from, To: to}] = w
+		})
+	}
+	return best, rep, weights, nil
+}
+
+// FarmBench measures one split-and-merge flush of an identical vote
+// batch solved in process versus dispatched to the worker farm, asserts
+// bitwise-identical final weights, and (when configured) repeats the
+// farm flush with one worker killed mid-solve.
+func FarmBench(cfg FarmConfig) (FarmResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Solver == nil {
+		return FarmResult{}, fmt.Errorf("harness: FarmConfig.Solver is required")
+	}
+	corpus, err := synth.GenerateCorpus(synth.CorpusConfig{Docs: cfg.Docs, Seed: cfg.Seed})
+	if err != nil {
+		return FarmResult{}, err
+	}
+	questions, err := synth.GenerateQuestions(corpus, synth.QuestionConfig{N: cfg.Votes, Seed: cfg.Seed + 1})
+	if err != nil {
+		return FarmResult{}, err
+	}
+	localOpt := core.Options{K: cfg.K, L: cfg.L, Workers: 1}
+	farmOpt := core.Options{K: cfg.K, L: cfg.L, Workers: cfg.Workers}
+	if cfg.Clusters > 0 {
+		localOpt.Cluster, localOpt.ClusterK = core.KMedoidsCluster, cfg.Clusters
+		farmOpt.Cluster, farmOpt.ClusterK = core.KMedoidsCluster, cfg.Clusters
+	}
+
+	localTime, localRep, localWeights, err := farmPass(corpus, questions, cfg, localOpt, nil, nil)
+	if err != nil {
+		return FarmResult{}, fmt.Errorf("local pass: %w", err)
+	}
+	farmTime, farmRep, farmWeights, err := farmPass(corpus, questions, cfg, farmOpt, cfg.Solver, nil)
+	if err != nil {
+		return FarmResult{}, fmt.Errorf("farm pass: %w", err)
+	}
+
+	res := FarmResult{
+		Docs:             cfg.Docs,
+		Votes:            cfg.Votes,
+		FarmWorkers:      len(cfg.Addrs),
+		Workers:          cfg.Workers,
+		Clusters:         farmRep.Clusters,
+		LocalMillis:      localTime.Seconds() * 1e3,
+		FarmMillis:       farmTime.Seconds() * 1e3,
+		LocalSolveMillis: localRep.SolveSeconds * 1e3,
+		FarmSolveMillis:  farmRep.SolveSeconds * 1e3,
+		Speedup:          localTime.Seconds() / farmTime.Seconds(),
+		MatchesLocal:     weightsEqual(farmWeights, localWeights),
+	}
+	if farmRep.SolveSeconds > 0 {
+		res.SolveSpeedup = localRep.SolveSeconds / farmRep.SolveSeconds
+	}
+
+	if cfg.KillWorker != nil {
+		res.KillRan = true
+		killCfg := cfg
+		killCfg.Rounds = 1 // one flush; the kill is a one-shot event
+		armed := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			<-armed
+			if waitForJob(cfg.KillAddr, 2*time.Minute) {
+				_ = cfg.KillWorker()
+			}
+		}()
+		killTime, _, killWeights, err := farmPass(corpus, questions, killCfg, farmOpt, cfg.Solver, func() { close(armed) })
+		<-done
+		if err != nil {
+			return res, fmt.Errorf("kill pass: %w", err)
+		}
+		res.KillSurvived = true
+		res.KillMillis = killTime.Seconds() * 1e3
+		res.KillMatches = weightsEqual(killWeights, localWeights)
+	}
+	return res, nil
+}
+
+// waitForJob polls addr's /metrics until the worker reports at least one
+// accepted solve job, so the kill lands while the flush is actually using
+// that worker. Returns false on timeout or unreachable worker.
+func waitForJob(addr string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for time.Now().Before(deadline) {
+		resp, err := client.Get("http://" + addr + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, line := range strings.Split(string(body), "\n") {
+				if strings.HasPrefix(line, "kgvote_farm_worker_jobs_total") &&
+					!strings.HasSuffix(strings.TrimSpace(line), " 0") {
+					return true
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,380 @@
+// Program and solution serialization for the distributed solve farm
+// (DESIGN.md §13). A split-and-merge cluster's SGP is a self-contained
+// object — variables with initial points and box bounds plus signomial
+// constraints — so it can be shipped to a stateless worker that holds no
+// copy of the knowledge graph. The codec is exact: every float travels as
+// its IEEE-754 bit pattern and every slice keeps its order, so solving a
+// decoded program yields a bitwise-identical Solution.X to solving the
+// original in process. That is what makes remote, retried, and hedged
+// solves interchangeable with local ones.
+package sgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/optimize"
+	"kgvote/internal/signomial"
+)
+
+// Params is the serializable subset of SolveOptions: everything a worker
+// needs to reproduce a solve except the caller's Stop hook (cancellation
+// travels out-of-band, via the transport's context).
+type Params struct {
+	Mode Mode
+	AL   optimize.ALOptions // Stop is ignored by the codec
+}
+
+// programVersion guards the wire format; a worker refuses programs from a
+// newer layout instead of mis-decoding them.
+const programVersion = 1
+
+// solutionVersion versions the solution encoding independently.
+const solutionVersion = 1
+
+// ErrCodec marks a malformed program or solution encoding.
+var ErrCodec = errors.New("sgp: malformed encoding")
+
+const varBytes = 1 + 4 + 4 + 8 + 8 + 8 // kind + edge(from,to) + init/lower/upper
+
+// EncodeProgram appends the binary encoding of p and params to dst and
+// returns the extended slice. The program must already be fully built
+// (the encoder captures constraints and initial points as-is).
+func EncodeProgram(dst []byte, p *Program, params Params) []byte {
+	dst = append(dst, programVersion)
+	dst = appendF64(dst, p.Lambda1)
+	dst = appendF64(dst, p.Lambda2)
+	dst = appendF64(dst, p.SigmoidW)
+
+	dst = append(dst, byte(params.Mode))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(params.AL.MaxOuter))
+	dst = appendF64(dst, params.AL.Mu0)
+	dst = appendF64(dst, params.AL.MuGrowth)
+	dst = appendF64(dst, params.AL.MuMax)
+	dst = appendF64(dst, params.AL.ConstraintTol)
+	inner := params.AL.Inner
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(inner.MaxIter))
+	dst = appendF64(dst, inner.Tol)
+	dst = appendF64(dst, inner.FTol)
+	dst = appendF64(dst, inner.ArmijoC)
+	dst = appendF64(dst, inner.Shrink)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(inner.MaxBacktracks))
+	dst = appendF64(dst, inner.StepMin)
+	dst = appendF64(dst, inner.StepMax)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(inner.NonmonotoneWindow))
+
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Vars)))
+	for _, v := range p.Vars {
+		dst = append(dst, byte(v.Kind))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v.Edge.From)))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v.Edge.To)))
+		dst = appendF64(dst, v.Init)
+		dst = appendF64(dst, v.Lower)
+		dst = appendF64(dst, v.Upper)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Hard)))
+	for _, sig := range p.Hard {
+		dst = signomial.AppendBinary(dst, sig)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Soft)))
+	for _, sc := range p.Soft {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(sc.Dev))
+		dst = appendF64(dst, sc.Weight)
+		dst = signomial.AppendBinary(dst, sc.Sig)
+	}
+	return dst
+}
+
+// DecodeProgram decodes a program and its solve parameters from data. The
+// decoder validates counts against the input size before allocating and
+// finishes with the program's own Validate, so a worker never solves a
+// structurally broken program.
+func DecodeProgram(data []byte) (*Program, Params, error) {
+	var params Params
+	r := &signomial.Reader{Data: data}
+	ver, err := r.U8()
+	if err != nil {
+		return nil, params, err
+	}
+	if ver != programVersion {
+		return nil, params, fmt.Errorf("%w: program version %d, want %d", ErrCodec, ver, programVersion)
+	}
+	p := NewProgram()
+	if p.Lambda1, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if p.Lambda2, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if p.SigmoidW, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+
+	mode, err := r.U8()
+	if err != nil {
+		return nil, params, err
+	}
+	params.Mode = Mode(mode)
+	if params.Mode != Full && params.Mode != Reduced {
+		return nil, params, fmt.Errorf("%w: unknown solve mode %d", ErrCodec, mode)
+	}
+	if params.AL.MaxOuter, err = readInt(r); err != nil {
+		return nil, params, err
+	}
+	if params.AL.Mu0, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if params.AL.MuGrowth, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if params.AL.MuMax, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if params.AL.ConstraintTol, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	inner := &params.AL.Inner
+	if inner.MaxIter, err = readInt(r); err != nil {
+		return nil, params, err
+	}
+	if inner.Tol, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if inner.FTol, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if inner.ArmijoC, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if inner.Shrink, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if inner.MaxBacktracks, err = readInt(r); err != nil {
+		return nil, params, err
+	}
+	if inner.StepMin, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if inner.StepMax, err = r.F64(); err != nil {
+		return nil, params, err
+	}
+	if inner.NonmonotoneWindow, err = readInt(r); err != nil {
+		return nil, params, err
+	}
+
+	nVars, err := r.Count(varBytes)
+	if err != nil {
+		return nil, params, err
+	}
+	p.Vars = make([]Variable, 0, nVars)
+	for i := 0; i < nVars; i++ {
+		kind, err := r.U8()
+		if err != nil {
+			return nil, params, err
+		}
+		if VarKind(kind) != EdgeVar && VarKind(kind) != DeviationVar {
+			return nil, params, fmt.Errorf("%w: variable %d has unknown kind %d", ErrCodec, i, kind)
+		}
+		from, err := r.U32()
+		if err != nil {
+			return nil, params, err
+		}
+		to, err := r.U32()
+		if err != nil {
+			return nil, params, err
+		}
+		v := Variable{
+			Kind: VarKind(kind),
+			Edge: graph.EdgeKey{From: graph.NodeID(int32(from)), To: graph.NodeID(int32(to))},
+		}
+		if v.Init, err = r.F64(); err != nil {
+			return nil, params, err
+		}
+		if v.Lower, err = r.F64(); err != nil {
+			return nil, params, err
+		}
+		if v.Upper, err = r.F64(); err != nil {
+			return nil, params, err
+		}
+		if v.Kind == EdgeVar {
+			// Rebuild the edge index so the decoded program upholds the same
+			// invariants as a locally built one.
+			p.edgeIdx[v.Edge] = len(p.Vars)
+		}
+		p.Vars = append(p.Vars, v)
+	}
+
+	nHard, err := r.Count(12) // Const f64 + numTerms u32
+	if err != nil {
+		return nil, params, err
+	}
+	if nHard > 0 {
+		p.Hard = make([]*signomial.Signomial, 0, nHard)
+	}
+	for i := 0; i < nHard; i++ {
+		sig, err := r.Signomial()
+		if err != nil {
+			return nil, params, err
+		}
+		p.Hard = append(p.Hard, sig)
+	}
+	nSoft, err := r.Count(4 + 8 + 12) // Dev + Weight + signomial header
+	if err != nil {
+		return nil, params, err
+	}
+	if nSoft > 0 {
+		p.Soft = make([]SoftConstraint, 0, nSoft)
+	}
+	for i := 0; i < nSoft; i++ {
+		dev, err := r.U32()
+		if err != nil {
+			return nil, params, err
+		}
+		weight, err := r.F64()
+		if err != nil {
+			return nil, params, err
+		}
+		sig, err := r.Signomial()
+		if err != nil {
+			return nil, params, err
+		}
+		p.Soft = append(p.Soft, SoftConstraint{Sig: sig, Dev: int(dev), Weight: weight})
+	}
+	if r.Remaining() != 0 {
+		return nil, params, fmt.Errorf("%w: %d trailing bytes after program", ErrCodec, r.Remaining())
+	}
+	if err := p.Validate(); err != nil {
+		return nil, params, fmt.Errorf("%w: decoded program invalid: %v", ErrCodec, err)
+	}
+	return p, params, nil
+}
+
+// EncodeSolution appends the binary encoding of sol to dst.
+func EncodeSolution(dst []byte, sol *Solution) []byte {
+	dst = append(dst, solutionVersion)
+	dst = append(dst, boolByte(sol.Stopped), boolByte(sol.Feasible))
+	dst = appendF64(dst, sol.Objective)
+	dst = appendF64(dst, sol.MaxViolation)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sol.Satisfied))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sol.Violated))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sol.Outer))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sol.InnerIters))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sol.X)))
+	for _, x := range sol.X {
+		dst = appendF64(dst, x)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sol.HardSatisfied)))
+	for _, ok := range sol.HardSatisfied {
+		dst = append(dst, boolByte(ok))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sol.SoftSatisfied)))
+	for _, ok := range sol.SoftSatisfied {
+		dst = append(dst, boolByte(ok))
+	}
+	return dst
+}
+
+// DecodeSolution decodes a solution produced by EncodeSolution.
+func DecodeSolution(data []byte) (*Solution, error) {
+	r := &signomial.Reader{Data: data}
+	ver, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != solutionVersion {
+		return nil, fmt.Errorf("%w: solution version %d, want %d", ErrCodec, ver, solutionVersion)
+	}
+	sol := &Solution{}
+	stopped, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	feasible, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	sol.Stopped = stopped != 0
+	sol.Feasible = feasible != 0
+	if sol.Objective, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if sol.MaxViolation, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if sol.Satisfied, err = readInt(r); err != nil {
+		return nil, err
+	}
+	if sol.Violated, err = readInt(r); err != nil {
+		return nil, err
+	}
+	if sol.Outer, err = readInt(r); err != nil {
+		return nil, err
+	}
+	if sol.InnerIters, err = readInt(r); err != nil {
+		return nil, err
+	}
+	nX, err := r.Count(8)
+	if err != nil {
+		return nil, err
+	}
+	sol.X = make([]float64, nX)
+	for i := range sol.X {
+		if sol.X[i], err = r.F64(); err != nil {
+			return nil, err
+		}
+	}
+	nHard, err := r.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	sol.HardSatisfied = make([]bool, nHard)
+	for i := range sol.HardSatisfied {
+		b, err := r.U8()
+		if err != nil {
+			return nil, err
+		}
+		sol.HardSatisfied[i] = b != 0
+	}
+	nSoft, err := r.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	sol.SoftSatisfied = make([]bool, nSoft)
+	for i := range sol.SoftSatisfied {
+		b, err := r.U8()
+		if err != nil {
+			return nil, err
+		}
+		sol.SoftSatisfied[i] = b != 0
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after solution", ErrCodec, r.Remaining())
+	}
+	return sol, nil
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// readInt reads a u32 into an int, rejecting values that cannot round-trip.
+func readInt(r *signomial.Reader) (int, error) {
+	v, err := r.U32()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: integer field %d out of range", ErrCodec, v)
+	}
+	return int(v), nil
+}

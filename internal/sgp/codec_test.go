@@ -1,0 +1,196 @@
+package sgp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/optimize"
+	"kgvote/internal/signomial"
+)
+
+// randomProgram builds a solvable program with rng-chosen shape: a few
+// edge variables, a hard constraint, and weighted soft constraints with
+// deviation variables — the same structural mix the split-and-merge
+// encoder produces.
+func randomProgram(rng *rand.Rand) *Program {
+	p := NewProgram()
+	nEdges := 2 + rng.Intn(4)
+	idx := make([]int, nEdges)
+	for i := range idx {
+		idx[i] = p.EdgeVarIndex(
+			graph.EdgeKey{From: graph.NodeID(i), To: graph.NodeID(i + 1)},
+			0.2+0.6*rng.Float64(),
+		)
+	}
+	// One hard constraint: x1 − x0 ≤ 0.
+	p.AddHardConstraint(signomial.NewConst(1e-9).Add(
+		signomial.Monomial(1, idx[1]),
+		signomial.Monomial(-1, idx[0]),
+	))
+	nSoft := 1 + rng.Intn(3)
+	for i := 0; i < nSoft; i++ {
+		a, b := idx[rng.Intn(nEdges)], idx[rng.Intn(nEdges)]
+		if a == b {
+			continue
+		}
+		sig := signomial.NewConst(1e-4 * rng.Float64()).Add(
+			signomial.Monomial(1, a),
+			signomial.Monomial(-1, b),
+		)
+		p.AddWeightedSoftConstraint(sig, 0.5+2*rng.Float64())
+	}
+	return p
+}
+
+func TestProgramCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	params := Params{Mode: Full, AL: optimize.ALOptions{
+		MaxOuter: 30,
+		Inner:    optimize.PGOptions{MaxIter: 500},
+	}}
+	for trial := 0; trial < 20; trial++ {
+		p := randomProgram(rng)
+		enc := EncodeProgram(nil, p, params)
+		dec, gotParams, err := DecodeProgram(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		// ALOptions holds a func field, so spot-check the numerics here; the
+		// re-encode byte equality below covers every remaining field.
+		if gotParams.Mode != params.Mode || gotParams.AL.MaxOuter != params.AL.MaxOuter ||
+			gotParams.AL.Inner.MaxIter != params.AL.Inner.MaxIter {
+			t.Fatalf("trial %d: params %+v != %+v", trial, gotParams, params)
+		}
+		// Re-encoding must reproduce the bytes exactly: the codec loses
+		// nothing and invents nothing.
+		if re := EncodeProgram(nil, dec, gotParams); !bytes.Equal(re, enc) {
+			t.Fatalf("trial %d: re-encoding differs", trial)
+		}
+		// The edge index must be rebuilt, not just the variable list.
+		for i, v := range p.Vars {
+			if v.Kind == EdgeVar && dec.LookupEdgeVar(v.Edge) != i {
+				t.Fatalf("trial %d: edge index lost var %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestDecodedProgramSolvesIdentically is the farm's determinism contract:
+// solving the decoded program must yield a bitwise-identical Solution.X
+// to solving the original, so a worker's result can replace a local solve
+// (and a hedged duplicate can replace either) without changing the merge.
+func TestDecodedProgramSolvesIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		params := Params{Mode: Full}
+		if trial%2 == 1 {
+			params.Mode = Reduced
+		}
+		p := randomProgram(rng)
+		enc := EncodeProgram(nil, p, params)
+		dec, gotParams, err := DecodeProgram(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		want, err := p.Solve(SolveOptions{Mode: params.Mode, AL: params.AL})
+		if err != nil {
+			t.Fatalf("trial %d: solve original: %v", trial, err)
+		}
+		got, err := dec.Solve(SolveOptions{Mode: gotParams.Mode, AL: gotParams.AL})
+		if err != nil {
+			t.Fatalf("trial %d: solve decoded: %v", trial, err)
+		}
+		if len(want.X) != len(got.X) {
+			t.Fatalf("trial %d: X length %d != %d", trial, len(got.X), len(want.X))
+		}
+		for i := range want.X {
+			if want.X[i] != got.X[i] {
+				t.Fatalf("trial %d: X[%d] = %x != %x (not bitwise identical)",
+					trial, i, got.X[i], want.X[i])
+			}
+		}
+		if want.Objective != got.Objective || want.Outer != got.Outer || want.InnerIters != got.InnerIters {
+			t.Fatalf("trial %d: solve trajectories diverged", trial)
+		}
+	}
+}
+
+func TestSolutionCodecRoundTrip(t *testing.T) {
+	sol := &Solution{
+		X:             []float64{0.25, 0.75, -0.001},
+		Objective:     1.2345e-3,
+		Satisfied:     2,
+		Violated:      1,
+		HardSatisfied: []bool{true},
+		SoftSatisfied: []bool{true, false},
+		Feasible:      true,
+		MaxViolation:  1e-9,
+		Outer:         7,
+		InnerIters:    321,
+		Stopped:       true,
+	}
+	enc := EncodeSolution(nil, sol)
+	got, err := DecodeSolution(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := EncodeSolution(nil, got); !bytes.Equal(re, enc) {
+		t.Fatal("solution re-encoding differs")
+	}
+	if got.Objective != sol.Objective || !got.Stopped || !got.Feasible ||
+		got.Satisfied != 2 || got.Violated != 1 || got.Outer != 7 || got.InnerIters != 321 {
+		t.Fatalf("decoded solution fields wrong: %+v", got)
+	}
+}
+
+func TestDecodeProgramRejectsCorruption(t *testing.T) {
+	p := randomProgram(rand.New(rand.NewSource(3)))
+	enc := EncodeProgram(nil, p, Params{Mode: Full})
+	for n := 0; n < len(enc); n++ {
+		if _, _, err := DecodeProgram(enc[:n]); err == nil {
+			t.Fatalf("prefix %d decoded successfully", n)
+		}
+	}
+	if _, _, err := DecodeProgram(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte decoded successfully")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99 // future version
+	if _, _, err := DecodeProgram(bad); !errors.Is(err, ErrCodec) {
+		t.Fatalf("future version: want ErrCodec, got %v", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[25] = 42 // solve mode byte (1 version + 3 f64)
+	if _, _, err := DecodeProgram(bad); !errors.Is(err, ErrCodec) {
+		t.Fatalf("bad mode: want ErrCodec, got %v", err)
+	}
+}
+
+// FuzzDecodeProgram hammers the decoder with arbitrary bytes: it must
+// never panic, never over-allocate, and anything it accepts must
+// re-encode to the exact input (the codec is bijective on valid
+// encodings).
+func FuzzDecodeProgram(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	f.Add([]byte{})
+	f.Add([]byte{programVersion})
+	for i := 0; i < 3; i++ {
+		f.Add(EncodeProgram(nil, randomProgram(rng), Params{Mode: Full}))
+	}
+	corrupt := EncodeProgram(nil, randomProgram(rng), Params{Mode: Reduced})
+	corrupt[len(corrupt)/2] ^= 0x20
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, params, err := DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		if re := EncodeProgram(nil, p, params); !bytes.Equal(re, data) {
+			t.Fatalf("accepted a %d-byte input that re-encodes to %d different bytes", len(data), len(re))
+		}
+	})
+}

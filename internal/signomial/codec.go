@@ -1,0 +1,159 @@
+package signomial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary codec for signomials, used by the SGP job serialization of the
+// distributed solve farm (DESIGN.md §13). The encoding is positional and
+// exact: coefficients and exponents are stored as their IEEE-754 bit
+// patterns, and term/factor order is preserved, so a decoded signomial
+// evaluates bit-for-bit identically to the original — the property the
+// farm's determinism contract rests on.
+//
+// Layout (all integers little-endian):
+//
+//	[Const: f64] [numTerms: u32]
+//	per term:   [Coef: f64] [numFactors: u32]
+//	per factor: [Var: u32]  [Exp: f64]
+
+// ErrCodec marks a malformed signomial or program encoding.
+var ErrCodec = errors.New("signomial: malformed encoding")
+
+const (
+	factorBytes  = 4 + 8 // Var u32 + Exp f64
+	termMinBytes = 8 + 4 // Coef f64 + numFactors u32
+)
+
+// AppendBinary appends the binary encoding of s to dst and returns the
+// extended slice.
+func AppendBinary(dst []byte, s *Signomial) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.Const))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Terms)))
+	for i := range s.Terms {
+		t := &s.Terms[i]
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.Coef))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.Factors)))
+		for _, f := range t.Factors {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Var))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.Exp))
+		}
+	}
+	return dst
+}
+
+// DecodeBinary decodes one signomial from the front of data, returning it
+// and the number of bytes consumed. Counts are validated against the
+// remaining input before any allocation, so hostile lengths cannot
+// request absurd slices.
+func DecodeBinary(data []byte) (*Signomial, int, error) {
+	r := Reader{Data: data}
+	s, err := r.Signomial()
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, r.Off, nil
+}
+
+// Reader is a bounds-checked cursor over a binary buffer, shared by the
+// signomial and SGP program decoders. All methods return an ErrCodec-
+// wrapped error (and leave the cursor where it stopped) on truncated
+// input; they never panic and never over-allocate.
+type Reader struct {
+	Data []byte
+	Off  int
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.Data) - r.Off }
+
+// U8 reads one byte.
+func (r *Reader) U8() (byte, error) {
+	if r.Remaining() < 1 {
+		return 0, fmt.Errorf("%w: truncated byte at offset %d", ErrCodec, r.Off)
+	}
+	b := r.Data[r.Off]
+	r.Off++
+	return b, nil
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() (uint32, error) {
+	if r.Remaining() < 4 {
+		return 0, fmt.Errorf("%w: truncated uint32 at offset %d", ErrCodec, r.Off)
+	}
+	v := binary.LittleEndian.Uint32(r.Data[r.Off:])
+	r.Off += 4
+	return v, nil
+}
+
+// F64 reads a little-endian IEEE-754 double.
+func (r *Reader) F64() (float64, error) {
+	if r.Remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated float64 at offset %d", ErrCodec, r.Off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.Data[r.Off:]))
+	r.Off += 8
+	return v, nil
+}
+
+// Count reads a u32 element count and validates it against the remaining
+// bytes assuming each element occupies at least minBytes, so a corrupt
+// length can never drive an allocation larger than the input itself.
+func (r *Reader) Count(minBytes int) (int, error) {
+	n, err := r.U32()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes > 0 && int64(n)*int64(minBytes) > int64(r.Remaining()) {
+		return 0, fmt.Errorf("%w: count %d at offset %d exceeds remaining %d bytes",
+			ErrCodec, n, r.Off-4, r.Remaining())
+	}
+	return int(n), nil
+}
+
+// Signomial decodes one signomial at the cursor.
+func (r *Reader) Signomial() (*Signomial, error) {
+	c, err := r.F64()
+	if err != nil {
+		return nil, err
+	}
+	nTerms, err := r.Count(termMinBytes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Signomial{Const: c}
+	if nTerms > 0 {
+		s.Terms = make([]Term, 0, nTerms)
+	}
+	for i := 0; i < nTerms; i++ {
+		coef, err := r.F64()
+		if err != nil {
+			return nil, err
+		}
+		nFac, err := r.Count(factorBytes)
+		if err != nil {
+			return nil, err
+		}
+		var fs []Factor
+		if nFac > 0 {
+			fs = make([]Factor, 0, nFac)
+		}
+		for j := 0; j < nFac; j++ {
+			v, err := r.U32()
+			if err != nil {
+				return nil, err
+			}
+			exp, err := r.F64()
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, Factor{Var: int(v), Exp: exp})
+		}
+		s.Terms = append(s.Terms, Term{Coef: coef, Factors: fs})
+	}
+	return s, nil
+}

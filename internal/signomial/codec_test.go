@@ -1,0 +1,82 @@
+package signomial
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := []*Signomial{
+		NewConst(0),
+		NewConst(-3.25),
+		NewConst(1e-9).Add(Monomial(1, 4), Monomial(-1, 0)),
+		NewConst(math.Pi).Add(
+			Monomial(0.123456789, 0, 0, 3), // repeated var → exponent 2
+			Monomial(-42, 7),
+			Term{Coef: 2, Factors: []Factor{{Var: 1, Exp: -0.5}, {Var: 2, Exp: 3.75}}},
+		),
+	}
+	for i, s := range cases {
+		enc := AppendBinary(nil, s)
+		got, n, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("case %d: consumed %d of %d bytes", i, n, len(enc))
+		}
+		// Exact bit equality of the re-encoding implies exact structural
+		// equality of the decoded signomial.
+		if re := AppendBinary(nil, got); !bytes.Equal(re, enc) {
+			t.Fatalf("case %d: re-encoding differs", i)
+		}
+		// And the decoded signomial must evaluate bit-identically.
+		x := []float64{0.31, 0.47, 0.59, 0.73, 0.89, 0.11, 0.23, 0.91}
+		if a, b := s.Eval(x), got.Eval(x); a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			t.Fatalf("case %d: Eval %v != %v", i, a, b)
+		}
+	}
+}
+
+func TestBinaryRoundTripConcatenated(t *testing.T) {
+	a := NewConst(1).Add(Monomial(2, 0))
+	b := NewConst(-1).Add(Monomial(3, 1, 2))
+	enc := AppendBinary(AppendBinary(nil, a), b)
+	gotA, n, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, m, err := DecodeBinary(enc[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n+m != len(enc) {
+		t.Fatalf("consumed %d+%d of %d", n, m, len(enc))
+	}
+	if !bytes.Equal(AppendBinary(nil, gotA), AppendBinary(nil, a)) ||
+		!bytes.Equal(AppendBinary(nil, gotB), AppendBinary(nil, b)) {
+		t.Fatal("concatenated decode mismatch")
+	}
+}
+
+func TestDecodeBinaryRejectsCorruption(t *testing.T) {
+	s := NewConst(1).Add(Monomial(2, 0, 1), Monomial(-3, 2))
+	enc := AppendBinary(nil, s)
+	// Every strict prefix must fail cleanly, never panic.
+	for n := 0; n < len(enc); n++ {
+		if _, _, err := DecodeBinary(enc[:n]); !errors.Is(err, ErrCodec) {
+			t.Fatalf("prefix %d: want ErrCodec, got %v", n, err)
+		}
+	}
+	// A hostile term count must not drive a huge allocation.
+	hostile := AppendBinary(nil, NewConst(0))
+	hostile[8] = 0xff // numTerms low byte
+	hostile[9] = 0xff
+	hostile[10] = 0xff
+	hostile[11] = 0x7f
+	if _, _, err := DecodeBinary(hostile); !errors.Is(err, ErrCodec) {
+		t.Fatalf("hostile count: want ErrCodec, got %v", err)
+	}
+}

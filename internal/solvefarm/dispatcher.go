@@ -1,0 +1,331 @@
+package solvefarm
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgvote/internal/sgp"
+	"kgvote/internal/telemetry"
+)
+
+// Options configures a Dispatcher.
+type Options struct {
+	// Workers lists solver addresses (host:port). Required.
+	Workers []string
+	// MaxInFlight bounds concurrent jobs per worker. Default 2: one
+	// solving, one queued behind the worker's semaphore, so a finishing
+	// worker never idles waiting for the next dispatch round-trip.
+	MaxInFlight int
+	// JobTimeout bounds one dispatch attempt (connect + solve + respond).
+	// Default 5m.
+	JobTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is re-dispatched
+	// before giving the job to the local fallback. Default 3.
+	MaxRetries int
+	// RetryBackoff is the base of the jittered exponential backoff between
+	// attempts. Default 50ms.
+	RetryBackoff time.Duration
+	// HedgeAfter is how long an attempt may straggle before a duplicate is
+	// sent to a second worker, first result winning. Both replicas solve
+	// the identical serialized program, so the winner is interchangeable.
+	// Zero picks the 30s default; negative disables hedging.
+	HedgeAfter time.Duration
+	// HealthEvery is the down-worker probe period. Default 500ms.
+	HealthEvery time.Duration
+	// Reg, when non-nil, receives kgvote_farm_* metrics.
+	Reg *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 2
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 5 * time.Minute
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 30 * time.Second
+	}
+	if o.HealthEvery <= 0 {
+		o.HealthEvery = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Dispatcher ships cluster programs to the worker pool and implements
+// core.ClusterSolver. It is safe for concurrent use — a split-and-merge
+// flush calls SolveProgram from many goroutines at once.
+//
+// Failure handling, in escalation order: a failed or timed-out attempt is
+// retried on the (possibly different) least-loaded worker with jittered
+// exponential backoff; an attempt that outlives HedgeAfter gets a
+// duplicate on a second worker, first result winning; when retries are
+// exhausted or every worker is down, the job is solved in process. The
+// local solver and the workers produce bit-identical converged solutions
+// (see core.ClusterSolver), so none of these paths changes the flush
+// output — only under flush cancellation does the fallback return a
+// best-so-far iterate, which the engine reports as Partial.
+type Dispatcher struct {
+	opt     Options
+	pool    *pool
+	client  *http.Client
+	metrics *farmMetrics
+	nextID  atomic.Uint64
+	rng     *lockedRand
+}
+
+// New builds a dispatcher over the configured workers and starts its
+// health probe. Call Close to stop the probe.
+func New(opt Options) (*Dispatcher, error) {
+	if len(opt.Workers) == 0 {
+		return nil, fmt.Errorf("solvefarm: no worker addresses")
+	}
+	opt = opt.withDefaults()
+	client := &http.Client{} // no client timeout: per-attempt ctx owns the deadline
+	d := &Dispatcher{
+		opt:    opt,
+		pool:   newPool(opt.Workers, opt.MaxInFlight, client, opt.HealthEvery),
+		client: client,
+		rng:    newLockedRand(1),
+	}
+	d.metrics = newFarmMetrics(opt.Reg, func() float64 { return float64(d.pool.healthyCount()) })
+	return d, nil
+}
+
+// Close stops the health probe. In-flight solves finish normally.
+func (d *Dispatcher) Close() { d.pool.close() }
+
+// HealthyWorkers reports how many workers the pool currently trusts.
+func (d *Dispatcher) HealthyWorkers() int { return d.pool.healthyCount() }
+
+// SolveProgram implements core.ClusterSolver: encode once, dispatch with
+// retry and hedging, fall back to the in-process solver when the farm
+// cannot deliver.
+func (d *Dispatcher) SolveProgram(ctx context.Context, p *sgp.Program, params sgp.Params) (*sgp.Solution, error) {
+	defer d.metrics.timer()()
+	id := d.nextID.Add(1)
+	// Encoded once and never mutated: retries and hedge replicas POST the
+	// same bytes, so every attempt solves the identical program even
+	// though the engine recycles *sgp.Program workspaces between clusters.
+	body := EncodeJob(id, p, params)
+	want := p.NumVars()
+
+	var lastErr error
+	for attempt := 0; attempt <= d.opt.MaxRetries; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if attempt > 0 {
+			d.metrics.incRetry()
+			if !d.backoff(ctx, attempt) {
+				break
+			}
+		}
+		w, err := d.pool.acquire(ctx)
+		if err != nil {
+			// Every worker down, or the flush was cancelled while
+			// waiting: the local fallback handles both.
+			lastErr = err
+			break
+		}
+		sol, err := d.solveOn(ctx, w, id, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(sol.X) != want {
+			lastErr = fmt.Errorf("solvefarm: job %d: result has %d vars, program has %d", id, len(sol.X), want)
+			continue
+		}
+		d.metrics.incRemote()
+		return sol, nil
+	}
+
+	// Local fallback: correctness never depends on the farm. Under a live
+	// ctx this solves to convergence bit-identically to a worker; under a
+	// cancelled ctx it returns the best-so-far iterate with Stopped set,
+	// which the engine surfaces as Report.Partial.
+	d.metrics.incFallback()
+	sol, err := p.Solve(sgp.SolveOptions{
+		Mode: params.Mode,
+		AL:   params.AL,
+		Stop: func() bool { return ctx.Err() != nil },
+	})
+	if err != nil && lastErr != nil {
+		return nil, fmt.Errorf("%v (after farm error: %w)", err, lastErr)
+	}
+	return sol, err
+}
+
+// attemptResult is one replica's outcome.
+type attemptResult struct {
+	sol    *sgp.Solution
+	err    error
+	hedged bool
+}
+
+// solveOn runs one dispatch attempt on w, hedging onto a second worker if
+// the attempt straggles past HedgeAfter. First result wins; the loser's
+// request context is cancelled, which trips the worker's Stop callback so
+// the abandoned replica stops solving almost immediately.
+func (d *Dispatcher) solveOn(ctx context.Context, w *worker, id uint64, body []byte) (*sgp.Solution, error) {
+	actx, cancel := context.WithTimeout(ctx, d.opt.JobTimeout)
+	defer cancel()
+
+	resc := make(chan attemptResult, 2) // buffered: the losing replica's send never blocks
+	go d.post(actx, w, id, body, false, resc)
+
+	var hedgeTimer *time.Timer
+	var hedgec <-chan time.Time
+	if d.opt.HedgeAfter > 0 {
+		hedgeTimer = time.NewTimer(d.opt.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgec = hedgeTimer.C
+	}
+
+	pending := 1
+	var firstErr error
+	for pending > 0 {
+		select {
+		case <-hedgec:
+			hedgec = nil
+			if hw := d.pool.tryAcquire(w); hw != nil {
+				d.metrics.incHedge()
+				pending++
+				go d.post(actx, hw, id, body, true, resc)
+			}
+		case res := <-resc:
+			pending--
+			if res.err != nil {
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				continue
+			}
+			if res.hedged {
+				d.metrics.incHedgeWin()
+			}
+			return res.sol, nil
+		}
+	}
+	return nil, firstErr
+}
+
+// post POSTs the job to one worker and decodes the reply. It owns the
+// worker's slot: released healthy when the transport worked (including
+// job-level errors the worker reported) or when we cancelled the request
+// ourselves, released down on an unprovoked transport failure.
+func (d *Dispatcher) post(ctx context.Context, w *worker, id uint64, body []byte, hedged bool, resc chan<- attemptResult) {
+	sol, err := d.roundTrip(ctx, w.addr, id, body)
+	transportDown := err != nil && !isJobError(err) && ctx.Err() == nil
+	d.pool.release(w, !transportDown)
+	resc <- attemptResult{sol: sol, err: err, hedged: hedged}
+}
+
+// jobError marks a failure the worker itself reported over a working
+// transport — the worker is healthy, only this attempt failed.
+type jobError struct{ msg string }
+
+func (e *jobError) Error() string { return e.msg }
+
+// isJobError reports whether err is a job-level error rather than a
+// transport failure.
+func isJobError(err error) bool {
+	_, ok := err.(*jobError)
+	return ok
+}
+
+// roundTrip performs the HTTP exchange for one replica.
+func (d *Dispatcher) roundTrip(ctx context.Context, addr string, id uint64, body []byte) (*sgp.Solution, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("solvefarm: job %d on %s: %w", id, addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// The worker answered — transport is fine — but rejected the
+		// frame (e.g. bytes corrupted in transit). Retryable job error.
+		return nil, &jobError{msg: fmt.Sprintf("solvefarm: job %d on %s: HTTP %d", id, addr, resp.StatusCode)}
+	}
+	typ, payload, err := ReadFrame(bufio.NewReader(resp.Body))
+	if err != nil {
+		return nil, fmt.Errorf("solvefarm: job %d on %s: %w", id, addr, err)
+	}
+	switch typ {
+	case FrameResult:
+		gotID, sol, err := DecodeResult(payload)
+		if err != nil {
+			return nil, fmt.Errorf("solvefarm: job %d on %s: %w", id, addr, err)
+		}
+		if gotID != id {
+			return nil, &jobError{msg: fmt.Sprintf("solvefarm: job %d on %s: result for job %d", id, addr, gotID)}
+		}
+		return sol, nil
+	case FrameError:
+		_, msg, err := DecodeError(payload)
+		if err != nil {
+			return nil, fmt.Errorf("solvefarm: job %d on %s: %w", id, addr, err)
+		}
+		return nil, &jobError{msg: fmt.Sprintf("solvefarm: job %d on %s: worker: %s", id, addr, msg)}
+	default:
+		return nil, &jobError{msg: fmt.Sprintf("solvefarm: job %d on %s: unexpected frame type %d", id, addr, typ)}
+	}
+}
+
+// backoff sleeps the jittered exponential delay before retry n (n ≥ 1),
+// returning false if ctx was cancelled while sleeping. Jitter spreads
+// synchronized retries from a flush's many concurrent jobs so a recovered
+// worker is not stampeded.
+func (d *Dispatcher) backoff(ctx context.Context, n int) bool {
+	delay := d.opt.RetryBackoff << (n - 1)
+	if max := 5 * time.Second; delay > max {
+		delay = max
+	}
+	delay += time.Duration(d.rng.Int63n(int64(delay))) // delay..2*delay
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// lockedRand is a mutex-guarded rand.Rand: backoff jitter is called from
+// many flush goroutines. Only retry timing consumes randomness — never
+// anything that reaches the solve or the merge, so determinism holds.
+type lockedRand struct {
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rnd: rand.New(rand.NewSource(seed))}
+}
+
+func (r *lockedRand) Int63n(n int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rnd.Int63n(n)
+}

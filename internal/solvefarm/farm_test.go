@@ -1,0 +1,313 @@
+package solvefarm_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kgvote/internal/core"
+	"kgvote/internal/graph"
+	"kgvote/internal/sgp"
+	"kgvote/internal/signomial"
+	"kgvote/internal/solvefarm"
+	"kgvote/internal/telemetry"
+	"kgvote/internal/vote"
+)
+
+// startWorker serves a solvefarm.Worker over a real socket and returns
+// its host:port.
+func startWorker(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	w := &solvefarm.Worker{Reg: telemetry.NewRegistry()}
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+	return srv, strings.TrimPrefix(srv.URL, "http://")
+}
+
+// deadAddr reserves a port and closes it, yielding connection-refused.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func newDispatcher(t *testing.T, opt solvefarm.Options) *solvefarm.Dispatcher {
+	t.Helper()
+	if opt.RetryBackoff == 0 {
+		opt.RetryBackoff = time.Millisecond
+	}
+	d, err := solvefarm.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// fourRegions builds four independent query regions with one negative
+// vote each (the split-and-merge test workload).
+func fourRegions(t *testing.T) (*graph.Graph, func(*core.Engine) []vote.Vote) {
+	t.Helper()
+	g := graph.New(0)
+	type region struct {
+		q    graph.NodeID
+		x, y graph.NodeID
+	}
+	regions := make([]region, 4)
+	for i := range regions {
+		q := g.AddNodes(5)
+		a, b, x, y := q+1, q+2, q+3, q+4
+		g.MustSetEdge(q, a, 0.6)
+		g.MustSetEdge(q, b, 0.4)
+		g.MustSetEdge(a, x, 1)
+		g.MustSetEdge(b, y, 1)
+		regions[i] = region{q: q, x: x, y: y}
+	}
+	collect := func(e *core.Engine) []vote.Vote {
+		votes := make([]vote.Vote, 0, len(regions))
+		for _, r := range regions {
+			v, err := e.CollectVote(r.q, []graph.NodeID{r.x, r.y}, r.y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			votes = append(votes, v)
+		}
+		return votes
+	}
+	return g, collect
+}
+
+// flushWeights runs one split-and-merge flush (optionally through cs) and
+// returns the final edge weights.
+func flushWeights(t *testing.T, cs core.ClusterSolver) map[graph.EdgeKey]float64 {
+	t.Helper()
+	g, collect := fourRegions(t)
+	e, err := core.New(g, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != nil {
+		e.SetClusterSolver(cs)
+	}
+	if _, err := e.SolveSplitMerge(collect(e)); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[graph.EdgeKey]float64)
+	g.Edges(func(from, to graph.NodeID, w float64) {
+		out[graph.EdgeKey{From: from, To: to}] = w
+	})
+	return out
+}
+
+func assertSameWeights(t *testing.T, got, want map[graph.EdgeKey]float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: edge counts differ: %d vs %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		if gw := got[k]; gw != w {
+			t.Fatalf("%s: edge %v: %x != %x (not bitwise identical)", label, k, gw, w)
+		}
+	}
+}
+
+// TestFarmFlushGoldenDeterminism is the acceptance gate: the same flush
+// solved in process, through remote workers, and with every job hedged
+// onto a duplicate replica must all produce bitwise-identical weights.
+func TestFarmFlushGoldenDeterminism(t *testing.T) {
+	local := flushWeights(t, nil)
+
+	_, a1 := startWorker(t)
+	_, a2 := startWorker(t)
+	remote := flushWeights(t, newDispatcher(t, solvefarm.Options{Workers: []string{a1, a2}}))
+	assertSameWeights(t, remote, local, "remote")
+
+	// HedgeAfter of 1ns duplicates effectively every job; first result
+	// wins, whichever replica that is.
+	hedged := flushWeights(t, newDispatcher(t, solvefarm.Options{
+		Workers:    []string{a1, a2},
+		HedgeAfter: time.Nanosecond,
+	}))
+	assertSameWeights(t, hedged, local, "hedged")
+}
+
+func TestFarmRetriesPastDeadWorker(t *testing.T) {
+	_, live := startWorker(t)
+	d := newDispatcher(t, solvefarm.Options{
+		Workers:     []string{deadAddr(t), live},
+		HealthEvery: time.Hour, // no revival during the test
+	})
+	local := flushWeights(t, nil)
+	remote := flushWeights(t, d)
+	assertSameWeights(t, remote, local, "one dead worker")
+	if n := d.HealthyWorkers(); n != 1 {
+		t.Errorf("healthy workers = %d, want 1 (dead one marked down)", n)
+	}
+}
+
+func TestFarmFallsBackWhenAllWorkersDead(t *testing.T) {
+	d := newDispatcher(t, solvefarm.Options{
+		Workers:     []string{deadAddr(t), deadAddr(t)},
+		MaxRetries:  1,
+		HealthEvery: time.Hour,
+	})
+	local := flushWeights(t, nil)
+	remote := flushWeights(t, d)
+	assertSameWeights(t, remote, local, "all workers dead")
+	if n := d.HealthyWorkers(); n != 0 {
+		t.Errorf("healthy workers = %d, want 0", n)
+	}
+}
+
+func TestFarmWorkerRecoversViaHealthProbe(t *testing.T) {
+	srv, addr := startWorker(t)
+	d := newDispatcher(t, solvefarm.Options{
+		Workers:     []string{addr},
+		MaxRetries:  1,
+		HealthEvery: 10 * time.Millisecond,
+	})
+	// Kill the worker's sockets: next dispatch fails, marks it down.
+	srv.CloseClientConnections()
+	srv.Close()
+	if _ = flushWeights(t, d); d.HealthyWorkers() != 0 {
+		t.Fatalf("dead worker still marked healthy")
+	}
+	// Revive a worker on the same port; the probe must bring it back.
+	w := &solvefarm.Worker{}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("port %s not reusable: %v", addr, err)
+	}
+	revived := &http.Server{Handler: w.Handler()}
+	go revived.Serve(l)
+	t.Cleanup(func() { revived.Close() })
+	deadline := time.Now().Add(5 * time.Second)
+	for d.HealthyWorkers() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.HealthyWorkers() != 1 {
+		t.Fatalf("revived worker never re-marked healthy")
+	}
+}
+
+// solveProgram builds a small solvable program for direct dispatcher and
+// worker exercises.
+func solveProgram() (*sgp.Program, sgp.Params) {
+	p := sgp.NewProgram()
+	i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.3)
+	i1 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 2}, 0.5)
+	p.AddSoftConstraint(signomial.NewConst(1e-9).Add(
+		signomial.Monomial(1, i1),
+		signomial.Monomial(-1, i0),
+	))
+	return p, sgp.Params{Mode: sgp.Full}
+}
+
+func TestDispatcherCancelledContextReturnsStopped(t *testing.T) {
+	d := newDispatcher(t, solvefarm.Options{
+		Workers:     []string{deadAddr(t)},
+		MaxRetries:  1,
+		HealthEvery: time.Hour,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, params := solveProgram()
+	sol, err := d.SolveProgram(ctx, p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The local fallback under a dead ctx must hand back the best-so-far
+	// iterate flagged Stopped, which the engine surfaces as Report.Partial.
+	if !sol.Stopped {
+		t.Fatal("cancelled solve not flagged Stopped")
+	}
+	if len(sol.X) != p.NumVars() {
+		t.Fatalf("cancelled solve returned %d vars, want %d", len(sol.X), p.NumVars())
+	}
+}
+
+func TestWorkerSolveMatchesInProcess(t *testing.T) {
+	_, addr := startWorker(t)
+	p, params := solveProgram()
+	want, err := p.Solve(sgp.SolveOptions{Mode: params.Mode, AL: params.AL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := solveProgram()
+	resp, err := http.Post("http://"+addr+"/solve", "application/octet-stream",
+		bytes.NewReader(solvefarm.EncodeJob(9, p2, params)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	typ, payload, err := solvefarm.ReadFrame(bufio.NewReader(resp.Body))
+	if err != nil || typ != solvefarm.FrameResult {
+		t.Fatalf("frame type %d, err %v", typ, err)
+	}
+	id, got, err := solvefarm.DecodeResult(payload)
+	if err != nil || id != 9 {
+		t.Fatalf("id %d, err %v", id, err)
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("X[%d] not bitwise identical to in-process solve", i)
+		}
+	}
+}
+
+func TestWorkerRejectsBadRequests(t *testing.T) {
+	_, addr := startWorker(t)
+	for name, body := range map[string][]byte{
+		"garbage":   []byte("not a frame at all"),
+		"empty":     nil,
+		"truncated": solvefarm.EncodeJob(1, mustProgram(), sgp.Params{Mode: sgp.Full})[:10],
+	} {
+		resp, err := http.Post("http://"+addr+"/solve", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// A bit flip inside the payload must be caught by the frame checksum.
+	frame := solvefarm.EncodeJob(1, mustProgram(), sgp.Params{Mode: sgp.Full})
+	frame[len(frame)-1] ^= 0x04
+	resp, err := http.Post("http://"+addr+"/solve", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bit flip: HTTP %d, want 400", resp.StatusCode)
+	}
+	// GET on /solve is not allowed.
+	resp, err = http.Get("http://" + addr + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+func mustProgram() *sgp.Program {
+	p, _ := solveProgram()
+	return p
+}

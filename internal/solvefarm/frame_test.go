@@ -1,0 +1,157 @@
+package solvefarm
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/sgp"
+	"kgvote/internal/signomial"
+)
+
+func testProgram() *sgp.Program {
+	p := sgp.NewProgram()
+	i0 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 1}, 0.3)
+	i1 := p.EdgeVarIndex(graph.EdgeKey{From: 0, To: 2}, 0.5)
+	p.AddSoftConstraint(signomial.NewConst(1e-9).Add(
+		signomial.Monomial(1, i1),
+		signomial.Monomial(-1, i0),
+	))
+	return p
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		typ     byte
+		payload []byte
+	}{
+		{FrameJob, nil},
+		{FrameResult, []byte{}},
+		{FrameError, []byte("solver exploded")},
+		{FrameJob, bytes.Repeat([]byte{0xAB}, 4096)},
+	} {
+		buf := AppendFrame(nil, tc.typ, tc.payload)
+		typ, payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf)))
+		if err != nil {
+			t.Fatalf("type %d: %v", tc.typ, err)
+		}
+		if typ != tc.typ || !bytes.Equal(payload, tc.payload) {
+			t.Fatalf("type %d: round-trip mismatch", tc.typ)
+		}
+	}
+}
+
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	frame := AppendFrame(nil, FrameJob, []byte("payload"))
+	// Flip one bit anywhere in the frame: the checksum must catch it.
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x10
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(bad)))
+		if err == nil {
+			// Flipping a length byte can make the frame shorter but still
+			// checksum-valid only if the CRC happens to match — it cannot,
+			// because the CRC covers the payload the length selects.
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+	// Truncations fail with ErrBadFrame, except the empty read (clean EOF).
+	for n := 1; n < len(frame); n++ {
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame[:n])))
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("truncation at %d: want ErrBadFrame, got %v", n, err)
+		}
+	}
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(nil))); err != io.EOF {
+		t.Fatalf("empty read: want io.EOF, got %v", err)
+	}
+	// An absurd length must be rejected before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 1}
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("huge length: want ErrBadFrame, got %v", err)
+	}
+}
+
+func TestJobCodecRoundTrip(t *testing.T) {
+	p := testProgram()
+	params := sgp.Params{Mode: sgp.Full}
+	frame := EncodeJob(42, p, params)
+	typ, payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil || typ != FrameJob {
+		t.Fatalf("frame: type %d, err %v", typ, err)
+	}
+	id, dec, gotParams, err := DecodeJob(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 || gotParams.Mode != sgp.Full {
+		t.Fatalf("id %d mode %v", id, gotParams.Mode)
+	}
+	// The decoded program must re-encode into the identical job bytes.
+	if !bytes.Equal(EncodeJob(42, dec, gotParams), frame) {
+		t.Fatal("decoded job re-encodes differently")
+	}
+
+	sol, err := p.Solve(sgp.SolveOptions{Mode: sgp.Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rframe := EncodeResult(42, sol)
+	typ, payload, err = ReadFrame(bufio.NewReader(bytes.NewReader(rframe)))
+	if err != nil || typ != FrameResult {
+		t.Fatalf("result frame: type %d, err %v", typ, err)
+	}
+	rid, got, err := DecodeResult(payload)
+	if err != nil || rid != 42 {
+		t.Fatalf("result: id %d, err %v", rid, err)
+	}
+	for i := range sol.X {
+		if got.X[i] != sol.X[i] {
+			t.Fatalf("X[%d] not bitwise identical", i)
+		}
+	}
+
+	eframe := EncodeError(7, "no")
+	typ, payload, err = ReadFrame(bufio.NewReader(bytes.NewReader(eframe)))
+	if err != nil || typ != FrameError {
+		t.Fatalf("error frame: type %d, err %v", typ, err)
+	}
+	eid, msg, err := DecodeError(payload)
+	if err != nil || eid != 7 || msg != "no" {
+		t.Fatalf("error: id %d msg %q err %v", eid, msg, err)
+	}
+}
+
+// FuzzReadFrame feeds arbitrary bytes through the frame decoder in a
+// replay-style loop (the WAL fuzz idiom): it must never panic, never
+// allocate beyond MaxFrameSize, and fail only with io.EOF or ErrBadFrame.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, FrameJob, []byte("hello")))
+	f.Add(append(AppendFrame(nil, FrameResult, []byte("first")), AppendFrame(nil, FrameError, []byte("second"))...))
+	f.Add(AppendFrame(nil, FrameJob, []byte("torn"))[:5])
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 1})
+	corrupted := AppendFrame(nil, FrameJob, []byte("bitflip"))
+	corrupted[len(corrupted)-1] ^= 0x40
+	f.Add(corrupted)
+	f.Add(EncodeJob(1, testProgram(), sgp.Params{Mode: sgp.Reduced}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for {
+			_, payload, err := ReadFrame(r)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("unexpected error kind: %v", err)
+				}
+				return
+			}
+			if len(payload) > MaxFrameSize {
+				t.Fatalf("decoder returned %d-byte payload beyond max", len(payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Package solvefarm distributes the split-and-merge flush's per-cluster
+// SGP solves across remote worker processes (DESIGN.md §13).
+//
+// The flush pre-solve — judgment filter, enumeration cache, Jaccard
+// matrix, clustering, program encoding — stays on the writer, which owns
+// the graph. Each cluster's finished program is serialized into a
+// self-contained, CRC32C-checked binary job (reusing the internal/wal
+// framing idiom) and POSTed to a stateless solver worker; the worker
+// needs no copy of the graph. The dispatcher owns the reliability story:
+// bounded in-flight jobs per worker, per-job timeouts with jittered
+// exponential retry, hedged re-dispatch of stragglers (first result wins,
+// deterministic because both replicas solve the identical serialized
+// program from the identical initial point), a health-checked worker
+// pool, and automatic fallback to the in-process solver when no worker is
+// live or a flush is cancelled.
+package solvefarm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"kgvote/internal/sgp"
+)
+
+// Frame types on the wire.
+const (
+	// FrameJob carries [job id: u64 LE][encoded program+params].
+	FrameJob byte = 1
+	// FrameResult carries [job id: u64 LE][encoded solution].
+	FrameResult byte = 2
+	// FrameError carries [job id: u64 LE][UTF-8 message].
+	FrameError byte = 3
+)
+
+const (
+	frameHeaderSize = 9 // uint32 length + uint32 crc + 1 type byte
+	// MaxFrameSize bounds one frame's payload; a decoded length beyond it
+	// is corruption, never an allocation request. Cluster programs carry a
+	// signomial term per walk, so the cap is generous.
+	MaxFrameSize = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame marks a torn, truncated, or corrupted frame.
+var ErrBadFrame = errors.New("solvefarm: partial or corrupt frame")
+
+// AppendFrame appends one framed record to dst:
+//
+//	[payload length: u32 LE] [CRC32C: u32 LE] [type: 1 byte] [payload]
+//
+// with the checksum (Castagnoli) covering the type byte and the payload —
+// the WAL's record framing, reused so a bit flip anywhere between writer
+// and worker is caught before a corrupted program is ever solved.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, []byte{typ})
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	hdr[8] = typ
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// ReadFrame decodes one frame from r. It returns io.EOF at a clean
+// boundary and ErrBadFrame (wrapped) for any framing violation; it never
+// panics on arbitrary input and never allocates beyond MaxFrameSize.
+func ReadFrame(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrBadFrame, err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrBadFrame, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds max %d", ErrBadFrame, n, MaxFrameSize)
+	}
+	crcWant := binary.LittleEndian.Uint32(hdr[4:8])
+	typ = hdr[8]
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: payload: %v", ErrBadFrame, err)
+	}
+	crc := crc32.Update(0, castagnoli, []byte{typ})
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != crcWant {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch (want %08x, got %08x)", ErrBadFrame, crcWant, crc)
+	}
+	return typ, payload, nil
+}
+
+// EncodeJob frames one solve job: the job id followed by the serialized
+// program and solve parameters. The returned bytes are immutable and may
+// be POSTed concurrently by hedged replicas.
+func EncodeJob(id uint64, p *sgp.Program, params sgp.Params) []byte {
+	payload := binary.LittleEndian.AppendUint64(nil, id)
+	payload = sgp.EncodeProgram(payload, p, params)
+	return AppendFrame(nil, FrameJob, payload)
+}
+
+// DecodeJob unpacks a FrameJob payload into its id, program, and params.
+func DecodeJob(payload []byte) (uint64, *sgp.Program, sgp.Params, error) {
+	if len(payload) < 8 {
+		return 0, nil, sgp.Params{}, fmt.Errorf("%w: job payload %d bytes", ErrBadFrame, len(payload))
+	}
+	id := binary.LittleEndian.Uint64(payload[:8])
+	p, params, err := sgp.DecodeProgram(payload[8:])
+	if err != nil {
+		return id, nil, params, err
+	}
+	return id, p, params, nil
+}
+
+// EncodeResult frames one solved job's solution.
+func EncodeResult(id uint64, sol *sgp.Solution) []byte {
+	payload := binary.LittleEndian.AppendUint64(nil, id)
+	payload = sgp.EncodeSolution(payload, sol)
+	return AppendFrame(nil, FrameResult, payload)
+}
+
+// DecodeResult unpacks a FrameResult payload.
+func DecodeResult(payload []byte) (uint64, *sgp.Solution, error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("%w: result payload %d bytes", ErrBadFrame, len(payload))
+	}
+	id := binary.LittleEndian.Uint64(payload[:8])
+	sol, err := sgp.DecodeSolution(payload[8:])
+	if err != nil {
+		return id, nil, err
+	}
+	return id, sol, nil
+}
+
+// EncodeError frames a worker-side failure for one job.
+func EncodeError(id uint64, msg string) []byte {
+	payload := binary.LittleEndian.AppendUint64(nil, id)
+	payload = append(payload, msg...)
+	return AppendFrame(nil, FrameError, payload)
+}
+
+// DecodeError unpacks a FrameError payload.
+func DecodeError(payload []byte) (uint64, string, error) {
+	if len(payload) < 8 {
+		return 0, "", fmt.Errorf("%w: error payload %d bytes", ErrBadFrame, len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload[:8]), string(payload[8:]), nil
+}

@@ -1,0 +1,78 @@
+package solvefarm
+
+import "kgvote/internal/telemetry"
+
+// farmMetrics is the dispatcher's instrument set (all nil-safe: a nil
+// receiver or field makes every record a no-op, so the farm runs fine
+// without a registry).
+type farmMetrics struct {
+	remote    *telemetry.Counter
+	fallbacks *telemetry.Counter
+	retries   *telemetry.Counter
+	hedges    *telemetry.Counter
+	hedgeWins *telemetry.Counter
+	seconds   *telemetry.Histogram
+}
+
+func newFarmMetrics(reg *telemetry.Registry, healthy func() float64) *farmMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &farmMetrics{
+		remote: reg.Counter("kgvote_farm_jobs_total",
+			"Cluster solve jobs completed, by where they were solved.",
+			telemetry.Labels{"where": "remote"}),
+		fallbacks: reg.Counter("kgvote_farm_jobs_total",
+			"Cluster solve jobs completed, by where they were solved.",
+			telemetry.Labels{"where": "fallback"}),
+		retries: reg.Counter("kgvote_farm_retries_total",
+			"Job attempts re-dispatched after a failed or timed-out attempt.", nil),
+		hedges: reg.Counter("kgvote_farm_hedges_total",
+			"Hedge replicas sent for straggling jobs.", nil),
+		hedgeWins: reg.Counter("kgvote_farm_hedge_wins_total",
+			"Jobs whose hedge replica finished before the primary.", nil),
+		seconds: reg.Histogram("kgvote_farm_dispatch_seconds",
+			"End-to-end latency of one cluster job through the farm, including retries and hedges.",
+			nil, nil),
+	}
+	reg.GaugeFunc("kgvote_farm_workers_healthy",
+		"Workers currently marked healthy by the dispatcher pool.", nil, healthy)
+	return m
+}
+
+func (m *farmMetrics) incRemote() {
+	if m != nil {
+		m.remote.Inc()
+	}
+}
+
+func (m *farmMetrics) incFallback() {
+	if m != nil {
+		m.fallbacks.Inc()
+	}
+}
+
+func (m *farmMetrics) incRetry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *farmMetrics) incHedge() {
+	if m != nil {
+		m.hedges.Inc()
+	}
+}
+
+func (m *farmMetrics) incHedgeWin() {
+	if m != nil {
+		m.hedgeWins.Inc()
+	}
+}
+
+func (m *farmMetrics) timer() func() {
+	if m == nil {
+		return func() {}
+	}
+	return m.seconds.Start()
+}

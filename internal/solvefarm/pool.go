@@ -1,0 +1,201 @@
+package solvefarm
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrNoWorkers reports that every configured worker is marked down; the
+// dispatcher reacts by solving in process.
+var ErrNoWorkers = errors.New("solvefarm: no healthy workers")
+
+// worker is the pool's view of one remote solver.
+type worker struct {
+	addr     string // host:port
+	healthy  bool
+	inflight int
+}
+
+// pool tracks worker health and per-worker in-flight load. Acquisition is
+// least-loaded-first over the healthy set; a worker whose transport fails
+// is marked down immediately (passive detection) and revived by the
+// background health probe (active detection), so a killed process stops
+// receiving jobs after one failed dispatch and a restarted one rejoins
+// within a probe period.
+type pool struct {
+	maxInFlight int
+	client      *http.Client
+
+	mu      sync.Mutex
+	workers []*worker
+	waitc   chan struct{} // closed+replaced whenever capacity may have appeared
+	closed  bool
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+func newPool(addrs []string, maxInFlight int, client *http.Client, probeEvery time.Duration) *pool {
+	p := &pool{
+		maxInFlight: maxInFlight,
+		client:      client,
+		waitc:       make(chan struct{}),
+		probeStop:   make(chan struct{}),
+		probeDone:   make(chan struct{}),
+	}
+	for _, a := range addrs {
+		p.workers = append(p.workers, &worker{addr: a, healthy: true})
+	}
+	go p.probeLoop(probeEvery)
+	return p
+}
+
+// acquire blocks until a healthy worker has a free slot, then reserves
+// one. It fails fast with ErrNoWorkers when every worker is down (no
+// point queueing: the caller should fall back to the local solver) and
+// with ctx.Err() on cancellation.
+func (p *pool) acquire(ctx context.Context) (*worker, error) {
+	for {
+		p.mu.Lock()
+		w, anyHealthy := p.pick(nil)
+		if w != nil {
+			w.inflight++
+			p.mu.Unlock()
+			return w, nil
+		}
+		waitc := p.waitc
+		p.mu.Unlock()
+		if !anyHealthy {
+			return nil, ErrNoWorkers
+		}
+		select {
+		case <-waitc:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// tryAcquire reserves a slot on a healthy worker other than exclude, or
+// returns nil without blocking. Hedges use it: a hedge is only worth
+// sending when a second worker has spare capacity right now.
+func (p *pool) tryAcquire(exclude *worker) *worker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, _ := p.pick(exclude)
+	if w != nil {
+		w.inflight++
+	}
+	return w
+}
+
+// pick returns the least-loaded healthy worker with a free slot (nil if
+// none) and whether any worker is healthy at all. Ties break by slice
+// order, so selection is deterministic given identical load.
+func (p *pool) pick(exclude *worker) (*worker, bool) {
+	var best *worker
+	anyHealthy := false
+	for _, w := range p.workers {
+		if !w.healthy || w == exclude {
+			anyHealthy = anyHealthy || w.healthy
+			continue
+		}
+		anyHealthy = true
+		if w.inflight >= p.maxInFlight {
+			continue
+		}
+		if best == nil || w.inflight < best.inflight {
+			best = w
+		}
+	}
+	return best, anyHealthy
+}
+
+// release returns w's slot. A transport-level failure (ok=false) marks
+// the worker down on the spot so subsequent acquires skip it.
+func (p *pool) release(w *worker, ok bool) {
+	p.mu.Lock()
+	w.inflight--
+	if !ok {
+		w.healthy = false
+	}
+	close(p.waitc)
+	p.waitc = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// healthyCount reports how many workers are currently marked healthy.
+func (p *pool) healthyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, w := range p.workers {
+		if w.healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// probeLoop GETs /healthz on every down worker each period, reviving the
+// ones that answer. Healthy workers are not probed — their liveness is
+// observed passively on every dispatch.
+func (p *pool) probeLoop(every time.Duration) {
+	defer close(p.probeDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.probeStop:
+			return
+		case <-t.C:
+		}
+		p.mu.Lock()
+		var down []*worker
+		for _, w := range p.workers {
+			if !w.healthy {
+				down = append(down, w)
+			}
+		}
+		p.mu.Unlock()
+		for _, w := range down {
+			if p.probe(w.addr) {
+				p.mu.Lock()
+				w.healthy = true
+				close(p.waitc)
+				p.waitc = make(chan struct{})
+				p.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (p *pool) probe(addr string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.probeStop)
+	<-p.probeDone
+}

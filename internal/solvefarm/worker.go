@@ -1,0 +1,140 @@
+package solvefarm
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"kgvote/internal/sgp"
+	"kgvote/internal/telemetry"
+)
+
+// Worker is the stateless solve service one kgsolved process exposes. It
+// holds no graph and no session state: every POST /solve carries a
+// complete program, so any worker can serve any job — which is what makes
+// retry and hedging against a different replica trivially correct.
+type Worker struct {
+	// MaxJobs bounds concurrently solving requests; extra requests queue
+	// on the semaphore (the dispatcher's own in-flight cap keeps the queue
+	// short). Defaults to runtime.GOMAXPROCS(0).
+	MaxJobs int
+	// Reg, when non-nil, receives worker metrics and serves GET /metrics.
+	Reg *telemetry.Registry
+
+	once    sync.Once
+	sem     chan struct{}
+	jobs    *telemetry.Counter
+	errs    *telemetry.Counter
+	seconds *telemetry.Histogram
+	busy    *telemetry.Gauge
+}
+
+func (w *Worker) init() {
+	w.once.Do(func() {
+		n := w.MaxJobs
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		w.sem = make(chan struct{}, n)
+		if w.Reg != nil {
+			w.jobs = w.Reg.Counter("kgvote_farm_worker_jobs_total",
+				"Solve jobs accepted by this worker.", nil)
+			w.errs = w.Reg.Counter("kgvote_farm_worker_errors_total",
+				"Solve jobs that failed to decode or solve.", nil)
+			w.seconds = w.Reg.Histogram("kgvote_farm_worker_solve_seconds",
+				"Per-job solve latency on this worker.", nil, nil)
+			w.busy = w.Reg.Gauge("kgvote_farm_worker_busy",
+				"Jobs currently solving on this worker.", nil)
+		}
+	})
+}
+
+// Handler returns the worker's HTTP surface: POST /solve, GET /healthz,
+// and GET /metrics when a registry is attached.
+func (w *Worker) Handler() http.Handler {
+	w.init()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", w.handleSolve)
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		fmt.Fprintln(rw, "ok")
+	})
+	if w.Reg != nil {
+		mux.Handle("/metrics", w.Reg.Handler())
+	}
+	return mux
+}
+
+// handleSolve decodes one framed job, solves it, and replies with a
+// framed result. The request context is wired into the solve's Stop
+// callback, so a dispatcher abandoning the request (timeout, hedge loss,
+// flush cancel) stops the optimizer within one inner iteration instead of
+// burning the worker slot to completion.
+func (w *Worker) handleSolve(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	typ, payload, err := ReadFrame(bufio.NewReader(r.Body))
+	if err != nil || typ != FrameJob {
+		w.countErr()
+		http.Error(rw, fmt.Sprintf("bad job frame: %v", err), http.StatusBadRequest)
+		return
+	}
+	id, p, params, err := DecodeJob(payload)
+	if err != nil {
+		w.countErr()
+		http.Error(rw, fmt.Sprintf("bad job %d: %v", id, err), http.StatusBadRequest)
+		return
+	}
+
+	ctx := r.Context()
+	select {
+	case w.sem <- struct{}{}:
+	case <-ctx.Done():
+		w.writeError(rw, id, fmt.Sprintf("queued job cancelled: %v", ctx.Err()))
+		return
+	}
+	defer func() { <-w.sem }()
+
+	if w.jobs != nil {
+		w.jobs.Inc()
+		w.busy.Add(1)
+		defer w.busy.Add(-1)
+		defer w.seconds.Start()()
+	}
+	sol, err := p.Solve(sgp.SolveOptions{
+		Mode: params.Mode,
+		AL:   params.AL,
+		Stop: func() bool { return ctx.Err() != nil },
+	})
+	if err != nil {
+		w.countErr()
+		w.writeError(rw, id, err.Error())
+		return
+	}
+	// A stopped solve means the client abandoned this request mid-solve;
+	// its best-so-far iterate must not reach the merge (a hedge replica or
+	// retry will deliver the converged answer), so report it as an error.
+	if sol.Stopped {
+		w.writeError(rw, id, "solve stopped before convergence")
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = rw.Write(EncodeResult(id, sol))
+}
+
+// writeError replies with a framed, checksummed error record (HTTP 200:
+// the transport worked; the job failed).
+func (w *Worker) writeError(rw http.ResponseWriter, id uint64, msg string) {
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = rw.Write(EncodeError(id, msg))
+}
+
+func (w *Worker) countErr() {
+	if w.errs != nil {
+		w.errs.Inc()
+	}
+}
