@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush bench-farm farm-smoke metrics-smoke overload-smoke drain-smoke experiments clean
+.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush bench-farm bench-cluster farm-smoke cluster-smoke metrics-smoke overload-smoke drain-smoke experiments clean
 
 all: vet test
 
@@ -52,6 +52,22 @@ bench-farm:
 farm-smoke:
 	$(GO) test ./internal/solvefarm/
 	$(GO) test -v -run 'TestFarmEndToEnd' ./cmd/kgsolved/
+
+# Sharded-serving smoke (DESIGN.md §14): the in-process cluster suite —
+# router merge bit-identical to a single-process oracle for N ∈ {1,2,4},
+# partial degradation, replica convergence, misroute rejection — then
+# the process-level test: 3 shard writers + 1 replica + router, SIGKILL
+# one writer under load, assert partial answers, restart it, and assert
+# WAL recovery and rejoin.
+cluster-smoke:
+	$(GO) test ./internal/shard/
+	$(GO) test -v -run 'TestClusterEndToEnd' ./cmd/kgrouter/
+
+# Sharded-serving benchmark: single-process vs routed vs replica-fanned
+# ask throughput, merge-determinism and degradation checks included.
+# Appends the run (with go/host provenance) to BENCH_serve.json.
+bench-cluster:
+	$(GO) run ./cmd/benchserve -cluster 3 -cluster-replicas 1 -out BENCH_serve.json
 
 # Boot the real daemon, drive traffic, and validate GET /metrics against
 # the strict exposition checker (internal/telemetry/parse.go).

@@ -41,6 +41,38 @@ type StatsBody struct {
 	Draining       bool            `json:"draining,omitempty"`
 	Admission      *AdmissionStats `json:"admission,omitempty"`
 	Durability     *durable.Stats  `json:"durability,omitempty"`
+	Shard          *ShardStats     `json:"shard,omitempty"`
+	Replica        *ReplicaStats   `json:"replica,omitempty"`
+}
+
+// ShardStats is the sharded-serving section of /v1/stats, present when
+// the process runs as one shard of a partitioned cluster.
+type ShardStats struct {
+	// Index/Shards locate this process in the cluster.
+	Index  int `json:"index"`
+	Shards int `json:"shards"`
+	// OwnedDocs is how many documents this shard serves and accepts
+	// votes for.
+	OwnedDocs int `json:"owned_docs"`
+	// MapChecksum fingerprints the loaded shard map (hex CRC-32C);
+	// processes disagreeing here are running split-brain.
+	MapChecksum string `json:"map_checksum"`
+	// RemoteApplied counts peer weight sets applied via POST /v1/weights.
+	RemoteApplied int64 `json:"remote_applied"`
+	// RemoteSeqs is the last applied replication sequence per source
+	// shard.
+	RemoteSeqs map[uint32]uint64 `json:"remote_seqs,omitempty"`
+}
+
+// ReplicaStats is the read-replica section of /v1/stats, present when
+// the process runs with -replica, reported by the snapshot follower.
+type ReplicaStats struct {
+	// Following is the writer base URL this replica polls.
+	Following string `json:"following"`
+	// Epoch is the writer epoch of the last imported snapshot.
+	Epoch uint64 `json:"epoch"`
+	// Syncs counts imported snapshots since boot.
+	Syncs int64 `json:"syncs"`
 }
 
 // AdmissionStats reports the admission controller's counters.
@@ -77,7 +109,37 @@ type AskResponse struct {
 	Query   QueryHandle `json:"query"`
 	Epoch   uint64      `json:"epoch"`
 	Results []AskResult `json:"results"`
-	Trace   *TraceBody  `json:"trace,omitempty"`
+	// Entities are the resolved question entities the ranking was seeded
+	// with. The router stores them with its handle so a later /v1/vote
+	// can be forwarded to the owning shard even when that shard never saw
+	// the ask.
+	Entities map[string]int `json:"entities,omitempty"`
+	// Partial is set by the router when one or more shards failed to
+	// answer within the deadline: the results cover only the answering
+	// shards' documents. Mirrored in the X-KG-Shards-Answered header.
+	Partial bool `json:"partial,omitempty"`
+	// ShardsAnswered/ShardsTotal detail the fan-out behind a routed
+	// response (router only).
+	ShardsAnswered int        `json:"shards_answered,omitempty"`
+	ShardsTotal    int        `json:"shards_total,omitempty"`
+	Trace          *TraceBody `json:"trace,omitempty"`
+}
+
+// AskBatchRequest is the POST /v1/askbatch request body: a read-only
+// batch ranking. Batch results carry no vote handles; use /v1/ask when a
+// follow-up vote is expected.
+type AskBatchRequest struct {
+	Questions []AskRequest `json:"questions"`
+}
+
+// AskBatchResponse is positional: Results[i] ranks Questions[i].
+type AskBatchResponse struct {
+	Epoch   uint64        `json:"epoch"`
+	Results [][]AskResult `json:"results"`
+	// Partial/ShardsAnswered/ShardsTotal mirror AskResponse (router only).
+	Partial        bool `json:"partial,omitempty"`
+	ShardsAnswered int  `json:"shards_answered,omitempty"`
+	ShardsTotal    int  `json:"shards_total,omitempty"`
 }
 
 // TraceBody is the inline per-stage timing report of one /v1/ask?trace=1
@@ -96,6 +158,12 @@ type VoteRequest struct {
 	Ranked  []int       `json:"ranked"` // document IDs in served order
 	BestDoc int         `json:"best_doc"`
 	Weight  float64     `json:"weight,omitempty"`
+	// Entities, when present, let the server materialize the query node
+	// directly when Query is graph.None or names an expired/foreign
+	// handle. The router always forwards votes with the entities of the
+	// original ask, so a vote lands on the owning shard even though that
+	// shard may never have served the ask.
+	Entities map[string]int `json:"entities,omitempty"`
 }
 
 // VoteResponse reports what happened to the vote. In asynchronous-flush
@@ -135,4 +203,82 @@ type CheckpointResponse struct {
 	Checkpoints int    `json:"checkpoints"`
 	WalSeq      uint64 `json:"wal_seq"`
 	WalSegments int    `json:"wal_segments"`
+}
+
+// WeightEdge is one absolute edge weight on the wire (replication push).
+// The weight is a float64 whose JSON round-trips bit-exactly (Go emits
+// the shortest representation that parses back to the same bits).
+type WeightEdge struct {
+	From   int32   `json:"from"`
+	To     int32   `json:"to"`
+	Weight float64 `json:"w"`
+}
+
+// WeightEdgesFromCore converts an applied weight set to wire form.
+func WeightEdgesFromCore(ws []core.WeightChange) []WeightEdge {
+	out := make([]WeightEdge, len(ws))
+	for i, wc := range ws {
+		out[i] = WeightEdge{From: int32(wc.From), To: int32(wc.To), Weight: wc.Weight}
+	}
+	return out
+}
+
+// WeightEdgesToCore converts wire edges back to core form.
+func WeightEdgesToCore(ws []WeightEdge) []core.WeightChange {
+	out := make([]core.WeightChange, len(ws))
+	for i, we := range ws {
+		out[i] = core.WeightChange{From: graph.NodeID(we.From), To: graph.NodeID(we.To), Weight: we.Weight}
+	}
+	return out
+}
+
+// WeightPushRequest is the POST /v1/weights body: one shard replicating
+// an applied absolute weight set to a peer. Seq is a per-source
+// monotonic sequence; the receiver applies Seq == last+1, answers
+// already-applied sequences idempotently, and rejects gaps with a 409
+// weights_gap envelope — the source then re-sends a Full export, which
+// supersedes every missed delta because the weights are absolute.
+type WeightPushRequest struct {
+	Source int          `json:"source"`
+	Seq    uint64       `json:"seq"`
+	Full   bool         `json:"full,omitempty"`
+	Set    []WeightEdge `json:"set"`
+}
+
+// WeightPushResponse acknowledges an applied (or skipped) push.
+type WeightPushResponse struct {
+	Applied int    `json:"applied"` // edges written (0 = stale duplicate)
+	Seq     uint64 `json:"seq"`     // receiver's sequence for the source after this call
+}
+
+// RouterShard is one shard's view in the router's GET /v1/stats.
+type RouterShard struct {
+	Index   int        `json:"index"`
+	Addr    string     `json:"addr"`
+	Replica bool       `json:"replica,omitempty"`
+	Healthy bool       `json:"healthy"`
+	Stats   *StatsBody `json:"stats,omitempty"` // absent when unreachable
+}
+
+// RouterStats is the router's GET /v1/stats response: the cluster map
+// plus each endpoint's own stats.
+type RouterStats struct {
+	Shards        int           `json:"shards"`
+	ShardsHealthy int           `json:"shards_healthy"` // shards with >= 1 healthy endpoint
+	MapChecksum   string        `json:"map_checksum"`
+	Endpoints     []RouterShard `json:"endpoints"`
+}
+
+// ShardFlush is one shard's outcome in a routed POST /v1/flush.
+type ShardFlush struct {
+	Index   int    `json:"index"`
+	Pending int    `json:"pending"`
+	Flushed bool   `json:"flushed"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ClusterFlushResponse is the router's POST /v1/flush response: the
+// flush fanned out to every shard writer.
+type ClusterFlushResponse struct {
+	Shards []ShardFlush `json:"shards"`
 }

@@ -139,9 +139,33 @@ func (c *Client) Vote(ctx context.Context, req api.VoteRequest) (*api.VoteRespon
 	return &resp, nil
 }
 
+// RetryError is returned by VoteRetry when the caller's context ends the
+// retry loop. It carries both halves of the story: the context error
+// (errors.Is(err, context.DeadlineExceeded) works) and the last shed
+// envelope the server answered with, retry hint included.
+type RetryError struct {
+	// Last is the final *api.Error the server shed the vote with.
+	Last *api.Error
+	// Err is the context error that ended the loop.
+	Err error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("client: vote retry abandoned (%v): last shed %s with retry_after_ms=%d",
+		e.Err, e.Last.Code, e.Last.RetryAfterMS)
+}
+
+// Unwrap exposes both the context error and the shed envelope to
+// errors.Is / errors.As.
+func (e *RetryError) Unwrap() []error { return []error{e.Err, e.Last} }
+
 // VoteRetry submits a vote, retrying sheds (429/503 with a temporary
 // code) after the server's Retry-After hint until ctx expires. It is the
 // canonical loop a well-behaved client runs against an overloaded server.
+//
+// Waits never outlive the caller's deadline: when the server's hint
+// reaches past it, VoteRetry returns a *RetryError immediately instead of
+// idling out the remaining budget on a retry that could never be sent.
 func (c *Client) VoteRetry(ctx context.Context, req api.VoteRequest) (*api.VoteResponse, error) {
 	for {
 		resp, err := c.Vote(ctx, req)
@@ -153,12 +177,24 @@ func (c *Client) VoteRetry(ctx context.Context, req api.VoteRequest) (*api.VoteR
 		if wait <= 0 {
 			wait = 100 * time.Millisecond
 		}
+		if deadline, ok := ctx.Deadline(); ok && wait > time.Until(deadline) {
+			return nil, &RetryError{Last: apiErr, Err: context.DeadlineExceeded}
+		}
 		select {
 		case <-ctx.Done():
-			return nil, err // the last shed, more useful than ctx.Err alone
+			return nil, &RetryError{Last: apiErr, Err: ctx.Err()}
 		case <-time.After(wait):
 		}
 	}
+}
+
+// AskBatch ranks several questions in one round trip (POST /v1/askbatch).
+func (c *Client) AskBatch(ctx context.Context, req api.AskBatchRequest) (*api.AskBatchResponse, error) {
+	var resp api.AskBatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/askbatch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Explain decomposes a ranked score into its graph walks.

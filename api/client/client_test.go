@@ -1,0 +1,220 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kgvote/api"
+)
+
+// TestErrorEnvelopeDecoding drives Vote against canned error responses
+// and checks the decoded *api.Error: code, status, retry hint, and the
+// synthesized envelope for non-envelope bodies.
+func TestErrorEnvelopeDecoding(t *testing.T) {
+	cases := []struct {
+		name       string
+		status     int
+		body       string
+		retryAfter string // Retry-After header, optional
+
+		wantCode      string
+		wantRetryMS   int64
+		wantTemporary bool
+	}{
+		{
+			name:   "429 queue_full with retry_after_ms",
+			status: http.StatusTooManyRequests,
+			body:   `{"error":{"code":"queue_full","message":"queue at capacity","retry_after_ms":250}}`,
+
+			wantCode:      api.CodeQueueFull,
+			wantRetryMS:   250,
+			wantTemporary: true,
+		},
+		{
+			name:   "429 rate_limited without retry hint",
+			status: http.StatusTooManyRequests,
+			body:   `{"error":{"code":"rate_limited","message":"token bucket empty"}}`,
+
+			wantCode:      api.CodeRateLimited,
+			wantRetryMS:   0,
+			wantTemporary: true,
+		},
+		{
+			name:   "503 draining",
+			status: http.StatusServiceUnavailable,
+			body:   `{"error":{"code":"draining","message":"shutting down","retry_after_ms":1000}}`,
+
+			wantCode:      api.CodeDraining,
+			wantRetryMS:   1000,
+			wantTemporary: true,
+		},
+		{
+			name:   "421 misrouted is not temporary",
+			status: http.StatusMisdirectedRequest,
+			body:   `{"error":{"code":"misrouted","message":"document 7 is owned by shard 2"}}`,
+
+			wantCode:      api.CodeMisrouted,
+			wantTemporary: false,
+		},
+		{
+			name:   "malformed envelope is synthesized as internal",
+			status: http.StatusBadGateway,
+			body:   `<html>upstream exploded</html>`,
+
+			wantCode:      api.CodeInternal,
+			wantTemporary: false,
+		},
+		{
+			name:   "empty body is synthesized as internal",
+			status: http.StatusInternalServerError,
+			body:   "",
+
+			wantCode:      api.CodeInternal,
+			wantTemporary: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if tc.retryAfter != "" {
+					w.Header().Set("Retry-After", tc.retryAfter)
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(tc.status)
+				w.Write([]byte(tc.body))
+			}))
+			defer ts.Close()
+
+			_, err := New(ts.URL).Vote(context.Background(), api.VoteRequest{Query: 1, Ranked: []int{0, 1}, BestDoc: 1})
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			var apiErr *api.Error
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("error is %T, want *api.Error: %v", err, err)
+			}
+			if apiErr.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", apiErr.Code, tc.wantCode)
+			}
+			if apiErr.HTTPStatus != tc.status {
+				t.Errorf("http status = %d, want %d", apiErr.HTTPStatus, tc.status)
+			}
+			if apiErr.RetryAfterMS != tc.wantRetryMS {
+				t.Errorf("retry_after_ms = %d, want %d", apiErr.RetryAfterMS, tc.wantRetryMS)
+			}
+			if apiErr.Temporary() != tc.wantTemporary {
+				t.Errorf("Temporary() = %v, want %v", apiErr.Temporary(), tc.wantTemporary)
+			}
+		})
+	}
+}
+
+// TestVoteRetryHonorsRetryAfter checks the happy retry path: a shed
+// followed by an accept, with the wait taken from the envelope hint.
+func TestVoteRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"queue_full","message":"full","retry_after_ms":10}}`))
+			return
+		}
+		w.Write([]byte(`{"query":1,"pending":1,"flushed":false}`))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := New(ts.URL).VoteRetry(ctx, api.VoteRequest{Query: 1, Ranked: []int{0, 1}, BestDoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Pending != 1 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestVoteRetryCapsWaitAtDeadline: when the server's retry hint reaches
+// past the caller's deadline, VoteRetry must return immediately — not
+// idle out the remaining budget — with an error that satisfies both
+// errors.Is(err, context.DeadlineExceeded) and errors.As(&api.Error),
+// and that surfaces the hint in its message.
+func TestVoteRetryCapsWaitAtDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"queue_full","message":"full","retry_after_ms":60000}}`))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New(ts.URL).VoteRetry(ctx, api.VoteRequest{Query: 1, Ranked: []int{0, 1}, BestDoc: 1})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("VoteRetry idled %v before giving up; a 60s hint against a 300ms budget must return immediately", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(err, context.DeadlineExceeded) = false: %v", err)
+	}
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeQueueFull {
+		t.Fatalf("last shed envelope not exposed via errors.As: %v", err)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) || re.Last.RetryAfterMS != 60000 {
+		t.Fatalf("RetryError.Last missing the retry hint: %v", err)
+	}
+}
+
+// TestVoteRetryStopsOnCancel: a cancelled context ends the loop with the
+// context error, even while a wait is in progress.
+func TestVoteRetryStopsOnCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"queue_full","message":"full","retry_after_ms":50}}`))
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := New(ts.URL).VoteRetry(ctx, api.VoteRequest{Query: 1, Ranked: []int{0, 1}, BestDoc: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false: %v", err)
+	}
+}
+
+// TestVoteRetryPassesThroughPermanentErrors: non-temporary codes return
+// on the first attempt, no retries.
+func TestVoteRetryPassesThroughPermanentErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"error":{"code":"unprocessable","message":"unknown entities"}}`))
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).VoteRetry(context.Background(), api.VoteRequest{Query: 1, Ranked: []int{0, 1}, BestDoc: 1})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnprocessable {
+		t.Fatalf("err = %v, want unprocessable", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries of permanent errors)", got)
+	}
+}

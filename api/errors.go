@@ -31,6 +31,15 @@ const (
 	// CodeNotImplemented: the endpoint needs a configuration the daemon
 	// is running without (501).
 	CodeNotImplemented = "not_implemented"
+	// CodeReadOnly: the process is a read replica; writes go to its
+	// writer (501).
+	CodeReadOnly = "read_only"
+	// CodeMisrouted: the request names a document this shard does not
+	// own; re-resolve the owner from the shard map (421).
+	CodeMisrouted = "misrouted"
+	// CodeWeightsGap: a replication push skipped a sequence; the source
+	// must re-send a full export (409).
+	CodeWeightsGap = "weights_gap"
 	// CodeInternal: invariant violation; restart may be required (500).
 	CodeInternal = "internal"
 )

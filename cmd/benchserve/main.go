@@ -55,6 +55,9 @@ func main() {
 		overloadCap   = flag.Int("overload-cap", 8, "overload-mode admission queue capacity")
 		overloadFlood = flag.Int("overload-flood", 0, "overload-mode total vote attempts (0 = 25× capacity)")
 		overloadOut   = flag.String("overload-out", "BENCH_overload.json", "overload-mode JSON history file to append to (empty = skip)")
+
+		clusterShards   = flag.Int("cluster", 0, "run the sharded-serving benchmark instead, over this many shard writers (0 disables; exit 1 on determinism/degradation violation)")
+		clusterReplicas = flag.Int("cluster-replicas", 1, "cluster mode: read replicas per shard")
 	)
 	flag.Parse()
 	var err error
@@ -65,6 +68,8 @@ func main() {
 		err = overloadMain(*docs, *overloadCap, *overloadFlood, *workers, *seed, *overloadOut)
 	case *flushMode:
 		err = flushMain(*flushDocs, *flushVotes, *workers, *farmWorkers, *rounds, *seed, *flushOut)
+	case *clusterShards > 0:
+		err = clusterMain(*docs, *clusterShards, *clusterReplicas, *queries, *seed, *out)
 	default:
 		err = realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal, *withTel)
 	}
@@ -77,8 +82,9 @@ func main() {
 // overloadRun is one timestamped overload-smoke execution in
 // BENCH_overload.json (same {"runs":[...]} schema as the other files).
 type overloadRun struct {
-	Time     string                 `json:"time"`
-	Overload harness.OverloadResult `json:"overload"`
+	Time               string                 `json:"time"`
+	harness.Provenance                        // go_version, gomaxprocs, num_cpu
+	Overload           harness.OverloadResult `json:"overload"`
 }
 
 type overloadHistory struct {
@@ -109,7 +115,7 @@ func overloadMain(docs, capacity, flood, workers int, seed int64, out string) er
 			}
 		}
 		hist.Runs = append(hist.Runs, overloadRun{
-			Time: time.Now().UTC().Format(time.RFC3339), Overload: res,
+			Time: time.Now().UTC().Format(time.RFC3339), Provenance: harness.CollectProvenance(), Overload: res,
 		})
 		nb, err := json.MarshalIndent(hist, "", "  ")
 		if err != nil {
@@ -126,9 +132,10 @@ func overloadMain(docs, capacity, flood, workers int, seed int64, out string) er
 // flushRun is one timestamped flush-benchmark execution in
 // BENCH_flush.json (same {"runs":[...]} schema as BENCH_serve.json).
 type flushRun struct {
-	Time  string              `json:"time"`
-	Flush harness.FlushResult `json:"flush"`
-	Farm  *harness.FarmResult `json:"farm,omitempty"`
+	Time               string              `json:"time"`
+	harness.Provenance                     // go_version, gomaxprocs, num_cpu
+	Flush              harness.FlushResult `json:"flush"`
+	Farm               *harness.FarmResult `json:"farm,omitempty"`
 }
 
 type flushHistory struct {
@@ -170,7 +177,7 @@ func flushMain(docs, votes, workers, farmWorkers, rounds int, seed int64, out st
 		}
 	}
 	hist.Runs = append(hist.Runs, flushRun{
-		Time: time.Now().UTC().Format(time.RFC3339), Flush: res, Farm: farm,
+		Time: time.Now().UTC().Format(time.RFC3339), Provenance: harness.CollectProvenance(), Flush: res, Farm: farm,
 	})
 	nb, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
@@ -184,11 +191,14 @@ func flushMain(docs, votes, workers, farmWorkers, rounds int, seed int64, out st
 }
 
 // benchRun is one timestamped benchmark execution in the history file.
+// Serve is zero-valued (and omitted) for cluster-mode runs.
 type benchRun struct {
-	Time      string                   `json:"time"`
-	Serve     harness.ServeResult      `json:"serve"`
-	Wal       *harness.WalResult       `json:"wal,omitempty"`
-	Telemetry *harness.TelemetryResult `json:"telemetry,omitempty"`
+	Time               string                   `json:"time"`
+	harness.Provenance                          // go_version, gomaxprocs, num_cpu
+	Serve              *harness.ServeResult     `json:"serve,omitempty"`
+	Wal                *harness.WalResult       `json:"wal,omitempty"`
+	Telemetry          *harness.TelemetryResult `json:"telemetry,omitempty"`
+	Cluster            *harness.ClusterResult   `json:"cluster,omitempty"`
 }
 
 // benchHistory is the on-disk shape of BENCH_serve.json: every run ever
@@ -205,7 +215,7 @@ func realMain(docs, queries, workers, votes int, seed int64, out string, withWal
 		return err
 	}
 	fmt.Println(res)
-	run := benchRun{Time: time.Now().UTC().Format(time.RFC3339), Serve: res}
+	run := benchRun{Time: time.Now().UTC().Format(time.RFC3339), Provenance: harness.CollectProvenance(), Serve: &res}
 	if withWal {
 		wres, err := harness.WalBench(harness.WalBenchConfig{Docs: docs / 2, Votes: votes, Seed: seed})
 		if err != nil {
@@ -243,6 +253,40 @@ func realMain(docs, queries, workers, votes int, seed int64, out string, withWal
 	return nil
 }
 
+// clusterMain runs the sharded-serving benchmark (DESIGN.md §14) and
+// appends the run to the serve history file. Like the overload smoke,
+// correctness violations (merge determinism, partial degradation) fail
+// the process after the run is recorded.
+func clusterMain(docs, shards, replicas, queries int, seed int64, out string) error {
+	res, err := harness.ClusterBench(harness.ClusterConfig{
+		Docs: docs, Shards: shards, Replicas: replicas, Queries: queries, Seed: seed,
+	})
+	if err != nil && res.Err() == nil {
+		return err
+	}
+	fmt.Println(res)
+	if out != "" {
+		hist, herr := loadHistory(out)
+		if herr != nil {
+			return herr
+		}
+		hist.Runs = append(hist.Runs, benchRun{
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			Provenance: harness.CollectProvenance(),
+			Cluster:    &res,
+		})
+		b, herr := json.MarshalIndent(hist, "", "  ")
+		if herr != nil {
+			return herr
+		}
+		if herr := os.WriteFile(out, append(b, '\n'), 0o644); herr != nil {
+			return herr
+		}
+		fmt.Printf("appended run %d to %s\n", len(hist.Runs), out)
+	}
+	return res.Err()
+}
+
 // loadHistory reads the existing history file. A file written before the
 // history format — a single bare ServeResult object — is converted into a
 // one-run history so no measurements are lost.
@@ -266,7 +310,7 @@ func loadHistory(path string) (benchHistory, error) {
 		if err := json.Unmarshal(b, &legacy); err != nil {
 			return hist, fmt.Errorf("unreadable legacy result %s: %w", path, err)
 		}
-		hist.Runs = append(hist.Runs, benchRun{Serve: legacy})
+		hist.Runs = append(hist.Runs, benchRun{Serve: &legacy})
 		return hist, nil
 	}
 	if err := json.Unmarshal(b, &hist); err != nil {

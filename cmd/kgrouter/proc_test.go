@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// managedProc wraps a child process for the e2e test: captured combined
+// log, idempotent stop, and an exit probe for the health-wait loop.
+type managedProc struct {
+	cmd *exec.Cmd
+	buf *lockedBuffer
+
+	mu   sync.Mutex
+	done bool
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func execCommand(name string, args ...string) ([]byte, error) {
+	return exec.Command(name, args...).CombinedOutput()
+}
+
+func launch(bin string, args []string) (*managedProc, error) {
+	cmd := exec.Command(bin, args...)
+	buf := &lockedBuffer{}
+	cmd.Stdout = buf
+	cmd.Stderr = buf
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &managedProc{cmd: cmd, buf: buf}
+	go func() {
+		cmd.Wait()
+		p.mu.Lock()
+		p.done = true
+		p.mu.Unlock()
+	}()
+	return p, nil
+}
+
+func (p *managedProc) exited() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+func (p *managedProc) log() string { return p.buf.String() }
+
+// kill SIGKILLs the process and waits for it to be reaped.
+func (p *managedProc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	for !p.exited() {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// stop is the cleanup hook: kill if still running.
+func (p *managedProc) stop() {
+	p.mu.Lock()
+	done := p.done
+	p.mu.Unlock()
+	if !done && p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"kgvote/internal/durable"
 	"kgvote/internal/qa"
 	"kgvote/internal/server"
+	"kgvote/internal/shard"
 	"kgvote/internal/solvefarm"
 	"kgvote/internal/synth"
 	"kgvote/internal/telemetry"
@@ -75,6 +76,14 @@ type config struct {
 	flushTimeout time.Duration
 	drainTimeout time.Duration
 
+	shardMap    string
+	shardIndex  int
+	shardInit   int
+	peers       string
+	replica     bool
+	follow      string
+	followEvery time.Duration
+
 	metrics bool
 	slowMS  int
 }
@@ -102,6 +111,13 @@ func main() {
 	flag.BoolVar(&cfg.asyncFlush, "async-flush", false, "solve batches on a background scheduler instead of inline on the filling vote")
 	flag.DurationVar(&cfg.flushTimeout, "flush-timeout", 10*time.Second, "deadline per background flush solve; on expiry the best-so-far weights apply (0 = unbounded)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown budget: in-flight requests, the final flush, and the shutdown checkpoint must finish within this")
+	flag.StringVar(&cfg.shardMap, "shard-map", "", "shard map file: run as one shard of a partitioned cluster (DESIGN.md §14)")
+	flag.IntVar(&cfg.shardIndex, "shard-index", 0, "this process's shard index within -shard-map")
+	flag.IntVar(&cfg.shardInit, "shard-init", 0, "create -shard-map for N shards if the file does not exist (seeded by -seed; all processes must agree)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated peer shard writer base URLs: replicate each flush's weight set to them")
+	flag.BoolVar(&cfg.replica, "replica", false, "run as a read-only snapshot replica of -follow (requires -shard-map; excludes -data-dir, -state, -peers)")
+	flag.StringVar(&cfg.follow, "follow", "", "writer base URL this replica polls for snapshots")
+	flag.DurationVar(&cfg.followEvery, "follow-every", 500*time.Millisecond, "replica snapshot poll interval")
 	flag.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus metrics at GET /metrics and profiling at /debug/pprof/")
 	flag.IntVar(&cfg.slowMS, "slow-ms", 1000, "log requests slower than this many milliseconds, with their stage trace (0 disables)")
 	flag.Parse()
@@ -126,6 +142,46 @@ func serve(cfg config) error {
 	opts := core.Options{K: cfg.k, L: cfg.l, Workers: cfg.workers}
 	if cfg.dataDir != "" && cfg.statePath != "" {
 		return errors.New("-data-dir and -state are mutually exclusive; the data directory owns persistence")
+	}
+	if cfg.replica {
+		if cfg.follow == "" {
+			return errors.New("-replica requires -follow (the writer to poll snapshots from)")
+		}
+		if cfg.shardMap == "" {
+			return errors.New("-replica requires -shard-map (the replica serves its writer's document slice)")
+		}
+		if cfg.dataDir != "" || cfg.statePath != "" || cfg.peers != "" {
+			return errors.New("-replica state is ephemeral (re-synced from the writer); it excludes -data-dir, -state, and -peers")
+		}
+	}
+	if cfg.peers != "" && cfg.shardMap == "" {
+		return errors.New("-peers requires -shard-map")
+	}
+
+	var smap *shard.Map
+	if cfg.shardMap != "" {
+		var err error
+		if cfg.shardInit > 0 {
+			if _, serr := os.Stat(cfg.shardMap); errors.Is(serr, os.ErrNotExist) {
+				m, merr := shard.NewMap(cfg.shardInit, uint64(cfg.seed))
+				if merr != nil {
+					return merr
+				}
+				// Concurrent creators race benignly: the file content is
+				// deterministic in (N, seed) and the write is atomic.
+				if werr := m.WriteFile(cfg.shardMap); werr != nil {
+					return werr
+				}
+				log.Printf("kgvoted: wrote shard map %s (%d shards, seed %d)", cfg.shardMap, cfg.shardInit, cfg.seed)
+			}
+		}
+		smap, err = shard.LoadFile(cfg.shardMap)
+		if err != nil {
+			return err
+		}
+		if cfg.shardIndex < 0 || cfg.shardIndex >= smap.Shards {
+			return fmt.Errorf("-shard-index %d out of range for %d shards", cfg.shardIndex, smap.Shards)
+		}
 	}
 
 	var reg *telemetry.Registry
@@ -186,7 +242,31 @@ func serve(cfg config) error {
 		sys.Engine.SetClusterSolver(disp)
 		log.Printf("kgvoted: dispatching cluster solves to %d workers (%s)", len(addrs), strings.Join(addrs, ", "))
 	}
-	srv, err := server.NewWithOptions(sys, server.Options{
+	// The pusher needs the server's export hook and the server needs the
+	// pusher's publish hook; break the cycle with a late-bound srv.
+	var srv *server.Server
+	var shardCfg *server.ShardConfig
+	if smap != nil {
+		shardCfg = &server.ShardConfig{Map: smap, Index: cfg.shardIndex}
+		if !cfg.replica && cfg.peers != "" {
+			peers := splitAddrs(cfg.peers)
+			for i, p := range peers {
+				peers[i] = normalizeURL(p)
+			}
+			pusher, err := shard.NewPusher(shard.PusherOptions{
+				Source: cfg.shardIndex,
+				Peers:  peers,
+				Export: func() ([]core.WeightChange, uint64) { return srv.ExportReplicated() },
+			})
+			if err != nil {
+				return err
+			}
+			defer pusher.Close()
+			shardCfg.OnFlush = pusher.Publish
+			log.Printf("kgvoted: shard %d/%d replicating flushes to %s", cfg.shardIndex, smap.Shards, strings.Join(peers, ", "))
+		}
+	}
+	srv, err = server.NewWithOptions(sys, server.Options{
 		BatchSize:       cfg.batch,
 		Solver:          solver,
 		Durable:         mgr,
@@ -202,9 +282,24 @@ func serve(cfg config) error {
 		Telemetry:     reg,
 		SlowThreshold: time.Duration(cfg.slowMS) * time.Millisecond,
 		Pprof:         cfg.metrics,
+		ReadOnly:      cfg.replica,
+		Shard:         shardCfg,
 	})
 	if err != nil {
 		return err
+	}
+	if cfg.replica {
+		follower, err := shard.NewFollower(shard.FollowerOptions{
+			Writer: normalizeURL(cfg.follow),
+			Every:  cfg.followEvery,
+			Apply:  srv.ImportSnapshot,
+			OnSync: srv.ReportReplica,
+		})
+		if err != nil {
+			return err
+		}
+		defer follower.Close()
+		log.Printf("kgvoted: replica of %s (shard %d/%d), polling every %s", cfg.follow, cfg.shardIndex, smap.Shards, cfg.followEvery)
 	}
 	log.Printf("kgvoted: %d documents, %d entities, %d edges; batch=%d solver=%s; listening on %s",
 		len(sys.Corpus.Docs), sys.Aug.Entities, sys.Aug.NumEdges(), cfg.batch, cfg.solverName, cfg.addr)
@@ -249,6 +344,14 @@ func serve(cfg config) error {
 		log.Printf("kgvoted: state saved to %s", cfg.statePath)
 	}
 	return nil
+}
+
+// normalizeURL defaults a scheme-less address to http://.
+func normalizeURL(s string) string {
+	if !strings.Contains(s, "://") {
+		return "http://" + s
+	}
+	return strings.TrimRight(s, "/")
 }
 
 // splitAddrs parses the -solvers list, tolerating spaces and empty items.

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"kgvote/internal/graph"
+)
+
+// This file is the engine's replication surface (DESIGN.md §14): a shard
+// writer exports the corpus-stable region of its serving snapshot as an
+// absolute weight set, and peers or read replicas import such a set
+// solver-free. Node IDs below the boundary — entities plus build-time
+// answer nodes — are identical in every process built from the same
+// corpus, while query nodes (attached at runtime, above the boundary)
+// diverge and must never travel.
+
+// ExportWeights returns every edge of the snapshot whose endpoints are
+// both below boundary, as absolute weights in deterministic CSR row
+// order. It is the full-sync payload of GET /v1/snapshot and of a
+// replication gap repair: because WeightChange carries final absolute
+// values, importing the export supersedes any number of missed deltas.
+func (s *GraphSnapshot) ExportWeights(boundary graph.NodeID) []WeightChange {
+	n := s.csr.NumNodes()
+	if int(boundary) > n {
+		boundary = graph.NodeID(n)
+	}
+	var out []WeightChange
+	for from := graph.NodeID(0); from < boundary; from++ {
+		cols, wts := s.csr.Row(from)
+		for i, to := range cols {
+			if to < boundary {
+				out = append(out, WeightChange{From: from, To: to, Weight: wts[i]})
+			}
+		}
+	}
+	return out
+}
+
+// ImportWeightSet writes an absolute weight set into the graph — no
+// solving, no normalization — and republishes the serving snapshot at
+// exactly the given epoch instead of the next local one. It is the
+// replica's apply path: a follower that imports its writer's exported
+// snapshot serves the writer's scores under the writer's epoch, so
+// clients (and the router's hedged reads) can compare freshness across
+// the pair. Epochs must not go backwards — a stale import is rejected so
+// a reordered poll can never roll the replica back; re-importing the
+// current epoch is allowed (absolute weights make it idempotent).
+func (e *Engine) ImportWeightSet(ws []WeightChange, epoch uint64) error {
+	if epoch == 0 {
+		return fmt.Errorf("core: import weight set: epoch 0 is invalid (epochs start at 1)")
+	}
+	if cur := e.Serving().Epoch(); epoch < cur {
+		return fmt.Errorf("core: import weight set: epoch %d is behind serving epoch %d", epoch, cur)
+	}
+	for _, wc := range ws {
+		if err := e.g.SetWeight(wc.From, wc.To, wc.Weight); err != nil {
+			return fmt.Errorf("core: import weight set: %w", err)
+		}
+	}
+	e.epoch = epoch - 1
+	return e.publish()
+}

@@ -19,6 +19,7 @@ func FuzzDecodeRecords(f *testing.F) {
 	f.Add(EncodeAttach(Attach{Node: 7, Question: qa.Question{ID: 4, Entities: map[string]int{"email": 2, "send": 1}}}))
 	f.Add(EncodeWeights([]core.WeightChange{{From: 0, To: 1, Weight: 0.25}, {From: 1, To: 2, Weight: 1}}))
 	f.Add(EncodeCheckpoint(123456))
+	f.Add(EncodeRemote(Remote{Source: 3, Seq: 17, Set: []core.WeightChange{{From: 1, To: 4, Weight: 0.5}}}))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // huge uvarint counts
 	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x80})
 
@@ -43,6 +44,11 @@ func FuzzDecodeRecords(f *testing.F) {
 		if seq, err := DecodeCheckpoint(data); err == nil {
 			if got := EncodeCheckpoint(seq); !reflect.DeepEqual(got, data) {
 				t.Errorf("checkpoint round trip changed bytes: %x -> %x", data, got)
+			}
+		}
+		if rm, err := DecodeRemote(data); err == nil {
+			if got := EncodeRemote(rm); !reflect.DeepEqual(got, data) {
+				t.Errorf("remote round trip changed bytes: %x -> %x", data, got)
 			}
 		}
 	})

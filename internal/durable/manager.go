@@ -97,6 +97,10 @@ type Recovered struct {
 	Records int
 	// CheckpointSeq is the WAL sequence the loaded checkpoint covered.
 	CheckpointSeq uint64
+	// RemoteSeqs is the last applied replication sequence per source
+	// shard (sharded serving); nil when the process never received a
+	// peer weight set.
+	RemoteSeqs map[uint32]uint64
 }
 
 // Stats is the durability section of /stats.
@@ -118,6 +122,9 @@ type checkpointMeta struct {
 	WalSeq  uint64 `json:"wal_seq"`
 	Votes   int    `json:"votes"`
 	Flushes int    `json:"flushes"`
+	// Remote is the per-source replication sequence table as of the
+	// barrier; RecRemote records past the barrier replay on top of it.
+	Remote map[uint32]uint64 `json:"remote,omitempty"`
 }
 
 // Manager owns a data directory: a segmented WAL plus rolling full-state
@@ -139,6 +146,9 @@ type Manager struct {
 	firstPendingSeq uint64
 	lastCkptSeq     uint64
 	replayed        int
+	// remoteSeqs mirrors the last logged replication sequence per source
+	// shard, persisted into each checkpoint's meta sidecar.
+	remoteSeqs map[uint32]uint64
 
 	checkpoints atomic.Int64
 	failed      atomic.Bool
@@ -263,6 +273,10 @@ func (m *Manager) recoverFrom(seq uint64) (*Recovered, error) {
 	}
 
 	rec := &Recovered{Sys: sys, TotalVotes: meta.Votes, Flushes: meta.Flushes, CheckpointSeq: seq}
+	remoteSeqs := make(map[uint32]uint64, len(meta.Remote))
+	for src, s := range meta.Remote {
+		remoteSeqs[src] = s
+	}
 	var pendingSeqs []uint64
 	sawFlush := false
 	err = m.log.Replay(seq, func(recSeq uint64, typ byte, payload []byte) error {
@@ -338,6 +352,23 @@ func (m *Manager) recoverFrom(seq uint64) (*Recovered, error) {
 				rec.TotalVotes++
 			}
 			return nil
+		case RecRemote:
+			rm, err := DecodeRemote(payload)
+			if err != nil {
+				return fmt.Errorf("seq %d: %w", recSeq, err)
+			}
+			// Absolute values: re-applying a set the checkpoint already
+			// covers is harmless. Remote sets are not batch boundaries, so
+			// pending votes stay pending.
+			if len(rm.Set) > 0 {
+				if err := sys.Engine.ApplyWeightSet(rm.Set); err != nil {
+					return fmt.Errorf("seq %d: %w", recSeq, err)
+				}
+			}
+			if rm.Seq > remoteSeqs[rm.Source] {
+				remoteSeqs[rm.Source] = rm.Seq
+			}
+			return nil
 		case RecCheckpoint:
 			if _, err := DecodeCheckpoint(payload); err != nil {
 				return fmt.Errorf("seq %d: %w", recSeq, err)
@@ -350,11 +381,15 @@ func (m *Manager) recoverFrom(seq uint64) (*Recovered, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(remoteSeqs) > 0 {
+		rec.RemoteSeqs = remoteSeqs
+	}
 	m.mu.Lock()
 	m.pendingCount = len(rec.Pending)
 	if len(pendingSeqs) > 0 {
 		m.firstPendingSeq = pendingSeqs[0]
 	}
+	m.remoteSeqs = remoteSeqs
 	m.mu.Unlock()
 	return rec, nil
 }
@@ -414,6 +449,25 @@ func (m *Manager) LogFlush(applied []core.WeightChange) error {
 	m.mu.Lock()
 	m.pendingCount = 0
 	m.firstPendingSeq = 0
+	m.mu.Unlock()
+	return nil
+}
+
+// LogRemote appends a peer shard's replicated weight set, before it is
+// applied to the engine (WAL-first, like votes). The per-source sequence
+// table it maintains is persisted in each checkpoint's meta sidecar and
+// rebuilt on replay, so the gap detector survives restarts.
+func (m *Manager) LogRemote(rm Remote) error {
+	if err := m.append(RecRemote, EncodeRemote(rm), false); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.remoteSeqs == nil {
+		m.remoteSeqs = make(map[uint32]uint64)
+	}
+	if rm.Seq > m.remoteSeqs[rm.Source] {
+		m.remoteSeqs[rm.Source] = rm.Seq
+	}
 	m.mu.Unlock()
 	return nil
 }
@@ -491,6 +545,13 @@ func (m *Manager) Checkpoint(sys *qa.System, totalVotes, flushes int) error {
 	if m.pendingCount > 0 && m.firstPendingSeq > 0 {
 		barrier = m.firstPendingSeq
 	}
+	var remote map[uint32]uint64
+	if len(m.remoteSeqs) > 0 {
+		remote = make(map[uint32]uint64, len(m.remoteSeqs))
+		for src, s := range m.remoteSeqs {
+			remote[src] = s
+		}
+	}
 	m.mu.Unlock()
 	if votesAtBarrier < 0 {
 		votesAtBarrier = 0
@@ -507,7 +568,7 @@ func (m *Manager) Checkpoint(sys *qa.System, totalVotes, flushes int) error {
 	}); err != nil {
 		return fmt.Errorf("durable: checkpoint state: %w", err)
 	}
-	meta := checkpointMeta{WalSeq: barrier, Votes: votesAtBarrier, Flushes: flushes}
+	meta := checkpointMeta{WalSeq: barrier, Votes: votesAtBarrier, Flushes: flushes, Remote: remote}
 	if err := writeFileAtomic(m.metaPath(barrier), func(f *os.File) error {
 		b, err := json.Marshal(meta)
 		if err != nil {

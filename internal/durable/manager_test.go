@@ -440,6 +440,15 @@ func TestRecordRoundTrips(t *testing.T) {
 	if err != nil || seq != 777 {
 		t.Errorf("checkpoint round trip: %d, %v", seq, err)
 	}
+
+	rm := Remote{Source: 2, Seq: 9, Set: []core.WeightChange{{From: 0, To: 5, Weight: 0.75}}}
+	gotR, err := DecodeRemote(EncodeRemote(rm))
+	if err != nil || !reflect.DeepEqual(gotR, rm) {
+		t.Errorf("remote round trip: %+v, %v", gotR, err)
+	}
+	if gotRE, err := DecodeRemote(EncodeRemote(Remote{Source: 1, Seq: 1})); err != nil || len(gotRE.Set) != 0 {
+		t.Errorf("empty remote round trip: %+v, %v", gotRE, err)
+	}
 }
 
 func TestDecodersRejectTruncation(t *testing.T) {
@@ -461,8 +470,89 @@ func TestDecodersRejectTruncation(t *testing.T) {
 			t.Fatalf("DecodeWeights accepted %d-byte prefix", i)
 		}
 	}
+	r := EncodeRemote(Remote{Source: 1, Seq: 2, Set: []core.WeightChange{{From: 1, To: 2, Weight: 3}}})
+	for i := 0; i < len(r); i++ {
+		if _, err := DecodeRemote(r[:i]); err == nil {
+			t.Fatalf("DecodeRemote accepted %d-byte prefix", i)
+		}
+	}
 	// Trailing garbage is also rejected.
 	if _, err := DecodeVote(append(v, 0)); err == nil {
 		t.Error("DecodeVote accepted trailing bytes")
+	}
+	if _, err := DecodeRemote(append(r, 0)); err == nil {
+		t.Error("DecodeRemote accepted trailing bytes")
+	}
+}
+
+// TestRemoteRecordsSurviveReplay logs a peer's replicated weight set
+// (RecRemote), crashes, and expects replay to re-apply it bit-exactly
+// and rebuild the per-source sequence table — then checkpoints and
+// verifies the table also survives WAL truncation via checkpoint meta.
+func TestRemoteRecordsSurviveReplay(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 1)
+	// Some local traffic first so the remote set lands on a non-pristine
+	// graph, like a real peer push would.
+	h.voteOn(qa.Question{ID: 0, Entities: map[string]int{"email": 1, "send": 1}}, 2)
+
+	boundary := graph.NodeID(h.sys.Aug.Entities + len(h.sys.Answers()))
+	set := h.sys.Engine.Serving().ExportWeights(boundary)
+	if len(set) == 0 {
+		t.Fatal("no replicable edges to push")
+	}
+	set[0].Weight *= 0.5
+	if err := h.mgr.LogRemote(Remote{Source: 2, Seq: 1, Set: set}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.sys.Engine.ApplyWeightSet(set); err != nil {
+		t.Fatal(err)
+	}
+	// An empty set still advances the source's sequence (empty flush).
+	if err := h.mgr.LogRemote(Remote{Source: 2, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := rankings(t, h.sys)
+	h.mgr.Close() // crash: no checkpoint
+
+	mgr2, err := Open(Options{Dir: dir, Fsync: wal.SyncAlways, Engine: engineOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := mgr2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("no recovered state")
+	}
+	if got := rec.RemoteSeqs[2]; got != 2 {
+		t.Fatalf("recovered remote seq for source 2 = %d, want 2 (table: %v)", got, rec.RemoteSeqs)
+	}
+	if got := rankings(t, rec.Sys); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed remote set diverged:\nwant %v\ngot  %v", want, got)
+	}
+	if err := mgr2.Checkpoint(rec.Sys, rec.TotalVotes, rec.Flushes); err != nil {
+		t.Fatal(err)
+	}
+	mgr2.Close()
+
+	mgr3, err := Open(Options{Dir: dir, Fsync: wal.SyncAlways, Engine: engineOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr3.Close()
+	rec3, err := mgr3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec3.RemoteSeqs[2]; got != 2 {
+		t.Fatalf("post-checkpoint remote seq for source 2 = %d, want 2", got)
+	}
+	if got := rankings(t, rec3.Sys); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-checkpoint remote state diverged:\nwant %v\ngot  %v", want, got)
 	}
 }

@@ -47,6 +47,14 @@ const (
 	// TotalVotes only when it did not also see the vote's earlier record
 	// (i.e. when no RecWeights preceded it in the replayed tail).
 	RecRequeue byte = 5
+	// RecRemote is an absolute weight set received from a peer shard's
+	// replication push (POST /v1/weights), logged before it is applied so
+	// a crash replays it exactly like a local flush's RecWeights. Unlike
+	// RecWeights it is not a batch boundary: it never clears pending
+	// votes or advances the flush counter, and it carries the source
+	// shard plus its per-source sequence so recovery rebuilds the gap
+	// detector's table.
+	RecRemote byte = 6
 )
 
 // ErrBadRecord wraps every payload decoding failure. Decoders are fuzzed:
@@ -302,6 +310,45 @@ func DecodeWeights(p []byte) ([]core.WeightChange, error) {
 		}
 	}
 	return ws, r.done()
+}
+
+// Remote is one replicated weight set received from a peer shard.
+type Remote struct {
+	// Source is the sending shard's index.
+	Source uint32
+	// Seq is the source's replication sequence for this set.
+	Seq uint64
+	// Set is the absolute weight set (possibly empty: an empty flush
+	// still advances the sequence).
+	Set []core.WeightChange
+}
+
+// EncodeRemote serializes a replicated weight set:
+//
+//	source u32 | seq u64 | nEdges uvarint | (from i32, to i32, weight f64)...
+func EncodeRemote(rm Remote) []byte {
+	var w out
+	w.u32(rm.Source)
+	w.u64(rm.Seq)
+	w.b = append(w.b, EncodeWeights(rm.Set)...)
+	return w.b
+}
+
+// DecodeRemote parses an EncodeRemote payload.
+func DecodeRemote(p []byte) (Remote, error) {
+	r := buf{p}
+	var rm Remote
+	var err error
+	if rm.Source, err = r.u32(); err != nil {
+		return rm, err
+	}
+	if rm.Seq, err = r.u64(); err != nil {
+		return rm, err
+	}
+	if rm.Set, err = DecodeWeights(r.b); err != nil {
+		return rm, err
+	}
+	return rm, nil
 }
 
 // EncodeCheckpoint serializes a checkpoint marker: the WAL sequence the

@@ -1,0 +1,536 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgvote/api"
+	"kgvote/internal/core"
+	"kgvote/internal/qa"
+	"kgvote/internal/server"
+	"kgvote/internal/shard"
+	"kgvote/internal/synth"
+)
+
+// ClusterConfig sizes the sharded-serving benchmark (DESIGN.md §14): an
+// in-process cluster of shard writers with peer replication, snapshot
+// read-replicas following each writer, and a fan-out/merge router in
+// front, measured against a single-process oracle.
+type ClusterConfig struct {
+	Docs     int   // corpus documents; default 96
+	Shards   int   // shard writers; default 3
+	Replicas int   // read replicas per shard; default 1
+	Queries  int   // asks per timed pass, per endpoint worker set; default 200
+	Votes    int   // warm-up votes driven through the router; default 6
+	Workers  int   // ask clients per endpoint; default 4
+	Seed     int64 // default 1
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Docs == 0 {
+		c.Docs = 96
+	}
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.Replicas < 0 {
+		c.Replicas = 0
+	}
+	if c.Queries == 0 {
+		c.Queries = 200
+	}
+	if c.Votes == 0 {
+		c.Votes = 6
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ClusterResult is the JSON-serializable outcome of ClusterBench.
+//
+// The three throughput figures share one client model — a fixed worker
+// count per serving endpoint — so they compare capacity shapes, not
+// client counts: SingleQPS is one process, DirectQPS spreads the same
+// per-endpoint load over every shard writer, and ReplicaQPS adds each
+// shard's read replicas to the endpoint set. RouterQPS is measured
+// through the fan-out/merge router (every ask touches all shards), so it
+// prices the router's merge overhead rather than horizontal capacity.
+type ClusterResult struct {
+	Docs     int `json:"docs"`
+	Shards   int `json:"shards"`
+	Replicas int `json:"replicas"`
+	Workers  int `json:"workers_per_endpoint"`
+
+	SingleQPS  float64 `json:"single_qps"`
+	RouterQPS  float64 `json:"router_qps"`
+	DirectQPS  float64 `json:"direct_qps"`
+	ReplicaQPS float64 `json:"replica_qps"`
+	// ReplicaSpeedup is ReplicaQPS / DirectQPS: how much serving capacity
+	// the read replicas add on top of the writers alone.
+	ReplicaSpeedup float64 `json:"replica_speedup"`
+
+	// MergeDeterministic reports that the router's merged rankings were
+	// bit-identical to the single-process oracle, before and after the
+	// warm-up votes.
+	MergeDeterministic bool `json:"merge_deterministic"`
+	// DegradedPartial reports that with one shard down the router kept
+	// answering with Partial set instead of failing.
+	DegradedPartial bool `json:"degraded_partial"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Err returns a non-nil error when the run violated a correctness clause.
+func (r ClusterResult) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("cluster bench violations: %s", strings.Join(r.Violations, "; "))
+}
+
+func (r ClusterResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster bench: %d docs, %d shards, %d replicas/shard, %d workers/endpoint\n",
+		r.Docs, r.Shards, r.Replicas, r.Workers)
+	fmt.Fprintf(&b, "  ask throughput   single %.0f qps | router %.0f qps | writers-direct %.0f qps | +replicas %.0f qps (%.2fx)\n",
+		r.SingleQPS, r.RouterQPS, r.DirectQPS, r.ReplicaQPS, r.ReplicaSpeedup)
+	fmt.Fprintf(&b, "  merge deterministic: %v, degraded partial: %v", r.MergeDeterministic, r.DegradedPartial)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  VIOLATION: %s", v)
+	}
+	return b.String()
+}
+
+// benchCluster is the in-process cluster: shard writers, their pushers,
+// per-shard replicas with followers, and the router.
+type benchCluster struct {
+	smap     *shard.Map
+	writers  []*server.Server
+	whttp    []*httptest.Server
+	pushers  []*shard.Pusher
+	replicas [][]*httptest.Server // per shard
+	follow   []*shard.Follower
+	router   *shard.Router
+	rhttp    *httptest.Server
+}
+
+func (bc *benchCluster) close() {
+	for _, f := range bc.follow {
+		f.Close()
+	}
+	if bc.rhttp != nil {
+		bc.rhttp.Close()
+	}
+	if bc.router != nil {
+		bc.router.Close()
+	}
+	for _, p := range bc.pushers {
+		p.Close()
+	}
+	for _, rs := range bc.replicas {
+		for _, r := range rs {
+			r.Close()
+		}
+	}
+	for _, h := range bc.whttp {
+		h.Close()
+	}
+}
+
+func newBenchCluster(corpus *qa.Corpus, shards, replicas int) (*benchCluster, error) {
+	smap, err := shard.NewMap(shards, 1)
+	if err != nil {
+		return nil, err
+	}
+	bc := &benchCluster{smap: smap}
+	opt := core.Options{K: 10, L: 4}
+	cfgs := make([]*server.ShardConfig, shards)
+	for i := 0; i < shards; i++ {
+		sys, err := qa.Build(corpus, opt)
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		cfgs[i] = &server.ShardConfig{Map: smap, Index: i}
+		srv, err := server.NewWithOptions(sys, server.Options{
+			BatchSize: 1,
+			Solver:    core.StreamSingle,
+			Shard:     cfgs[i],
+		})
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		bc.writers = append(bc.writers, srv)
+		bc.whttp = append(bc.whttp, httptest.NewServer(srv.Handler()))
+	}
+	for i := 0; i < shards; i++ {
+		var peers []string
+		for j := 0; j < shards; j++ {
+			if j != i {
+				peers = append(peers, bc.whttp[j].URL)
+			}
+		}
+		srv := bc.writers[i]
+		pusher, err := shard.NewPusher(shard.PusherOptions{
+			Source:       i,
+			Peers:        peers,
+			Export:       srv.ExportReplicated,
+			RetryBackoff: 20 * time.Millisecond,
+		})
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		bc.pushers = append(bc.pushers, pusher)
+		cfgs[i].OnFlush = pusher.Publish
+	}
+	eps := make([]shard.ShardEndpoints, shards)
+	bc.replicas = make([][]*httptest.Server, shards)
+	for i := 0; i < shards; i++ {
+		eps[i] = shard.ShardEndpoints{Writer: bc.whttp[i].URL}
+		for r := 0; r < replicas; r++ {
+			sys, err := qa.Build(corpus, opt)
+			if err != nil {
+				bc.close()
+				return nil, err
+			}
+			rep, err := server.NewWithOptions(sys, server.Options{
+				BatchSize: 1,
+				Solver:    core.StreamSingle,
+				ReadOnly:  true,
+				Shard:     &server.ShardConfig{Map: smap, Index: i},
+			})
+			if err != nil {
+				bc.close()
+				return nil, err
+			}
+			rh := httptest.NewServer(rep.Handler())
+			bc.replicas[i] = append(bc.replicas[i], rh)
+			fl, err := shard.NewFollower(shard.FollowerOptions{
+				Writer: bc.whttp[i].URL,
+				Every:  25 * time.Millisecond,
+				Apply:  rep.ImportSnapshot,
+				OnSync: rep.ReportReplica,
+			})
+			if err != nil {
+				bc.close()
+				return nil, err
+			}
+			bc.follow = append(bc.follow, fl)
+			eps[i].Replicas = append(eps[i].Replicas, rh.URL)
+		}
+	}
+	rt, err := shard.NewRouter(shard.RouterOptions{
+		Map:        smap,
+		Shards:     eps,
+		TopK:       opt.K,
+		Timeout:    10 * time.Second,
+		HedgeAfter: 50 * time.Millisecond,
+	})
+	if err != nil {
+		bc.close()
+		return nil, err
+	}
+	bc.router = rt
+	bc.rhttp = httptest.NewServer(rt.Handler())
+	return bc, nil
+}
+
+func clusterPost(url string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func clusterStats(base string) (api.StatsBody, error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return api.StatsBody{}, err
+	}
+	defer resp.Body.Close()
+	var st api.StatsBody
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func resultsEqual(a, b []api.AskResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Doc != b[i].Doc || math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}
+
+// askPass drives Queries asks per worker set: each base URL gets its own
+// `workers` goroutines cycling through the questions. Returns total
+// asks/second across all endpoints.
+func askPass(bases []string, questions []qa.Question, workers, queries int) (float64, error) {
+	perWorker := queries / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	var (
+		wg      sync.WaitGroup
+		firstMu sync.Mutex
+		first   error
+		total   atomic.Int64
+	)
+	start := time.Now()
+	for _, base := range bases {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(base string, off int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					q := questions[(off+i)%len(questions)]
+					var resp api.AskResponse
+					st, err := clusterPost(base+"/v1/ask", api.AskRequest{Entities: q.Entities}, &resp)
+					if err == nil && st != http.StatusOK {
+						err = fmt.Errorf("ask %s: http %d", base, st)
+					}
+					if err != nil {
+						firstMu.Lock()
+						if first == nil {
+							first = err
+						}
+						firstMu.Unlock()
+						return
+					}
+					total.Add(1)
+				}
+			}(base, w*perWorker)
+		}
+	}
+	wg.Wait()
+	if first != nil {
+		return 0, first
+	}
+	return float64(total.Load()) / time.Since(start).Seconds(), nil
+}
+
+// ClusterBench measures the sharded serving path end to end: merged-
+// ranking determinism against a single-process oracle, ask throughput
+// single vs. routed vs. replica-fanned, and partial degradation with a
+// shard down. Correctness failures land in Violations (and Err()), not
+// just the log.
+func ClusterBench(cfg ClusterConfig) (ClusterResult, error) {
+	cfg = cfg.withDefaults()
+	res := ClusterResult{Docs: cfg.Docs, Shards: cfg.Shards, Replicas: cfg.Replicas, Workers: cfg.Workers}
+
+	corpus, err := synth.GenerateCorpus(synth.CorpusConfig{Docs: cfg.Docs, Seed: cfg.Seed})
+	if err != nil {
+		return res, err
+	}
+	questions, err := synth.GenerateQuestions(corpus, synth.QuestionConfig{N: 32, Seed: cfg.Seed + 1})
+	if err != nil {
+		return res, err
+	}
+
+	osys, err := qa.Build(corpus, core.Options{K: 10, L: 4})
+	if err != nil {
+		return res, err
+	}
+	oracle, err := server.NewWithOptions(osys, server.Options{BatchSize: 1, Solver: core.StreamSingle})
+	if err != nil {
+		return res, err
+	}
+	oh := httptest.NewServer(oracle.Handler())
+	defer oh.Close()
+
+	bc, err := newBenchCluster(corpus, cfg.Shards, cfg.Replicas)
+	if err != nil {
+		return res, err
+	}
+	defer bc.close()
+
+	// Warm-up votes through the router (mirrored to the oracle), so the
+	// measured graphs are post-feedback, then wait for peer replication
+	// and replica snapshots to converge.
+	res.MergeDeterministic = true
+	flushSeq := make(map[int]uint64)
+	for v := 0; v < cfg.Votes; v++ {
+		q := questions[v%len(questions)]
+		var oresp, rresp api.AskResponse
+		if st, err := clusterPost(oh.URL+"/v1/ask", api.AskRequest{Entities: q.Entities}, &oresp); err != nil || st != http.StatusOK {
+			return res, fmt.Errorf("oracle ask: %v (http %d)", err, st)
+		}
+		if st, err := clusterPost(bc.rhttp.URL+"/v1/ask", api.AskRequest{Entities: q.Entities}, &rresp); err != nil || st != http.StatusOK {
+			return res, fmt.Errorf("router ask: %v (http %d)", err, st)
+		}
+		if !resultsEqual(oresp.Results, rresp.Results) {
+			res.MergeDeterministic = false
+		}
+		if len(oresp.Results) < 2 {
+			continue
+		}
+		ranked := make([]int, len(oresp.Results))
+		for i, r := range oresp.Results {
+			ranked[i] = r.Doc
+		}
+		best := ranked[1]
+		var ovr, rvr api.VoteResponse
+		ov := api.VoteRequest{Query: oresp.Query, Ranked: ranked, BestDoc: best}
+		if st, err := clusterPost(oh.URL+"/v1/vote", ov, &ovr); err != nil || st != http.StatusOK {
+			return res, fmt.Errorf("oracle vote: %v (http %d)", err, st)
+		}
+		rv := api.VoteRequest{Query: rresp.Query, Ranked: ranked, BestDoc: best}
+		if st, err := clusterPost(bc.rhttp.URL+"/v1/vote", rv, &rvr); err != nil || st != http.StatusOK {
+			return res, fmt.Errorf("router vote: %v (http %d)", err, st)
+		}
+		owner := bc.smap.Owner(best)
+		flushSeq[owner]++
+		if err := waitClusterReplicated(bc, owner, flushSeq[owner]); err != nil {
+			return res, err
+		}
+	}
+	if err := waitReplicaSync(bc); err != nil {
+		return res, err
+	}
+	// Post-vote determinism sweep across every question.
+	for _, q := range questions {
+		var oresp, rresp api.AskResponse
+		clusterPost(oh.URL+"/v1/ask", api.AskRequest{Entities: q.Entities}, &oresp)
+		clusterPost(bc.rhttp.URL+"/v1/ask", api.AskRequest{Entities: q.Entities}, &rresp)
+		if !resultsEqual(oresp.Results, rresp.Results) {
+			res.MergeDeterministic = false
+			break
+		}
+	}
+	if !res.MergeDeterministic {
+		res.Violations = append(res.Violations, "router merged rankings diverged from the single-process oracle")
+	}
+
+	// Timed passes. Same per-endpoint client model throughout.
+	if res.SingleQPS, err = askPass([]string{oh.URL}, questions, cfg.Workers, cfg.Queries); err != nil {
+		return res, err
+	}
+	if res.RouterQPS, err = askPass([]string{bc.rhttp.URL}, questions, cfg.Workers*cfg.Shards, cfg.Queries); err != nil {
+		return res, err
+	}
+	writerBases := make([]string, 0, cfg.Shards)
+	for _, h := range bc.whttp {
+		writerBases = append(writerBases, h.URL)
+	}
+	if res.DirectQPS, err = askPass(writerBases, questions, cfg.Workers, cfg.Queries); err != nil {
+		return res, err
+	}
+	allBases := append([]string(nil), writerBases...)
+	for _, rs := range bc.replicas {
+		for _, r := range rs {
+			allBases = append(allBases, r.URL)
+		}
+	}
+	if res.ReplicaQPS, err = askPass(allBases, questions, cfg.Workers, cfg.Queries); err != nil {
+		return res, err
+	}
+	if res.DirectQPS > 0 {
+		res.ReplicaSpeedup = res.ReplicaQPS / res.DirectQPS
+	}
+
+	// Degradation: close one writer (its replicas, if any, keep covering
+	// the shard; with none the router must answer partial).
+	if cfg.Shards > 1 {
+		bc.whttp[1].Close()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var dresp api.AskResponse
+			st, err := clusterPost(bc.rhttp.URL+"/v1/ask", api.AskRequest{Entities: questions[0].Entities}, &dresp)
+			full := cfg.Replicas > 0 // replicas still cover the closed writer's shard
+			if err == nil && st == http.StatusOK && len(dresp.Results) > 0 &&
+				(full && !dresp.Partial || !full && dresp.Partial && dresp.ShardsAnswered == cfg.Shards-1) {
+				res.DegradedPartial = true
+				break
+			}
+			if time.Now().After(deadline) {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("degraded ask never settled: http %d err %v partial %v %d/%d",
+						st, err, dresp.Partial, dresp.ShardsAnswered, dresp.ShardsTotal))
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	} else {
+		res.DegradedPartial = true
+	}
+	return res, res.Err()
+}
+
+// waitClusterReplicated blocks until every non-owner writer has applied
+// the owner's replication stream through wantSeq.
+func waitClusterReplicated(bc *benchCluster, owner int, wantSeq uint64) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for i := range bc.writers {
+		if i == owner {
+			continue
+		}
+		for {
+			st, err := clusterStats(bc.whttp[i].URL)
+			if err == nil && st.Shard != nil && st.Shard.RemoteSeqs[uint32(owner)] >= wantSeq {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("shard %d never applied shard %d's push seq %d", i, owner, wantSeq)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// waitReplicaSync blocks until every replica has caught up to its
+// writer's published epoch.
+func waitReplicaSync(bc *benchCluster) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for i, rs := range bc.replicas {
+		if len(rs) == 0 {
+			continue
+		}
+		wst, err := clusterStats(bc.whttp[i].URL)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			for {
+				st, err := clusterStats(r.URL)
+				if err == nil && st.Replica != nil && st.Replica.Epoch >= wst.Epoch {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("replica of shard %d never reached epoch %d", i, wst.Epoch)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package harness
+
+import "runtime"
+
+// Provenance records the toolchain and machine shape a benchmark run was
+// measured under. Every run entry in the BENCH_*.json history files
+// embeds one, so historical numbers can be compared like-for-like: a
+// throughput jump that coincides with a Go version or core-count change
+// is a hardware/toolchain story, not a code story.
+type Provenance struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CollectProvenance captures the current process's provenance.
+func CollectProvenance() Provenance {
+	return Provenance{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}

@@ -137,7 +137,7 @@ func (s *System) RankSnapshotTracedCtx(ctx context.Context, q Question, tr *tele
 	}
 	snap = s.Engine.Serving()
 	stopRank := tr.Stage("rank")
-	ranked, cacheHit, err = snap.RankSeededCached(key, ids, ws, s.Answers(), s.Engine.Options().K)
+	ranked, cacheHit, err = snap.RankSeededCached(key, ids, ws, s.ServingAnswers(), s.Engine.Options().K)
 	stopRank()
 	if err != nil {
 		return nil, nil, false, err

@@ -26,6 +26,12 @@ type System struct {
 	// fresh query node, even when callers reuse Question IDs.
 	nextQuery int
 
+	// served, when non-nil, is the subset of answer nodes the lock-free
+	// serving path ranks (sharded serving: a shard answers only for the
+	// documents it owns). nil serves every answer. Set once before
+	// serving; read lock-free.
+	served []graph.NodeID
+
 	// metrics, when non-nil, instruments the serving path (see
 	// SetMetrics in serve.go). Set once before serving; read lock-free.
 	metrics *Metrics
@@ -96,6 +102,36 @@ func (s *System) Vocabulary() map[string]bool { return s.vocab }
 
 // Answers returns all answer nodes.
 func (s *System) Answers() []graph.NodeID { return s.Aug.Answers }
+
+// RestrictServing limits the answers the lock-free serving path (Seed /
+// RankSnapshot / AskBatch) ranks to the documents keep returns true for,
+// and returns how many survive. Vote resolution (AnswerOf) and the
+// legacy attach-and-rank path still see the full corpus — a sharded
+// ranked list may legitimately reference documents owned elsewhere.
+// Call once before serving; passing nil restores full serving.
+func (s *System) RestrictServing(keep func(docID int) bool) int {
+	if keep == nil {
+		s.served = nil
+		return len(s.Aug.Answers)
+	}
+	served := make([]graph.NodeID, 0, len(s.Aug.Answers))
+	for _, a := range s.Aug.Answers {
+		if keep(s.answerDoc[a]) {
+			served = append(served, a)
+		}
+	}
+	s.served = served
+	return len(served)
+}
+
+// ServingAnswers returns the answer nodes the serving path ranks: the
+// restricted subset under sharded serving, else every answer.
+func (s *System) ServingAnswers() []graph.NodeID {
+	if s.served != nil {
+		return s.served
+	}
+	return s.Aug.Answers
+}
 
 // AnswerOf returns the answer node of a document ID.
 func (s *System) AnswerOf(docID int) (graph.NodeID, error) {

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +51,7 @@ import (
 	"kgvote/internal/graph"
 	"kgvote/internal/lru"
 	"kgvote/internal/qa"
+	"kgvote/internal/shard"
 	"kgvote/internal/telemetry"
 	"kgvote/internal/vote"
 )
@@ -129,6 +131,32 @@ type Options struct {
 	SlowThreshold time.Duration
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// ReadOnly serves a snapshot replica: every write route (/v1/vote,
+	// /v1/flush, /v1/checkpoint, /v1/weights) answers 501/read_only while
+	// the read routes keep serving; the snapshot follower feeds the
+	// graph through ImportSnapshot.
+	ReadOnly bool
+	// Shard, when non-nil, runs this server as one shard of a
+	// partitioned cluster (DESIGN.md §14): /v1/ask ranks only the
+	// documents the shard owns, /v1/vote rejects documents owned
+	// elsewhere with 421/misrouted, /v1/weights accepts peer replication
+	// pushes, and each flush's applied weight set is handed to OnFlush
+	// for replication.
+	Shard *ShardConfig
+}
+
+// ShardConfig wires a server into a sharded cluster.
+type ShardConfig struct {
+	// Map is the cluster's document→shard assignment; every process must
+	// load the same map file.
+	Map *shard.Map
+	// Index is this shard's position in the map.
+	Index int
+	// OnFlush, when non-nil, is invoked under the writer gate after each
+	// completed flush with the flush sequence and the applied weight set
+	// filtered to the replicated region (entity and answer edges only).
+	// It must not block: the pusher enqueues and returns.
+	OnFlush func(seq uint64, set []core.WeightChange)
 }
 
 // Server wires a qa.System and a vote stream into an http.Handler.
@@ -172,6 +200,22 @@ type Server struct {
 	metrics *serverMetrics
 	slow    time.Duration
 	pprof   bool
+
+	// Sharded serving (DESIGN.md §14). boundary is the first runtime
+	// node ID: entity and answer nodes below it are corpus-stable across
+	// processes and form the replicated region; query nodes above it are
+	// process-local and never travel. remoteSeqs is the replication gap
+	// detector — it gets its own small mutex (not the writer gate) so
+	// /v1/stats can read it without queueing behind a solve; writers
+	// mutate it under the gate as well, so gate-holders read it safely.
+	// replicaStats is published by the snapshot follower on read replicas.
+	readOnly      bool
+	shardCfg      *ShardConfig
+	boundary      graph.NodeID
+	remoteMu      sync.Mutex
+	remoteSeqs    map[uint32]uint64
+	remoteApplied atomic.Int64
+	replicaStats  atomic.Pointer[api.ReplicaStats]
 }
 
 // New returns a server over the system whose votes flush every batchSize
@@ -207,6 +251,26 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 		flushTimeout:    o.FlushTimeout,
 		slow:            o.SlowThreshold,
 		pprof:           o.Pprof,
+		readOnly:        o.ReadOnly,
+		shardCfg:        o.Shard,
+		boundary:        graph.NodeID(sys.Aug.Entities + len(sys.Aug.Answers)),
+		remoteSeqs:      make(map[uint32]uint64),
+	}
+	if sc := o.Shard; sc != nil {
+		if sc.Map == nil {
+			return nil, fmt.Errorf("server: shard config without a map")
+		}
+		if sc.Index < 0 || sc.Index >= sc.Map.Shards {
+			return nil, fmt.Errorf("server: shard index %d out of range for %d shards", sc.Index, sc.Map.Shards)
+		}
+		if n := sys.RestrictServing(func(doc int) bool { return sc.Map.Owns(sc.Index, doc) }); n == 0 {
+			return nil, fmt.Errorf("server: shard %d/%d owns no documents", sc.Index, sc.Map.Shards)
+		}
+	}
+	if o.Recovered != nil {
+		for src, seq := range o.Recovered.RemoteSeqs {
+			s.remoteSeqs[src] = seq
+		}
 	}
 	if o.Admission.Capacity > 0 {
 		s.admit = admit.New(o.Admission)
@@ -245,10 +309,13 @@ func (s *Server) Handler() http.Handler {
 		{"GET", "/healthz", s.handleHealth},
 		{"GET", "/stats", s.handleStats},
 		{"POST", "/ask", s.handleAsk},
+		{"POST", "/askbatch", s.handleAskBatch},
 		{"POST", "/vote", s.handleVote},
 		{"POST", "/flush", s.handleFlush},
 		{"POST", "/checkpoint", s.handleCheckpoint},
 		{"POST", "/explain", s.handleExplain},
+		{"POST", "/weights", s.handleWeights},
+		{"GET", "/snapshot", s.handleSnapshot},
 	} {
 		h := s.instrument(rt.path, rt.h)
 		mux.HandleFunc(rt.method+" /v1"+rt.path, h)
@@ -374,6 +441,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ds := s.dur.Stats()
 		body.Durability = &ds
 	}
+	if sc := s.shardCfg; sc != nil {
+		st := &api.ShardStats{
+			Index:         sc.Index,
+			Shards:        sc.Map.Shards,
+			OwnedDocs:     len(s.sys.ServingAnswers()),
+			MapChecksum:   fmt.Sprintf("%08x", sc.Map.Checksum()),
+			RemoteApplied: s.remoteApplied.Load(),
+		}
+		s.remoteMu.Lock()
+		if len(s.remoteSeqs) > 0 {
+			st.RemoteSeqs = make(map[uint32]uint64, len(s.remoteSeqs))
+			for src, seq := range s.remoteSeqs {
+				st.RemoteSeqs[src] = seq
+			}
+		}
+		s.remoteMu.Unlock()
+		body.Shard = st
+	}
+	if rs := s.replicaStats.Load(); rs != nil {
+		cp := *rs
+		body.Replica = &cp
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -406,6 +495,11 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	handle := graph.NodeID(s.nextHandle.Add(-1))
 	s.pending.Add(handle, &pendingQuery{q: q, node: graph.None})
 	resp := AskResponse{Query: handle, Epoch: snap.Epoch()}
+	if s.shardCfg != nil {
+		// Echo the resolved entities so the router can forward a later
+		// vote to the owning shard even if that shard never saw this ask.
+		resp.Entities = ents
+	}
 	for _, a := range ranked {
 		doc := s.sys.DocOf(a.Node)
 		resp.Results = append(resp.Results, AskResult{Doc: doc, Title: s.sys.TitleOf(doc), Score: a.Score})
@@ -423,11 +517,15 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryNode resolves a client query reference to a graph node,
-// materializing the query node of a pending handle on first use. The
-// caller must hold the writer gate. The context is consulted only before
-// materialization: once the node is attached (and WAL-logged) the
-// operation is committed to.
-func (s *Server) queryNode(ctx context.Context, ref graph.NodeID) (graph.NodeID, *api.Error) {
+// materializing the query node of a pending handle on first use. When the
+// handle is unknown (expired, or minted by a router whose ask another
+// shard answered) and the vote carried its question's entities, the query
+// is materialized one-shot from those entities instead of failing — the
+// node is not entered into the pending table, since the handle is not
+// this server's to reuse. The caller must hold the writer gate. The
+// context is consulted only before materialization: once the node is
+// attached (and WAL-logged) the operation is committed to.
+func (s *Server) queryNode(ctx context.Context, ref graph.NodeID, entities map[string]int) (graph.NodeID, *api.Error) {
 	if ref >= 0 {
 		if !s.sys.Aug.IsQuery(ref) {
 			return graph.None, apiErr(http.StatusBadRequest, api.CodeBadRequest, "node %d is not a query node", ref)
@@ -436,7 +534,10 @@ func (s *Server) queryNode(ctx context.Context, ref graph.NodeID) (graph.NodeID,
 	}
 	pq, ok := s.pending.Get(ref)
 	if !ok {
-		return graph.None, apiErr(http.StatusBadRequest, api.CodeBadRequest, "unknown or expired query handle %d", ref)
+		if len(entities) == 0 {
+			return graph.None, apiErr(http.StatusBadRequest, api.CodeBadRequest, "unknown or expired query handle %d", ref)
+		}
+		pq = &pendingQuery{q: qa.Question{ID: -1, Entities: entities}, node: graph.None}
 	}
 	if pq.node == graph.None {
 		// Last exit before mutating the graph: a dead request must not
@@ -463,6 +564,10 @@ func (s *Server) queryNode(ctx context.Context, ref graph.NodeID) (graph.NodeID,
 }
 
 func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly {
+		writeErr(w, http.StatusNotImplemented, api.CodeReadOnly, "this process is a read replica; send votes to its writer")
+		return
+	}
 	if s.draining.Load() {
 		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; votes are no longer admitted")
 		return
@@ -470,6 +575,11 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	var req VoteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if sc := s.shardCfg; sc != nil && !sc.Map.Owns(sc.Index, req.BestDoc) {
+		writeErr(w, http.StatusMisdirectedRequest, api.CodeMisrouted,
+			"document %d is owned by shard %d, not shard %d", req.BestDoc, sc.Map.Owner(req.BestDoc), sc.Index)
 		return
 	}
 	ranked := make([]graph.NodeID, 0, len(req.Ranked))
@@ -518,7 +628,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; votes are no longer admitted")
 		return
 	}
-	qn, aerr := s.queryNode(r.Context(), req.Query)
+	qn, aerr := s.queryNode(r.Context(), req.Query, req.Entities)
 	if aerr != nil {
 		if s.admit != nil {
 			s.admit.Cancel(client)
@@ -650,7 +760,26 @@ func (s *Server) flushLocked(ctx context.Context) (*core.Report, *api.Error) {
 	if err := s.afterFlushLocked(); err != nil {
 		return rep, apiErr(http.StatusInternalServerError, api.CodeInternal, "flush applied but checkpoint failed: %v", err)
 	}
+	if sc := s.shardCfg; sc != nil && sc.OnFlush != nil {
+		// Replicate this flush's applied weights to the peer shards. Only
+		// the corpus-stable region travels: query-node IDs diverge across
+		// processes. Still under the gate, so the sequence (the flush
+		// counter) and the weight set are handed over consistently.
+		sc.OnFlush(uint64(s.stream.Flushes), filterBelow(rep.Applied, s.boundary))
+	}
 	return rep, nil
+}
+
+// filterBelow keeps the weight changes whose endpoints both precede the
+// runtime-node boundary — the replicable entity/answer region.
+func filterBelow(ws []core.WeightChange, boundary graph.NodeID) []core.WeightChange {
+	out := make([]core.WeightChange, 0, len(ws))
+	for _, wc := range ws {
+		if wc.From < boundary && wc.To < boundary {
+			out = append(out, wc)
+		}
+	}
+	return out
 }
 
 // afterFlushLocked runs the periodic checkpoint policy after a completed
@@ -725,6 +854,10 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly {
+		writeErr(w, http.StatusNotImplemented, api.CodeReadOnly, "this process is a read replica; checkpoints run on its writer")
+		return
+	}
 	if s.draining.Load() {
 		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; shutdown takes its own checkpoint")
 		return
@@ -757,6 +890,10 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly {
+		writeErr(w, http.StatusNotImplemented, api.CodeReadOnly, "this process is a read replica; flushes run on its writer")
+		return
+	}
 	if s.draining.Load() {
 		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; shutdown flushes the queue itself")
 		return

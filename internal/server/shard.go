@@ -1,0 +1,211 @@
+package server
+
+// Sharded-serving endpoints (DESIGN.md §14): the batch ask surface, the
+// peer weight-replication receiver, and the snapshot export that feeds
+// read replicas. The single-writer discipline is unchanged — replication
+// pushes are just one more writer that serializes behind the gate.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"kgvote/api"
+	"kgvote/internal/core"
+	"kgvote/internal/durable"
+	"kgvote/internal/qa"
+	"kgvote/internal/shard"
+)
+
+// handleAskBatch serves POST /v1/askbatch: a read-only positional batch
+// ranking against the serving snapshot. Batch results carry no vote
+// handles (use /v1/ask when a follow-up vote is expected), so the
+// pending-handle table is never touched.
+func (s *Server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.AskBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Questions) == 0 {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "askbatch: empty batch")
+		return
+	}
+	qs := make([]qa.Question, len(req.Questions))
+	for i, q := range req.Questions {
+		ents := q.Entities
+		if len(ents) == 0 && q.Text != "" {
+			ents = qa.ExtractEntities(q.Text, s.sys.Vocabulary())
+		}
+		if len(ents) == 0 {
+			writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "askbatch: question %d has no entities", i)
+			return
+		}
+		qs[i] = qa.Question{ID: -1, Entities: ents}
+	}
+	snap := s.sys.Engine.Serving()
+	batch, err := s.sys.AskBatch(qs, 0)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, "askbatch: %v", err)
+		return
+	}
+	resp := api.AskBatchResponse{Epoch: snap.Epoch(), Results: make([][]api.AskResult, len(batch))}
+	for i, docs := range batch {
+		rs := make([]api.AskResult, len(docs))
+		for j, d := range docs {
+			rs[j] = api.AskResult{Doc: d.Doc, Title: d.Title, Score: d.Score}
+		}
+		resp.Results[i] = rs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWeights serves POST /v1/weights: a peer shard replicating the
+// absolute weight set of one completed flush. The per-source sequence is
+// the gap detector — Seq == last+1 applies, Seq <= last is an idempotent
+// duplicate (the peer retried an acknowledged push), anything else is a
+// gap the receiver cannot bridge from deltas alone, answered with a 409
+// weights_gap envelope so the source falls back to a Full export. The
+// set is WAL-logged (RecRemote) before it is applied, mirroring the
+// local flush protocol, so a crash replays it.
+func (s *Server) handleWeights(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly {
+		writeErr(w, http.StatusNotImplemented, api.CodeReadOnly, "this process is a read replica; it syncs from its writer's snapshots")
+		return
+	}
+	sc := s.shardCfg
+	if sc == nil {
+		writeErr(w, http.StatusNotImplemented, api.CodeNotImplemented, "weights: this process is not part of a sharded cluster")
+		return
+	}
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining; replication pushes are no longer admitted")
+		return
+	}
+	var req api.WeightPushRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Source < 0 || req.Source >= sc.Map.Shards {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "weights: source shard %d out of range for %d shards", req.Source, sc.Map.Shards)
+		return
+	}
+	if req.Source == sc.Index {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "weights: source shard %d is this shard", req.Source)
+		return
+	}
+	if req.Seq == 0 {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "weights: sequence 0 is invalid (sequences start at 1)")
+		return
+	}
+	set := api.WeightEdgesToCore(req.Set)
+	for _, wc := range set {
+		if wc.From < 0 || wc.From >= s.boundary || wc.To < 0 || wc.To >= s.boundary {
+			writeErr(w, http.StatusBadRequest, api.CodeBadRequest,
+				"weights: edge %d->%d is outside the replicable region [0,%d)", wc.From, wc.To, s.boundary)
+			return
+		}
+	}
+	if err := s.mu.LockCtx(r.Context()); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, api.CodeTimeout, "weights: %v", err)
+		return
+	}
+	defer s.mu.Unlock()
+	src := uint32(req.Source)
+	s.remoteMu.Lock()
+	last := s.remoteSeqs[src]
+	s.remoteMu.Unlock()
+	if req.Seq <= last {
+		// Duplicate of an acknowledged push (the source retried after a
+		// lost response). Weights are absolute, so skipping is exact.
+		writeJSON(w, http.StatusOK, api.WeightPushResponse{Applied: 0, Seq: last})
+		return
+	}
+	if !req.Full && req.Seq != last+1 {
+		writeErr(w, http.StatusConflict, api.CodeWeightsGap,
+			"weights: push seq %d from shard %d skips last applied %d; re-send a full export", req.Seq, req.Source, last)
+		return
+	}
+	if s.dur != nil {
+		if err := s.dur.LogRemote(durable.Remote{Source: src, Seq: req.Seq, Set: set}); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)
+			return
+		}
+	}
+	if len(set) > 0 {
+		if err := s.sys.Engine.ApplyWeightSet(set); err != nil {
+			// The set validated above and is in the WAL: memory and disk
+			// now disagree, the same poison case as a failed local flush.
+			if s.dur != nil {
+				s.dur.Fail()
+			}
+			writeErr(w, http.StatusInternalServerError, api.CodeInternal,
+				"weights: apply failed after the set was logged; durability halted, restart to recover: %v", err)
+			return
+		}
+	}
+	s.remoteMu.Lock()
+	s.remoteSeqs[src] = req.Seq
+	s.remoteMu.Unlock()
+	s.remoteApplied.Add(1)
+	if s.dur != nil {
+		if err := s.dur.Commit(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, api.WeightPushResponse{Applied: len(set), Seq: req.Seq})
+}
+
+// handleSnapshot serves GET /v1/snapshot?since=N: the replicable weight
+// region of the current serving snapshot as a CRC-framed binary export,
+// or 204 when the serving epoch has not advanced past since. Lock-free:
+// it reads the immutable epoch-stamped snapshot, never the mutable graph.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "snapshot: bad since %q: %v", raw, err)
+			return
+		}
+		since = v
+	}
+	snap := s.sys.Engine.Serving()
+	epoch := snap.Epoch()
+	if epoch <= since {
+		w.Header().Set("X-KG-Epoch", strconv.FormatUint(epoch, 10))
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	frame := shard.EncodeSnapshot(epoch, snap.ExportWeights(s.boundary))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-KG-Epoch", strconv.FormatUint(epoch, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	_, _ = w.Write(frame)
+}
+
+// ImportSnapshot installs a writer's exported weight set at the writer's
+// epoch, publishing a fresh serving snapshot. It is the replica
+// follower's apply hook.
+func (s *Server) ImportSnapshot(ws []core.WeightChange, epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Engine.ImportWeightSet(ws, epoch)
+}
+
+// ExportReplicated returns the replicable weight region of the current
+// graph together with the flush sequence it corresponds to, taken
+// atomically under the writer gate (no flush can land between the two
+// reads). It backs the pusher's full-sync fallback.
+func (s *Server) ExportReplicated() ([]core.WeightChange, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Engine.Serving().ExportWeights(s.boundary), uint64(s.stream.Flushes)
+}
+
+// ReportReplica publishes the follower's sync progress into /v1/stats.
+func (s *Server) ReportReplica(st api.ReplicaStats) {
+	s.replicaStats.Store(&st)
+}

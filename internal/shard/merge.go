@@ -1,0 +1,40 @@
+package shard
+
+import (
+	"sort"
+
+	"kgvote/api"
+)
+
+// MergeTopK merges per-shard ranked lists into one global top-k. The
+// order is the same one every shard (and the single-process oracle)
+// produces locally — score descending, ties broken by ascending document
+// ID — so the merged list over N shards is byte-identical to the oracle's
+// list whenever the shards' graphs agree with the oracle's: each shard
+// returns its local top-k over the documents it owns, ownership is
+// disjoint, and any document in the global top-k is necessarily in its
+// owner's local top-k.
+//
+// The oracle tie-break is (score desc, answer-node asc); answer nodes are
+// attached in ascending document-ID order at build time, so document-ID
+// order reproduces it exactly. k <= 0 keeps everything.
+func MergeTopK(lists [][]api.AskResult, k int) []api.AskResult {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	merged := make([]api.AskResult, 0, total)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].Doc < merged[j].Doc
+	})
+	if k > 0 && len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
