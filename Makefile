@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush bench-farm bench-cluster farm-smoke cluster-smoke metrics-smoke overload-smoke drain-smoke experiments clean
+.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush bench-farm bench-cluster farm-smoke cluster-smoke metrics-smoke overload-smoke scenario-smoke drain-smoke experiments clean
 
 all: vet test
 
@@ -80,6 +80,14 @@ metrics-smoke:
 # throughout, live heap bounded. Exits non-zero on any violation.
 overload-smoke:
 	$(GO) run ./cmd/benchserve -overload -overload-out BENCH_overload.json
+
+# Adversarial-workload smoke (DESIGN.md §15): replay the spam-flood and
+# colluding-ring scenarios with reputation quarantine on vs off and
+# verify held-out ranking quality holds with the tracker and demonstrably
+# degrades without it. Appends the run to BENCH_serve.json; exits
+# non-zero on any ranking-quality violation.
+scenario-smoke:
+	$(GO) run ./cmd/benchserve -scenarios -scenario-docs 40 -scenario-train 20 -scenario-test 20 -scenario-include spam-flood,colluding-ring -out BENCH_serve.json
 
 # Graceful-drain smoke: SIGTERM the real daemon with votes queued and
 # mid-flight, restart it, and require every admitted vote to survive.

@@ -14,6 +14,7 @@ import (
 	"kgvote/internal/durable"
 	"kgvote/internal/graph"
 	"kgvote/internal/telemetry"
+	"kgvote/internal/vote"
 )
 
 // QueryHandle identifies a served question for a follow-up /vote or
@@ -40,9 +41,12 @@ type StatsBody struct {
 	PendingEvicted int64           `json:"pending_evicted"`
 	Draining       bool            `json:"draining,omitempty"`
 	Admission      *AdmissionStats `json:"admission,omitempty"`
-	Durability     *durable.Stats  `json:"durability,omitempty"`
-	Shard          *ShardStats     `json:"shard,omitempty"`
-	Replica        *ReplicaStats   `json:"replica,omitempty"`
+	// Reputation is present when the server runs with voter reputation
+	// tracking enabled.
+	Reputation *vote.ReputationStats `json:"reputation,omitempty"`
+	Durability *durable.Stats        `json:"durability,omitempty"`
+	Shard      *ShardStats           `json:"shard,omitempty"`
+	Replica    *ReplicaStats         `json:"replica,omitempty"`
 }
 
 // ShardStats is the sharded-serving section of /v1/stats, present when
@@ -158,6 +162,10 @@ type VoteRequest struct {
 	Ranked  []int       `json:"ranked"` // document IDs in served order
 	BestDoc int         `json:"best_doc"`
 	Weight  float64     `json:"weight,omitempty"`
+	// Voter identifies the vote's author for reputation scoring (at most
+	// 64 bytes). Empty means anonymous: the vote is accepted but exempt
+	// from reputation tracking and quarantine.
+	Voter string `json:"voter,omitempty"`
 	// Entities, when present, let the server materialize the query node
 	// directly when Query is graph.None or names an expired/foreign
 	// handle. The router always forwards votes with the entities of the
@@ -174,6 +182,10 @@ type VoteResponse struct {
 	Pending int          `json:"pending"`
 	Flushed bool         `json:"flushed"`
 	Report  *core.Report `json:"report,omitempty"`
+	// Quarantined is advisory: the vote was accepted and logged, but its
+	// voter is currently quarantined, so it will be excluded from batch
+	// solves unless the voter's reputation recovers by flush time.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // ExplainRequest is the POST /v1/explain request body.

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"kgvote/internal/harness"
@@ -58,6 +59,12 @@ func main() {
 
 		clusterShards   = flag.Int("cluster", 0, "run the sharded-serving benchmark instead, over this many shard writers (0 disables; exit 1 on determinism/degradation violation)")
 		clusterReplicas = flag.Int("cluster-replicas", 1, "cluster mode: read replicas per shard")
+
+		scenariosMode   = flag.Bool("scenarios", false, "run the adversarial vote-workload scenarios instead: reputation quarantine on vs off per attack family (exit 1 on a ranking-quality violation)")
+		scenarioDocs    = flag.Int("scenario-docs", 60, "scenarios-mode corpus documents")
+		scenarioTrain   = flag.Int("scenario-train", 30, "scenarios-mode training questions (the voted set)")
+		scenarioTest    = flag.Int("scenario-test", 30, "scenarios-mode held-out test questions")
+		scenarioInclude = flag.String("scenario-include", "", "scenarios-mode comma-separated scenario names to run (empty = all)")
 	)
 	flag.Parse()
 	var err error
@@ -70,6 +77,8 @@ func main() {
 		err = flushMain(*flushDocs, *flushVotes, *workers, *farmWorkers, *rounds, *seed, *flushOut)
 	case *clusterShards > 0:
 		err = clusterMain(*docs, *clusterShards, *clusterReplicas, *queries, *seed, *out)
+	case *scenariosMode:
+		err = scenariosMain(*scenarioDocs, *scenarioTrain, *scenarioTest, *seed, *scenarioInclude, *out)
 	default:
 		err = realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal, *withTel)
 	}
@@ -199,6 +208,7 @@ type benchRun struct {
 	Wal                *harness.WalResult       `json:"wal,omitempty"`
 	Telemetry          *harness.TelemetryResult `json:"telemetry,omitempty"`
 	Cluster            *harness.ClusterResult   `json:"cluster,omitempty"`
+	Scenarios          *harness.ScenarioResult  `json:"scenarios,omitempty"`
 }
 
 // benchHistory is the on-disk shape of BENCH_serve.json: every run ever
@@ -274,6 +284,50 @@ func clusterMain(docs, shards, replicas, queries int, seed int64, out string) er
 			Time:       time.Now().UTC().Format(time.RFC3339),
 			Provenance: harness.CollectProvenance(),
 			Cluster:    &res,
+		})
+		b, herr := json.MarshalIndent(hist, "", "  ")
+		if herr != nil {
+			return herr
+		}
+		if herr := os.WriteFile(out, append(b, '\n'), 0o644); herr != nil {
+			return herr
+		}
+		fmt.Printf("appended run %d to %s\n", len(hist.Runs), out)
+	}
+	return res.Err()
+}
+
+// scenariosMain replays the adversarial vote-workload scenarios
+// (DESIGN.md §15) — quarantine on vs quarantine off per attack family —
+// and appends the run to the serve history file. Like the overload and
+// cluster smokes, ranking-quality violations fail the process after the
+// run is recorded.
+func scenariosMain(docs, train, test int, seed int64, include, out string) error {
+	var names []string
+	if include != "" {
+		for _, n := range strings.Split(include, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	res, err := harness.ScenarioBench(harness.ScenarioConfig{
+		Config:  harness.Config{Seed: seed, Docs: docs, TrainQuestions: train, TestQuestions: test},
+		Include: names,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if out != "" {
+		hist, herr := loadHistory(out)
+		if herr != nil {
+			return herr
+		}
+		hist.Runs = append(hist.Runs, benchRun{
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			Provenance: harness.CollectProvenance(),
+			Scenarios:  &res,
 		})
 		b, herr := json.MarshalIndent(hist, "", "  ")
 		if herr != nil {

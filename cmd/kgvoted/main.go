@@ -49,6 +49,7 @@ import (
 	"kgvote/internal/solvefarm"
 	"kgvote/internal/synth"
 	"kgvote/internal/telemetry"
+	"kgvote/internal/vote"
 	"kgvote/internal/wal"
 )
 
@@ -72,6 +73,7 @@ type config struct {
 	queueCap     int
 	voteRate     float64
 	voteBurst    float64
+	reputation   bool
 	asyncFlush   bool
 	flushTimeout time.Duration
 	drainTimeout time.Duration
@@ -108,6 +110,7 @@ func main() {
 	flag.IntVar(&cfg.queueCap, "queue-cap", 4096, "pending-vote queue bound; excess /v1/vote load is shed with 429 (0 disables admission control)")
 	flag.Float64Var(&cfg.voteRate, "vote-rate", 0, "per-client votes/sec admitted in steady state (0 disables per-client rate limiting)")
 	flag.Float64Var(&cfg.voteBurst, "vote-burst", 0, "per-client vote burst size (0 = max(1, -vote-rate))")
+	flag.BoolVar(&cfg.reputation, "reputation", false, "track per-voter reputation and exclude quarantined voters' votes from batch solves (DESIGN.md §15)")
 	flag.BoolVar(&cfg.asyncFlush, "async-flush", false, "solve batches on a background scheduler instead of inline on the filling vote")
 	flag.DurationVar(&cfg.flushTimeout, "flush-timeout", 10*time.Second, "deadline per background flush solve; on expiry the best-so-far weights apply (0 = unbounded)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown budget: in-flight requests, the final flush, and the shutdown checkpoint must finish within this")
@@ -266,6 +269,10 @@ func serve(cfg config) error {
 			log.Printf("kgvoted: shard %d/%d replicating flushes to %s", cfg.shardIndex, smap.Shards, strings.Join(peers, ", "))
 		}
 	}
+	var repCfg *vote.ReputationConfig
+	if cfg.reputation {
+		repCfg = &vote.ReputationConfig{}
+	}
 	srv, err = server.NewWithOptions(sys, server.Options{
 		BatchSize:       cfg.batch,
 		Solver:          solver,
@@ -277,6 +284,7 @@ func serve(cfg config) error {
 			PerClientRate:  cfg.voteRate,
 			PerClientBurst: cfg.voteBurst,
 		},
+		Reputation:    repCfg,
 		AsyncFlush:    cfg.asyncFlush,
 		FlushTimeout:  cfg.flushTimeout,
 		Telemetry:     reg,

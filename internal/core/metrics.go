@@ -16,6 +16,9 @@ type Metrics struct {
 	// algorithm's verdict (Section V).
 	VotesEncoded   *telemetry.Counter
 	VotesDiscarded *telemetry.Counter
+	// VotesQuarantined counts votes excluded from flushes because their
+	// voter was quarantined by the installed VoterPolicy.
+	VotesQuarantined *telemetry.Counter
 	// OuterIters / InnerIters accumulate SGP solver iterations.
 	OuterIters *telemetry.Counter
 	InnerIters *telemetry.Counter
@@ -50,6 +53,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Votes that produced SGP constraints.", nil),
 		VotesDiscarded: reg.Counter("kgvote_core_votes_discarded_total",
 			"Votes dropped by the judgment algorithm.", nil),
+		VotesQuarantined: reg.Counter("kgvote_votes_quarantined_total",
+			"Votes excluded from flushes because their voter was quarantined.", nil),
 		OuterIters: reg.Counter("kgvote_core_sgp_outer_iterations_total",
 			"SGP solver outer iterations.", nil),
 		InnerIters: reg.Counter("kgvote_core_sgp_inner_iterations_total",
@@ -95,6 +100,7 @@ func (m *Metrics) observeReport(rep *Report) {
 	m.Flushes.Inc()
 	m.VotesEncoded.Add(int64(rep.Encoded))
 	m.VotesDiscarded.Add(int64(rep.Discarded))
+	m.VotesQuarantined.Add(int64(rep.Quarantined))
 	m.OuterIters.Add(int64(rep.Outer))
 	m.InnerIters.Add(int64(rep.InnerIters))
 }

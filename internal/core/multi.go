@@ -49,6 +49,7 @@ func (e *Engine) SolveMultiCtx(ctx context.Context, votes []vote.Vote) (*Report,
 	}
 	report.JudgeSeconds = time.Since(tJudge).Seconds()
 	report.Discarded = len(discarded)
+	report.KeptVotes, report.RejectedVotes = kept, discarded
 	if len(kept) == 0 {
 		e.finishFlush(report, fc)
 		return report, nil

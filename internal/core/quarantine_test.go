@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
+
+// fakePolicy quarantines a fixed voter set and records judgment feedback.
+type fakePolicy struct {
+	bad      map[string]bool
+	rejected []string
+	kept     []string
+}
+
+func (p *fakePolicy) Quarantine(voter string) bool { return p.bad[voter] }
+func (p *fakePolicy) ObserveJudgment(voter string, rejected bool) {
+	if rejected {
+		p.rejected = append(p.rejected, voter)
+	} else {
+		p.kept = append(p.kept, voter)
+	}
+}
+
+func TestStreamQuarantineExcludesVotes(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	y := answers[1]
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.NewStream(2, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &fakePolicy{bad: map[string]bool{"evil": true}}
+	st.SetVoterPolicy(pol)
+
+	v, err := e.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := v
+	bad.Voter = "evil"
+	good := v
+	good.Voter = "good"
+	if _, err := st.Push(bad); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Push(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("batch-filling push should solve")
+	}
+	if rep.Votes != 2 || rep.Quarantined != 1 || rep.Consumed != 2 {
+		t.Fatalf("votes=%d quarantined=%d consumed=%d, want 2/1/2", rep.Votes, rep.Quarantined, rep.Consumed)
+	}
+	if st.Pending() != 0 {
+		t.Fatalf("quarantined vote requeued: pending=%d", st.Pending())
+	}
+	// Only the good voter's vote reached the judgment filter.
+	if len(pol.kept) != 1 || pol.kept[0] != "good" || len(pol.rejected) != 0 {
+		t.Fatalf("judgment feedback kept=%v rejected=%v", pol.kept, pol.rejected)
+	}
+	if r, _ := e.RankOf(q, y, answers); r != 1 {
+		t.Errorf("good voter's vote did not optimize: rank %d", r)
+	}
+}
+
+func TestStreamQuarantineWholeBatch(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	y := answers[1]
+	before := g.Clone()
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.NewStream(2, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetVoterPolicy(&fakePolicy{bad: map[string]bool{"evil": true}})
+
+	v, err := e.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Voter = "evil"
+	if _, err := st.Push(v); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Push(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("all-quarantined batch should still complete the flush")
+	}
+	if rep.Votes != 2 || rep.Quarantined != 2 || rep.Consumed != 2 || rep.Encoded != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if st.Flushes != 1 || st.Pending() != 0 {
+		t.Fatalf("flushes=%d pending=%d", st.Flushes, st.Pending())
+	}
+	// No solve ran: the graph is untouched.
+	before.Edges(func(from, to graph.NodeID, w float64) {
+		if got := g.Weight(from, to); got != w {
+			t.Errorf("edge %d->%d changed by all-quarantined flush: %v -> %v", from, to, w, got)
+		}
+	})
+}
+
+func TestStreamNoPolicyUnchanged(t *testing.T) {
+	g, q, answers := twoAnswer(t)
+	y := answers[1]
+	e, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.NewStream(1, StreamMulti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CollectVote(q, answers, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Voter = "anyone"
+	rep, err := st.Push(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Quarantined != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+var _ VoterPolicy = (*vote.Reputation)(nil)

@@ -1,6 +1,9 @@
 package core
 
-import "kgvote/internal/graph"
+import (
+	"kgvote/internal/graph"
+	"kgvote/internal/vote"
+)
 
 // WeightChange records one edge's final weight after a solve has been
 // applied and normalized — an absolute value, not a delta, so replaying
@@ -20,6 +23,11 @@ type Report struct {
 	// and split-and-merge) or skipped because the best answer is
 	// unreachable / already top-ranked (single-vote).
 	Discarded int
+	// Quarantined counts votes excluded from the flush because their
+	// voter's reputation was below the quarantine threshold at flush time
+	// (Stream.FlushCtx with a VoterPolicy installed). Quarantined votes
+	// are consumed — dropped permanently, never requeued.
+	Quarantined int
 	// Clusters is the number of affinity-propagation clusters (split-and-
 	// merge only; 1 otherwise).
 	Clusters int
@@ -65,6 +73,13 @@ type Report struct {
 	// recovery can reapply a flush without re-solving; it is omitted from
 	// JSON responses.
 	Applied []WeightChange `json:"-"`
+	// KeptVotes and RejectedVotes are the judgment filter's verdict lists
+	// (multi-vote and split-and-merge only — the single-vote greedy loop
+	// has no batch judgment pass). Stream.FlushCtx feeds them to the
+	// installed VoterPolicy so judgment outcomes move voter reputation;
+	// they are never serialized.
+	KeptVotes     []vote.Vote `json:"-"`
+	RejectedVotes []vote.Vote `json:"-"`
 }
 
 // merge folds another report's counters into r (used when a run solves
@@ -87,4 +102,6 @@ func (r *Report) merge(o Report) {
 	r.EnumCacheMisses += o.EnumCacheMisses
 	r.Partial = r.Partial || o.Partial
 	r.Applied = append(r.Applied, o.Applied...)
+	r.KeptVotes = append(r.KeptVotes, o.KeptVotes...)
+	r.RejectedVotes = append(r.RejectedVotes, o.RejectedVotes...)
 }

@@ -64,6 +64,7 @@ func (e *Engine) SolveSplitMergeCtx(ctx context.Context, votes []vote.Vote) (*Re
 	}
 	report.JudgeSeconds = time.Since(tJudge).Seconds()
 	report.Discarded = len(discarded)
+	report.KeptVotes, report.RejectedVotes = kept, discarded
 	if len(kept) == 0 {
 		e.finishFlush(report, fc)
 		return report, nil

@@ -20,6 +20,18 @@ const (
 	StreamSingle
 )
 
+// VoterPolicy lets a reputation tracker gate the flush path. Quarantine
+// is consulted once per pending vote at flush time — votes whose voter is
+// quarantined are excluded from the solve (counted in Report.Quarantined,
+// consumed, never requeued) — and ObserveJudgment feeds the judgment
+// filter's per-vote verdicts back so rejections cost reputation.
+// Implementations must be safe for concurrent use; vote.Reputation
+// satisfies this interface.
+type VoterPolicy interface {
+	Quarantine(voter string) bool
+	ObserveJudgment(voter string, rejected bool)
+}
+
 // Stream processes votes online, the interactive deployment mode the
 // paper's framework implies: votes arrive one at a time and the graph is
 // re-optimized whenever a full batch has accumulated. Between flushes the
@@ -31,6 +43,7 @@ type Stream struct {
 	batch   int
 	solver  StreamSolver
 	pending []vote.Vote
+	policy  VoterPolicy
 	// Flushes counts completed batch solves; TotalVotes counts every vote
 	// accepted (pending included).
 	Flushes    int
@@ -50,6 +63,13 @@ func (e *Engine) NewStream(batchSize int, solver StreamSolver) (*Stream, error) 
 	}
 	return &Stream{e: e, batch: batchSize, solver: solver}, nil
 }
+
+// SetVoterPolicy installs (or, with nil, removes) the reputation gate
+// consulted by FlushCtx. Call it before serving; quarantine decisions use
+// the policy's state as of each flush, so votes accepted while a voter
+// was in good standing are still excluded if the voter is quarantined by
+// the time the batch solves.
+func (s *Stream) SetVoterPolicy(p VoterPolicy) { s.policy = p }
 
 // Pending returns the number of buffered votes awaiting the next flush.
 func (s *Stream) Pending() int { return len(s.pending) }
@@ -134,6 +154,18 @@ func (s *Stream) FlushCtx(ctx context.Context) (*Report, error) {
 	}
 	votes := s.pending
 	s.pending = nil
+	active, quarantined := votes, 0
+	if s.policy != nil {
+		active, quarantined = s.partitionQuarantined(votes)
+	}
+	if len(active) == 0 {
+		// The whole batch was quarantined: no solve, but the flush still
+		// completes (the votes are consumed and the WAL boundary advances).
+		rep := &Report{Votes: len(votes), Quarantined: quarantined, Consumed: len(votes)}
+		s.e.metrics.observeReport(rep)
+		s.Flushes++
+		return rep, nil
+	}
 	stop := s.e.metrics.startFlush()
 	var (
 		rep *Report
@@ -141,30 +173,69 @@ func (s *Stream) FlushCtx(ctx context.Context) (*Report, error) {
 	)
 	switch s.solver {
 	case StreamMulti:
-		rep, err = s.e.SolveMultiCtx(ctx, votes)
+		rep, err = s.e.SolveMultiCtx(ctx, active)
 	case StreamSplitMerge:
-		rep, err = s.e.SolveSplitMergeCtx(ctx, votes)
+		rep, err = s.e.SolveSplitMergeCtx(ctx, active)
 	case StreamSingle:
-		rep, err = s.e.SolveSingleCtx(ctx, votes)
+		rep, err = s.e.SolveSingleCtx(ctx, active)
 	}
 	stop()
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// Pre-solve cancellation: nothing was applied, so the votes
-			// go back in arrival order ahead of anything pushed since.
+			// (quarantined ones included — nothing was dropped yet) go
+			// back in arrival order ahead of anything pushed since.
 			s.pending = append(votes, s.pending...)
 		}
 		return nil, err
 	}
-	if rep.Consumed > 0 && rep.Consumed < len(votes) {
+	if rep.Consumed > 0 && rep.Consumed < len(active) {
 		// Mid-batch cancellation (single-vote solver): the tail was never
 		// applied; requeue it ahead of anything pushed since. The full
 		// slice expression forces append to copy instead of clobbering
-		// votes' backing array.
-		rest := votes[rep.Consumed:len(votes):len(votes)]
+		// the backing array.
+		rest := active[rep.Consumed:len(active):len(active)]
 		s.pending = append(rest, s.pending...)
+	}
+	if s.policy != nil {
+		for _, v := range rep.RejectedVotes {
+			s.policy.ObserveJudgment(v.Voter, true)
+		}
+		for _, v := range rep.KeptVotes {
+			s.policy.ObserveJudgment(v.Voter, false)
+		}
+		// Quarantined votes were dropped for good: they count as supplied
+		// and consumed so callers' requeue logic stays consistent.
+		rep.Votes = len(votes)
+		rep.Quarantined = quarantined
+		rep.Consumed += quarantined
 	}
 	s.e.metrics.observeReport(rep)
 	s.Flushes++
 	return rep, nil
+}
+
+// partitionQuarantined splits the batch by the policy's current verdict,
+// preserving arrival order among the kept votes. Anonymous votes are
+// never quarantined (VoterPolicy implementations must return false for
+// the empty voter, and vote.Reputation does).
+func (s *Stream) partitionQuarantined(votes []vote.Vote) (active []vote.Vote, quarantined int) {
+	// Per-batch memoization: one policy call per distinct voter.
+	verdicts := make(map[string]bool)
+	for _, v := range votes {
+		q, ok := verdicts[v.Voter]
+		if !ok {
+			q = v.Voter != "" && s.policy.Quarantine(v.Voter)
+			verdicts[v.Voter] = q
+		}
+		if q {
+			quarantined++
+		} else {
+			active = append(active, v)
+		}
+	}
+	if quarantined == 0 {
+		return votes, 0
+	}
+	return active, quarantined
 }

@@ -16,6 +16,8 @@ import (
 func FuzzDecodeRecords(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeVote(vote.Vote{Kind: vote.Negative, Query: 3, Ranked: []graph.NodeID{1, 2}, Best: 2, Weight: 0.5}))
+	f.Add(EncodeVote2(vote.Vote{Kind: vote.Negative, Query: 3, Ranked: []graph.NodeID{1, 2}, Best: 2, Weight: 0.5, Voter: "alice"}))
+	f.Add(EncodeVote2(vote.Vote{Kind: vote.Positive, Query: 1, Ranked: []graph.NodeID{4}, Best: 4, Voter: ""}))
 	f.Add(EncodeAttach(Attach{Node: 7, Question: qa.Question{ID: 4, Entities: map[string]int{"email": 2, "send": 1}}}))
 	f.Add(EncodeWeights([]core.WeightChange{{From: 0, To: 1, Weight: 0.25}, {From: 1, To: 2, Weight: 1}}))
 	f.Add(EncodeCheckpoint(123456))
@@ -25,8 +27,16 @@ func FuzzDecodeRecords(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if v, err := DecodeVote(data); err == nil {
+			if v.Voter != "" {
+				t.Errorf("v1 vote decoded with a voter: %q", v.Voter)
+			}
 			if got := EncodeVote(v); !reflect.DeepEqual(got, data) {
 				t.Errorf("vote round trip changed bytes: %x -> %x", data, got)
+			}
+		}
+		if v, err := DecodeVote2(data); err == nil {
+			if got := EncodeVote2(v); !reflect.DeepEqual(got, data) {
+				t.Errorf("vote2 round trip changed bytes: %x -> %x", data, got)
 			}
 		}
 		if a, err := DecodeAttach(data); err == nil {

@@ -305,8 +305,8 @@ func (m *Manager) recoverFrom(seq uint64) (*Recovered, error) {
 				return fmt.Errorf("seq %d: replayed attachment landed on node %d, log says %d", recSeq, qn, a.Node)
 			}
 			return nil
-		case RecVote:
-			v, err := DecodeVote(payload)
+		case RecVote, RecVote2:
+			v, err := decodeVoteRecord(typ, payload)
 			if err != nil {
 				return fmt.Errorf("seq %d: %w", recSeq, err)
 			}
@@ -332,8 +332,8 @@ func (m *Manager) recoverFrom(seq uint64) (*Recovered, error) {
 			rec.Flushes++
 			sawFlush = true
 			return nil
-		case RecRequeue:
-			v, err := DecodeVote(payload)
+		case RecRequeue, RecRequeue2:
+			v, err := decodeVoteRecord(typ, payload)
 			if err != nil {
 				return fmt.Errorf("seq %d: %w", recSeq, err)
 			}
@@ -410,8 +410,24 @@ func (m *Manager) LogAttach(a Attach) error {
 	return m.append(RecAttach, EncodeAttach(a), false)
 }
 
+// decodeVoteRecord dispatches on the vote record version: RecVote and
+// RecRequeue payloads predate voter identities and decode as anonymous;
+// RecVote2 and RecRequeue2 carry the voter in front of the same body.
+func decodeVoteRecord(typ byte, payload []byte) (vote.Vote, error) {
+	if typ == RecVote2 || typ == RecRequeue2 {
+		return DecodeVote2(payload)
+	}
+	return DecodeVote(payload)
+}
+
 // LogVote appends an accepted vote, before it enters the stream.
+// Attributed votes get the versioned record; anonymous votes keep the
+// original one, so a log written entirely by anonymous traffic is
+// byte-identical to what a pre-voter-id build would write.
 func (m *Manager) LogVote(v vote.Vote) error {
+	if v.Voter != "" {
+		return m.append(RecVote2, EncodeVote2(v), true)
+	}
 	return m.append(RecVote, EncodeVote(v), true)
 }
 
@@ -479,6 +495,9 @@ func (m *Manager) LogRemote(rm Remote) error {
 // LogFlush, under the same writer gate, once per requeued vote — replay
 // relies on requeue runs directly following their flush boundary.
 func (m *Manager) LogRequeue(v vote.Vote) error {
+	if v.Voter != "" {
+		return m.append(RecRequeue2, EncodeVote2(v), true)
+	}
 	return m.append(RecRequeue, EncodeVote(v), true)
 }
 

@@ -55,6 +55,15 @@ const (
 	// shard plus its per-source sequence so recovery rebuilds the gap
 	// detector's table.
 	RecRemote byte = 6
+	// RecVote2 is the versioned vote record carrying a voter identity in
+	// front of the RecVote payload. The manager writes it only for
+	// attributed votes (Voter != ""), so anonymous votes stay byte-stable
+	// as RecVote and logs written before voter tracking replay unchanged,
+	// decoding as anonymous.
+	RecVote2 byte = 7
+	// RecRequeue2 is RecRequeue with a voter identity (RecVote2 payload,
+	// same replay semantics as RecRequeue).
+	RecRequeue2 byte = 8
 )
 
 // ErrBadRecord wraps every payload decoding failure. Decoders are fuzzed:
@@ -159,11 +168,55 @@ func (w *out) f64(v float64)       { w.u64(math.Float64bits(v)) }
 func (w *out) count(v int)         { w.b = binary.AppendUvarint(w.b, uint64(v)) }
 func (w *out) str(s string)        { w.count(len(s)); w.b = append(w.b, s...) }
 
-// EncodeVote serializes a vote payload:
+// EncodeVote serializes a vote payload (the voter identity, if any, is
+// dropped — attributed votes use EncodeVote2):
 //
 //	kind u8 | query i32 | best i32 | weight f64 | nRanked uvarint | ranked i32...
 func EncodeVote(v vote.Vote) []byte {
 	var w out
+	encodeVoteBody(&w, v)
+	return w.b
+}
+
+// DecodeVote parses an EncodeVote payload. The returned vote is
+// structurally decoded but not semantically validated; callers replaying
+// it run vote.Validate. Voter is always empty: pre-voter-id records are
+// anonymous by definition.
+func DecodeVote(p []byte) (vote.Vote, error) {
+	r := buf{p}
+	v, err := decodeVoteBody(&r)
+	if err != nil {
+		return v, err
+	}
+	return v, r.done()
+}
+
+// EncodeVote2 serializes a versioned vote payload with a voter identity:
+//
+//	voter str | kind u8 | query i32 | best i32 | weight f64 | nRanked uvarint | ranked i32...
+func EncodeVote2(v vote.Vote) []byte {
+	var w out
+	w.str(v.Voter)
+	encodeVoteBody(&w, v)
+	return w.b
+}
+
+// DecodeVote2 parses an EncodeVote2 payload.
+func DecodeVote2(p []byte) (vote.Vote, error) {
+	r := buf{p}
+	voter, err := r.str()
+	if err != nil {
+		return vote.Vote{}, err
+	}
+	v, err := decodeVoteBody(&r)
+	if err != nil {
+		return v, err
+	}
+	v.Voter = voter
+	return v, r.done()
+}
+
+func encodeVoteBody(w *out, v vote.Vote) {
 	w.u8(byte(v.Kind))
 	w.node(v.Query)
 	w.node(v.Best)
@@ -172,14 +225,9 @@ func EncodeVote(v vote.Vote) []byte {
 	for _, a := range v.Ranked {
 		w.node(a)
 	}
-	return w.b
 }
 
-// DecodeVote parses an EncodeVote payload. The returned vote is
-// structurally decoded but not semantically validated; callers replaying
-// it run vote.Validate.
-func DecodeVote(p []byte) (vote.Vote, error) {
-	r := buf{p}
+func decodeVoteBody(r *buf) (vote.Vote, error) {
 	var v vote.Vote
 	k, err := r.u8()
 	if err != nil {
@@ -205,7 +253,7 @@ func DecodeVote(p []byte) (vote.Vote, error) {
 			return v, err
 		}
 	}
-	return v, r.done()
+	return v, nil
 }
 
 // Attach describes one query-node materialization: the question that was

@@ -1,0 +1,239 @@
+package durable
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/qa"
+	"kgvote/internal/vote"
+	"kgvote/internal/wal"
+)
+
+// voteAs is voteOn with a voter identity attached, and without triggering
+// a flush decision (queue only): the tests below control flush timing.
+func (h *harness) voteAs(q qa.Question, bestDoc int, voter string) vote.Vote {
+	h.t.Helper()
+	qn, err := h.sys.AttachQuestion(q)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if err := h.mgr.LogAttach(Attach{Node: qn, Question: q}); err != nil {
+		h.t.Fatal(err)
+	}
+	ranked, err := h.sys.Engine.Rank(qn, h.sys.Answers())
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	list := make([]graph.NodeID, len(ranked))
+	for i, r := range ranked {
+		list[i] = r.Node
+	}
+	best, err := h.sys.AnswerOf(bestDoc)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	v, err := vote.FromRanking(qn, list, best)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	v.Voter = voter
+	if err := h.mgr.LogVote(v); err != nil {
+		h.t.Fatal(err)
+	}
+	if err := h.stream.PushQueue(v); err != nil {
+		h.t.Fatal(err)
+	}
+	if err := h.mgr.Commit(); err != nil {
+		h.t.Fatal(err)
+	}
+	return v
+}
+
+// pendingVoters projects the stream's pending queue onto voter ids.
+func pendingVoters(st interface{ PendingVotes() []vote.Vote }) []string {
+	var out []string
+	for _, v := range st.PendingVotes() {
+		out = append(out, v.Voter)
+	}
+	return out
+}
+
+// TestVoterIdentitySurvivesCrash: attributed and anonymous votes pending
+// at crash time recover with their voters intact, in arrival order.
+func TestVoterIdentitySurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 100) // batch never fills: all votes stay pending
+	h.voteAs(qa.Question{ID: 1, Entities: map[string]int{"email": 1, "outlook": 1}}, 1, "alice")
+	h.voteAs(qa.Question{ID: 2, Entities: map[string]int{"send": 1}}, 0, "")
+	h.voteAs(qa.Question{ID: 3, Entities: map[string]int{"message": 1, "delay": 1}}, 2, "bob")
+	want := []string{"alice", "", "bob"}
+	if got := pendingVoters(h.stream); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pre-crash voters %v, want %v", got, want)
+	}
+	wantRank := rankings(t, h.sys)
+	// Crash: no Close, no checkpoint.
+
+	h2 := newHarness(t, dir, 100)
+	if got := pendingVoters(h2.stream); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered voters %v, want %v", got, want)
+	}
+	if got := rankings(t, h2.sys); !reflect.DeepEqual(got, wantRank) {
+		t.Fatalf("post-recovery rankings differ:\n got %v\nwant %v", got, wantRank)
+	}
+	if h2.stream.TotalVotes != 3 || h2.stream.Pending() != 3 {
+		t.Errorf("recovered counters: total=%d pending=%d", h2.stream.TotalVotes, h2.stream.Pending())
+	}
+}
+
+// TestVoterRecordsAreVersioned: anonymous votes keep the legacy RecVote
+// frame (a log written by anonymous traffic is byte-compatible with
+// pre-voter-id builds); attributed votes get RecVote2.
+func TestVoterRecordsAreVersioned(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 100)
+	h.voteAs(qa.Question{ID: 1, Entities: map[string]int{"email": 1}}, 0, "alice")
+	h.voteAs(qa.Question{ID: 2, Entities: map[string]int{"send": 1}}, 0, "")
+	if err := h.mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	var types []byte
+	err = log.Replay(0, func(seq uint64, typ byte, payload []byte) error {
+		if typ == RecVote || typ == RecVote2 {
+			types = append(types, typ)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{RecVote2, RecVote}; !reflect.DeepEqual(types, want) {
+		t.Fatalf("vote record types %v, want %v", types, want)
+	}
+}
+
+// TestLegacyWALReplaysAnonymous simulates a WAL written by a pre-voter-id
+// build: raw RecVote/RecRequeue frames appended directly to the log (the
+// exact bytes an old build would have written) replay cleanly and decode
+// as anonymous votes.
+func TestLegacyWALReplaysAnonymous(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 100)
+	// Materialize a query node through the normal path so the legacy vote
+	// has something valid to reference.
+	q := qa.Question{ID: 1, Entities: map[string]int{"email": 1, "outlook": 1}}
+	qn, err := h.sys.AttachQuestion(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.LogAttach(Attach{Node: qn, Question: q}); err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := h.sys.Engine.Rank(qn, h.sys.Answers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := make([]graph.NodeID, len(ranked))
+	for i, r := range ranked {
+		list[i] = r.Node
+	}
+	best, err := h.sys.AnswerOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vote.FromRanking(qn, list, best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append the legacy frames exactly as an old build would: v1 payloads
+	// under the v1 record types.
+	log, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "wal"), Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(RecVote, EncodeVote(v)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(RecRequeue, EncodeVote(v)); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := newHarness(t, dir, 100)
+	defer h2.mgr.Close()
+	got := h2.stream.PendingVotes()
+	if len(got) != 2 {
+		t.Fatalf("recovered %d pending votes, want 2", len(got))
+	}
+	for i, pv := range got {
+		if pv.Voter != "" {
+			t.Errorf("legacy vote %d recovered with voter %q, want anonymous", i, pv.Voter)
+		}
+		if pv.Query != v.Query || pv.Best != v.Best {
+			t.Errorf("legacy vote %d mangled: %+v", i, pv)
+		}
+	}
+}
+
+// TestCheckpointPlusWALCurrentFormat is the acceptance check: a
+// checkpoint plus a WAL tail written entirely by the current format
+// (attributed and anonymous votes, a flush boundary, then more pending
+// votes) restores byte-identical rankings and the exact pending queue.
+func TestCheckpointPlusWALCurrentFormat(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, dir, 2)
+	// Two votes fill the batch: flush, then checkpoint the flushed state.
+	h.voteAs(qa.Question{ID: 1, Entities: map[string]int{"email": 1, "outlook": 1}}, 1, "alice")
+	h.voteAs(qa.Question{ID: 2, Entities: map[string]int{"email": 1, "outlook": 1}}, 1, "bob")
+	rep, err := h.stream.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("batch did not flush")
+	}
+	if err := h.mgr.LogFlush(rep.Applied); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.Checkpoint(h.sys, h.stream.TotalVotes, h.stream.Flushes); err != nil {
+		t.Fatal(err)
+	}
+	// WAL tail past the checkpoint: one attributed, one anonymous vote.
+	h.voteAs(qa.Question{ID: 3, Entities: map[string]int{"send": 1}}, 0, "carol")
+	h.voteAs(qa.Question{ID: 4, Entities: map[string]int{"message": 1}}, 2, "")
+	want := rankings(t, h.sys)
+	wantVoters := []string{"carol", ""}
+	// Crash.
+
+	h2 := newHarness(t, dir, 2)
+	defer h2.mgr.Close()
+	if got := rankings(t, h2.sys); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-replay rankings differ:\n got %v\nwant %v", got, want)
+	}
+	if got := pendingVoters(h2.stream); !reflect.DeepEqual(got, wantVoters) {
+		t.Fatalf("post-replay pending voters %v, want %v", got, wantVoters)
+	}
+	if h2.stream.TotalVotes != 4 || h2.stream.Flushes != 1 || h2.stream.Pending() != 2 {
+		t.Errorf("counters: total=%d flushes=%d pending=%d",
+			h2.stream.TotalVotes, h2.stream.Flushes, h2.stream.Pending())
+	}
+}

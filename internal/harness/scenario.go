@@ -1,0 +1,376 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"kgvote/internal/core"
+	"kgvote/internal/metrics"
+	"kgvote/internal/synth"
+	"kgvote/internal/vote"
+)
+
+// ScenarioConfig sizes the adversarial-workload benchmark (DESIGN.md
+// §15): each synth scenario is mixed with honest traffic and driven
+// through full vote→flush→re-rank cycles, once with the reputation
+// tracker installed and once without (the load-bearing ablation), and
+// the run verifies the quarantine contract instead of just timing it.
+type ScenarioConfig struct {
+	Config
+	// BatchSize is the stream flush threshold. Default 16.
+	BatchSize int
+	// Epsilon bounds how far test MRR/MAP may fall below the honest-only
+	// baseline while an adversarial scenario runs with quarantine on.
+	// Default 0.05.
+	Epsilon float64
+	// DegradeMargin is how much worse than the quarantine-on run the
+	// quarantine-off ablation must score (MRR or MAP) for spam-flood and
+	// colluding-ring — the proof the tracker is load-bearing. A scenario
+	// whose ablation also clears the Ω_avg drop (OmegaMargin) passes too.
+	// Default 0.02.
+	DegradeMargin float64
+	// OmegaMargin is the alternative ablation criterion: honest Ω_avg
+	// under quarantine off trails the quarantine-on run by at least this
+	// many rank positions. Default 0.3.
+	OmegaMargin float64
+	// Include restricts which scenarios run (by synth kind name, e.g.
+	// "spam-flood"); empty runs the full suite.
+	Include []string
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	c.Config = c.Config.withDefaults()
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	}
+	if c.DegradeMargin == 0 {
+		c.DegradeMargin = 0.02
+	}
+	if c.OmegaMargin == 0 {
+		c.OmegaMargin = 0.3
+	}
+	return c
+}
+
+// scenarioSuite is the default workload suite: every non-honest synth
+// kind, with sizes that let the adversarial streams rival the honest one.
+func (c ScenarioConfig) scenarioSuite() []synth.Scenario {
+	all := []synth.Scenario{
+		{Kind: synth.Noisy, Seed: c.Seed + 20},
+		{Kind: synth.SpamFlood, Seed: c.Seed + 21, Volume: 3 * c.TrainQuestions},
+		{Kind: synth.ColludingRing, Seed: c.Seed + 22, Waves: 3},
+		{Kind: synth.Contradictory, Seed: c.Seed + 23},
+		{Kind: synth.Implicit, Seed: c.Seed + 24},
+	}
+	if len(c.Include) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, n := range c.Include {
+		want[n] = true
+	}
+	var out []synth.Scenario
+	for _, sc := range all {
+		if want[sc.Kind.String()] {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// ScenarioOutcome reports one adversarial scenario's effect on ranking
+// quality, with the reputation tracker on and (for adversarial kinds)
+// off.
+type ScenarioOutcome struct {
+	Name        string `json:"name"`
+	Adversarial bool   `json:"adversarial"`
+	// Vote-stream composition of the mixed run.
+	HonestVotes      int `json:"honest_votes"`
+	AdversarialVotes int `json:"adversarial_votes"`
+	// Quarantine-on metrics.
+	Quarantined       int     `json:"quarantined"`
+	QuarantinedVoters int     `json:"quarantined_voters"`
+	HonestQuarantined int     `json:"honest_quarantined_voters"`
+	OmegaAvg          float64 `json:"omega_avg"`
+	MRR               float64 `json:"mrr"`
+	MAP               float64 `json:"map"`
+	// Quarantine-off ablation (adversarial kinds only).
+	OffOmegaAvg float64 `json:"off_omega_avg,omitempty"`
+	OffMRR      float64 `json:"off_mrr,omitempty"`
+	OffMAP      float64 `json:"off_map,omitempty"`
+}
+
+// ScenarioResult is the JSON-serializable outcome of ScenarioBench (the
+// "scenarios" entry of BENCH_serve.json). Violations lists every broken
+// contract clause; an empty list is a passing run.
+type ScenarioResult struct {
+	Docs      int     `json:"docs"`
+	Train     int     `json:"train_questions"`
+	Test      int     `json:"test_questions"`
+	BatchSize int     `json:"batch_size"`
+	Epsilon   float64 `json:"epsilon"`
+
+	// Honest-only baseline (tracker on, nothing to quarantine).
+	BaselineOmegaAvg float64 `json:"baseline_omega_avg"`
+	BaselineMRR      float64 `json:"baseline_mrr"`
+	BaselineMAP      float64 `json:"baseline_map"`
+
+	Scenarios []ScenarioOutcome `json:"scenarios"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// String renders a one-screen summary.
+func (r ScenarioResult) String() string {
+	verdict := "PASS"
+	if len(r.Violations) > 0 {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario bench: %d docs, %d train / %d test questions, batch %d, ε %.2f — %s\n",
+		r.Docs, r.Train, r.Test, r.BatchSize, r.Epsilon, verdict)
+	fmt.Fprintf(&b, "  baseline (honest only): Ω_avg %+.2f  MRR %.3f  MAP %.3f\n",
+		r.BaselineOmegaAvg, r.BaselineMRR, r.BaselineMAP)
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(&b, "  %-14s %4d adv votes: quarantined %3d votes / %d voters (honest hit: %d)  Ω_avg %+.2f  MRR %.3f  MAP %.3f",
+			s.Name, s.AdversarialVotes, s.Quarantined, s.QuarantinedVoters, s.HonestQuarantined, s.OmegaAvg, s.MRR, s.MAP)
+		if s.Adversarial {
+			fmt.Fprintf(&b, "  [off: Ω_avg %+.2f  MRR %.3f  MAP %.3f]", s.OffOmegaAvg, s.OffMRR, s.OffMAP)
+		}
+		b.WriteByte('\n')
+	}
+	for _, v := range r.Violations {
+		b.WriteString("  VIOLATION: " + v + "\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Err returns a non-nil error when the run broke the quarantine contract.
+func (r ScenarioResult) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("scenario contract: %d violations: %v", len(r.Violations), r.Violations)
+}
+
+// passMetrics is one full vote→flush→re-rank cycle's outcome.
+type passMetrics struct {
+	honest, adversarial int
+	quarantined         int
+	quarantinedVoters   int
+	honestQuarantined   int
+	omegaAvg            float64
+	mrr, mapScore       float64
+}
+
+// runScenarioPass builds a fresh identically-corrupted system, generates
+// the honest stream plus (optionally) one adversarial stream against it,
+// interleaves them in a deterministic shuffle, and streams everything
+// through batch flushes. Honest Ω_avg compares each honest vote's
+// ground-truth rank at vote time against its final rank; MRR/MAP come
+// from the held-out test set.
+func runScenarioPass(f *taobaoFixture, cfg ScenarioConfig, adv *synth.Scenario, withTracker bool) (passMetrics, error) {
+	var pm passMetrics
+	sys, err := f.buildCorrupted()
+	if err != nil {
+		return pm, err
+	}
+	honest, err := synth.SimulateScenario(sys, f.train, synth.Scenario{
+		Kind: synth.Honest, Seed: cfg.Seed + 4, Voters: 5,
+	})
+	if err != nil {
+		return pm, err
+	}
+	recs := append([]synth.VoteRecord(nil), honest...)
+	if adv != nil {
+		advRecs, err := synth.SimulateScenario(sys, f.train, *adv)
+		if err != nil {
+			return pm, err
+		}
+		pm.adversarial = len(advRecs)
+		recs = append(recs, advRecs...)
+	}
+	pm.honest = len(honest)
+	rand.New(rand.NewSource(cfg.Seed + 6)).Shuffle(len(recs), func(i, j int) {
+		recs[i], recs[j] = recs[j], recs[i]
+	})
+
+	stream, err := sys.Engine.NewStream(cfg.BatchSize, core.StreamMulti)
+	if err != nil {
+		return pm, err
+	}
+	var tracker *vote.Reputation
+	if withTracker {
+		tracker = vote.NewReputation(vote.ReputationConfig{})
+		stream.SetVoterPolicy(tracker)
+	}
+	for _, rec := range recs {
+		if tracker != nil {
+			tracker.Observe(rec.Vote.Voter, uint64(rec.Question.ID), rec.Vote.Best)
+		}
+		rep, err := stream.Push(rec.Vote)
+		if err != nil {
+			return pm, err
+		}
+		if rep != nil {
+			pm.quarantined += rep.Quarantined
+		}
+	}
+	rep, err := stream.Flush()
+	if err != nil {
+		return pm, err
+	}
+	if rep != nil {
+		pm.quarantined += rep.Quarantined
+	}
+	if tracker != nil {
+		pm.quarantinedVoters = tracker.Stats().QuarantinedVoters
+		for i := 0; i < 5; i++ {
+			if tracker.Quarantine(voterID("honest", i)) {
+				pm.honestQuarantined++
+			}
+		}
+	}
+
+	// Honest Ω: the ground-truth answer's rank at vote time vs now.
+	var before, after []int
+	for _, rec := range honest {
+		best, err := sys.AnswerOf(rec.Question.BestDoc)
+		if err != nil {
+			return pm, err
+		}
+		now, err := sys.Engine.RankOf(rec.Query, best, sys.Answers())
+		if err != nil {
+			return pm, err
+		}
+		before = append(before, rec.TrueRank)
+		after = append(after, now)
+	}
+	pm.omegaAvg, err = metrics.OmegaAvg(before, after)
+	if err != nil {
+		return pm, err
+	}
+	ranks, err := f.testRanks(sys)
+	if err != nil {
+		return pm, err
+	}
+	pm.mrr = metrics.MRR(ranks)
+	aps, err := f.testAPs(sys)
+	if err != nil {
+		return pm, err
+	}
+	pm.mapScore = metrics.MAP(aps)
+	return pm, nil
+}
+
+// voterID mirrors synth's voter naming so the harness can ask the
+// tracker about specific honest identities.
+func voterID(prefix string, i int) string { return fmt.Sprintf("%s-%d", prefix, i) }
+
+// ScenarioBench runs the adversarial vote workloads of DESIGN.md §15
+// through full vote→flush→re-rank cycles and checks the quarantine
+// contract:
+//
+//   - with the reputation tracker on, honest votes keep landing (Ω_avg
+//     stays positive) and held-out MRR/MAP stay within Epsilon of the
+//     honest-only baseline for every adversarial scenario, while no
+//     honest voter is quarantined;
+//   - with the tracker off, at least the spam-flood and colluding-ring
+//     scenarios measurably degrade quality — the ablation proving the
+//     tracker (not the solver alone) absorbs the attacks.
+func ScenarioBench(cfg ScenarioConfig) (ScenarioResult, error) {
+	cfg = cfg.withDefaults()
+	f, err := newTaobaoFixture(cfg.Config)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	res := ScenarioResult{
+		Docs:      cfg.Docs,
+		Train:     cfg.TrainQuestions,
+		Test:      cfg.TestQuestions,
+		BatchSize: cfg.BatchSize,
+		Epsilon:   cfg.Epsilon,
+	}
+	violation := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	base, err := runScenarioPass(f, cfg, nil, true)
+	if err != nil {
+		return res, fmt.Errorf("baseline pass: %w", err)
+	}
+	res.BaselineOmegaAvg = base.omegaAvg
+	res.BaselineMRR = base.mrr
+	res.BaselineMAP = base.mapScore
+	if base.omegaAvg <= 0 {
+		violation("baseline honest Ω_avg = %.3f, want > 0", base.omegaAvg)
+	}
+	if base.quarantined != 0 || base.quarantinedVoters != 0 {
+		violation("baseline quarantined %d votes / %d voters with only honest traffic",
+			base.quarantined, base.quarantinedVoters)
+	}
+
+	for _, sc := range cfg.scenarioSuite() {
+		sc := sc
+		on, err := runScenarioPass(f, cfg, &sc, true)
+		if err != nil {
+			return res, fmt.Errorf("%s pass: %w", sc.Kind, err)
+		}
+		out := ScenarioOutcome{
+			Name:              sc.Kind.String(),
+			Adversarial:       sc.Adversarial(),
+			HonestVotes:       on.honest,
+			AdversarialVotes:  on.adversarial,
+			Quarantined:       on.quarantined,
+			QuarantinedVoters: on.quarantinedVoters,
+			HonestQuarantined: on.honestQuarantined,
+			OmegaAvg:          on.omegaAvg,
+			MRR:               on.mrr,
+			MAP:               on.mapScore,
+		}
+		if on.omegaAvg <= 0 {
+			violation("%s: honest Ω_avg = %.3f with quarantine on, want > 0", out.Name, on.omegaAvg)
+		}
+		if out.HonestQuarantined != 0 {
+			violation("%s: %d honest voters quarantined", out.Name, out.HonestQuarantined)
+		}
+		if out.Adversarial {
+			if on.mrr < res.BaselineMRR-cfg.Epsilon {
+				violation("%s: MRR %.3f fell more than ε=%.2f below baseline %.3f",
+					out.Name, on.mrr, cfg.Epsilon, res.BaselineMRR)
+			}
+			if on.mapScore < res.BaselineMAP-cfg.Epsilon {
+				violation("%s: MAP %.3f fell more than ε=%.2f below baseline %.3f",
+					out.Name, on.mapScore, cfg.Epsilon, res.BaselineMAP)
+			}
+			if on.quarantined == 0 {
+				violation("%s: tracker quarantined no votes", out.Name)
+			}
+
+			off, err := runScenarioPass(f, cfg, &sc, false)
+			if err != nil {
+				return res, fmt.Errorf("%s ablation pass: %w", sc.Kind, err)
+			}
+			out.OffOmegaAvg = off.omegaAvg
+			out.OffMRR = off.mrr
+			out.OffMAP = off.mapScore
+			// Only spam-flood and colluding-ring are required to collapse:
+			// a contradictory campaign half-cancels itself by construction.
+			if sc.Kind == synth.SpamFlood || sc.Kind == synth.ColludingRing {
+				qualityDrop := (on.mrr-off.mrr >= cfg.DegradeMargin) ||
+					(on.mapScore-off.mapScore >= cfg.DegradeMargin)
+				omegaDrop := on.omegaAvg-off.omegaAvg >= cfg.OmegaMargin
+				if !qualityDrop && !omegaDrop {
+					violation("%s: quarantine-off ablation did not degrade (MRR %.3f→%.3f, MAP %.3f→%.3f, Ω_avg %+.2f→%+.2f) — tracker not load-bearing",
+						out.Name, on.mrr, off.mrr, on.mapScore, off.mapScore, on.omegaAvg, off.omegaAvg)
+				}
+			}
+		}
+		res.Scenarios = append(res.Scenarios, out)
+	}
+	return res, nil
+}

@@ -1,0 +1,37 @@
+package harness
+
+import "testing"
+
+func TestScenarioBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario bench is slow")
+	}
+	res, err := ScenarioBench(ScenarioConfig{
+		Config:  Config{Seed: 1, Docs: 30, TrainQuestions: 14, TestQuestions: 14},
+		Include: []string{"spam-flood"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() != nil {
+		t.Fatalf("%v\n%s", res.Err(), res)
+	}
+	if len(res.Scenarios) != 1 || res.Scenarios[0].Name != "spam-flood" {
+		t.Fatalf("Include filter broken: %+v", res.Scenarios)
+	}
+	s := res.Scenarios[0]
+	if s.Quarantined == 0 {
+		t.Error("spam flood was never quarantined")
+	}
+	if s.HonestQuarantined != 0 {
+		t.Errorf("%d honest voters quarantined", s.HonestQuarantined)
+	}
+	// The load-bearing ablation: without the tracker the same stream must
+	// leave the system measurably worse than with it.
+	if !(s.OffMRR < s.MRR || s.OffOmegaAvg < s.OmegaAvg) {
+		t.Errorf("quarantine-off ablation did not degrade: %+v", s)
+	}
+	if res.String() == "" {
+		t.Error("empty summary")
+	}
+}

@@ -36,9 +36,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -109,6 +111,12 @@ type Options struct {
 	// sheds excess /v1/vote load (429 + Retry-After). Zero Capacity
 	// disables admission control entirely.
 	Admission admit.Config
+	// Reputation, when non-nil, enables voter reputation tracking:
+	// attributed votes (VoteRequest.Voter) are scored, low-reputation
+	// voters are quarantined, and quarantined voters' votes are excluded
+	// from batch solves until their reputation recovers. Nil disables
+	// tracking entirely; anonymous votes are never tracked either way.
+	Reputation *vote.ReputationConfig
 	// AsyncFlush moves batch solves off the vote path onto a background
 	// scheduler: /v1/vote enqueues and returns immediately, and
 	// VoteResponse.Flushed stays false. Off by default — votes flush
@@ -174,6 +182,11 @@ type Server struct {
 	admit    *admit.Controller
 	flushing atomic.Bool
 	draining atomic.Bool
+
+	// Voter reputation tracking (nil unless Options.Reputation). The
+	// tracker is internally synchronized; the stream consults it as its
+	// VoterPolicy at flush time under the writer gate.
+	rep *vote.Reputation
 
 	// Background flush scheduling (nil unless Options.AsyncFlush).
 	flusher      *flusher
@@ -274,6 +287,20 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 	}
 	if o.Admission.Capacity > 0 {
 		s.admit = admit.New(o.Admission)
+	}
+	if o.Reputation != nil {
+		s.rep = vote.NewReputation(*o.Reputation)
+		st.SetVoterPolicy(s.rep)
+		if o.Recovered != nil {
+			// Re-observe the recovered pending votes so a crash does not
+			// reset in-flight voters to a clean slate. The original entity
+			// signatures are gone, so these observations key on the query
+			// node id — contradiction detection across a restart is
+			// coarser, but scores and quarantine state re-accumulate.
+			for _, v := range o.Recovered.Pending {
+				s.rep.Observe(v.Voter, uint64(uint32(v.Query)), v.Best)
+			}
+		}
 	}
 	if o.Telemetry != nil {
 		s.wireTelemetry(o.Telemetry)
@@ -437,6 +464,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Clients:       st.Clients,
 		}
 	}
+	if s.rep != nil {
+		rs := s.rep.Stats()
+		body.Reputation = &rs
+	}
 	if s.dur != nil {
 		ds := s.dur.Stats()
 		body.Durability = &ds
@@ -582,6 +613,11 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 			"document %d is owned by shard %d, not shard %d", req.BestDoc, sc.Map.Owner(req.BestDoc), sc.Index)
 		return
 	}
+	if len(req.Voter) > maxVoterLen {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest,
+			"voter id exceeds %d bytes", maxVoterLen)
+		return
+	}
 	ranked := make([]graph.NodeID, 0, len(req.Ranked))
 	for _, doc := range req.Ranked {
 		a, err := s.sys.AnswerOf(doc)
@@ -645,6 +681,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v.Weight = req.Weight
+	v.Voter = req.Voter
 	if err := v.Validate(); err != nil {
 		if s.admit != nil {
 			s.admit.Cancel(client)
@@ -683,6 +720,11 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	}
 	s.votesAccepted.Add(1)
 	s.votesPending.Store(int64(s.stream.Pending()))
+	var quarantined bool
+	if s.rep != nil {
+		verdict := s.rep.Observe(v.Voter, s.voteQueryKey(req.Query, req.Entities, qn), v.Best)
+		quarantined = verdict.Quarantined
+	}
 	var rep *core.Report
 	if s.stream.NeedsFlush() {
 		if s.asyncFlush {
@@ -706,11 +748,45 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, VoteResponse{
-		Kind:    v.Kind.String(),
-		Pending: s.stream.Pending(),
-		Flushed: rep != nil,
-		Report:  rep,
+		Kind:        v.Kind.String(),
+		Pending:     s.stream.Pending(),
+		Flushed:     rep != nil,
+		Report:      rep,
+		Quarantined: quarantined,
 	})
+}
+
+// maxVoterLen bounds VoteRequest.Voter: long ids bloat WAL records and
+// the reputation table for no legitimate reason.
+const maxVoterLen = 64
+
+// voteQueryKey derives the stable question identity a vote's reputation
+// observation is keyed on: the entity signature of the served question
+// when the handle (or the vote itself) still carries one, else the query
+// node id. Entity signatures are what let the tracker recognize the same
+// question across separate asks — every ask mints a fresh node.
+func (s *Server) voteQueryKey(ref graph.NodeID, entities map[string]int, qn graph.NodeID) uint64 {
+	if pq, ok := s.pending.Get(ref); ok && len(pq.q.Entities) > 0 {
+		return entitiesKey(pq.q.Entities)
+	}
+	if len(entities) > 0 {
+		return entitiesKey(entities)
+	}
+	return uint64(uint32(qn))
+}
+
+// entitiesKey hashes an entity multiset into a stable 64-bit key.
+func entitiesKey(ents map[string]int) uint64 {
+	names := make([]string, 0, len(ents))
+	for n := range ents {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, n := range names {
+		fmt.Fprintf(h, "%s=%d;", n, ents[n])
+	}
+	return h.Sum64()
 }
 
 // flushLocked runs one flush with durability logging and the periodic

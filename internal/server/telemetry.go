@@ -9,6 +9,7 @@ import (
 	"kgvote/internal/core"
 	"kgvote/internal/qa"
 	"kgvote/internal/telemetry"
+	"kgvote/internal/vote"
 )
 
 // This file is the server's observability layer (DESIGN.md §10): every
@@ -127,6 +128,33 @@ func (s *Server) registerCollectors(reg *telemetry.Registry) {
 		reg.GaugeFunc("kgvote_server_admission_clients",
 			"Clients tracked by the admission controller's bucket table.", nil,
 			shed(func(st admit.Stats) int64 { return int64(st.Clients) }))
+	}
+	if s.rep != nil {
+		rep := func(read func(vote.ReputationStats) int64) func() float64 {
+			return func() float64 { return float64(read(s.rep.Stats())) }
+		}
+		reg.GaugeFunc("kgvote_vote_reputation_voters",
+			"Distinct non-anonymous voters tracked by the reputation table.", nil,
+			rep(func(st vote.ReputationStats) int64 { return int64(st.Voters) }))
+		reg.GaugeFunc("kgvote_vote_reputation_quarantined_voters",
+			"Voters currently quarantined by reputation.", nil,
+			rep(func(st vote.ReputationStats) int64 { return int64(st.QuarantinedVoters) }))
+		reg.CounterFunc("kgvote_vote_reputation_penalties_total",
+			"Reputation penalties applied, by reason.",
+			telemetry.Labels{"reason": vote.ReasonJudgmentRejected},
+			rep(func(st vote.ReputationStats) int64 { return st.JudgmentRejections }))
+		reg.CounterFunc("kgvote_vote_reputation_penalties_total",
+			"Reputation penalties applied, by reason.",
+			telemetry.Labels{"reason": vote.ReasonSelfContradiction},
+			rep(func(st vote.ReputationStats) int64 { return st.SelfContradictions }))
+		reg.CounterFunc("kgvote_vote_reputation_penalties_total",
+			"Reputation penalties applied, by reason.",
+			telemetry.Labels{"reason": vote.ReasonCrossContradiction},
+			rep(func(st vote.ReputationStats) int64 { return st.CrossContradictions }))
+		reg.CounterFunc("kgvote_vote_reputation_penalties_total",
+			"Reputation penalties applied, by reason.",
+			telemetry.Labels{"reason": vote.ReasonDuplicate},
+			rep(func(st vote.ReputationStats) int64 { return st.DuplicateVotes }))
 	}
 }
 

@@ -17,6 +17,12 @@ type VoterConfig struct {
 	// judgment algorithm is meant to absorb these). Default 0.
 	ErrorRate float64
 	Seed      int64
+	// Voters spreads the votes round-robin across this many distinct
+	// voter identities named "<VoterPrefix>-<i>". Zero keeps the legacy
+	// behaviour: every vote is anonymous.
+	Voters int
+	// VoterPrefix names the simulated voters; "honest" if empty.
+	VoterPrefix string
 }
 
 // VoteRecord pairs a collected vote with its evaluation context.
@@ -56,7 +62,7 @@ func SimulateVotes(s *qa.System, questions []qa.Question, cfg VoterConfig) ([]Vo
 				break
 			}
 		}
-		if pos == 0 || len(ranked) < 2 {
+		if pos == 0 {
 			continue // true answer not in top-K: the user walks away
 		}
 		chosen := best
@@ -74,6 +80,9 @@ func SimulateVotes(s *qa.System, questions []qa.Question, cfg VoterConfig) ([]Vo
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Voters > 0 {
+			v.Voter = voterName(cfg.VoterPrefix, "honest", len(out)%cfg.Voters)
+		}
 		trueRank, err := s.Engine.RankOf(qn, best, s.Answers())
 		if err != nil {
 			return nil, err
@@ -81,6 +90,13 @@ func SimulateVotes(s *qa.System, questions []qa.Question, cfg VoterConfig) ([]Vo
 		out = append(out, VoteRecord{Question: q, Query: qn, Vote: v, TrueRank: trueRank})
 	}
 	return out, nil
+}
+
+func voterName(prefix, fallback string, i int) string {
+	if prefix == "" {
+		prefix = fallback
+	}
+	return fmt.Sprintf("%s-%d", prefix, i)
 }
 
 // Votes extracts the plain votes from a record set.

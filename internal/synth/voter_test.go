@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"testing"
+
+	"kgvote/internal/core"
+	"kgvote/internal/qa"
+	"kgvote/internal/vote"
+)
+
+// TestSimulateVotesSingletonList covers the regression where a positive
+// rank-1 vote on a singleton ranked list was skipped: the paper's users
+// do cast confirming positive votes when the only answer shown is the
+// right one.
+func TestSimulateVotesSingletonList(t *testing.T) {
+	oneDoc := &qa.Corpus{Docs: []qa.Document{
+		{ID: 0, Title: "Email stuck in outbox", Entities: map[string]int{"email": 2, "outbox": 2, "send": 1}},
+	}}
+	twoDocs := &qa.Corpus{Docs: []qa.Document{
+		{ID: 0, Title: "Email stuck in outbox", Entities: map[string]int{"email": 2, "outbox": 2, "send": 1}},
+		{ID: 1, Title: "Configure Outlook account", Entities: map[string]int{"outlook": 2, "account": 2, "email": 1}},
+	}}
+	cases := []struct {
+		name      string
+		corpus    *qa.Corpus
+		question  qa.Question
+		wantVotes int
+		wantKind  vote.Kind
+		wantLen   int
+	}{
+		{
+			name:      "singleton list positive vote",
+			corpus:    oneDoc,
+			question:  qa.Question{ID: 1, Entities: map[string]int{"email": 1, "send": 1}, BestDoc: 0},
+			wantVotes: 1,
+			wantKind:  vote.Positive,
+			wantLen:   1,
+		},
+		{
+			name:      "singleton list no ground truth",
+			corpus:    oneDoc,
+			question:  qa.Question{ID: 2, Entities: map[string]int{"email": 1}, BestDoc: -1},
+			wantVotes: 0,
+		},
+		{
+			name:      "multi-answer list still votes",
+			corpus:    twoDocs,
+			question:  qa.Question{ID: 3, Entities: map[string]int{"email": 1, "outbox": 1}, BestDoc: 0},
+			wantVotes: 1,
+			wantKind:  vote.Positive,
+			wantLen:   2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := qa.Build(tc.corpus, core.Options{K: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs, err := SimulateVotes(s, []qa.Question{tc.question}, VoterConfig{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != tc.wantVotes {
+				t.Fatalf("got %d votes, want %d", len(recs), tc.wantVotes)
+			}
+			if tc.wantVotes == 0 {
+				return
+			}
+			v := recs[0].Vote
+			if err := v.Validate(); err != nil {
+				t.Fatalf("simulated vote invalid: %v", err)
+			}
+			if v.Kind != tc.wantKind {
+				t.Errorf("kind = %v, want %v", v.Kind, tc.wantKind)
+			}
+			if len(v.Ranked) != tc.wantLen {
+				t.Errorf("ranked list length = %d, want %d", len(v.Ranked), tc.wantLen)
+			}
+			best, err := s.AnswerOf(tc.question.BestDoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Best != best {
+				t.Errorf("vote best = %d, want %d", v.Best, best)
+			}
+		})
+	}
+}
+
+// TestSimulateVotesAssignsVoters: VoterConfig.Voters spreads attributed
+// identities round-robin; zero keeps votes anonymous.
+func TestSimulateVotesAssignsVoters(t *testing.T) {
+	c, err := GenerateCorpus(CorpusConfig{Topics: 4, EntitiesPer: 10, Docs: 40, EntitiesPerDoc: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := qa.Build(c, core.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := GenerateQuestions(c, QuestionConfig{N: 30, EntitiesPer: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := SimulateVotes(s, qs, VoterConfig{Seed: 4, Voters: 3, VoterPrefix: "user"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("too few votes to check assignment: %d", len(recs))
+	}
+	seen := map[string]int{}
+	for i, r := range recs {
+		want := voterName("user", "honest", i%3)
+		if r.Vote.Voter != want {
+			t.Fatalf("vote %d voter = %q, want %q", i, r.Vote.Voter, want)
+		}
+		seen[r.Vote.Voter]++
+	}
+	if len(seen) != 3 {
+		t.Errorf("distinct voters = %d, want 3", len(seen))
+	}
+
+	anon, err := SimulateVotes(s, qs, VoterConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range anon {
+		if r.Vote.Voter != "" {
+			t.Fatalf("legacy config produced attributed vote %q", r.Vote.Voter)
+		}
+	}
+}

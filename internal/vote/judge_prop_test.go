@@ -1,0 +1,150 @@
+package vote
+
+import (
+	"math/rand"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+)
+
+// randomGraphVote builds a random small graph plus a random negative vote
+// over it. The query is always node 0; ranked answers are a shuffled
+// subset of the remaining nodes with the voted best at a random rank ≥ 2.
+func randomGraphVote(rng *rand.Rand) (*graph.Graph, Vote) {
+	n := 4 + rng.Intn(7)
+	g := graph.New(n)
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || rng.Float64() > 0.35 {
+				continue
+			}
+			g.MustSetEdge(graph.NodeID(i), graph.NodeID(j), 0.1+0.9*rng.Float64())
+		}
+	}
+	candidates := rng.Perm(n - 1)
+	k := 2 + rng.Intn(min(4, n-2)+1)
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	ranked := make([]graph.NodeID, k)
+	for i := 0; i < k; i++ {
+		ranked[i] = graph.NodeID(candidates[i] + 1)
+	}
+	rank := 2 + rng.Intn(k-1)
+	return g, Vote{Kind: Negative, Query: 0, Ranked: ranked, Best: ranked[rank-1]}
+}
+
+// extremeScores applies the extreme weighting of Section V to a clone of
+// g and evaluates both answers' scores with the production scoring path
+// (pathidx.SumPaths over the clone's weights) — an oracle independent of
+// Judge's inline weight function.
+func extremeScores(t *testing.T, g *graph.Graph, v Vote, extremeConst float64, opt pathidx.Options) (best, rival float64) {
+	t.Helper()
+	rivalAns := v.Ranked[v.BestRank()-2]
+	paths, err := pathidx.Enumerate(g, v.Query, []graph.NodeID{v.Best, rivalAns}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestSet := pathidx.EdgeSet(paths[v.Best])
+	rivalSet := pathidx.EdgeSet(paths[rivalAns])
+	ext := g.Clone()
+	apply := func(set map[graph.EdgeKey]struct{}) {
+		for e := range set {
+			_, inBest := bestSet[e]
+			_, inRival := rivalSet[e]
+			w := 0.0
+			switch {
+			case inBest && inRival:
+				w = extremeConst
+			case inBest:
+				w = 1
+			}
+			if err := ext.SetWeight(e.From, e.To, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	apply(bestSet)
+	apply(rivalSet)
+	c := opt.C
+	if c == 0 {
+		c = 0.15
+	}
+	return pathidx.SumPaths(ext, paths[v.Best], c), pathidx.SumPaths(ext, paths[rivalAns], c)
+}
+
+// TestJudgePropertyExtremeCondition is the judgment algorithm's defining
+// invariant: Judge declares a negative vote optimizable exactly when its
+// best answer strictly outscores its rival under the extreme weighting
+// (shared edges → extremeConst, best-only → 1, rival-only → 0).
+func TestJudgePropertyExtremeCondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	opt := pathidx.Options{L: 3}
+	optimizable, unoptimizable := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		g, v := randomGraphVote(rng)
+		got, err := Judge(g, v, DefaultExtremeConst, opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sBest, sRival := extremeScores(t, g, v, DefaultExtremeConst, opt)
+		if want := sBest > sRival; got != want {
+			t.Fatalf("trial %d: Judge=%v but extreme scores best=%v rival=%v (vote %+v)",
+				trial, got, sBest, sRival, v)
+		}
+		if got {
+			optimizable++
+		} else {
+			unoptimizable++
+		}
+	}
+	// The generator must exercise both verdicts or the property is vacuous.
+	if optimizable == 0 || unoptimizable == 0 {
+		t.Fatalf("degenerate trial mix: %d optimizable, %d unoptimizable", optimizable, unoptimizable)
+	}
+}
+
+// TestJudgePropertyRelabelInvariance is the metamorphic check: applying a
+// random node-ID permutation to the graph and the vote never changes the
+// verdict.
+func TestJudgePropertyRelabelInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opt := pathidx.Options{L: 3}
+	for trial := 0; trial < 200; trial++ {
+		g, v := randomGraphVote(rng)
+		got, err := Judge(g, v, DefaultExtremeConst, opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		perm := rng.Perm(g.NumNodes())
+		relabel := func(id graph.NodeID) graph.NodeID { return graph.NodeID(perm[id]) }
+		g2 := graph.New(g.NumNodes())
+		g2.AddNodes(g.NumNodes())
+		g.Edges(func(from, to graph.NodeID, w float64) {
+			g2.MustSetEdge(relabel(from), relabel(to), w)
+		})
+		v2 := Vote{Kind: v.Kind, Query: relabel(v.Query), Best: relabel(v.Best)}
+		for _, a := range v.Ranked {
+			v2.Ranked = append(v2.Ranked, relabel(a))
+		}
+
+		got2, err := Judge(g2, v2, DefaultExtremeConst, opt)
+		if err != nil {
+			t.Fatalf("trial %d: relabeled: %v", trial, err)
+		}
+		if got != got2 {
+			t.Fatalf("trial %d: verdict changed under relabeling: %v -> %v (perm %v, vote %+v)",
+				trial, got, got2, perm, v)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

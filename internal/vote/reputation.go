@@ -1,0 +1,333 @@
+package vote
+
+import (
+	"sort"
+	"sync"
+
+	"kgvote/internal/graph"
+)
+
+// Penalty reasons, used as telemetry label values and Verdict annotations.
+const (
+	ReasonJudgmentRejected   = "judgment_rejected"
+	ReasonSelfContradiction  = "self_contradiction"
+	ReasonCrossContradiction = "cross_contradiction"
+	ReasonDuplicate          = "duplicate_vote"
+)
+
+// ReputationConfig tunes the voter-reputation tracker. Zero values take
+// the documented defaults, so ReputationConfig{} is a working config.
+type ReputationConfig struct {
+	// Threshold is the score below which a voter is quarantined.
+	Threshold float64 // default 0.4
+	// MinVotes is the warm-up: a voter is never quarantined before it has
+	// cast this many votes, however badly they score.
+	MinVotes int // default 4
+	// RejectPenalty is subtracted when the judgment algorithm rejects one
+	// of the voter's votes at flush time (Section V: the vote can never be
+	// satisfied by re-weighting).
+	RejectPenalty float64 // default 0.15
+	// SelfContradictPenalty is subtracted when a voter names a different
+	// best answer than it previously named on the same query.
+	SelfContradictPenalty float64 // default 0.3
+	// DuplicatePenalty is subtracted when a voter re-casts the same best
+	// answer on a query it already voted on (ballot stuffing).
+	DuplicatePenalty float64 // default 0.2
+	// ContradictPenalty is subtracted when a voter's first vote on a query
+	// opposes the reputation-weighted plurality of the other voters.
+	ContradictPenalty float64 // default 0.15
+	// AgreeReward is added when a first vote agrees with that plurality.
+	AgreeReward float64 // default 0.02
+	// AcceptReward is added when the judgment algorithm keeps one of the
+	// voter's votes at flush time.
+	AcceptReward float64 // default 0.04
+	// RecoverCredit is added for every clean observation (no penalty
+	// fired) while the voter is quarantined, so consistent behaviour
+	// eventually lifts the quarantine.
+	RecoverCredit float64 // default 0.04
+	// MaxQueries bounds the per-query contradiction table; the oldest
+	// query records are evicted FIFO beyond it.
+	MaxQueries int // default 4096
+}
+
+func (c ReputationConfig) withDefaults() ReputationConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 0.4
+	}
+	if c.MinVotes == 0 {
+		c.MinVotes = 4
+	}
+	if c.RejectPenalty == 0 {
+		c.RejectPenalty = 0.15
+	}
+	if c.SelfContradictPenalty == 0 {
+		c.SelfContradictPenalty = 0.3
+	}
+	if c.DuplicatePenalty == 0 {
+		c.DuplicatePenalty = 0.2
+	}
+	if c.ContradictPenalty == 0 {
+		c.ContradictPenalty = 0.15
+	}
+	if c.AgreeReward == 0 {
+		c.AgreeReward = 0.02
+	}
+	if c.AcceptReward == 0 {
+		c.AcceptReward = 0.04
+	}
+	if c.RecoverCredit == 0 {
+		c.RecoverCredit = 0.04
+	}
+	if c.MaxQueries == 0 {
+		c.MaxQueries = 4096
+	}
+	return c
+}
+
+// Verdict is the outcome of observing one vote.
+type Verdict struct {
+	// Quarantined reports that the voter is quarantined after this vote:
+	// the vote is still accepted and logged, but the flush path will
+	// exclude it while the voter's score stays below the threshold.
+	Quarantined bool
+	// Score is the voter's score after the observation, in [0, 1].
+	Score float64
+	// Reasons lists the penalties this observation fired, if any.
+	Reasons []string
+}
+
+// ReputationStats is a snapshot of the tracker's counters, surfaced via
+// /v1/stats and the telemetry registry.
+type ReputationStats struct {
+	// Voters is the number of distinct non-anonymous voters observed.
+	Voters int `json:"voters"`
+	// QuarantinedVoters is how many of them are currently quarantined.
+	QuarantinedVoters int `json:"quarantined_voters"`
+	// VotesQuarantined counts votes observed while their voter was
+	// quarantined (the flush path reports its own exclusion count via
+	// kgvote_votes_quarantined_total).
+	VotesQuarantined int64 `json:"votes_quarantined"`
+	// Per-reason penalty counters.
+	JudgmentRejections  int64 `json:"judgment_rejections"`
+	SelfContradictions  int64 `json:"self_contradictions"`
+	CrossContradictions int64 `json:"cross_contradictions"`
+	DuplicateVotes      int64 `json:"duplicate_votes"`
+}
+
+type voterState struct {
+	score float64
+	votes int
+}
+
+type queryState struct {
+	byVoter map[string]graph.NodeID // each voter's latest best answer
+}
+
+// Reputation tracks per-voter credibility from the signals the system can
+// observe without ground truth: judgment rejections (Section V), a voter
+// contradicting itself on a query, ballot stuffing (re-casting the same
+// vote), and opposing the reputation-weighted plurality of other voters
+// on the same query. Scores start at 1, move additively, and are clamped
+// to [0, 1]; a voter whose score falls below the threshold (after a
+// warm-up) is quarantined — its votes are accepted and logged but
+// excluded from flushes — and recovers by behaving consistently.
+//
+// Reputation is safe for concurrent use and implements core.VoterPolicy.
+type Reputation struct {
+	mu      sync.Mutex
+	cfg     ReputationConfig
+	voters  map[string]*voterState
+	queries map[uint64]*queryState
+	order   []uint64 // FIFO eviction order for queries
+
+	votesQuarantined    int64
+	judgmentRejections  int64
+	selfContradictions  int64
+	crossContradictions int64
+	duplicateVotes      int64
+}
+
+// NewReputation returns a tracker with cfg's zero fields defaulted.
+func NewReputation(cfg ReputationConfig) *Reputation {
+	return &Reputation{
+		cfg:     cfg.withDefaults(),
+		voters:  make(map[string]*voterState),
+		queries: make(map[uint64]*queryState),
+	}
+}
+
+// Observe scores one accepted vote. queryKey must be a stable identity
+// for the underlying question (NOT the query node id — every ask mints a
+// fresh node): callers hash the question's entity signature or use the
+// synthetic question id. Anonymous votes (empty voter) are not tracked.
+func (r *Reputation) Observe(voter string, queryKey uint64, best graph.NodeID) Verdict {
+	if voter == "" {
+		return Verdict{Score: 1}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.voter(voter)
+	vs.votes++
+
+	qs := r.queries[queryKey]
+	if qs == nil {
+		qs = &queryState{byVoter: make(map[string]graph.NodeID)}
+		r.queries[queryKey] = qs
+		r.order = append(r.order, queryKey)
+		if len(r.order) > r.cfg.MaxQueries {
+			delete(r.queries, r.order[0])
+			r.order = r.order[1:]
+		}
+	}
+
+	var reasons []string
+	if prev, seen := qs.byVoter[voter]; seen {
+		if prev == best {
+			vs.score -= r.cfg.DuplicatePenalty
+			r.duplicateVotes++
+			reasons = append(reasons, ReasonDuplicate)
+		} else {
+			vs.score -= r.cfg.SelfContradictPenalty
+			r.selfContradictions++
+			reasons = append(reasons, ReasonSelfContradiction)
+		}
+	} else if plurality, weight, ok := r.plurality(qs, voter); ok && weight >= 1 {
+		// First vote on a query other voters already weighed in on:
+		// compare against their reputation-weighted plurality answer.
+		if plurality != best {
+			vs.score -= r.cfg.ContradictPenalty
+			r.crossContradictions++
+			reasons = append(reasons, ReasonCrossContradiction)
+		} else {
+			vs.score += r.cfg.AgreeReward
+		}
+	}
+	qs.byVoter[voter] = best
+
+	if len(reasons) == 0 && r.isQuarantined(vs) {
+		vs.score += r.cfg.RecoverCredit
+	}
+	vs.clamp()
+	q := r.isQuarantined(vs)
+	if q {
+		r.votesQuarantined++
+	}
+	return Verdict{Quarantined: q, Score: vs.score, Reasons: reasons}
+}
+
+// plurality returns the reputation-weighted plurality best answer among
+// the other voters on the query, its weight, and whether any exist. Ties
+// break toward the smaller node id so the outcome is deterministic.
+func (r *Reputation) plurality(qs *queryState, exclude string) (graph.NodeID, float64, bool) {
+	if len(qs.byVoter) == 0 {
+		return graph.None, 0, false
+	}
+	weights := make(map[graph.NodeID]float64)
+	for u, ans := range qs.byVoter {
+		if u == exclude {
+			continue
+		}
+		if uvs := r.voters[u]; uvs != nil {
+			weights[ans] += uvs.score
+		}
+	}
+	if len(weights) == 0 {
+		return graph.None, 0, false
+	}
+	answers := make([]graph.NodeID, 0, len(weights))
+	for ans := range weights {
+		answers = append(answers, ans)
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i] < answers[j] })
+	best, bestW := graph.None, 0.0
+	for _, ans := range answers {
+		if weights[ans] > bestW {
+			best, bestW = ans, weights[ans]
+		}
+	}
+	return best, bestW, true
+}
+
+// ObserveJudgment feeds a flush-time judgment outcome back into the
+// voter's score: rejected votes (Section V: never satisfiable) are
+// penalized, kept votes earn a small reward. Implements core.VoterPolicy.
+func (r *Reputation) ObserveJudgment(voter string, rejected bool) {
+	if voter == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.voter(voter)
+	if rejected {
+		vs.score -= r.cfg.RejectPenalty
+		r.judgmentRejections++
+	} else {
+		vs.score += r.cfg.AcceptReward
+	}
+	vs.clamp()
+}
+
+// Quarantine reports whether the voter is currently quarantined.
+// Implements core.VoterPolicy: the flush path excludes such voters'
+// pending votes from the solve.
+func (r *Reputation) Quarantine(voter string) bool {
+	if voter == "" {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.voters[voter]
+	return vs != nil && r.isQuarantined(vs)
+}
+
+// Score returns the voter's current score (1 for unknown voters).
+func (r *Reputation) Score(voter string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if vs := r.voters[voter]; vs != nil {
+		return vs.score
+	}
+	return 1
+}
+
+// Stats snapshots the tracker's counters.
+func (r *Reputation) Stats() ReputationStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := ReputationStats{
+		Voters:              len(r.voters),
+		VotesQuarantined:    r.votesQuarantined,
+		JudgmentRejections:  r.judgmentRejections,
+		SelfContradictions:  r.selfContradictions,
+		CrossContradictions: r.crossContradictions,
+		DuplicateVotes:      r.duplicateVotes,
+	}
+	for _, vs := range r.voters {
+		if r.isQuarantined(vs) {
+			s.QuarantinedVoters++
+		}
+	}
+	return s
+}
+
+func (r *Reputation) voter(name string) *voterState {
+	vs := r.voters[name]
+	if vs == nil {
+		vs = &voterState{score: 1}
+		r.voters[name] = vs
+	}
+	return vs
+}
+
+func (r *Reputation) isQuarantined(vs *voterState) bool {
+	return vs.votes >= r.cfg.MinVotes && vs.score < r.cfg.Threshold
+}
+
+func (vs *voterState) clamp() {
+	if vs.score < 0 {
+		vs.score = 0
+	}
+	if vs.score > 1 {
+		vs.score = 1
+	}
+}

@@ -1,0 +1,183 @@
+package vote
+
+import (
+	"fmt"
+	"testing"
+
+	"kgvote/internal/graph"
+)
+
+func TestReputationAnonymousExempt(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	for i := 0; i < 50; i++ {
+		// An anonymous voter stuffing the same ballot never trips anything.
+		v := r.Observe("", 1, 2)
+		if v.Quarantined || len(v.Reasons) != 0 {
+			t.Fatalf("anonymous vote %d penalized: %+v", i, v)
+		}
+	}
+	if r.Quarantine("") {
+		t.Fatal("anonymous voter quarantined")
+	}
+	if s := r.Stats(); s.Voters != 0 {
+		t.Fatalf("anonymous voter tracked: %+v", s)
+	}
+}
+
+func TestReputationHonestVoterStaysClean(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	for q := uint64(0); q < 40; q++ {
+		v := r.Observe("honest", q, 5)
+		if len(v.Reasons) != 0 || v.Quarantined {
+			t.Fatalf("honest vote on query %d penalized: %+v", q, v)
+		}
+	}
+	if got := r.Score("honest"); got != 1 {
+		t.Fatalf("honest score = %v, want 1", got)
+	}
+}
+
+func TestReputationSelfContradictionQuarantines(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	// A spammer flip-flopping its best answer on one query: each repeat
+	// with a different answer is a self-contradiction.
+	var last Verdict
+	for i := 0; i < 6; i++ {
+		last = r.Observe("spam", 7, int32ID(i))
+	}
+	if !last.Quarantined {
+		t.Fatalf("flip-flopping voter not quarantined: %+v", last)
+	}
+	if !r.Quarantine("spam") {
+		t.Fatal("Quarantine(spam) = false after flip-flopping")
+	}
+	if s := r.Stats(); s.SelfContradictions == 0 || s.QuarantinedVoters != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestReputationDuplicateStuffingQuarantines(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	var last Verdict
+	for i := 0; i < 6; i++ {
+		last = r.Observe("stuffer", 3, 9) // same query, same answer, again and again
+	}
+	if !last.Quarantined {
+		t.Fatalf("ballot stuffer not quarantined: %+v", last)
+	}
+	if s := r.Stats(); s.DuplicateVotes != 5 {
+		t.Fatalf("duplicate votes = %d, want 5", s.DuplicateVotes)
+	}
+}
+
+func TestReputationCrossContradiction(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	// Three distinct voters establish answer 4 on query 11.
+	for i := 0; i < 3; i++ {
+		r.Observe(fmt.Sprintf("honest-%d", i), 11, 4)
+	}
+	v := r.Observe("outlier", 11, 8)
+	if len(v.Reasons) != 1 || v.Reasons[0] != ReasonCrossContradiction {
+		t.Fatalf("outlier verdict: %+v", v)
+	}
+	// Agreeing with the plurality is rewarded, never penalized.
+	v = r.Observe("agreeer", 11, 4)
+	if len(v.Reasons) != 0 {
+		t.Fatalf("agreeing vote penalized: %+v", v)
+	}
+	if s := r.Stats(); s.CrossContradictions != 1 {
+		t.Fatalf("cross contradictions = %d, want 1", s.CrossContradictions)
+	}
+}
+
+func TestReputationPluralityWeightedByScore(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	// Ruin a ring member's reputation by stuffing, then have it vote first
+	// on a fresh query: its near-zero weight must not establish a
+	// plurality that penalizes the honest voter arriving second.
+	for i := 0; i < 8; i++ {
+		r.Observe("ring", 1, 2)
+	}
+	if got := r.Score("ring"); got != 0 {
+		t.Fatalf("ring score = %v, want 0", got)
+	}
+	r.Observe("ring", 99, 5) // wrong answer, first on the query
+	v := r.Observe("honest", 99, 6)
+	if len(v.Reasons) != 0 {
+		t.Fatalf("honest vote penalized by zero-weight plurality: %+v", v)
+	}
+}
+
+func TestReputationJudgmentFeedback(t *testing.T) {
+	cfg := ReputationConfig{}.withDefaults()
+	r := NewReputation(ReputationConfig{})
+	for q := uint64(0); q < uint64(cfg.MinVotes); q++ {
+		r.Observe("bad", q, 1)
+	}
+	for i := 0; i < 5; i++ {
+		r.ObserveJudgment("bad", true)
+	}
+	if !r.Quarantine("bad") {
+		t.Fatalf("voter with 5 judgment rejections not quarantined (score %v)", r.Score("bad"))
+	}
+	if s := r.Stats(); s.JudgmentRejections != 5 {
+		t.Fatalf("judgment rejections = %d, want 5", s.JudgmentRejections)
+	}
+	// Anonymous judgments are ignored.
+	r.ObserveJudgment("", true)
+	if s := r.Stats(); s.JudgmentRejections != 5 {
+		t.Fatalf("anonymous judgment counted: %+v", s)
+	}
+}
+
+func TestReputationRecovery(t *testing.T) {
+	r := NewReputation(ReputationConfig{})
+	for i := 0; i < 8; i++ {
+		r.Observe("redeemed", 1, 2)
+	}
+	if !r.Quarantine("redeemed") {
+		t.Fatal("setup: voter not quarantined")
+	}
+	// Clean votes on fresh queries plus accepted judgments climb back
+	// above the threshold.
+	for q := uint64(100); r.Quarantine("redeemed"); q++ {
+		if q > 200 {
+			t.Fatalf("no recovery after %d clean votes (score %v)", q-100, r.Score("redeemed"))
+		}
+		r.Observe("redeemed", q, 3)
+		r.ObserveJudgment("redeemed", false)
+	}
+	if r.Quarantine("redeemed") {
+		t.Fatal("voter still quarantined after recovery")
+	}
+}
+
+func TestReputationWarmup(t *testing.T) {
+	r := NewReputation(ReputationConfig{MinVotes: 10})
+	// Heavy penalties before the warm-up completes never quarantine.
+	for i := 0; i < 9; i++ {
+		if v := r.Observe("early", 1, 2); v.Quarantined {
+			t.Fatalf("quarantined during warm-up at vote %d", i+1)
+		}
+	}
+	if v := r.Observe("early", 1, 2); !v.Quarantined {
+		t.Fatalf("not quarantined once warm-up completed: %+v", v)
+	}
+}
+
+func TestReputationQueryTableBounded(t *testing.T) {
+	r := NewReputation(ReputationConfig{MaxQueries: 8})
+	for q := uint64(0); q < 100; q++ {
+		r.Observe("v", q, 1)
+	}
+	if n := len(r.queries); n != 8 {
+		t.Fatalf("query table size = %d, want 8", n)
+	}
+	// The evicted query's history is gone: re-voting it reads as a first
+	// vote, not a duplicate.
+	if v := r.Observe("v", 0, 1); len(v.Reasons) != 0 {
+		t.Fatalf("evicted query still penalized: %+v", v)
+	}
+}
+
+func int32ID(i int) graph.NodeID { return graph.NodeID(i) }

@@ -43,6 +43,11 @@ type Vote struct {
 	// handling with "low credible" votes): it scales the vote's share of
 	// the satisfaction objective. Zero means 1 (full credibility).
 	Weight float64
+	// Voter identifies who cast the vote. Empty means anonymous: such
+	// votes predate voter tracking (old WAL records) or come from callers
+	// that do not attribute feedback, and are exempt from reputation
+	// scoring and quarantine.
+	Voter string
 }
 
 // EffectiveWeight returns Weight with the zero-value default applied.
