@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush bench-farm bench-cluster farm-smoke cluster-smoke metrics-smoke overload-smoke scenario-smoke drain-smoke experiments clean
+.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush bench-farm bench-cluster farm-smoke cluster-smoke metrics-smoke overload-smoke scenario-smoke ppr-smoke bench-ppr drain-smoke experiments clean
 
 all: vet test
 
@@ -88,6 +88,18 @@ overload-smoke:
 # non-zero on any ranking-quality violation.
 scenario-smoke:
 	$(GO) run ./cmd/benchserve -scenarios -scenario-docs 40 -scenario-train 20 -scenario-test 20 -scenario-include spam-flood,colluding-ring -out BENCH_serve.json
+
+# Incremental-scorer smoke (DESIGN.md §16): the push/repair differential
+# suite under the race detector, then the enum-vs-push benchmark across
+# two Twitter scales. The bench self-asserts the certified error bound,
+# pushes > 0, the ≥5x per-flush speedup floor on the larger profile, and
+# near-flat push update cost as |E| grows; exits non-zero on violation.
+ppr-smoke:
+	$(GO) test -race ./internal/ppr/ ./internal/pathidx/ ./internal/core/
+	$(GO) run ./cmd/benchserve -ppr -out BENCH_serve.json
+
+bench-ppr:
+	$(GO) run ./cmd/benchserve -ppr -out BENCH_serve.json
 
 # Graceful-drain smoke: SIGTERM the real daemon with votes queued and
 # mid-flight, restart it, and require every admitted vote to survive.

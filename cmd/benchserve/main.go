@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"kgvote/internal/harness"
+	"kgvote/internal/synth"
 )
 
 func main() {
@@ -60,6 +61,13 @@ func main() {
 		clusterShards   = flag.Int("cluster", 0, "run the sharded-serving benchmark instead, over this many shard writers (0 disables; exit 1 on determinism/degradation violation)")
 		clusterReplicas = flag.Int("cluster-replicas", 1, "cluster mode: read replicas per shard")
 
+		pprMode    = flag.Bool("ppr", false, "run the incremental-scorer benchmark instead: enum vs push cold ranks and per-flush update cost across profile scales (exit 1 on a bound/scaling violation)")
+		pprScale   = flag.Float64("ppr-scale", 4, "ppr-mode factor for the second Twitter profile")
+		pprQueries = flag.Int("ppr-queries", 16, "ppr-mode tracked seed vectors")
+		pprDelta   = flag.Int("ppr-delta", 8, "ppr-mode changed edges per flush")
+		pprFlushes = flag.Int("ppr-flushes", 4, "ppr-mode flushes per profile")
+		pprFloor   = flag.Float64("ppr-min-speedup", 5, "ppr-mode asserted floor on the largest profile's per-flush enum/push speedup (negative disables)")
+
 		scenariosMode   = flag.Bool("scenarios", false, "run the adversarial vote-workload scenarios instead: reputation quarantine on vs off per attack family (exit 1 on a ranking-quality violation)")
 		scenarioDocs    = flag.Int("scenario-docs", 60, "scenarios-mode corpus documents")
 		scenarioTrain   = flag.Int("scenario-train", 30, "scenarios-mode training questions (the voted set)")
@@ -79,6 +87,8 @@ func main() {
 		err = clusterMain(*docs, *clusterShards, *clusterReplicas, *queries, *seed, *out)
 	case *scenariosMode:
 		err = scenariosMain(*scenarioDocs, *scenarioTrain, *scenarioTest, *seed, *scenarioInclude, *out)
+	case *pprMode:
+		err = pprMain(*pprScale, *pprQueries, *pprDelta, *pprFlushes, *pprFloor, *seed, *out)
 	default:
 		err = realMain(*docs, *queries, *workers, *votes, *seed, *out, *withWal, *withTel)
 	}
@@ -209,6 +219,7 @@ type benchRun struct {
 	Telemetry          *harness.TelemetryResult `json:"telemetry,omitempty"`
 	Cluster            *harness.ClusterResult   `json:"cluster,omitempty"`
 	Scenarios          *harness.ScenarioResult  `json:"scenarios,omitempty"`
+	Ppr                *harness.PPRResult       `json:"ppr,omitempty"`
 }
 
 // benchHistory is the on-disk shape of BENCH_serve.json: every run ever
@@ -371,4 +382,44 @@ func loadHistory(path string) (benchHistory, error) {
 		return hist, fmt.Errorf("unreadable history %s: %w", path, err)
 	}
 	return hist, nil
+}
+
+// pprMain runs the incremental-scorer benchmark (DESIGN.md §16) — exact
+// enumerator vs edge-based local push, cold and per-flush, across two
+// Twitter profile scales — and appends the run to the serve history
+// file. Like the other smokes, bound/scaling violations fail the process
+// after the run is recorded.
+func pprMain(scale float64, queries, delta, flushes int, floor float64, seed int64, out string) error {
+	res, err := harness.PPRBench(harness.PPRConfig{
+		Profiles:   []synth.Profile{synth.Twitter, synth.Twitter.Scaled(scale)},
+		Queries:    queries,
+		Delta:      delta,
+		Flushes:    flushes,
+		MinSpeedup: floor,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if out != "" {
+		hist, herr := loadHistory(out)
+		if herr != nil {
+			return herr
+		}
+		hist.Runs = append(hist.Runs, benchRun{
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			Provenance: harness.CollectProvenance(),
+			Ppr:        &res,
+		})
+		b, herr := json.MarshalIndent(hist, "", "  ")
+		if herr != nil {
+			return herr
+		}
+		if herr := os.WriteFile(out, append(b, '\n'), 0o644); herr != nil {
+			return herr
+		}
+		fmt.Printf("appended run %d to %s\n", len(hist.Runs), out)
+	}
+	return res.Err()
 }

@@ -43,6 +43,7 @@ import (
 	"kgvote/internal/admit"
 	"kgvote/internal/core"
 	"kgvote/internal/durable"
+	"kgvote/internal/pathidx"
 	"kgvote/internal/qa"
 	"kgvote/internal/server"
 	"kgvote/internal/shard"
@@ -64,6 +65,10 @@ type config struct {
 	statePath  string
 	workers    int
 	solvers    string
+
+	scorer      string
+	pushRMax    float64
+	pushTracked int
 
 	dataDir         string
 	fsync           string
@@ -102,6 +107,9 @@ func main() {
 	flag.StringVar(&cfg.solverName, "solver", "multi", "batch solver: multi, sm, or single")
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "flush-pipeline concurrency: enumeration, judgment, clustering, and per-cluster solves fan out over this many goroutines")
 	flag.StringVar(&cfg.solvers, "solvers", "", "comma-separated kgsolved addresses (host:port,...): dispatch split-and-merge cluster solves to the farm, with retry, hedged stragglers, and in-process fallback")
+	flag.StringVar(&cfg.scorer, "scorer", "enum", "serving scorer backend: enum (exact bounded-walk sweeps) or push (incremental local push, repaired in O(delta) per flush; DESIGN.md §16)")
+	flag.Float64Var(&cfg.pushRMax, "push-rmax", 0, "push-backend residual-drop threshold (0 = default 1e-6, negative = exact); smaller tightens the certified bound and costs more pushes")
+	flag.IntVar(&cfg.pushTracked, "push-tracked", 0, "push-backend cap on incrementally maintained seed sets (0 = default 256)")
 	flag.StringVar(&cfg.statePath, "state", "", "persist the optimized system here: loaded at boot if present, saved on SIGINT/SIGTERM (no WAL; see -data-dir)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory: WAL + checkpoints + crash recovery")
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
@@ -142,7 +150,14 @@ func serve(cfg config) error {
 	default:
 		return fmt.Errorf("unknown solver %q (multi, sm, single)", cfg.solverName)
 	}
-	opts := core.Options{K: cfg.k, L: cfg.l, Workers: cfg.workers}
+	backend, err := pathidx.ParseBackend(cfg.scorer)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		K: cfg.k, L: cfg.l, Workers: cfg.workers,
+		Scorer: backend, PushRMax: cfg.pushRMax, PushMaxTracked: cfg.pushTracked,
+	}
 	if cfg.dataDir != "" && cfg.statePath != "" {
 		return errors.New("-data-dir and -state are mutually exclusive; the data directory owns persistence")
 	}
@@ -196,7 +211,6 @@ func serve(cfg config) error {
 		mgr *durable.Manager
 		rec *durable.Recovered
 		sys *qa.System
-		err error
 	)
 	if cfg.dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(cfg.fsync)

@@ -8,6 +8,7 @@ import (
 
 	"kgvote/internal/graph"
 	"kgvote/internal/pathidx"
+	"kgvote/internal/ppr"
 	"kgvote/internal/vote"
 )
 
@@ -39,6 +40,11 @@ type Engine struct {
 	// farm's dispatcher plugs in here.
 	clusterSolver ClusterSolver
 
+	// push, set when Options.Scorer == pathidx.BackendPush, is the
+	// incremental local-push tracker shared across snapshot generations;
+	// publish repairs it from each flush's changed-edge delta.
+	push *ppr.Incremental
+
 	// progPool recycles sgp.Program workspaces across solves (the
 	// split-and-merge path builds one program per cluster per flush).
 	progPool sync.Pool
@@ -59,10 +65,25 @@ func New(g *graph.Graph, opt Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{g: g, opt: opt, scorer: sc}
-	if err := e.publish(); err != nil {
+	if opt.Scorer == pathidx.BackendPush {
+		e.push, err = ppr.NewIncremental(opt.pushOptions(), opt.PushMaxTracked)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := e.publish(nil); err != nil {
 		return nil, err
 	}
 	return e, nil
+}
+
+// PushStats snapshots the incremental push tracker's counters; ok is
+// false when the engine serves with the enumerator backend.
+func (e *Engine) PushStats() (ppr.IncrementalStats, bool) {
+	if e.push == nil {
+		return ppr.IncrementalStats{}, false
+	}
+	return e.push.Stats(), true
 }
 
 // Graph returns the engine's (mutable) graph.
@@ -125,7 +146,9 @@ func (e *Engine) CollectVote(q graph.NodeID, answers []graph.NodeID, best graph.
 // Report.Applied) so callers can persist the solve's effect.
 func (e *Engine) applyWeights(changes map[graph.EdgeKey]float64) ([]WeightChange, error) {
 	if len(changes) == 0 {
-		return nil, e.publish()
+		// Nothing changed, but the epoch still advances: an empty
+		// non-nil delta tells publish it may retain everything.
+		return nil, e.publish([]WeightChange{})
 	}
 	preSums := make(map[graph.NodeID]float64)
 	for k := range changes {
@@ -166,7 +189,8 @@ func (e *Engine) applyWeights(changes map[graph.EdgeKey]float64) ([]WeightChange
 			}
 		}
 	}
-	return e.appliedWeights(changes, preSums), e.publish()
+	applied := e.appliedWeights(changes, preSums)
+	return applied, e.publish(applied)
 }
 
 // appliedWeights collects the final weights of every edge a solve could
@@ -216,5 +240,5 @@ func (e *Engine) ApplyWeightSet(ws []WeightChange) error {
 			return fmt.Errorf("core: apply weight set: %w", err)
 		}
 	}
-	return e.publish()
+	return e.publish(ws)
 }

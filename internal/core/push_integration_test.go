@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+)
+
+// pushHost builds a host graph with two structurally disjoint regions so
+// retention tests can change one side without touching the other:
+//
+//	a→x→u (left), b→y→v (right), all unit-ish weights.
+func pushHost(t testing.TB) (g *graph.Graph, a, b, x, y graph.NodeID) {
+	t.Helper()
+	g = graph.New(0)
+	a = g.AddNode("a")
+	x = g.AddNode("x")
+	u := g.AddNode("u")
+	b = g.AddNode("b")
+	y = g.AddNode("y")
+	v := g.AddNode("v")
+	g.MustSetEdge(a, x, 0.9)
+	g.MustSetEdge(x, u, 0.5)
+	g.MustSetEdge(b, y, 0.8)
+	g.MustSetEdge(y, v, 0.5)
+	return g, a, b, x, y
+}
+
+// TestPushBackendMatchesEnum: the push backend must rank like the
+// enumerator within the certified bound, expose PushStats, and keep
+// serving correctly across a weight flush (the repair path).
+func TestPushBackendMatchesEnum(t *testing.T) {
+	build := func(scorer pathidx.Backend) *Engine {
+		g, _, _, _, _ := pushHost(t)
+		e, err := New(g, Options{Scorer: scorer, Normalize: NoNormalize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	pushE := build(pathidx.BackendPush)
+	enumE := build(pathidx.BackendEnum)
+	if _, ok := enumE.PushStats(); ok {
+		t.Fatal("enum engine reports push stats")
+	}
+	if _, ok := pushE.PushStats(); !ok {
+		t.Fatal("push engine has no push stats")
+	}
+
+	g := pushE.Graph()
+	seeds := []graph.NodeID{g.Lookup("a"), g.Lookup("b")}
+	ws := []float64{0.5, 0.5}
+	cands := []graph.NodeID{g.Lookup("x"), g.Lookup("y"), g.Lookup("u"), g.Lookup("v")}
+	compare := func(stage string) {
+		gotP, _, err := pushE.Serving().RankSeededCached("q", seeds, ws, cands, 0)
+		if err != nil {
+			t.Fatalf("%s: push rank: %v", stage, err)
+		}
+		gotE, _, err := enumE.Serving().RankSeededCached("q", seeds, ws, cands, 0)
+		if err != nil {
+			t.Fatalf("%s: enum rank: %v", stage, err)
+		}
+		for i := range gotE {
+			if gotP[i].Node != gotE[i].Node {
+				t.Fatalf("%s: rank[%d] node %d vs %d", stage, i, gotP[i].Node, gotE[i].Node)
+			}
+			if d := math.Abs(gotP[i].Score - gotE[i].Score); d > 1e-5 {
+				t.Fatalf("%s: rank[%d] score diff %v", stage, i, d)
+			}
+		}
+	}
+	compare("cold")
+	st, _ := pushE.PushStats()
+	if st.ColdRanks != 1 || st.TrackedSeeds != 1 || st.Pushes == 0 {
+		t.Fatalf("after cold rank: %+v", st)
+	}
+
+	// Flush: change one weight on both engines, re-rank, re-compare. The
+	// push engine serves the repaired tracked state (no new cold rank).
+	wc := []WeightChange{{From: g.Lookup("a"), To: g.Lookup("x"), Weight: 0.4}}
+	if err := pushE.ApplyWeightSet(wc); err != nil {
+		t.Fatal(err)
+	}
+	if err := enumE.ApplyWeightSet(wc); err != nil {
+		t.Fatal(err)
+	}
+	compare("post-flush")
+	st, _ = pushE.PushStats()
+	if st.ColdRanks != 1 {
+		t.Fatalf("repair did not serve the tracked state: %+v", st)
+	}
+	if st.Updates < 2 {
+		t.Fatalf("updates = %d, want one per publish ≥ 2", st.Updates)
+	}
+}
+
+// TestPushBackendStaleSnapshotFallsBack: a reader holding a pre-flush
+// snapshot must still get exact answers — the push tracker refuses the
+// stale epoch and the enumerator serves the request.
+func TestPushBackendStaleSnapshotFallsBack(t *testing.T) {
+	g, a, b, _, _ := pushHost(t)
+	e, err := New(g, Options{Scorer: pathidx.BackendPush, Normalize: NoNormalize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := e.Serving()
+	if err := e.ApplyWeightSet([]WeightChange{{From: a, To: g.Lookup("x"), Weight: 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	ranked, _, err := old.RankSeededCached("stale", []graph.NodeID{a, b}, []float64{0.5, 0.5},
+		[]graph.NodeID{g.Lookup("u"), g.Lookup("v")}, 0)
+	if err != nil {
+		t.Fatalf("stale snapshot rank: %v", err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("stale snapshot returned %d results", len(ranked))
+	}
+	st, _ := e.PushStats()
+	if st.StaleFallbacks == 0 {
+		t.Fatal("stale read did not register a fallback")
+	}
+}
+
+// TestRankCacheDeltaRetention: a republish with a known delta must retain
+// cached rankings whose seeds cannot reach any changed edge and drop the
+// rest — for both backends, since retention is backend-independent.
+func TestRankCacheDeltaRetention(t *testing.T) {
+	for _, backend := range []pathidx.Backend{pathidx.BackendEnum, pathidx.BackendPush} {
+		t.Run(backend.String(), func(t *testing.T) {
+			g, a, b, _, y := pushHost(t)
+			e, err := New(g, Options{Scorer: backend, Normalize: NoNormalize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands := []graph.NodeID{g.Lookup("u"), g.Lookup("v")}
+			rank := func(key string, seed graph.NodeID) bool {
+				_, hit, err := e.Serving().RankSeededCached(key, []graph.NodeID{seed}, []float64{1}, cands, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return hit
+			}
+			rank("left", a)
+			rank("right", b)
+
+			// Change an edge only the right component can reach.
+			if err := e.ApplyWeightSet([]WeightChange{{From: y, To: g.Lookup("v"), Weight: 0.3}}); err != nil {
+				t.Fatal(err)
+			}
+			if !rank("left", a) {
+				t.Fatal("left entry dropped despite provably-untouched seeds")
+			}
+			if rank("right", b) {
+				t.Fatal("right entry survived a reachable weight change")
+			}
+
+			// A no-op flush (same weights) retains everything.
+			if err := e.ApplyWeightSet([]WeightChange{{From: y, To: g.Lookup("v"), Weight: 0.3}}); err != nil {
+				t.Fatal(err)
+			}
+			if !rank("left", a) || !rank("right", b) {
+				t.Fatal("no-op flush dropped cache entries")
+			}
+
+			// An unknown delta (publish(nil): restore/import semantics)
+			// drops the cache wholesale.
+			if err := e.publish(nil); err != nil {
+				t.Fatal(err)
+			}
+			if rank("left", a) || rank("right", b) {
+				t.Fatal("unknown delta retained cache entries")
+			}
+		})
+	}
+}
+
+// TestEdgeDeltas: dedup is last-write-wins, unchanged weights are
+// filtered, output is sorted, and the result is non-nil even when empty.
+func TestEdgeDeltas(t *testing.T) {
+	g, a, _, x, _ := pushHost(t)
+	csr := graph.Compile(g)
+	ds := edgeDeltas(csr, []WeightChange{
+		{From: a, To: x, Weight: 0.7},
+		{From: a, To: x, Weight: 0.9}, // last write wins; equals old 0.9 → filtered
+	})
+	if ds == nil || len(ds) != 0 {
+		t.Fatalf("edgeDeltas = %#v, want empty non-nil", ds)
+	}
+	ds = edgeDeltas(csr, []WeightChange{{From: a, To: x, Weight: 0.25}})
+	if len(ds) != 1 || ds[0].Old != 0.9 || ds[0].New != 0.25 {
+		t.Fatalf("edgeDeltas = %+v", ds)
+	}
+}

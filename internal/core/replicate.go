@@ -58,5 +58,5 @@ func (e *Engine) ImportWeightSet(ws []WeightChange, epoch uint64) error {
 		}
 	}
 	e.epoch = epoch - 1
-	return e.publish()
+	return e.publish(ws)
 }

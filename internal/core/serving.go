@@ -3,25 +3,38 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"kgvote/internal/graph"
 	"kgvote/internal/lru"
 	"kgvote/internal/pathidx"
+	"kgvote/internal/ppr"
 )
 
 // DefaultRankCacheSize is the default capacity of the per-snapshot
 // query-rank cache (Options.RankCacheSize = 0).
 const DefaultRankCacheSize = 1024
 
+// rankEntry is one cached ranking plus the seed node set it was
+// computed from, kept so delta-aware republish can retain entries whose
+// seeds provably cannot reach any changed edge (see carryRankCache).
+type rankEntry struct {
+	seeds  []graph.NodeID
+	ranked []pathidx.Ranked
+}
+
 // GraphSnapshot is one immutable, epoch-stamped generation of the
 // engine's graph compiled for lock-free serving: a CSR of the weights, a
 // scorer pool for concurrent ranking, and a bounded query-rank cache.
 //
 // The engine republishes a fresh snapshot (next epoch) after every
-// optimization batch mutates weights; the cache is dropped wholesale with
-// the old snapshot, so cached rankings can never outlive the weights they
-// were computed from. A snapshot is safe for concurrent use by any number
-// of goroutines.
+// optimization batch mutates weights. When the flush's changed-edge set
+// is known, cached rankings whose seed sets provably cannot reach a
+// changed edge are carried into the new snapshot's cache; everything
+// else (and every entry, when the delta is unknown) is dropped with the
+// old snapshot, so cached rankings can never outlive weights that could
+// have influenced them. A snapshot is safe for concurrent use by any
+// number of goroutines.
 //
 // Query nodes attached to the mutable graph after the snapshot was
 // compiled are intentionally absent: query nodes have no in-edges, so no
@@ -31,8 +44,12 @@ const DefaultRankCacheSize = 1024
 type GraphSnapshot struct {
 	csr   *graph.CSR
 	pool  *pathidx.ScorerPool
-	cache *lru.Cache[string, []pathidx.Ranked]
+	cache *lru.Cache[string, rankEntry]
 	opt   Options
+	// push, set when Options.Scorer == pathidx.BackendPush, is the
+	// engine's shared incremental tracker. It advances with the writer;
+	// a reader holding a stale snapshot falls back to the enumerator.
+	push *ppr.Incremental
 }
 
 // Epoch returns the snapshot's generation counter. Epochs start at 1 and
@@ -65,11 +82,23 @@ func (s *GraphSnapshot) RankSeeded(cacheKey string, ids []graph.NodeID, ws []flo
 
 // RankSeededCached is RankSeeded plus a cache-hit report, so callers
 // (telemetry, /ask?trace=1) can distinguish a cached ranking from a
-// fresh sparse sweep.
+// fresh scoring pass.
+//
+// Backend dispatch happens here: under pathidx.BackendPush the ranking
+// comes from the incremental tracker (tracked seeds answer in
+// O(candidates) after an O(delta) per-flush repair); the enumerator
+// serves as the fallback whenever the push path declines — stale
+// snapshot epoch after a republish race, or invalid seeds.
 func (s *GraphSnapshot) RankSeededCached(cacheKey string, ids []graph.NodeID, ws []float64, candidates []graph.NodeID, k int) ([]pathidx.Ranked, bool, error) {
 	if cacheKey != "" {
-		if r, ok := s.cache.Get(cacheKey); ok {
-			return r, true, nil
+		if ent, ok := s.cache.Get(cacheKey); ok {
+			return ent.ranked, true, nil
+		}
+	}
+	if s.push != nil {
+		if ranked, ok := s.rankPush(cacheKey, ids, ws, candidates, k); ok {
+			s.cacheAdd(cacheKey, ids, ranked)
+			return ranked, false, nil
 		}
 	}
 	sc := s.pool.Get()
@@ -78,10 +107,34 @@ func (s *GraphSnapshot) RankSeededCached(cacheKey string, ids []graph.NodeID, ws
 	if err != nil {
 		return nil, false, err
 	}
-	if cacheKey != "" {
-		s.cache.Add(cacheKey, ranked)
-	}
+	s.cacheAdd(cacheKey, ids, ranked)
 	return ranked, false, nil
+}
+
+// rankPush ranks through the incremental push tracker; ok=false sends
+// the caller to the exact enumerator.
+func (s *GraphSnapshot) rankPush(cacheKey string, ids []graph.NodeID, ws []float64, candidates []graph.NodeID, k int) ([]pathidx.Ranked, bool) {
+	rs, _, err := s.push.RankSeeded(cacheKey, s.csr, s.csr.Epoch(), ids, ws, candidates, k)
+	if err != nil {
+		return nil, false
+	}
+	out := make([]pathidx.Ranked, len(rs))
+	for i, r := range rs {
+		out[i] = pathidx.Ranked{Node: r.Node, Score: r.Score}
+	}
+	return out, true
+}
+
+// cacheAdd stores a fresh ranking under its key together with a copy of
+// the seed ids (the caller may reuse its slice).
+func (s *GraphSnapshot) cacheAdd(cacheKey string, ids []graph.NodeID, ranked []pathidx.Ranked) {
+	if cacheKey == "" {
+		return
+	}
+	s.cache.Add(cacheKey, rankEntry{
+		seeds:  append([]graph.NodeID(nil), ids...),
+		ranked: ranked,
+	})
 }
 
 // CacheStats snapshots the rank cache's counters. Each snapshot carries
@@ -183,20 +236,158 @@ func (s *GraphSnapshot) ExplainSeeded(ids []graph.NodeID, ws []float64, target g
 // epoch and swaps it into the serving pointer. Only graph-mutating paths
 // call it (engine construction, post-solve weight application, restore),
 // all of which run under the engine's single-writer discipline.
-func (e *Engine) publish() error {
+//
+// delta is the flush's final weight set (Report.Applied semantics): the
+// post-change weights of every edge the flush could have touched. nil
+// means the change set is unknown — the rank cache is dropped wholesale
+// and the push tracker reset, exactly the pre-delta behavior. A non-nil
+// delta (even empty) drives the two O(delta) paths: the incremental
+// push repair and delta-aware rank-cache retention. Edges whose listed
+// weight equals the previous snapshot's are discarded up front, so a
+// normalization-widened Applied list costs nothing extra. If the graph
+// gained nodes or edges since the previous snapshot, delta cannot be
+// complete and is demoted to nil.
+func (e *Engine) publish(delta []WeightChange) error {
+	prev := e.serving.Load()
 	e.epoch++
 	csr := graph.CompileAt(e.g, e.epoch)
 	pool, err := pathidx.NewScorerPool(csr, e.opt.pathOptions())
 	if err != nil {
 		return fmt.Errorf("core: publish snapshot: %w", err)
 	}
-	e.serving.Store(&GraphSnapshot{
+	snap := &GraphSnapshot{
 		csr:   csr,
 		pool:  pool,
-		cache: lru.New[string, []pathidx.Ranked](e.opt.rankCacheSize()),
+		cache: lru.New[string, rankEntry](e.opt.rankCacheSize()),
 		opt:   e.opt,
-	})
+		push:  e.push,
+	}
+	// A complete delta needs an unchanged structure: edges are append-only,
+	// so equal node and edge counts mean the same edge set.
+	var changed []ppr.EdgeDelta
+	if delta != nil && prev != nil &&
+		prev.csr.NumNodes() == csr.NumNodes() && prev.csr.NumEdges() == csr.NumEdges() {
+		changed = edgeDeltas(prev.csr, delta)
+	}
+	if e.push != nil {
+		start := time.Now()
+		rep := e.push.Update(csr, e.epoch, changed)
+		e.metrics.observePushUpdate(time.Since(start), rep)
+	}
+	if changed != nil {
+		retained, dropped := carryRankCache(prev.cache, snap.cache, csr, changed, e.opt.L)
+		e.metrics.observeRankCacheCarry(retained, dropped)
+	}
+	e.serving.Store(snap)
 	return nil
+}
+
+// edgeDeltas resolves a flush's weight list against the previous
+// snapshot into the actually-changed edges (old weight bitwise different
+// from new), deduplicated last-write-wins and sorted by (From, To). The
+// result is never nil: an all-unchanged list yields an empty slice,
+// meaning "provably nothing moved".
+func edgeDeltas(prev *graph.CSR, delta []WeightChange) []ppr.EdgeDelta {
+	final := make(map[graph.EdgeKey]float64, len(delta))
+	for _, wc := range delta {
+		final[graph.EdgeKey{From: wc.From, To: wc.To}] = wc.Weight
+	}
+	changed := make([]ppr.EdgeDelta, 0, len(final))
+	for k, w := range final {
+		if old := prev.Weight(k.From, k.To); old != w {
+			changed = append(changed, ppr.EdgeDelta{From: k.From, To: k.To, Old: old, New: w})
+		}
+	}
+	ppr.SortEdgeDeltas(changed)
+	return changed
+}
+
+// carryRankCache moves the previous snapshot's cached rankings into the
+// new cache, skipping every entry whose seed set can reach the source
+// endpoint of some changed edge within L−2 forward steps. Retention
+// rule (DESIGN.md §16): a cached ranking was computed from walks
+// virtual-query → seed → ≤L−1 graph edges; a changed edge (u,v) can
+// only contribute if some seed reaches u in ≤L−2 steps, so an entry
+// with no such seed is bitwise identical under the new weights. The
+// reachability test is structural (weights ignored), which is
+// conservative under both the old and the new weight assignment.
+func carryRankCache(prev, next *lru.Cache[string, rankEntry], csr *graph.CSR, changed []ppr.EdgeDelta, l int) (retained, dropped int) {
+	if len(changed) == 0 {
+		// Nothing moved: every entry survives.
+		prev.Range(func(k string, v rankEntry) bool {
+			next.Add(k, v)
+			retained++
+			return true
+		})
+		return retained, 0
+	}
+	dirty := dirtySeedSet(csr, changed, l-2)
+	prev.Range(func(k string, v rankEntry) bool {
+		for _, s := range v.seeds {
+			if _, bad := dirty[s]; bad {
+				dropped++
+				return true
+			}
+		}
+		next.Add(k, v)
+		retained++
+		return true
+	})
+	return retained, dropped
+}
+
+// dirtySeedSet returns every node that reaches the source endpoint of a
+// changed edge within depth forward steps: a reverse BFS over the CSR's
+// structural edges from the changed-edge sources. depth < 0 returns an
+// empty set (L ≤ 1: no graph edge participates in any scored walk).
+func dirtySeedSet(csr *graph.CSR, changed []ppr.EdgeDelta, depth int) map[graph.NodeID]struct{} {
+	dirty := make(map[graph.NodeID]struct{})
+	if depth < 0 {
+		return dirty
+	}
+	// Reverse adjacency: two passes over the CSR rows.
+	n := csr.NumNodes()
+	counts := make([]int32, n)
+	for v := 0; v < n; v++ {
+		cols, _ := csr.Row(graph.NodeID(v))
+		for _, u := range cols {
+			counts[u]++
+		}
+	}
+	starts := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		starts[v+1] = starts[v] + counts[v]
+	}
+	revCols := make([]graph.NodeID, starts[n])
+	fill := make([]int32, n)
+	copy(fill, starts[:n])
+	for v := 0; v < n; v++ {
+		cols, _ := csr.Row(graph.NodeID(v))
+		for _, u := range cols {
+			revCols[fill[u]] = graph.NodeID(v)
+			fill[u]++
+		}
+	}
+	frontier := make([]graph.NodeID, 0, len(changed))
+	for _, d := range changed {
+		if _, seen := dirty[d.From]; !seen {
+			dirty[d.From] = struct{}{}
+			frontier = append(frontier, d.From)
+		}
+	}
+	for step := 0; step < depth && len(frontier) > 0; step++ {
+		var nextFrontier []graph.NodeID
+		for _, v := range frontier {
+			for _, u := range revCols[starts[v]:starts[v+1]] {
+				if _, seen := dirty[u]; !seen {
+					dirty[u] = struct{}{}
+					nextFrontier = append(nextFrontier, u)
+				}
+			}
+		}
+		frontier = nextFrontier
+	}
+	return dirty
 }
 
 // Serving returns the currently published snapshot. The pointer is

@@ -41,7 +41,9 @@ func (e *Engine) Restore(s *WeightSnapshot) error {
 			return fmt.Errorf("core: restore: %w", err)
 		}
 	}
-	return e.publish()
+	// A rollback rewrites weights wholesale; publish with the delta
+	// unknown so caches and push states are rebuilt from scratch.
+	return e.publish(nil)
 }
 
 // Diff reports the edges whose current weight differs from the snapshot

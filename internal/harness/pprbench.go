@@ -1,0 +1,380 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+	"kgvote/internal/ppr"
+	"kgvote/internal/synth"
+)
+
+// PPRConfig sizes the incremental-scorer benchmark (DESIGN.md §16): the
+// same tracked query set is served across a sequence of weight flushes by
+// the exact enumerator (re-rank every query per epoch) and by the
+// edge-based local-push tracker (one O(delta) repair per epoch), over at
+// least two profile scales so the per-flush cost growth of each backend
+// is measurable.
+type PPRConfig struct {
+	// Profiles are the graph scales, smallest first; default Twitter and
+	// Twitter.Scaled(4).
+	Profiles []synth.Profile
+	Queries  int     // tracked seed vectors; default 16
+	SeedSize int     // entities per seed vector; default 3
+	Cands    int     // candidate answers per ranking; default 128
+	K        int     // top-K; default 20
+	L        int     // walk-length bound; default 4
+	RMax     float64 // residual-drop threshold; default 1e-6
+	Delta    int     // changed edges per flush; default 8
+	Flushes  int     // flushes per profile; default 4
+	Rounds   int     // timed repetitions (min kept); default 3
+	Seed     int64   // default 1
+	// MinSpeedup is the self-asserted floor on the largest profile's
+	// per-flush enum/push cost ratio; 0 means the default 5, negative
+	// disables the assertion (tests on tiny profiles).
+	MinSpeedup float64
+}
+
+func (c PPRConfig) withDefaults() PPRConfig {
+	if len(c.Profiles) == 0 {
+		c.Profiles = []synth.Profile{synth.Twitter, synth.Twitter.Scaled(4)}
+	}
+	if c.Queries == 0 {
+		c.Queries = 16
+	}
+	if c.SeedSize == 0 {
+		c.SeedSize = 3
+	}
+	if c.Cands == 0 {
+		c.Cands = 128
+	}
+	if c.K == 0 {
+		c.K = 20
+	}
+	if c.L == 0 {
+		c.L = 4
+	}
+	if c.RMax == 0 {
+		c.RMax = 1e-6
+	}
+	if c.Delta == 0 {
+		c.Delta = 8
+	}
+	if c.Flushes == 0 {
+		c.Flushes = 4
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MinSpeedup == 0 {
+		c.MinSpeedup = 5
+	}
+	return c
+}
+
+// PPRProfileResult is one profile's measurements.
+type PPRProfileResult struct {
+	Profile string `json:"profile"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+
+	// Cold-rank cost per query (min over rounds), microseconds.
+	EnumColdMicros float64 `json:"enum_cold_us"`
+	PushColdMicros float64 `json:"push_cold_us"`
+
+	// Per-flush cost of keeping every tracked query serveable on the new
+	// epoch: the enumerator re-ranks all queries, the push tracker runs
+	// one delta repair. Microseconds, minimum over flushes.
+	EnumFlushMicros float64 `json:"enum_flush_us"`
+	PushFlushMicros float64 `json:"push_flush_us"`
+	UpdateSpeedup   float64 `json:"update_speedup"`
+
+	Pushes       int64   `json:"pushes"`
+	ResidualMass float64 `json:"residual_mass"`
+
+	// MaxDivergence is the worst |tracked − fresh solve| over every query
+	// and candidate after the final flush; ErrorBudget is the certified
+	// allowance (tracked bound + fresh bound). BoundHeld is the contract.
+	MaxDivergence float64 `json:"max_divergence"`
+	ErrorBudget   float64 `json:"error_budget"`
+	BoundHeld     bool    `json:"bound_held"`
+}
+
+// PPRResult is the JSON-serializable outcome of PPRBench (the "ppr"
+// entry of BENCH_serve.json runs).
+type PPRResult struct {
+	Queries int     `json:"queries"`
+	Delta   int     `json:"delta_edges"`
+	Flushes int     `json:"flushes"`
+	L       int     `json:"l"`
+	RMax    float64 `json:"rmax"`
+
+	Profiles []PPRProfileResult `json:"profiles"`
+
+	// EnumGrowth / PushGrowth are the last profile's per-flush cost over
+	// the first's: how each backend's flush cost scales with |E|. The
+	// self-asserted contract is that push stays near-flat while enum
+	// tracks the graph size.
+	EnumGrowth float64 `json:"enum_growth"`
+	PushGrowth float64 `json:"push_growth"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Err reports the violated contract clauses, if any.
+func (r PPRResult) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ppr bench violations: %s", strings.Join(r.Violations, "; "))
+}
+
+// String renders a one-screen summary.
+func (r PPRResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ppr bench: %d tracked queries, %d edges changed per flush, L=%d, rmax=%g\n",
+		r.Queries, r.Delta, r.L, r.RMax)
+	for _, p := range r.Profiles {
+		fmt.Fprintf(&sb, "  %-12s %7d nodes %8d edges  cold %9.1f/%9.1f us  flush %10.1f/%8.1f us  %7.1fx  bound held: %v\n",
+			p.Profile, p.Nodes, p.Edges, p.EnumColdMicros, p.PushColdMicros,
+			p.EnumFlushMicros, p.PushFlushMicros, p.UpdateSpeedup, p.BoundHeld)
+	}
+	fmt.Fprintf(&sb, "  per-flush growth %s → %s: enum %.2fx, push %.2fx",
+		r.Profiles[0].Profile, r.Profiles[len(r.Profiles)-1].Profile, r.EnumGrowth, r.PushGrowth)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&sb, "\n  VIOLATION: %s", v)
+	}
+	return sb.String()
+}
+
+// pprQuery is one benchmark seed vector with its canonical tracker key.
+type pprQuery struct {
+	key   string
+	ids   []graph.NodeID
+	ws    []float64
+	cands []graph.NodeID
+}
+
+// pprProfilePass measures one profile end to end.
+func pprProfilePass(p synth.Profile, cfg PPRConfig, rng *rand.Rand) (PPRProfileResult, error) {
+	res := PPRProfileResult{Profile: p.Name}
+	g, err := p.Generate(cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	res.Nodes, res.Edges = g.NumNodes(), g.NumEdges()
+	var epoch uint64 = 1
+	csr := graph.CompileAt(g, epoch)
+
+	queries := make([]pprQuery, cfg.Queries)
+	for i := range queries {
+		q := pprQuery{
+			key:   fmt.Sprintf("q%d", i),
+			ids:   make([]graph.NodeID, cfg.SeedSize),
+			ws:    make([]float64, cfg.SeedSize),
+			cands: make([]graph.NodeID, cfg.Cands),
+		}
+		var total float64
+		for j := range q.ids {
+			q.ids[j] = graph.NodeID(rng.Intn(res.Nodes))
+			q.ws[j] = rng.Float64() + 0.01
+			total += q.ws[j]
+		}
+		for j := range q.ws {
+			q.ws[j] /= total
+		}
+		for j := range q.cands {
+			q.cands[j] = graph.NodeID(rng.Intn(res.Nodes))
+		}
+		queries[i] = q
+	}
+
+	pathOpt := pathidx.Options{C: ppr.DefaultC, L: cfg.L}
+	enumRank := func(c *graph.CSR) (time.Duration, error) {
+		start := time.Now()
+		sc, err := pathidx.NewCSRScorer(c, pathOpt)
+		if err != nil {
+			return 0, err
+		}
+		for _, q := range queries {
+			if _, err := sc.RankSeeded(q.ids, q.ws, q.cands, cfg.K); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	// Cold ranks: enumerator (min over rounds, per query) ...
+	var enumCold time.Duration
+	for round := 0; round < cfg.Rounds; round++ {
+		d, err := enumRank(csr)
+		if err != nil {
+			return res, err
+		}
+		if enumCold == 0 || d < enumCold {
+			enumCold = d
+		}
+	}
+	res.EnumColdMicros = enumCold.Seconds() * 1e6 / float64(cfg.Queries)
+
+	// ... and push (one cold pass populates the tracker; extra rounds rank
+	// fresh untracked states for a comparable cold figure).
+	pushOpt := ppr.PushOptions{C: ppr.DefaultC, L: cfg.L, RMax: cfg.RMax}
+	inc, err := ppr.NewIncremental(pushOpt, cfg.Queries)
+	if err != nil {
+		return res, err
+	}
+	inc.Update(csr, epoch, nil)
+	var pushCold time.Duration
+	for round := 0; round < cfg.Rounds; round++ {
+		key := "" // untracked on warm-up rounds
+		if round == cfg.Rounds-1 {
+			key = "track" // last round adopts the states
+		}
+		start := time.Now()
+		for _, q := range queries {
+			k := key
+			if k != "" {
+				k = q.key
+			}
+			if _, _, err := inc.RankSeeded(k, csr, epoch, q.ids, q.ws, q.cands, cfg.K); err != nil {
+				return res, err
+			}
+		}
+		if d := time.Since(start); pushCold == 0 || d < pushCold {
+			pushCold = d
+		}
+	}
+	res.PushColdMicros = pushCold.Seconds() * 1e6 / float64(cfg.Queries)
+
+	// Flush sequence: mutate Delta existing edges, republish, and time
+	// what each backend must do to serve the tracked queries again.
+	keys := g.EdgeKeys()
+	var enumFlush, pushFlush time.Duration
+	for flush := 0; flush < cfg.Flushes; flush++ {
+		deltas := make([]ppr.EdgeDelta, 0, cfg.Delta)
+		for i := 0; i < cfg.Delta; i++ {
+			e := keys[rng.Intn(len(keys))]
+			old := g.Weight(e.From, e.To)
+			nw := rng.Float64() * 0.9
+			g.MustSetEdge(e.From, e.To, nw)
+			deltas = append(deltas, ppr.EdgeDelta{From: e.From, To: e.To, Old: old, New: nw})
+		}
+		epoch++
+		csr = graph.CompileAt(g, epoch)
+
+		start := time.Now()
+		inc.Update(csr, epoch, deltas)
+		if d := time.Since(start); pushFlush == 0 || d < pushFlush {
+			pushFlush = d
+		}
+		d, err := enumRank(csr)
+		if err != nil {
+			return res, err
+		}
+		if enumFlush == 0 || d < enumFlush {
+			enumFlush = d
+		}
+	}
+	res.EnumFlushMicros = enumFlush.Seconds() * 1e6
+	res.PushFlushMicros = pushFlush.Seconds() * 1e6
+	if res.PushFlushMicros > 0 {
+		res.UpdateSpeedup = res.EnumFlushMicros / res.PushFlushMicros
+	}
+
+	// Differential check after the final flush: every tracked estimate
+	// must sit within the certified budget of a from-scratch solve.
+	res.BoundHeld = true
+	for _, q := range queries {
+		got, trackedBound, err := inc.RankSeeded(q.key, csr, epoch, q.ids, q.ws, q.cands, 0)
+		if err != nil {
+			return res, err
+		}
+		fresh, err := ppr.LocalPushSeeded(csr, q.ids, q.ws, pushOpt)
+		if err != nil {
+			return res, err
+		}
+		budget := trackedBound + fresh.Bound() + 1e-12
+		if budget > res.ErrorBudget {
+			res.ErrorBudget = budget
+		}
+		var maxD float64
+		for _, r := range got {
+			if d := math.Abs(r.Score - fresh.Score(r.Node)); d > maxD {
+				maxD = d
+			}
+		}
+		if maxD > res.MaxDivergence {
+			res.MaxDivergence = maxD
+		}
+		if maxD > budget {
+			res.BoundHeld = false
+		}
+	}
+	st := inc.Stats()
+	res.Pushes = st.Pushes
+	res.ResidualMass = st.ResidualMass
+	return res, nil
+}
+
+// PPRBench measures cold-rank and per-flush update cost of the exact
+// enumerator vs the incremental push tracker across the configured
+// profile scales, self-asserting the bound contract and the scaling
+// claim: push repair cost stays roughly flat as |E| grows while the
+// enumerator's per-epoch re-rank cost does not.
+func PPRBench(cfg PPRConfig) (PPRResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := PPRResult{
+		Queries: cfg.Queries, Delta: cfg.Delta, Flushes: cfg.Flushes,
+		L: cfg.L, RMax: cfg.RMax,
+	}
+	for _, p := range cfg.Profiles {
+		pr, err := pprProfilePass(p, cfg, rng)
+		if err != nil {
+			return res, fmt.Errorf("profile %s: %w", p.Name, err)
+		}
+		res.Profiles = append(res.Profiles, pr)
+	}
+	first, last := res.Profiles[0], res.Profiles[len(res.Profiles)-1]
+	if first.EnumFlushMicros > 0 {
+		res.EnumGrowth = last.EnumFlushMicros / first.EnumFlushMicros
+	}
+	if first.PushFlushMicros > 0 {
+		res.PushGrowth = last.PushFlushMicros / first.PushFlushMicros
+	}
+	for _, p := range res.Profiles {
+		if p.Pushes == 0 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("profile %s recorded zero pushes", p.Profile))
+		}
+		if !p.BoundHeld {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("profile %s: divergence %g exceeded certified budget %g",
+					p.Profile, p.MaxDivergence, p.ErrorBudget))
+		}
+	}
+	if cfg.MinSpeedup > 0 && last.UpdateSpeedup < cfg.MinSpeedup {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("largest profile per-flush speedup %.2fx below floor %.2fx",
+				last.UpdateSpeedup, cfg.MinSpeedup))
+	}
+	// The scaling contract: push growth must stay well under enum growth
+	// (within noise on small profiles). Only meaningful with ≥2 profiles.
+	if len(res.Profiles) >= 2 && cfg.MinSpeedup > 0 {
+		ceiling := math.Max(2.5, res.EnumGrowth/2)
+		if res.PushGrowth > ceiling {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("push per-flush cost grew %.2fx across profiles (ceiling %.2fx, enum grew %.2fx)",
+					res.PushGrowth, ceiling, res.EnumGrowth))
+		}
+	}
+	return res, nil
+}

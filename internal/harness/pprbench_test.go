@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"testing"
+
+	"kgvote/internal/synth"
+)
+
+// TestPPRBenchSmall runs the bench on two tiny profiles — timings are
+// meaningless at this scale, so the speedup floor is disabled, but the
+// bound contract and the result shape must hold.
+func TestPPRBenchSmall(t *testing.T) {
+	res, err := PPRBench(PPRConfig{
+		Profiles:   []synth.Profile{synth.Twitter.Scaled(0.02), synth.Twitter.Scaled(0.08)},
+		Queries:    4,
+		Cands:      32,
+		Flushes:    2,
+		Rounds:     1,
+		MinSpeedup: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := res.Err(); verr != nil {
+		t.Fatal(verr)
+	}
+	if len(res.Profiles) != 2 {
+		t.Fatalf("profiles = %d", len(res.Profiles))
+	}
+	for _, p := range res.Profiles {
+		if !p.BoundHeld {
+			t.Errorf("%s: bound violated (divergence %g, budget %g)", p.Profile, p.MaxDivergence, p.ErrorBudget)
+		}
+		if p.Pushes == 0 {
+			t.Errorf("%s: zero pushes", p.Profile)
+		}
+		if p.PushFlushMicros <= 0 || p.EnumFlushMicros <= 0 {
+			t.Errorf("%s: missing flush timings %+v", p.Profile, p)
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+// TestPPRBenchSpeedupViolation: an absurd floor must be reported as a
+// violation, proving the self-assertion has teeth.
+func TestPPRBenchSpeedupViolation(t *testing.T) {
+	res, err := PPRBench(PPRConfig{
+		Profiles:   []synth.Profile{synth.Twitter.Scaled(0.02)},
+		Queries:    2,
+		Cands:      16,
+		Flushes:    1,
+		Rounds:     1,
+		MinSpeedup: 1e12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Fatal("floor 1e12 not reported as a violation")
+	}
+}

@@ -111,6 +111,25 @@ func (c *Cache[K, V]) Len() int {
 	return c.ll.Len()
 }
 
+// Range calls fn for every entry from least to most recently used,
+// stopping early when fn returns false. It does not touch recency order
+// or the hit/miss counters, so a new cache seeded by re-Adding a ranged
+// snapshot preserves the original LRU order. fn must not call back into
+// the cache (the lock is held).
+func (c *Cache[K, V]) Range(fn func(k K, v V) bool) {
+	if c == nil || c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry[K, V])
+		if !fn(e.k, e.v) {
+			return
+		}
+	}
+}
+
 // Stats snapshots this cache's counters. A disabled or nil cache
 // reports zeros.
 func (c *Cache[K, V]) Stats() Stats {

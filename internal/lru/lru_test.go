@@ -132,3 +132,36 @@ func TestEvictions(t *testing.T) {
 		t.Error("disabled cache reports evictions")
 	}
 }
+
+func TestRange(t *testing.T) {
+	c := New[int, string](3)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	c.Add(3, "c")
+	c.Get(1) // 1 becomes most-recent: iteration order must be 2, 3, 1
+	var keys []int
+	c.Range(func(k int, v string) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []int{2, 3, 1}
+	if len(keys) != len(want) {
+		t.Fatalf("Range visited %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range order %v, want LRU→MRU %v", keys, want)
+		}
+	}
+	// Early stop.
+	var n int
+	c.Range(func(int, string) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range after false continued: %d visits", n)
+	}
+	// Range must not perturb recency: adding a 4th key still evicts 2.
+	c.Add(4, "d")
+	if _, ok := c.Get(2); ok {
+		t.Fatal("Range perturbed recency: LRU key 2 survived eviction")
+	}
+}

@@ -1,0 +1,56 @@
+package pathidx
+
+import (
+	"fmt"
+
+	"kgvote/internal/graph"
+)
+
+// Backend selects the serving-path seeded-ranking implementation
+// (kgvoted -scorer). The enumerator-equivalent sparse sweeps stay the
+// default and the exactness oracle; the push backend trades a certified
+// additive error bound for O(delta) per-flush updates (DESIGN.md §16).
+type Backend int
+
+const (
+	// BackendEnum ranks with CSRScorer's exact truncated sparse sweeps.
+	BackendEnum Backend = iota
+	// BackendPush ranks with the incremental local-push estimator
+	// (internal/ppr), repaired per flush from the changed-edge set.
+	BackendPush
+)
+
+// String returns the flag spelling of the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendEnum:
+		return "enum"
+	case BackendPush:
+		return "push"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// Valid reports whether b names a known backend.
+func (b Backend) Valid() bool { return b == BackendEnum || b == BackendPush }
+
+// ParseBackend parses a -scorer flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "enum":
+		return BackendEnum, nil
+	case "push":
+		return BackendPush, nil
+	}
+	return 0, fmt.Errorf("pathidx: unknown scorer backend %q (want enum or push)", s)
+}
+
+// SeededRanker is the contract every serving backend satisfies: rank
+// candidates for a virtual query node with out-edges (ids[i], ws[i]),
+// descending score with ties broken by node ID. CSRScorer implements it
+// directly; the push backend is adapted in internal/core.
+type SeededRanker interface {
+	RankSeeded(ids []graph.NodeID, weights []float64, candidates []graph.NodeID, k int) ([]Ranked, error)
+}
+
+var _ SeededRanker = (*CSRScorer)(nil)

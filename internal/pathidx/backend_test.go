@@ -1,0 +1,33 @@
+package pathidx
+
+import "testing"
+
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+		err  bool
+	}{
+		{"", BackendEnum, false},
+		{"enum", BackendEnum, false},
+		{"push", BackendPush, false},
+		{"Push", 0, true},
+		{"gauss", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBackend(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseBackend(%q) err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseBackend(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if BackendEnum.String() != "enum" || BackendPush.String() != "push" {
+		t.Errorf("String(): %q / %q", BackendEnum.String(), BackendPush.String())
+	}
+	if !BackendEnum.Valid() || !BackendPush.Valid() || Backend(9).Valid() {
+		t.Error("Valid() misclassifies")
+	}
+}

@@ -1,0 +1,268 @@
+package ppr
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kgvote/internal/graph"
+)
+
+// ErrStaleEpoch is returned by Incremental.RankSeeded when the caller's
+// snapshot epoch does not match the tracker's: a reader holding an old
+// snapshot must fall back to the exact enumerator rather than mix
+// estimates from a different graph generation.
+var ErrStaleEpoch = errors.New("ppr: snapshot epoch does not match incremental tracker")
+
+// EdgeDelta is one edge-weight change of a flush, in absolute terms.
+type EdgeDelta struct {
+	From, To graph.NodeID
+	Old, New float64
+}
+
+// SortEdgeDeltas orders deltas by (From, To) — the canonical repair
+// order, so repeated repairs of the same flush are bitwise identical.
+func SortEdgeDeltas(ds []EdgeDelta) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].From != ds[j].From {
+			return ds[i].From < ds[j].From
+		}
+		return ds[i].To < ds[j].To
+	})
+}
+
+// Incremental maintains local-push EIPD states for a bounded set of
+// tracked seed vectors and repairs all of them in O(delta) when a flush
+// changes edge weights, instead of re-solving per query per epoch.
+//
+// Concurrency contract: Update is called by the engine's single writer
+// (snapshot republish); RankSeeded is called by any number of serving
+// readers. Tracked states are only mutated under the write lock, so
+// readers may rank from them under the read lock. A reader whose
+// snapshot epoch trails the tracker gets ErrStaleEpoch and must use the
+// exact enumerator for that request.
+type Incremental struct {
+	mu         sync.RWMutex
+	opt        PushOptions
+	maxTracked int
+
+	epoch  uint64
+	states map[string]*trackedSeed
+	// order holds tracked keys oldest-first for capacity eviction.
+	order []string
+
+	// Monotonic counters; atomics so the read path can bump them under
+	// RLock and scrape-time collectors can read without any lock.
+	pushes         atomic.Int64
+	updates        atomic.Int64
+	coldRanks      atomic.Int64
+	rebuilds       atomic.Int64
+	staleFallbacks atomic.Int64
+	evictions      atomic.Int64
+}
+
+// trackedSeed pins one seed vector (so rebuilds can re-solve it) to its
+// push state.
+type trackedSeed struct {
+	ids []graph.NodeID
+	ws  []float64
+	st  *PushState
+}
+
+// IncrementalStats is a scrape-time snapshot of the tracker.
+type IncrementalStats struct {
+	// TrackedSeeds is the number of seed vectors currently maintained.
+	TrackedSeeds int
+	// ResidualMass is the sum of the tracked states' certified bounds.
+	ResidualMass float64
+	// Pushes counts push operations across cold solves, repairs, and
+	// rebuilds (monotonic; survives eviction).
+	Pushes int64
+	// Updates counts Update calls (one per snapshot republish).
+	Updates int64
+	// ColdRanks counts from-scratch seeded solves on the read path.
+	ColdRanks int64
+	// Rebuilds counts tracked states re-solved because their bound
+	// crossed PushOptions.RebuildBound.
+	Rebuilds int64
+	// StaleFallbacks counts reads rejected with ErrStaleEpoch.
+	StaleFallbacks int64
+	// Evictions counts tracked states dropped under capacity pressure.
+	Evictions int64
+}
+
+// UpdateReport summarizes one Update call for telemetry.
+type UpdateReport struct {
+	// Repaired is the number of tracked states whose invariant was
+	// repaired in place; Rebuilt counts those re-solved from scratch.
+	Repaired, Rebuilt int
+	// Pushes is the push work this update performed.
+	Pushes int64
+	// Reset reports a nil-delta update: every tracked state was dropped.
+	Reset bool
+}
+
+// NewIncremental returns a tracker. maxTracked ≤ 0 uses
+// DefaultMaxTracked. The tracker starts empty at epoch 0; the first
+// Update binds it to a snapshot.
+func NewIncremental(opt PushOptions, maxTracked int) (*Incremental, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if maxTracked <= 0 {
+		maxTracked = DefaultMaxTracked
+	}
+	return &Incremental{
+		opt:        opt.withDefaults(),
+		maxTracked: maxTracked,
+		states:     make(map[string]*trackedSeed),
+	}, nil
+}
+
+// Options returns the tracker's push configuration with defaults applied.
+func (inc *Incremental) Options() PushOptions { return inc.opt }
+
+// Epoch returns the snapshot generation the tracker is bound to.
+func (inc *Incremental) Epoch() uint64 {
+	inc.mu.RLock()
+	defer inc.mu.RUnlock()
+	return inc.epoch
+}
+
+// Update binds the tracker to the new snapshot and repairs every tracked
+// state from the flush's changed edges. A nil deltas slice means the
+// delta is unknown (restore, import, structural growth): all tracked
+// states are dropped, because a repair needs the full change set to be
+// sound. An empty non-nil slice repairs nothing and retains everything.
+// deltas need not be pre-sorted; entries with New == Old are ignored.
+func (inc *Incremental) Update(adj Adjacency, epoch uint64, deltas []EdgeDelta) UpdateReport {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	inc.epoch = epoch
+	inc.updates.Add(1)
+	if deltas == nil {
+		n := len(inc.states)
+		inc.states = make(map[string]*trackedSeed)
+		inc.order = inc.order[:0]
+		inc.evictions.Add(int64(n))
+		return UpdateReport{Reset: true}
+	}
+	ds := make([]EdgeDelta, 0, len(deltas))
+	for _, d := range deltas {
+		if d.New != d.Old {
+			ds = append(ds, d)
+		}
+	}
+	SortEdgeDeltas(ds)
+	var rep UpdateReport
+	for _, key := range inc.order {
+		ts := inc.states[key]
+		before := ts.st.pushes
+		ts.st.Repair(adj, ds)
+		rep.Pushes += ts.st.pushes - before
+		rebuild := inc.opt.RebuildBound >= 0 && ts.st.bound > inc.opt.RebuildBound
+		if rebuild {
+			fresh, err := LocalPushSeeded(adj, ts.ids, ts.ws, inc.opt)
+			if err == nil {
+				rep.Pushes += fresh.pushes
+				ts.st = fresh
+				rep.Rebuilt++
+				inc.rebuilds.Add(1)
+				continue
+			}
+		}
+		rep.Repaired++
+	}
+	inc.pushes.Add(rep.Pushes)
+	return rep
+}
+
+// RankSeeded ranks candidates for the seed vector (ids, weights) against
+// the snapshot adj at the given epoch, returning the ranking and the
+// state's certified additive bound. A tracked key is served from the
+// repaired state in O(candidates); an untracked key is solved cold and,
+// capacity permitting, tracked for future flushes. Keys must be
+// canonical for their seed vector (the serving rank-cache key is).
+// An empty key ranks cold without tracking.
+func (inc *Incremental) RankSeeded(key string, adj Adjacency, epoch uint64, ids []graph.NodeID, weights []float64, candidates []graph.NodeID, k int) ([]Ranked, float64, error) {
+	inc.mu.RLock()
+	if epoch != inc.epoch {
+		inc.mu.RUnlock()
+		inc.staleFallbacks.Add(1)
+		return nil, 0, ErrStaleEpoch
+	}
+	if key != "" {
+		if ts, ok := inc.states[key]; ok {
+			ranked := ts.st.Rank(candidates, k)
+			bound := ts.st.bound
+			inc.mu.RUnlock()
+			return ranked, bound, nil
+		}
+	}
+	inc.mu.RUnlock()
+
+	st, err := LocalPushSeeded(adj, ids, weights, inc.opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	inc.coldRanks.Add(1)
+	inc.pushes.Add(st.pushes)
+	ranked := st.Rank(candidates, k)
+	if key != "" {
+		inc.mu.Lock()
+		// Only adopt the state if no flush advanced the tracker while we
+		// solved (the state describes the epoch we solved against) and
+		// no concurrent reader beat us to the key.
+		if epoch == inc.epoch {
+			if _, exists := inc.states[key]; !exists {
+				if len(inc.states) >= inc.maxTracked {
+					oldest := inc.order[0]
+					inc.order = inc.order[1:]
+					delete(inc.states, oldest)
+					inc.evictions.Add(1)
+				}
+				inc.states[key] = &trackedSeed{
+					ids: append([]graph.NodeID(nil), ids...),
+					ws:  append([]float64(nil), weights...),
+					st:  st,
+				}
+				inc.order = append(inc.order, key)
+			}
+		}
+		inc.mu.Unlock()
+	}
+	return ranked, st.bound, nil
+}
+
+// TrackedBound returns a tracked state's certified bound.
+func (inc *Incremental) TrackedBound(key string) (float64, bool) {
+	inc.mu.RLock()
+	defer inc.mu.RUnlock()
+	ts, ok := inc.states[key]
+	if !ok {
+		return 0, false
+	}
+	return ts.st.bound, true
+}
+
+// Stats snapshots the tracker's counters.
+func (inc *Incremental) Stats() IncrementalStats {
+	inc.mu.RLock()
+	tracked := len(inc.states)
+	var residual float64
+	for _, key := range inc.order {
+		residual += inc.states[key].st.bound
+	}
+	inc.mu.RUnlock()
+	return IncrementalStats{
+		TrackedSeeds:   tracked,
+		ResidualMass:   residual,
+		Pushes:         inc.pushes.Load(),
+		Updates:        inc.updates.Load(),
+		ColdRanks:      inc.coldRanks.Load(),
+		Rebuilds:       inc.rebuilds.Load(),
+		StaleFallbacks: inc.staleFallbacks.Load(),
+		Evictions:      inc.evictions.Load(),
+	}
+}

@@ -1,0 +1,273 @@
+package ppr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"kgvote/internal/graph"
+)
+
+// mutateEdges changes k existing edge weights in g at random and returns
+// the absolute deltas, leaving g already updated.
+func mutateEdges(g *graph.Graph, k int, rng *rand.Rand) []EdgeDelta {
+	keys := g.EdgeKeys()
+	if len(keys) == 0 {
+		return []EdgeDelta{}
+	}
+	out := make([]EdgeDelta, 0, k)
+	for i := 0; i < k; i++ {
+		e := keys[rng.Intn(len(keys))]
+		old := g.Weight(e.From, e.To)
+		nw := rng.Float64() * 0.9
+		g.MustSetEdge(e.From, e.To, nw)
+		out = append(out, EdgeDelta{From: e.From, To: e.To, Old: old, New: nw})
+	}
+	return out
+}
+
+// allNodes lists every node ID of an n-node graph (full-vector ranking).
+func allNodes(n int) []graph.NodeID {
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	return ids
+}
+
+// TestIncrementalRepairMatchesFresh is the incremental differential
+// property: after a random sequence of edge-delta flushes, the repaired
+// tracked state must match a from-scratch push solve on the final graph
+// within the sum of both certified bounds.
+func TestIncrementalRepairMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 6; trial++ {
+		n := 24 + rng.Intn(40)
+		g := trickyGraph(n, rng)
+		opt := PushOptions{C: 0.15, L: 5, RMax: 1e-6, RebuildBound: -1}
+		inc, err := NewIncremental(opt, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csr := graph.Compile(g)
+		inc.Update(csr, 1, []EdgeDelta{})
+		ids := []graph.NodeID{graph.NodeID(rng.Intn(n / 2)), graph.NodeID(rng.Intn(n))}
+		ws := []float64{0.6, 0.4}
+		const key = "seed"
+		if _, _, err := inc.RankSeeded(key, csr, 1, ids, ws, allNodes(n), 0); err != nil {
+			t.Fatal(err)
+		}
+		epoch := uint64(1)
+		for flush := 0; flush < 5; flush++ {
+			deltas := mutateEdges(g, 1+rng.Intn(6), rng)
+			csr = graph.Compile(g)
+			epoch++
+			rep := inc.Update(csr, epoch, deltas)
+			if rep.Reset {
+				t.Fatalf("trial %d flush %d: non-nil delta caused a reset", trial, flush)
+			}
+			got, incBound, err := inc.RankSeeded(key, csr, epoch, ids, ws, allNodes(n), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := LocalPushSeeded(csr, ids, ws, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := incBound + fresh.Bound() + 1e-12
+			for _, r := range got {
+				if d := math.Abs(r.Score - fresh.Score(r.Node)); d > tol {
+					t.Fatalf("trial %d flush %d node %d: |repaired-fresh| = %v > %v",
+						trial, flush, r.Node, d, tol)
+				}
+			}
+		}
+		if st := inc.Stats(); st.ColdRanks != 1 {
+			t.Fatalf("trial %d: %d cold ranks, want 1 (repairs must serve the tracked state)",
+				trial, st.ColdRanks)
+		}
+	}
+}
+
+func TestIncrementalStaleEpoch(t *testing.T) {
+	g := chain(t, 1, 1)
+	csr := graph.Compile(g)
+	inc, err := NewIncremental(PushOptions{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Update(csr, 5, []EdgeDelta{})
+	_, _, err = inc.RankSeeded("k", csr, 4, []graph.NodeID{0}, []float64{1}, allNodes(3), 0)
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale read returned %v, want ErrStaleEpoch", err)
+	}
+	if st := inc.Stats(); st.StaleFallbacks != 1 {
+		t.Fatalf("StaleFallbacks = %d, want 1", st.StaleFallbacks)
+	}
+}
+
+func TestIncrementalNilDeltaResets(t *testing.T) {
+	g := chain(t, 1, 1)
+	csr := graph.Compile(g)
+	inc, err := NewIncremental(PushOptions{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Update(csr, 1, []EdgeDelta{})
+	if _, _, err := inc.RankSeeded("k", csr, 1, []graph.NodeID{0}, []float64{1}, allNodes(3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := inc.Stats(); st.TrackedSeeds != 1 {
+		t.Fatalf("TrackedSeeds = %d, want 1", st.TrackedSeeds)
+	}
+	rep := inc.Update(csr, 2, nil)
+	if !rep.Reset {
+		t.Fatal("nil delta did not report Reset")
+	}
+	if st := inc.Stats(); st.TrackedSeeds != 0 || st.Evictions != 1 {
+		t.Fatalf("after reset: tracked=%d evictions=%d, want 0/1", st.TrackedSeeds, st.Evictions)
+	}
+}
+
+// TestIncrementalRebuild: with a rebuild ceiling below any lossy solve's
+// bound, every update re-solves from scratch, and the tracked bound drops
+// back to the fresh-solve bound instead of accumulating.
+func TestIncrementalRebuild(t *testing.T) {
+	// Chain 0→1→…→5 with weight 0.5 per hop: the level-5 residual
+	// (0.5⁴ = 0.0625) is below RMax = 0.1, so even the cold solve drops
+	// mass and carries a bound above the 1e-12 ceiling.
+	g := chain(t, 0.5, 0.5, 0.5, 0.5, 0.5)
+	opt := PushOptions{C: 0.15, L: 5, RMax: 0.1, RebuildBound: 1e-12}
+	inc, err := NewIncremental(opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := graph.Compile(g)
+	inc.Update(csr, 1, []EdgeDelta{})
+	ids, ws := []graph.NodeID{0}, []float64{1}
+	if _, _, err := inc.RankSeeded("k", csr, 1, ids, ws, allNodes(6), 0); err != nil {
+		t.Fatal(err)
+	}
+	old := g.Weight(0, 1)
+	g.MustSetEdge(0, 1, 0.8)
+	deltas := []EdgeDelta{{From: 0, To: 1, Old: old, New: 0.8}}
+	csr = graph.Compile(g)
+	rep := inc.Update(csr, 2, deltas)
+	if rep.Rebuilt != 1 {
+		t.Fatalf("no rebuild despite ceiling 1e-12 (report %+v)", rep)
+	}
+	fresh, err := LocalPushSeeded(csr, ids, ws, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, ok := inc.TrackedBound("k")
+	if !ok {
+		t.Fatal("tracked state vanished")
+	}
+	if bound != fresh.Bound() {
+		t.Fatalf("post-rebuild bound %v, want fresh-solve bound %v", bound, fresh.Bound())
+	}
+	if st := inc.Stats(); st.Rebuilds == 0 {
+		t.Fatal("Rebuilds counter not bumped")
+	}
+}
+
+func TestIncrementalEviction(t *testing.T) {
+	g := chain(t, 1, 1, 1, 1)
+	csr := graph.Compile(g)
+	inc, err := NewIncremental(PushOptions{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Update(csr, 1, []EdgeDelta{})
+	for i := 0; i < 3; i++ {
+		ids := []graph.NodeID{graph.NodeID(i)}
+		key := string(rune('a' + i))
+		if _, _, err := inc.RankSeeded(key, csr, 1, ids, []float64{1}, allNodes(5), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := inc.Stats()
+	if st.TrackedSeeds != 2 || st.Evictions != 1 {
+		t.Fatalf("tracked=%d evictions=%d, want 2/1 (FIFO at capacity)", st.TrackedSeeds, st.Evictions)
+	}
+	// The oldest key "a" must be the one gone.
+	if _, ok := inc.TrackedBound("a"); ok {
+		t.Fatal("oldest key survived eviction")
+	}
+	if _, ok := inc.TrackedBound("c"); !ok {
+		t.Fatal("newest key evicted")
+	}
+}
+
+// TestIncrementalEmptyKeyDoesNotTrack: the serving path uses "" when it
+// has no canonical cache key; those solves must stay untracked.
+func TestIncrementalEmptyKeyDoesNotTrack(t *testing.T) {
+	g := chain(t, 1, 1)
+	csr := graph.Compile(g)
+	inc, err := NewIncremental(PushOptions{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Update(csr, 1, []EdgeDelta{})
+	if _, _, err := inc.RankSeeded("", csr, 1, []graph.NodeID{0}, []float64{1}, allNodes(3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := inc.Stats(); st.TrackedSeeds != 0 || st.ColdRanks != 1 {
+		t.Fatalf("tracked=%d cold=%d, want 0/1", st.TrackedSeeds, st.ColdRanks)
+	}
+}
+
+// TestIncrementalDeterministic: two trackers fed the identical flush
+// sequence must produce bitwise-identical rankings and bounds.
+func TestIncrementalDeterministic(t *testing.T) {
+	build := func() ([]Ranked, float64) {
+		rng := rand.New(rand.NewSource(7))
+		g := trickyGraph(36, rng)
+		opt := PushOptions{C: 0.15, L: 5, RMax: 1e-5, RebuildBound: -1}
+		inc, err := NewIncremental(opt, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csr := graph.Compile(g)
+		inc.Update(csr, 1, []EdgeDelta{})
+		ids, ws := []graph.NodeID{2, 9}, []float64{0.7, 0.3}
+		if _, _, err := inc.RankSeeded("k", csr, 1, ids, ws, allNodes(36), 0); err != nil {
+			t.Fatal(err)
+		}
+		var epoch uint64 = 1
+		for flush := 0; flush < 3; flush++ {
+			deltas := mutateEdges(g, 3, rng)
+			csr = graph.Compile(g)
+			epoch++
+			inc.Update(csr, epoch, deltas)
+		}
+		ranked, bound, err := inc.RankSeeded("k", csr, epoch, ids, ws, allNodes(36), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ranked, bound
+	}
+	r1, b1 := build()
+	r2, b2 := build()
+	if b1 != b2 {
+		t.Fatalf("bounds differ: %v vs %v", b1, b2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("rank[%d] differs: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestSortEdgeDeltas(t *testing.T) {
+	ds := []EdgeDelta{{From: 2, To: 1}, {From: 0, To: 5}, {From: 2, To: 0}, {From: 0, To: 1}}
+	SortEdgeDeltas(ds)
+	want := []EdgeDelta{{From: 0, To: 1}, {From: 0, To: 5}, {From: 2, To: 0}, {From: 2, To: 1}}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("ds[%d] = %+v, want %+v", i, ds[i], want[i])
+		}
+	}
+}

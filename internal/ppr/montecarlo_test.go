@@ -144,3 +144,28 @@ func BenchmarkMonteCarlo(b *testing.B) {
 		}
 	}
 }
+
+// TestMonteCarloBitwiseReproducible: the estimator draws randomness only
+// from the explicit seed, so two estimators built with the same seed must
+// produce bitwise-identical score vectors — no global rand, no
+// time-derived state.
+func TestMonteCarloBitwiseReproducible(t *testing.T) {
+	g := randomGraph(40, 3, rand.New(rand.NewSource(5)))
+	run := func() []float64 {
+		mc, err := NewMonteCarlo(g, 5000, 99, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := mc.Scores(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d: %v vs %v — same seed must be bitwise identical", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kgvote/internal/graph"
+	"kgvote/internal/pathidx"
+)
+
+// trickyGraph builds a random graph exercising every structure the push
+// solver must survive: dangling nodes (no out-edges), zero-weight
+// (pruned) edges, disconnected components, and self-loops.
+func trickyGraph(n int, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	g.AddNodes(n)
+	// Two halves are kept disconnected; the last few nodes stay dangling.
+	half := n / 2
+	dangleFrom := n - n/8 - 1
+	addEdges := func(lo, hi int) {
+		for i := lo; i < hi && i < dangleFrom; i++ {
+			deg := 1 + rng.Intn(3)
+			for d := 0; d < deg; d++ {
+				j := lo + rng.Intn(hi-lo)
+				w := rng.Float64()
+				switch {
+				case rng.Intn(7) == 0:
+					w = 0 // pruned edge: present but weightless
+				case rng.Intn(9) == 0:
+					j = i // self-loop
+				}
+				g.MustSetEdge(graph.NodeID(i), graph.NodeID(j), w)
+			}
+			if g.OutWeightSum(graph.NodeID(i)) > 1 {
+				g.NormalizeOut(graph.NodeID(i))
+			}
+		}
+	}
+	addEdges(0, half)
+	addEdges(half, n)
+	return g
+}
+
+// enumScores runs the exact bounded-walk enumerator (the serving-path
+// CSRScorer) from source at the given truncation.
+func enumScores(t *testing.T, g *graph.Graph, source graph.NodeID, c float64, l int) []float64 {
+	t.Helper()
+	sc, err := pathidx.NewCSRScorer(graph.Compile(g), pathidx.Options{C: c, L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sc.Scores(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]float64(nil), out...)
+}
+
+// TestLocalPushExactMatchesEnumerator: with drops disabled (RMax < 0) the
+// push solve must agree with the enumerator to float-roundoff on graphs
+// with dangling nodes, zero-weight edges, disconnected components, and
+// self-loops.
+func TestLocalPushExactMatchesEnumerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 16 + rng.Intn(48)
+		g := trickyGraph(n, rng)
+		csr := graph.Compile(g)
+		source := graph.NodeID(rng.Intn(n))
+		opt := PushOptions{C: 0.15, L: 5, RMax: -1}
+		st, err := LocalPush(csr, source, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Bound() != 0 {
+			t.Fatalf("trial %d: exact solve has bound %v", trial, st.Bound())
+		}
+		want := enumScores(t, g, source, 0.15, 5)
+		for v := 0; v < n; v++ {
+			if d := math.Abs(st.Score(graph.NodeID(v)) - want[v]); d > 1e-12 {
+				t.Fatalf("trial %d node %d: push %v enum %v (diff %v)",
+					trial, v, st.Score(graph.NodeID(v)), want[v], d)
+			}
+		}
+	}
+}
+
+// TestLocalPushBoundHolds: with a coarse RMax that actually drops
+// residuals, every estimate must stay within the certified bound of the
+// exact enumerator value — and the certificate must be non-trivial (some
+// trial drops mass, every trial pushes).
+func TestLocalPushBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var sawDrop bool
+	for trial := 0; trial < 20; trial++ {
+		n := 24 + rng.Intn(40)
+		g := trickyGraph(n, rng)
+		csr := graph.Compile(g)
+		source := graph.NodeID(rng.Intn(n / 2))
+		opt := PushOptions{C: 0.15, L: 5, RMax: 2e-3}
+		st, err := LocalPush(csr, source, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Pushes() == 0 {
+			t.Fatalf("trial %d: no pushes recorded", trial)
+		}
+		if st.Bound() > 0 {
+			sawDrop = true
+		}
+		want := enumScores(t, g, source, 0.15, 5)
+		for v := 0; v < n; v++ {
+			if d := math.Abs(st.Score(graph.NodeID(v)) - want[v]); d > st.Bound()+1e-12 {
+				t.Fatalf("trial %d node %d: |push-enum| = %v exceeds bound %v",
+					trial, v, d, st.Bound())
+			}
+		}
+	}
+	if !sawDrop {
+		t.Fatal("RMax=2e-3 never dropped any residual across 20 trials; bound untested")
+	}
+}
+
+// TestLocalPushSeededMatchesEnumerator checks the seeded (virtual query
+// node) mode against CSRScorer.ScoresSeeded at exact and lossy RMax.
+func TestLocalPushSeededMatchesEnumerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(40)
+		g := trickyGraph(n, rng)
+		csr := graph.Compile(g)
+		k := 1 + rng.Intn(4)
+		ids := make([]graph.NodeID, k)
+		ws := make([]float64, k)
+		var total float64
+		for i := range ids {
+			ids[i] = graph.NodeID(rng.Intn(n))
+			ws[i] = rng.Float64() + 0.01
+			total += ws[i]
+		}
+		for i := range ws {
+			ws[i] /= total
+		}
+		sc, err := pathidx.NewCSRScorer(csr, pathidx.Options{C: 0.15, L: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sc.ScoresSeeded(ids, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rmax := range []float64{-1, 1e-3} {
+			st, err := LocalPushSeeded(csr, ids, ws, PushOptions{C: 0.15, L: 5, RMax: rmax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < n; v++ {
+				if d := math.Abs(st.Score(graph.NodeID(v)) - want[v]); d > st.Bound()+1e-12 {
+					t.Fatalf("trial %d rmax %v node %d: diff %v > bound %v",
+						trial, rmax, v, d, st.Bound())
+				}
+			}
+		}
+	}
+}
+
+// TestLocalPushVsPowerIteration checks against the second, independent
+// oracle: the untruncated fixed-point solve. With a deep truncation the
+// push estimate plus the explicit zero-length term must match π within
+// bound + geometric tail (1−c)^{L+1}.
+func TestLocalPushVsPowerIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	const L = 120
+	for trial := 0; trial < 8; trial++ {
+		n := 16 + rng.Intn(32)
+		g := trickyGraph(n, rng)
+		csr := graph.Compile(g)
+		source := graph.NodeID(rng.Intn(n))
+		pi, _, err := PowerIteration(g, source, Options{Tol: 1e-13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rmax := range []float64{-1, 1e-7} {
+			st, err := LocalPush(csr, source, PushOptions{C: 0.15, L: L, RMax: rmax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tail := math.Pow(1-0.15, L+1)
+			for v := 0; v < n; v++ {
+				est := st.Score(graph.NodeID(v))
+				if graph.NodeID(v) == source {
+					est += 0.15 // zero-length walk, excluded from the EIPD
+				}
+				if d := math.Abs(est - pi[v]); d > st.Bound()+tail+1e-8 {
+					t.Fatalf("trial %d rmax %v node %d: |push-π| = %v > %v",
+						trial, rmax, v, d, st.Bound()+tail+1e-8)
+				}
+			}
+		}
+	}
+}
+
+// TestLocalPushDeterministic: two identical solves must agree bitwise —
+// scores, bound, and push count (no map-iteration order leaks).
+func TestLocalPushDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g := trickyGraph(60, rng)
+	csr := graph.Compile(g)
+	opt := PushOptions{C: 0.15, L: 5, RMax: 1e-5}
+	ids := []graph.NodeID{3, 17, 9}
+	ws := []float64{0.5, 0.25, 0.25}
+	a, err := LocalPushSeeded(csr, ids, ws, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LocalPushSeeded(csr, ids, ws, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bound() != b.Bound() || a.Pushes() != b.Pushes() {
+		t.Fatalf("bound/pushes differ: %v/%d vs %v/%d", a.Bound(), a.Pushes(), b.Bound(), b.Pushes())
+	}
+	if len(a.ScoreMap()) != len(b.ScoreMap()) {
+		t.Fatalf("score support differs: %d vs %d", len(a.ScoreMap()), len(b.ScoreMap()))
+	}
+	for v, s := range a.ScoreMap() {
+		if b.ScoreMap()[v] != s {
+			t.Fatalf("node %d: %v vs %v (not bitwise equal)", v, s, b.ScoreMap()[v])
+		}
+	}
+}
+
+func TestLocalPushErrors(t *testing.T) {
+	g := chain(t, 1, 1)
+	csr := graph.Compile(g)
+	if _, err := LocalPush(csr, 99, PushOptions{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := LocalPush(csr, 0, PushOptions{C: 1.5}); err == nil {
+		t.Error("c=1.5 accepted")
+	}
+	if _, err := LocalPushSeeded(csr, []graph.NodeID{0}, []float64{1, 2}, PushOptions{}); err == nil {
+		t.Error("mismatched seed lengths accepted")
+	}
+	if _, err := LocalPushSeeded(csr, []graph.NodeID{0}, []float64{0}, PushOptions{}); err == nil {
+		t.Error("all-zero seed accepted")
+	}
+	if _, err := LocalPushSeeded(csr, []graph.NodeID{99}, []float64{1}, PushOptions{}); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+// TestPushRankOrder: Rank must sort descending with ties broken by node
+// ID, exactly like TopK and the pathidx rankers.
+func TestPushRankOrder(t *testing.T) {
+	g := chain(t, 1, 1, 1)
+	csr := graph.Compile(g)
+	st, err := LocalPush(csr, 0, PushOptions{C: 0.15, L: 5, RMax: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := st.Rank([]graph.NodeID{3, 2, 1, 0}, 0)
+	wantOrder := []graph.NodeID{1, 2, 3, 0} // 0 scores 0 (no zero-length walks)
+	for i, w := range wantOrder {
+		if ranked[i].Node != w {
+			t.Fatalf("rank[%d] = %d, want %d (full: %+v)", i, ranked[i].Node, w, ranked)
+		}
+	}
+	if top := st.Rank([]graph.NodeID{3, 2, 1, 0}, 2); len(top) != 2 || top[0].Node != 1 {
+		t.Fatalf("top-2 = %+v", top)
+	}
+}

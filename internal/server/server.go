@@ -229,6 +229,16 @@ type Server struct {
 	remoteSeqs    map[uint32]uint64
 	remoteApplied atomic.Int64
 	replicaStats  atomic.Pointer[api.ReplicaStats]
+
+	// flushTotals accumulates per-flush pipeline telemetry for /v1/stats
+	// (the /metrics histograms in core.Metrics carry the same data as
+	// distributions; stats wants plain cumulative numbers). Written under
+	// the writer gate in flushLocked; its own small mutex lets handleStats
+	// read without queueing behind a solve.
+	flushTotals struct {
+		sync.Mutex
+		api.FlushStats
+	}
 }
 
 // New returns a server over the system whose votes flush every batchSize
@@ -451,6 +461,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Epoch:          snap.Epoch(),
 		PendingEvicted: s.pending.Evictions(),
 		Draining:       s.draining.Load(),
+	}
+	s.flushTotals.Lock()
+	ft := s.flushTotals.FlushStats
+	s.flushTotals.Unlock()
+	if body.Flushes > 0 {
+		body.Flush = &ft
+	}
+	if ps, ok := s.sys.PushStats(); ok {
+		body.PPR = &api.PPRStats{
+			Backend:        "push",
+			TrackedSeeds:   ps.TrackedSeeds,
+			ResidualMass:   ps.ResidualMass,
+			Pushes:         ps.Pushes,
+			Updates:        ps.Updates,
+			ColdRanks:      ps.ColdRanks,
+			Rebuilds:       ps.Rebuilds,
+			StaleFallbacks: ps.StaleFallbacks,
+			Evictions:      ps.Evictions,
+		}
 	}
 	if s.admit != nil {
 		st := s.admit.Stats()
@@ -816,6 +845,15 @@ func (s *Server) flushLocked(ctx context.Context) (*core.Report, *api.Error) {
 	if rep == nil {
 		return nil, nil
 	}
+	s.flushTotals.Lock()
+	s.flushTotals.EnumCacheHits += rep.EnumCacheHits
+	s.flushTotals.EnumCacheMisses += rep.EnumCacheMisses
+	s.flushTotals.EnumSeconds += rep.EnumSeconds
+	s.flushTotals.JudgeSeconds += rep.JudgeSeconds
+	s.flushTotals.ClusterSeconds += rep.ClusterSeconds
+	s.flushTotals.SolveSeconds += rep.SolveSeconds
+	s.flushTotals.MergeSeconds += rep.MergeSeconds
+	s.flushTotals.Unlock()
 	if s.dur != nil {
 		if err := s.dur.LogFlush(rep.Applied); err != nil {
 			return rep, apiErr(http.StatusServiceUnavailable, api.CodeUnavailable, "durability: %v", err)

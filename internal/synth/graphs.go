@@ -31,10 +31,12 @@ var (
 	Taobao   = Profile{Name: "Taobao", Nodes: 1663, Edges: 17591, PowerLaw: true}
 )
 
-// Scaled returns a proportionally smaller profile (factor in (0, 1]),
-// used to keep benchmarks fast while preserving shape.
+// Scaled returns a proportionally resized profile: factor in (0, 1)
+// shrinks (keeping benchmarks fast while preserving shape), factor > 1
+// grows node and edge counts together (scaling studies). Factor <= 0 or
+// exactly 1 returns p unchanged.
 func (p Profile) Scaled(factor float64) Profile {
-	if factor <= 0 || factor > 1 {
+	if factor <= 0 || factor == 1 {
 		return p
 	}
 	s := p

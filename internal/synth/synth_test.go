@@ -108,9 +108,9 @@ func TestProfiles(t *testing.T) {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
 	}
-	// Bad scale factors leave the profile unchanged.
-	if Twitter.Scaled(0).Nodes != Twitter.Nodes || Twitter.Scaled(2).Nodes != Twitter.Nodes {
-		t.Errorf("invalid scale factors should be ignored")
+	// Bad scale factors leave the profile unchanged; factors above 1 grow it.
+	if Twitter.Scaled(0).Nodes != Twitter.Nodes || Twitter.Scaled(2).Nodes != 2*Twitter.Nodes {
+		t.Errorf("scale factors mishandled")
 	}
 	if _, err := (Profile{Name: "bad", Nodes: 1, Edges: 1}).Generate(0); err == nil {
 		t.Errorf("degenerate profile should fail")
@@ -350,5 +350,36 @@ func TestGenerateQuestionsHotSkew(t *testing.T) {
 	}
 	if shared < 80 {
 		t.Errorf("hot subset not shared across seeds: %d/200 overlap", shared)
+	}
+}
+
+func TestProfileScaledUp(t *testing.T) {
+	s := Twitter.Scaled(4)
+	if s.Nodes != Twitter.Nodes*4 || s.Edges != Twitter.Edges*4 {
+		t.Fatalf("Scaled(4) = %d nodes / %d edges, want %d / %d",
+			s.Nodes, s.Edges, Twitter.Nodes*4, Twitter.Edges*4)
+	}
+	if s.Name != "Twitter/4" {
+		t.Fatalf("Scaled(4) name %q", s.Name)
+	}
+	if !s.PowerLaw {
+		t.Fatal("Scaled must preserve shape flags")
+	}
+	if half := Twitter.Scaled(0.5); half.Nodes != Twitter.Nodes/2 {
+		t.Fatalf("Scaled(0.5) nodes = %d", half.Nodes)
+	}
+	if same := Twitter.Scaled(1); same != Twitter {
+		t.Fatalf("Scaled(1) changed the profile: %+v", same)
+	}
+	if same := Twitter.Scaled(-2); same != Twitter {
+		t.Fatalf("Scaled(-2) changed the profile: %+v", same)
+	}
+	// A scaled-up profile must still generate.
+	g, err := Taobao.Scaled(2).Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != Taobao.Nodes*2 {
+		t.Fatalf("generated %d nodes, want %d", g.NumNodes(), Taobao.Nodes*2)
 	}
 }
