@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush bench-farm bench-cluster farm-smoke cluster-smoke metrics-smoke overload-smoke scenario-smoke ppr-smoke bench-ppr drain-smoke experiments clean
+.PHONY: all build test short race race-telemetry vet bench bench-serve bench-flush bench-farm bench-cluster farm-smoke cluster-smoke metrics-smoke overload-smoke scenario-smoke ppr-smoke bench-ppr drain-smoke tenant-smoke bench-tenants experiments clean
 
 all: vet test
 
@@ -105,6 +105,22 @@ bench-ppr:
 # mid-flight, restart it, and require every admitted vote to survive.
 drain-smoke:
 	$(GO) test -v -run 'TestDrain' ./cmd/kgvoted/
+
+# Multi-tenant smoke (DESIGN.md §17): the registry suite (routing,
+# golden bitwise isolation, quota shed codes, boot quarantine, purge
+# semantics, API.md drift), the e2e test that SIGKILLs a 3-tenant daemon
+# and requires independent per-WAL recovery, then the isolation bench in
+# smoke mode — flood one tenant past its quota, assert quota-exact
+# tenant_quota_exceeded sheds, bounded co-resident ask p95, and zero
+# bitwise weight leakage. Exits non-zero on any violation.
+tenant-smoke:
+	$(GO) test ./internal/tenant/
+	$(GO) test -v -run 'TestTenantCrashRecoveryEndToEnd' ./cmd/kgvoted/
+	$(GO) run ./cmd/benchserve -tenants 3 -docs 40 -tenant-cap 4 -tenant-flood 200 -tenant-asks 100 -out ""
+
+# Tenant isolation bench at full scale; appends a run to BENCH_serve.json.
+bench-tenants:
+	$(GO) run ./cmd/benchserve -tenants 4 -tenant-flood 3000 -tenant-asks 1000 -out BENCH_serve.json
 
 experiments:
 	$(GO) run ./cmd/experiments

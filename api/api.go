@@ -27,20 +27,31 @@ type HealthBody struct {
 	Status string `json:"status"`
 }
 
-// StatsBody is the GET /v1/stats response. Durability is present only
-// when the daemon runs with a data directory; Admission only when the
-// server runs with admission control.
+// StatsBody is the GET /v1/stats response, organized as named sections
+// behind stable keys: serving (always), durability / admission /
+// reputation / ppr / flush / shard / replica (when configured), and
+// tenants (multi-tenant daemons, un-scoped stats only).
+//
+// The flat top-level fields (entities, edges, votes_accepted, ...)
+// duplicate the serving section; they are deprecated and kept for one
+// release so existing scrapers keep working — see API.md.
 type StatsBody struct {
-	Entities       int             `json:"entities"`
-	Edges          int             `json:"edges"`
-	Documents      int             `json:"documents"`
-	VotesAccepted  int             `json:"votes_accepted"`
-	VotesPending   int             `json:"votes_pending"`
-	Flushes        int             `json:"flushes"`
-	Epoch          uint64          `json:"epoch"`
-	PendingEvicted int64           `json:"pending_evicted"`
-	Draining       bool            `json:"draining,omitempty"`
-	Admission      *AdmissionStats `json:"admission,omitempty"`
+	Entities       int    `json:"entities"`
+	Edges          int    `json:"edges"`
+	Documents      int    `json:"documents"`
+	VotesAccepted  int    `json:"votes_accepted"`
+	VotesPending   int    `json:"votes_pending"`
+	Flushes        int    `json:"flushes"`
+	Epoch          uint64 `json:"epoch"`
+	PendingEvicted int64  `json:"pending_evicted"`
+	Draining       bool   `json:"draining,omitempty"`
+	// Tenant names the tenant this stats body describes; empty on
+	// un-tenanted daemons.
+	Tenant string `json:"tenant,omitempty"`
+	// Serving is the canonical home of the flat legacy fields above.
+	Serving   *ServingStats   `json:"serving,omitempty"`
+	Tenants   *TenantsStats   `json:"tenants,omitempty"`
+	Admission *AdmissionStats `json:"admission,omitempty"`
 	// Reputation is present when the server runs with voter reputation
 	// tracking enabled.
 	Reputation *vote.ReputationStats `json:"reputation,omitempty"`
@@ -52,6 +63,65 @@ type StatsBody struct {
 	// the daemon serves with the incremental push backend (-scorer=push).
 	Flush *FlushStats `json:"flush,omitempty"`
 	PPR   *PPRStats   `json:"ppr,omitempty"`
+}
+
+// ServingStats is the serving section of /v1/stats: the graph and vote
+// counters every daemon reports. It mirrors StatsBody's deprecated flat
+// fields one-for-one.
+type ServingStats struct {
+	Entities       int    `json:"entities"`
+	Edges          int    `json:"edges"`
+	Documents      int    `json:"documents"`
+	VotesAccepted  int    `json:"votes_accepted"`
+	VotesPending   int    `json:"votes_pending"`
+	Flushes        int    `json:"flushes"`
+	Epoch          uint64 `json:"epoch"`
+	PendingEvicted int64  `json:"pending_evicted"`
+	Draining       bool   `json:"draining,omitempty"`
+}
+
+// TenantsStats is the tenants section of the un-scoped /v1/stats on a
+// multi-tenant daemon: one summary row per hosted tenant plus the
+// tenants that failed to recover at boot.
+type TenantsStats struct {
+	Count   int             `json:"count"`
+	Failed  int             `json:"failed"`
+	Tenants []TenantSummary `json:"tenants"`
+}
+
+// TenantSummary is one tenant's row in the tenants section and the
+// admin list.
+type TenantSummary struct {
+	ID string `json:"id"`
+	// State is "serving" or "failed" (boot recovery error; see Error).
+	State string `json:"state"`
+	// Error carries the recovery failure of a failed tenant.
+	Error         string `json:"error,omitempty"`
+	Documents     int    `json:"documents,omitempty"`
+	VotesAccepted int    `json:"votes_accepted,omitempty"`
+	VotesPending  int    `json:"votes_pending,omitempty"`
+	Flushes       int    `json:"flushes,omitempty"`
+	Epoch         uint64 `json:"epoch,omitempty"`
+	Draining      bool   `json:"draining,omitempty"`
+}
+
+// TenantCreateRequest is the POST /v1/admin/tenants body.
+type TenantCreateRequest struct {
+	ID string `json:"id"`
+}
+
+// TenantListResponse is the GET /v1/admin/tenants response.
+type TenantListResponse struct {
+	Tenants []TenantSummary `json:"tenants"`
+}
+
+// TenantDeleteResponse is the DELETE /v1/admin/tenants/{id} response.
+type TenantDeleteResponse struct {
+	ID string `json:"id"`
+	// Purged reports whether the tenant's data directory was removed
+	// (?purge=1); otherwise the WAL and checkpoints stay on disk and the
+	// next boot re-hosts the tenant.
+	Purged bool `json:"purged"`
 }
 
 // FlushStats is the flush-pipeline section of /v1/stats: cumulative

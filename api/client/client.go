@@ -12,17 +12,25 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
 	"kgvote/api"
 )
 
-// Client talks to one kgvote server.
+// Client talks to one kgvote server. An un-scoped client addresses the
+// default tenant through the un-prefixed /v1 routes; Tenant derives a
+// handle scoped to one tenant's /v1/t/{tenant} namespace with the same
+// method set.
 type Client struct {
 	base string
 	hc   *http.Client
 	id   string
+	// prefix is the route namespace every call lands under: "/v1" on an
+	// un-scoped client, "/v1/t/<tenant>" on a Tenant handle.
+	prefix string
+	tenant string
 }
 
 // Option configures a Client.
@@ -43,12 +51,32 @@ func WithClientID(id string) Option {
 
 // New returns a client for the server at base (e.g. "http://host:8080").
 func New(base string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient, prefix: "/v1"}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
 }
+
+// Tenant returns a handle scoped to one tenant: every call (Ask, Vote,
+// VoteRetry, AskBatch, Explain, Flush, Stats, ...) lands under
+// /v1/t/{id} instead of the un-prefixed /v1 routes, which a
+// multi-tenant daemon aliases to the default tenant. The handle shares
+// the parent's transport and client id; the parent is not mutated.
+//
+// Scoped requests against a tenant the server does not host fail with
+// an *api.Error that errors.As-unwraps to *api.TenantNotFoundError;
+// quota sheds unwrap to *api.TenantQuotaError.
+func (c *Client) Tenant(id string) *Client {
+	scoped := *c
+	scoped.prefix = "/v1/t/" + url.PathEscape(id)
+	scoped.tenant = id
+	return &scoped
+}
+
+// TenantID returns the tenant this handle is scoped to ("" for an
+// un-scoped client).
+func (c *Client) TenantID() string { return c.tenant }
 
 // do issues one request against a /v1 path and decodes the response into
 // out (nil = discard). Non-2xx responses are returned as *api.Error.
@@ -109,13 +137,13 @@ func decodeError(resp *http.Response) error {
 // Health checks GET /v1/healthz.
 func (c *Client) Health(ctx context.Context) error {
 	var h api.HealthBody
-	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return c.do(ctx, http.MethodGet, c.prefix+"/healthz", nil, &h)
 }
 
 // Stats fetches GET /v1/stats.
 func (c *Client) Stats(ctx context.Context) (*api.StatsBody, error) {
 	var s api.StatsBody
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &s); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.prefix+"/stats", nil, &s); err != nil {
 		return nil, err
 	}
 	return &s, nil
@@ -124,7 +152,7 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsBody, error) {
 // Ask ranks a question.
 func (c *Client) Ask(ctx context.Context, req api.AskRequest) (*api.AskResponse, error) {
 	var resp api.AskResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/ask", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.prefix+"/ask", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -133,7 +161,7 @@ func (c *Client) Ask(ctx context.Context, req api.AskRequest) (*api.AskResponse,
 // Vote submits feedback on a served ranking.
 func (c *Client) Vote(ctx context.Context, req api.VoteRequest) (*api.VoteResponse, error) {
 	var resp api.VoteResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/vote", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.prefix+"/vote", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -191,7 +219,7 @@ func (c *Client) VoteRetry(ctx context.Context, req api.VoteRequest) (*api.VoteR
 // AskBatch ranks several questions in one round trip (POST /v1/askbatch).
 func (c *Client) AskBatch(ctx context.Context, req api.AskBatchRequest) (*api.AskBatchResponse, error) {
 	var resp api.AskBatchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/askbatch", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.prefix+"/askbatch", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -200,7 +228,7 @@ func (c *Client) AskBatch(ctx context.Context, req api.AskBatchRequest) (*api.As
 // Explain decomposes a ranked score into its graph walks.
 func (c *Client) Explain(ctx context.Context, req api.ExplainRequest) (*api.ExplainResponse, error) {
 	var resp api.ExplainResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/explain", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.prefix+"/explain", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -209,7 +237,7 @@ func (c *Client) Explain(ctx context.Context, req api.ExplainRequest) (*api.Expl
 // Flush forces an optimization flush of the pending votes.
 func (c *Client) Flush(ctx context.Context) (*api.VoteResponse, error) {
 	var resp api.VoteResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/flush", struct{}{}, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.prefix+"/flush", struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -218,7 +246,44 @@ func (c *Client) Flush(ctx context.Context) (*api.VoteResponse, error) {
 // Checkpoint persists a full-state checkpoint now.
 func (c *Client) Checkpoint(ctx context.Context) (*api.CheckpointResponse, error) {
 	var resp api.CheckpointResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/checkpoint", struct{}{}, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.prefix+"/checkpoint", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Tenant admin API (POST/GET/DELETE /v1/admin/tenants). The admin
+// routes are process-wide, so they ignore any Tenant scoping on the
+// handle.
+
+// TenantCreate provisions a new tenant.
+func (c *Client) TenantCreate(ctx context.Context, id string) (*api.TenantSummary, error) {
+	var resp api.TenantSummary
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/tenants", api.TenantCreateRequest{ID: id}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// TenantList lists every hosted tenant, quarantined ones included.
+func (c *Client) TenantList(ctx context.Context) (*api.TenantListResponse, error) {
+	var resp api.TenantListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/admin/tenants", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// TenantDelete removes a tenant; purge also deletes its durability
+// directory (otherwise the WAL survives and the next boot resurrects
+// the tenant).
+func (c *Client) TenantDelete(ctx context.Context, id string, purge bool) (*api.TenantDeleteResponse, error) {
+	path := "/v1/admin/tenants/" + url.PathEscape(id)
+	if purge {
+		path += "?purge=true"
+	}
+	var resp api.TenantDeleteResponse
+	if err := c.do(ctx, http.MethodDelete, path, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -40,6 +40,17 @@ const (
 	// CodeWeightsGap: a replication push skipped a sequence; the source
 	// must re-send a full export (409).
 	CodeWeightsGap = "weights_gap"
+	// CodeTenantNotFound: the path names a tenant the registry does not
+	// host — never created, deleted, or an invalid id (404). The envelope
+	// carries the offending id in Tenant.
+	CodeTenantNotFound = "tenant_not_found"
+	// CodeTenantQuota: the tenant's admission quota shed the vote —
+	// queue cap, per-client rate, or flush backpressure (429 +
+	// Retry-After). The envelope carries the tenant id in Tenant.
+	CodeTenantQuota = "tenant_quota_exceeded"
+	// CodeTenantExists: tenant creation collided with a live tenant of
+	// the same id (409).
+	CodeTenantExists = "tenant_exists"
 	// CodeInternal: invariant violation; restart may be required (500).
 	CodeInternal = "internal"
 )
@@ -60,6 +71,9 @@ type Error struct {
 	// no hint. The same hint is mirrored in the Retry-After header
 	// (rounded up to whole seconds).
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Tenant names the tenant a tenant_not_found / tenant_quota_exceeded
+	// envelope is about; empty on every other code.
+	Tenant string `json:"tenant,omitempty"`
 	// HTTPStatus is the response status the envelope traveled with. It is
 	// filled by api/client and not serialized.
 	HTTPStatus int `json:"-"`
@@ -82,8 +96,51 @@ func (e *Error) RetryAfter() time.Duration {
 // succeed without any change by the caller.
 func (e *Error) Temporary() bool {
 	switch e.Code {
-	case CodeQueueFull, CodeRateLimited, CodeFlushBackpressure, CodeDraining, CodeTimeout, CodeUnavailable:
+	case CodeQueueFull, CodeRateLimited, CodeFlushBackpressure, CodeDraining, CodeTimeout, CodeUnavailable, CodeTenantQuota:
 		return true
 	}
 	return false
+}
+
+// Unwrap exposes the typed tenant errors to errors.As, so callers can
+// branch without string-comparing codes:
+//
+//	var nf *api.TenantNotFoundError
+//	if errors.As(err, &nf) { provision(nf.Tenant) }
+//
+// Non-tenant codes unwrap to nothing.
+func (e *Error) Unwrap() error {
+	switch e.Code {
+	case CodeTenantNotFound:
+		return &TenantNotFoundError{Tenant: e.Tenant}
+	case CodeTenantQuota:
+		return &TenantQuotaError{Tenant: e.Tenant, RetryAfterMS: e.RetryAfterMS}
+	}
+	return nil
+}
+
+// TenantNotFoundError is the typed form of a tenant_not_found envelope
+// (404): the addressed tenant is not hosted by the registry.
+type TenantNotFoundError struct {
+	Tenant string
+}
+
+func (e *TenantNotFoundError) Error() string {
+	return fmt.Sprintf("api: tenant %q not found", e.Tenant)
+}
+
+// TenantQuotaError is the typed form of a tenant_quota_exceeded
+// envelope (429): the tenant's admission quota shed the request.
+type TenantQuotaError struct {
+	Tenant       string
+	RetryAfterMS int64
+}
+
+func (e *TenantQuotaError) Error() string {
+	return fmt.Sprintf("api: tenant %q quota exceeded (retry after %dms)", e.Tenant, e.RetryAfterMS)
+}
+
+// RetryAfter returns the shed's retry hint as a duration (0 = none).
+func (e *TenantQuotaError) RetryAfter() time.Duration {
+	return time.Duration(e.RetryAfterMS) * time.Millisecond
 }

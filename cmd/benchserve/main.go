@@ -17,6 +17,7 @@
 //	benchserve [-docs n] [-queries n] [-workers n] [-seed n] [-out file] [-wal=false]
 //	benchserve -flush [-flush-votes n] [-flush-docs n] [-rounds n]
 //	benchserve -overload [-overload-cap n] [-overload-flood n]
+//	benchserve -tenants n [-tenant-cap n] [-tenant-flood n] [-tenant-asks n]
 package main
 
 import (
@@ -68,6 +69,11 @@ func main() {
 		pprFlushes = flag.Int("ppr-flushes", 4, "ppr-mode flushes per profile")
 		pprFloor   = flag.Float64("ppr-min-speedup", 5, "ppr-mode asserted floor on the largest profile's per-flush enum/push speedup (negative disables)")
 
+		tenantsN    = flag.Int("tenants", 0, "run the multi-tenant isolation bench instead, over this many tenants (0 disables; exit 1 on a quota/interference/leakage violation)")
+		tenantCap   = flag.Int("tenant-cap", 8, "tenants-mode per-tenant admission quota")
+		tenantFlood = flag.Int("tenant-flood", 0, "tenants-mode vote attempts against the noisy tenant (0 = 25× quota)")
+		tenantAsks  = flag.Int("tenant-asks", 200, "tenants-mode quiet-tenant ask probes per phase")
+
 		scenariosMode   = flag.Bool("scenarios", false, "run the adversarial vote-workload scenarios instead: reputation quarantine on vs off per attack family (exit 1 on a ranking-quality violation)")
 		scenarioDocs    = flag.Int("scenario-docs", 60, "scenarios-mode corpus documents")
 		scenarioTrain   = flag.Int("scenario-train", 30, "scenarios-mode training questions (the voted set)")
@@ -85,6 +91,8 @@ func main() {
 		err = flushMain(*flushDocs, *flushVotes, *workers, *farmWorkers, *rounds, *seed, *flushOut)
 	case *clusterShards > 0:
 		err = clusterMain(*docs, *clusterShards, *clusterReplicas, *queries, *seed, *out)
+	case *tenantsN > 0:
+		err = tenantsMain(*docs, *tenantsN, *tenantCap, *tenantFlood, *tenantAsks, *workers, *seed, *out)
 	case *scenariosMode:
 		err = scenariosMain(*scenarioDocs, *scenarioTrain, *scenarioTest, *seed, *scenarioInclude, *out)
 	case *pprMode:
@@ -220,6 +228,7 @@ type benchRun struct {
 	Cluster            *harness.ClusterResult   `json:"cluster,omitempty"`
 	Scenarios          *harness.ScenarioResult  `json:"scenarios,omitempty"`
 	Ppr                *harness.PPRResult       `json:"ppr,omitempty"`
+	Tenants            *harness.TenantResult    `json:"tenants,omitempty"`
 }
 
 // benchHistory is the on-disk shape of BENCH_serve.json: every run ever
@@ -295,6 +304,42 @@ func clusterMain(docs, shards, replicas, queries int, seed int64, out string) er
 			Time:       time.Now().UTC().Format(time.RFC3339),
 			Provenance: harness.CollectProvenance(),
 			Cluster:    &res,
+		})
+		b, herr := json.MarshalIndent(hist, "", "  ")
+		if herr != nil {
+			return herr
+		}
+		if herr := os.WriteFile(out, append(b, '\n'), 0o644); herr != nil {
+			return herr
+		}
+		fmt.Printf("appended run %d to %s\n", len(hist.Runs), out)
+	}
+	return res.Err()
+}
+
+// tenantsMain runs the multi-tenant isolation bench (DESIGN.md §17) —
+// flood one tenant's vote quota, verify quota-exact tenant_quota_exceeded
+// sheds, co-resident ask p95 within 2× of the unflooded baseline, and
+// zero bitwise weight leakage — and appends the run to the serve history
+// file. Like the other smokes, violations fail the process after the run
+// is recorded.
+func tenantsMain(docs, tenants, capacity, flood, asks, workers int, seed int64, out string) error {
+	res, err := harness.TenantBench(harness.TenantConfig{
+		Docs: docs, Tenants: tenants, Capacity: capacity, Flood: flood, Asks: asks, Workers: workers, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if out != "" {
+		hist, herr := loadHistory(out)
+		if herr != nil {
+			return herr
+		}
+		hist.Runs = append(hist.Runs, benchRun{
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			Provenance: harness.CollectProvenance(),
+			Tenants:    &res,
 		})
 		b, herr := json.MarshalIndent(hist, "", "  ")
 		if herr != nil {

@@ -91,6 +91,10 @@ type config struct {
 	follow      string
 	followEvery time.Duration
 
+	tenants        string
+	tenantQueueCap int
+	tenantVoteRate float64
+
 	metrics bool
 	slowMS  int
 }
@@ -129,10 +133,17 @@ func main() {
 	flag.BoolVar(&cfg.replica, "replica", false, "run as a read-only snapshot replica of -follow (requires -shard-map; excludes -data-dir, -state, -peers)")
 	flag.StringVar(&cfg.follow, "follow", "", "writer base URL this replica polls for snapshots")
 	flag.DurationVar(&cfg.followEvery, "follow-every", 500*time.Millisecond, "replica snapshot poll interval")
+	flag.StringVar(&cfg.tenants, "tenants", "", "comma-separated tenant ids: host each as an independent stack behind /v1/t/{tenant} (DESIGN.md §17); a default tenant serving the un-prefixed /v1 routes always exists")
+	flag.IntVar(&cfg.tenantQueueCap, "tenant-queue-cap", 0, "per-tenant pending-vote queue bound with -tenants (0 = inherit -queue-cap)")
+	flag.Float64Var(&cfg.tenantVoteRate, "tenant-vote-rate", 0, "per-tenant per-client votes/sec with -tenants (0 = inherit -vote-rate)")
 	flag.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus metrics at GET /metrics and profiling at /debug/pprof/")
 	flag.IntVar(&cfg.slowMS, "slow-ms", 1000, "log requests slower than this many milliseconds, with their stage trace (0 disables)")
 	flag.Parse()
-	if err := serve(cfg); err != nil {
+	run := serve
+	if cfg.tenants != "" || cfg.tenantQueueCap > 0 || cfg.tenantVoteRate > 0 {
+		run = serveTenants
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kgvoted:", err)
 		os.Exit(1)
 	}

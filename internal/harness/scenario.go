@@ -195,7 +195,7 @@ func runScenarioPass(f *taobaoFixture, cfg ScenarioConfig, adv *synth.Scenario, 
 		recs = append(recs, advRecs...)
 	}
 	pm.honest = len(honest)
-	rand.New(rand.NewSource(cfg.Seed + 6)).Shuffle(len(recs), func(i, j int) {
+	rand.New(rand.NewSource(cfg.Seed+6)).Shuffle(len(recs), func(i, j int) {
 		recs[i], recs[j] = recs[j], recs[i]
 	})
 

@@ -1,0 +1,349 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgvote/api"
+	"kgvote/api/client"
+	"kgvote/internal/admit"
+	"kgvote/internal/core"
+	"kgvote/internal/qa"
+	"kgvote/internal/server"
+	"kgvote/internal/synth"
+	"kgvote/internal/tenant"
+)
+
+// TenantConfig sizes the multi-tenant isolation benchmark (DESIGN.md
+// §17): a registry hosting several tenants over identical corpora has
+// one tenant's vote path flooded far past its admission quota while
+// reader probes keep asking the quiet tenants, and the run verifies the
+// isolation contract — bounded sheds on the noisy tenant, bounded
+// latency interference and zero weight leakage on its neighbors.
+type TenantConfig struct {
+	Docs     int   // corpus documents per tenant; default 60
+	Tenants  int   // hosted tenants beside default (first one is flooded); default 4
+	Capacity int   // per-tenant admission queue bound; default 8
+	Workers  int   // concurrent flooding clients; default 8
+	Flood    int   // total vote attempts against the noisy tenant; default 25×Capacity
+	Asks     int   // quiet-tenant ask probes per phase; default 200
+	Seed     int64 // default 1
+}
+
+func (c TenantConfig) withDefaults() TenantConfig {
+	if c.Docs == 0 {
+		c.Docs = 60
+	}
+	if c.Tenants < 2 {
+		c.Tenants = 4
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Flood == 0 {
+		c.Flood = 25 * c.Capacity
+	}
+	if c.Asks == 0 {
+		c.Asks = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TenantResult is the JSON-serializable outcome of TenantBench
+// (recorded under "tenants" in BENCH_serve.json). Violations lists
+// every broken isolation clause; an empty list is a passing run.
+type TenantResult struct {
+	Docs     int `json:"docs"`
+	Tenants  int `json:"tenants"`
+	Capacity int `json:"capacity"`
+	Workers  int `json:"workers"`
+	Flood    int `json:"flood"`
+
+	// Noisy-tenant flood outcome: exactly Capacity admitted, the rest
+	// shed as tenant_quota_exceeded with a Retry-After hint.
+	Admitted         int64 `json:"admitted"`
+	Shed             int64 `json:"shed"`
+	ShedWrongCode    int64 `json:"shed_wrong_code"`
+	ShedNoRetryAfter int64 `json:"shed_without_retry_after"`
+	Unexpected       int64 `json:"unexpected_status"`
+
+	// Quiet-tenant ask latency, unflooded baseline vs during the flood.
+	Asks              int     `json:"asks_per_phase"`
+	BaseP50Micros     float64 `json:"quiet_ask_p50_us_baseline"`
+	BaseP95Micros     float64 `json:"quiet_ask_p95_us_baseline"`
+	FloodP50Micros    float64 `json:"quiet_ask_p50_us_flooded"`
+	FloodP95Micros    float64 `json:"quiet_ask_p95_us_flooded"`
+	InterferenceRatio float64 `json:"interference_p95_ratio"`
+
+	// LeakedTenants lists quiet tenants whose rankings were not bitwise
+	// identical before and after the flood (must stay empty).
+	LeakedTenants []string `json:"leaked_tenants,omitempty"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// String renders a one-screen summary.
+func (r TenantResult) String() string {
+	verdict := "PASS"
+	if len(r.Violations) > 0 {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	s := fmt.Sprintf(
+		"tenant isolation bench: %d tenants × %d docs, quota %d, %d workers × flood %d — %s\n"+
+			"  noisy tenant: admitted %d (exactly quota: %v)   shed %d (tenant_quota_exceeded + Retry-After)   unexpected %d\n"+
+			"  quiet asks/phase %d: baseline p50 %.1fµs p95 %.1fµs   flooded p50 %.1fµs p95 %.1fµs   p95 ratio %.2fx\n"+
+			"  weight leakage: %d tenants",
+		r.Tenants, r.Docs, r.Capacity, r.Workers, r.Flood, verdict,
+		r.Admitted, r.Admitted == int64(r.Capacity), r.Shed, r.Unexpected,
+		r.Asks, r.BaseP50Micros, r.BaseP95Micros, r.FloodP50Micros, r.FloodP95Micros, r.InterferenceRatio,
+		len(r.LeakedTenants))
+	for _, v := range r.Violations {
+		s += "\n  VIOLATION: " + v
+	}
+	return s
+}
+
+// Err returns a non-nil error when the run broke the isolation contract.
+func (r TenantResult) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("tenant isolation contract: %d violations: %v", len(r.Violations), r.Violations)
+}
+
+// interferenceSlack absorbs scheduler noise in the p95 comparison: the
+// 2× ratio bound only fires when the flooded p95 also exceeds the
+// baseline by this much, so a 40µs→90µs wiggle on an idle laptop does
+// not fail a run that the contract is actually about.
+const interferenceSlack = 2 * time.Millisecond
+
+// TenantBench boots a tenant registry where every tenant serves an
+// identical corpus, floods the first hosted tenant's vote path far past
+// its admission quota from concurrent clients, and checks the
+// multi-tenant isolation contract end to end through the public
+// api/client:
+//
+//   - the noisy tenant admits exactly its quota and sheds everything
+//     else as 429 tenant_quota_exceeded with a Retry-After hint (typed
+//     api.TenantQuotaError through errors.As);
+//   - co-resident tenants keep answering /v1/t/{id}/ask with p95 within
+//     2× of their unflooded baseline;
+//   - no flooded vote leaks into a neighbor: every quiet tenant's full
+//     ranking stays bitwise identical across the flood.
+func TenantBench(cfg TenantConfig) (TenantResult, error) {
+	cfg = cfg.withDefaults()
+	corpus, err := synth.GenerateCorpus(synth.CorpusConfig{Docs: cfg.Docs, Seed: cfg.Seed})
+	if err != nil {
+		return TenantResult{}, err
+	}
+	questions, err := synth.GenerateQuestions(corpus, synth.QuestionConfig{N: cfg.Workers, Seed: cfg.Seed + 1})
+	if err != nil {
+		return TenantResult{}, err
+	}
+
+	// Every tenant gets its own engine built from the same corpus:
+	// identical initial rankings make cross-tenant leakage a bitwise
+	// comparison rather than a statistical one.
+	factory := func(id, dir string) (*server.Server, func() error, error) {
+		sys, err := qa.Build(corpus, core.Options{K: 10, L: 4})
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := server.NewWithOptions(sys, server.Options{
+			BatchSize: cfg.Flood + cfg.Capacity, // never flushes: admission owns the bound
+			Solver:    core.StreamMulti,
+			Admission: admit.Config{Capacity: cfg.Capacity},
+			Tenant:    id,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return srv, nil, nil
+	}
+	ids := make([]string, cfg.Tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t%d", i)
+	}
+	reg := tenant.New(tenant.Options{Factory: factory})
+	if err := reg.Open(ids); err != nil {
+		return TenantResult{}, err
+	}
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+
+	noisy, quiet := ids[0], ids[1:]
+	res := TenantResult{Docs: cfg.Docs, Tenants: cfg.Tenants, Capacity: cfg.Capacity, Workers: cfg.Workers, Asks: cfg.Asks}
+	ctx := context.Background()
+
+	// Each flood worker asks the noisy tenant once up front so its vote
+	// bodies carry a valid handle and ranked list.
+	votes := make([]api.VoteRequest, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		cl := client.New(ts.URL).Tenant(noisy)
+		q := questions[w%len(questions)]
+		ask, err := cl.Ask(ctx, api.AskRequest{Entities: q.Entities})
+		if err != nil {
+			return res, fmt.Errorf("prefly ask %d: %w", w, err)
+		}
+		if len(ask.Results) == 0 {
+			return res, fmt.Errorf("prefly ask %d returned no results", w)
+		}
+		ranked := make([]int, len(ask.Results))
+		for i, r := range ask.Results {
+			ranked[i] = r.Doc
+		}
+		votes[w] = api.VoteRequest{Query: ask.Query, Ranked: ranked, BestDoc: ranked[0]}
+	}
+
+	// askQuiet round-robins one measured ask over the quiet tenants.
+	askQuiet := func(n int) ([]time.Duration, error) {
+		lat := make([]time.Duration, n)
+		cls := make([]*client.Client, len(quiet))
+		for i, id := range quiet {
+			cls[i] = client.New(ts.URL).Tenant(id)
+		}
+		for i := 0; i < n; i++ {
+			q := questions[i%len(questions)]
+			t0 := time.Now()
+			if _, err := cls[i%len(cls)].Ask(ctx, api.AskRequest{Entities: q.Entities}); err != nil {
+				return nil, err
+			}
+			lat[i] = time.Since(t0)
+		}
+		return lat, nil
+	}
+	// rankings fingerprints every quiet tenant's full ranking for one
+	// fixed query, bit-exact.
+	rankings := func() (map[string]string, error) {
+		out := make(map[string]string, len(quiet))
+		for _, id := range quiet {
+			ask, err := client.New(ts.URL).Tenant(id).Ask(ctx, api.AskRequest{Entities: questions[0].Entities})
+			if err != nil {
+				return nil, fmt.Errorf("tenant %s: %w", id, err)
+			}
+			var sb strings.Builder
+			for _, r := range ask.Results {
+				fmt.Fprintf(&sb, "%d:%016x ", r.Doc, math.Float64bits(r.Score))
+			}
+			out[id] = sb.String()
+		}
+		return out, nil
+	}
+
+	baseLat, err := askQuiet(cfg.Asks)
+	if err != nil {
+		return res, fmt.Errorf("baseline ask: %w", err)
+	}
+	before, err := rankings()
+	if err != nil {
+		return res, err
+	}
+
+	var (
+		admitted, shed, wrongCode, noRA, unexpected atomic.Int64
+		wg                                          sync.WaitGroup
+	)
+	per := cfg.Flood / cfg.Workers
+	res.Flood = per * cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.New(ts.URL).Tenant(noisy)
+			for i := 0; i < per; i++ {
+				_, err := cl.Vote(ctx, votes[w])
+				if err == nil {
+					admitted.Add(1)
+					continue
+				}
+				var apiErr *api.Error
+				if errors.As(err, &apiErr) && apiErr.HTTPStatus == 429 {
+					shed.Add(1)
+					var quota *api.TenantQuotaError
+					if apiErr.Code != api.CodeTenantQuota || !errors.As(err, &quota) || quota.Tenant != noisy {
+						wrongCode.Add(1)
+					}
+					if apiErr.RetryAfter() <= 0 {
+						noRA.Add(1)
+					}
+					continue
+				}
+				unexpected.Add(1)
+			}
+		}(w)
+	}
+	var floodLat []time.Duration
+	var floodErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		floodLat, floodErr = askQuiet(cfg.Asks)
+	}()
+	wg.Wait()
+	if floodErr != nil {
+		return res, fmt.Errorf("flooded ask: %w", floodErr)
+	}
+
+	after, err := rankings()
+	if err != nil {
+		return res, err
+	}
+	for _, id := range quiet {
+		if before[id] != after[id] {
+			res.LeakedTenants = append(res.LeakedTenants, id)
+		}
+	}
+
+	res.Admitted = admitted.Load()
+	res.Shed = shed.Load()
+	res.ShedWrongCode = wrongCode.Load()
+	res.ShedNoRetryAfter = noRA.Load()
+	res.Unexpected = unexpected.Load()
+	res.BaseP50Micros = micros(percentile(baseLat, 0.50))
+	res.BaseP95Micros = micros(percentile(baseLat, 0.95))
+	res.FloodP50Micros = micros(percentile(floodLat, 0.50))
+	res.FloodP95Micros = micros(percentile(floodLat, 0.95))
+	if res.BaseP95Micros > 0 {
+		res.InterferenceRatio = res.FloodP95Micros / res.BaseP95Micros
+	}
+
+	violation := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if res.Admitted != int64(cfg.Capacity) {
+		violation("noisy tenant admitted = %d, want exactly quota %d", res.Admitted, cfg.Capacity)
+	}
+	if want := int64(res.Flood) - res.Admitted; res.Shed != want {
+		violation("shed = %d, want %d (flood %d − admitted %d)", res.Shed, want, res.Flood, res.Admitted)
+	}
+	if res.ShedWrongCode != 0 {
+		violation("%d sheds were not typed tenant_quota_exceeded for %q", res.ShedWrongCode, noisy)
+	}
+	if res.ShedNoRetryAfter != 0 {
+		violation("%d shed responses lacked a Retry-After hint", res.ShedNoRetryAfter)
+	}
+	if res.Unexpected != 0 {
+		violation("%d requests failed with a status other than 200/429", res.Unexpected)
+	}
+	if over := res.FloodP95Micros - 2*res.BaseP95Micros; over > 0 && res.FloodP95Micros-res.BaseP95Micros > micros(interferenceSlack) {
+		violation("quiet-tenant ask p95 under flood = %.1fµs, more than 2× the %.1fµs baseline (+%s slack)",
+			res.FloodP95Micros, res.BaseP95Micros, interferenceSlack)
+	}
+	for _, id := range res.LeakedTenants {
+		violation("tenant %s ranking changed across a neighbor's flood (weight leakage)", id)
+	}
+	return res, nil
+}

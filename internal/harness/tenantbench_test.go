@@ -1,0 +1,25 @@
+package harness
+
+import "testing"
+
+// TestTenantBenchSmoke runs the isolation bench at a tiny scale and
+// requires a clean verdict: quota-exact shedding on the noisy tenant,
+// bounded quiet-tenant interference, zero weight leakage.
+func TestTenantBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("floods a multi-tenant registry")
+	}
+	res, err := TenantBench(TenantConfig{
+		Docs: 24, Tenants: 3, Capacity: 4, Workers: 4, Flood: 40, Asks: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatal("flood never shed: quota too large for the flood")
+	}
+}

@@ -151,7 +151,24 @@ type Options struct {
 	// pushes, and each flush's applied weight set is handed to OnFlush
 	// for replication.
 	Shard *ShardConfig
+	// Tenant names the tenant this server serves inside a multi-tenant
+	// registry (DESIGN.md §17). It labels /v1/stats and, for every
+	// tenant other than "default", maps admission sheds to the
+	// tenant_quota_exceeded envelope (the default tenant keeps the
+	// legacy per-reason codes so un-scoped clients see unchanged
+	// responses). Empty on un-tenanted daemons.
+	Tenant string
+	// Tenants, when non-nil, is read at /v1/stats time to embed the
+	// tenant registry's summary section; the multi-tenant daemon wires
+	// it on the default tenant's server only.
+	Tenants func() *api.TenantsStats
 }
+
+// DefaultTenant is the tenant every un-scoped /v1 request resolves to
+// in a multi-tenant daemon. It always exists, cannot be created or
+// deleted, and keeps the legacy shed codes for bit-compatibility with
+// single-tenant deployments.
+const DefaultTenant = "default"
 
 // ShardConfig wires a server into a sharded cluster.
 type ShardConfig struct {
@@ -213,6 +230,12 @@ type Server struct {
 	metrics *serverMetrics
 	slow    time.Duration
 	pprof   bool
+
+	// Multi-tenant identity (DESIGN.md §17): tenant labels stats and
+	// selects the quota shed code; tenantsFn embeds the registry summary
+	// in the default tenant's /v1/stats.
+	tenant    string
+	tenantsFn func() *api.TenantsStats
 
 	// Sharded serving (DESIGN.md §14). boundary is the first runtime
 	// node ID: entity and answer nodes below it are corpus-stable across
@@ -276,6 +299,8 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 		pprof:           o.Pprof,
 		readOnly:        o.ReadOnly,
 		shardCfg:        o.Shard,
+		tenant:          o.Tenant,
+		tenantsFn:       o.Tenants,
 		boundary:        graph.NodeID(sys.Aug.Entities + len(sys.Aug.Answers)),
 		remoteSeqs:      make(map[uint32]uint64),
 	}
@@ -331,6 +356,43 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 	return s, nil
 }
 
+// Route is one method+path of the versioned API surface. The table
+// behind Routes() is the same one Handler() registers from, so the
+// docs-drift test (TestAPIDocsRoutesExist) checks the real mux.
+type Route struct {
+	Method string
+	// Path is the /v1-prefixed canonical path; every route also serves
+	// at the unprefixed deprecated alias.
+	Path string
+}
+
+// routeTable binds every versioned route to its handler. Handler() and
+// Routes() both derive from it so the two can never disagree.
+var routeTable = []struct {
+	method, path string
+	h            func(*Server) http.HandlerFunc
+}{
+	{"GET", "/healthz", func(s *Server) http.HandlerFunc { return s.handleHealth }},
+	{"GET", "/stats", func(s *Server) http.HandlerFunc { return s.handleStats }},
+	{"POST", "/ask", func(s *Server) http.HandlerFunc { return s.handleAsk }},
+	{"POST", "/askbatch", func(s *Server) http.HandlerFunc { return s.handleAskBatch }},
+	{"POST", "/vote", func(s *Server) http.HandlerFunc { return s.handleVote }},
+	{"POST", "/flush", func(s *Server) http.HandlerFunc { return s.handleFlush }},
+	{"POST", "/checkpoint", func(s *Server) http.HandlerFunc { return s.handleCheckpoint }},
+	{"POST", "/explain", func(s *Server) http.HandlerFunc { return s.handleExplain }},
+	{"POST", "/weights", func(s *Server) http.HandlerFunc { return s.handleWeights }},
+	{"GET", "/snapshot", func(s *Server) http.HandlerFunc { return s.handleSnapshot }},
+}
+
+// Routes lists every versioned route a Server mounts, /v1-prefixed.
+func Routes() []Route {
+	out := make([]Route, len(routeTable))
+	for i, rt := range routeTable {
+		out[i] = Route{Method: rt.method, Path: "/v1" + rt.path}
+	}
+	return out
+}
+
 // Handler returns the route mux: every route under /v1 plus the
 // unprefixed legacy aliases, which serve identical bodies but add a
 // Deprecation header and a successor-version Link. Both registrations
@@ -339,22 +401,8 @@ func NewWithOptions(sys *qa.System, o Options) (*Server, error) {
 // uninstrumented.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for _, rt := range []struct {
-		method, path string
-		h            http.HandlerFunc
-	}{
-		{"GET", "/healthz", s.handleHealth},
-		{"GET", "/stats", s.handleStats},
-		{"POST", "/ask", s.handleAsk},
-		{"POST", "/askbatch", s.handleAskBatch},
-		{"POST", "/vote", s.handleVote},
-		{"POST", "/flush", s.handleFlush},
-		{"POST", "/checkpoint", s.handleCheckpoint},
-		{"POST", "/explain", s.handleExplain},
-		{"POST", "/weights", s.handleWeights},
-		{"GET", "/snapshot", s.handleSnapshot},
-	} {
-		h := s.instrument(rt.path, rt.h)
+	for _, rt := range routeTable {
+		h := s.instrument(rt.path, rt.h(s))
 		mux.HandleFunc(rt.method+" /v1"+rt.path, h)
 		mux.HandleFunc(rt.method+" "+rt.path, deprecated("/v1"+rt.path, h))
 	}
@@ -411,15 +459,25 @@ func writeErr(w http.ResponseWriter, status int, code, format string, args ...an
 	writeAPIErr(w, apiErr(status, code, format, args...))
 }
 
-// writeShed surfaces an admission decision as a 429 envelope whose code
-// is the shed reason.
-func writeShed(w http.ResponseWriter, d admit.Decision) {
-	writeAPIErr(w, &api.Error{
+// writeShed surfaces an admission decision as a 429 envelope. The
+// un-tenanted daemon and the default tenant keep the legacy per-reason
+// codes (queue_full / rate_limited / flush_backpressure) so un-scoped
+// clients see unchanged responses; every other tenant maps sheds to the
+// single tenant_quota_exceeded code with the shed reason preserved in
+// the message (DESIGN.md §17).
+func (s *Server) writeShed(w http.ResponseWriter, d admit.Decision) {
+	e := &api.Error{
 		Code:         d.Reason,
 		Message:      "vote shed: " + d.Reason,
 		RetryAfterMS: d.RetryAfter.Milliseconds(),
 		HTTPStatus:   http.StatusTooManyRequests,
-	})
+	}
+	if s.tenant != "" && s.tenant != DefaultTenant {
+		e.Code = api.CodeTenantQuota
+		e.Tenant = s.tenant
+		e.Message = fmt.Sprintf("tenant %q quota exceeded: %s", s.tenant, d.Reason)
+	}
+	writeAPIErr(w, e)
 }
 
 // isCtxErr reports a context cancellation or deadline expiry, however
@@ -450,8 +508,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats assembles the /v1/stats body: the named sections (serving,
+// admission, reputation, durability, ppr, tenants, ...) plus the
+// deprecated flat serving fields mirrored for one release (API.md).
+func (s *Server) Stats() StatsBody {
+	body := s.StatsLocal()
+	if s.tenantsFn != nil {
+		body.Tenants = s.tenantsFn()
+	}
+	return body
+}
+
+// StatsLocal is Stats without the tenants section. The tenant registry
+// builds per-tenant summaries from it — going through Stats there would
+// recurse on the default tenant, whose tenants hook is the registry
+// summary itself.
+func (s *Server) StatsLocal() StatsBody {
 	snap := s.sys.Engine.Serving()
 	body := StatsBody{
+		Tenant:         s.tenant,
 		Entities:       s.sys.Aug.Entities,
 		Edges:          snap.NumEdges(),
 		Documents:      len(s.sys.Answers()),
@@ -461,6 +539,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Epoch:          snap.Epoch(),
 		PendingEvicted: s.pending.Evictions(),
 		Draining:       s.draining.Load(),
+	}
+	body.Serving = &api.ServingStats{
+		Entities:       body.Entities,
+		Edges:          body.Edges,
+		Documents:      body.Documents,
+		VotesAccepted:  body.VotesAccepted,
+		VotesPending:   body.VotesPending,
+		Flushes:        body.Flushes,
+		Epoch:          body.Epoch,
+		PendingEvicted: body.PendingEvicted,
+		Draining:       body.Draining,
 	}
 	s.flushTotals.Lock()
 	ft := s.flushTotals.FlushStats
@@ -523,7 +612,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		cp := *rs
 		body.Replica = &cp
 	}
-	writeJSON(w, http.StatusOK, body)
+	return body
 }
 
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
@@ -668,7 +757,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	if s.admit != nil {
 		d := s.admit.Admit(client, int(s.votesPending.Load()), s.flushing.Load())
 		if !d.OK {
-			writeShed(w, d)
+			s.writeShed(w, d)
 			return
 		}
 	}
@@ -683,7 +772,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	// Authoritative re-check under the gate: the advisory depth may have
 	// raced with other admissions, but the queue bound is exact.
 	if s.admit != nil && s.stream.Pending() >= s.admit.Capacity() {
-		writeShed(w, s.admit.Reject(client))
+		s.writeShed(w, s.admit.Reject(client))
 		return
 	}
 	if s.draining.Load() { // drain began while this request waited at the gate

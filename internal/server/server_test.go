@@ -242,7 +242,6 @@ func newBackendServer(t *testing.T, backend pathidx.Backend) (*Server, *httptest
 	return srv, ts
 }
 
-
 // TestStatsFlushSection: after a flush, /stats carries the cumulative
 // per-stage timings and enum-cache counters of the optimization pipeline.
 func TestStatsFlushSection(t *testing.T) {

@@ -36,7 +36,7 @@ func randomProgram(rng *rand.Rand) *Program {
 		if a == b {
 			continue
 		}
-		sig := signomial.NewConst(1e-4 * rng.Float64()).Add(
+		sig := signomial.NewConst(1e-4*rng.Float64()).Add(
 			signomial.Monomial(1, a),
 			signomial.Monomial(-1, b),
 		)

@@ -21,9 +21,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
-	r.mu.Lock()
-	fams := append([]*family(nil), r.families...)
-	r.mu.Unlock()
+	st := r.storage()
+	st.mu.Lock()
+	fams := append([]*family(nil), st.families...)
+	st.mu.Unlock()
 	for _, f := range fams {
 		f.write(bw)
 	}

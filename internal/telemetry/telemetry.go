@@ -43,12 +43,61 @@ const (
 // metric, so independently wired subsystems can share one registry
 // without coordination. Registration takes a lock; the returned handles
 // are lock-free.
+//
+// WithLabels returns a scoped view of the same registry: every
+// registration through the view carries the view's constant base labels
+// (the multi-tenant daemon scopes one view per tenant, so every series
+// a tenant's stack registers gains a tenant="..." label while /metrics
+// still scrapes the one shared family table).
 type Registry struct {
 	now func() time.Time
+
+	// base is merged into every registration's label set; root points at
+	// the registry owning the family table (nil on the root itself).
+	// Scoped views share the root's storage, so their mu/families/byName
+	// stay unused.
+	base Labels
+	root *Registry
 
 	mu       sync.Mutex
 	families []*family
 	byName   map[string]*family
+}
+
+// storage resolves the registry owning the shared family table.
+func (r *Registry) storage() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// WithLabels returns a view of the registry whose registrations all
+// carry labels in addition to their own (per-call labels win on
+// collision). Metrics registered through the view land in the shared
+// family table, so one WritePrometheus scrape covers every view. A nil
+// registry returns nil, keeping the whole chain no-op.
+func (r *Registry) WithLabels(labels Labels) *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{now: r.now, base: mergeLabels(r.base, labels), root: r.storage()}
+}
+
+// mergeLabels overlays over on base into a fresh map; nil when both are
+// empty so unlabeled registrations keep their fast path.
+func mergeLabels(base, over Labels) Labels {
+	if len(base) == 0 && len(over) == 0 {
+		return nil
+	}
+	m := make(Labels, len(base)+len(over))
+	for k, v := range base {
+		m[k] = v
+	}
+	for k, v := range over {
+		m[k] = v
+	}
+	return m
 }
 
 // family groups every metric sharing one name (differing only in
@@ -110,6 +159,7 @@ func (r *Registry) getFamily(name, help string, kind Kind) *family {
 	if !validMetricName(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
 	}
+	r = r.storage()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.byName[name]; ok {
@@ -146,7 +196,7 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 		return nil
 	}
 	f := r.getFamily(name, help, KindCounter)
-	return f.getOrCreate(labels, func() any { return &Counter{} }).(*Counter)
+	return f.getOrCreate(mergeLabels(r.base, labels), func() any { return &Counter{} }).(*Counter)
 }
 
 // Gauge registers (or returns) a gauge.
@@ -155,7 +205,7 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 		return nil
 	}
 	f := r.getFamily(name, help, KindGauge)
-	return f.getOrCreate(labels, func() any { return &Gauge{} }).(*Gauge)
+	return f.getOrCreate(mergeLabels(r.base, labels), func() any { return &Gauge{} }).(*Gauge)
 }
 
 // GaugeFunc registers a gauge whose value is read by fn at scrape time;
@@ -177,7 +227,7 @@ func (r *Registry) funcSeries(name, help string, kind Kind, labels Labels, fn fu
 		return
 	}
 	f := r.getFamily(name, help, kind)
-	key := renderLabels(labels)
+	key := renderLabels(mergeLabels(r.base, labels))
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if i, ok := f.byKey[key]; ok {
@@ -196,7 +246,7 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64)
 		return nil
 	}
 	f := r.getFamily(name, help, KindHistogram)
-	return f.getOrCreate(labels, func() any { return newHistogram(bounds, r.now) }).(*Histogram)
+	return f.getOrCreate(mergeLabels(r.base, labels), func() any { return newHistogram(bounds, r.now) }).(*Histogram)
 }
 
 // Counter is a monotonically increasing atomic counter.

@@ -267,3 +267,59 @@ func TestNewRequestIDUnique(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+func TestWithLabelsScopedViews(t *testing.T) {
+	r := NewRegistry()
+	a := r.WithLabels(Labels{"tenant": "a"})
+	b := r.WithLabels(Labels{"tenant": "b"})
+
+	a.Counter("kgvote_test_total", "h", nil).Add(1)
+	b.Counter("kgvote_test_total", "h", nil).Add(2)
+	r.Counter("kgvote_test_total", "h", nil).Add(4)
+
+	// Same name+labels through the same view is the same series.
+	a.Counter("kgvote_test_total", "h", nil).Add(10)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`kgvote_test_total{tenant="a"} 11`,
+		`kgvote_test_total{tenant="b"} 2`,
+		"\nkgvote_test_total 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	// One family: exactly one TYPE line even with three views writing.
+	if got := strings.Count(out, "# TYPE kgvote_test_total"); got != 1 {
+		t.Fatalf("TYPE lines = %d, want 1 (views must share the family table)", got)
+	}
+
+	// A view's scrape is the root's scrape — storage is shared.
+	var fromView strings.Builder
+	if err := a.WritePrometheus(&fromView); err != nil {
+		t.Fatal(err)
+	}
+	if fromView.String() != out {
+		t.Fatal("scoped view scrape differs from root scrape")
+	}
+
+	// Per-call labels win on collision; base labels stack across nesting.
+	nested := a.WithLabels(Labels{"shard": "0"})
+	nested.Gauge("kgvote_test_gauge", "h", Labels{"tenant": "override"}).Set(7)
+	var buf2 strings.Builder
+	_ = r.WritePrometheus(&buf2)
+	if !strings.Contains(buf2.String(), `kgvote_test_gauge{shard="0",tenant="override"} 7`) {
+		t.Fatalf("nested/overridden labels wrong:\n%s", buf2.String())
+	}
+
+	// Nil stays no-op through the chain.
+	var nilReg *Registry
+	if nilReg.WithLabels(Labels{"x": "y"}) != nil {
+		t.Fatal("nil registry must scope to nil")
+	}
+}

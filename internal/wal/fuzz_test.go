@@ -26,9 +26,9 @@ func FuzzReadRecord(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(frame(1, []byte("hello")))
 	f.Add(append(frame(2, []byte("first")), frame(3, []byte("second"))...))
-	f.Add(frame(1, []byte("torn"))[:5])                      // mid-header cut
-	f.Add(append(frame(4, nil), 0xff, 0xff, 0xff, 0xff))     // garbage tail
-	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 1})     // absurd length
+	f.Add(frame(1, []byte("torn"))[:5])                  // mid-header cut
+	f.Add(append(frame(4, nil), 0xff, 0xff, 0xff, 0xff)) // garbage tail
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 1}) // absurd length
 	corrupted := frame(5, []byte("bitflip"))
 	corrupted[len(corrupted)-1] ^= 0x40
 	f.Add(corrupted)
